@@ -1,0 +1,331 @@
+(* Benchmark harness: one Bechamel micro-benchmark per table/figure of
+   the paper (timing the code paths that regenerate it), followed by the
+   regeneration of every table and figure at a reduced campaign scale.
+
+   Environment:
+     BENCH_SCALE  fraction of the paper's instance counts for the table
+                  regeneration part (default 0.25, the scale recorded
+                  in EXPERIMENTS.md; 1.0 = full campaign).
+     BENCH_QUOTA  seconds of sampling per micro-benchmark (default 0.5). *)
+
+open Bechamel
+open Toolkit
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
+
+let scale = getenv_float "BENCH_SCALE" 0.25
+let quota = getenv_float "BENCH_QUOTA" 0.5
+
+(* --- fixtures ------------------------------------------------------- *)
+
+let rng = Emts_prng.create ~seed:0xBEC4 ()
+let grelon = Emts_platform.grelon
+let model2 = Emts_model.synthetic
+
+let irregular100 =
+  Emts_daggen.Costs.assign rng
+    (Emts_daggen.Random_dag.generate rng
+       { n = 100; width = 0.5; regularity = 0.2; density = 0.2; jump = 2 })
+
+let fft95 = Emts_daggen.Costs.assign rng (Emts_daggen.Fft.generate ~points:16)
+
+let ctx_irregular =
+  Emts_alloc.Common.make_ctx ~model:model2 ~platform:grelon
+    ~graph:irregular100
+
+let ctx_fft =
+  Emts_alloc.Common.make_ctx ~model:model2 ~platform:grelon ~graph:fft95
+
+let mcpa_alloc = Emts_alloc.Mcpa.allocate ctx_irregular
+
+let mcpa_times =
+  Emts_sched.Allocation.times_of_tables mcpa_alloc
+    ~tables:ctx_irregular.Emts_alloc.Common.tables
+
+(* --- micro-benchmarks: one per table/figure ------------------------- *)
+
+(* Figure 1: evaluating the empirical PDGEMM model across the processor
+   range (the model-evaluation path behind the curve). *)
+let bench_fig1 =
+  Test.make ~name:"fig1/pdgemm_curve_eval"
+    (Staged.stage (fun () ->
+         let acc = ref 0. in
+         for p = 2 to 32 do
+           acc :=
+             !acc
+             +. Emts_model.Empirical.lookup Emts_model.Empirical.pdgemm_1024
+                  ~procs:p
+         done;
+         !acc))
+
+(* Figure 3: one draw of the mutation adjustment C. *)
+let bench_fig3 =
+  let r = Emts_prng.create ~seed:3 () in
+  Test.make ~name:"fig3/mutation_draw"
+    (Staged.stage (fun () ->
+         Emts.Mutation.draw_adjustment r Emts.Mutation.default))
+
+(* Figures 4/5 inner loop: one fitness evaluation = one list schedule of
+   a 100-task PTG on the 120-processor cluster (C_map of Section III-E). *)
+let bench_fitness =
+  Test.make ~name:"fig4_5/fitness_list_schedule"
+    (Staged.stage (fun () ->
+         Emts_sched.List_scheduler.makespan ~graph:irregular100
+           ~times:mcpa_times ~alloc:mcpa_alloc ~procs:120))
+
+(* Figures 4/5 seeding: the heuristic allocators (C_alloc). *)
+let bench_allocators =
+  List.map
+    (fun (h : Emts_alloc.heuristic) ->
+      Test.make
+        ~name:("fig4_5/alloc_" ^ String.lowercase_ascii h.name)
+        (Staged.stage (fun () -> h.allocate ctx_irregular)))
+    Emts_alloc.all
+
+(* Runtime table: a complete EMTS5 run on the FFT-95 instance (small
+   enough to sample repeatedly). *)
+let bench_emts5 =
+  let quick_rng = Emts_prng.create ~seed:5 () in
+  Test.make ~name:"runtime/emts5_fft95"
+    (Staged.stage (fun () ->
+         Emts.Algorithm.run_ctx
+           ~rng:(Emts_prng.split quick_rng)
+           ~config:Emts.Algorithm.emts5 ~ctx:ctx_fft ()))
+
+(* Figure 6: rendering the Gantt pair. *)
+let bench_fig6 =
+  let sched = Emts.Algorithm.schedule_allocation ~ctx:ctx_irregular mcpa_alloc in
+  Test.make ~name:"fig6/gantt_render"
+    (Staged.stage (fun () ->
+         Emts_sched.Gantt.render_pair ~width:55 ~left:("a", sched)
+           ~right:("b", sched) ()))
+
+(* Extensions: the per-table code paths of the ablation/robustness
+   drivers. *)
+let bench_bounds =
+  Test.make ~name:"gaps/lower_bound"
+    (Staged.stage (fun () -> Emts_alloc.Bounds.lower_bound ctx_irregular))
+
+let bench_simulator =
+  let sched = Emts.Algorithm.schedule_allocation ~ctx:ctx_irregular mcpa_alloc in
+  let noise = Emts_simulator.Noise.multiplicative_lognormal ~sigma:0.3 in
+  let r = Emts_prng.create ~seed:11 () in
+  Test.make ~name:"robustness/simulate_noisy_schedule"
+    (Staged.stage (fun () ->
+         Emts_simulator.execute ~noise ~rng:r ~graph:irregular100
+           ~schedule:sched ()))
+
+let bench_batch =
+  let r = Emts_prng.create ~seed:12 () in
+  let jobs =
+    List.init 50 (fun id ->
+        Emts_batch.job ~id
+          ~submit:(Emts_prng.float r 1000.)
+          ~procs:(Emts_prng.int_in r 8 64)
+          ~walltime:(Emts_prng.float_in r 50. 500.)
+          ~runtime:(Emts_prng.float_in r 40. 400.))
+  in
+  Test.make ~name:"cluster/easy_backfilling_50_jobs"
+    (Staged.stage (fun () -> Emts_batch.easy_backfilling ~procs:120 jobs))
+
+let bench_recombination =
+  let r = Emts_prng.create ~seed:13 () in
+  let levels = Emts_ptg.Graph.precedence_level irregular100 in
+  let a = Array.make 100 4 and b = Array.make 100 9 in
+  Test.make ~name:"ablation/level_aware_crossover"
+    (Staged.stage (fun () ->
+         Emts.Recombination.apply Emts.Recombination.Level_aware ~levels r a b))
+
+(* Section III-E complexity: list-scheduler cost scaling with V. *)
+let scaling_sizes = [| 20; 50; 100; 200 |]
+
+let bench_scaling =
+  let fixtures =
+    Array.map
+      (fun n ->
+        let g =
+          Emts_daggen.Costs.assign rng
+            (Emts_daggen.Random_dag.generate rng
+               { n; width = 0.5; regularity = 0.5; density = 0.2; jump = 1 })
+        in
+        let ctx =
+          Emts_alloc.Common.make_ctx ~model:model2 ~platform:grelon ~graph:g
+        in
+        let alloc = Emts_alloc.Mcpa.allocate ctx in
+        let times =
+          Emts_sched.Allocation.times_of_tables alloc
+            ~tables:ctx.Emts_alloc.Common.tables
+        in
+        (g, times, alloc))
+      scaling_sizes
+  in
+  Test.make_indexed ~name:"sec3E/list_schedule_V"
+    ~args:(Array.to_list (Array.map (fun n -> n) scaling_sizes))
+    (fun n ->
+      let i =
+        match Array.find_index (fun s -> s = n) scaling_sizes with
+        | Some i -> i
+        | None -> assert false
+      in
+      Staged.stage (fun () ->
+          let g, times, alloc = fixtures.(i) in
+          Emts_sched.List_scheduler.makespan ~graph:g ~times ~alloc
+            ~procs:120))
+
+let all_benches =
+  Test.make_grouped ~name:"emts"
+    ([ bench_fig1; bench_fig3; bench_fitness ]
+    @ bench_allocators
+    @ [
+        bench_emts5; bench_fig6; bench_bounds; bench_simulator; bench_batch;
+        bench_recombination; bench_scaling;
+      ])
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances all_benches in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort compare rows in
+  Printf.printf "%-40s %16s %8s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with Some r -> r | None -> nan
+      in
+      let pretty =
+        if estimate > 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%.1f ns" estimate
+      in
+      Printf.printf "%-40s %16s %8.4f\n" name pretty r2)
+    rows
+
+(* --- table/figure regeneration -------------------------------------- *)
+
+let rule title =
+  let line = String.make 72 '-' in
+  Printf.printf "\n%s\n%s\n%s\n\n" line title line
+
+let run_tables () =
+  let counts = Emts_experiments.Campaign.scaled scale in
+  let progress line = Printf.eprintf "[bench] %s\n%!" line in
+  rule
+    (Printf.sprintf
+       "Paper tables & figures at campaign scale %.2f (BENCH_SCALE to change)"
+       scale);
+  print_string (Emts_experiments.Fig1.render ());
+  print_newline ();
+  print_string
+    (Emts_experiments.Fig3.render ~samples:500_000
+       (Emts_prng.create ~seed:3 ()));
+  let rng4 = Emts_prng.create ~seed:0x51ED () in
+  let groups4, text4 =
+    Emts_experiments.Figures.fig4 ~progress ~rng:rng4 ~counts ()
+  in
+  rule "Figure 4";
+  print_string text4;
+  let (top, bottom), text5 =
+    Emts_experiments.Figures.fig5 ~progress ~rng:rng4 ~counts ()
+  in
+  rule "Figure 5";
+  print_string text5;
+  rule "Run-time statistics (Section V)";
+  print_string
+    (Emts_experiments.Relative.render_runtime
+       ~title:"EMTS5 optimisation time per PTG (Model 1)" groups4);
+  print_string
+    (Emts_experiments.Relative.render_runtime
+       ~title:"EMTS5 optimisation time per PTG (Model 2)" top);
+  print_string
+    (Emts_experiments.Relative.render_runtime
+       ~title:"EMTS10 optimisation time per PTG (Model 2)" bottom);
+  rule "Figure 6";
+  let c =
+    Emts_experiments.Fig6.compare_schedules (Emts_prng.create ~seed:6 ())
+  in
+  print_string (Emts_experiments.Fig6.render ~width:55 c)
+
+(* Extension experiments, at sizes proportional to the table scale. *)
+let run_extensions () =
+  let rng = Emts_prng.create ~seed:0xAB1A () in
+  let instances = max 4 (int_of_float (40. *. scale)) in
+  rule "Extensions: ablations (DESIGN.md section 5)";
+  print_string
+    (Emts_experiments.Ablation.render
+       ~title:"Ablation: seeding (EMTS5, Model 2, Grelon, irregular n=100)"
+       (Emts_experiments.Ablation.seeding ~instances ~rng ()));
+  print_newline ();
+  print_string
+    (Emts_experiments.Ablation.render
+       ~title:"Ablation: recombination operators (same budget)"
+       (Emts_experiments.Ablation.crossover ~instances ~rng ()));
+  print_newline ();
+  print_string
+    (Emts_experiments.Ablation.render
+       ~title:"Ablation: selection & step-size strategies (plus baseline)"
+       (Emts_experiments.Ablation.selection ~instances ~rng ()));
+  print_newline ();
+  print_string
+    (Emts_experiments.Ablation.render
+       ~title:"Ablation: early rejection (EMTS10; ratio must be 1.0)"
+       (Emts_experiments.Ablation.early_rejection
+          ~instances:(max 2 (instances / 2))
+          ~rng ()));
+  print_newline ();
+  print_string
+    (Emts_experiments.Ablation.render
+       ~title:"Ablation: mapping-step ready-queue priority (MCPA, Chti)"
+       (Emts_experiments.Ablation.mapping_priority ~instances ~rng ()));
+  print_newline ();
+  print_string
+    (Emts_experiments.Ablation.render
+       ~title:"Ablation: monotonized model (Gunther et al.) vs evolving"
+       (Emts_experiments.Ablation.monotonization ~instances ~rng ()));
+  rule "Extensions: robustness under duration noise";
+  print_string
+    (Emts_experiments.Robustness.render
+       (Emts_experiments.Robustness.run
+          ~instances:(max 3 (instances / 2))
+          ~draws:5 ~rng ()));
+  rule "Extensions: convergence (anytime curve, EMTS10)";
+  print_string
+    (Emts_experiments.Convergence.render
+       (Emts_experiments.Convergence.run ~instances ~rng ()));
+  rule "Extensions: optimality gaps vs lower bounds";
+  let gap_counts = Emts_experiments.Campaign.scaled (Float.max 0.01 (scale /. 2.)) in
+  print_string
+    (Emts_experiments.Gaps.render
+       (Emts_experiments.Gaps.run
+          ~progress:(fun line -> Printf.eprintf "[bench] %s\n%!" line)
+          ~rng ~counts:gap_counts ()));
+  rule "Extensions: EMTS gain vs PTG size";
+  print_string
+    (Emts_experiments.Sweep.render
+       (Emts_experiments.Sweep.run
+          ~progress:(fun line -> Printf.eprintf "[bench] %s\n%!" line)
+          ~rng:(Emts_prng.create ())
+          ()));
+  rule "Extensions: walltime accuracy at the batch level";
+  print_string
+    (Emts_experiments.Walltime.render
+       (Emts_experiments.Walltime.run ~jobs:25 ~rng:(Emts_prng.create ()) ()))
+
+let () =
+  rule "Micro-benchmarks (Bechamel): one per table/figure code path";
+  run_benchmarks ();
+  run_tables ();
+  run_extensions ()

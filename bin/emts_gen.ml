@@ -1,0 +1,142 @@
+(* emts-gen: generate PTG files (.ptg format, see Emts_ptg.Serial). *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Seed for the deterministic random generator." in
+  Arg.(value & opt int 0x5EED_CA11 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let output_arg =
+  let doc = "Output file; - writes to stdout." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let costs_arg =
+  let doc =
+    "Assign random task costs (data size, pattern, alpha) as in the paper's \
+     campaign.  Without this flag every task costs 1 FLOP."
+  in
+  Arg.(value & flag & info [ "costs" ] ~doc)
+
+let emit ~output graph =
+  let text = Emts_ptg.Serial.to_string graph in
+  if output = "-" then print_string text
+  else begin
+    Emts_ptg.Serial.save graph output;
+    Printf.eprintf "wrote %s (%d tasks, %d edges)\n%!" output
+      (Emts_ptg.Graph.task_count graph)
+      (Emts_ptg.Graph.edge_count graph)
+  end
+
+let finish ~seed ~costs ~output graph =
+  let rng = Emts_prng.create ~seed () in
+  let graph = if costs then Emts_daggen.Costs.assign rng graph else graph in
+  emit ~output graph;
+  Ok ()
+
+let fft_cmd =
+  let points =
+    let doc = "FFT size (power of two >= 2); the paper uses 2, 4, 8, 16." in
+    Arg.(value & opt int 16 & info [ "points" ] ~docv:"INT" ~doc)
+  in
+  let run points seed costs output =
+    match Emts_daggen.Fft.generate ~points with
+    | graph -> finish ~seed ~costs ~output graph
+    | exception Invalid_argument msg -> Error msg
+  in
+  Cmd.v
+    (Cmd.info "fft" ~doc:"Generate an FFT task graph.")
+    Term.(
+      term_result'
+        (const run $ points $ seed_arg $ costs_arg $ output_arg))
+
+let strassen_cmd =
+  let run seed costs output =
+    finish ~seed ~costs ~output (Emts_daggen.Strassen.generate ())
+  in
+  Cmd.v
+    (Cmd.info "strassen" ~doc:"Generate the Strassen task graph (23 tasks).")
+    Term.(term_result' (const run $ seed_arg $ costs_arg $ output_arg))
+
+let random_cmd =
+  let n =
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"INT" ~doc:"Number of tasks.")
+  in
+  let width =
+    Arg.(
+      value & opt float 0.5
+      & info [ "width" ] ~docv:"FLOAT" ~doc:"Task parallelism in ]0,1].")
+  in
+  let regularity =
+    Arg.(
+      value & opt float 0.5
+      & info [ "regularity" ] ~docv:"FLOAT"
+          ~doc:"Per-level size uniformity in [0,1].")
+  in
+  let density =
+    Arg.(
+      value & opt float 0.5
+      & info [ "density" ] ~docv:"FLOAT" ~doc:"Extra-edge probability in [0,1].")
+  in
+  let jump =
+    Arg.(
+      value & opt int 0
+      & info [ "jump" ] ~docv:"INT"
+          ~doc:"Levels an edge may skip; 0 gives a layered graph.")
+  in
+  let run n width regularity density jump seed costs output =
+    let rng = Emts_prng.create ~seed () in
+    let params = { Emts_daggen.Random_dag.n; width; regularity; density; jump } in
+    match Emts_daggen.Random_dag.validate params with
+    | Error msg -> Error msg
+    | Ok params ->
+      finish ~seed ~costs ~output (Emts_daggen.Random_dag.generate rng params)
+  in
+  Cmd.v
+    (Cmd.info "random" ~doc:"Generate a DAGGEN-style random task graph.")
+    Term.(
+      term_result'
+        (const run $ n $ width $ regularity $ density $ jump $ seed_arg
+       $ costs_arg $ output_arg))
+
+let shape_cmd =
+  let kind =
+    let doc = "Shape: chain, forkjoin, diamond or mesh." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SHAPE" ~doc)
+  in
+  let size =
+    Arg.(
+      value & opt int 8
+      & info [ "size" ] ~docv:"INT"
+          ~doc:"Length (chain), width (forkjoin/diamond/mesh).")
+  in
+  let layers =
+    Arg.(
+      value & opt int 4
+      & info [ "layers" ] ~docv:"INT" ~doc:"Layers (mesh only).")
+  in
+  let run kind size layers seed costs output =
+    match
+      match String.lowercase_ascii kind with
+      | "chain" -> Ok (Emts_daggen.Shapes.chain size)
+      | "forkjoin" | "fork-join" -> Ok (Emts_daggen.Shapes.fork_join size)
+      | "diamond" -> Ok (Emts_daggen.Shapes.diamond size)
+      | "mesh" -> Ok (Emts_daggen.Shapes.layered_mesh ~layers ~width:size)
+      | other -> Error (Printf.sprintf "unknown shape %S" other)
+    with
+    | Error _ as e -> e
+    | Ok graph -> finish ~seed ~costs ~output graph
+    | exception Invalid_argument msg -> Error msg
+  in
+  Cmd.v
+    (Cmd.info "shape" ~doc:"Generate an elementary shape (chain, forkjoin, ...).")
+    Term.(
+      term_result'
+        (const run $ kind $ size $ layers $ seed_arg $ costs_arg $ output_arg))
+
+let () =
+  let info =
+    Cmd.info "emts-gen" ~version:"1.0.0"
+      ~doc:"Generate parallel task graphs in the .ptg format."
+  in
+  exit
+    (Cmd.eval (Cmd.group info [ fft_cmd; strassen_cmd; random_cmd; shape_cmd ]))

@@ -1,0 +1,128 @@
+(* emts-sched: schedule a .ptg file on a platform with a chosen
+   algorithm and execution-time model. *)
+
+open Cmdliner
+
+let graph_arg =
+  let doc = "Input task graph (.ptg file)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH.ptg" ~doc)
+
+let platform_arg =
+  let doc =
+    "Platform: a preset name (chti, grelon) or a platform file path."
+  in
+  Arg.(value & opt string "grelon" & info [ "platform" ] ~docv:"NAME|FILE" ~doc)
+
+let model_arg =
+  let doc =
+    "Execution-time model: amdahl (model1), synthetic (model2), or a file of \
+     measured timings ('procs seconds' per line) used as an empirical table \
+     model."
+  in
+  Arg.(value & opt string "amdahl" & info [ "model" ] ~docv:"NAME|FILE" ~doc)
+
+let algorithm_arg =
+  let doc =
+    "Scheduling algorithm: seq, cpa, hcpa, mcpa, deltacp, emts5 or emts10."
+  in
+  Arg.(value & opt string "emts5" & info [ "algorithm" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  Arg.(
+    value & opt int 0x5EED_CA11
+    & info [ "seed" ] ~docv:"INT" ~doc:"Random seed for EMTS.")
+
+let gantt_arg =
+  Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Print the schedule as CSV.")
+
+let svg_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "svg" ] ~docv:"FILE" ~doc:"Write the schedule as an SVG file.")
+
+let resolve_platform spec =
+  match Emts_platform.find_preset spec with
+  | Some p -> Ok p
+  | None ->
+    if Sys.file_exists spec then Emts_platform.load spec
+    else Error (Printf.sprintf "unknown platform %S (no such preset or file)" spec)
+
+let resolve_model spec =
+  match Emts_model.find_preset spec with
+  | Some m -> Ok m
+  | None ->
+    if Sys.file_exists spec then
+      Result.map
+        (fun table ->
+          Emts_model.Empirical.model ~name:(Filename.basename spec) table)
+        (Emts_model.Empirical.load spec)
+    else Error (Printf.sprintf "unknown model %S (no such preset or file)" spec)
+
+let run graph_file platform_spec model_spec algorithm seed gantt csv svg =
+  let ( let* ) = Result.bind in
+  let* graph = Emts_ptg.Serial.load graph_file in
+  let* platform = resolve_platform platform_spec in
+  let* model = resolve_model model_spec in
+  let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
+  let* alloc, label =
+    match String.lowercase_ascii algorithm with
+    | "emts5" | "emts10" ->
+      let config =
+        if String.lowercase_ascii algorithm = "emts5" then
+          Emts.Algorithm.emts5
+        else Emts.Algorithm.emts10
+      in
+      let rng = Emts_prng.create ~seed () in
+      let result = Emts.Algorithm.run_ctx ~rng ~config ~ctx () in
+      List.iter
+        (fun (s : Emts.Seeding.seed) ->
+          Printf.printf "seed %-8s makespan %.6g s\n" s.heuristic s.makespan)
+        result.seeds;
+      Ok (result.alloc, String.uppercase_ascii algorithm)
+    | name -> (
+      match Emts_alloc.find name with
+      | Some h -> Ok (h.allocate ctx, h.name)
+      | None -> Error (Printf.sprintf "unknown algorithm %S" algorithm))
+  in
+  let schedule = Emts.Algorithm.schedule_allocation ~ctx alloc in
+  (match Emts_sched.Schedule.validate ~alloc schedule ~graph with
+  | Ok () -> ()
+  | Error violations ->
+    (* Cannot happen with the built-in list scheduler; fail loudly. *)
+    List.iter
+      (fun v ->
+        Format.eprintf "schedule violation: %a@."
+          Emts_sched.Schedule.pp_violation v)
+      violations;
+    exit 2);
+  Printf.printf "%s makespan   %.6g s\n" label
+    (Emts_sched.Schedule.makespan schedule);
+  Printf.printf "utilization     %.1f %%\n"
+    (100. *. Emts_sched.Schedule.utilization schedule);
+  Printf.printf "total allocation %d procs over %d tasks (platform: %s)\n"
+    (Array.fold_left ( + ) 0 alloc)
+    (Array.length alloc) platform.Emts_platform.name;
+  if gantt then print_string (Emts_sched.Gantt.render ~width:100 schedule);
+  if csv then print_string (Emts_sched.Schedule.to_csv schedule);
+  (match svg with
+  | None -> ()
+  | Some path ->
+    Emts_sched.Svg.save schedule path;
+    Printf.eprintf "wrote %s\n%!" path);
+  Ok ()
+
+let () =
+  let info =
+    Cmd.info "emts-sched" ~version:"1.0.0"
+      ~doc:"Schedule a parallel task graph onto a homogeneous cluster."
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ graph_arg $ platform_arg $ model_arg $ algorithm_arg
+       $ seed_arg $ gantt_arg $ csv_arg $ svg_arg))
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,58 @@
+(* FFT workflow campaign: the scenario from the paper's introduction —
+   a scientific workflow of moldable FFT tasks scheduled on two
+   Grid'5000 clusters.  For each FFT size we compare the makespan of
+   the heuristics against EMTS5 under the non-monotone Model 2.
+
+   Run with:  dune exec examples/fft_workflow.exe *)
+
+let instances_per_size = 10
+
+let () =
+  let rng = Emts_prng.create ~seed:51 () in
+  let model = Emts_model.synthetic in
+  Format.printf
+    "FFT workflows under Model 2: mean makespan [s] over %d instances@.@."
+    instances_per_size;
+  List.iter
+    (fun platform ->
+      Format.printf "--- platform %a ---@." Emts_platform.pp platform;
+      Format.printf "%8s %6s %10s %10s %10s %10s %8s@." "points" "tasks"
+        "SEQ" "HCPA" "MCPA" "EMTS5" "gain";
+      List.iter
+        (fun points ->
+          let accs = Array.init 4 (fun _ -> Emts_stats.Acc.create ()) in
+          for _ = 1 to instances_per_size do
+            let graph =
+              Emts_daggen.Costs.assign rng
+                (Emts_daggen.Fft.generate ~points)
+            in
+            let result =
+              Emts.run ~rng:(Emts_prng.split rng) ~config:Emts.emts5 ~model
+                ~platform ~graph ()
+            in
+            let seed name =
+              match
+                List.find_opt
+                  (fun (s : Emts.Seeding.seed) -> s.heuristic = name)
+                  result.seeds
+              with
+              | Some s -> s.makespan
+              | None -> assert false
+            in
+            Emts_stats.Acc.add accs.(0) (seed "SEQ");
+            Emts_stats.Acc.add accs.(1) (seed "HCPA");
+            Emts_stats.Acc.add accs.(2) (seed "MCPA");
+            Emts_stats.Acc.add accs.(3) result.makespan
+          done;
+          let mean i = Emts_stats.Acc.mean accs.(i) in
+          Format.printf "%8d %6d %10.2f %10.2f %10.2f %10.2f %7.1f%%@."
+            points
+            (Emts_daggen.Fft.task_count ~points)
+            (mean 0) (mean 1) (mean 2) (mean 3)
+            (100. *. (1. -. (mean 3 /. mean 2))))
+        Emts_daggen.Fft.paper_sizes;
+      Format.printf "@.")
+    [ Emts_platform.chti; Emts_platform.grelon ];
+  Format.printf
+    "gain = average makespan reduction of EMTS5 over MCPA (the stronger \
+     heuristic).@."

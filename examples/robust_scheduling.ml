@@ -1,0 +1,61 @@
+(* Robust scheduling: execution-time models are imprecise (the paper's
+   core motivation), so a schedule computed from predicted durations
+   meets reality only approximately.  This example plans a workflow with
+   MCPA and EMTS5, then *executes* both schedules in the discrete-event
+   simulator under increasing model error, and reports whether EMTS's
+   planned advantage survives.
+
+   Run with:  dune exec examples/robust_scheduling.exe *)
+
+let () =
+  let rng = Emts_prng.create ~seed:4242 () in
+  let platform = Emts_platform.grelon in
+  let graph =
+    Emts_daggen.Costs.assign rng
+      (Emts_daggen.Random_dag.generate rng
+         { n = 80; width = 0.6; regularity = 0.4; density = 0.3; jump = 2 })
+  in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic ~platform ~graph
+  in
+  let mcpa =
+    Emts.schedule_allocation ~ctx (Emts_alloc.Mcpa.allocate ctx)
+  in
+  let emts =
+    (Emts.run_ctx ~rng:(Emts_prng.split rng) ~config:Emts.emts5 ~ctx ())
+      .Emts.Algorithm.schedule
+  in
+  Format.printf "PTG: %a on %a@." Emts_ptg.Graph.pp_stats graph
+    Emts_platform.pp platform;
+  Format.printf "planned makespans: MCPA %.2f s, EMTS5 %.2f s (ratio %.3f)@.@."
+    (Emts_sched.Schedule.makespan mcpa)
+    (Emts_sched.Schedule.makespan emts)
+    (Emts_sched.Schedule.makespan mcpa /. Emts_sched.Schedule.makespan emts);
+
+  Format.printf "%8s %14s %14s %12s@." "sigma" "MCPA realised" "EMTS realised"
+    "ratio";
+  List.iter
+    (fun sigma ->
+      let noise = Emts_simulator.Noise.multiplicative_lognormal ~sigma in
+      let acc_m = Emts_stats.Acc.create ()
+      and acc_e = Emts_stats.Acc.create () in
+      for draw = 1 to 20 do
+        (* both schedules face the same world per draw *)
+        let seed = 1000 + draw in
+        let exec schedule =
+          (Emts_simulator.execute ~noise
+             ~rng:(Emts_prng.create ~seed ())
+             ~graph ~schedule ())
+            .Emts_simulator.makespan
+        in
+        Emts_stats.Acc.add acc_m (exec mcpa);
+        Emts_stats.Acc.add acc_e (exec emts)
+      done;
+      Format.printf "%8.2f %12.2f s %12.2f s %12.3f@." sigma
+        (Emts_stats.Acc.mean acc_m) (Emts_stats.Acc.mean acc_e)
+        (Emts_stats.Acc.mean acc_m /. Emts_stats.Acc.mean acc_e))
+    [ 0.0; 0.1; 0.2; 0.4; 0.6 ];
+  Format.printf
+    "@.EMTS plans with the same imperfect model as MCPA, but its advantage@.\
+     persists when predictions miss: the schedule shape, not the exact@.\
+     numbers, carries the win.@."

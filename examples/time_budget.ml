@@ -1,0 +1,46 @@
+(* Scheduling under a time constraint: the paper's problem statement
+   fixes a budget for the meta-optimisation ("we focus on a given time
+   constraint").  This example gives EMTS increasing wall-clock budgets
+   on one PTG and shows the anytime trade-off, including the effect of
+   the early-rejection strategy from the paper's conclusion.
+
+   Run with:  dune exec examples/time_budget.exe *)
+
+let () =
+  let rng = Emts_prng.create ~seed:7070 () in
+  let graph =
+    Emts_daggen.Costs.assign rng
+      (Emts_daggen.Random_dag.generate rng
+         { n = 100; width = 0.5; regularity = 0.2; density = 0.2; jump = 4 })
+  in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic
+      ~platform:Emts_platform.grelon ~graph
+  in
+  let mcpa_makespan =
+    Emts_sched.Schedule.makespan
+      (Emts.schedule_allocation ~ctx (Emts_alloc.Mcpa.allocate ctx))
+  in
+  Format.printf "PTG: %a — MCPA baseline %.2f s@.@." Emts_ptg.Graph.pp_stats
+    graph mcpa_makespan;
+  Format.printf "%12s %12s %14s %12s %10s@." "budget [s]" "makespan"
+    "vs MCPA" "evaluations" "gens";
+  (* A generous generation count; the wall-clock budget is the binding
+     constraint. *)
+  let base =
+    { Emts.emts10 with Emts.Algorithm.generations = 200; early_reject = true }
+  in
+  List.iter
+    (fun budget ->
+      let config = { base with Emts.Algorithm.time_budget = Some budget } in
+      let r =
+        Emts.run_ctx ~rng:(Emts_prng.create ~seed:1 ()) ~config ~ctx ()
+      in
+      Format.printf "%12.3f %10.2f s %14.3f %12d %10d@." budget r.makespan
+        (mcpa_makespan /. r.makespan)
+        r.ea.Emts_ea.evaluations
+        (List.length r.ea.Emts_ea.history - 1))
+    [ 0.01; 0.05; 0.2; 1.0; 3.0 ];
+  Format.printf
+    "@.More budget, better schedules — and the curve flattens: the paper's@.\
+     EMTS5/EMTS10 presets sit near the knee for PTGs of this size.@."

@@ -1,0 +1,32 @@
+let best_time ctx v =
+  Array.fold_left Float.min infinity ctx.Common.tables.(v)
+
+let best_area ctx v =
+  let row = ctx.Common.tables.(v) in
+  let best = ref infinity in
+  Array.iteri
+    (fun i t ->
+      let area = float_of_int (i + 1) *. t in
+      if area < !best then best := area)
+    row;
+  !best
+
+let critical_path_bound ctx =
+  Emts_ptg.Analysis.critical_path_length ctx.Common.graph
+    ~time:(best_time ctx)
+
+let area_bound ctx =
+  let n = Emts_ptg.Graph.task_count ctx.Common.graph in
+  let total = ref 0. in
+  for v = 0 to n - 1 do
+    total := !total +. best_area ctx v
+  done;
+  !total /. float_of_int ctx.Common.procs
+
+let lower_bound ctx = Float.max (critical_path_bound ctx) (area_bound ctx)
+
+let gap ctx ~makespan =
+  let lb = lower_bound ctx in
+  if not (lb > 0.) then
+    invalid_arg "Bounds.gap: lower bound is not positive (empty graph?)";
+  makespan /. lb

@@ -1,0 +1,39 @@
+(** Makespan lower bounds for moldable PTG scheduling.
+
+    The paper compares schedulers only against each other ("one has
+    usually no measure of how close the current result is to the optimal
+    solution", Section II-C); these classical bounds quantify that gap.
+    Both hold for *every* feasible schedule of the instance, whatever
+    allocations it picks:
+
+    - the critical-path bound: along any dependency path the tasks run
+      one after another, each taking at least its best possible time
+      over all processor counts;
+    - the area bound: each task consumes at least its minimal
+      processor-time area [min_p p * T(v, p)], and only [P] processors
+      exist.
+
+    For non-monotone models the per-task minima need not sit at [p = P]
+    — the tables are scanned in full. *)
+
+val best_time : Common.ctx -> int -> float
+(** [best_time ctx v]: [min over p of T(v, p)]. *)
+
+val best_area : Common.ctx -> int -> float
+(** [best_area ctx v]: [min over p of p * T(v, p)] (for monotone-penalty
+    models this is the sequential area, but not in general). *)
+
+val critical_path_bound : Common.ctx -> float
+(** Longest path under {!best_time}. *)
+
+val area_bound : Common.ctx -> float
+(** [sum_v best_area v / P]. *)
+
+val lower_bound : Common.ctx -> float
+(** [max (critical_path_bound ctx) (area_bound ctx)] — the bound used
+    for the optimality-gap reports. *)
+
+val gap : Common.ctx -> makespan:float -> float
+(** [gap ctx ~makespan] is [makespan /. lower_bound ctx], [>= 1] for any
+    feasible schedule (1 = provably optimal).  Raises
+    [Invalid_argument] on a non-positive bound (empty graph). *)

@@ -1,0 +1,88 @@
+module Graph = Emts_ptg.Graph
+module Analysis = Emts_ptg.Analysis
+
+type ctx = {
+  graph : Graph.t;
+  procs : int;
+  tables : float array array;
+}
+
+let make_ctx ~model ~platform ~graph =
+  {
+    graph;
+    procs = platform.Emts_platform.processors;
+    tables = Emts_model.Memo.tabulate_graph model platform graph;
+  }
+
+let time_of ctx alloc v = ctx.tables.(v).(alloc.(v) - 1)
+
+let times ctx alloc =
+  Array.init (Graph.task_count ctx.graph) (time_of ctx alloc)
+
+let critical_path_length ctx alloc =
+  Analysis.critical_path_length ctx.graph ~time:(time_of ctx alloc)
+
+let average_area ctx alloc =
+  Analysis.average_area ctx.graph ~time:(time_of ctx alloc)
+    ~alloc:(fun v -> alloc.(v))
+    ~procs:ctx.procs
+
+let critical_path ctx alloc =
+  Analysis.critical_path ctx.graph ~time:(time_of ctx alloc)
+
+type gain = Efficiency | Absolute
+
+let gain_value ctx alloc gain v =
+  let s = alloc.(v) in
+  if s >= ctx.procs then neg_infinity
+  else begin
+    let now = ctx.tables.(v).(s - 1) and next = ctx.tables.(v).(s) in
+    match gain with
+    | Efficiency -> (now /. float_of_int s) -. (next /. float_of_int (s + 1))
+    | Absolute -> now -. next
+  end
+
+let growth_loop ?max_iters ~gain ~eligible ctx =
+  let n = Graph.task_count ctx.graph in
+  let alloc = Array.make n 1 in
+  if n = 0 then alloc
+  else begin
+    let cap =
+      match max_iters with
+      | Some m -> m
+      | None -> n * ctx.procs
+    in
+    let rec step iter =
+      if iter >= cap then ()
+      else begin
+        let t_cp = critical_path_length ctx alloc in
+        let t_a = average_area ctx alloc in
+        if t_cp <= t_a then ()
+        else begin
+          (* Best eligible critical-path task; ties by smaller id via
+             the ascending fold with strict improvement. *)
+          let cp = critical_path ctx alloc in
+          let best =
+            List.fold_left
+              (fun acc v ->
+                if not (eligible alloc v) then acc
+                else begin
+                  let g = gain_value ctx alloc gain v in
+                  match acc with
+                  | Some (_, gbest) when gbest >= g -> acc
+                  | _ when g = neg_infinity -> acc
+                  | _ -> Some (v, g)
+                end)
+              None cp
+          in
+          match best with
+          | Some (v, g) when g > 0. ->
+            alloc.(v) <- alloc.(v) + 1;
+            step (iter + 1)
+          | Some _ | None -> ()
+        end
+      end
+    in
+    step 0;
+    alloc
+  end

@@ -1,0 +1,63 @@
+(** Shared machinery of the two-step allocation heuristics.
+
+    All allocators work on a {!ctx}: the PTG plus the tabulated
+    execution time of every task for every feasible processor count.
+    Tabulating once up front keeps each heuristic a pure array
+    computation and lets EMTS reuse the same tables for its fitness
+    loop. *)
+
+type ctx = {
+  graph : Emts_ptg.Graph.t;
+  procs : int;                  (** processors of the target cluster *)
+  tables : float array array;   (** [tables.(v).(p-1)] = time of task [v] on [p] procs *)
+}
+
+val make_ctx :
+  model:Emts_model.t ->
+  platform:Emts_platform.t ->
+  graph:Emts_ptg.Graph.t ->
+  ctx
+(** Tabulates the model over the platform's processor range. *)
+
+val time_of : ctx -> Emts_sched.Allocation.t -> int -> float
+(** [time_of ctx alloc v] is the execution time of [v] under its
+    current allocation. *)
+
+val times : ctx -> Emts_sched.Allocation.t -> float array
+
+val critical_path_length : ctx -> Emts_sched.Allocation.t -> float
+(** [T_CP]: the longest path under the current allocation. *)
+
+val average_area : ctx -> Emts_sched.Allocation.t -> float
+(** [T_A = (1/P) sum_v T(v, s(v)) * s(v)]. *)
+
+val critical_path : ctx -> Emts_sched.Allocation.t -> int list
+(** One critical path under the current allocation (deterministic). *)
+
+(** How CPA-family heuristics score giving one more processor to a
+    critical task (see DESIGN.md on the under-specification in the
+    original papers). *)
+type gain =
+  | Efficiency
+      (** [T(v,s)/s - T(v,s+1)/(s+1)]: work-efficiency improvement —
+          the published CPA criterion. *)
+  | Absolute
+      (** [T(v,s) - T(v,s+1)]: raw critical-path reduction — more
+          aggressive growth; used for our HCPA instantiation. *)
+
+val gain_value : ctx -> Emts_sched.Allocation.t -> gain -> int -> float
+(** Score of adding one processor to task [v]; [neg_infinity] when the
+    task is already at the cluster size. *)
+
+(** CPA-style growth loop shared by CPA, HCPA and MCPA: start from the
+    all-ones allocation and, while [T_CP > T_A], add one processor to
+    the eligible critical-path task with the best positive gain; stop
+    when no eligible task improves.  [eligible alloc v] restricts
+    candidates (MCPA's per-level budget); [max_iters] is a safety cap
+    (default [V * P]). *)
+val growth_loop :
+  ?max_iters:int ->
+  gain:gain ->
+  eligible:(Emts_sched.Allocation.t -> int -> bool) ->
+  ctx ->
+  Emts_sched.Allocation.t

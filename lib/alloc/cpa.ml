@@ -1,0 +1,6 @@
+let name = "CPA"
+
+let allocate ctx =
+  Common.growth_loop ~gain:Common.Efficiency
+    ~eligible:(fun _alloc _v -> true)
+    ctx

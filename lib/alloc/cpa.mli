@@ -1,0 +1,14 @@
+(** CPA — Critical Path and Area-based allocation (Radulescu & van
+    Gemund, ICPP 2001).
+
+    Starting from one processor per task, CPA repeatedly adds a
+    processor to the critical-path task with the best work-efficiency
+    gain [T(v,s)/s - T(v,s+1)/(s+1)], until the critical-path length
+    [T_CP] no longer exceeds the average-area bound [T_A].  Under a
+    non-monotone model the gain can be negative for every candidate, in
+    which case CPA stops early — the behaviour the paper exploits in
+    Section V-B. *)
+
+val allocate : Common.ctx -> Emts_sched.Allocation.t
+
+val name : string

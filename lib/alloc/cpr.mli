@@ -1,0 +1,16 @@
+(** CPR — Critical Path Reduction (Radulescu et al., IPDPS 2001).
+
+    Where CPA grows allocations against the analytic average-area bound,
+    CPR drives the growth with the *actual* list-scheduled makespan: in
+    each step it tentatively gives one more processor to each critical
+    task, keeps the single change that shortens the real schedule most,
+    and stops when no change helps.  CPR therefore produces shorter
+    schedules than CPA at a much higher allocation cost (each step costs
+    one mapping per critical task) — the trade-off the paper's related
+    work section describes.  Implemented here as a strong baseline for
+    the ablation experiments: EMTS should approach or beat CPR's quality
+    while staying cheaper than exhaustive growth on large PTGs. *)
+
+val allocate : Common.ctx -> Emts_sched.Allocation.t
+
+val name : string

@@ -1,0 +1,24 @@
+let name = "DeltaCP"
+
+let allocate ?(delta = 0.9) ctx =
+  if not (0. <= delta && delta <= 1.) then
+    invalid_arg "Delta_critical.allocate: delta must lie in [0, 1]";
+  let graph = ctx.Common.graph in
+  let n = Emts_ptg.Graph.task_count graph in
+  let alloc = Array.make n 1 in
+  if n > 0 then begin
+    let seq_time v = ctx.Common.tables.(v).(0) in
+    let bl = Emts_ptg.Analysis.bottom_levels graph ~time:seq_time in
+    let n_levels = Emts_ptg.Graph.level_count graph in
+    for lv = 0 to n_levels - 1 do
+      let members = Emts_ptg.Graph.nodes_at_level graph lv in
+      let lv_max = List.fold_left (fun acc v -> Float.max acc bl.(v)) 0. members in
+      let critical = List.filter (fun v -> bl.(v) >= delta *. lv_max) members in
+      let c_l = List.length critical in
+      if c_l > 0 then begin
+        let share = max 1 (ctx.Common.procs / c_l) in
+        List.iter (fun v -> alloc.(v) <- share) critical
+      end
+    done
+  end;
+  alloc

@@ -1,0 +1,13 @@
+(** The paper's own seeding heuristic (Section III-B).
+
+    Compute bottom levels assuming one processor per task; within each
+    precedence level, call a task Δ-critical when its bottom level is at
+    least [delta] times the level's maximum.  Share the whole cluster
+    among the [c_l] Δ-critical tasks of level [l] ([P / c_l] processors
+    each, at least 1) and give every other task one processor.  The
+    paper uses [delta = 0.9]. *)
+
+val allocate : ?delta:float -> Common.ctx -> Emts_sched.Allocation.t
+(** Raises [Invalid_argument] unless [0 <= delta <= 1]. *)
+
+val name : string

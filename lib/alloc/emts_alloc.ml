@@ -1,0 +1,43 @@
+(** Two-step allocation heuristics: CPA, HCPA, MCPA, the paper's
+    Δ-critical seeding heuristic, and the sequential baseline.
+
+    All heuristics share the {!Common.ctx} context (graph + tabulated
+    execution times) and return an {!Emts_sched.Allocation.t}. *)
+
+module Common = Common
+module Cpa = Cpa
+module Hcpa = Hcpa
+module Mcpa = Mcpa
+module Cpr = Cpr
+module Delta_critical = Delta_critical
+module Bounds = Bounds
+
+(** The all-ones allocation: every task runs sequentially. *)
+module Sequential = struct
+  let name = "SEQ"
+
+  let allocate ctx =
+    Array.make (Emts_ptg.Graph.task_count ctx.Common.graph) 1
+end
+
+type heuristic = { name : string; allocate : Common.ctx -> Emts_sched.Allocation.t }
+
+(** All built-in heuristics, in presentation order. *)
+let all : heuristic list =
+  [
+    { name = Sequential.name; allocate = Sequential.allocate };
+    { name = Cpa.name; allocate = Cpa.allocate };
+    { name = Hcpa.name; allocate = Hcpa.allocate };
+    { name = Mcpa.name; allocate = Mcpa.allocate };
+    { name = Cpr.name; allocate = Cpr.allocate };
+    { name = Delta_critical.name; allocate = Delta_critical.allocate ?delta:None };
+  ]
+
+(** Case-insensitive lookup in {!all}. *)
+let find name =
+  let lowered = String.lowercase_ascii name in
+  List.find_opt (fun h -> String.lowercase_ascii h.name = lowered) all
+
+(** One-call convenience: tabulate the model and run the heuristic. *)
+let allocate heuristic ~model ~platform ~graph =
+  heuristic.allocate (Common.make_ctx ~model ~platform ~graph)

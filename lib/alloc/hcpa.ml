@@ -1,0 +1,6 @@
+let name = "HCPA"
+
+let allocate ctx =
+  Common.growth_loop ~gain:Common.Absolute
+    ~eligible:(fun _alloc _v -> true)
+    ctx

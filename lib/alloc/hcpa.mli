@@ -1,0 +1,16 @@
+(** HCPA — Heterogeneous CPA (N'Takpe & Suter, ICPADS 2006),
+    instantiated for a single homogeneous cluster.
+
+    HCPA allocates on a *reference cluster* whose processors all have
+    the reference speed; on a homogeneous platform that normalisation is
+    the identity, and what remains of HCPA is CPA's growth loop driven
+    by the raw critical-path reduction [T(v,s) - T(v,s+1)] rather than
+    the efficiency-normalised gain.  This grows critical tasks more
+    aggressively — the over-allocation tendency visible in the paper's
+    Figures 4 and 5, where HCPA trails MCPA on regular PTGs.  See
+    DESIGN.md, "Design decisions", for why this instantiation was
+    chosen. *)
+
+val allocate : Common.ctx -> Emts_sched.Allocation.t
+
+val name : string

@@ -1,0 +1,14 @@
+(** MCPA — Modified CPA (Bansal, Kumar & Singh, Parallel Computing
+    32(10), 2006).
+
+    CPA's growth loop, with the additional constraint that the total
+    allocation of a precedence level never exceeds the cluster size:
+    a critical task may only grow while
+    [sum of allocations at its level < P].  Bounding per-level
+    allocation preserves the task parallelism of wide levels, which is
+    why MCPA is markedly better than HCPA on regular PTGs (FFT,
+    Strassen, layered) in the paper's Figures 4 and 5. *)
+
+val allocate : Common.ctx -> Emts_sched.Allocation.t
+
+val name : string

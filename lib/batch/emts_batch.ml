@@ -1,0 +1,209 @@
+type job = {
+  id : int;
+  submit : float;
+  procs : int;
+  walltime : float;
+  runtime : float;
+}
+
+let job ~id ~submit ~procs ~walltime ~runtime =
+  if id < 0 then invalid_arg "Emts_batch.job: id must be >= 0";
+  if Float.is_nan submit || submit < 0. then
+    invalid_arg "Emts_batch.job: submit must be >= 0";
+  if procs < 1 then invalid_arg "Emts_batch.job: procs must be >= 1";
+  if not (walltime > 0.) then
+    invalid_arg "Emts_batch.job: walltime must be > 0";
+  if Float.is_nan runtime || runtime < 0. then
+    invalid_arg "Emts_batch.job: runtime must be >= 0";
+  { id; submit; procs; walltime; runtime }
+
+type placement = { job : job; start : float; finish : float; killed : bool }
+
+type result = {
+  placements : placement list;
+  makespan : float;
+  utilization : float;
+  mean_wait : float;
+  mean_bounded_slowdown : float;
+}
+
+type running = {
+  rjob : job;
+  rstart : float;
+  actual_finish : float;     (* start + min runtime walltime *)
+  projected_finish : float;  (* start + walltime: what the scheduler knows *)
+}
+
+let validate_input ~procs jobs =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun j ->
+      if j.procs > procs then
+        invalid_arg
+          (Printf.sprintf
+             "Emts_batch: job %d requests %d procs, cluster has %d" j.id
+             j.procs procs);
+      if Hashtbl.mem seen j.id then
+        invalid_arg (Printf.sprintf "Emts_batch: duplicate job id %d" j.id);
+      Hashtbl.add seen j.id ())
+    jobs
+
+(* Earliest time the queue head could start, judged by walltime
+   projections, and the processors spare at that moment. *)
+let shadow_and_extra ~free ~running head =
+  let sorted =
+    List.sort
+      (fun a b -> compare (a.projected_finish, a.rjob.id) (b.projected_finish, b.rjob.id))
+      running
+  in
+  let rec scan free_accum = function
+    | [] ->
+      (* cannot happen when head.procs <= cluster size *)
+      (infinity, max 0 (free_accum - head.procs))
+    | r :: rest ->
+      let free_accum = free_accum + r.rjob.procs in
+      if free_accum >= head.procs then
+        (r.projected_finish, free_accum - head.procs)
+      else scan free_accum rest
+  in
+  scan free sorted
+
+let simulate ~backfill ~procs jobs =
+  validate_input ~procs jobs;
+  let arrivals =
+    List.sort (fun a b -> compare (a.submit, a.id) (b.submit, b.id)) jobs
+  in
+  let pending = ref arrivals in
+  let queue = ref [] (* reversed FIFO: newest first *) in
+  let running = ref [] in
+  let free = ref procs in
+  let placements = ref [] in
+  let start_job now j =
+    let actual_finish = now +. Float.min j.runtime j.walltime in
+    free := !free - j.procs;
+    running :=
+      { rjob = j; rstart = now; actual_finish;
+        projected_finish = now +. j.walltime }
+      :: !running;
+    placements :=
+      { job = j; start = now; finish = actual_finish;
+        killed = j.runtime > j.walltime }
+      :: !placements
+  in
+  (* queue kept in FIFO order as a plain list (oldest first) *)
+  let try_schedule now =
+    let rec go () =
+      match !queue with
+      | [] -> ()
+      | head :: rest ->
+        if head.procs <= !free then begin
+          queue := rest;
+          start_job now head;
+          go ()
+        end
+        else if backfill then begin
+          let shadow, extra = shadow_and_extra ~free:!free ~running:!running head in
+          (* first backfillable job after the head, in queue order *)
+          let rec pick acc = function
+            | [] -> None
+            | j :: tl ->
+              if
+                j.procs <= !free
+                && (now +. j.walltime <= shadow +. 1e-9 || j.procs <= extra)
+              then Some (j, List.rev_append acc tl)
+              else pick (j :: acc) tl
+          in
+          match pick [] rest with
+          | Some (j, rest') ->
+            queue := head :: rest';
+            start_job now j;
+            go ()
+          | None -> ()
+        end
+        else ()
+    in
+    go ()
+  in
+  let next_event () =
+    let arrival = match !pending with [] -> infinity | j :: _ -> j.submit in
+    let completion =
+      List.fold_left
+        (fun acc r -> Float.min acc r.actual_finish)
+        infinity !running
+    in
+    Float.min arrival completion
+  in
+  let now = ref 0. in
+  let continue = ref true in
+  while !continue do
+    let t = next_event () in
+    if t = infinity then continue := false
+    else begin
+      now := t;
+      (* completions at t free their processors *)
+      let done_, still =
+        List.partition (fun r -> r.actual_finish <= t +. 1e-12) !running
+      in
+      List.iter (fun r -> free := !free + r.rjob.procs) done_;
+      running := still;
+      (* arrivals at t join the queue (FIFO) *)
+      let arrived, later =
+        List.partition (fun j -> j.submit <= t +. 1e-12) !pending
+      in
+      pending := later;
+      queue := !queue @ arrived;
+      try_schedule !now
+    end
+  done;
+  let placements =
+    List.sort (fun a b -> compare a.job.id b.job.id) !placements
+  in
+  let makespan =
+    List.fold_left (fun acc p -> Float.max acc p.finish) 0. placements
+  in
+  let busy =
+    List.fold_left
+      (fun acc p -> acc +. ((p.finish -. p.start) *. float_of_int p.job.procs))
+      0. placements
+  in
+  let wait = Emts_stats.Acc.create () in
+  let slowdown = Emts_stats.Acc.create () in
+  List.iter
+    (fun p ->
+      Emts_stats.Acc.add wait (p.start -. p.job.submit);
+      let response = p.finish -. p.job.submit in
+      let run = Float.max 10. (p.finish -. p.start) in
+      Emts_stats.Acc.add slowdown (Float.max 1. (response /. run)))
+    placements;
+  {
+    placements;
+    makespan;
+    utilization =
+      (if makespan > 0. then busy /. (float_of_int procs *. makespan) else 0.);
+    mean_wait = (if placements = [] then 0. else Emts_stats.Acc.mean wait);
+    mean_bounded_slowdown =
+      (if placements = [] then 0. else Emts_stats.Acc.mean slowdown);
+  }
+
+let fcfs ~procs jobs = simulate ~backfill:false ~procs jobs
+let easy_backfilling ~procs jobs = simulate ~backfill:true ~procs jobs
+
+let pp_placement ppf p =
+  Format.fprintf ppf
+    "job %d: submit %.6g, start %.6g, finish %.6g, %d procs%s" p.job.id
+    p.job.submit p.start p.finish p.job.procs
+    (if p.killed then " (killed at walltime)" else "")
+
+let render r =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (Format.asprintf "%a@." pp_placement p))
+    r.placements;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "makespan %.6g s, utilization %.1f%%, mean wait %.6g s, mean bounded \
+        slowdown %.3f\n"
+       r.makespan (100. *. r.utilization) r.mean_wait
+       r.mean_bounded_slowdown);
+  Buffer.contents buf

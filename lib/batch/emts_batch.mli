@@ -1,0 +1,65 @@
+(** Batch-queue (PBS-style) cluster simulator with EASY backfilling.
+
+    The paper's motivating scenario (Section II-A): "to execute a PTG on
+    a cluster, the user first requests a time slot from the local job
+    scheduler (e.g., PBS).  After the application has been granted
+    several processors, the PTG scheduler computes a schedule."  This
+    module is that outer job scheduler, so the repository can also
+    evaluate the *cluster-level* pay-off of better PTG schedules:
+    shorter, more accurate walltime requests backfill better and cut
+    everyone's waiting time (see examples/cluster_workload.ml).
+
+    The model is the classic rigid-job one: a job requests a fixed
+    number of processors and a walltime; the scheduler is FCFS with EASY
+    backfilling (a reservation for the queue head; later jobs may jump
+    the queue iff they cannot delay that reservation).  Jobs whose
+    actual runtime exceeds their walltime are killed at the walltime. *)
+
+type job = {
+  id : int;                  (** unique, >= 0 *)
+  submit : float;            (** submission time, >= 0 *)
+  procs : int;               (** requested processors, >= 1 *)
+  walltime : float;          (** requested walltime, > 0 *)
+  runtime : float;           (** actual runtime, >= 0 *)
+}
+
+val job :
+  id:int -> submit:float -> procs:int -> walltime:float -> runtime:float ->
+  job
+(** Validating constructor. *)
+
+type placement = {
+  job : job;
+  start : float;
+  finish : float;            (** [start + min runtime walltime] *)
+  killed : bool;             (** true iff [runtime > walltime] *)
+}
+
+type result = {
+  placements : placement list;   (** in job-id order *)
+  makespan : float;              (** last finish time *)
+  utilization : float;           (** busy proc-time / (P * makespan) *)
+  mean_wait : float;             (** mean of [start - submit] *)
+  mean_bounded_slowdown : float;
+      (** mean of [max 1 ((finish - submit) / max tau (finish - start))]
+          with [tau = 10] seconds, the customary bound *)
+}
+
+val fcfs : procs:int -> job list -> result
+(** Pure first-come-first-served (no backfilling): jobs start strictly
+    in submission order (ties by id).  Baseline for the backfilling
+    comparison. *)
+
+val easy_backfilling : procs:int -> job list -> result
+(** EASY backfilling: the queue head gets a reservation at the earliest
+    time enough processors free up (by *walltime* estimates); a later
+    job may start immediately iff it fits in the free processors and
+    either finishes (by its walltime) before the reservation or uses
+    only processors the reservation does not need.
+
+    Raises [Invalid_argument] if any job requests more than [procs]
+    processors or ids are not unique. *)
+
+val pp_placement : Format.formatter -> placement -> unit
+val render : result -> string
+(** Summary table: one line per job plus the aggregate metrics. *)

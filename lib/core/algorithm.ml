@@ -1,0 +1,147 @@
+module Common = Emts_alloc.Common
+
+type config = {
+  mu : int;
+  lambda : int;
+  generations : int;
+  mutation : Mutation.params;
+  heuristics : Emts_alloc.heuristic list;
+  domains : int;
+  time_budget : float option;
+  recombination : (Recombination.kind * float) option;
+  selection : Emts_ea.selection;
+  adaptive_sigma : bool;
+  early_reject : bool;
+}
+
+let emts5 =
+  {
+    mu = 5;
+    lambda = 25;
+    generations = 5;
+    mutation = Mutation.default;
+    heuristics = Seeding.default_heuristics;
+    domains = 1;
+    time_budget = None;
+    recombination = None;
+    selection = Emts_ea.Plus;
+    adaptive_sigma = false;
+    early_reject = false;
+  }
+
+let emts10 = { emts5 with mu = 10; lambda = 100; generations = 10 }
+
+let with_domains domains config =
+  if domains < 1 then invalid_arg "Emts.with_domains: domains must be >= 1";
+  { config with domains }
+
+type result = {
+  alloc : Emts_sched.Allocation.t;
+  makespan : float;
+  schedule : Emts_sched.Schedule.t;
+  seeds : Seeding.seed list;
+  ea : Emts_sched.Allocation.t Emts_ea.result;
+}
+
+let schedule_allocation ~ctx alloc =
+  let times =
+    Emts_sched.Allocation.times_of_tables alloc ~tables:ctx.Common.tables
+  in
+  Emts_sched.List_scheduler.run ~graph:ctx.Common.graph ~times ~alloc
+    ~procs:ctx.Common.procs
+
+let run_ctx ?rng ~config ~ctx () =
+  if Emts_ptg.Graph.task_count ctx.Common.graph = 0 then
+    invalid_arg "Emts.run: empty graph";
+  if config.selection = Emts_ea.Comma && config.early_reject then
+    invalid_arg
+      "Emts.run: early_reject requires Plus selection (rejected offspring \
+       could survive under Comma)";
+  let rng = match rng with Some r -> r | None -> Emts_prng.create () in
+  let seeds = Seeding.collect ~heuristics:config.heuristics ctx in
+  (* Early rejection (paper conclusion): the cutoff is the WORST
+     fitness among the previous generation's survivors — an offspring
+     scoring strictly above it can never enter the population (the mu
+     parents themselves outrank it, and ties favour the older
+     individual), so rejection cannot change any outcome.  The cutoff is
+     refreshed between generations only, so parallel evaluation stays
+     deterministic. *)
+  let cutoff = ref infinity in
+  let fitness alloc =
+    let times =
+      Emts_sched.Allocation.times_of_tables alloc ~tables:ctx.Common.tables
+    in
+    if config.early_reject then
+      match
+        Emts_sched.List_scheduler.makespan_bounded ~graph:ctx.Common.graph
+          ~times ~alloc ~procs:ctx.Common.procs ~cutoff:!cutoff
+      with
+      | Some m -> m
+      | None -> infinity
+    else
+      Emts_sched.List_scheduler.makespan ~graph:ctx.Common.graph ~times
+        ~alloc ~procs:ctx.Common.procs
+  in
+  (* 1/5-rule step-size adaptation (optional): scale both sigmas by a
+     factor updated from the fraction of fresh survivors. *)
+  let sigma_scale = ref 1. in
+  let mutate rng ~generation ~total_generations genome =
+    let params =
+      if config.adaptive_sigma then
+        {
+          config.mutation with
+          Mutation.sigma_shrink =
+            config.mutation.Mutation.sigma_shrink *. !sigma_scale;
+          sigma_stretch =
+            config.mutation.Mutation.sigma_stretch *. !sigma_scale;
+        }
+      else config.mutation
+    in
+    Mutation.mutate rng params ~procs:ctx.Common.procs ~generation
+      ~total_generations genome
+  in
+  let recombine =
+    match config.recombination with
+    | None -> None
+    | Some (kind, _) ->
+      let levels = Emts_ptg.Graph.precedence_level ctx.Common.graph in
+      Some (fun rng a b -> Recombination.apply kind ~levels rng a b)
+  in
+  let crossover_rate =
+    match config.recombination with Some (_, rate) -> rate | None -> 0.
+  in
+  let ea_config =
+    Emts_ea.config ?time_budget:config.time_budget ~domains:config.domains
+      ~selection:config.selection ~mu:config.mu ~lambda:config.lambda
+      ~generations:config.generations ()
+  in
+  let ea =
+    Emts_ea.run ~rng ~config:ea_config
+      ~on_generation:(fun stats ->
+        cutoff := stats.Emts_ea.worst;
+        if config.adaptive_sigma && stats.Emts_ea.generation >= 1 then begin
+          let success =
+            float_of_int stats.Emts_ea.fresh_survivors
+            /. float_of_int config.mu
+          in
+          let scaled =
+            if success > 0.2 then !sigma_scale *. 1.22
+            else !sigma_scale /. 1.22
+          in
+          sigma_scale := Float.max 0.1 (Float.min 10. scaled)
+        end)
+      ~seeds:(List.map (fun (s : Seeding.seed) -> s.alloc) seeds)
+      { fitness; mutate; recombine; crossover_rate }
+  in
+  let schedule = schedule_allocation ~ctx ea.Emts_ea.best in
+  {
+    alloc = ea.Emts_ea.best;
+    makespan = ea.Emts_ea.best_fitness;
+    schedule;
+    seeds;
+    ea;
+  }
+
+let run ?rng ~config ~model ~platform ~graph () =
+  let ctx = Common.make_ctx ~model ~platform ~graph in
+  run_ctx ?rng ~config ~ctx ()

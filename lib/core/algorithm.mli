@@ -1,0 +1,91 @@
+(** EMTS — Evolutionary Moldable Task Scheduling (paper Section III).
+
+    EMTS is a two-step scheduler: a (μ+λ) evolution strategy searches
+    the space of allocation vectors (seeded by fast heuristics), and
+    every candidate is mapped with the bottom-level list scheduler whose
+    makespan is the individual's fitness.  Because candidates only ever
+    consult the tabulated execution times, EMTS works with any
+    execution-time model — monotone or not. *)
+
+type config = {
+  mu : int;                        (** parents, μ *)
+  lambda : int;                    (** offspring per generation, λ *)
+  generations : int;               (** U *)
+  mutation : Mutation.params;
+  heuristics : Emts_alloc.heuristic list;  (** seed providers *)
+  domains : int;                   (** fitness worker domains *)
+  time_budget : float option;      (** optional wall-clock cap, seconds *)
+  recombination : (Recombination.kind * float) option;
+      (** optional crossover (operator, per-offspring rate); [None] is
+          the paper's mutation-only strategy.  See {!Recombination}. *)
+  selection : Emts_ea.selection;
+      (** survivor selection; the paper's choice (and default) is the
+          elitist [Plus] strategy.  [Comma] exists for the selection
+          ablation and is incompatible with [early_reject] (the
+          rejection proof relies on parents surviving) — {!run} raises
+          [Invalid_argument] on that combination. *)
+  adaptive_sigma : bool;
+      (** Rechenberg's 1/5 success rule applied to the mutation sigmas
+          (the "different evolutionary methods" the paper's conclusion
+          proposes comparing): after each generation, if more than 1/5
+          of the survivors are freshly created the step size grows
+          (x1.22), otherwise it shrinks (/1.22), clamped to
+          [0.1x, 10x] of the configured sigmas.  Default [false] — the
+          paper's fixed-sigma operator. *)
+  early_reject : bool;
+      (** the rejection strategy from the paper's conclusion: abandon a
+          fitness evaluation as soon as the partial schedule exceeds the
+          worst surviving makespan of the previous generation.  Pure
+          optimisation — the selected survivors are provably unchanged
+          (a rejected individual scores above every current parent and
+          ties break toward the older individual, so it could never
+          have been selected); property-tested in [test_emts]. *)
+}
+
+val emts5 : config
+(** The paper's EMTS5: a (5+25)-EA over 5 generations (125 offspring
+    evaluations), default mutation, default seeds, sequential. *)
+
+val emts10 : config
+(** The paper's EMTS10: a (10+100)-EA over 10 generations (1000
+    offspring evaluations). *)
+
+val with_domains : int -> config -> config
+(** Enable parallel fitness evaluation (identical results). *)
+
+type result = {
+  alloc : Emts_sched.Allocation.t;   (** best allocation found *)
+  makespan : float;                  (** its list-scheduled makespan *)
+  schedule : Emts_sched.Schedule.t;  (** the realised schedule *)
+  seeds : Seeding.seed list;         (** heuristic starting solutions *)
+  ea : Emts_sched.Allocation.t Emts_ea.result;  (** full EA trace *)
+}
+
+val run :
+  ?rng:Emts_prng.t ->
+  config:config ->
+  model:Emts_model.t ->
+  platform:Emts_platform.t ->
+  graph:Emts_ptg.Graph.t ->
+  unit ->
+  result
+(** Runs EMTS.  [rng] defaults to a fresh default-seeded generator (the
+    paper uses one fixed seed for all experiments).  The result's
+    makespan never exceeds the best seed's makespan: seeds join the
+    initial population and selection is elitist.  Raises
+    [Invalid_argument] on an empty graph. *)
+
+val run_ctx :
+  ?rng:Emts_prng.t ->
+  config:config ->
+  ctx:Emts_alloc.Common.ctx ->
+  unit ->
+  result
+(** Same, reusing an existing tabulated context (campaign fast path). *)
+
+val schedule_allocation :
+  ctx:Emts_alloc.Common.ctx ->
+  Emts_sched.Allocation.t ->
+  Emts_sched.Schedule.t
+(** Maps any allocation with the EMTS list scheduler — the deterministic
+    second step shared by all compared algorithms. *)

@@ -1,0 +1,15 @@
+(** EMTS — Evolutionary Moldable Task Scheduling.
+
+    Entry point of the library: {!Algorithm} holds the scheduler
+    ({!Algorithm.run}, presets {!Algorithm.emts5} / {!Algorithm.emts10}),
+    {!Mutation} the evolutionary operator, {!Seeding} the heuristic
+    starting solutions.  The submodules are re-exported flat for
+    convenience. *)
+
+module Mutation = Mutation
+module Recombination = Recombination
+module Seeding = Seeding
+module Algorithm = Algorithm
+
+(* Flat aliases: [Emts.run], [Emts.emts5], ... *)
+include Algorithm

@@ -1,0 +1,29 @@
+type kind = Uniform | One_point | Level_aware
+
+let kind_to_string = function
+  | Uniform -> "uniform"
+  | One_point -> "one-point"
+  | Level_aware -> "level-aware"
+
+let check a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Recombination.apply: parents of different lengths";
+  if Array.length a = 0 then invalid_arg "Recombination.apply: empty parents"
+
+let apply kind ~levels rng a b =
+  check a b;
+  let n = Array.length a in
+  match kind with
+  | Uniform ->
+    Array.init n (fun i -> if Emts_prng.bool rng then a.(i) else b.(i))
+  | One_point ->
+    let point = Emts_prng.int_in rng 1 (max 1 (n - 1)) in
+    Array.init n (fun i -> if i < point then a.(i) else b.(i))
+  | Level_aware ->
+    if Array.length levels <> n then
+      invalid_arg "Recombination.apply: levels length mismatch";
+    let n_levels =
+      Array.fold_left (fun acc lv -> max acc (lv + 1)) 1 levels
+    in
+    let from_a = Array.init n_levels (fun _ -> Emts_prng.bool rng) in
+    Array.init n (fun i -> if from_a.(levels.(i)) then a.(i) else b.(i))

@@ -1,0 +1,31 @@
+(** Recombination operators for allocation vectors.
+
+    The paper deliberately ships EMTS as mutation-only (Section III-C:
+    crossover on random individuals rarely helps because alleles encode
+    allocations of *dependent* tasks) but flags tailored recombination
+    as possible future tuning.  These operators exist to test that claim
+    — the ablation experiment compares mutation-only EMTS against EMTS
+    with each of them (see [Emts_experiments.Ablation]). *)
+
+type kind =
+  | Uniform    (** each allele from either parent with probability 1/2 *)
+  | One_point  (** prefix from one parent, suffix from the other *)
+  | Level_aware
+      (** swap whole precedence levels between parents: allocations of
+          tasks in the same level travel together, the "specially
+          tailored" variant the paper hints at.  Requires the graph's
+          level array. *)
+
+val kind_to_string : kind -> string
+
+val apply :
+  kind ->
+  levels:int array ->
+  Emts_prng.t ->
+  int array ->
+  int array ->
+  int array
+(** [apply kind ~levels rng a b] produces one child.  [a] and [b] must
+    have equal length; [levels] is the per-task precedence level (only
+    consulted by [Level_aware]; pass [[||]]-safe arrays of the same
+    length).  Parents are not modified. *)

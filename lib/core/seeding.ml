@@ -1,0 +1,37 @@
+let default_heuristics =
+  let find name =
+    match Emts_alloc.find name with
+    | Some h -> h
+    | None -> assert false
+  in
+  [ find "MCPA"; find "HCPA"; find "DeltaCP"; find "SEQ" ]
+
+type seed = {
+  heuristic : string;
+  alloc : Emts_sched.Allocation.t;
+  makespan : float;
+}
+
+let collect ~heuristics ctx =
+  if heuristics = [] then
+    invalid_arg "Seeding.collect: heuristics must be non-empty";
+  List.map
+    (fun (h : Emts_alloc.heuristic) ->
+      let alloc = h.allocate ctx in
+      let times =
+        Emts_sched.Allocation.times_of_tables alloc
+          ~tables:ctx.Emts_alloc.Common.tables
+      in
+      let makespan =
+        Emts_sched.List_scheduler.makespan ~graph:ctx.Emts_alloc.Common.graph
+          ~times ~alloc ~procs:ctx.Emts_alloc.Common.procs
+      in
+      { heuristic = h.name; alloc; makespan })
+    heuristics
+
+let best = function
+  | [] -> invalid_arg "Seeding.best: empty seed list"
+  | first :: rest ->
+    List.fold_left
+      (fun acc s -> if s.makespan < acc.makespan then s else acc)
+      first rest

@@ -1,0 +1,28 @@
+(** Starting solutions for the EA (paper Section III-B).
+
+    EMTS does not start from random allocations: it encodes the results
+    of fast heuristics as the initial individuals.  The paper uses
+    MCPA's and HCPA's allocation functions plus its own Δ-critical
+    heuristic; we add the sequential baseline as a cheap diversity
+    anchor (it is also the all-ones allocation CPA-family heuristics
+    grow from). *)
+
+val default_heuristics : Emts_alloc.heuristic list
+(** [MCPA; HCPA; DeltaCP; SEQ], in that order. *)
+
+type seed = {
+  heuristic : string;                  (** provenance label *)
+  alloc : Emts_sched.Allocation.t;
+  makespan : float;                    (** under the EMTS list scheduler *)
+}
+
+val collect :
+  heuristics:Emts_alloc.heuristic list ->
+  Emts_alloc.Common.ctx ->
+  seed list
+(** Runs each heuristic on the context and list-schedules its
+    allocation; order follows [heuristics].  Raises [Invalid_argument]
+    when [heuristics] is empty. *)
+
+val best : seed list -> seed
+(** Smallest makespan (first on ties). *)

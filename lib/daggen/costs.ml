@@ -1,0 +1,63 @@
+module Task = Emts_ptg.Task
+module Graph = Emts_ptg.Graph
+
+type spec = {
+  d_min : float;
+  d_max : float;
+  a_min : float;
+  a_max : float;
+  alpha_min : float;
+  alpha_max : float;
+  patterns : Task.pattern array;
+}
+
+let default =
+  {
+    d_min = 1e6;
+    d_max = Task.max_data_size;
+    a_min = 2. ** 6.;
+    a_max = 2. ** 9.;
+    alpha_min = 0.;
+    alpha_max = 0.25;
+    patterns = [| Task.Stencil; Task.Sort; Task.Matmul |];
+  }
+
+let validate spec =
+  if not (0. < spec.d_min && spec.d_min <= spec.d_max) then
+    invalid_arg "Costs.assign: need 0 < d_min <= d_max";
+  if not (0. < spec.a_min && spec.a_min <= spec.a_max) then
+    invalid_arg "Costs.assign: need 0 < a_min <= a_max";
+  if
+    not
+      (0. <= spec.alpha_min
+      && spec.alpha_min <= spec.alpha_max
+      && spec.alpha_max <= 1.)
+  then invalid_arg "Costs.assign: need 0 <= alpha_min <= alpha_max <= 1";
+  if Array.length spec.patterns = 0 then
+    invalid_arg "Costs.assign: patterns must be non-empty"
+
+let uniform_or_point rng lo hi =
+  if lo = hi then lo else Emts_prng.float_in rng lo hi
+
+let assign ?(spec = default) rng g =
+  validate spec;
+  Graph.map_tasks
+    (fun task ->
+      let d = uniform_or_point rng spec.d_min spec.d_max in
+      let a = uniform_or_point rng spec.a_min spec.a_max in
+      let alpha = uniform_or_point rng spec.alpha_min spec.alpha_max in
+      let pattern = Emts_prng.choose rng spec.patterns in
+      let flop = Task.flop_of_pattern pattern ~a ~d in
+      Task.make ~name:task.Task.name ~data_size:d ~alpha ~pattern
+        ~id:task.Task.id ~flop ())
+    g
+
+let assign_alpha_only ?(alpha_min = 0.) ?(alpha_max = 0.25) rng g =
+  if not (0. <= alpha_min && alpha_min <= alpha_max && alpha_max <= 1.) then
+    invalid_arg "Costs.assign_alpha_only: bad alpha range";
+  Graph.map_tasks
+    (fun task ->
+      let alpha = uniform_or_point rng alpha_min alpha_max in
+      Task.make ~name:task.Task.name ~data_size:task.Task.data_size ~alpha
+        ~pattern:task.Task.pattern ~id:task.Task.id ~flop:task.Task.flop ())
+    g

@@ -1,0 +1,39 @@
+(** Random task-cost assignment (paper Section IV-C, "Choosing Task
+    Complexities").
+
+    Each task operates on a dataset of [d] doubles, [d <= 125e6] (1 GB
+    of 8-byte values per processor).  Its FLOP count follows one of
+    three computational patterns — [a*d] (stencil), [a*d*log2 d]
+    (sorting), [d^1.5] (matrix multiplication) — with the iteration
+    factor [a] drawn between 2^6 and 2^9, and its non-parallelisable
+    fraction [alpha] is uniform in [0, 0.25] ("very scalable tasks"). *)
+
+type spec = {
+  d_min : float;       (** lower bound for [d]; default [1e6] *)
+  d_max : float;       (** upper bound; default [Task.max_data_size] *)
+  a_min : float;       (** default [2.^6.] *)
+  a_max : float;       (** default [2.^9.] *)
+  alpha_min : float;   (** default [0.] *)
+  alpha_max : float;   (** default [0.25] *)
+  patterns : Emts_ptg.Task.pattern array;
+      (** drawn uniformly; default [Stencil, Sort, Matmul] *)
+}
+
+val default : spec
+(** The paper's parameters.  The lower bound of [d] is not given in the
+    paper; [1e6] keeps the three patterns within a few orders of
+    magnitude of each other, as the reported run times suggest. *)
+
+val assign : ?spec:spec -> Emts_prng.t -> Emts_ptg.Graph.t -> Emts_ptg.Graph.t
+(** [assign rng g] re-draws [d], the pattern, [a] and [alpha] for every
+    task of [g], recomputing [flop] from the pattern; the structure is
+    unchanged.  Deterministic given the generator state. *)
+
+val assign_alpha_only :
+  ?alpha_min:float ->
+  ?alpha_max:float ->
+  Emts_prng.t ->
+  Emts_ptg.Graph.t ->
+  Emts_ptg.Graph.t
+(** Keep existing FLOP costs (e.g. Strassen's structural weights) and
+    only randomise each task's [alpha]. *)

@@ -1,0 +1,8 @@
+(** PTG generators: FFT and Strassen application graphs, DAGGEN-style
+    random graphs, elementary shapes, and random cost assignment. *)
+
+module Shapes = Shapes
+module Fft = Fft
+module Strassen = Strassen
+module Random_dag = Random_dag
+module Costs = Costs

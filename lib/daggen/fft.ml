@@ -1,0 +1,57 @@
+module Graph = Emts_ptg.Graph
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m / 2) in
+  go 0 n
+
+let task_count ~points =
+  if points < 2 || not (is_power_of_two points) then
+    invalid_arg "Fft.task_count: points must be a power of two >= 2";
+  (2 * points) - 1 + (points * log2_exact points)
+
+let generate ~points =
+  if points < 2 || not (is_power_of_two points) then
+    invalid_arg "Fft.generate: points must be a power of two >= 2";
+  let m = log2_exact points in
+  let b = Graph.Builder.create () in
+  (* Splitting tree: level 0 is the root, level k holds 2^k nodes; the
+     children of tree node (k, i) are (k+1, 2i) and (k+1, 2i+1). *)
+  let tree = Array.make (m + 1) [||] in
+  for k = 0 to m do
+    tree.(k) <-
+      Array.init (1 lsl k) (fun i ->
+          Graph.Builder.add_task ~name:(Printf.sprintf "split_%d_%d" k i)
+            ~flop:1. b)
+  done;
+  for k = 0 to m - 1 do
+    Array.iteri
+      (fun i v ->
+        Graph.Builder.add_edge b ~src:v ~dst:tree.(k + 1).(2 * i);
+        Graph.Builder.add_edge b ~src:v ~dst:tree.(k + 1).((2 * i) + 1))
+      tree.(k)
+  done;
+  (* Butterfly stages: stage s in 1..m has [points] tasks; task (s, i)
+     combines (s-1, i) and its partner (s-1, i xor 2^(s-1)).  Stage 0 is
+     the leaf row of the splitting tree. *)
+  let prev = ref tree.(m) in
+  for s = 1 to m do
+    let stage =
+      Array.init points (fun i ->
+          Graph.Builder.add_task ~name:(Printf.sprintf "bfly_%d_%d" s i)
+            ~flop:1. b)
+    in
+    let span = 1 lsl (s - 1) in
+    Array.iteri
+      (fun i v ->
+        Graph.Builder.add_edge b ~src:(!prev).(i) ~dst:v;
+        Graph.Builder.add_edge b ~src:(!prev).(i lxor span) ~dst:v)
+      stage;
+    prev := stage
+  done;
+  let g = Graph.Builder.build b in
+  assert (Graph.task_count g = task_count ~points);
+  g
+
+let paper_sizes = [ 2; 4; 8; 16 ]

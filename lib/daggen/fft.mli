@@ -1,0 +1,19 @@
+(** FFT parallel task graphs (paper Section IV-C; Cormen et al., Hall et
+    al.).
+
+    The graph for an FFT over [points = 2^m] inputs consists of a binary
+    recursive-splitting tree ([2*points - 1] tasks) feeding [m] butterfly
+    layers of [points] tasks each, for a total of
+    [2*points - 1 + points * log2 points] tasks.  The paper's FFT PTGs
+    with "2, 4, 8, and 16 levels" are exactly [points = 2, 4, 8, 16],
+    yielding 5, 15, 39 and 95 tasks. *)
+
+val generate : points:int -> Emts_ptg.Graph.t
+(** [generate ~points] builds the FFT PTG structure (all costs [1.]).
+    Raises [Invalid_argument] unless [points] is a power of two, [>= 2]. *)
+
+val task_count : points:int -> int
+(** Closed-form size: [2*points - 1 + points * log2 points]. *)
+
+val paper_sizes : int list
+(** The four instances used in the paper: [[2; 4; 8; 16]]. *)

@@ -1,0 +1,96 @@
+module Graph = Emts_ptg.Graph
+
+type params = {
+  n : int;
+  width : float;
+  regularity : float;
+  density : float;
+  jump : int;
+}
+
+let validate p =
+  if p.n < 1 then Error "n must be >= 1"
+  else if not (0. < p.width && p.width <= 1.) then
+    Error "width must lie in ]0, 1]"
+  else if not (0. <= p.regularity && p.regularity <= 1.) then
+    Error "regularity must lie in [0, 1]"
+  else if not (0. <= p.density && p.density <= 1.) then
+    Error "density must lie in [0, 1]"
+  else if p.jump < 0 then Error "jump must be >= 0"
+  else Ok p
+
+(* Split n tasks into levels whose sizes are drawn uniformly from
+   [mean*(regularity), mean*(2 - regularity)], mean = n**width, with at
+   least one task per level; the final level is truncated to hit n
+   exactly. *)
+let draw_level_sizes rng p =
+  let mean = Float.max 1. (float_of_int p.n ** p.width) in
+  let lo = Float.max 1. (mean *. p.regularity) in
+  let hi = Float.max lo (mean *. (2. -. p.regularity)) in
+  let sizes = ref [] and placed = ref 0 in
+  while !placed < p.n do
+    let drawn =
+      int_of_float (Float.round (Emts_prng.float_in rng lo (hi +. 1e-9)))
+    in
+    let size = max 1 (min drawn (p.n - !placed)) in
+    sizes := size :: !sizes;
+    placed := !placed + size
+  done;
+  List.rev !sizes
+
+let generate rng p =
+  (match validate p with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Random_dag.generate: " ^ msg));
+  let b = Graph.Builder.create () in
+  let levels =
+    List.map
+      (fun size ->
+        Array.init size (fun _ -> Graph.Builder.add_task ~flop:1. b))
+      (draw_level_sizes rng p)
+  in
+  let levels = Array.of_list levels in
+  let n_levels = Array.length levels in
+  for lv = 1 to n_levels - 1 do
+    Array.iter
+      (fun v ->
+        (* anchor parent keeps the computed precedence level equal to lv *)
+        let anchor = Emts_prng.choose rng levels.(lv - 1) in
+        Graph.Builder.add_edge b ~src:anchor ~dst:v;
+        (* extra edges from levels lv-1-jump .. lv-1, each with
+           probability density *)
+        let lowest = max 0 (lv - 1 - p.jump) in
+        for src_lv = lowest to lv - 1 do
+          Array.iter
+            (fun u ->
+              if u <> anchor && Emts_prng.bernoulli rng ~p:p.density then
+                Graph.Builder.add_edge b ~src:u ~dst:v)
+            levels.(src_lv)
+        done)
+      levels.(lv)
+  done;
+  Graph.Builder.build b
+
+let grid ~jumps =
+  let idx = ref 0 in
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun width ->
+          List.concat_map
+            (fun regularity ->
+              List.concat_map
+                (fun density ->
+                  List.map
+                    (fun jump ->
+                      let i = !idx in
+                      incr idx;
+                      (i, { n; width; regularity; density; jump }))
+                    jumps)
+                [ 0.2; 0.8 ])
+            [ 0.2; 0.8 ])
+        [ 0.2; 0.5; 0.8 ])
+    [ 20; 50; 100 ]
+
+let paper_layered = grid ~jumps:[ 0 ]
+let paper_irregular = grid ~jumps:[ 1; 2; 4 ]

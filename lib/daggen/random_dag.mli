@@ -1,0 +1,47 @@
+(** DAGGEN-style random PTG generator (paper Section IV-C; Suter's
+    DAGGEN tool [24]).
+
+    Four shape parameters control the graph:
+
+    - [width] in ]0, 1]: task parallelism.  The mean number of tasks per
+      precedence level is [n ** width]; small values give chains, large
+      values fork-join-like graphs.
+    - [regularity] in [0, 1]: uniformity of the per-level task count.
+      1 makes all levels the same size; towards 0 the size fluctuates by
+      up to ±(1 - regularity) of the mean.
+    - [density] in [0, 1]: probability of adding each eligible extra
+      edge beyond the spanning parent that anchors every task to the
+      previous level.
+    - [jump] >= 0: how many levels beyond the adjacent one an edge may
+      skip.  [jump = 0] gives a *layered* graph (edges only between
+      adjacent levels, the paper's layered class); [jump > 0] gives
+      *irregular* graphs.
+
+    Every non-source task receives at least one parent in the
+    immediately preceding level, so the declared layering equals the
+    computed precedence levels; the generated graph is always acyclic by
+    construction (edges point from lower to higher levels only). *)
+
+type params = {
+  n : int;           (** number of tasks, [>= 1] *)
+  width : float;     (** in ]0, 1] *)
+  regularity : float;(** in [0, 1] *)
+  density : float;   (** in [0, 1] *)
+  jump : int;        (** [>= 0]; 0 = layered *)
+}
+
+val validate : params -> (params, string) result
+
+val generate : Emts_prng.t -> params -> Emts_ptg.Graph.t
+(** [generate rng p] draws a random structure (all costs [1.]; apply
+    {!Costs.assign}).  Raises [Invalid_argument] when
+    [validate p = Error _]. *)
+
+val paper_layered : (int * params) list
+(** The paper's layered campaign grid: n in {20, 50, 100} x width in
+    {0.2, 0.5, 0.8} x regularity in {0.2, 0.8} x density in {0.2, 0.8},
+    jump = 0 — 36 combinations, keyed by an index. *)
+
+val paper_irregular : (int * params) list
+(** The irregular grid: same, with jump in {1, 2, 4} — 108
+    combinations. *)

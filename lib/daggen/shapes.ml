@@ -1,0 +1,63 @@
+module Graph = Emts_ptg.Graph
+
+let require_positive name n =
+  if n < 1 then invalid_arg (Printf.sprintf "Shapes.%s: size must be >= 1" name)
+
+let chain n =
+  require_positive "chain" n;
+  let b = Graph.Builder.create () in
+  let ids = Array.init n (fun _ -> Graph.Builder.add_task ~flop:1. b) in
+  for i = 0 to n - 2 do
+    Graph.Builder.add_edge b ~src:ids.(i) ~dst:ids.(i + 1)
+  done;
+  Graph.Builder.build b
+
+let fork_join w =
+  require_positive "fork_join" w;
+  let b = Graph.Builder.create () in
+  let source = Graph.Builder.add_task ~name:"source" ~flop:1. b in
+  let middle = Array.init w (fun _ -> Graph.Builder.add_task ~flop:1. b) in
+  let sink = Graph.Builder.add_task ~name:"sink" ~flop:1. b in
+  Array.iter
+    (fun v ->
+      Graph.Builder.add_edge b ~src:source ~dst:v;
+      Graph.Builder.add_edge b ~src:v ~dst:sink)
+    middle;
+  Graph.Builder.build b
+
+let diamond w =
+  require_positive "diamond" w;
+  let b = Graph.Builder.create () in
+  let source = Graph.Builder.add_task ~name:"source" ~flop:1. b in
+  let upper = Array.init w (fun _ -> Graph.Builder.add_task ~flop:1. b) in
+  let lower = Array.init w (fun _ -> Graph.Builder.add_task ~flop:1. b) in
+  let sink = Graph.Builder.add_task ~name:"sink" ~flop:1. b in
+  Array.iter (fun v -> Graph.Builder.add_edge b ~src:source ~dst:v) upper;
+  Array.iter
+    (fun u -> Array.iter (fun v -> Graph.Builder.add_edge b ~src:u ~dst:v) lower)
+    upper;
+  Array.iter (fun v -> Graph.Builder.add_edge b ~src:v ~dst:sink) lower;
+  Graph.Builder.build b
+
+let independent n =
+  require_positive "independent" n;
+  let b = Graph.Builder.create () in
+  for _ = 1 to n do
+    ignore (Graph.Builder.add_task ~flop:1. b)
+  done;
+  Graph.Builder.build b
+
+let layered_mesh ~layers ~width =
+  require_positive "layered_mesh(layers)" layers;
+  require_positive "layered_mesh(width)" width;
+  let b = Graph.Builder.create () in
+  let prev = ref [||] in
+  for _ = 1 to layers do
+    let layer = Array.init width (fun _ -> Graph.Builder.add_task ~flop:1. b) in
+    Array.iter
+      (fun u ->
+        Array.iter (fun v -> Graph.Builder.add_edge b ~src:u ~dst:v) layer)
+      !prev;
+    prev := layer
+  done;
+  Graph.Builder.build b

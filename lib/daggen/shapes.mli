@@ -1,0 +1,25 @@
+(** Elementary PTG shapes, used in tests, examples and documentation.
+
+    All generators produce structure only: every task gets [flop = 1.]
+    and default metadata; apply {!Costs.assign} (or build tasks by hand)
+    to obtain weighted instances. *)
+
+val chain : int -> Emts_ptg.Graph.t
+(** [chain n] is [t0 -> t1 -> ... -> t(n-1)].  Requires [n >= 1]. *)
+
+val fork_join : int -> Emts_ptg.Graph.t
+(** [fork_join w] is a source, [w] parallel tasks, and a sink
+    ([w + 2] tasks).  Requires [w >= 1]. *)
+
+val diamond : int -> Emts_ptg.Graph.t
+(** [diamond w] is a source, two successive layers of [w] fully
+    connected tasks, and a sink.  Requires [w >= 1]. *)
+
+val independent : int -> Emts_ptg.Graph.t
+(** [independent n] is [n] tasks with no edges (a bag of tasks).
+    Requires [n >= 1]. *)
+
+val layered_mesh : layers:int -> width:int -> Emts_ptg.Graph.t
+(** [layered_mesh ~layers ~width] has [layers] levels of [width] tasks,
+    each task depending on every task of the previous level.  Requires
+    both [>= 1]. *)

@@ -1,0 +1,66 @@
+module Graph = Emts_ptg.Graph
+
+let task_count = 23
+
+(* The ten operand-preparation additions of classic Strassen, and which
+   products consume them.  Quadrant operands not listed below come
+   straight from the split task. *)
+let build ~cost_split ~cost_add ~cost_mul ~cost_combine ~cost_assemble
+    ~data_size ~alpha =
+  let b = Graph.Builder.create () in
+  let add name flop = Graph.Builder.add_task ~name ~data_size ~alpha ~flop b in
+  let split = add "split" cost_split in
+  let sum name = add name cost_add in
+  let sa1 = sum "SA1" and sb1 = sum "SB1" in
+  let sa2 = sum "SA2" in
+  let sb3 = sum "SB3" in
+  let sb4 = sum "SB4" in
+  let sa5 = sum "SA5" in
+  let sa6 = sum "SA6" and sb6 = sum "SB6" in
+  let sa7 = sum "SA7" and sb7 = sum "SB7" in
+  let sums = [ sa1; sb1; sa2; sb3; sb4; sa5; sa6; sb6; sa7; sb7 ] in
+  List.iter (fun s -> Graph.Builder.add_edge b ~src:split ~dst:s) sums;
+  let mul name = add name cost_mul in
+  let m1 = mul "M1" and m2 = mul "M2" and m3 = mul "M3" and m4 = mul "M4" in
+  let m5 = mul "M5" and m6 = mul "M6" and m7 = mul "M7" in
+  (* operand dependencies; raw-quadrant operands depend on split *)
+  List.iter
+    (fun (src, dst) -> Graph.Builder.add_edge b ~src ~dst)
+    [
+      (sa1, m1); (sb1, m1);
+      (sa2, m2); (split, m2);
+      (split, m3); (sb3, m3);
+      (split, m4); (sb4, m4);
+      (sa5, m5); (split, m5);
+      (sa6, m6); (sb6, m6);
+      (sa7, m7); (sb7, m7);
+    ];
+  let combine name = add name cost_combine in
+  let c11 = combine "C11" and c12 = combine "C12" in
+  let c21 = combine "C21" and c22 = combine "C22" in
+  List.iter
+    (fun (src, dst) -> Graph.Builder.add_edge b ~src ~dst)
+    [
+      (m1, c11); (m4, c11); (m5, c11); (m7, c11);
+      (m3, c12); (m5, c12);
+      (m2, c21); (m4, c21);
+      (m1, c22); (m2, c22); (m3, c22); (m6, c22);
+    ];
+  let assemble = add "assemble" cost_assemble in
+  List.iter
+    (fun c -> Graph.Builder.add_edge b ~src:c ~dst:assemble)
+    [ c11; c12; c21; c22 ];
+  let g = Graph.Builder.build b in
+  assert (Graph.task_count g = task_count);
+  g
+
+let generate () =
+  build ~cost_split:1. ~cost_add:1. ~cost_mul:1. ~cost_combine:1.
+    ~cost_assemble:1. ~data_size:0. ~alpha:0.
+
+let weighted ~d =
+  if not (0. < d && d <= Emts_ptg.Task.max_data_size) then
+    invalid_arg "Strassen.weighted: d out of range";
+  let quadrant = d /. 4. in
+  build ~cost_split:d ~cost_add:quadrant ~cost_mul:(quadrant ** 1.5)
+    ~cost_combine:quadrant ~cost_assemble:d ~data_size:quadrant ~alpha:0.

@@ -1,0 +1,30 @@
+(** Strassen matrix-multiplication parallel task graph (paper Section
+    IV-C; Hall et al.).
+
+    One level of Strassen's recursion, as a PTG of 23 tasks:
+
+    - a [split] source that partitions A and B into quadrants;
+    - 10 addition tasks forming the operand sums/differences
+      (SA1=A11+A22, SB1=B11+B22, SA2=A21+A22, SB3=B12-B22, SB4=B21-B11,
+      SA5=A11+A12, SA6=A21-A11, SB6=B11+B12, SA7=A12-A22, SB7=B21+B22);
+    - 7 product tasks M1..M7 (the recursive multiplications, the bulk of
+      the work);
+    - 4 combination tasks C11, C12, C21, C22;
+    - an [assemble] sink.
+
+    Product tasks whose operand is a raw quadrant (e.g. M2 = SA2 * B11)
+    depend directly on [split] for that operand. *)
+
+val generate : unit -> Emts_ptg.Graph.t
+(** Builds the Strassen PTG structure (all costs [1.], refined by
+    {!Costs.assign} or by {!weighted}). *)
+
+val weighted : d:float -> Emts_ptg.Graph.t
+(** [weighted ~d] builds the graph with costs for multiplying two
+    [sqrt d * sqrt d] matrices: additions cost [d/4] FLOP (quadrant
+    element-wise adds), products [ (d/4)^1.5 ] FLOP (sub-multiplies),
+    split/assemble [d] (data movement counted as touch-all work).
+    Requires [0 < d <= Task.max_data_size]. *)
+
+val task_count : int
+(** 23. *)

@@ -1,0 +1,191 @@
+type selection = Plus | Comma
+
+type config = {
+  mu : int;
+  lambda : int;
+  generations : int;
+  time_budget : float option;
+  domains : int;
+  selection : selection;
+}
+
+let config ?time_budget ?(domains = 1) ?(selection = Plus) ~mu ~lambda
+    ~generations () =
+  if mu < 1 then invalid_arg "Emts_ea.config: mu must be >= 1";
+  if lambda < 1 then invalid_arg "Emts_ea.config: lambda must be >= 1";
+  if generations < 0 then
+    invalid_arg "Emts_ea.config: generations must be >= 0";
+  if domains < 1 then invalid_arg "Emts_ea.config: domains must be >= 1";
+  if selection = Comma && lambda < mu then
+    invalid_arg "Emts_ea.config: Comma selection requires lambda >= mu";
+  (match time_budget with
+  | Some b when not (b > 0.) ->
+    invalid_arg "Emts_ea.config: time_budget must be > 0"
+  | _ -> ());
+  { mu; lambda; generations; time_budget; domains; selection }
+
+type 'g problem = {
+  fitness : 'g -> float;
+  mutate : Emts_prng.t -> generation:int -> total_generations:int -> 'g -> 'g;
+  recombine : (Emts_prng.t -> 'g -> 'g -> 'g) option;
+  crossover_rate : float;
+}
+
+let mutation_only ~fitness ~mutate =
+  { fitness; mutate; recombine = None; crossover_rate = 0. }
+
+type generation_stats = {
+  generation : int;
+  best : float;
+  mean : float;
+  worst : float;
+  evaluations : int;
+  fresh_survivors : int;
+}
+
+type 'g result = {
+  best : 'g;
+  best_fitness : float;
+  history : generation_stats list;
+  evaluations : int;
+  elapsed : float;
+}
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+(* Evaluate all genomes, splitting the array across [domains] worker
+   domains in contiguous chunks.  Results land by index, so the outcome
+   is independent of scheduling. *)
+let evaluate_all ~domains fitness genomes =
+  let n = Array.length genomes in
+  if n = 0 then [||]
+  else if domains <= 1 || n < 2 * domains then Array.map fitness genomes
+  else begin
+    let out = Array.make n nan in
+    let workers = min domains n in
+    let chunk = (n + workers - 1) / workers in
+    let spawned =
+      List.init workers (fun w ->
+          let lo = w * chunk in
+          let hi = min n (lo + chunk) in
+          Domain.spawn (fun () ->
+              for i = lo to hi - 1 do
+                out.(i) <- fitness genomes.(i)
+              done))
+    in
+    List.iter Domain.join spawned;
+    out
+  end
+
+type 'g individual = { genome : 'g; fit : float; birth : int }
+
+(* Rank: better fitness first; on ties the older individual (smaller
+   birth index) wins, which keeps surviving seeds stable. *)
+let compare_individual a b =
+  let c = Float.compare a.fit b.fit in
+  if c <> 0 then c else Int.compare a.birth b.birth
+
+let stats_of ~generation ~evaluations ~born_after population =
+  let acc = Emts_stats.Acc.create () in
+  let fresh = ref 0 in
+  Array.iter
+    (fun i ->
+      Emts_stats.Acc.add acc i.fit;
+      if i.birth >= born_after then incr fresh)
+    population;
+  {
+    generation;
+    best = Emts_stats.Acc.min acc;
+    mean = Emts_stats.Acc.mean acc;
+    worst = Emts_stats.Acc.max acc;
+    evaluations;
+    fresh_survivors = !fresh;
+  }
+
+let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
+  if seeds = [] then invalid_arg "Emts_ea.run: seeds must be non-empty";
+  let started = Unix.gettimeofday () in
+  let evaluations = ref 0 in
+  let births = ref 0 in
+  let eval_batch genomes =
+    let fits = evaluate_all ~domains:config.domains problem.fitness genomes in
+    evaluations := !evaluations + Array.length genomes;
+    Array.map2
+      (fun genome fit ->
+        let birth = !births in
+        incr births;
+        { genome; fit; birth })
+      genomes fits
+  in
+  (* Seed population: best mu of the seeds; pad with the best seed when
+     there are fewer seeds than mu. *)
+  let seed_pop = eval_batch (Array.of_list seeds) in
+  Array.sort compare_individual seed_pop;
+  let population =
+    Array.init config.mu (fun i ->
+        seed_pop.(min i (Array.length seed_pop - 1)))
+  in
+  (* best-ever tracking, needed under Comma selection where the
+     population may lose the incumbent *)
+  let best_ever = ref population.(0) in
+  let consider candidate =
+    if compare_individual candidate !best_ever < 0 then best_ever := candidate
+  in
+  let history = ref [] in
+  let record ~born_after generation =
+    let s =
+      stats_of ~generation ~evaluations:!evaluations ~born_after population
+    in
+    history := s :: !history;
+    on_generation s
+  in
+  record ~born_after:0 0;
+  let out_of_time () =
+    match config.time_budget with
+    | None -> false
+    | Some budget -> Unix.gettimeofday () -. started > budget
+  in
+  let u = ref 1 in
+  while !u <= config.generations && not (out_of_time ()) do
+    let born_after = !births in
+    (* Draw all offspring mutations before evaluating anything: the RNG
+       stream is identical whether evaluation is parallel or not. *)
+    let offspring_genomes =
+      Array.init config.lambda (fun _ ->
+          let slot = Emts_prng.int rng config.mu in
+          let parent = population.(slot) in
+          let base =
+            match problem.recombine with
+            | Some recombine
+              when config.mu > 1
+                   && Emts_prng.bernoulli rng ~p:problem.crossover_rate ->
+              (* a second parent from a distinct population slot *)
+              let other_slot =
+                let j = Emts_prng.int rng (config.mu - 1) in
+                if j >= slot then j + 1 else j
+              in
+              recombine rng parent.genome population.(other_slot).genome
+            | Some _ | None -> parent.genome
+          in
+          problem.mutate rng ~generation:!u
+            ~total_generations:config.generations base)
+    in
+    let offspring = eval_batch offspring_genomes in
+    Array.iter consider offspring;
+    let pool =
+      match config.selection with
+      | Plus -> Array.append population offspring
+      | Comma -> offspring
+    in
+    Array.sort compare_individual pool;
+    Array.blit pool 0 population 0 config.mu;
+    record ~born_after !u;
+    incr u
+  done;
+  {
+    best = !best_ever.genome;
+    best_fitness = !best_ever.fit;
+    history = List.rev !history;
+    evaluations = !evaluations;
+    elapsed = Unix.gettimeofday () -. started;
+  }

@@ -1,0 +1,109 @@
+(** Generic (μ+λ) evolution strategy (paper Sections III-C/III-D;
+    Schwefel & Rudolph's "Plus-Strategy").
+
+    The engine is agnostic to the genome type: EMTS instantiates it with
+    allocation vectors, the test-suite with toy numeric genomes.
+    Selection is elitist ("plus"): the best [mu] of parents ∪ offspring
+    survive, so the best fitness is monotonically non-increasing across
+    generations — a property the paper relies on and that the tests
+    check.
+
+    Fitness is minimised.  All randomness comes from the supplied
+    {!Emts_prng.t}; offspring mutations are drawn sequentially from it
+    before any evaluation, so enabling parallel evaluation cannot change
+    the result. *)
+
+(** Survivor selection.  The paper uses the elitist "Plus-Strategy"
+    ((μ+λ): survivors drawn from parents ∪ offspring, so the best
+    individual can never be lost — Schwefel & Rudolph); the
+    "Comma-Strategy" ((μ,λ): survivors drawn from offspring only,
+    requires [lambda >= mu]) is provided for the selection ablation. *)
+type selection = Plus | Comma
+
+type config = {
+  mu : int;           (** parents kept per generation, [>= 1] *)
+  lambda : int;       (** offspring per generation, [>= 1] *)
+  generations : int;  (** evolutionary steps [U >= 0]; 0 = only rank seeds *)
+  time_budget : float option;
+      (** optional wall-clock cap in seconds: the run stops after the
+          first generation that exceeds it (the paper's "given time
+          constraint" mode) *)
+  domains : int;
+      (** worker domains for fitness evaluation; 1 = sequential *)
+  selection : selection;  (** default [Plus] *)
+}
+
+val config :
+  ?time_budget:float -> ?domains:int -> ?selection:selection -> mu:int ->
+  lambda:int -> generations:int -> unit -> config
+(** Validating constructor; raises [Invalid_argument] on bad sizes, and
+    on [Comma] with [lambda < mu]. *)
+
+type 'g problem = {
+  fitness : 'g -> float;
+      (** must be pure and thread-safe (called from worker domains) *)
+  mutate : Emts_prng.t -> generation:int -> total_generations:int -> 'g -> 'g;
+      (** derive one offspring; receives the current generation [u]
+          (1-based) and [U] so operators can anneal their step size *)
+  recombine : (Emts_prng.t -> 'g -> 'g -> 'g) option;
+      (** optional crossover.  When present, each offspring is produced
+          with probability [crossover_rate] by recombining two distinct
+          uniformly drawn parents and then mutating the child; otherwise
+          by mutation alone (the paper's mutation-only strategy is
+          [recombine = None]). *)
+  crossover_rate : float;
+      (** probability of applying [recombine] per offspring, in [0, 1];
+          ignored when [recombine = None] or when the population holds a
+          single distinct parent slot ([mu = 1]). *)
+}
+
+val mutation_only :
+  fitness:('g -> float) ->
+  mutate:
+    (Emts_prng.t -> generation:int -> total_generations:int -> 'g -> 'g) ->
+  'g problem
+(** The paper's strategy: [recombine = None]. *)
+
+type generation_stats = {
+  generation : int;       (** 0 for the seed ranking *)
+  best : float;
+  mean : float;
+  worst : float;          (** over the [mu] survivors *)
+  evaluations : int;      (** cumulative fitness calls *)
+  fresh_survivors : int;
+      (** survivors born in this generation — the selection success
+          signal used by step-size adaptation rules (Rechenberg's 1/5
+          rule); equals [mu] for the seed ranking *)
+}
+
+type 'g result = {
+  best : 'g;
+      (** best individual EVER evaluated — for [Plus] this is also the
+          best of the final population; for [Comma] the population may
+          have drifted away from it *)
+  best_fitness : float;
+  history : generation_stats list;  (** chronological, seeds first *)
+  evaluations : int;
+  elapsed : float;                  (** wall-clock seconds *)
+}
+
+val run :
+  ?on_generation:(generation_stats -> unit) ->
+  rng:Emts_prng.t ->
+  config:config ->
+  seeds:'g list ->
+  'g problem ->
+  'g result
+(** [run ~rng ~config ~seeds problem] evaluates the non-empty seed list,
+    keeps the best [mu] as the initial population (padding by reusing
+    the best seed when fewer than [mu] seeds are given), then iterates:
+    draw [lambda] offspring by mutating uniformly chosen parents,
+    evaluate, and select the best [mu] of parents ∪ offspring.
+    Survivor ranking prefers, at equal fitness, the longest-lived
+    individual (stable elitism).  [on_generation] observes every entry
+    appended to [history]. *)
+
+val default_domains : unit -> int
+(** Recommended worker count: [Domain.recommended_domain_count],
+    capped at 8 — fitness functions in this library are memory-bound
+    beyond that. *)

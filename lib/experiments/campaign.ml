@@ -1,0 +1,76 @@
+module Daggen = Emts_daggen
+
+type ptg_class = Fft | Strassen | Layered | Irregular
+
+let all_classes = [ Fft; Strassen; Layered; Irregular ]
+
+let class_name = function
+  | Fft -> "FFT"
+  | Strassen -> "Strassen"
+  | Layered -> "layered"
+  | Irregular -> "irregular"
+
+let class_of_name name =
+  match String.lowercase_ascii name with
+  | "fft" -> Some Fft
+  | "strassen" -> Some Strassen
+  | "layered" -> Some Layered
+  | "irregular" -> Some Irregular
+  | _ -> None
+
+type counts = { fft_per_size : int; strassen : int; per_combo : int }
+
+let paper_counts = { fft_per_size = 100; strassen = 100; per_combo = 3 }
+
+let scaled f =
+  if not (f > 0.) then invalid_arg "Campaign.scaled: factor must be > 0";
+  let s n = max 1 (int_of_float (Float.round (f *. float_of_int n))) in
+  {
+    fft_per_size = s paper_counts.fft_per_size;
+    strassen = s paper_counts.strassen;
+    per_combo = s paper_counts.per_combo;
+  }
+
+(* The figures report the n = 100 slice of the random-graph campaign. *)
+let figure_combos all =
+  List.filter_map
+    (fun (_, p) -> if p.Daggen.Random_dag.n = 100 then Some p else None)
+    all
+
+let layered_combos = figure_combos Daggen.Random_dag.paper_layered
+let irregular_combos = figure_combos Daggen.Random_dag.paper_irregular
+
+let instance_count counts = function
+  | Fft -> counts.fft_per_size * List.length Daggen.Fft.paper_sizes
+  | Strassen -> counts.strassen
+  | Layered -> counts.per_combo * List.length layered_combos
+  | Irregular -> counts.per_combo * List.length irregular_combos
+
+let check_counts counts =
+  if counts.fft_per_size < 1 || counts.strassen < 1 || counts.per_combo < 1
+  then invalid_arg "Campaign.instances: counts must all be >= 1"
+
+let instances ~rng ~counts cls =
+  check_counts counts;
+  match cls with
+  | Fft ->
+    List.concat_map
+      (fun points ->
+        List.init counts.fft_per_size (fun _ ->
+            Daggen.Costs.assign rng (Daggen.Fft.generate ~points)))
+      Daggen.Fft.paper_sizes
+  | Strassen ->
+    List.init counts.strassen (fun _ ->
+        Daggen.Costs.assign rng (Daggen.Strassen.generate ()))
+  | Layered ->
+    List.concat_map
+      (fun params ->
+        List.init counts.per_combo (fun _ ->
+            Daggen.Costs.assign rng (Daggen.Random_dag.generate rng params)))
+      layered_combos
+  | Irregular ->
+    List.concat_map
+      (fun params ->
+        List.init counts.per_combo (fun _ ->
+            Daggen.Costs.assign rng (Daggen.Random_dag.generate rng params)))
+      irregular_combos

@@ -1,0 +1,37 @@
+(** PTG campaign generation (paper Section IV-C).
+
+    The paper evaluates four PTG classes: FFT graphs (400 instances, 100
+    per size 2/4/8/16), Strassen graphs (100 instances), layered random
+    graphs (108 = 36 parameter combinations x 3) and irregular random
+    graphs (324 = 108 x 3).  Figures 4 and 5 report the layered and
+    irregular classes restricted to n = 100 tasks; {!instances} follows
+    that convention. *)
+
+type ptg_class = Fft | Strassen | Layered | Irregular
+
+val all_classes : ptg_class list
+val class_name : ptg_class -> string
+val class_of_name : string -> ptg_class option
+
+type counts = {
+  fft_per_size : int;  (** instances per FFT size (paper: 100) *)
+  strassen : int;      (** Strassen instances (paper: 100) *)
+  per_combo : int;     (** instances per random-DAG parameter combination
+                           (paper: 3) *)
+}
+
+val paper_counts : counts
+val scaled : float -> counts
+(** [scaled f] multiplies the paper's counts by [f] (at least one
+    instance each).  [scaled 1.] = [paper_counts]. *)
+
+val instances :
+  rng:Emts_prng.t -> counts:counts -> ptg_class -> Emts_ptg.Graph.t list
+(** The weighted PTG instances of one class, costs drawn through
+    {!Emts_daggen.Costs.assign}.  Layered and irregular instances use
+    n = 100 (the slice reported in the paper's figures); the parameter
+    grids are those of {!Emts_daggen.Random_dag.paper_layered} /
+    [paper_irregular]. *)
+
+val instance_count : counts -> ptg_class -> int
+(** Size of the list {!instances} will return. *)

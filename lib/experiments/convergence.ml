@@ -1,0 +1,71 @@
+type curve = {
+  generations : int;
+  relative_best : float array;
+  instances : int;
+}
+
+let run ?(instances = 15) ?(config = Emts.Algorithm.emts10) ~rng () =
+  if instances < 1 then invalid_arg "Convergence.run: instances must be >= 1";
+  let generations = config.Emts.Algorithm.generations in
+  let sums = Array.make (generations + 1) 0. in
+  let count = ref 0 in
+  for _ = 1 to instances do
+    let graph =
+      Emts_daggen.Costs.assign rng
+        (Emts_daggen.Random_dag.generate rng
+           { n = 100; width = 0.5; regularity = 0.2; density = 0.2; jump = 2 })
+    in
+    let result =
+      Emts.Algorithm.run ~rng:(Emts_prng.split rng) ~config
+        ~model:Emts_model.synthetic ~platform:Emts_platform.grelon ~graph ()
+    in
+    let final = result.Emts.Algorithm.makespan in
+    (* history is chronological; a time-budgeted run may be shorter, in
+       which case the tail repeats the last recorded best. *)
+    let best_at = Array.make (generations + 1) nan in
+    List.iter
+      (fun (s : Emts_ea.generation_stats) ->
+        if s.Emts_ea.generation <= generations then
+          best_at.(s.Emts_ea.generation) <- s.Emts_ea.best)
+      result.Emts.Algorithm.ea.Emts_ea.history;
+    let last = ref best_at.(0) in
+    Array.iteri
+      (fun g b ->
+        let b = if Float.is_nan b then !last else b in
+        last := b;
+        sums.(g) <- sums.(g) +. (b /. final))
+      best_at;
+    incr count
+  done;
+  {
+    generations;
+    relative_best = Array.map (fun s -> s /. float_of_int !count) sums;
+    instances;
+  }
+
+let render curve =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Convergence — mean best makespan per generation, relative to the \
+        final result (%d instances)\n"
+       curve.instances);
+  Buffer.add_string buf (String.make 72 '=');
+  Buffer.add_char buf '\n';
+  let final_gain = curve.relative_best.(0) -. 1. in
+  Array.iteri
+    (fun g value ->
+      let captured =
+        if final_gain <= 0. then 1.
+        else (curve.relative_best.(0) -. value) /. final_gain
+      in
+      let bar =
+        String.make
+          (int_of_float (Float.round (captured *. 40.)))
+          '#'
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "gen %2d  %8.4f  %5.1f%% of gain  %s\n" g value
+           (100. *. captured) bar))
+    curve.relative_best;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Convergence traces: makespan versus generation (extension).
+
+    The paper's problem statement trades computation time for solution
+    quality under a time constraint; this driver exposes that anytime
+    curve — how much of EMTS10's final improvement is already available
+    after each generation (generation 0 = best heuristic seed). *)
+
+type curve = {
+  generations : int;
+  (* index g in 0..generations: mean of best-makespan(g) / final *)
+  relative_best : float array;
+  instances : int;
+}
+
+val run :
+  ?instances:int ->
+  ?config:Emts.Algorithm.config ->
+  rng:Emts_prng.t ->
+  unit ->
+  curve
+(** Defaults: 15 irregular 100-node instances, Grelon, Model 2,
+    EMTS10. *)
+
+val render : curve -> string
+(** Table plus ASCII sparkline of remaining improvement per
+    generation. *)

@@ -1,0 +1,56 @@
+(** Experiment harness reproducing every table and figure of the paper;
+    see DESIGN.md for the per-experiment index. *)
+
+module Campaign = Campaign
+module Relative = Relative
+module Fig1 = Fig1
+module Fig3 = Fig3
+module Fig6 = Fig6
+module Ablation = Ablation
+module Robustness = Robustness
+module Convergence = Convergence
+module Gaps = Gaps
+module Sweep = Sweep
+module Walltime = Walltime
+
+(** One-call drivers for the composite figures. *)
+module Figures = struct
+  (** Figure 4: Model 1, heuristics vs EMTS5. *)
+  let fig4 ?progress ~rng ~counts () =
+    let groups =
+      Relative.run ?progress ~rng ~model:Emts_model.amdahl
+        ~config:Emts.Algorithm.emts5 ~counts ()
+    in
+    ( groups,
+      Relative.render
+        ~title:
+          "Figure 4 — avg. relative makespan T_heuristic / T_EMTS5 (Model 1, \
+           95% CI)"
+        groups )
+
+  (** Figure 5: Model 2, heuristics vs EMTS5 (top) and EMTS10 (bottom). *)
+  let fig5 ?progress ~rng ~counts () =
+    let top =
+      Relative.run ?progress ~rng ~model:Emts_model.synthetic
+        ~config:Emts.Algorithm.emts5 ~counts ()
+    in
+    let bottom =
+      Relative.run ?progress ~rng ~model:Emts_model.synthetic
+        ~config:Emts.Algorithm.emts10 ~counts ()
+    in
+    ( (top, bottom),
+      Relative.render
+        ~title:
+          "Figure 5 (top) — avg. relative makespan T_heuristic / T_EMTS5 \
+           (Model 2, 95% CI)"
+        top
+      ^ "\n"
+      ^ Relative.render
+          ~title:
+            "Figure 5 (bottom) — avg. relative makespan T_heuristic / \
+             T_EMTS10 (Model 2, 95% CI)"
+          bottom )
+
+  (** Section V run-time table, from groups produced by fig4/fig5. *)
+  let runtime ~title groups = Relative.render_runtime ~title groups
+end

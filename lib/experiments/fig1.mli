@@ -1,0 +1,17 @@
+(** Figure 1: PDGEMM execution time versus processor count.
+
+    The paper motivates Model 2 with measured PDGEMM timings on a Cray
+    XT4 that are *not* monotonically decreasing.  We replay synthesised
+    PDGEMM-shaped curves (see DESIGN.md substitutions) through the
+    {!Emts_model.Empirical} table model and report, for each processor
+    count, the predicted time and whether it breaks monotonicity. *)
+
+type point = { procs : int; seconds : float; monotone_violation : bool }
+
+val series_1024 : point list
+val series_2048 : point list
+
+val render : unit -> string
+(** Two aligned columns with ASCII bars, violations marked [*]; ends
+    with the count of non-monotone steps per series (both > 0 — the
+    property the figure exists to show). *)

@@ -1,0 +1,36 @@
+let histogram ?(samples = 1_000_000) ?(params = Emts.Mutation.default) rng =
+  if samples < 1 then invalid_arg "Fig3.histogram: samples must be >= 1";
+  let h = Emts_stats.Histogram.create ~lo:(-20.5) ~hi:20.5 ~bins:41 in
+  for _ = 1 to samples do
+    Emts_stats.Histogram.add h
+      (float_of_int (Emts.Mutation.draw_adjustment rng params))
+  done;
+  h
+
+let render ?samples rng =
+  let h = histogram ?samples rng in
+  let total =
+    Emts_stats.Histogram.count h
+    + Emts_stats.Histogram.underflow h
+    + Emts_stats.Histogram.overflow h
+  in
+  let negative = ref 0 and zero = ref 0 in
+  for i = 0 to Emts_stats.Histogram.bins h - 1 do
+    let c = Emts_stats.Histogram.bin_center h i in
+    if c < -0.25 then negative := !negative + Emts_stats.Histogram.bin_count h i
+    else if Float.abs c < 0.25 then
+      zero := !zero + Emts_stats.Histogram.bin_count h i
+  done;
+  let negative =
+    (* shrinks falling outside [-20.5, 20.5] are all negative-side big
+       jumps; count them toward the shrink mass *)
+    !negative + Emts_stats.Histogram.underflow h
+  in
+  Printf.sprintf
+    "Figure 3 — density of the mutation adjustment C (sigma1 = sigma2 = 5, \
+     a = 0.2; %d samples)\n\n%s\nshrink probability (C < 0): %.4f (paper: \
+     0.2)\nP[C = 0]: %.4f (operator never yields 0)\n"
+    total
+    (Emts_stats.Histogram.render ~width:60 h)
+    (float_of_int negative /. float_of_int total)
+    (float_of_int !zero /. float_of_int total)

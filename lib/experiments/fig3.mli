@@ -1,0 +1,17 @@
+(** Figure 3: probability density of the mutation adjustment [C].
+
+    Samples the EMTS mutation operator with the paper's parameters
+    (sigma_1 = sigma_2 = 5, a = 0.2) and renders the empirical density
+    over [-20, 20]: asymmetric, zero-free, with ~20% of the mass on the
+    negative (shrink) side. *)
+
+val histogram :
+  ?samples:int ->
+  ?params:Emts.Mutation.params ->
+  Emts_prng.t ->
+  Emts_stats.Histogram.t
+(** Default one million samples; bins of width 1 centred on the
+    integers -20 .. 20. *)
+
+val render : ?samples:int -> Emts_prng.t -> string
+(** ASCII density plot plus the measured shrink probability. *)

@@ -1,0 +1,25 @@
+(** Figure 6: side-by-side schedules, MCPA versus EMTS10.
+
+    One irregular 100-node PTG scheduled on Grelon under Model 2 — the
+    paper's visual argument that MCPA's small allocations waste the
+    cluster while EMTS stretches the big tasks across processors. *)
+
+type comparison = {
+  graph : Emts_ptg.Graph.t;
+  mcpa_schedule : Emts_sched.Schedule.t;
+  emts_schedule : Emts_sched.Schedule.t;
+  mcpa_makespan : float;
+  emts_makespan : float;
+}
+
+val compare_schedules :
+  ?platform:Emts_platform.t ->
+  ?model:Emts_model.t ->
+  ?config:Emts.Algorithm.config ->
+  Emts_prng.t ->
+  comparison
+(** Defaults: Grelon, Model 2, EMTS10. *)
+
+val render : ?width:int -> comparison -> string
+(** The two Gantt charts over a common time scale plus the makespan
+    ratio. *)

@@ -1,0 +1,91 @@
+type row = { algorithm : string; gap : Emts_stats.summary }
+
+type group = {
+  ptg_class : Campaign.ptg_class;
+  platform : Emts_platform.t;
+  rows : row list;
+  instances : int;
+}
+
+let algorithm_names =
+  List.map (fun (h : Emts_alloc.heuristic) -> h.name) Emts_alloc.all
+  @ [ "EMTS5"; "EMTS10" ]
+
+let run ?(progress = fun _ -> ())
+    ?(platforms = [ Emts_platform.chti; Emts_platform.grelon ])
+    ?(classes = Campaign.all_classes) ?(model = Emts_model.synthetic) ~rng
+    ~counts () =
+  List.concat_map
+    (fun cls ->
+      let graphs = Campaign.instances ~rng ~counts cls in
+      List.map
+        (fun platform ->
+          let accs =
+            List.map (fun name -> (name, Emts_stats.Acc.create ()))
+              algorithm_names
+          in
+          List.iter
+            (fun graph ->
+              let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
+              let lb = Emts_alloc.Bounds.lower_bound ctx in
+              let record name makespan =
+                Emts_stats.Acc.add (List.assoc name accs) (makespan /. lb)
+              in
+              List.iter
+                (fun (h : Emts_alloc.heuristic) ->
+                  let schedule =
+                    Emts.Algorithm.schedule_allocation ~ctx (h.allocate ctx)
+                  in
+                  record h.name (Emts_sched.Schedule.makespan schedule))
+                Emts_alloc.all;
+              let emts config =
+                (Emts.Algorithm.run_ctx ~rng:(Emts_prng.split rng) ~config
+                   ~ctx ())
+                  .Emts.Algorithm.makespan
+              in
+              record "EMTS5" (emts Emts.Algorithm.emts5);
+              record "EMTS10" (emts Emts.Algorithm.emts10))
+            graphs;
+          let group =
+            {
+              ptg_class = cls;
+              platform;
+              rows =
+                List.map
+                  (fun (algorithm, acc) ->
+                    { algorithm; gap = Emts_stats.summary_of_acc acc })
+                  accs;
+              instances = List.length graphs;
+            }
+          in
+          progress
+            (Printf.sprintf "gaps: %s on %s done"
+               (Campaign.class_name cls)
+               platform.Emts_platform.name);
+          group)
+        platforms)
+    classes
+
+let render groups =
+  let buf = Buffer.create 2048 in
+  let title =
+    "Optimality gaps — makespan / lower bound (1.0 = provably optimal)"
+  in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n%s on %s (%d instances)\n"
+           (Campaign.class_name g.ptg_class)
+           g.platform.Emts_platform.name g.instances);
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-8s %6.3f ± %-6.3f (worst %.3f)\n" r.algorithm
+               r.gap.Emts_stats.mean r.gap.Emts_stats.ci95_half_width
+               r.gap.Emts_stats.max))
+        g.rows)
+    groups;
+  Buffer.contents buf

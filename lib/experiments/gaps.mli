@@ -1,0 +1,35 @@
+(** Optimality gaps (extension): makespans against provable lower
+    bounds.
+
+    The paper notes evolutionary search gives "no measure of how close
+    the current result is to the optimal solution" (Section II-C).  The
+    classical critical-path / area bounds of {!Emts_alloc.Bounds} give
+    exactly such a measure: this driver reports
+    [makespan / lower_bound] (>= 1; 1 = provably optimal) for every
+    algorithm across the campaign classes. *)
+
+type row = {
+  algorithm : string;
+  gap : Emts_stats.summary;  (** of makespan / lower bound *)
+}
+
+type group = {
+  ptg_class : Campaign.ptg_class;
+  platform : Emts_platform.t;
+  rows : row list;
+  instances : int;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?platforms:Emts_platform.t list ->
+  ?classes:Campaign.ptg_class list ->
+  ?model:Emts_model.t ->
+  rng:Emts_prng.t ->
+  counts:Campaign.counts ->
+  unit ->
+  group list
+(** Algorithms reported: every registered heuristic plus EMTS5 and
+    EMTS10.  Defaults: both platforms, all classes, Model 2. *)
+
+val render : group list -> string

@@ -1,0 +1,155 @@
+type cell = { versus : string; summary : Emts_stats.summary }
+
+type group = {
+  ptg_class : Campaign.ptg_class;
+  platform : Emts_platform.t;
+  cells : cell list;
+  emts_runtime : Emts_stats.summary;
+  instances : int;
+}
+
+let default_versus = [ "MCPA"; "HCPA" ]
+
+let seed_makespan (result : Emts.Algorithm.result) name =
+  match
+    List.find_opt
+      (fun (s : Emts.Seeding.seed) -> s.heuristic = name)
+      result.seeds
+  with
+  | Some s -> s.makespan
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Relative.run: %S is not among the config's seed heuristics" name)
+
+let run ?(progress = fun _ -> ()) ?(versus = default_versus)
+    ?(platforms = [ Emts_platform.chti; Emts_platform.grelon ])
+    ?(classes = Campaign.all_classes) ~rng ~model ~config ~counts () =
+  if versus = [] then invalid_arg "Relative.run: versus must be non-empty";
+  if platforms = [] then invalid_arg "Relative.run: platforms must be non-empty";
+  List.concat_map
+    (fun cls ->
+      let graphs = Campaign.instances ~rng ~counts cls in
+      List.map
+        (fun platform ->
+          let ratio_accs =
+            List.map (fun v -> (v, Emts_stats.Acc.create ())) versus
+          in
+          let runtime_acc = Emts_stats.Acc.create () in
+          List.iter
+            (fun graph ->
+              let run_rng = Emts_prng.split rng in
+              let result =
+                Emts.Algorithm.run ~rng:run_rng ~config ~model ~platform
+                  ~graph ()
+              in
+              Emts_stats.Acc.add runtime_acc result.ea.Emts_ea.elapsed;
+              List.iter
+                (fun (name, acc) ->
+                  Emts_stats.Acc.add acc
+                    (seed_makespan result name /. result.makespan))
+                ratio_accs)
+            graphs;
+          let group =
+            {
+              ptg_class = cls;
+              platform;
+              cells =
+                List.map
+                  (fun (versus, acc) ->
+                    { versus; summary = Emts_stats.summary_of_acc acc })
+                  ratio_accs;
+              emts_runtime = Emts_stats.summary_of_acc runtime_acc;
+              instances = List.length graphs;
+            }
+          in
+          progress
+            (Printf.sprintf "%-9s on %-7s: %s"
+               (Campaign.class_name cls)
+               platform.Emts_platform.name
+               (String.concat "  "
+                  (List.map
+                     (fun c ->
+                       Printf.sprintf "vs %s %.3f±%.3f" c.versus
+                         c.summary.Emts_stats.mean
+                         c.summary.Emts_stats.ci95_half_width)
+                     group.cells)));
+          group)
+        platforms)
+    classes
+
+let render ~title groups =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '=');
+  Buffer.add_char buf '\n';
+  let classes =
+    List.sort_uniq compare (List.map (fun g -> g.ptg_class) groups)
+  in
+  List.iter
+    (fun cls ->
+      let of_class = List.filter (fun g -> g.ptg_class = cls) groups in
+      match of_class with
+      | [] -> ()
+      | first :: _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "\n%s (n=%d instances per platform)\n"
+             (Campaign.class_name cls) first.instances);
+        Buffer.add_string buf (Printf.sprintf "  %-8s" "platform");
+        List.iter
+          (fun c ->
+            Buffer.add_string buf (Printf.sprintf "  %-18s" ("vs " ^ c.versus)))
+          first.cells;
+        Buffer.add_char buf '\n';
+        List.iter
+          (fun g ->
+            Buffer.add_string buf
+              (Printf.sprintf "  %-8s" g.platform.Emts_platform.name);
+            List.iter
+              (fun c ->
+                Buffer.add_string buf
+                  (Printf.sprintf "  %6.3f ± %-9.3f" c.summary.Emts_stats.mean
+                     c.summary.Emts_stats.ci95_half_width))
+              g.cells;
+            Buffer.add_char buf '\n')
+          of_class)
+    classes;
+  Buffer.contents buf
+
+let to_csv groups =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "class,platform,versus,mean,ci95,sd,n,emts_runtime_mean\n";
+  List.iter
+    (fun g ->
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%s,%.9g,%.9g,%.9g,%d,%.9g\n"
+               (Campaign.class_name g.ptg_class)
+               g.platform.Emts_platform.name c.versus
+               c.summary.Emts_stats.mean c.summary.Emts_stats.ci95_half_width
+               c.summary.Emts_stats.stddev c.summary.Emts_stats.n
+               g.emts_runtime.Emts_stats.mean))
+        g.cells)
+    groups;
+  Buffer.contents buf
+
+let render_runtime ~title groups =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '=');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-8s %12s %12s %8s\n" "class" "platform" "mean [s]"
+       "SD [s]" "n");
+  List.iter
+    (fun g ->
+      let s = g.emts_runtime in
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-8s %12.3f %12.3f %8d\n"
+           (Campaign.class_name g.ptg_class)
+           g.platform.Emts_platform.name s.Emts_stats.mean
+           s.Emts_stats.stddev s.Emts_stats.n))
+    groups;
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** The paper's headline experiment: average relative makespan of the
+    CPA-family heuristics versus EMTS (Figures 4 and 5).
+
+    For each PTG instance and each platform, EMTS runs once (seeded by
+    the heuristics) and the ratio [T_heuristic / T_EMTS] is recorded for
+    every compared heuristic; ratios aggregate per (class, platform,
+    heuristic) with 95% confidence intervals.  Because EMTS is seeded
+    and elitist, every ratio is >= 1 by construction. *)
+
+type cell = {
+  versus : string;                 (** heuristic name, e.g. "MCPA" *)
+  summary : Emts_stats.summary;    (** of the ratio [T_versus / T_EMTS] *)
+}
+
+type group = {
+  ptg_class : Campaign.ptg_class;
+  platform : Emts_platform.t;
+  cells : cell list;               (** one per compared heuristic *)
+  emts_runtime : Emts_stats.summary;  (** EMTS wall-clock per instance, s *)
+  instances : int;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?versus:string list ->
+  ?platforms:Emts_platform.t list ->
+  ?classes:Campaign.ptg_class list ->
+  rng:Emts_prng.t ->
+  model:Emts_model.t ->
+  config:Emts.Algorithm.config ->
+  counts:Campaign.counts ->
+  unit ->
+  group list
+(** Runs the campaign.  [versus] defaults to [["MCPA"; "HCPA"]] (the
+    figures' baselines; names must be seed heuristics of [config]),
+    [platforms] to Chti and Grelon, [classes] to all four.  Instance
+    PTGs are drawn from [rng]; each (instance, platform) EMTS run uses
+    a split sub-stream, so results do not depend on evaluation order.
+    [progress] receives one line per (class, platform). *)
+
+val render : title:string -> group list -> string
+(** Text table in the layout of the paper's figures: one block per PTG
+    class, rows Chti/Grelon, columns the compared heuristics. *)
+
+val render_runtime : title:string -> group list -> string
+(** The Section V run-time report: mean +- SD of the EMTS optimisation
+    time per class and platform. *)
+
+val to_csv : group list -> string
+(** Machine-readable results:
+    [class,platform,versus,mean,ci95,sd,n,emts_runtime_mean] rows. *)

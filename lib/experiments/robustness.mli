@@ -1,0 +1,31 @@
+(** Robustness under model error (extension experiment).
+
+    The paper's motivation is that execution-time models are imprecise;
+    EMTS only requires the model as a black box, but any schedule is
+    still *computed* from predicted times.  This experiment executes
+    MCPA's and EMTS's schedules in the discrete-event simulator with
+    noisy actual durations and asks whether EMTS's planned advantage
+    survives execution. *)
+
+type point = {
+  sigma : float;  (** log-normal noise level *)
+  planned_ratio : Emts_stats.summary;
+      (** planned makespan MCPA / EMTS (noise-independent) *)
+  realized_ratio : Emts_stats.summary;
+      (** realised makespan MCPA / EMTS under the noise *)
+  emts_slowdown : Emts_stats.summary;
+      (** realised / planned for the EMTS schedule *)
+  mcpa_slowdown : Emts_stats.summary;
+}
+
+val run :
+  ?instances:int ->
+  ?draws:int ->
+  ?sigmas:float list ->
+  rng:Emts_prng.t ->
+  unit ->
+  point list
+(** Defaults: 10 irregular 100-node instances on Grelon (Model 2),
+    5 noise draws per instance, sigmas [0.1; 0.3; 0.5]. *)
+
+val render : point list -> string

@@ -1,0 +1,77 @@
+type point = {
+  n : int;
+  layered_vs_mcpa : Emts_stats.summary;
+  irregular_vs_mcpa : Emts_stats.summary;
+}
+
+let sizes = [ 20; 50; 100 ]
+
+let run ?(progress = fun _ -> ()) ?(per_combo = 1)
+    ?(config = Emts.Algorithm.emts5) ?(model = Emts_model.synthetic)
+    ?(platform = Emts_platform.grelon) ~rng () =
+  if per_combo < 1 then invalid_arg "Sweep.run: per_combo must be >= 1";
+  let ratio_for params_list =
+    let acc = Emts_stats.Acc.create () in
+    List.iter
+      (fun params ->
+        for _ = 1 to per_combo do
+          let graph =
+            Emts_daggen.Costs.assign rng
+              (Emts_daggen.Random_dag.generate rng params)
+          in
+          let result =
+            Emts.Algorithm.run ~rng:(Emts_prng.split rng) ~config ~model
+              ~platform ~graph ()
+          in
+          let mcpa =
+            match
+              List.find_opt
+                (fun (s : Emts.Seeding.seed) -> s.heuristic = "MCPA")
+                result.Emts.Algorithm.seeds
+            with
+            | Some s -> s.makespan
+            | None -> invalid_arg "Sweep.run: config must seed with MCPA"
+          in
+          Emts_stats.Acc.add acc (mcpa /. result.Emts.Algorithm.makespan)
+        done)
+      params_list;
+    Emts_stats.summary_of_acc acc
+  in
+  List.map
+    (fun n ->
+      let slice all =
+        List.filter_map
+          (fun (_, p) -> if p.Emts_daggen.Random_dag.n = n then Some p else None)
+          all
+      in
+      let point =
+        {
+          n;
+          layered_vs_mcpa =
+            ratio_for (slice Emts_daggen.Random_dag.paper_layered);
+          irregular_vs_mcpa =
+            ratio_for (slice Emts_daggen.Random_dag.paper_irregular);
+        }
+      in
+      progress (Printf.sprintf "sweep: n=%d done" n);
+      point)
+    sizes
+
+let render points =
+  let buf = Buffer.create 512 in
+  let title = "EMTS gain vs PTG size — T_MCPA / T_EMTS5 (Model 2, Grelon)" in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (String.make (String.length title) '=');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%6s %22s %22s\n" "n" "layered" "irregular");
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%6d %14.3f ± %-5.3f %14.3f ± %-5.3f\n" p.n
+           p.layered_vs_mcpa.Emts_stats.mean
+           p.layered_vs_mcpa.Emts_stats.ci95_half_width
+           p.irregular_vs_mcpa.Emts_stats.mean
+           p.irregular_vs_mcpa.Emts_stats.ci95_half_width))
+    points;
+  Buffer.contents buf

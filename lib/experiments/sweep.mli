@@ -1,0 +1,30 @@
+(** Gain versus PTG size (extension).
+
+    The paper's random campaign spans 20-, 50- and 100-task graphs but
+    its figures aggregate only the n = 100 slice; this driver sweeps the
+    size axis to show how EMTS's advantage scales with the number of
+    tasks (larger graphs = larger search space = more headroom, but also
+    more alleles to get right per mutation). *)
+
+type point = {
+  n : int;
+  layered_vs_mcpa : Emts_stats.summary;
+  irregular_vs_mcpa : Emts_stats.summary;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?per_combo:int ->
+  ?config:Emts.Algorithm.config ->
+  ?model:Emts_model.t ->
+  ?platform:Emts_platform.t ->
+  rng:Emts_prng.t ->
+  unit ->
+  point list
+(** Sweeps n over the paper's {20, 50, 100} grid values, running the
+    full width/regularity/density/jump combinations for each size
+    ([per_combo] instances per combination, default 1).  Defaults:
+    EMTS5, Model 2, Grelon.  The reported ratio is
+    [T_MCPA / T_EMTS]. *)
+
+val render : point list -> string

@@ -1,0 +1,32 @@
+(** Walltime-estimate accuracy at the batch level (extension).
+
+    A PTG user must request a walltime before the schedule runs
+    (Section II-A); the margin they add on top of the predicted makespan
+    governs how well the site's EASY backfilling works.  This driver
+    sweeps that margin for a fixed workload of PTG jobs and reports the
+    queue metrics — tight, trustworthy makespan predictions (which is
+    what a deterministic scheduler like EMTS provides) are worth real
+    waiting time to everyone on the machine. *)
+
+type point = {
+  f : float;  (** per-job walltime = runtime * U(1, f) — Feitelson's
+                  f-model of user estimates; f = 1 is a perfect oracle *)
+  mean_wait : float;
+  mean_bounded_slowdown : float;
+  queue_makespan : float;
+}
+
+val run :
+  ?jobs:int ->
+  ?cluster_procs:int ->
+  ?f_values:float list ->
+  rng:Emts_prng.t ->
+  unit ->
+  point list
+(** Defaults: 30 PTG jobs (EMTS5-scheduled, mixed 16/32/64-proc
+    partitions), 120-processor cluster, f in [1.0; 2.0; 5.0; 20.0].
+    Runtimes and arrivals are identical across f values — only the
+    per-job requests change (a fresh estimate draw per f, from a fixed
+    stream, so the sweep is reproducible). *)
+
+val render : point list -> string

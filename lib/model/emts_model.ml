@@ -1,0 +1,231 @@
+type t = {
+  name : string;
+  time : Emts_platform.t -> Emts_ptg.Task.t -> procs:int -> float;
+}
+
+let time model platform task ~procs =
+  if procs < 1 || procs > platform.Emts_platform.processors then
+    invalid_arg
+      (Printf.sprintf "Emts_model.time: procs=%d outside platform range 1..%d"
+         procs platform.Emts_platform.processors);
+  model.time platform task ~procs
+
+let sequential_time platform (task : Emts_ptg.Task.t) =
+  task.flop /. Emts_platform.flops platform
+
+let amdahl_time platform (task : Emts_ptg.Task.t) ~procs =
+  let t1 = sequential_time platform task in
+  (task.alpha +. ((1. -. task.alpha) /. float_of_int procs)) *. t1
+
+let amdahl = { name = "amdahl"; time = amdahl_time }
+
+let is_perfect_square p =
+  let r = int_of_float (Float.round (sqrt (float_of_int p))) in
+  r * r = p
+
+(* Algorithm 1 of the paper: penalise processor counts PDGEMM-style
+   kernels dislike — odd counts (no 2-column grid) by 30%, even counts
+   without an integer square root (no square grid) by 10%. *)
+let synthetic_penalty procs =
+  if procs <= 1 then 1.
+  else if procs mod 2 = 1 then 1.3
+  else if not (is_perfect_square procs) then 1.1
+  else 1.
+
+let synthetic =
+  {
+    name = "synthetic";
+    time =
+      (fun platform task ~procs ->
+        amdahl_time platform task ~procs *. synthetic_penalty procs);
+  }
+
+(* Downey's two-parameter speed-up model (tech report CSD-97-933).
+   [avg] is A, the average parallelism; [variance] is sigma. *)
+let downey_speedup ~avg:a ~variance:sigma n =
+  let n = float_of_int n in
+  if sigma <= 1. then begin
+    if n <= a then a *. n /. (a +. (sigma /. 2. *. (n -. 1.)))
+    else if n <= (2. *. a) -. 1. then
+      a *. n /. ((sigma *. (a -. 0.5)) +. (n *. (1. -. (sigma /. 2.))))
+    else a
+  end
+  else begin
+    let knee = a +. (a *. sigma) -. sigma in
+    if n < knee then
+      n *. a *. (sigma +. 1.) /. ((sigma *. (n +. a -. 1.)) +. a)
+    else a
+  end
+
+let downey ~avg_parallelism ~variance =
+  if not (avg_parallelism >= 1.) then
+    invalid_arg "Emts_model.downey: avg_parallelism must be >= 1";
+  if not (variance >= 0.) then
+    invalid_arg "Emts_model.downey: variance must be >= 0";
+  {
+    name =
+      Printf.sprintf "downey(A=%.3g,sigma=%.3g)" avg_parallelism variance;
+    time =
+      (fun platform task ~procs ->
+        sequential_time platform task
+        /. downey_speedup ~avg:avg_parallelism ~variance procs);
+  }
+
+module Empirical = struct
+  (* Sorted arrays of measured points; parallel arrays procs / seconds. *)
+  type table = { procs : int array; seconds : float array }
+
+  let of_points points =
+    if points = [] then
+      invalid_arg "Empirical.of_points: at least one point required";
+    List.iter
+      (fun (p, s) ->
+        if p <= 0 then invalid_arg "Empirical.of_points: procs must be > 0";
+        if not (s > 0.) then
+          invalid_arg "Empirical.of_points: seconds must be > 0")
+      points;
+    (* Keep the last value for duplicated proc counts. *)
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun (p, s) -> Hashtbl.replace tbl p s) points;
+    let uniq = Hashtbl.fold (fun p s acc -> (p, s) :: acc) tbl [] in
+    let sorted = List.sort compare uniq in
+    {
+      procs = Array.of_list (List.map fst sorted);
+      seconds = Array.of_list (List.map snd sorted);
+    }
+
+  let lookup { procs; seconds } ~procs:p =
+    let n = Array.length procs in
+    if p <= procs.(0) then seconds.(0)
+    else if p >= procs.(n - 1) then seconds.(n - 1)
+    else begin
+      (* binary search for the bracketing pair *)
+      let lo = ref 0 and hi = ref (n - 1) in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if procs.(mid) <= p then lo := mid else hi := mid
+      done;
+      if procs.(!lo) = p then seconds.(!lo)
+      else begin
+        let x0 = float_of_int procs.(!lo) and x1 = float_of_int procs.(!hi) in
+        let y0 = seconds.(!lo) and y1 = seconds.(!hi) in
+        y0 +. ((y1 -. y0) *. (float_of_int p -. x0) /. (x1 -. x0))
+      end
+    end
+
+  (* Synthesised PDGEMM-shaped curves (the paper's Cray XT4 data is not
+     public): near-linear scaling with Model-2-style penalties at odd and
+     non-square processor counts, anchored to the value ranges visible in
+     Figure 1 (1024: ~0.05-0.25 s over p=2..32; 2048: ~0.15-0.25 s over
+     p=16..32). *)
+  let pdgemm ~t_seq range =
+    of_points
+      (List.map
+         (fun p ->
+           let ideal = t_seq /. (float_of_int p ** 0.92) in
+           (p, ideal *. synthetic_penalty p))
+         range)
+
+  let range lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+  let pdgemm_1024 = pdgemm ~t_seq:0.46 (range 2 32)
+  let pdgemm_2048 = pdgemm ~t_seq:2.9 (range 16 32)
+
+  let model ~name table =
+    { name; time = (fun _platform _task ~procs -> lookup table ~procs) }
+
+  let to_string { procs; seconds } =
+    let buf = Buffer.create 256 in
+    Array.iteri
+      (fun i p ->
+        Buffer.add_string buf (Printf.sprintf "%d %.17g\n" p seconds.(i)))
+      procs;
+    Buffer.contents buf
+
+  let of_string text =
+    let err = ref None in
+    let points = ref [] in
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' || !err <> None then ()
+        else
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ p; s ] -> (
+            match (int_of_string_opt p, float_of_string_opt s) with
+            | Some p, Some s -> points := (p, s) :: !points
+            | _ ->
+              err :=
+                Some (Printf.sprintf "line %d: expected '<procs> <seconds>'" lineno))
+          | _ ->
+            err :=
+              Some (Printf.sprintf "line %d: expected '<procs> <seconds>'" lineno))
+      (String.split_on_char '\n' text);
+    match !err with
+    | Some e -> Error e
+    | None -> (
+      match of_points (List.rev !points) with
+      | table -> Ok table
+      | exception Invalid_argument m -> Error m)
+
+  let load path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> of_string text
+    | exception Sys_error msg -> Error msg
+
+  let save table path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string table))
+end
+
+let with_penalty ~base ~penalty ~name =
+  {
+    name;
+    time =
+      (fun platform task ~procs ->
+        let f = penalty procs in
+        if not (f > 0.) then
+          invalid_arg "Emts_model.with_penalty: penalty must be > 0";
+        base.time platform task ~procs *. f);
+  }
+
+let monotonized base =
+  {
+    name = base.name ^ "+monotonized";
+    time =
+      (fun platform task ~procs ->
+        let best = ref infinity in
+        for q = 1 to procs do
+          let t = base.time platform task ~procs:q in
+          if t < !best then best := t
+        done;
+        !best);
+  }
+
+module Memo = struct
+  let tabulate model platform task =
+    Array.init platform.Emts_platform.processors (fun i ->
+        model.time platform task ~procs:(i + 1))
+
+  let tabulate_graph model platform g =
+    Array.init (Emts_ptg.Graph.task_count g) (fun v ->
+        tabulate model platform (Emts_ptg.Graph.task g v))
+end
+
+let is_monotone model platform task =
+  let table = Memo.tabulate model platform task in
+  let ok = ref true in
+  for i = 1 to Array.length table - 1 do
+    if table.(i) > table.(i - 1) +. 1e-12 then ok := false
+  done;
+  !ok
+
+let find_preset name =
+  match String.lowercase_ascii name with
+  | "amdahl" | "model1" -> Some amdahl
+  | "synthetic" | "model2" -> Some synthetic
+  | _ -> None
+
+let pp ppf model = Format.pp_print_string ppf model.name

@@ -1,0 +1,130 @@
+(** Execution-time models for moldable tasks (paper Section IV-B).
+
+    A model predicts the wall-clock time of one task on [p] processors of
+    a given platform.  EMTS treats models as opaque functions — that is
+    the paper's central claim of model independence — so this module
+    represents them as first-class values and provides the two models of
+    the paper (Amdahl's law and the synthetic non-monotone Model 2), the
+    Downey speed-up model from related work, empirical table-driven
+    models, and combinators. *)
+
+type t = {
+  name : string;
+  time : Emts_platform.t -> Emts_ptg.Task.t -> procs:int -> float;
+}
+(** [time platform task ~procs] is the predicted execution time in
+    seconds of [task] on [procs] processors.  Implementations must accept
+    any [1 <= procs <= platform.processors] and return a non-negative
+    finite float. *)
+
+val time : t -> Emts_platform.t -> Emts_ptg.Task.t -> procs:int -> float
+(** Apply a model, validating [procs] is within the platform's range. *)
+
+val sequential_time : Emts_platform.t -> Emts_ptg.Task.t -> float
+(** [T(v,1) = flop / speed]: the sequential execution time all the
+    paper's models are anchored to. *)
+
+(** {1 The paper's models} *)
+
+val amdahl : t
+(** Model 1: [T(v,p) = (alpha + (1-alpha)/p) * T(v,1)] — monotonically
+    non-increasing in [p]. *)
+
+val synthetic : t
+(** Model 2 (Algorithm 1): Amdahl's prediction, multiplied by 1.3 when
+    [p > 1] is odd, by 1.1 when [p > 1] is even and has no integer
+    square root.  Mimics PDGEMM's sensitivity to process-grid shape. *)
+
+(** {1 Extensions} *)
+
+val downey : avg_parallelism:float -> variance:float -> t
+(** Downey's speed-up model [Downey 1997], parameterised by the average
+    parallelism [A >= 1] and the variance of parallelism [sigma >= 0];
+    [T(v,p) = T(v,1) / S(p)] with Downey's piecewise speed-up [S].  The
+    task's own [alpha] is ignored. *)
+
+module Empirical : sig
+  type table
+  (** Measured (procs, seconds) points for one task shape, e.g. the
+      PDGEMM timings of the paper's Figure 1. *)
+
+  val of_points : (int * float) list -> table
+  (** Builds a table from at least one (procs > 0, seconds > 0) point.
+      Duplicated proc counts keep the last value. *)
+
+  val lookup : table -> procs:int -> float
+  (** Exact hit, else linear interpolation between neighbours, else
+      clamped to the nearest endpoint. *)
+
+  val pdgemm_1024 : table
+  (** PDGEMM-shaped timings for a 1024x1024 matrix, with the odd /
+      non-square penalties of Figure 1 (synthesised — the Cray data is
+      not public; see DESIGN.md substitutions). *)
+
+  val pdgemm_2048 : table
+  (** Same shape for 2048x2048. *)
+
+  val model : name:string -> table -> t
+  (** A model that ignores the task and the platform and replays the
+      table verbatim: used for single-kernel studies such as the
+      PDGEMM curves of Figure 1. *)
+
+  (** {2 File format}
+
+      Measured timings as data, one point per line — so users can feed
+      real benchmark measurements (the paper's Figure 1 is exactly such
+      a table) to the scheduler without writing OCaml:
+      {v
+      # comment
+      procs seconds
+      2 0.21
+      4 0.11
+      v} *)
+
+  val to_string : table -> string
+  val of_string : string -> (table, string) result
+  val load : string -> (table, string) result
+  val save : table -> string -> unit
+end
+
+(** {1 Combinators} *)
+
+val with_penalty : base:t -> penalty:(int -> float) -> name:string -> t
+(** Multiplies [base]'s prediction by [penalty procs] (must be > 0):
+    building block for custom non-monotone models. *)
+
+val monotonized : t -> t
+(** [monotonized base] enforces the monotonous-penalty assumption the
+    way Günther et al. [17] do: an allocation of [p] processors runs at
+    the speed of the best [q <= p] (the surplus processors idle), i.e.
+    [T'(v,p) = min over q <= p of T(v,q)].  The result is always
+    non-increasing in [p]; used by the monotonization ablation to ask
+    how much of EMTS's Model-2 gain a heuristic can recover by simply
+    refusing penalised allocations.  O(p) per query — tabulate with
+    {!Memo} in hot loops. *)
+
+module Memo : sig
+  val tabulate :
+    t -> Emts_platform.t -> Emts_ptg.Task.t -> float array
+  (** [tabulate model platform task] evaluates the model for every
+      [procs] in [1 .. platform.processors]; index [p-1] holds the time
+      on [p] processors.  The EA calls the model millions of times with
+      the same tasks, so callers should tabulate once per task. *)
+
+  val tabulate_graph :
+    t -> Emts_platform.t -> Emts_ptg.Graph.t -> float array array
+  (** Per-task tables for a whole graph: index = task id. *)
+end
+
+(** {1 Properties} *)
+
+val is_monotone :
+  t -> Emts_platform.t -> Emts_ptg.Task.t -> bool
+(** Whether the predicted time is non-increasing in [p] over the whole
+    processor range of the platform (the "monotonous penalty
+    assumption" most heuristics rely on). *)
+
+val find_preset : string -> t option
+(** ["amdahl" | "model1" | "synthetic" | "model2"] (case-insensitive). *)
+
+val pp : Format.formatter -> t -> unit

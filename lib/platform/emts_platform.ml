@@ -1,0 +1,78 @@
+type t = { name : string; processors : int; speed_gflops : float }
+
+let make ~name ~processors ~speed_gflops =
+  if processors < 1 then
+    invalid_arg "Emts_platform.make: processors must be >= 1";
+  if not (speed_gflops > 0.) then
+    invalid_arg "Emts_platform.make: speed_gflops must be > 0";
+  { name; processors; speed_gflops }
+
+let chti = make ~name:"chti" ~processors:20 ~speed_gflops:4.3
+let grelon = make ~name:"grelon" ~processors:120 ~speed_gflops:3.1
+let presets = [ chti; grelon ]
+
+let find_preset name =
+  let lowered = String.lowercase_ascii name in
+  List.find_opt (fun p -> String.lowercase_ascii p.name = lowered) presets
+
+let flops t = t.speed_gflops *. 1e9
+
+let seconds_for t ~flop ~procs =
+  if procs < 1 then invalid_arg "Emts_platform.seconds_for: procs must be >= 1";
+  if flop < 0. then invalid_arg "Emts_platform.seconds_for: flop must be >= 0";
+  flop /. (float_of_int procs *. flops t)
+
+let to_string t =
+  Printf.sprintf "name %s\nprocessors %d\nspeed_gflops %.17g\n" t.name
+    t.processors t.speed_gflops
+
+let of_string text =
+  let name = ref None and procs = ref None and speed = ref None in
+  let err = ref None in
+  let handle_line lineno line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then ()
+    else
+      match String.index_opt line ' ' with
+      | None -> err := Some (Printf.sprintf "line %d: expected 'key value'" lineno)
+      | Some i ->
+        let key = String.sub line 0 i in
+        let value = String.trim (String.sub line i (String.length line - i)) in
+        (match key with
+        | "name" -> name := Some value
+        | "processors" -> (
+          match int_of_string_opt value with
+          | Some n -> procs := Some n
+          | None -> err := Some (Printf.sprintf "line %d: bad integer %S" lineno value))
+        | "speed_gflops" -> (
+          match float_of_string_opt value with
+          | Some s -> speed := Some s
+          | None -> err := Some (Printf.sprintf "line %d: bad float %S" lineno value))
+        | _ -> err := Some (Printf.sprintf "line %d: unknown key %S" lineno key))
+  in
+  List.iteri (fun i l -> if !err = None then handle_line (i + 1) l)
+    (String.split_on_char '\n' text);
+  match (!err, !name, !procs, !speed) with
+  | Some e, _, _, _ -> Error e
+  | None, Some name, Some processors, Some speed_gflops -> (
+    try Ok (make ~name ~processors ~speed_gflops)
+    with Invalid_argument m -> Error m)
+  | None, _, _, _ -> Error "missing key: need name, processors, speed_gflops"
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string t))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d procs at %.2f GFLOPS)" t.name t.processors
+    t.speed_gflops
+
+let equal a b =
+  a.name = b.name && a.processors = b.processors
+  && a.speed_gflops = b.speed_gflops

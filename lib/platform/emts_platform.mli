@@ -1,0 +1,56 @@
+(** Homogeneous-cluster platform model (paper Section II-A, IV-A).
+
+    A platform is a set of [p] identical processors of a given speed,
+    fully interconnected; communication costs are not modelled (they must
+    be folded into task execution-time models if needed).  The simulator
+    of the paper "reads a platform file, containing the processors'
+    speed" — the same file format is provided here. *)
+
+type t = private {
+  name : string;         (** human-readable identifier, e.g. ["grelon"] *)
+  processors : int;      (** number of identical processors, [>= 1] *)
+  speed_gflops : float;  (** per-processor speed in GFLOPS, [> 0] *)
+}
+
+val make : name:string -> processors:int -> speed_gflops:float -> t
+(** Builds a platform.  Raises [Invalid_argument] if [processors < 1] or
+    [speed_gflops <= 0]. *)
+
+val chti : t
+(** Grid'5000 cluster in Lille: 20 nodes at 4.3 GFLOPS (HP-LinPACK). *)
+
+val grelon : t
+(** Grid'5000 cluster in Nancy: 120 nodes at 3.1 GFLOPS (HP-LinPACK). *)
+
+val presets : t list
+(** All built-in platforms, [[chti; grelon]]. *)
+
+val find_preset : string -> t option
+(** Case-insensitive lookup among {!presets}. *)
+
+val flops : t -> float
+(** Per-processor speed in FLOP/s ([speed_gflops *. 1e9]). *)
+
+val seconds_for : t -> flop:float -> procs:int -> float
+(** [seconds_for t ~flop ~procs] is the ideal (perfectly parallel)
+    execution time of [flop] floating-point operations on [procs]
+    processors of this platform: [flop /. (procs * flops t)].  Building
+    block for the execution-time models. *)
+
+(** {1 File format}
+
+    One platform per file, line-oriented:
+    {v
+    # comment
+    name grelon
+    processors 120
+    speed_gflops 3.1
+    v} *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

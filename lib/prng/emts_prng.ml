@@ -1,0 +1,138 @@
+(* xoshiro256** with splitmix64 seeding.  Reference: Blackman & Vigna,
+   "Scrambled linear pseudorandom number generators", 2018. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let default_seed = 0x5EED_CA11
+
+(* splitmix64: used to expand one 64-bit seed into the 256-bit state, and
+   to derive split streams.  Guarantees the state is never all-zero. *)
+let splitmix64_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed64 =
+  let st = ref seed64 in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  { s0; s1; s2; s3 }
+
+let create ?(seed = default_seed) () = of_seed64 (Int64.of_int seed)
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let seed_of_label label =
+  (* FNV-1a over the label bytes, folded to a non-negative OCaml int. *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    label;
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+(* Uniform int in [0, bound) by rejection on the top 62 bits, which fit an
+   OCaml int exactly. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Emts_prng.int: bound must be positive";
+  let mask_bits x = Int64.to_int (Int64.shift_right_logical x 2) in
+  let limit = max_int - (max_int mod bound) in
+  let rec draw () =
+    let v = mask_bits (bits64 t) in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Emts_prng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+(* 53-bit mantissa uniform in [0,1). *)
+let unit_float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int bits53 *. 0x1.0p-53
+
+let float t bound =
+  if not (bound > 0.) || bound = infinity then
+    invalid_arg "Emts_prng.float: bound must be positive and finite";
+  unit_float t *. bound
+
+let float_in t lo hi =
+  if not (lo < hi) then invalid_arg "Emts_prng.float_in: requires lo < hi";
+  lo +. (unit_float t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p =
+  let p = Float.max 0. (Float.min 1. p) in
+  unit_float t < p
+
+(* Marsaglia polar method; draws pairs but we discard the spare to keep
+   the stream position independent of call history. *)
+let normal t ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Emts_prng.normal: sigma must be >= 0";
+  if sigma = 0. then mu
+  else
+    let rec draw () =
+      let u = float_in t (-1.) 1. and v = float_in t (-1.) 1. in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1. || s = 0. then draw ()
+      else u *. sqrt (-2. *. log s /. s)
+    in
+    mu +. (sigma *. draw ())
+
+let log_uniform t ~lo ~hi =
+  if not (0. < lo && lo < hi) then
+    invalid_arg "Emts_prng.log_uniform: requires 0 < lo < hi";
+  exp (float_in t (log lo) (log hi))
+
+let exponential t ~lambda =
+  if not (lambda > 0.) then
+    invalid_arg "Emts_prng.exponential: lambda must be > 0";
+  -.log1p (-.unit_float t) /. lambda
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t ~k ~n =
+  if k < 0 || k > n then
+    invalid_arg "Emts_prng.sample_without_replacement: requires 0 <= k <= n";
+  (* Partial Fisher–Yates over [0..n-1]: O(n) space, O(n + k) time, exact. *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.sub a 0 k
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Emts_prng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,82 @@
+(** Deterministic pseudo-random number generation for EMTS experiments.
+
+    Every source of randomness in the library (DAG generation, task-cost
+    assignment, evolutionary mutation) flows through this module so that a
+    whole experiment campaign is reproducible from a single integer seed —
+    the paper relies on this property ("the random generator uses the same
+    (random) seed for all experiments", Section V-B).
+
+    The generator is xoshiro256** (Blackman & Vigna), seeded through
+    splitmix64.  It is small, fast, and passes BigCrush; we implement it
+    here rather than relying on [Stdlib.Random] so that results do not
+    depend on the OCaml compiler version. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] builds a fresh generator.  The default seed is the
+    campaign-wide default [0x5EED_CA11]; two generators created with the
+    same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state:
+    it will produce the same future stream as [t] without affecting it. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t].  Use one split stream per experimental unit (one per
+    PTG instance, one per EMTS run) so that adding experiments does not
+    perturb the randomness of existing ones. *)
+
+val seed_of_label : string -> int
+(** [seed_of_label s] hashes an arbitrary label (e.g. ["fig4/fft/chti/17"])
+    into a seed, for content-addressed experiment streams. *)
+
+(** {1 Raw draws} *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output of xoshiro256**. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound-1].  [bound] must be
+    positive.  Uses rejection sampling, so the result is exactly uniform. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi].
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound) with 53-bit
+    resolution.  [bound] must be positive and finite. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] draws uniformly from [lo, hi). Requires [lo < hi]. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+(** {1 Distributions} *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p] (clamped to [0,1]). *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian draw via the Marsaglia polar method.  [sigma >= 0]. *)
+
+val log_uniform : t -> lo:float -> hi:float -> float
+(** Draw whose logarithm is uniform on [log lo, log hi]; used for the
+    task iteration factor [a] in [2^6, 2^9].  Requires [0 < lo < hi]. *)
+
+val exponential : t -> lambda:float -> float
+(** Exponential draw with rate [lambda > 0]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int array
+(** [sample_without_replacement t ~k ~n] draws [k] distinct indices from
+    [0, n-1], in random order.  Requires [0 <= k <= n]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform draw from a non-empty array. *)

@@ -1,0 +1,102 @@
+let check_time name v t =
+  if Float.is_nan t || t < 0. then
+    invalid_arg
+      (Printf.sprintf "Analysis.%s: time of node %d is invalid (%g)" name v t)
+
+let bottom_levels g ~time =
+  let n = Graph.task_count g in
+  let bl = Array.make n 0. in
+  let topo = Graph.topological_order g in
+  (* Walk the topological order backwards: successors already final. *)
+  for k = n - 1 downto 0 do
+    let v = topo.(k) in
+    let tv = time v in
+    check_time "bottom_levels" v tv;
+    let best =
+      Array.fold_left (fun acc w -> Float.max acc bl.(w)) 0. (Graph.succs g v)
+    in
+    bl.(v) <- tv +. best
+  done;
+  bl
+
+let top_levels g ~time =
+  let n = Graph.task_count g in
+  let tl = Array.make n 0. in
+  let topo = Graph.topological_order g in
+  for k = 0 to n - 1 do
+    let v = topo.(k) in
+    let best =
+      Array.fold_left
+        (fun acc p ->
+          let tp = time p in
+          check_time "top_levels" p tp;
+          Float.max acc (tl.(p) +. tp))
+        0. (Graph.preds g v)
+    in
+    tl.(v) <- best
+  done;
+  tl
+
+let critical_path_length g ~time =
+  if Graph.task_count g = 0 then 0.
+  else Array.fold_left Float.max neg_infinity (bottom_levels g ~time)
+
+let critical_path g ~time =
+  if Graph.task_count g = 0 then []
+  else begin
+    let bl = bottom_levels g ~time in
+    (* Start from the source with the largest bottom level (smallest id on
+       ties), then repeatedly follow the successor with the largest bl. *)
+    let best_of candidates =
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | None -> Some v
+          | Some u -> if bl.(v) > bl.(u) then Some v else acc)
+        None candidates
+    in
+    let start =
+      match best_of (Graph.sources g) with
+      | Some v -> v
+      | None -> invalid_arg "Analysis.critical_path: graph has no source"
+    in
+    let rec follow v acc =
+      let acc = v :: acc in
+      match best_of (Array.to_list (Graph.succs g v)) with
+      | None -> List.rev acc
+      | Some w -> follow w acc
+    in
+    follow start []
+  end
+
+let delta_critical g ~time ~delta =
+  if not (0. <= delta && delta <= 1.) then
+    invalid_arg "Analysis.delta_critical: delta must lie in [0, 1]";
+  let bl = bottom_levels g ~time in
+  let cutoff = delta *. Array.fold_left Float.max 0. bl in
+  List.filter
+    (fun v -> bl.(v) >= cutoff)
+    (List.init (Graph.task_count g) Fun.id)
+
+let delta_critical_by_level g ~time ~delta =
+  let critical = delta_critical g ~time ~delta in
+  let level = Graph.precedence_level g in
+  let buckets = Array.make (max 1 (Graph.level_count g)) [] in
+  List.iter (fun v -> buckets.(level.(v)) <- v :: buckets.(level.(v)))
+    (List.rev critical);
+  buckets
+
+let work g ~time ~alloc =
+  let acc = ref 0. in
+  for v = 0 to Graph.task_count g - 1 do
+    let tv = time v in
+    check_time "work" v tv;
+    let a = alloc v in
+    if a < 1 then invalid_arg "Analysis.work: allocation must be >= 1";
+    acc := !acc +. (tv *. float_of_int a)
+  done;
+  !acc
+
+let average_area g ~time ~alloc ~procs =
+  if procs < 1 then invalid_arg "Analysis.average_area: procs must be >= 1";
+  work g ~time ~alloc /. float_of_int procs

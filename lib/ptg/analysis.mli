@@ -1,0 +1,46 @@
+(** Critical-path analysis of PTGs under a pluggable time assignment.
+
+    All functions take the per-task execution time as a function
+    [time : int -> float] from node id to seconds, so the same analysis
+    serves any allocation and any execution-time model: the caller
+    partially applies its model to the current allocation vector.
+    Communication costs are not modelled (paper Section III). *)
+
+val bottom_levels : Graph.t -> time:(int -> float) -> float array
+(** [bottom_levels g ~time] computes [bl(v)] for every node: the length
+    of the longest path from [v] to any sink, including [v]'s own
+    execution time (paper footnote 1).  O(V + E). *)
+
+val top_levels : Graph.t -> time:(int -> float) -> float array
+(** [top_levels g ~time] is the length of the longest path from any
+    source up to but excluding [v] — the earliest possible start of [v]
+    on an unbounded machine. *)
+
+val critical_path_length : Graph.t -> time:(int -> float) -> float
+(** Maximum bottom level over all nodes: the makespan lower bound given
+    the current allocation ([T_CP] in the CPA family). *)
+
+val critical_path : Graph.t -> time:(int -> float) -> int list
+(** One maximal-length source-to-sink path, as node ids in precedence
+    order.  Ties break toward the smallest id, so the result is
+    deterministic. *)
+
+val delta_critical : Graph.t -> time:(int -> float) -> delta:float -> int list
+(** [delta_critical g ~time ~delta] is the set of Δ-critical nodes
+    (Suter): all [v] with [bl(v) >= delta *. max_i bl(i)], ascending id.
+    Requires [0 <= delta <= 1]. *)
+
+val delta_critical_by_level :
+  Graph.t -> time:(int -> float) -> delta:float -> int list array
+(** Δ-critical nodes grouped by precedence level, as used by the paper's
+    seeding heuristic (Section III-B): index [l] holds the Δ-critical
+    nodes of level [l], ascending id (possibly empty). *)
+
+val average_area :
+  Graph.t -> time:(int -> float) -> alloc:(int -> int) -> procs:int -> float
+(** [average_area g ~time ~alloc ~procs] is [T_A], the average-area lower
+    bound used by CPA: [ (1/P) * sum_v time(v) * alloc(v) ].  [time] is
+    the execution time of [v] under its current allocation. *)
+
+val work : Graph.t -> time:(int -> float) -> alloc:(int -> int) -> float
+(** Total processor-seconds consumed: [sum_v time(v) * alloc(v)]. *)

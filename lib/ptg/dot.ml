@@ -1,0 +1,41 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let default_label (task : Task.t) =
+  Printf.sprintf "%s\n%.2e FLOP" task.name task.flop
+
+let to_dot ?(graph_name = "ptg") ?(label = default_label)
+    ?(extra_node_attrs = fun _ -> []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" graph_name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=box];\n";
+  for v = 0 to Graph.task_count g - 1 do
+    let task = Graph.task g v in
+    let attrs =
+      ("label", label task) :: extra_node_attrs task
+      |> List.map (fun (k, value) -> Printf.sprintf "%s=\"%s\"" k (escape value))
+      |> String.concat ", "
+    in
+    Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" v attrs)
+  done;
+  List.iter
+    (fun (src, dst) ->
+      Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" src dst))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?graph_name g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?graph_name g))

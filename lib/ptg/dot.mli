@@ -1,0 +1,14 @@
+(** Graphviz DOT export of PTGs, for eyeballing generated graphs. *)
+
+val to_dot :
+  ?graph_name:string ->
+  ?label:(Task.t -> string) ->
+  ?extra_node_attrs:(Task.t -> (string * string) list) ->
+  Graph.t ->
+  string
+(** [to_dot g] renders a [digraph].  [label] defaults to the task name
+    plus its FLOP count; [extra_node_attrs] can add e.g. colors keyed on
+    an allocation.  Node identifiers in the output are the task ids. *)
+
+val save : ?graph_name:string -> Graph.t -> string -> unit
+(** [save g path] writes {!to_dot} output to [path]. *)

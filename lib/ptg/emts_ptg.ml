@@ -1,0 +1,10 @@
+(** Parallel task graph substrate: tasks, DAGs, critical-path analysis,
+    DOT export and on-disk serialisation.  See the submodule interfaces
+    for details. *)
+
+module Task = Task
+module Graph = Graph
+module Analysis = Analysis
+module Metrics = Metrics
+module Dot = Dot
+module Serial = Serial

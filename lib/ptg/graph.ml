@@ -1,0 +1,238 @@
+type t = {
+  tasks : Task.t array;
+  succ : int array array;
+  pred : int array array;
+  n_edges : int;
+  (* Caches computed at build time; cheap and used constantly. *)
+  topo : int array;
+  level : int array;
+  n_levels : int;
+}
+
+exception Cycle of int list
+
+(* Kahn's algorithm with a min-id priority choice so the order is unique
+   for a given graph.  Returns the topological order or raises Cycle. *)
+let topo_sort ~n ~succ ~pred =
+  let indeg = Array.init n (fun i -> Array.length pred.(i)) in
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then ready := IS.add i !ready
+  done;
+  let order = Array.make n (-1) in
+  let k = ref 0 in
+  while not (IS.is_empty !ready) do
+    let v = IS.min_elt !ready in
+    ready := IS.remove v !ready;
+    order.(!k) <- v;
+    incr k;
+    Array.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then ready := IS.add w !ready)
+      succ.(v)
+  done;
+  if !k < n then begin
+    (* Some nodes remain on a cycle; report them for diagnostics. *)
+    let stuck = ref [] in
+    for i = n - 1 downto 0 do
+      if indeg.(i) > 0 then stuck := i :: !stuck
+    done;
+    raise (Cycle !stuck)
+  end;
+  order
+
+let compute_levels ~n ~pred ~topo =
+  let level = Array.make n 0 in
+  let n_levels = ref (if n = 0 then 0 else 1) in
+  Array.iter
+    (fun v ->
+      let lv =
+        Array.fold_left (fun acc p -> max acc (level.(p) + 1)) 0 pred.(v)
+      in
+      level.(v) <- lv;
+      if lv + 1 > !n_levels then n_levels := lv + 1)
+    topo;
+  (level, !n_levels)
+
+let make_graph tasks succ pred n_edges =
+  let n = Array.length tasks in
+  let topo = topo_sort ~n ~succ ~pred in
+  let level, n_levels = compute_levels ~n ~pred ~topo in
+  { tasks; succ; pred; n_edges; topo; level; n_levels }
+
+module Builder = struct
+  type t = {
+    mutable rev_tasks : Task.t list;
+    mutable n : int;
+    edges : (int * int, unit) Hashtbl.t;
+  }
+
+  let create () = { rev_tasks = []; n = 0; edges = Hashtbl.create 64 }
+
+  let add_task ?name ?data_size ?alpha ?pattern ~flop b =
+    let id = b.n in
+    let task = Task.make ?name ?data_size ?alpha ?pattern ~id ~flop () in
+    b.rev_tasks <- task :: b.rev_tasks;
+    b.n <- b.n + 1;
+    id
+
+  let add_edge b ~src ~dst =
+    if src < 0 || src >= b.n then invalid_arg "Builder.add_edge: unknown src";
+    if dst < 0 || dst >= b.n then invalid_arg "Builder.add_edge: unknown dst";
+    if src = dst then invalid_arg "Builder.add_edge: self-loop";
+    if not (Hashtbl.mem b.edges (src, dst)) then
+      Hashtbl.add b.edges (src, dst) ()
+
+  let task_count b = b.n
+
+  let build b =
+    let tasks = Array.of_list (List.rev b.rev_tasks) in
+    let n = Array.length tasks in
+    let succ_l = Array.make n [] and pred_l = Array.make n [] in
+    Hashtbl.iter
+      (fun (src, dst) () ->
+        succ_l.(src) <- dst :: succ_l.(src);
+        pred_l.(dst) <- src :: pred_l.(dst))
+      b.edges;
+    let to_sorted_array l =
+      let a = Array.of_list l in
+      Array.sort compare a;
+      a
+    in
+    let succ = Array.map to_sorted_array succ_l in
+    let pred = Array.map to_sorted_array pred_l in
+    make_graph tasks succ pred (Hashtbl.length b.edges)
+end
+
+let of_tasks_and_edges tasks edges =
+  Array.iteri
+    (fun i (task : Task.t) ->
+      if task.id <> i then
+        invalid_arg "Graph.of_tasks_and_edges: task ids must be dense")
+    tasks;
+  let b = Builder.create () in
+  Array.iter
+    (fun (task : Task.t) ->
+      ignore
+        (Builder.add_task ~name:task.name ~data_size:task.data_size
+           ~alpha:task.alpha ~pattern:task.pattern ~flop:task.flop b))
+    tasks;
+  List.iter (fun (src, dst) -> Builder.add_edge b ~src ~dst) edges;
+  Builder.build b
+
+let task_count g = Array.length g.tasks
+let edge_count g = g.n_edges
+
+let task g i =
+  if i < 0 || i >= Array.length g.tasks then
+    invalid_arg "Graph.task: id out of range";
+  g.tasks.(i)
+
+let tasks g = Array.copy g.tasks
+
+let succs g i =
+  if i < 0 || i >= Array.length g.succ then
+    invalid_arg "Graph.succs: id out of range";
+  g.succ.(i)
+
+let preds g i =
+  if i < 0 || i >= Array.length g.pred then
+    invalid_arg "Graph.preds: id out of range";
+  g.pred.(i)
+
+let edges g =
+  let acc = ref [] in
+  for src = Array.length g.succ - 1 downto 0 do
+    let out = g.succ.(src) in
+    for k = Array.length out - 1 downto 0 do
+      acc := (src, out.(k)) :: !acc
+    done
+  done;
+  !acc
+
+let has_edge g ~src ~dst =
+  src >= 0
+  && src < Array.length g.succ
+  && Array.exists (fun w -> w = dst) g.succ.(src)
+
+let in_degree g i = Array.length (preds g i)
+let out_degree g i = Array.length (succs g i)
+
+let sources g =
+  List.filter (fun v -> in_degree g v = 0)
+    (List.init (task_count g) Fun.id)
+
+let sinks g =
+  List.filter (fun v -> out_degree g v = 0)
+    (List.init (task_count g) Fun.id)
+
+let topological_order g = Array.copy g.topo
+let precedence_level g = Array.copy g.level
+let level_count g = g.n_levels
+
+let nodes_at_level g lv =
+  if lv < 0 || lv >= max 1 g.n_levels then
+    invalid_arg "Graph.nodes_at_level: level out of range";
+  List.filter (fun v -> g.level.(v) = lv) (List.init (task_count g) Fun.id)
+
+let max_level_width g =
+  if task_count g = 0 then 0
+  else begin
+    let widths = Array.make g.n_levels 0 in
+    Array.iter (fun lv -> widths.(lv) <- widths.(lv) + 1) g.level;
+    Array.fold_left max 0 widths
+  end
+
+let reachable g v =
+  let n = task_count g in
+  if v < 0 || v >= n then invalid_arg "Graph.reachable: id out of range";
+  let seen = Array.make n false in
+  let rec visit u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      Array.iter visit g.succ.(u)
+    end
+  in
+  visit v;
+  seen
+
+let is_edge_transitive g ~src ~dst =
+  if not (has_edge g ~src ~dst) then
+    invalid_arg "Graph.is_edge_transitive: no such edge";
+  (* Path src -> ... -> dst of length >= 2: from some other successor. *)
+  Array.exists
+    (fun mid -> mid <> dst && (reachable g mid).(dst))
+    g.succ.(src)
+
+let transitive_reduction g =
+  let keep =
+    List.filter
+      (fun (src, dst) -> not (is_edge_transitive g ~src ~dst))
+      (edges g)
+  in
+  of_tasks_and_edges g.tasks keep
+
+let map_tasks f g =
+  let tasks =
+    Array.mapi
+      (fun i old ->
+        let fresh = f old in
+        if fresh.Task.id <> i then
+          invalid_arg "Graph.map_tasks: transform must preserve ids";
+        fresh)
+      g.tasks
+  in
+  { g with tasks }
+
+let total_flop g =
+  Array.fold_left (fun acc (task : Task.t) -> acc +. task.flop) 0. g.tasks
+
+let equal_structure a b =
+  task_count a = task_count b && edge_count a = edge_count b
+  && edges a = edges b
+
+let pp_stats ppf g =
+  Format.fprintf ppf "%d tasks, %d edges, %d levels, width %d" (task_count g)
+    (edge_count g) (level_count g) (max_level_width g)

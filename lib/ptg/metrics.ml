@@ -1,0 +1,49 @@
+type t = {
+  tasks : int;
+  edges : int;
+  levels : int;
+  max_width : int;
+  mean_width : float;
+  mean_in_degree : float;
+  total_work : float;
+  critical_path : float;
+  average_parallelism : float;
+}
+
+let compute ~time g =
+  let tasks = Graph.task_count g in
+  if tasks = 0 then
+    {
+      tasks = 0; edges = 0; levels = 0; max_width = 0; mean_width = 0.;
+      mean_in_degree = 0.; total_work = 0.; critical_path = 0.;
+      average_parallelism = 0.;
+    }
+  else begin
+    let total_work = ref 0. in
+    for v = 0 to tasks - 1 do
+      total_work := !total_work +. time v
+    done;
+    let critical_path = Analysis.critical_path_length g ~time in
+    {
+      tasks;
+      edges = Graph.edge_count g;
+      levels = Graph.level_count g;
+      max_width = Graph.max_level_width g;
+      mean_width = float_of_int tasks /. float_of_int (Graph.level_count g);
+      mean_in_degree = float_of_int (Graph.edge_count g) /. float_of_int tasks;
+      total_work = !total_work;
+      critical_path;
+      average_parallelism =
+        (if critical_path > 0. then !total_work /. critical_path else 0.);
+    }
+  end
+
+let compute_flop g =
+  compute ~time:(fun v -> (Graph.task g v).Task.flop) g
+
+let pp ppf m =
+  Format.fprintf ppf
+    "%d tasks, %d edges, %d levels (max width %d, mean %.1f), mean in-deg \
+     %.2f, work %.4g, CP %.4g, avg parallelism %.2f"
+    m.tasks m.edges m.levels m.max_width m.mean_width m.mean_in_degree
+    m.total_work m.critical_path m.average_parallelism

@@ -1,0 +1,33 @@
+(** Structural and workload metrics of PTGs.
+
+    Used by the experiment reports to characterise generated instances
+    (the paper's campaign varies width/regularity/density/jump — these
+    metrics verify the generator delivers the requested shapes) and to
+    reason about schedulability: the average parallelism bounds how many
+    processors an instance can possibly exploit. *)
+
+type t = {
+  tasks : int;
+  edges : int;
+  levels : int;
+  max_width : int;         (** tasks in the widest precedence level *)
+  mean_width : float;      (** tasks / levels; 0 for empty graphs *)
+  mean_in_degree : float;  (** edges / tasks; 0 for empty graphs *)
+  total_work : float;      (** sum of sequential task times, seconds *)
+  critical_path : float;   (** sequential-time critical path, seconds *)
+  average_parallelism : float;
+      (** total_work / critical_path — the classic upper bound on
+          useful processors; 0 for empty graphs *)
+}
+
+val compute : time:(int -> float) -> Graph.t -> t
+(** [compute ~time g] with [time v] the sequential execution time of
+    task [v].  Works on any DAG, including empty ones (all-zero
+    record). *)
+
+val compute_flop : Graph.t -> t
+(** {!compute} with [time v = flop of v]: structure-only usage where no
+    platform is at hand (times are then in FLOP, not seconds). *)
+
+val pp : Format.formatter -> t -> unit
+(** One compact line. *)

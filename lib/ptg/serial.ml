@@ -1,0 +1,105 @@
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "ptg v1\n";
+  for v = 0 to Graph.task_count g - 1 do
+    let task = Graph.task g v in
+    Buffer.add_string buf
+      (Printf.sprintf "task %d %.17g %.17g %.17g %s %s\n" task.Task.id
+         task.Task.flop task.Task.data_size task.Task.alpha
+         (Task.pattern_to_string task.Task.pattern)
+         task.Task.name)
+  done;
+  List.iter
+    (fun (src, dst) ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d\n" src dst))
+    (Graph.edges g);
+  Buffer.contents buf
+
+type parse_state = {
+  mutable header_seen : bool;
+  mutable rev_tasks : Task.t list;
+  mutable n : int;
+  mutable rev_edges : (int * int) list;
+}
+
+let parse_line st lineno line =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt in
+  let fields = String.split_on_char ' ' line |> List.filter (( <> ) "") in
+  match fields with
+  | [] -> Ok ()
+  | "ptg" :: version :: _ ->
+    if version = "v1" then begin
+      st.header_seen <- true;
+      Ok ()
+    end
+    else fail "unsupported format version %S" version
+  | "task" :: id :: flop :: data_size :: alpha :: pattern :: name_parts -> (
+    match
+      ( int_of_string_opt id,
+        float_of_string_opt flop,
+        float_of_string_opt data_size,
+        float_of_string_opt alpha,
+        Task.pattern_of_string pattern,
+        name_parts )
+    with
+    | Some id, Some flop, Some data_size, Some alpha, Some pattern, [ name ]
+      ->
+      if id <> st.n then fail "task ids must be dense; expected %d, got %d" st.n id
+      else begin
+        match
+          Task.make ~name ~data_size ~alpha ~pattern ~id ~flop ()
+        with
+        | task ->
+          st.rev_tasks <- task :: st.rev_tasks;
+          st.n <- st.n + 1;
+          Ok ()
+        | exception Invalid_argument m -> fail "%s" m
+      end
+    | _, _, _, _, None, _ -> fail "unknown pattern %S" pattern
+    | _ -> fail "malformed task record")
+  | [ "edge"; src; dst ] -> (
+    match (int_of_string_opt src, int_of_string_opt dst) with
+    | Some src, Some dst ->
+      st.rev_edges <- (src, dst) :: st.rev_edges;
+      Ok ()
+    | _ -> fail "malformed edge record")
+  | keyword :: _ -> fail "unknown record %S" keyword
+
+let of_string text =
+  let st = { header_seen = false; rev_tasks = []; n = 0; rev_edges = [] } in
+  let lines = String.split_on_char '\n' text in
+  let rec run lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then run (lineno + 1) rest
+      else
+        match parse_line st lineno line with
+        | Ok () -> run (lineno + 1) rest
+        | Error _ as e -> e)
+  in
+  match run 1 lines with
+  | Error _ as e -> e
+  | Ok () ->
+    if not st.header_seen then Error "missing 'ptg v1' header"
+    else begin
+      let tasks = Array.of_list (List.rev st.rev_tasks) in
+      match Graph.of_tasks_and_edges tasks (List.rev st.rev_edges) with
+      | g -> Ok g
+      | exception Graph.Cycle vs ->
+        Error
+          (Printf.sprintf "graph contains a cycle through nodes [%s]"
+             (String.concat "; " (List.map string_of_int vs)))
+      | exception Invalid_argument m -> Error m
+    end
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,18 @@
+(** Line-oriented [.ptg] file format: parse/print round-trip for PTGs.
+
+    The paper's simulator "reads the description of the PTG"; this module
+    defines that on-disk representation.  Format, one record per line:
+    {v
+    # comment, blank lines ignored
+    ptg v1
+    task <id> <flop> <data_size> <alpha> <pattern> <name>
+    edge <src> <dst>
+    v}
+    Task ids must be dense (0..V-1).  Names may not contain whitespace
+    (the generators never emit such names); floats use [%.17g] so the
+    round-trip is exact. *)
+
+val to_string : Graph.t -> string
+val of_string : string -> (Graph.t, string) result
+val save : Graph.t -> string -> unit
+val load : string -> (Graph.t, string) result

@@ -1,0 +1,54 @@
+type pattern = Stencil | Sort | Matmul | Direct
+
+type t = {
+  id : int;
+  name : string;
+  flop : float;
+  data_size : float;
+  alpha : float;
+  pattern : pattern;
+}
+
+let make ?name ?(data_size = 0.) ?(alpha = 0.) ?(pattern = Direct) ~id ~flop
+    () =
+  if id < 0 then invalid_arg "Task.make: id must be >= 0";
+  if not (flop >= 0.) then invalid_arg "Task.make: flop must be >= 0";
+  if not (data_size >= 0.) then
+    invalid_arg "Task.make: data_size must be >= 0";
+  if not (0. <= alpha && alpha <= 1.) then
+    invalid_arg "Task.make: alpha must lie in [0, 1]";
+  let name = match name with Some n -> n | None -> "t" ^ string_of_int id in
+  { id; name; flop; data_size; alpha; pattern }
+
+let log2 x = log x /. log 2.
+
+let flop_of_pattern pattern ~a ~d =
+  if not (d > 0.) then invalid_arg "Task.flop_of_pattern: d must be > 0";
+  match pattern with
+  | Stencil -> a *. d
+  | Sort -> a *. d *. log2 d
+  | Matmul -> d ** 1.5
+  | Direct -> invalid_arg "Task.flop_of_pattern: Direct has no formula"
+
+let max_data_size = 125e6
+
+let pattern_to_string = function
+  | Stencil -> "stencil"
+  | Sort -> "sort"
+  | Matmul -> "matmul"
+  | Direct -> "direct"
+
+let pattern_of_string = function
+  | "stencil" -> Some Stencil
+  | "sort" -> Some Sort
+  | "matmul" -> Some Matmul
+  | "direct" -> Some Direct
+  | _ -> None
+
+let equal a b =
+  a.id = b.id && a.name = b.name && a.flop = b.flop
+  && a.data_size = b.data_size && a.alpha = b.alpha && a.pattern = b.pattern
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %s (%.3g FLOP, d=%.3g, alpha=%.3f, %s)" t.id t.name
+    t.flop t.data_size t.alpha (pattern_to_string t.pattern)

@@ -1,0 +1,50 @@
+(** Moldable parallel tasks (paper Sections II-A and IV-C).
+
+    A task carries the quantities the paper's simulator attaches to PTG
+    nodes: a cost in floating-point operations, the size [d] of the
+    dataset it operates on (in doubles), the Amdahl fraction [alpha] of
+    non-parallelisable code, and the computational pattern used to derive
+    the FLOP count from [d]. *)
+
+(** The three computational patterns of Section IV-C, plus an escape
+    hatch for tasks whose cost was set directly. *)
+type pattern =
+  | Stencil  (** cost [a * d]   — stencil computation *)
+  | Sort     (** cost [a * d * log2 d] — sorting an array *)
+  | Matmul   (** cost [d^(3/2)] — multiplication of sqrt-d square matrices *)
+  | Direct   (** cost given explicitly, no derivation *)
+
+type t = {
+  id : int;            (** position in the owning graph, [>= 0] *)
+  name : string;       (** label for rendering; need not be unique *)
+  flop : float;        (** work in floating-point operations, [>= 0] *)
+  data_size : float;   (** dataset size [d] in doubles, [>= 0] *)
+  alpha : float;       (** non-parallelisable fraction, in [0, 1] *)
+  pattern : pattern;
+}
+
+val make :
+  ?name:string ->
+  ?data_size:float ->
+  ?alpha:float ->
+  ?pattern:pattern ->
+  id:int ->
+  flop:float ->
+  unit ->
+  t
+(** [make ~id ~flop ()] builds a task; [name] defaults to ["t<id>"],
+    [data_size] to [0.], [alpha] to [0.] (perfectly parallel), [pattern]
+    to [Direct].  Raises [Invalid_argument] on out-of-range fields. *)
+
+val flop_of_pattern : pattern -> a:float -> d:float -> float
+(** FLOP count of a pattern instance: [a*d], [a*d*log2 d], or [d^1.5]
+    ([a] is ignored for [Matmul]; [Direct] is rejected). *)
+
+val max_data_size : float
+(** Upper bound for [d]: 125e6 doubles = 1 GB of 8-byte values
+    (Section IV-C). *)
+
+val pattern_to_string : pattern -> string
+val pattern_of_string : string -> pattern option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type t = int array
+
+let uniform g p =
+  if p < 1 then invalid_arg "Allocation.uniform: p must be >= 1";
+  Array.make (Emts_ptg.Graph.task_count g) p
+
+let ones g = uniform g 1
+
+let validate t ~graph ~procs =
+  let n = Emts_ptg.Graph.task_count graph in
+  if Array.length t <> n then
+    Error
+      (Printf.sprintf "allocation length %d does not match task count %d"
+         (Array.length t) n)
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun v s ->
+        if !bad = None && (s < 1 || s > procs) then
+          bad :=
+            Some
+              (Printf.sprintf "task %d allocated %d procs, valid range 1..%d"
+                 v s procs))
+      t;
+    match !bad with None -> Ok () | Some msg -> Error msg
+  end
+
+let clamp t ~procs =
+  if procs < 1 then invalid_arg "Allocation.clamp: procs must be >= 1";
+  Array.map (fun s -> max 1 (min procs s)) t
+
+let times t ~model ~platform ~graph =
+  Array.mapi
+    (fun v s ->
+      Emts_model.time model platform (Emts_ptg.Graph.task graph v) ~procs:s)
+    t
+
+let times_of_tables t ~tables =
+  if Array.length t <> Array.length tables then
+    invalid_arg "Allocation.times_of_tables: length mismatch";
+  Array.mapi
+    (fun v s ->
+      let row = tables.(v) in
+      if s < 1 || s > Array.length row then
+        invalid_arg
+          (Printf.sprintf
+             "Allocation.times_of_tables: task %d allocated %d procs, table \
+              holds 1..%d"
+             v s (Array.length row));
+      row.(s - 1))
+    t
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat "; " (Array.to_list (Array.map string_of_int t)))

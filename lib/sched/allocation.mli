@@ -1,0 +1,40 @@
+(** Processor allocations: one processor count per task.
+
+    An allocation vector [s] assigns [s.(v)] processors to task [v] —
+    the paper's individual encoding [I(i) = s(v_i)] (Figure 2).  This is
+    the object the allocation heuristics produce, the EA evolves, and
+    the list scheduler consumes. *)
+
+type t = int array
+(** [t.(v)] is the number of processors allocated to task [v]. *)
+
+val uniform : Emts_ptg.Graph.t -> int -> t
+(** [uniform g p] allocates [p] processors to every task. *)
+
+val ones : Emts_ptg.Graph.t -> t
+(** The fully sequential allocation, [uniform g 1]. *)
+
+val validate :
+  t -> graph:Emts_ptg.Graph.t -> procs:int -> (unit, string) result
+(** Checks length = task count and every entry in [1, procs]. *)
+
+val clamp : t -> procs:int -> t
+(** Fresh copy with every entry clamped into [1, procs]. *)
+
+val times :
+  t ->
+  model:Emts_model.t ->
+  platform:Emts_platform.t ->
+  graph:Emts_ptg.Graph.t ->
+  float array
+(** [times s ~model ~platform ~graph] evaluates each task's execution
+    time under its allocated processor count. *)
+
+val times_of_tables : t -> tables:float array array -> float array
+(** Same, from pre-tabulated model values ([tables.(v).(p-1)] = time of
+    task [v] on [p] processors, as produced by
+    {!Emts_model.Memo.tabulate_graph}) — the fast path used inside the
+    EA's fitness loop. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+(** Mapping substrate: allocation vectors, schedules, the bottom-level
+    list scheduler and ASCII Gantt rendering. *)
+
+module Allocation = Allocation
+module Schedule = Schedule
+module List_scheduler = List_scheduler
+module Gantt = Gantt
+module Svg = Svg

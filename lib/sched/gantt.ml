@@ -1,0 +1,67 @@
+let glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+let glyph task = glyphs.[task mod String.length glyphs]
+
+(* Rows of the chart for a fixed horizon (so two charts can share a time
+   scale): rows.(p) is a string of [width] cells. *)
+let rows ~width ~horizon s =
+  let procs = Schedule.platform_procs s in
+  let grid = Array.init procs (fun _ -> Bytes.make width '.') in
+  let cell_time c = (float_of_int c +. 0.5) *. horizon /. float_of_int width in
+  Array.iter
+    (fun (e : Schedule.entry) ->
+      for c = 0 to width - 1 do
+        let t = cell_time c in
+        if e.start <= t && t < e.finish then
+          Array.iter (fun p -> Bytes.set grid.(p) c (glyph e.task)) e.procs
+      done)
+    (Schedule.entries s);
+  Array.map Bytes.to_string grid
+
+let summary s =
+  Printf.sprintf "makespan %.4g s, utilization %.1f%%, %d tasks on %d procs"
+    (Schedule.makespan s)
+    (100. *. Schedule.utilization s)
+    (Schedule.task_count s)
+    (Schedule.platform_procs s)
+
+let render ?(width = 100) ?max_rows s =
+  if width < 1 then invalid_arg "Gantt.render: width must be >= 1";
+  let horizon = Float.max 1e-12 (Schedule.makespan s) in
+  let grid = rows ~width ~horizon s in
+  let shown =
+    match max_rows with
+    | None -> Array.length grid
+    | Some m ->
+      if m < 1 then invalid_arg "Gantt.render: max_rows must be >= 1";
+      min m (Array.length grid)
+  in
+  let buf = Buffer.create ((shown + 2) * (width + 8)) in
+  for p = 0 to shown - 1 do
+    Buffer.add_string buf (Printf.sprintf "P%03d %s\n" p grid.(p))
+  done;
+  if shown < Array.length grid then
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d more processors)\n" (Array.length grid - shown));
+  Buffer.add_string buf (summary s);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render_pair ?(width = 60) ~left:(lname, ls) ~right:(rname, rs) () =
+  if width < 1 then invalid_arg "Gantt.render_pair: width must be >= 1";
+  let horizon =
+    Float.max 1e-12 (Float.max (Schedule.makespan ls) (Schedule.makespan rs))
+  in
+  let lrows = rows ~width ~horizon ls and rrows = rows ~width ~horizon rs in
+  let nrows = max (Array.length lrows) (Array.length rrows) in
+  let blank = String.make width ' ' in
+  let buf = Buffer.create (nrows * (2 * width + 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s   %s\n" (width + 5) (" " ^ lname) rname);
+  for p = 0 to nrows - 1 do
+    let l = if p < Array.length lrows then lrows.(p) else blank in
+    let r = if p < Array.length rrows then rrows.(p) else blank in
+    Buffer.add_string buf (Printf.sprintf "P%03d %s | %s\n" p l r)
+  done;
+  Buffer.add_string buf (Printf.sprintf "left:  %s\nright: %s\n" (summary ls) (summary rs));
+  Buffer.contents buf

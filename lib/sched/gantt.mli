@@ -1,0 +1,19 @@
+(** ASCII Gantt charts (paper Figure 6).
+
+    Renders a schedule as one row per processor and one column per time
+    bin, so that allocation shapes (tall thin tasks vs. short wide ones)
+    and idle holes are visible in a terminal.  Used for the MCPA vs.
+    EMTS side-by-side comparison. *)
+
+val render : ?width:int -> ?max_rows:int -> Schedule.t -> string
+(** [render s] draws the chart with [width] time columns (default 100).
+    Each cell shows the task occupying the processor at the bin's
+    midpoint ([.] when idle), cycling through 62 alphanumeric glyphs by
+    task id.  At most [max_rows] processors are shown (default all);
+    a trailing line reports makespan and utilisation. *)
+
+val render_pair :
+  ?width:int -> left:string * Schedule.t -> right:string * Schedule.t -> unit -> string
+(** Side-by-side rendering of two schedules over a common time scale
+    (so bar lengths are comparable), each with a caption — the layout
+    of Figure 6. *)

@@ -1,0 +1,212 @@
+module Graph = Emts_ptg.Graph
+
+(* Binary max-heap of (priority, id); higher bottom level first, smaller
+   id on ties.  Fixed capacity = task count. *)
+module Heap = struct
+  type t = {
+    prio : float array;
+    ids : int array;
+    mutable size : int;
+  }
+
+  let create capacity =
+    { prio = Array.make (max 1 capacity) 0.; ids = Array.make (max 1 capacity) 0; size = 0 }
+
+  let before h i j =
+    h.prio.(i) > h.prio.(j)
+    || (h.prio.(i) = h.prio.(j) && h.ids.(i) < h.ids.(j))
+
+  let swap h i j =
+    let p = h.prio.(i) and v = h.ids.(i) in
+    h.prio.(i) <- h.prio.(j);
+    h.ids.(i) <- h.ids.(j);
+    h.prio.(j) <- p;
+    h.ids.(j) <- v
+
+  let push h prio id =
+    let i = ref h.size in
+    h.prio.(!i) <- prio;
+    h.ids.(!i) <- id;
+    h.size <- h.size + 1;
+    while !i > 0 && before h !i ((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.ids.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.prio.(0) <- h.prio.(h.size);
+      h.ids.(0) <- h.ids.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.size && before h l !best then best := l;
+        if r < h.size && before h r !best then best := r;
+        if !best = !i then continue := false
+        else begin
+          swap h !i !best;
+          i := !best
+        end
+      done
+    end;
+    top
+
+  let is_empty h = h.size = 0
+end
+
+let check_inputs ~graph ~times ~alloc ~procs =
+  let n = Graph.task_count graph in
+  if Array.length times <> n then
+    invalid_arg "List_scheduler: times length does not match task count";
+  if Array.length alloc <> n then
+    invalid_arg "List_scheduler: allocation length does not match task count";
+  if procs < 1 then invalid_arg "List_scheduler: procs must be >= 1";
+  for v = 0 to n - 1 do
+    if alloc.(v) < 1 || alloc.(v) > procs then
+      invalid_arg
+        (Printf.sprintf "List_scheduler: task %d allocated %d procs (1..%d)" v
+           alloc.(v) procs);
+    if Float.is_nan times.(v) || times.(v) < 0. then
+      invalid_arg
+        (Printf.sprintf "List_scheduler: task %d has invalid time %g" v
+           times.(v))
+  done
+
+exception Rejected
+
+type priority = Bottom_level | Top_level_first | Static of float array
+
+let priorities ~priority ~graph ~times =
+  match priority with
+  | Bottom_level ->
+    Emts_ptg.Analysis.bottom_levels graph ~time:(fun v -> times.(v))
+  | Top_level_first ->
+    (* negate: the heap favours larger values, we want small top levels *)
+    Array.map (fun t -> -.t)
+      (Emts_ptg.Analysis.top_levels graph ~time:(fun v -> times.(v)))
+  | Static p ->
+    if Array.length p <> Graph.task_count graph then
+      invalid_arg "List_scheduler: static priority length mismatch";
+    Array.iter
+      (fun x ->
+        if Float.is_nan x then
+          invalid_arg "List_scheduler: static priority contains NaN")
+      p;
+    p
+
+(* Core loop, shared by [run], [makespan] and [makespan_bounded].
+   [record] receives (task, start, finish, chosen-processor-ids) where
+   the id array is sorted ascending; pass [None] to skip
+   materialisation.  Raises [Rejected] as soon as a task finishes past
+   [cutoff]. *)
+let schedule_loop ?(cutoff = infinity) ?(priority = Bottom_level) ~graph
+    ~times ~alloc ~procs ~record () =
+  let n = Graph.task_count graph in
+  let bl = priorities ~priority ~graph ~times in
+  let indeg = Array.init n (fun v -> Array.length (Graph.preds graph v)) in
+  let data_ready = Array.make n 0. in
+  let avail = Array.make procs 0. in
+  (* [order] holds the processor ids sorted by (avail, id) — the
+     first-fit order.  After a task claims the first [s] entries they
+     all share one new availability, so instead of a full O(P log P)
+     re-sort we sort those [s] ids and merge the two sorted runs in
+     O(P + s log s). *)
+  let order = Array.init procs Fun.id in
+  let scratch = Array.make procs 0 in
+  let ready = Heap.create n in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Heap.push ready bl.(v) v
+  done;
+  let merge_front s =
+    let chosen = Array.sub order 0 s in
+    Array.sort Int.compare chosen;
+    Array.blit order s scratch 0 (procs - s);
+    let finish = avail.(chosen.(0)) in
+    let i = ref 0 (* in chosen *) and j = ref 0 (* in scratch *) in
+    for k = 0 to procs - 1 do
+      let take_chosen =
+        !j >= procs - s
+        || (!i < s
+           &&
+           let b = scratch.(!j) in
+           let c = Float.compare finish avail.(b) in
+           c < 0 || (c = 0 && chosen.(!i) < b))
+      in
+      if take_chosen then begin
+        order.(k) <- chosen.(!i);
+        incr i
+      end
+      else begin
+        order.(k) <- scratch.(!j);
+        incr j
+      end
+    done;
+    chosen
+  in
+  let finished = ref 0 in
+  let makespan = ref 0. in
+  while not (Heap.is_empty ready) do
+    let v = Heap.pop ready in
+    let s = alloc.(v) in
+    (* First-fit: the s processors available earliest. *)
+    let start = Float.max data_ready.(v) avail.(order.(s - 1)) in
+    let finish = start +. times.(v) in
+    if finish > cutoff then raise Rejected;
+    for k = 0 to s - 1 do
+      avail.(order.(k)) <- finish
+    done;
+    let chosen = merge_front s in
+    (match record with
+    | None -> ()
+    | Some f -> f v start finish chosen);
+    if finish > !makespan then makespan := finish;
+    incr finished;
+    Array.iter
+      (fun w ->
+        if finish > data_ready.(w) then data_ready.(w) <- finish;
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Heap.push ready bl.(w) w)
+      (Graph.succs graph v)
+  done;
+  if !finished <> n then
+    (* Unreachable for a validated DAG; defensive. *)
+    invalid_arg "List_scheduler: not all tasks were scheduled";
+  !makespan
+
+let run_prioritized ~priority ~graph ~times ~alloc ~procs =
+  check_inputs ~graph ~times ~alloc ~procs;
+  let n = Graph.task_count graph in
+  let entries =
+    Array.init n (fun task ->
+        { Schedule.task; start = 0.; finish = 0.; procs = [| 0 |] })
+  in
+  let record task start finish chosen =
+    entries.(task) <- { Schedule.task; start; finish; procs = chosen }
+  in
+  ignore
+    (schedule_loop ~priority ~graph ~times ~alloc ~procs
+       ~record:(Some record) ());
+  Schedule.make ~platform_procs:procs entries
+
+let run ~graph ~times ~alloc ~procs =
+  run_prioritized ~priority:Bottom_level ~graph ~times ~alloc ~procs
+
+let makespan_prioritized ~priority ~graph ~times ~alloc ~procs =
+  check_inputs ~graph ~times ~alloc ~procs;
+  schedule_loop ~priority ~graph ~times ~alloc ~procs ~record:None ()
+
+let makespan ~graph ~times ~alloc ~procs =
+  makespan_prioritized ~priority:Bottom_level ~graph ~times ~alloc ~procs
+
+let makespan_bounded ~graph ~times ~alloc ~procs ~cutoff =
+  check_inputs ~graph ~times ~alloc ~procs;
+  if Float.is_nan cutoff then
+    invalid_arg "List_scheduler.makespan_bounded: cutoff is NaN";
+  match schedule_loop ~cutoff ~graph ~times ~alloc ~procs ~record:None () with
+  | m -> Some m
+  | exception Rejected -> None

@@ -1,0 +1,158 @@
+let margin_left = 46.
+let margin_top = 24.
+let margin_bottom = 28.
+
+(* Task colour: spread hues around the wheel with the golden angle so
+   adjacent ids get distant colours. *)
+let color task = Printf.sprintf "hsl(%d, 62%%, 62%%)" (task * 137 mod 360)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Contiguous runs of a sorted processor array: [(first, len); ...]. *)
+let proc_runs procs =
+  let runs = ref [] in
+  let start = ref procs.(0) and len = ref 1 in
+  for k = 1 to Array.length procs - 1 do
+    if procs.(k) = procs.(k - 1) + 1 then incr len
+    else begin
+      runs := (!start, !len) :: !runs;
+      start := procs.(k);
+      len := 1
+    end
+  done;
+  runs := (!start, !len) :: !runs;
+  List.rev !runs
+
+(* One chart's body (no svg envelope); x0 is the left edge of the plot
+   area.  Returns (body, width of the chart including margins). *)
+let chart ~x0 ~width_px ~row_px ~horizon ~caption schedule =
+  let procs = Schedule.platform_procs schedule in
+  let row = float_of_int (max 2 row_px) in
+  let plot_w = float_of_int width_px in
+  let plot_h = row *. float_of_int procs in
+  let x_of t = x0 +. margin_left +. (t /. horizon *. plot_w) in
+  let y_of p = margin_top +. (row *. float_of_int p) in
+  let buf = Buffer.create 4096 in
+  let rect x y w h fill extra =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" \
+          fill=\"%s\"%s/>\n"
+         x y w h fill extra)
+  in
+  (* frame + caption *)
+  rect (x0 +. margin_left) margin_top plot_w plot_h "#f6f6f6" "";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.2f\" y=\"%.2f\" font-size=\"13\" font-family=\"sans-serif\">%s</text>\n"
+       (x0 +. margin_left) (margin_top -. 8.) (escape caption));
+  (* tasks *)
+  Array.iter
+    (fun (e : Schedule.entry) ->
+      let x = x_of e.start in
+      let w = Float.max 0.5 (x_of e.finish -. x) in
+      List.iter
+        (fun (first, len) ->
+          let y = y_of first in
+          let h = row *. float_of_int len in
+          rect x y w h (color e.task)
+            " stroke=\"#333\" stroke-width=\"0.4\"";
+          if w > 26. && h > 9. then
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<text x=\"%.2f\" y=\"%.2f\" font-size=\"7\" \
+                  font-family=\"sans-serif\" text-anchor=\"middle\">%s</text>\n"
+                 (x +. (w /. 2.))
+                 (y +. (h /. 2.) +. 2.5)
+                 (escape (Printf.sprintf "t%d" e.task))))
+        (proc_runs e.procs))
+    (Schedule.entries schedule);
+  (* time axis: five ticks *)
+  for k = 0 to 4 do
+    let t = horizon *. float_of_int k /. 4. in
+    let x = x_of t in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" \
+          stroke=\"#999\" stroke-width=\"0.6\"/>\n"
+         x (margin_top +. plot_h) x
+         (margin_top +. plot_h +. 4.));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%.2f\" y=\"%.2f\" font-size=\"9\" \
+          font-family=\"sans-serif\" text-anchor=\"middle\">%.3g</text>\n"
+         x
+         (margin_top +. plot_h +. 15.)
+         t)
+  done;
+  (* y label *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.2f\" y=\"%.2f\" font-size=\"9\" \
+        font-family=\"sans-serif\">procs</text>\n"
+       (x0 +. 2.) (margin_top +. 10.));
+  (Buffer.contents buf, margin_left +. plot_w +. 12.)
+
+let envelope ~total_w ~total_h body =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.0f %.0f\">\n%s</svg>\n"
+    total_w total_h total_w total_h body
+
+let total_height ~row_px schedule =
+  margin_top +. margin_bottom
+  +. (float_of_int (max 2 row_px)
+     *. float_of_int (Schedule.platform_procs schedule))
+
+let render ?(width_px = 900) ?(row_px = 8) ?title schedule =
+  if width_px < 50 then invalid_arg "Svg.render: width_px too small";
+  let horizon = Float.max 1e-12 (Schedule.makespan schedule) in
+  let caption =
+    match title with
+    | Some t -> t
+    | None ->
+      Printf.sprintf "makespan %.4g s, utilization %.1f%%"
+        (Schedule.makespan schedule)
+        (100. *. Schedule.utilization schedule)
+  in
+  let body, w = chart ~x0:0. ~width_px ~row_px ~horizon ~caption schedule in
+  envelope ~total_w:w ~total_h:(total_height ~row_px schedule) body
+
+let render_pair ?(width_px = 450) ?(row_px = 6) ~left:(lname, ls)
+    ~right:(rname, rs) () =
+  if width_px < 50 then invalid_arg "Svg.render_pair: width_px too small";
+  let horizon =
+    Float.max 1e-12 (Float.max (Schedule.makespan ls) (Schedule.makespan rs))
+  in
+  let caption name s =
+    Printf.sprintf "%s — makespan %.4g s, util %.1f%%" name
+      (Schedule.makespan s)
+      (100. *. Schedule.utilization s)
+  in
+  let body_l, w_l =
+    chart ~x0:0. ~width_px ~row_px ~horizon ~caption:(caption lname ls) ls
+  in
+  let body_r, w_r =
+    chart ~x0:w_l ~width_px ~row_px ~horizon ~caption:(caption rname rs) rs
+  in
+  let h =
+    Float.max (total_height ~row_px ls) (total_height ~row_px rs)
+  in
+  envelope ~total_w:(w_l +. w_r) ~total_h:h (body_l ^ body_r)
+
+let save ?width_px ?row_px ?title schedule path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?width_px ?row_px ?title schedule))

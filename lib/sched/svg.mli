@@ -1,0 +1,24 @@
+(** SVG rendering of schedules — the publication-quality counterpart of
+    the ASCII {!Gantt} charts (paper Figure 6).
+
+    Processors run down the y-axis, time along the x-axis; each task is
+    drawn as one rectangle per contiguous run of its processors, with a
+    colour derived from the task id and the task name centred when there
+    is room. *)
+
+val render : ?width_px:int -> ?row_px:int -> ?title:string -> Schedule.t -> string
+(** A complete standalone [<svg>] document.  [width_px] is the plot
+    width (default 900), [row_px] the height per processor row (default
+    8, clamped to at least 2). *)
+
+val render_pair :
+  ?width_px:int ->
+  ?row_px:int ->
+  left:string * Schedule.t ->
+  right:string * Schedule.t ->
+  unit ->
+  string
+(** Two charts side by side over a common time scale — Figure 6. *)
+
+val save : ?width_px:int -> ?row_px:int -> ?title:string -> Schedule.t -> string -> unit
+(** [save schedule path] writes {!render} output to [path]. *)

@@ -1,0 +1,171 @@
+module Schedule = Emts_sched.Schedule
+
+module Noise = struct
+  type t = { name : string; draw : Emts_prng.t -> float -> float }
+
+  let none = { name = "none"; draw = (fun _ planned -> planned) }
+
+  let multiplicative_lognormal ~sigma =
+    if not (sigma >= 0.) then
+      invalid_arg "Noise.multiplicative_lognormal: sigma must be >= 0";
+    {
+      name = Printf.sprintf "lognormal(sigma=%g)" sigma;
+      draw =
+        (fun rng planned ->
+          planned *. exp (Emts_prng.normal rng ~mu:0. ~sigma));
+    }
+
+  let uniform_slowdown ~max_factor =
+    if not (max_factor >= 1.) then
+      invalid_arg "Noise.uniform_slowdown: max_factor must be >= 1";
+    {
+      name = Printf.sprintf "slowdown(max=%g)" max_factor;
+      draw =
+        (fun rng planned ->
+          if max_factor = 1. then planned
+          else planned *. Emts_prng.float_in rng 1. max_factor);
+    }
+
+  let apply t rng ~planned =
+    if Float.is_nan planned || planned < 0. then
+      invalid_arg "Noise.apply: planned duration must be >= 0";
+    let actual = t.draw rng planned in
+    Float.max 0. actual
+
+  let name t = t.name
+end
+
+type event =
+  | Start of { task : int; time : float; procs : int array }
+  | Finish of { task : int; time : float }
+
+let event_time = function Start { time; _ } | Finish { time; _ } -> time
+
+let pp_event ppf = function
+  | Start { task; time; procs } ->
+    Format.fprintf ppf "%.6g start  t%d on [%s]" time task
+      (String.concat "," (Array.to_list (Array.map string_of_int procs)))
+  | Finish { task; time } -> Format.fprintf ppf "%.6g finish t%d" time task
+
+type result = {
+  realized : Schedule.t;
+  makespan : float;
+  planned_makespan : float;
+  trace : event list;
+}
+
+let slowdown r =
+  if r.planned_makespan <= 0. then 1. else r.makespan /. r.planned_makespan
+
+(* Dispatch order: planned start time, with the topological position as
+   a tie-breaker so zero-duration tasks keep precedence order.  Within a
+   processor the planned schedule is non-overlapping, so this order also
+   respects each processor's task sequence. *)
+let dispatch_order graph schedule =
+  let n = Schedule.task_count schedule in
+  let topo_pos = Array.make n 0 in
+  Array.iteri
+    (fun k v -> topo_pos.(v) <- k)
+    (Emts_ptg.Graph.topological_order graph);
+  let order = Array.init n Fun.id in
+  let key v = ((Schedule.entry schedule v).Schedule.start, topo_pos.(v)) in
+  Array.sort (fun a b -> compare (key a) (key b)) order;
+  order
+
+let execute ?(noise = Noise.none) ?rng ~graph ~schedule () =
+  let n = Schedule.task_count schedule in
+  if Emts_ptg.Graph.task_count graph <> n then
+    invalid_arg "Emts_simulator.execute: graph does not match schedule";
+  let rng = match rng with Some r -> r | None -> Emts_prng.create () in
+  let procs = Schedule.platform_procs schedule in
+  let free = Array.make procs 0. in
+  let finish = Array.make n 0. in
+  let entries = Array.make n None in
+  let rev_events = ref [] in
+  Array.iter
+    (fun v ->
+      let planned = Schedule.entry schedule v in
+      let duration =
+        Noise.apply noise rng
+          ~planned:(planned.Schedule.finish -. planned.Schedule.start)
+      in
+      let data_ready =
+        Array.fold_left
+          (fun acc p -> Float.max acc finish.(p))
+          0.
+          (Emts_ptg.Graph.preds graph v)
+      in
+      let procs_free =
+        Array.fold_left
+          (fun acc p -> Float.max acc free.(p))
+          0. planned.Schedule.procs
+      in
+      let start = Float.max data_ready procs_free in
+      let stop = start +. duration in
+      finish.(v) <- stop;
+      Array.iter (fun p -> free.(p) <- stop) planned.Schedule.procs;
+      entries.(v) <-
+        Some
+          {
+            Schedule.task = v;
+            start;
+            finish = stop;
+            procs = planned.Schedule.procs;
+          };
+      rev_events :=
+        Finish { task = v; time = stop }
+        :: Start { task = v; time = start; procs = planned.Schedule.procs }
+        :: !rev_events)
+    (dispatch_order graph schedule);
+  let entries =
+    Array.map
+      (function
+        | Some e -> e
+        | None -> failwith "Emts_simulator.execute: task never dispatched")
+      entries
+  in
+  let realized = Schedule.make ~platform_procs:procs entries in
+  (match Schedule.validate realized ~graph with
+  | Ok () -> ()
+  | Error violations ->
+    failwith
+      (Format.asprintf
+         "Emts_simulator.execute: realised schedule invalid: %a"
+         (Format.pp_print_list Schedule.pp_violation)
+         violations));
+  let trace =
+    List.stable_sort
+      (fun a b ->
+        let c = Float.compare (event_time a) (event_time b) in
+        if c <> 0 then c
+        else
+          (* for back-to-back tasks at the same instant, read the
+             finishing task first, then the starting one *)
+          match (a, b) with
+          | Finish _, Start _ -> -1
+          | Start _, Finish _ -> 1
+          | Start _, Start _ | Finish _, Finish _ -> 0)
+      (List.rev !rev_events)
+  in
+  {
+    realized;
+    makespan = Schedule.makespan realized;
+    planned_makespan = Schedule.makespan schedule;
+    trace;
+  }
+
+let trace_to_csv r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "event,task,time,procs\n";
+  List.iter
+    (fun event ->
+      match event with
+      | Start { task; time; procs } ->
+        Buffer.add_string buf
+          (Printf.sprintf "start,%d,%.9g,%s\n" task time
+             (String.concat "|"
+                (Array.to_list (Array.map string_of_int procs))))
+      | Finish { task; time } ->
+        Buffer.add_string buf (Printf.sprintf "finish,%d,%.9g,\n" task time))
+    r.trace;
+  Buffer.contents buf

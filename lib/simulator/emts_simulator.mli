@@ -1,0 +1,73 @@
+(** Discrete-event execution of static schedules (paper Section IV).
+
+    The paper's evaluation runs inside a simulator that executes the
+    scheduled PTG on the platform model.  This module is that simulator,
+    extended with *duration noise*: the actual execution time of a task
+    may deviate from the model's prediction, which lets us measure how
+    robust a schedule is to model error — the imprecision of
+    execution-time models is the paper's core motivation.
+
+    Execution semantics (static schedule execution): the processor
+    assignment and the per-processor task order of the input schedule
+    are kept; a task starts as soon as (a) all its predecessors have
+    finished and (b) all its assigned processors are free.  With exact
+    durations this reproduces the input schedule exactly
+    (property-tested); with noisy durations it yields the realised
+    schedule and makespan. *)
+
+(** Duration perturbation models.  All draws flow through the supplied
+    {!Emts_prng.t}, so simulations are reproducible. *)
+module Noise : sig
+  type t
+
+  val none : t
+  (** Actual duration = planned duration. *)
+
+  val multiplicative_lognormal : sigma:float -> t
+  (** Duration scaled by [exp (N(0, sigma))]: symmetric-in-log error,
+      the customary model-error distribution.  [sigma >= 0]. *)
+
+  val uniform_slowdown : max_factor:float -> t
+  (** Duration scaled by [U(1, max_factor)]: tasks only ever run slower
+      than predicted (interference, cache pollution).
+      [max_factor >= 1]. *)
+
+  val apply : t -> Emts_prng.t -> planned:float -> float
+  (** Draw one actual duration ([>= 0]; planned must be [>= 0]). *)
+
+  val name : t -> string
+end
+
+(** Chronological execution trace. *)
+type event =
+  | Start of { task : int; time : float; procs : int array }
+  | Finish of { task : int; time : float }
+
+val event_time : event -> float
+val pp_event : Format.formatter -> event -> unit
+
+type result = {
+  realized : Emts_sched.Schedule.t;  (** as executed *)
+  makespan : float;
+  planned_makespan : float;
+  trace : event list;                (** chronological; starts before
+                                         finishes at equal times *)
+}
+
+val execute :
+  ?noise:Noise.t ->
+  ?rng:Emts_prng.t ->
+  graph:Emts_ptg.Graph.t ->
+  schedule:Emts_sched.Schedule.t ->
+  unit ->
+  result
+(** Executes [schedule] for [graph].  [noise] defaults to {!Noise.none},
+    [rng] to a fresh default-seeded generator.  The realised schedule is
+    re-validated against the graph before returning; a violation (a bug,
+    not an input error) raises [Failure]. *)
+
+val slowdown : result -> float
+(** [makespan /. planned_makespan]. *)
+
+val trace_to_csv : result -> string
+(** [event,task,time,procs] rows. *)

@@ -1,0 +1,214 @@
+module Acc = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;  (* sum of squared deviations from the mean *)
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; sum = 0.; mn = infinity; mx = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x
+
+  let add_seq t seq = Seq.iter (add t) seq
+  let count t = t.n
+  let total t = t.sum
+
+  let mean t =
+    if t.n = 0 then invalid_arg "Emts_stats.Acc.mean: empty accumulator";
+    t.mean
+
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+
+  let min t =
+    if t.n = 0 then invalid_arg "Emts_stats.Acc.min: empty accumulator";
+    t.mn
+
+  let max t =
+    if t.n = 0 then invalid_arg "Emts_stats.Acc.max: empty accumulator";
+    t.mx
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let fn = float_of_int n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. fn) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. fn)
+      in
+      {
+        n;
+        mean;
+        m2;
+        sum = a.sum +. b.sum;
+        mn = Float.min a.mn b.mn;
+        mx = Float.max a.mx b.mx;
+      }
+    end
+end
+
+(* 0.975 quantiles of Student's t, df = 1..30; beyond 30 we step through
+   a coarse tail and settle on the normal quantile.  Values from standard
+   tables, adequate for CI rendering. *)
+let t_table =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let student_t_975 df =
+  if df <= 0 then invalid_arg "Emts_stats.student_t_975: df must be positive";
+  if df <= 30 then t_table.(df - 1)
+  else if df <= 40 then 2.021
+  else if df <= 60 then 2.000
+  else if df <= 120 then 1.980
+  else 1.960
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95_half_width : float;
+  min : float;
+  max : float;
+}
+
+let summary_of_acc acc =
+  let n = Acc.count acc in
+  if n = 0 then invalid_arg "Emts_stats.summary_of_acc: empty sample";
+  let stddev = Acc.stddev acc in
+  let ci95_half_width =
+    if n < 2 then 0.
+    else student_t_975 (n - 1) *. stddev /. sqrt (float_of_int n)
+  in
+  { n; mean = Acc.mean acc; stddev; ci95_half_width;
+    min = Acc.min acc; max = Acc.max acc }
+
+let summarize xs =
+  let acc = Acc.create () in
+  Array.iter (Acc.add acc) xs;
+  summary_of_acc acc
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%.4f ± %.4f (sd=%.4f, n=%d)" s.mean s.ci95_half_width
+    s.stddev s.n
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Emts_stats.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let stddev xs = (summarize xs).stddev
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Emts_stats.quantile: empty sample";
+  if not (0. <= q && q <= 1.) then
+    invalid_arg "Emts_stats.quantile: q must lie in [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs 0.5
+
+let geometric_mean xs =
+  if Array.length xs = 0 then
+    invalid_arg "Emts_stats.geometric_mean: empty sample";
+  let log_sum =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0. then
+          invalid_arg "Emts_stats.geometric_mean: non-positive value"
+        else acc +. log x)
+      0. xs
+  in
+  exp (log_sum /. float_of_int (Array.length xs))
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    width : float;
+    counts : int array;
+    mutable inside : int;
+    mutable under : int;
+    mutable over : int;
+  }
+
+  let create ~lo ~hi ~bins =
+    if not (lo < hi) then invalid_arg "Histogram.create: requires lo < hi";
+    if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+    {
+      lo;
+      hi;
+      width = (hi -. lo) /. float_of_int bins;
+      counts = Array.make bins 0;
+      inside = 0;
+      under = 0;
+      over = 0;
+    }
+
+  let add t x =
+    if x < t.lo then t.under <- t.under + 1
+    else if x >= t.hi then t.over <- t.over + 1
+    else begin
+      let i =
+        Stdlib.min
+          (Array.length t.counts - 1)
+          (int_of_float ((x -. t.lo) /. t.width))
+      in
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.inside <- t.inside + 1
+    end
+
+  let count t = t.inside
+  let bins t = Array.length t.counts
+
+  let bin_count t i =
+    if i < 0 || i >= Array.length t.counts then
+      invalid_arg "Histogram.bin_count: index out of range";
+    t.counts.(i)
+
+  let bin_center t i =
+    if i < 0 || i >= Array.length t.counts then
+      invalid_arg "Histogram.bin_center: index out of range";
+    t.lo +. ((float_of_int i +. 0.5) *. t.width)
+
+  let underflow t = t.under
+  let overflow t = t.over
+
+  let density t i =
+    if t.inside = 0 then 0.
+    else float_of_int (bin_count t i) /. (float_of_int t.inside *. t.width)
+
+  let render ?(width = 50) t =
+    let buf = Buffer.create 256 in
+    let max_count = Array.fold_left Stdlib.max 1 t.counts in
+    Array.iteri
+      (fun i c ->
+        let bar_len = c * width / max_count in
+        Buffer.add_string buf
+          (Printf.sprintf "%8.2f | %-*s %d\n" (bin_center t i) width
+             (String.make bar_len '#') c))
+      t.counts;
+    Buffer.contents buf
+end

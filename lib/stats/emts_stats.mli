@@ -1,0 +1,100 @@
+(** Descriptive statistics for experiment aggregation.
+
+    The paper reports average relative makespans with 95% confidence
+    intervals (Figures 4 and 5) and run-time means with standard
+    deviations (Section V).  This module provides exactly those
+    aggregations, plus histograms for the mutation-operator density plot
+    (Figure 3). *)
+
+(** {1 Streaming accumulator} *)
+
+module Acc : sig
+  type t
+  (** Streaming accumulator using Welford's algorithm: numerically stable
+      single-pass mean and variance, plus min/max. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val add_seq : t -> float Seq.t -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  (** Mean of the observations. Raises [Invalid_argument] when empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance (n-1 denominator); [0.] for n < 2. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+
+  val merge : t -> t -> t
+  (** [merge a b] combines two accumulators as if all observations had
+      been fed to a single one (parallel reduction; Chan et al.). *)
+end
+
+(** {1 Summaries} *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  ci95_half_width : float;  (** half-width of the 95% Student-t CI *)
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+(** [summarize xs] computes the five-figure summary of a non-empty
+    sample.  The confidence interval uses the Student t quantile for
+    [n-1] degrees of freedom (normal quantile 1.96 for n > 120). *)
+
+val summary_of_acc : Acc.t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Renders ["mean ± ci (sd=…, n=…)"]. *)
+
+val student_t_975 : int -> float
+(** [student_t_975 df] is the 0.975 quantile of the Student t
+    distribution with [df] degrees of freedom, as used for two-sided 95%
+    intervals.  Exact table for df <= 30, interpolated to 1.96 above. *)
+
+(** {1 Simple reductions} *)
+
+val mean : float array -> float
+val stddev : float array -> float
+val median : float array -> float
+val quantile : float array -> float -> float
+(** [quantile xs q] with [0 <= q <= 1], linear interpolation between
+    order statistics (type-7, the R default). *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values; the customary aggregate
+    for ratios such as relative makespans. *)
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  (** Equal-width bins covering [lo, hi); out-of-range samples are
+      counted in the outlier tallies, not dropped silently. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  (** Total number of in-range observations. *)
+
+  val bin_count : t -> int -> int
+  val bin_center : t -> int -> float
+  val bins : t -> int
+  val underflow : t -> int
+  val overflow : t -> int
+
+  val density : t -> int -> float
+  (** [density h i] is the normalised probability density of bin [i]
+      (integrates to ~1 over in-range mass). *)
+
+  val render : ?width:int -> t -> string
+  (** ASCII bar rendering, one line per bin, for terminal figures. *)
+end

@@ -1,0 +1,48 @@
+Generate a small FFT graph, inspect it, and schedule it with each
+algorithm; everything is seeded, so this output is reproducible.
+
+  $ emts-gen fft --points 4 -o fft.ptg
+  wrote fft.ptg (15 tasks, 22 edges)
+  $ head -3 fft.ptg
+  ptg v1
+  task 0 1 0 0 direct split_0_0
+  task 1 1 0 0 direct split_1_0
+  $ emts-sched fft.ptg --platform chti --model model1 --algorithm seq
+  SEQ makespan   1.16279e-09 s
+  utilization     15.0 %
+  total allocation 15 procs over 15 tasks (platform: chti)
+  $ emts-sched fft.ptg --platform chti --model model2 --algorithm mcpa
+  MCPA makespan   2.05814e-10 s
+  utilization     89.8 %
+  total allocation 92 procs over 15 tasks (platform: chti)
+
+Random layered graphs honour the requested size:
+
+  $ emts-gen random -n 30 --width 0.5 --jump 0 --costs --seed 7 -o r.ptg
+  wrote r.ptg (30 tasks, 81 edges)
+  $ grep -c '^task' r.ptg
+  30
+
+Bad inputs fail cleanly:
+
+  $ emts-gen fft --points 5 -o bad.ptg
+  emts-gen: Fft.generate: points must be a power of two >= 2
+  [124]
+  $ emts-sched missing.ptg
+  emts-sched: GRAPH.ptg argument: no 'missing.ptg' file or directory
+  Usage: emts-sched [OPTION]… GRAPH.ptg
+  Try 'emts-sched --help' for more information.
+  [124]
+  $ emts-sched fft.ptg --algorithm warp-drive
+  emts-sched: unknown algorithm "warp-drive"
+  [124]
+
+Elementary shapes:
+
+  $ emts-gen shape chain --size 3 -o c.ptg
+  wrote c.ptg (3 tasks, 2 edges)
+  $ grep -c '^edge' c.ptg
+  2
+  $ emts-gen shape pretzel
+  emts-gen: unknown shape "pretzel"
+  [124]

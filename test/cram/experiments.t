@@ -1,0 +1,11 @@
+The mutation-density figure is fully deterministic:
+
+  $ emts-experiments fig3 --samples 10000 --seed 1 | head -5
+  Figure 3 — density of the mutation adjustment C (sigma1 = sigma2 = 5, a = 0.2; 10000 samples)
+  
+    -20.00 |                                                              0
+    -19.00 |                                                              0
+    -18.00 |                                                              0
+  $ emts-experiments fig3 --samples 10000 --seed 1 | tail -2
+  shrink probability (C < 0): 0.2036 (paper: 0.2)
+  P[C = 0]: 0.0000 (operator never yields 0)

@@ -1,0 +1,96 @@
+(* Tests for Emts_sched.Allocation. *)
+
+module Alloc = Emts_sched.Allocation
+module Graph = Emts_ptg.Graph
+
+let test_uniform_and_ones () =
+  let g = Testutil.diamond_graph () in
+  Alcotest.(check (array int)) "uniform" [| 3; 3; 3; 3 |] (Alloc.uniform g 3);
+  Alcotest.(check (array int)) "ones" [| 1; 1; 1; 1 |] (Alloc.ones g);
+  Alcotest.(check bool)
+    "p=0 rejected" true
+    (try
+       ignore (Alloc.uniform g 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_validate () =
+  let g = Testutil.diamond_graph () in
+  Alcotest.(check bool) "good" true
+    (Alloc.validate [| 1; 2; 3; 4 |] ~graph:g ~procs:4 = Ok ());
+  Alcotest.(check bool) "wrong length" true
+    (Result.is_error (Alloc.validate [| 1; 2 |] ~graph:g ~procs:4));
+  Alcotest.(check bool) "zero entry" true
+    (Result.is_error (Alloc.validate [| 0; 1; 1; 1 |] ~graph:g ~procs:4));
+  Alcotest.(check bool) "too large" true
+    (Result.is_error (Alloc.validate [| 1; 1; 1; 5 |] ~graph:g ~procs:4))
+
+let test_clamp () =
+  Alcotest.(check (array int)) "clamped" [| 1; 1; 8; 3 |]
+    (Alloc.clamp [| -5; 0; 12; 3 |] ~procs:8)
+
+let test_times () =
+  let g = Testutil.diamond_graph () in
+  (* flop = [10;20;30;40], chti speed 4.3e9, alpha=0 default *)
+  let alloc = [| 1; 2; 2; 4 |] in
+  let times =
+    Alloc.times alloc ~model:Emts_model.amdahl ~platform:Emts_platform.chti
+      ~graph:g
+  in
+  let speed = 4.3e9 in
+  Alcotest.(check (array (float 1e-18)))
+    "per-task times"
+    [| 10. /. speed; 20. /. 2. /. speed; 30. /. 2. /. speed; 40. /. 4. /. speed |]
+    times
+
+let test_times_of_tables () =
+  let tables = [| [| 10.; 6. |]; [| 20.; 12. |] |] in
+  Alcotest.(check (array (float 0.))) "lookup" [| 6.; 20. |]
+    (Alloc.times_of_tables [| 2; 1 |] ~tables);
+  Alcotest.(check bool)
+    "out-of-table allocation rejected" true
+    (try
+       ignore (Alloc.times_of_tables [| 3; 1 |] ~tables);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "length mismatch rejected" true
+    (try
+       ignore (Alloc.times_of_tables [| 1 |] ~tables);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_clamp_in_range =
+  QCheck.Test.make ~name:"clamp lands in [1, procs]" ~count:300
+    QCheck.(pair (array small_int) (int_range 1 64))
+    (fun (alloc, procs) ->
+      Array.for_all
+        (fun s -> 1 <= s && s <= procs)
+        (Alloc.clamp alloc ~procs))
+
+let prop_tables_match_model =
+  QCheck.Test.make
+    ~name:"times_of_tables = times, through Memo.tabulate_graph" ~count:100
+    (Testutil.arbitrary_dag_alloc ~procs:20 ())
+    (fun (g, alloc) ->
+      let model = Emts_model.synthetic and platform = Emts_platform.chti in
+      let direct = Alloc.times alloc ~model ~platform ~graph:g in
+      let tables = Emts_model.Memo.tabulate_graph model platform g in
+      let via_tables = Alloc.times_of_tables alloc ~tables in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-12) direct via_tables)
+
+let () =
+  Alcotest.run "allocation"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "uniform/ones" `Quick test_uniform_and_ones;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "times" `Quick test_times;
+          Alcotest.test_case "times_of_tables" `Quick test_times_of_tables;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_clamp_in_range; prop_tables_match_model ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for Emts_ptg.Analysis: bottom/top levels, critical paths,
+   delta-critical sets, average area. *)
+
+module Graph = Emts_ptg.Graph
+module A = Emts_ptg.Analysis
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_bottom_levels_diamond () =
+  let g = Testutil.diamond_graph () in
+  let bl = A.bottom_levels g ~time:(Testutil.unit_speed_times g) in
+  Alcotest.(check (array (float 1e-9))) "hand-computed" [| 80.; 60.; 70.; 40. |] bl
+
+let test_top_levels_diamond () =
+  let g = Testutil.diamond_graph () in
+  let tl = A.top_levels g ~time:(Testutil.unit_speed_times g) in
+  Alcotest.(check (array (float 1e-9))) "hand-computed" [| 0.; 10.; 10.; 40. |] tl
+
+let test_critical_path_diamond () =
+  let g = Testutil.diamond_graph () in
+  let time = Testutil.unit_speed_times g in
+  check_float "length" 80. (A.critical_path_length g ~time);
+  Alcotest.(check (list int)) "path 0-2-3" [ 0; 2; 3 ] (A.critical_path g ~time)
+
+let test_bottom_levels_chain () =
+  let g = Emts_daggen.Shapes.chain 4 in
+  let bl = A.bottom_levels g ~time:(Testutil.const_time 2.) in
+  Alcotest.(check (array (float 1e-9))) "chain" [| 8.; 6.; 4.; 2. |] bl
+
+let test_critical_path_two_chains () =
+  (* Both chains tie at length 2; the smaller-id source must win. *)
+  let g = Testutil.two_chains_graph () in
+  Alcotest.(check (list int)) "deterministic tie-break" [ 0; 1 ]
+    (A.critical_path g ~time:(Testutil.const_time 1.))
+
+let test_empty_graph () =
+  let g = Graph.Builder.build (Graph.Builder.create ()) in
+  check_float "empty cp length" 0.
+    (A.critical_path_length g ~time:(Testutil.const_time 1.));
+  Alcotest.(check (list int)) "empty cp" [] (A.critical_path g ~time:(Testutil.const_time 1.))
+
+let test_invalid_time_rejected () =
+  let g = Testutil.diamond_graph () in
+  Alcotest.(check bool)
+    "negative time raises" true
+    (try
+       ignore (A.bottom_levels g ~time:(Testutil.const_time (-1.)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_delta_critical () =
+  let g = Testutil.diamond_graph () in
+  let time = Testutil.unit_speed_times g in
+  (* bl = [80;60;70;40]; delta=0.85 -> cutoff 68 -> {0, 2} *)
+  Alcotest.(check (list int)) "delta=0.85" [ 0; 2 ]
+    (A.delta_critical g ~time ~delta:0.85);
+  Alcotest.(check (list int)) "delta=0 keeps all" [ 0; 1; 2; 3 ]
+    (A.delta_critical g ~time ~delta:0.);
+  Alcotest.(check (list int)) "delta=1 keeps the top" [ 0 ]
+    (A.delta_critical g ~time ~delta:1.)
+
+let test_delta_critical_by_level () =
+  let g = Testutil.diamond_graph () in
+  let time = Testutil.unit_speed_times g in
+  let buckets = A.delta_critical_by_level g ~time ~delta:0.85 in
+  Alcotest.(check int) "levels" 3 (Array.length buckets);
+  Alcotest.(check (list int)) "level 0" [ 0 ] buckets.(0);
+  Alcotest.(check (list int)) "level 1" [ 2 ] buckets.(1);
+  Alcotest.(check (list int)) "level 2 empty" [] buckets.(2)
+
+let test_work_and_average_area () =
+  let g = Testutil.diamond_graph () in
+  let time = Testutil.unit_speed_times g in
+  let alloc = function 0 -> 2 | 1 -> 1 | 2 -> 3 | _ -> 4 in
+  (* work = 10*2 + 20*1 + 30*3 + 40*4 = 290 *)
+  check_float "work" 290. (A.work g ~time ~alloc);
+  check_float "average area on 10 procs" 29.
+    (A.average_area g ~time ~alloc ~procs:10)
+
+let prop_bottom_ge_own_time =
+  QCheck.Test.make ~name:"bl(v) >= time(v), with equality at sinks"
+    ~count:200 (Testutil.arbitrary_dag ())
+    (fun g ->
+      let time = Testutil.unit_speed_times g in
+      let bl = A.bottom_levels g ~time in
+      List.init (Graph.task_count g) Fun.id
+      |> List.for_all (fun v ->
+             bl.(v) >= time v -. 1e-9
+             && (Array.length (Graph.succs g v) > 0 || bl.(v) = time v)))
+
+let prop_bl_plus_tl_bounded_by_cp =
+  QCheck.Test.make ~name:"tl(v) + bl(v) <= critical path length" ~count:200
+    (Testutil.arbitrary_dag ())
+    (fun g ->
+      let time = Testutil.unit_speed_times g in
+      let bl = A.bottom_levels g ~time and tl = A.top_levels g ~time in
+      let cp = A.critical_path_length g ~time in
+      List.init (Graph.task_count g) Fun.id
+      |> List.for_all (fun v -> tl.(v) +. bl.(v) <= cp +. 1e-6))
+
+let prop_critical_path_is_path_with_cp_length =
+  QCheck.Test.make ~name:"critical_path is a real path of maximal length"
+    ~count:200 (Testutil.arbitrary_dag ())
+    (fun g ->
+      let time = Testutil.unit_speed_times g in
+      let path = A.critical_path g ~time in
+      let rec edges_ok = function
+        | a :: (b :: _ as rest) ->
+          Graph.has_edge g ~src:a ~dst:b && edges_ok rest
+        | [ _ ] | [] -> true
+      in
+      let length = List.fold_left (fun acc v -> acc +. time v) 0. path in
+      edges_ok path
+      && Float.abs (length -. A.critical_path_length g ~time) < 1e-6)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "levels",
+        [
+          Alcotest.test_case "bottom levels (diamond)" `Quick
+            test_bottom_levels_diamond;
+          Alcotest.test_case "top levels (diamond)" `Quick
+            test_top_levels_diamond;
+          Alcotest.test_case "bottom levels (chain)" `Quick
+            test_bottom_levels_chain;
+          Alcotest.test_case "invalid time" `Quick test_invalid_time_rejected;
+        ] );
+      ( "critical path",
+        [
+          Alcotest.test_case "diamond" `Quick test_critical_path_diamond;
+          Alcotest.test_case "tie-break" `Quick test_critical_path_two_chains;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+        ] );
+      ( "delta-critical",
+        [
+          Alcotest.test_case "flat set" `Quick test_delta_critical;
+          Alcotest.test_case "by level" `Quick test_delta_critical_by_level;
+        ] );
+      ( "area",
+        [ Alcotest.test_case "work / average area" `Quick test_work_and_average_area ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bottom_ge_own_time;
+            prop_bl_plus_tl_bounded_by_cp;
+            prop_critical_path_is_path_with_cp_length;
+          ] );
+    ]

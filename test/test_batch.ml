@@ -1,0 +1,276 @@
+(* Tests for the batch-queue simulator (FCFS and EASY backfilling). *)
+
+module B = Emts_batch
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let j ?(submit = 0.) ?(walltime = 10.) ?(runtime = 10.) ~id ~procs () =
+  B.job ~id ~submit ~procs ~walltime ~runtime
+
+let placement r id =
+  List.find (fun (p : B.placement) -> p.B.job.B.id = id) r.B.placements
+
+let test_job_validation () =
+  let reject label f =
+    Alcotest.(check bool) label true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "negative id" (fun () -> j ~id:(-1) ~procs:1 ());
+  reject "zero procs" (fun () -> j ~id:0 ~procs:0 ());
+  reject "zero walltime" (fun () -> j ~id:0 ~procs:1 ~walltime:0. ());
+  reject "negative runtime" (fun () -> j ~id:0 ~procs:1 ~runtime:(-1.) ());
+  reject "too many procs" (fun () ->
+      B.fcfs ~procs:4 [ j ~id:0 ~procs:5 () ]);
+  reject "duplicate ids" (fun () ->
+      B.fcfs ~procs:4 [ j ~id:0 ~procs:1 (); j ~id:0 ~procs:1 () ])
+
+let test_single_job () =
+  let r = B.fcfs ~procs:10 [ j ~id:0 ~procs:4 ~runtime:7. ~walltime:8. () ] in
+  let p = placement r 0 in
+  check_float "starts immediately" 0. p.B.start;
+  check_float "runs its runtime" 7. p.B.finish;
+  Alcotest.(check bool) "not killed" false p.B.killed;
+  check_float "makespan" 7. r.B.makespan;
+  check_float "mean wait" 0. r.B.mean_wait
+
+let test_parallel_fit () =
+  let r = B.fcfs ~procs:10 [ j ~id:0 ~procs:6 (); j ~id:1 ~procs:4 () ] in
+  check_float "both at 0 (fit together)" 0. (placement r 1).B.start;
+  check_float "makespan one wave" 10. r.B.makespan
+
+let test_fcfs_blocks () =
+  (* head (8 procs) runs; next (4) can't fit, and the small job behind
+     it must ALSO wait under FCFS even though 2 procs are free. *)
+  let jobs =
+    [
+      j ~id:0 ~procs:8 ();
+      j ~id:1 ~procs:4 ();
+      j ~id:2 ~procs:2 ~walltime:5. ~runtime:5. ();
+    ]
+  in
+  let r = B.fcfs ~procs:10 jobs in
+  check_float "job1 waits for job0" 10. (placement r 1).B.start;
+  check_float "job2 waits behind job1 (no backfilling)" 10.
+    (placement r 2).B.start
+
+let test_easy_backfills_short_job () =
+  (* same scenario with EASY: the 2-proc/5-s job finishes before job1's
+     reservation (t=10), so it backfills at t=0. *)
+  let jobs =
+    [
+      j ~id:0 ~procs:8 ();
+      j ~id:1 ~procs:4 ();
+      j ~id:2 ~procs:2 ~walltime:5. ~runtime:5. ();
+    ]
+  in
+  let r = B.easy_backfilling ~procs:10 jobs in
+  check_float "job2 backfills at 0" 0. (placement r 2).B.start;
+  check_float "head's reservation is kept" 10. (placement r 1).B.start;
+  Alcotest.(check bool) "EASY waits less than FCFS" true
+    (r.B.mean_wait < (B.fcfs ~procs:10 jobs).B.mean_wait)
+
+let test_easy_extra_procs_rule () =
+  (* the reservation needs only 4 of the 10 procs freed at t=10, so a
+     2-proc job may backfill EVEN with a long walltime (extra rule). *)
+  let jobs =
+    [
+      j ~id:0 ~procs:8 ();
+      j ~id:1 ~procs:4 ();
+      j ~id:2 ~procs:2 ~walltime:50. ~runtime:50. ();
+    ]
+  in
+  let r = B.easy_backfilling ~procs:10 jobs in
+  check_float "long narrow job backfills via extra procs" 0.
+    (placement r 2).B.start;
+  check_float "head still on time" 10. (placement r 1).B.start
+
+let test_easy_never_delays_head () =
+  (* head needs the whole machine: nothing may backfill unless it
+     finishes (by walltime) before the reservation. *)
+  let jobs =
+    [
+      j ~id:0 ~procs:8 ();
+      j ~id:1 ~procs:10 ();
+      j ~id:2 ~procs:2 ~walltime:50. ~runtime:50. ();
+    ]
+  in
+  let r = B.easy_backfilling ~procs:10 jobs in
+  check_float "head at its reservation" 10. (placement r 1).B.start;
+  (* job2 could not backfill at t=0 and the head then holds the whole
+     machine until t=20 *)
+  check_float "no backfill" 20. (placement r 2).B.start
+
+let test_early_completion_helps () =
+  (* the running job finishes before its walltime: the queue head
+     starts at the ACTUAL finish, not the projection. *)
+  let jobs =
+    [ j ~id:0 ~procs:10 ~walltime:20. ~runtime:4. (); j ~id:1 ~procs:10 () ]
+  in
+  let r = B.easy_backfilling ~procs:10 jobs in
+  check_float "starts at actual finish" 4. (placement r 1).B.start
+
+let test_kill_at_walltime () =
+  let r =
+    B.fcfs ~procs:4 [ j ~id:0 ~procs:4 ~walltime:5. ~runtime:99. () ]
+  in
+  let p = placement r 0 in
+  check_float "killed at walltime" 5. p.B.finish;
+  Alcotest.(check bool) "flagged" true p.B.killed
+
+let test_arrivals_over_time () =
+  let jobs =
+    [
+      j ~id:0 ~procs:10 ~submit:0. ();
+      j ~id:1 ~procs:10 ~submit:3. ();
+      j ~id:2 ~procs:10 ~submit:25. ();
+    ]
+  in
+  let r = B.fcfs ~procs:10 jobs in
+  check_float "job1 queued until job0 done" 10. (placement r 1).B.start;
+  check_float "job2 starts on arrival (idle)" 25. (placement r 2).B.start;
+  check_float "makespan" 35. r.B.makespan
+
+let test_metrics () =
+  let r = B.fcfs ~procs:10 [ j ~id:0 ~procs:10 (); j ~id:1 ~procs:10 () ] in
+  (* both 10x10x10s back to back: utilization 100%, waits 0 and 10 *)
+  check_float "utilization" 1.0 r.B.utilization;
+  check_float "mean wait" 5. r.B.mean_wait;
+  (* slowdowns: 1 and 2 *)
+  check_float "mean bounded slowdown" 1.5 r.B.mean_bounded_slowdown
+
+let test_zero_runtime_job () =
+  let r =
+    B.easy_backfilling ~procs:4
+      [ j ~id:0 ~procs:4 ~walltime:1. ~runtime:0. (); j ~id:1 ~procs:4 () ]
+  in
+  check_float "zero-runtime finishes instantly" 0. (placement r 0).B.finish;
+  check_float "next starts immediately" 0. (placement r 1).B.start
+
+let test_simultaneous_arrivals_fifo () =
+  (* same submit time: queue order is by id *)
+  let jobs =
+    [ j ~id:2 ~procs:4 (); j ~id:0 ~procs:4 (); j ~id:1 ~procs:4 () ]
+  in
+  let r = B.fcfs ~procs:4 jobs in
+  check_float "id 0 first" 0. (placement r 0).B.start;
+  check_float "id 1 second" 10. (placement r 1).B.start;
+  check_float "id 2 third" 20. (placement r 2).B.start
+
+let test_empty_workload () =
+  let r = B.easy_backfilling ~procs:8 [] in
+  Alcotest.(check int) "no placements" 0 (List.length r.B.placements);
+  check_float "zero makespan" 0. r.B.makespan;
+  check_float "zero wait" 0. r.B.mean_wait
+
+(* property: no instant is oversubscribed, for either policy *)
+
+let gen_jobs =
+  QCheck.make
+    QCheck.Gen.(
+      list_size (int_range 1 25)
+        (triple (int_range 1 16) (float_range 0.5 30.) (float_range 0. 50.)))
+
+let no_oversubscription ~procs (r : B.result) =
+  (* sweep the start/finish breakpoints *)
+  let points =
+    List.concat_map (fun (p : B.placement) -> [ p.B.start; p.B.finish ]) r.B.placements
+  in
+  List.for_all
+    (fun t ->
+      let used =
+        List.fold_left
+          (fun acc (p : B.placement) ->
+            if p.B.start <= t +. 1e-9 && t +. 1e-9 < p.B.finish then
+              acc + p.B.job.B.procs
+            else acc)
+          0 r.B.placements
+      in
+      used <= procs)
+    points
+
+let prop_capacity_respected =
+  QCheck.Test.make ~name:"no oversubscription (FCFS and EASY)" ~count:150
+    gen_jobs
+    (fun specs ->
+      let procs = 16 in
+      let jobs =
+        List.mapi
+          (fun id (p, wall, submit) ->
+            B.job ~id ~submit ~procs:p ~walltime:wall ~runtime:wall)
+          specs
+      in
+      no_oversubscription ~procs (B.fcfs ~procs jobs)
+      && no_oversubscription ~procs (B.easy_backfilling ~procs jobs))
+
+let prop_starts_after_submit =
+  QCheck.Test.make ~name:"every job starts at or after its submit time"
+    ~count:150 gen_jobs
+    (fun specs ->
+      let jobs =
+        List.mapi
+          (fun id (p, wall, submit) ->
+            B.job ~id ~submit ~procs:p ~walltime:wall ~runtime:(wall /. 2.))
+          specs
+      in
+      List.for_all
+        (fun (p : B.placement) -> p.B.start >= p.B.job.B.submit -. 1e-9)
+        (B.easy_backfilling ~procs:16 jobs).B.placements)
+
+let prop_all_jobs_placed =
+  QCheck.Test.make ~name:"every submitted job is placed exactly once"
+    ~count:150 gen_jobs
+    (fun specs ->
+      let jobs =
+        List.mapi
+          (fun id (p, wall, submit) ->
+            B.job ~id ~submit ~procs:p ~walltime:wall ~runtime:wall)
+          specs
+      in
+      let r = B.easy_backfilling ~procs:16 jobs in
+      List.length r.B.placements = List.length jobs
+      && List.for_all2
+           (fun (p : B.placement) (job : B.job) -> p.B.job.B.id = job.B.id)
+           r.B.placements
+           (List.sort (fun (a : B.job) b -> compare a.B.id b.B.id) jobs))
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "construction",
+        [ Alcotest.test_case "validation" `Quick test_job_validation ] );
+      ( "fcfs",
+        [
+          Alcotest.test_case "single job" `Quick test_single_job;
+          Alcotest.test_case "parallel fit" `Quick test_parallel_fit;
+          Alcotest.test_case "blocking" `Quick test_fcfs_blocks;
+          Alcotest.test_case "arrivals over time" `Quick
+            test_arrivals_over_time;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+        ] );
+      ( "easy",
+        [
+          Alcotest.test_case "backfills short job" `Quick
+            test_easy_backfills_short_job;
+          Alcotest.test_case "extra-procs rule" `Quick
+            test_easy_extra_procs_rule;
+          Alcotest.test_case "never delays head" `Quick
+            test_easy_never_delays_head;
+          Alcotest.test_case "early completion" `Quick
+            test_early_completion_helps;
+          Alcotest.test_case "kill at walltime" `Quick test_kill_at_walltime;
+          Alcotest.test_case "zero runtime" `Quick test_zero_runtime_job;
+          Alcotest.test_case "simultaneous arrivals" `Quick
+            test_simultaneous_arrivals_fifo;
+          Alcotest.test_case "empty workload" `Quick test_empty_workload;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_capacity_respected;
+            prop_starts_after_submit;
+            prop_all_jobs_placed;
+          ] );
+    ]

@@ -1,0 +1,341 @@
+(* Tests for Emts_daggen: FFT, Strassen, shapes, the random DAGGEN-style
+   generator and cost assignment. *)
+
+module Graph = Emts_ptg.Graph
+module Task = Emts_ptg.Task
+module D = Emts_daggen
+
+(* --- FFT --- *)
+
+let test_fft_paper_sizes () =
+  (* The paper: 2, 4, 8, 16 "levels" -> 5, 15, 39, 95 tasks. *)
+  List.iter2
+    (fun points expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "fft %d closed form" points)
+        expected
+        (D.Fft.task_count ~points);
+      Alcotest.(check int)
+        (Printf.sprintf "fft %d generated" points)
+        expected
+        (Graph.task_count (D.Fft.generate ~points)))
+    D.Fft.paper_sizes [ 5; 15; 39; 95 ]
+
+let test_fft_structure () =
+  let g = D.Fft.generate ~points:8 in
+  (* single source (tree root), 8 sinks (last butterfly stage) *)
+  Alcotest.(check int) "one source" 1 (List.length (Graph.sources g));
+  Alcotest.(check int) "points sinks" 8 (List.length (Graph.sinks g));
+  (* levels: tree depth log2(8)=3 plus 3 butterfly stages + root = 7 *)
+  Alcotest.(check int) "levels" 7 (Graph.level_count g);
+  (* butterfly nodes have in-degree 2; tree leaves in-degree 1 *)
+  List.iter
+    (fun v -> Alcotest.(check int) "sink in-degree" 2 (Graph.in_degree g v))
+    (Graph.sinks g)
+
+let test_fft_invalid () =
+  List.iter
+    (fun points ->
+      Alcotest.(check bool)
+        (Printf.sprintf "points=%d rejected" points)
+        true
+        (try
+           ignore (D.Fft.generate ~points);
+           false
+         with Invalid_argument _ -> true))
+    [ 0; 1; 3; 6; -4 ]
+
+(* --- Strassen --- *)
+
+let test_strassen_shape () =
+  let g = D.Strassen.generate () in
+  Alcotest.(check int) "23 tasks" D.Strassen.task_count (Graph.task_count g);
+  Alcotest.(check int) "one source" 1 (List.length (Graph.sources g));
+  Alcotest.(check int) "one sink" 1 (List.length (Graph.sinks g));
+  Alcotest.(check int) "5 levels" 5 (Graph.level_count g);
+  (* 7 product tasks at level 2 *)
+  Alcotest.(check int) "7 products" 7
+    (List.length (Graph.nodes_at_level g 2));
+  (* 4 combines at level 3 *)
+  Alcotest.(check int) "4 combines" 4
+    (List.length (Graph.nodes_at_level g 3));
+  (* 10 additions at level 1 *)
+  Alcotest.(check int) "10 sums" 10 (List.length (Graph.nodes_at_level g 1))
+
+let test_strassen_dependencies () =
+  let g = D.Strassen.generate () in
+  let id_of name =
+    let found = ref (-1) in
+    for v = 0 to Graph.task_count g - 1 do
+      if (Graph.task g v).Task.name = name then found := v
+    done;
+    Alcotest.(check bool) ("task " ^ name ^ " exists") true (!found >= 0);
+    !found
+  in
+  let split = id_of "split" and sa2 = id_of "SA2" and m2 = id_of "M2" in
+  let m1 = id_of "M1" and sa1 = id_of "SA1" and sb1 = id_of "SB1" in
+  let c21 = id_of "C21" and m4 = id_of "M4" in
+  (* M2 = SA2 * B11: depends on SA2 and directly on split (raw B11) *)
+  Alcotest.(check bool) "M2 <- SA2" true (Graph.has_edge g ~src:sa2 ~dst:m2);
+  Alcotest.(check bool) "M2 <- split" true (Graph.has_edge g ~src:split ~dst:m2);
+  (* M1 = SA1 * SB1: both operands prepared, no direct split edge *)
+  Alcotest.(check bool) "M1 <- SA1" true (Graph.has_edge g ~src:sa1 ~dst:m1);
+  Alcotest.(check bool) "M1 <- SB1" true (Graph.has_edge g ~src:sb1 ~dst:m1);
+  Alcotest.(check bool) "M1 not directly from split" false
+    (Graph.has_edge g ~src:split ~dst:m1);
+  (* C21 = M2 + M4 *)
+  Alcotest.(check bool) "C21 <- M2" true (Graph.has_edge g ~src:m2 ~dst:c21);
+  Alcotest.(check bool) "C21 <- M4" true (Graph.has_edge g ~src:m4 ~dst:c21);
+  Alcotest.(check int) "C21 in-degree 2" 2 (Graph.in_degree g c21)
+
+let test_strassen_weighted () =
+  let d = 4096. *. 4096. in
+  let g = D.Strassen.weighted ~d in
+  (* product tasks dominate: (d/4)^1.5 each *)
+  let product_cost = (d /. 4.) ** 1.5 in
+  let m_tasks =
+    List.filter
+      (fun v ->
+        let name = (Graph.task g v).Task.name in
+        String.length name = 2 && name.[0] = 'M')
+      (List.init (Graph.task_count g) Fun.id)
+  in
+  Alcotest.(check int) "7 M tasks" 7 (List.length m_tasks);
+  List.iter
+    (fun v ->
+      Alcotest.(check (float 1.))
+        "product cost" product_cost (Graph.task g v).Task.flop)
+    m_tasks;
+  Alcotest.(check bool)
+    "d out of range rejected" true
+    (try
+       ignore (D.Strassen.weighted ~d:0.);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Shapes --- *)
+
+let test_shapes () =
+  let chain = D.Shapes.chain 5 in
+  Alcotest.(check int) "chain levels" 5 (Graph.level_count chain);
+  Alcotest.(check int) "chain width" 1 (Graph.max_level_width chain);
+  let fj = D.Shapes.fork_join 7 in
+  Alcotest.(check int) "fork-join tasks" 9 (Graph.task_count fj);
+  Alcotest.(check int) "fork-join width" 7 (Graph.max_level_width fj);
+  let dia = D.Shapes.diamond 3 in
+  Alcotest.(check int) "diamond tasks" 8 (Graph.task_count dia);
+  Alcotest.(check int) "diamond edges" (3 + 9 + 3) (Graph.edge_count dia);
+  let ind = D.Shapes.independent 4 in
+  Alcotest.(check int) "independent edges" 0 (Graph.edge_count ind);
+  Alcotest.(check int) "independent width" 4 (Graph.max_level_width ind);
+  let mesh = D.Shapes.layered_mesh ~layers:3 ~width:4 in
+  Alcotest.(check int) "mesh tasks" 12 (Graph.task_count mesh);
+  Alcotest.(check int) "mesh edges" 32 (Graph.edge_count mesh);
+  Alcotest.(check bool)
+    "size 0 rejected" true
+    (try
+       ignore (D.Shapes.chain 0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Random DAGs --- *)
+
+let params ?(n = 50) ?(width = 0.5) ?(regularity = 0.5) ?(density = 0.3)
+    ?(jump = 0) () =
+  { D.Random_dag.n; width; regularity; density; jump }
+
+let test_random_exact_task_count () =
+  let rng = Emts_prng.create ~seed:1 () in
+  List.iter
+    (fun n ->
+      let g = D.Random_dag.generate rng (params ~n ()) in
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) n (Graph.task_count g))
+    [ 1; 2; 20; 50; 100 ]
+
+let test_random_determinism () =
+  let g1 =
+    D.Random_dag.generate (Emts_prng.create ~seed:5 ()) (params ~jump:2 ())
+  in
+  let g2 =
+    D.Random_dag.generate (Emts_prng.create ~seed:5 ()) (params ~jump:2 ())
+  in
+  Alcotest.(check bool) "same seed, same graph" true
+    (Graph.equal_structure g1 g2)
+
+let test_layered_edges_adjacent_only () =
+  let rng = Emts_prng.create ~seed:2 () in
+  for _ = 1 to 20 do
+    let g = D.Random_dag.generate rng (params ~jump:0 ~density:0.8 ()) in
+    let level = Graph.precedence_level g in
+    List.iter
+      (fun (src, dst) ->
+        Alcotest.(check int)
+          "edge spans exactly one level" 1
+          (level.(dst) - level.(src)))
+      (Graph.edges g)
+  done
+
+let test_jump_bounds_span () =
+  let rng = Emts_prng.create ~seed:3 () in
+  let jump = 2 in
+  for _ = 1 to 20 do
+    let g = D.Random_dag.generate rng (params ~jump ~density:0.5 ()) in
+    let level = Graph.precedence_level g in
+    List.iter
+      (fun (src, dst) ->
+        let span = level.(dst) - level.(src) in
+        Alcotest.(check bool) "span within 1..jump+1" true
+          (1 <= span && span <= jump + 1))
+      (Graph.edges g)
+  done
+
+let test_width_controls_parallelism () =
+  let rng = Emts_prng.create ~seed:4 () in
+  let widths w =
+    let acc = ref 0 in
+    for _ = 1 to 10 do
+      acc :=
+        !acc
+        + Graph.max_level_width
+            (D.Random_dag.generate rng (params ~n:100 ~width:w ~regularity:0.8 ()))
+    done;
+    !acc
+  in
+  Alcotest.(check bool) "wider parameter, wider graphs" true
+    (widths 0.8 > widths 0.2)
+
+let test_validate () =
+  Alcotest.(check bool) "good params" true
+    (D.Random_dag.validate (params ()) = Ok (params ()));
+  let bad p = match D.Random_dag.validate p with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "n=0" true (bad { (params ()) with n = 0 });
+  Alcotest.(check bool) "width 0" true (bad { (params ()) with width = 0. });
+  Alcotest.(check bool) "width > 1" true (bad { (params ()) with width = 1.5 });
+  Alcotest.(check bool) "regularity" true
+    (bad { (params ()) with regularity = -0.1 });
+  Alcotest.(check bool) "density" true (bad { (params ()) with density = 2. });
+  Alcotest.(check bool) "jump" true (bad { (params ()) with jump = -1 })
+
+let test_paper_grids () =
+  Alcotest.(check int) "layered grid" 36
+    (List.length D.Random_dag.paper_layered);
+  Alcotest.(check int) "irregular grid" 108
+    (List.length D.Random_dag.paper_irregular);
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check int) "layered jump 0" 0 p.D.Random_dag.jump)
+    D.Random_dag.paper_layered;
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check bool) "irregular jump in {1,2,4}" true
+        (List.mem p.D.Random_dag.jump [ 1; 2; 4 ]))
+    D.Random_dag.paper_irregular
+
+(* --- Costs --- *)
+
+let test_costs_ranges () =
+  let rng = Emts_prng.create ~seed:6 () in
+  let g = D.Costs.assign rng (D.Shapes.independent 200) in
+  Array.iter
+    (fun (t : Task.t) ->
+      Alcotest.(check bool) "d range" true
+        (1e6 <= t.data_size && t.data_size <= Task.max_data_size);
+      Alcotest.(check bool) "alpha range" true
+        (0. <= t.alpha && t.alpha <= 0.25);
+      Alcotest.(check bool) "pattern drawn" true (t.pattern <> Task.Direct);
+      Alcotest.(check bool) "flop positive" true (t.flop > 0.);
+      (* flop is consistent with the drawn pattern *)
+      match t.pattern with
+      | Task.Matmul ->
+        Alcotest.(check (float 1.)) "matmul cost" (t.data_size ** 1.5) t.flop
+      | Task.Stencil ->
+        let a = t.flop /. t.data_size in
+        Alcotest.(check bool) "stencil a in [2^6, 2^9]" true
+          (64. -. 1e-6 <= a && a <= 512. +. 1e-6)
+      | Task.Sort | Task.Direct -> ())
+    (Graph.tasks g)
+
+let test_costs_preserve_structure () =
+  let rng = Emts_prng.create ~seed:7 () in
+  let g = D.Fft.generate ~points:8 in
+  let g' = D.Costs.assign rng g in
+  Alcotest.(check bool) "structure kept" true (Graph.equal_structure g g')
+
+let test_costs_spec_validation () =
+  let rng = Emts_prng.create ~seed:8 () in
+  let g = D.Shapes.chain 2 in
+  let bad_spec = { D.Costs.default with d_min = 0. } in
+  Alcotest.(check bool) "bad spec rejected" true
+    (try
+       ignore (D.Costs.assign ~spec:bad_spec rng g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_assign_alpha_only () =
+  let rng = Emts_prng.create ~seed:9 () in
+  let g = D.Strassen.weighted ~d:1e6 in
+  let g' = D.Costs.assign_alpha_only ~alpha_min:0.1 ~alpha_max:0.2 rng g in
+  Array.iter2
+    (fun (a : Task.t) (b : Task.t) ->
+      Alcotest.(check (float 0.)) "flop unchanged" a.flop b.flop;
+      Alcotest.(check bool) "alpha in range" true
+        (0.1 <= b.alpha && b.alpha <= 0.2))
+    (Graph.tasks g) (Graph.tasks g')
+
+let prop_random_dag_level_count =
+  QCheck.Test.make ~name:"generated graphs have >= 1 task per level"
+    ~count:100
+    QCheck.(
+      make
+        Gen.(
+          quad (int_range 1 80) (float_range 0.1 1.0) (float_range 0. 1.)
+            (int_range 0 4)))
+    (fun (n, width, density, jump) ->
+      let rng = Emts_prng.create ~seed:(n + jump) () in
+      let g =
+        D.Random_dag.generate rng
+          { n; width; regularity = 0.5; density; jump }
+      in
+      Graph.task_count g = n
+      && Graph.level_count g >= 1
+      && Graph.level_count g <= n)
+
+let () =
+  Alcotest.run "daggen"
+    [
+      ( "fft",
+        [
+          Alcotest.test_case "paper sizes" `Quick test_fft_paper_sizes;
+          Alcotest.test_case "structure" `Quick test_fft_structure;
+          Alcotest.test_case "invalid points" `Quick test_fft_invalid;
+        ] );
+      ( "strassen",
+        [
+          Alcotest.test_case "shape" `Quick test_strassen_shape;
+          Alcotest.test_case "dependencies" `Quick test_strassen_dependencies;
+          Alcotest.test_case "weighted" `Quick test_strassen_weighted;
+        ] );
+      ("shapes", [ Alcotest.test_case "all shapes" `Quick test_shapes ]);
+      ( "random",
+        [
+          Alcotest.test_case "task count" `Quick test_random_exact_task_count;
+          Alcotest.test_case "determinism" `Quick test_random_determinism;
+          Alcotest.test_case "layered adjacency" `Quick
+            test_layered_edges_adjacent_only;
+          Alcotest.test_case "jump bound" `Quick test_jump_bounds_span;
+          Alcotest.test_case "width effect" `Quick
+            test_width_controls_parallelism;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "paper grids" `Quick test_paper_grids;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "ranges" `Quick test_costs_ranges;
+          Alcotest.test_case "structure preserved" `Quick
+            test_costs_preserve_structure;
+          Alcotest.test_case "spec validation" `Quick
+            test_costs_spec_validation;
+          Alcotest.test_case "alpha only" `Quick test_assign_alpha_only;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_dag_level_count ]);
+    ]

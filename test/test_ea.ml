@@ -1,0 +1,235 @@
+(* Tests for the generic (mu+lambda) evolution strategy. *)
+
+module EA = Emts_ea
+
+(* Toy problem: minimise (x - 7)^2 over float genomes.  sigma must be
+   large enough for 30 generations to cross from the seeds to 7. *)
+let toy_problem ?(sigma = 5.) () =
+  EA.mutation_only
+    ~fitness:(fun x -> (x -. 7.) ** 2.)
+    ~mutate:(fun rng ~generation:_ ~total_generations:_ x ->
+      x +. Emts_prng.normal rng ~mu:0. ~sigma)
+
+let config ?time_budget ?(domains = 1) ?(mu = 4) ?(lambda = 12)
+    ?(generations = 30) () =
+  EA.config ?time_budget ~domains ~mu ~lambda ~generations ()
+
+let run ?(seed = 1) ?config:(c = config ()) ?(seeds = [ 100.; -50. ]) () =
+  EA.run ~rng:(Emts_prng.create ~seed ()) ~config:c ~seeds (toy_problem ())
+
+let test_converges () =
+  let r = run () in
+  Alcotest.(check bool) "near optimum" true (r.EA.best_fitness < 4.);
+  Alcotest.(check bool) "genome near 7" true (Float.abs (r.EA.best -. 7.) < 2.)
+
+let test_config_validation () =
+  let reject label f =
+    Alcotest.(check bool) label true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "mu 0" (fun () -> EA.config ~mu:0 ~lambda:1 ~generations:1 ());
+  reject "lambda 0" (fun () -> EA.config ~mu:1 ~lambda:0 ~generations:1 ());
+  reject "negative generations" (fun () ->
+      EA.config ~mu:1 ~lambda:1 ~generations:(-1) ());
+  reject "domains 0" (fun () ->
+      EA.config ~domains:0 ~mu:1 ~lambda:1 ~generations:1 ());
+  reject "bad budget" (fun () ->
+      EA.config ~time_budget:0. ~mu:1 ~lambda:1 ~generations:1 ())
+
+let test_empty_seeds_rejected () =
+  Alcotest.(check bool) "empty seeds" true
+    (try
+       ignore
+         (EA.run
+            ~rng:(Emts_prng.create ())
+            ~config:(config ()) ~seeds:[] (toy_problem ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_elitism_monotone_history () =
+  let r = run () in
+  let rec check_monotone : EA.generation_stats list -> unit = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "best never worsens" true
+        (b.EA.best <= a.EA.best +. 1e-12);
+      check_monotone rest
+    | [ _ ] | [] -> ()
+  in
+  check_monotone r.EA.history
+
+let test_never_worse_than_seeds () =
+  let r = run () in
+  let seed_best = Float.min ((100. -. 7.) ** 2.) ((-50. -. 7.) ** 2.) in
+  Alcotest.(check bool) "<= best seed" true (r.EA.best_fitness <= seed_best)
+
+let test_generation_accounting () =
+  let c = config ~mu:3 ~lambda:10 ~generations:5 () in
+  let r = run ~config:c () in
+  Alcotest.(check int) "evaluations = seeds + U * lambda" (2 + (5 * 10))
+    r.EA.evaluations;
+  Alcotest.(check int) "history = seeds entry + U" 6 (List.length r.EA.history);
+  let last = List.nth r.EA.history 5 in
+  Alcotest.(check int) "last generation index" 5 last.EA.generation
+
+let test_zero_generations () =
+  let c = config ~generations:0 () in
+  let r = run ~config:c () in
+  Alcotest.(check int) "only seed evaluations" 2 r.EA.evaluations;
+  (* seed fitnesses: (100-7)^2 = 8649 and (-50-7)^2 = 3249 *)
+  Alcotest.(check (float 0.)) "best is the better seed" 3249.
+    r.EA.best_fitness
+
+let test_determinism () =
+  let r1 = run ~seed:42 () and r2 = run ~seed:42 () in
+  Alcotest.(check (float 0.)) "same best fitness" r1.EA.best_fitness
+    r2.EA.best_fitness;
+  Alcotest.(check (float 0.)) "same genome" r1.EA.best r2.EA.best;
+  let r3 = run ~seed:43 () in
+  Alcotest.(check bool) "different seed, different trajectory" true
+    (r1.EA.best <> r3.EA.best)
+
+let test_parallel_eval_equivalent () =
+  let sequential = run ~config:(config ~domains:1 ~lambda:16 ()) () in
+  let parallel = run ~config:(config ~domains:4 ~lambda:16 ()) () in
+  Alcotest.(check (float 0.)) "identical best" sequential.EA.best_fitness
+    parallel.EA.best_fitness;
+  Alcotest.(check (float 0.)) "identical genome" sequential.EA.best
+    parallel.EA.best
+
+let test_time_budget_stops () =
+  (* A microscopic budget: the run must stop before its 1000 nominal
+     generations. *)
+  let c = config ~time_budget:1e-6 ~generations:1000 () in
+  let r = run ~config:c () in
+  Alcotest.(check bool) "stopped early" true
+    (List.length r.EA.history < 1001)
+
+let test_on_generation_callback () =
+  let seen = ref [] in
+  let c = config ~generations:3 () in
+  ignore
+    (EA.run
+       ~on_generation:(fun s -> seen := s.EA.generation :: !seen)
+       ~rng:(Emts_prng.create ~seed:1 ())
+       ~config:c ~seeds:[ 0. ] (toy_problem ()));
+  Alcotest.(check (list int)) "called for 0..U" [ 0; 1; 2; 3 ] (List.rev !seen)
+
+let test_seed_padding () =
+  (* one seed, mu=4: the population pads by reusing the seed. *)
+  let c = config ~mu:4 ~generations:1 () in
+  let r =
+    EA.run
+      ~rng:(Emts_prng.create ~seed:2 ())
+      ~config:c ~seeds:[ 3. ] (toy_problem ())
+  in
+  Alcotest.(check bool) "works with fewer seeds than mu" true
+    (r.EA.best_fitness <= (3. -. 7.) ** 2.)
+
+let test_stats_fields () =
+  let r = run () in
+  List.iter
+    (fun (s : EA.generation_stats) ->
+      Alcotest.(check bool) "best <= mean <= worst" true
+        (s.EA.best <= s.EA.mean +. 1e-9 && s.EA.mean <= s.EA.worst +. 1e-9);
+      Alcotest.(check bool) "fresh survivors within [0, mu]" true
+        (0 <= s.EA.fresh_survivors && s.EA.fresh_survivors <= 4))
+    r.EA.history;
+  (* the seed-ranking entry counts the whole population as fresh *)
+  (match r.EA.history with
+  | s0 :: _ -> Alcotest.(check int) "seed generation all fresh" 4 s0.EA.fresh_survivors
+  | [] -> Alcotest.fail "empty history")
+
+let test_comma_selection () =
+  (* Comma requires lambda >= mu *)
+  Alcotest.(check bool) "lambda < mu rejected" true
+    (try
+       ignore (EA.config ~selection:EA.Comma ~mu:5 ~lambda:3 ~generations:1 ());
+       false
+     with Invalid_argument _ -> true);
+  (* comma runs still return the best individual ever seen *)
+  let c = config ~mu:3 ~lambda:12 ~generations:25 () in
+  let c = { c with EA.selection = EA.Comma } in
+  let r = run ~seed:5 ~config:c () in
+  Alcotest.(check bool) "best-ever at least as good as the best seed" true
+    (r.EA.best_fitness <= ((-50.) -. 7.) ** 2.);
+  Alcotest.(check bool) "still converges on the toy problem" true
+    (r.EA.best_fitness < 25.)
+
+let test_comma_population_can_worsen () =
+  (* the population best may oscillate under Comma (no elitism), while
+     the returned best-ever never exceeds any history entry *)
+  let c = config ~mu:2 ~lambda:4 ~generations:40 () in
+  let c = { c with EA.selection = EA.Comma } in
+  let r = run ~seed:9 ~config:c () in
+  let worsened =
+    let rec scan = function
+      | (a : EA.generation_stats) :: (b :: _ as rest) ->
+        b.EA.best > a.EA.best +. 1e-12 || scan rest
+      | [ _ ] | [] -> false
+    in
+    scan r.EA.history
+  in
+  Alcotest.(check bool) "population best oscillates at least once" true
+    worsened;
+  List.iter
+    (fun (s : EA.generation_stats) ->
+      Alcotest.(check bool) "best-ever <= every generation best" true
+        (r.EA.best_fitness <= s.EA.best +. 1e-12))
+    r.EA.history
+
+let test_default_domains () =
+  let d = EA.default_domains () in
+  Alcotest.(check bool) "in [1, 8]" true (1 <= d && d <= 8)
+
+(* Property: for any toy configuration the invariants hold. *)
+let prop_invariants =
+  QCheck.Test.make ~name:"EA invariants across configurations" ~count:50
+    QCheck.(
+      quad (int_range 1 6) (int_range 1 20) (int_range 0 10) small_int)
+    (fun (mu, lambda, generations, seed) ->
+      let c = EA.config ~mu ~lambda ~generations () in
+      let r =
+        EA.run
+          ~rng:(Emts_prng.create ~seed ())
+          ~config:c ~seeds:[ 50.; -10.; 3. ] (toy_problem ())
+      in
+      r.EA.evaluations = 3 + (generations * lambda)
+      && r.EA.best_fitness <= (3. -. 7.) ** 2.
+      && List.length r.EA.history = generations + 1)
+
+let () =
+  Alcotest.run "ea"
+    [
+      ( "behaviour",
+        [
+          Alcotest.test_case "converges" `Quick test_converges;
+          Alcotest.test_case "elitism" `Quick test_elitism_monotone_history;
+          Alcotest.test_case "never worse than seeds" `Quick
+            test_never_worse_than_seeds;
+          Alcotest.test_case "accounting" `Quick test_generation_accounting;
+          Alcotest.test_case "zero generations" `Quick test_zero_generations;
+          Alcotest.test_case "seed padding" `Quick test_seed_padding;
+          Alcotest.test_case "stats ordering" `Quick test_stats_fields;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed same result" `Quick test_determinism;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_eval_equivalent;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "empty seeds" `Quick test_empty_seeds_rejected;
+          Alcotest.test_case "time budget" `Quick test_time_budget_stops;
+          Alcotest.test_case "callback" `Quick test_on_generation_callback;
+          Alcotest.test_case "comma selection" `Quick test_comma_selection;
+          Alcotest.test_case "comma oscillation" `Quick
+            test_comma_population_can_worsen;
+          Alcotest.test_case "default domains" `Quick test_default_domains;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_invariants ]);
+    ]

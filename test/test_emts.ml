@@ -1,0 +1,300 @@
+(* Integration tests for the EMTS algorithm itself: seeding, elitism,
+   determinism, schedule validity, presets. *)
+
+module Alg = Emts.Algorithm
+module Seeding = Emts.Seeding
+
+let chti = Emts_platform.chti
+
+let small_graph () =
+  let rng = Emts_prng.create ~seed:17 () in
+  Emts_daggen.Costs.assign rng
+    (Emts_daggen.Random_dag.generate rng
+       { n = 25; width = 0.5; regularity = 0.5; density = 0.3; jump = 1 })
+
+let quick_config = { Alg.emts5 with Alg.generations = 3; lambda = 10; mu = 3 }
+
+let run ?(seed = 1) ?(config = quick_config) ?(model = Emts_model.synthetic)
+    ?(graph = small_graph ()) () =
+  Alg.run
+    ~rng:(Emts_prng.create ~seed ())
+    ~config ~model ~platform:chti ~graph ()
+
+let test_presets () =
+  Alcotest.(check int) "emts5 mu" 5 Alg.emts5.Alg.mu;
+  Alcotest.(check int) "emts5 lambda" 25 Alg.emts5.Alg.lambda;
+  Alcotest.(check int) "emts5 generations" 5 Alg.emts5.Alg.generations;
+  Alcotest.(check int) "emts10 mu" 10 Alg.emts10.Alg.mu;
+  Alcotest.(check int) "emts10 lambda" 100 Alg.emts10.Alg.lambda;
+  Alcotest.(check int) "emts10 generations" 10 Alg.emts10.Alg.generations;
+  Alcotest.(check int) "four seed heuristics" 4
+    (List.length Alg.emts5.Alg.heuristics)
+
+let test_with_domains () =
+  let c = Alg.with_domains 4 Alg.emts5 in
+  Alcotest.(check int) "domains set" 4 c.Alg.domains;
+  Alcotest.(check bool) "invalid rejected" true
+    (try
+       ignore (Alg.with_domains 0 Alg.emts5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_seeding_defaults () =
+  let names =
+    List.map (fun (h : Emts_alloc.heuristic) -> h.name)
+      Seeding.default_heuristics
+  in
+  Alcotest.(check (list string)) "paper seeds + baseline"
+    [ "MCPA"; "HCPA"; "DeltaCP"; "SEQ" ] names
+
+let test_seeding_collect () =
+  let graph = small_graph () in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic ~platform:chti
+      ~graph
+  in
+  let seeds = Seeding.collect ~heuristics:Seeding.default_heuristics ctx in
+  Alcotest.(check int) "one seed per heuristic" 4 (List.length seeds);
+  List.iter
+    (fun (s : Seeding.seed) ->
+      Alcotest.(check bool) "positive makespan" true (s.makespan > 0.);
+      Alcotest.(check bool) "valid allocation" true
+        (Emts_sched.Allocation.validate s.alloc ~graph ~procs:20 = Ok ()))
+    seeds;
+  let best = Seeding.best seeds in
+  List.iter
+    (fun (s : Seeding.seed) ->
+      Alcotest.(check bool) "best is minimal" true
+        (best.makespan <= s.makespan))
+    seeds
+
+let test_result_not_worse_than_seeds () =
+  let r = run () in
+  List.iter
+    (fun (s : Seeding.seed) ->
+      Alcotest.(check bool)
+        ("not worse than " ^ s.heuristic)
+        true
+        (r.Alg.makespan <= s.makespan +. 1e-9))
+    r.Alg.seeds
+
+let test_schedule_matches_result () =
+  let graph = small_graph () in
+  let r = run ~graph () in
+  Alcotest.(check (float 1e-9)) "schedule realises the makespan"
+    r.Alg.makespan
+    (Emts_sched.Schedule.makespan r.Alg.schedule);
+  Alcotest.(check bool) "schedule validates" true
+    (Emts_sched.Schedule.validate ~alloc:r.Alg.alloc r.Alg.schedule ~graph
+    = Ok ());
+  Alcotest.(check bool) "allocation is valid" true
+    (Emts_sched.Allocation.validate r.Alg.alloc ~graph ~procs:20 = Ok ())
+
+let test_determinism () =
+  let graph = small_graph () in
+  let r1 = run ~seed:9 ~graph () and r2 = run ~seed:9 ~graph () in
+  Alcotest.(check (float 0.)) "same makespan" r1.Alg.makespan r2.Alg.makespan;
+  Alcotest.(check (array int)) "same allocation" r1.Alg.alloc r2.Alg.alloc
+
+let test_run_vs_run_ctx () =
+  let graph = small_graph () in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic ~platform:chti
+      ~graph
+  in
+  let r1 = run ~seed:4 ~graph () in
+  let r2 =
+    Alg.run_ctx ~rng:(Emts_prng.create ~seed:4 ()) ~config:quick_config ~ctx ()
+  in
+  Alcotest.(check (array int)) "identical" r1.Alg.alloc r2.Alg.alloc
+
+let test_empty_graph_rejected () =
+  let graph = Emts_ptg.Graph.Builder.build (Emts_ptg.Graph.Builder.create ()) in
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (run ~graph ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_ea_trace_budget () =
+  let r = run () in
+  (* 4 seeds + 3 generations x 10 offspring *)
+  Alcotest.(check int) "evaluations" (4 + 30) r.Alg.ea.Emts_ea.evaluations;
+  Alcotest.(check int) "history length" 4
+    (List.length r.Alg.ea.Emts_ea.history)
+
+let test_improves_under_model2_often () =
+  (* On a larger cluster with the non-monotone model, EMTS should strictly
+     improve over the best heuristic on a clear majority of instances
+     (Figure 5's qualitative claim). *)
+  let rng = Emts_prng.create ~seed:23 () in
+  let improved = ref 0 and n = 10 in
+  for _ = 1 to n do
+    let graph =
+      Emts_daggen.Costs.assign rng
+        (Emts_daggen.Random_dag.generate rng
+           { n = 40; width = 0.6; regularity = 0.5; density = 0.3; jump = 2 })
+    in
+    let r =
+      Alg.run ~rng:(Emts_prng.split rng) ~config:quick_config
+        ~model:Emts_model.synthetic ~platform:Emts_platform.grelon ~graph ()
+    in
+    let best_seed = (Seeding.best r.Alg.seeds).Seeding.makespan in
+    if r.Alg.makespan < best_seed -. 1e-9 then incr improved
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "improved on %d/%d" !improved n)
+    true
+    (!improved >= n / 2)
+
+let test_time_budget_respected () =
+  let config = { Alg.emts10 with Alg.time_budget = Some 1e-6 } in
+  let r = run ~config () in
+  (* the budget cuts the run after at most one generation *)
+  Alcotest.(check bool) "stopped early" true
+    (List.length r.Alg.ea.Emts_ea.history <= 2)
+
+let test_early_reject_identical_results () =
+  (* Rejection is a pure optimisation: same seed, same survivors. *)
+  let graph = small_graph () in
+  let with_reject b = { Alg.emts10 with Alg.early_reject = b } in
+  let r_off = run ~seed:77 ~config:(with_reject false) ~graph () in
+  let r_on = run ~seed:77 ~config:(with_reject true) ~graph () in
+  Alcotest.(check (float 0.)) "same makespan" r_off.Alg.makespan
+    r_on.Alg.makespan;
+  Alcotest.(check (array int)) "same allocation" r_off.Alg.alloc r_on.Alg.alloc
+
+let test_recombination_configs_run () =
+  let graph = small_graph () in
+  List.iter
+    (fun kind ->
+      let config =
+        { quick_config with Alg.recombination = Some (kind, 0.5) }
+      in
+      let r = run ~seed:3 ~config ~graph () in
+      List.iter
+        (fun (s : Seeding.seed) ->
+          Alcotest.(check bool)
+            (Emts.Recombination.kind_to_string kind ^ " still elitist")
+            true
+            (r.Alg.makespan <= s.makespan +. 1e-9))
+        r.Alg.seeds;
+      Alcotest.(check bool) "valid schedule" true
+        (Emts_sched.Schedule.validate ~alloc:r.Alg.alloc r.Alg.schedule ~graph
+        = Ok ()))
+    [
+      Emts.Recombination.Uniform;
+      Emts.Recombination.One_point;
+      Emts.Recombination.Level_aware;
+    ]
+
+let test_adaptive_sigma_runs () =
+  let graph = small_graph () in
+  let config = { quick_config with Alg.adaptive_sigma = true } in
+  let r = run ~seed:21 ~config ~graph () in
+  List.iter
+    (fun (s : Seeding.seed) ->
+      Alcotest.(check bool) "still elitist" true
+        (r.Alg.makespan <= s.makespan +. 1e-9))
+    r.Alg.seeds;
+  Alcotest.(check bool) "valid schedule" true
+    (Emts_sched.Schedule.validate ~alloc:r.Alg.alloc r.Alg.schedule ~graph
+    = Ok ());
+  (* adaptation changes the search trajectory *)
+  let r_fixed = run ~seed:21 ~graph () in
+  Alcotest.(check bool) "distinct trajectory (usually)" true
+    (r.Alg.makespan <> r_fixed.Alg.makespan
+    || r.Alg.alloc = r_fixed.Alg.alloc)
+
+let prop_early_reject_equivalent =
+  QCheck.Test.make
+    ~name:"early rejection never changes the outcome" ~count:20
+    (Testutil.arbitrary_dag ~max_n:15 ())
+    (fun graph ->
+      let conf b =
+        { quick_config with Alg.early_reject = b; generations = 4 }
+      in
+      let r1 =
+        Alg.run
+          ~rng:(Emts_prng.create ~seed:11 ())
+          ~config:(conf false) ~model:Emts_model.synthetic ~platform:chti
+          ~graph ()
+      in
+      let r2 =
+        Alg.run
+          ~rng:(Emts_prng.create ~seed:11 ())
+          ~config:(conf true) ~model:Emts_model.synthetic ~platform:chti
+          ~graph ()
+      in
+      r1.Alg.makespan = r2.Alg.makespan && r1.Alg.alloc = r2.Alg.alloc)
+
+let prop_emts_beats_every_seed =
+  QCheck.Test.make
+    ~name:"EMTS makespan <= every seed's makespan (elitist seeding)"
+    ~count:25
+    (Testutil.arbitrary_dag ~max_n:15 ())
+    (fun graph ->
+      let r =
+        Alg.run
+          ~rng:(Emts_prng.create ~seed:5 ())
+          ~config:{ quick_config with Alg.generations = 2; lambda = 5 }
+          ~model:Emts_model.synthetic ~platform:chti ~graph ()
+      in
+      List.for_all
+        (fun (s : Seeding.seed) -> r.Alg.makespan <= s.makespan +. 1e-9)
+        r.Alg.seeds)
+
+let prop_emts_schedule_valid =
+  QCheck.Test.make ~name:"EMTS schedules always validate" ~count:25
+    (Testutil.arbitrary_dag ~max_n:15 ())
+    (fun graph ->
+      let r =
+        Alg.run
+          ~rng:(Emts_prng.create ~seed:6 ())
+          ~config:{ quick_config with Alg.generations = 2; lambda = 5 }
+          ~model:Emts_model.amdahl ~platform:chti ~graph ()
+      in
+      Emts_sched.Schedule.validate ~alloc:r.Alg.alloc r.Alg.schedule ~graph
+      = Ok ())
+
+let () =
+  Alcotest.run "emts"
+    [
+      ( "configuration",
+        [
+          Alcotest.test_case "presets" `Quick test_presets;
+          Alcotest.test_case "with_domains" `Quick test_with_domains;
+          Alcotest.test_case "default seeds" `Quick test_seeding_defaults;
+        ] );
+      ( "seeding",
+        [ Alcotest.test_case "collect" `Quick test_seeding_collect ] );
+      ( "algorithm",
+        [
+          Alcotest.test_case "never worse than seeds" `Quick
+            test_result_not_worse_than_seeds;
+          Alcotest.test_case "schedule matches" `Quick
+            test_schedule_matches_result;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "run = run_ctx" `Quick test_run_vs_run_ctx;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph_rejected;
+          Alcotest.test_case "EA accounting" `Quick test_ea_trace_budget;
+          Alcotest.test_case "improves under Model 2" `Slow
+            test_improves_under_model2_often;
+          Alcotest.test_case "time budget" `Quick test_time_budget_respected;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "early rejection identity" `Quick
+            test_early_reject_identical_results;
+          Alcotest.test_case "recombination configs" `Quick
+            test_recombination_configs_run;
+          Alcotest.test_case "adaptive sigma" `Quick test_adaptive_sigma_runs;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_early_reject_equivalent;
+            prop_emts_beats_every_seed;
+            prop_emts_schedule_valid;
+          ] );
+    ]

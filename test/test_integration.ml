@@ -1,0 +1,173 @@
+(* Integration tests: the full pipeline (generate -> serialise ->
+   allocate -> schedule -> validate -> bound -> execute) across the
+   algorithm x model x platform grid.  Each check crosses at least two
+   library boundaries. *)
+
+module Graph = Emts_ptg.Graph
+
+let models = [ Emts_model.amdahl; Emts_model.synthetic ]
+let platforms = [ Emts_platform.chti; Emts_platform.grelon ]
+
+let graphs =
+  lazy
+    (let rng = Emts_prng.create ~seed:2011 () in
+     [
+       ("fft8", Emts_daggen.Costs.assign rng (Emts_daggen.Fft.generate ~points:8));
+       ("strassen", Emts_daggen.Costs.assign rng (Emts_daggen.Strassen.generate ()));
+       ( "irregular",
+         Emts_daggen.Costs.assign rng
+           (Emts_daggen.Random_dag.generate rng
+              { n = 40; width = 0.6; regularity = 0.4; density = 0.3; jump = 2 })
+       );
+     ])
+
+let quick_emts =
+  { Emts.Algorithm.emts5 with Emts.Algorithm.generations = 3; lambda = 8; mu = 3 }
+
+(* every heuristic, every model, every platform: the whole two-step
+   pipeline holds its invariants *)
+let test_heuristic_grid () =
+  List.iter
+    (fun (gname, graph) ->
+      List.iter
+        (fun model ->
+          List.iter
+            (fun platform ->
+              let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
+              let lb = Emts_alloc.Bounds.lower_bound ctx in
+              List.iter
+                (fun (h : Emts_alloc.heuristic) ->
+                  let label =
+                    Printf.sprintf "%s/%s/%s/%s" gname model.Emts_model.name
+                      platform.Emts_platform.name h.name
+                  in
+                  let alloc = h.allocate ctx in
+                  Alcotest.(check bool) (label ^ ": alloc valid") true
+                    (Emts_sched.Allocation.validate alloc ~graph
+                       ~procs:platform.Emts_platform.processors
+                    = Ok ());
+                  let schedule = Emts.Algorithm.schedule_allocation ~ctx alloc in
+                  Alcotest.(check bool) (label ^ ": schedule valid") true
+                    (Emts_sched.Schedule.validate ~alloc schedule ~graph
+                    = Ok ());
+                  let m = Emts_sched.Schedule.makespan schedule in
+                  Alcotest.(check bool) (label ^ ": above lower bound") true
+                    (m >= lb -. 1e-9))
+                Emts_alloc.all)
+            platforms)
+        models)
+    (Lazy.force graphs)
+
+(* EMTS end to end on the same grid, plus simulator replay *)
+let test_emts_grid () =
+  List.iter
+    (fun (gname, graph) ->
+      List.iter
+        (fun model ->
+          let platform = Emts_platform.chti in
+          let label = Printf.sprintf "%s/%s" gname model.Emts_model.name in
+          let r =
+            Emts.Algorithm.run
+              ~rng:(Emts_prng.create ~seed:5 ())
+              ~config:quick_emts ~model ~platform ~graph ()
+          in
+          Alcotest.(check bool) (label ^ ": beats every seed") true
+            (List.for_all
+               (fun (s : Emts.Seeding.seed) ->
+                 r.Emts.Algorithm.makespan <= s.makespan +. 1e-9)
+               r.Emts.Algorithm.seeds);
+          (* replaying the schedule in the simulator reproduces it *)
+          let replay =
+            Emts_simulator.execute ~graph ~schedule:r.Emts.Algorithm.schedule ()
+          in
+          Alcotest.(check (float 1e-9))
+            (label ^ ": simulator replay")
+            r.Emts.Algorithm.makespan replay.Emts_simulator.makespan)
+        models)
+    (Lazy.force graphs)
+
+(* generated instances survive a serialisation round-trip and still
+   produce the identical schedule *)
+let test_serialisation_pipeline () =
+  List.iter
+    (fun (gname, graph) ->
+      match Emts_ptg.Serial.of_string (Emts_ptg.Serial.to_string graph) with
+      | Error e -> Alcotest.fail (gname ^ ": " ^ e)
+      | Ok graph' ->
+        let schedule_of g =
+          let ctx =
+            Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic
+              ~platform:Emts_platform.chti ~graph:g
+          in
+          Emts.Algorithm.schedule_allocation ~ctx (Emts_alloc.Mcpa.allocate ctx)
+        in
+        Alcotest.(check (float 1e-9))
+          (gname ^ ": same makespan after round-trip")
+          (Emts_sched.Schedule.makespan (schedule_of graph))
+          (Emts_sched.Schedule.makespan (schedule_of graph')))
+    (Lazy.force graphs)
+
+(* campaign metrics are sane for every generated class *)
+let test_campaign_metrics () =
+  let rng = Emts_prng.create ~seed:3 () in
+  let tiny = { Emts_experiments.Campaign.fft_per_size = 1; strassen = 1; per_combo = 1 } in
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun g ->
+          let m = Emts_ptg.Metrics.compute_flop g in
+          let label = Emts_experiments.Campaign.class_name cls in
+          Alcotest.(check bool) (label ^ ": avg parallelism >= 1") true
+            (m.Emts_ptg.Metrics.average_parallelism >= 1. -. 1e-9);
+          Alcotest.(check bool) (label ^ ": work >= cp") true
+            (m.Emts_ptg.Metrics.total_work
+            >= m.Emts_ptg.Metrics.critical_path -. 1e-9))
+        (Emts_experiments.Campaign.instances ~rng ~counts:tiny cls))
+    Emts_experiments.Campaign.all_classes
+
+(* PTG jobs flow through the batch queue: walltimes derived from real
+   schedules, every placement valid *)
+let test_batch_of_ptg_jobs () =
+  let rng = Emts_prng.create ~seed:8 () in
+  let partition =
+    Emts_platform.make ~name:"slice" ~processors:16 ~speed_gflops:3.1
+  in
+  let jobs =
+    List.init 6 (fun id ->
+        let graph =
+          Emts_daggen.Costs.assign rng
+            (Emts_daggen.Random_dag.generate rng
+               { n = 20; width = 0.5; regularity = 0.5; density = 0.3; jump = 0 })
+        in
+        let ctx =
+          Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic
+            ~platform:partition ~graph
+        in
+        let m =
+          Emts_sched.Schedule.makespan
+            (Emts.Algorithm.schedule_allocation ~ctx
+               (Emts_alloc.Mcpa.allocate ctx))
+        in
+        Emts_batch.job ~id ~submit:(float_of_int id *. 10.) ~procs:16
+          ~walltime:(1.2 *. m) ~runtime:m)
+  in
+  let r = Emts_batch.easy_backfilling ~procs:48 jobs in
+  Alcotest.(check int) "all jobs placed" 6 (List.length r.Emts_batch.placements);
+  List.iter
+    (fun (p : Emts_batch.placement) ->
+      Alcotest.(check bool) "no kill (walltime padded)" false p.Emts_batch.killed)
+    r.Emts_batch.placements
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "heuristic grid" `Slow test_heuristic_grid;
+          Alcotest.test_case "EMTS grid + replay" `Slow test_emts_grid;
+          Alcotest.test_case "serialisation round trip" `Quick
+            test_serialisation_pipeline;
+          Alcotest.test_case "campaign metrics" `Slow test_campaign_metrics;
+          Alcotest.test_case "batch of PTG jobs" `Quick test_batch_of_ptg_jobs;
+        ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for Emts_model: Amdahl (Model 1), the synthetic non-monotone
+   Model 2, Downey's model, empirical tables, combinators. *)
+
+module M = Emts_model
+module P = Emts_platform
+module Task = Emts_ptg.Task
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close = Alcotest.(check (float 1e-6))
+
+(* A task whose sequential time on chti is exactly 10 s. *)
+let task_10s = Task.make ~id:0 ~flop:(10. *. 4.3e9) ~alpha:0.2 ()
+
+let test_sequential_time () =
+  check_close "anchored" 10. (M.sequential_time P.chti task_10s)
+
+let test_amdahl_formula () =
+  (* T(v,p) = (alpha + (1-alpha)/p) * T1, alpha = 0.2, T1 = 10 *)
+  check_close "p=1" 10. (M.time M.amdahl P.chti task_10s ~procs:1);
+  check_close "p=2" 6. (M.time M.amdahl P.chti task_10s ~procs:2);
+  check_close "p=4" 4. (M.time M.amdahl P.chti task_10s ~procs:4);
+  check_close "p=8" 3. (M.time M.amdahl P.chti task_10s ~procs:8);
+  (* limit: alpha * T1 = 2 s, never reached *)
+  Alcotest.(check bool)
+    "asymptote" true
+    (M.time M.amdahl P.chti task_10s ~procs:20 > 2.)
+
+let test_amdahl_perfectly_parallel () =
+  let t = Task.make ~id:0 ~flop:4.3e9 ~alpha:0. () in
+  check_close "linear speedup" 0.25 (M.time M.amdahl P.chti t ~procs:4)
+
+let test_amdahl_serial_task () =
+  let t = Task.make ~id:0 ~flop:4.3e9 ~alpha:1. () in
+  check_close "alpha=1 never speeds up" 1. (M.time M.amdahl P.chti t ~procs:16)
+
+let test_procs_range_checked () =
+  Alcotest.(check bool)
+    "procs=0 rejected" true
+    (try
+       ignore (M.time M.amdahl P.chti task_10s ~procs:0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "procs>P rejected" true
+    (try
+       ignore (M.time M.amdahl P.chti task_10s ~procs:21);
+       false
+     with Invalid_argument _ -> true)
+
+let test_synthetic_penalties () =
+  let amdahl p = M.time M.amdahl P.chti task_10s ~procs:p in
+  let synth p = M.time M.synthetic P.chti task_10s ~procs:p in
+  check_close "p=1 no penalty" (amdahl 1) (synth 1);
+  check_close "p=2 even non-square: x1.1" (1.1 *. amdahl 2) (synth 2);
+  check_close "p=3 odd: x1.3" (1.3 *. amdahl 3) (synth 3);
+  check_close "p=4 square: clean" (amdahl 4) (synth 4);
+  check_close "p=6 even non-square: x1.1" (1.1 *. amdahl 6) (synth 6);
+  check_close "p=9 odd: x1.3 (odd beats square)" (1.3 *. amdahl 9) (synth 9);
+  check_close "p=16 square: clean" (amdahl 16) (synth 16)
+
+let test_monotonicity () =
+  Alcotest.(check bool)
+    "Model 1 is monotone" true
+    (M.is_monotone M.amdahl P.grelon task_10s);
+  Alcotest.(check bool)
+    "Model 2 is not" false
+    (M.is_monotone M.synthetic P.grelon task_10s)
+
+let test_downey_properties () =
+  (* task_10s is anchored to chti's speed; use grelon only for its
+     processor range via an equally-fast custom platform. *)
+  let wide = P.make ~name:"wide" ~processors:120 ~speed_gflops:4.3 in
+  let m = M.downey ~avg_parallelism:16. ~variance:0.5 in
+  let t p = M.time m wide task_10s ~procs:p in
+  check_close "p=1 sequential" 10. (t 1);
+  Alcotest.(check bool) "monotone" true (M.is_monotone m wide task_10s);
+  (* speedup saturates at A: time floor is T1 / A *)
+  Alcotest.(check bool) "saturation" true (Float.abs (t 120 -. (10. /. 16.)) < 1e-6);
+  (* high-variance variant is also sane *)
+  let hv = M.downey ~avg_parallelism:8. ~variance:4. in
+  Alcotest.(check bool) "hv monotone" true (M.is_monotone hv wide task_10s);
+  Alcotest.(check bool)
+    "bad params rejected" true
+    (try
+       ignore (M.downey ~avg_parallelism:0.5 ~variance:1.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_empirical_lookup () =
+  let table = M.Empirical.of_points [ (4, 2.0); (2, 3.0); (8, 1.5) ] in
+  check_float "exact hit" 3.0 (M.Empirical.lookup table ~procs:2);
+  check_float "another exact" 1.5 (M.Empirical.lookup table ~procs:8);
+  check_float "interpolated" 2.5 (M.Empirical.lookup table ~procs:3);
+  check_float "clamped below" 3.0 (M.Empirical.lookup table ~procs:1);
+  check_float "clamped above" 1.5 (M.Empirical.lookup table ~procs:100);
+  (* duplicates: last wins *)
+  let dup = M.Empirical.of_points [ (2, 1.0); (2, 9.0) ] in
+  check_float "last duplicate wins" 9.0 (M.Empirical.lookup dup ~procs:2)
+
+let test_empirical_validation () =
+  Alcotest.(check bool)
+    "empty rejected" true
+    (try
+       ignore (M.Empirical.of_points []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "non-positive procs rejected" true
+    (try
+       ignore (M.Empirical.of_points [ (0, 1.) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pdgemm_tables_non_monotone () =
+  let count_violations table lo hi =
+    let v = ref 0 in
+    for p = lo + 1 to hi do
+      if
+        M.Empirical.lookup table ~procs:p
+        > M.Empirical.lookup table ~procs:(p - 1) +. 1e-12
+      then incr v
+    done;
+    !v
+  in
+  Alcotest.(check bool)
+    "1024 violates monotonicity" true
+    (count_violations M.Empirical.pdgemm_1024 2 32 > 0);
+  Alcotest.(check bool)
+    "2048 violates monotonicity" true
+    (count_violations M.Empirical.pdgemm_2048 16 32 > 0)
+
+let test_empirical_file_format () =
+  let table = M.Empirical.of_points [ (2, 0.21); (4, 0.11); (8, 0.061) ] in
+  (match M.Empirical.of_string (M.Empirical.to_string table) with
+  | Ok table' ->
+    for p = 1 to 10 do
+      check_float
+        (Printf.sprintf "round-trip at %d" p)
+        (M.Empirical.lookup table ~procs:p)
+        (M.Empirical.lookup table' ~procs:p)
+    done
+  | Error e -> Alcotest.fail e);
+  (match M.Empirical.of_string "# pdgemm\n\n2 0.2\n4 0.1\n" with
+  | Ok t -> check_float "comments skipped" 0.2 (M.Empirical.lookup t ~procs:2)
+  | Error e -> Alcotest.fail e);
+  let bad text =
+    match M.Empirical.of_string text with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "garbage rejected" true (bad "two 0.2\n");
+  Alcotest.(check bool) "wrong arity rejected" true (bad "2 0.2 7\n");
+  Alcotest.(check bool) "empty rejected" true (bad "# only comments\n");
+  Alcotest.(check bool) "non-positive rejected" true (bad "0 1.0\n");
+  (* save / load *)
+  let path = Filename.temp_file "emts_model" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      M.Empirical.save table path;
+      match M.Empirical.load path with
+      | Ok t -> check_float "loaded" 0.11 (M.Empirical.lookup t ~procs:4)
+      | Error e -> Alcotest.fail e)
+
+let test_empirical_model_wrapper () =
+  let table = M.Empirical.of_points [ (1, 5.); (2, 3.) ] in
+  let m = M.Empirical.model ~name:"tbl" table in
+  check_float "ignores task, replays table" 3.
+    (M.time m P.chti task_10s ~procs:2)
+
+let test_with_penalty () =
+  let bumpy =
+    M.with_penalty ~base:M.amdahl
+      ~penalty:(fun p -> if p mod 5 = 0 then 2. else 1.)
+      ~name:"bumpy"
+  in
+  check_close "penalised point"
+    (2. *. M.time M.amdahl P.chti task_10s ~procs:5)
+    (M.time bumpy P.chti task_10s ~procs:5);
+  check_close "clean point"
+    (M.time M.amdahl P.chti task_10s ~procs:4)
+    (M.time bumpy P.chti task_10s ~procs:4);
+  let broken = M.with_penalty ~base:M.amdahl ~penalty:(fun _ -> 0.) ~name:"x" in
+  Alcotest.(check bool)
+    "non-positive penalty rejected" true
+    (try
+       ignore (M.time broken P.chti task_10s ~procs:2);
+       false
+     with Invalid_argument _ -> true)
+
+let test_monotonized () =
+  let mono = M.monotonized M.synthetic in
+  Alcotest.(check bool) "always monotone" true
+    (M.is_monotone mono P.grelon task_10s);
+  (* prefix-min: at every p the monotonized time is the best raw time
+     over 1..p, never above the raw time *)
+  for p = 1 to 20 do
+    let raw = M.time M.synthetic P.chti task_10s ~procs:p in
+    let m = M.time mono P.chti task_10s ~procs:p in
+    Alcotest.(check bool) "below raw" true (m <= raw +. 1e-12);
+    let best = ref infinity in
+    for q = 1 to p do
+      best := Float.min !best (M.time M.synthetic P.chti task_10s ~procs:q)
+    done;
+    check_close (Printf.sprintf "prefix-min at %d" p) !best m
+  done;
+  (* monotonizing a monotone model is the identity *)
+  for p = 1 to 20 do
+    check_close "amdahl unchanged"
+      (M.time M.amdahl P.chti task_10s ~procs:p)
+      (M.time (M.monotonized M.amdahl) P.chti task_10s ~procs:p)
+  done
+
+let prop_monotonized_always_monotone =
+  QCheck.Test.make ~name:"monotonized models are monotone" ~count:100
+    QCheck.(pair (float_range 0. 1.) (float_range 1e8 1e12))
+    (fun (alpha, flop) ->
+      let t = Emts_ptg.Task.make ~id:0 ~flop ~alpha () in
+      M.is_monotone (M.monotonized M.synthetic) P.grelon t)
+
+let test_memo_tabulate () =
+  let table = M.Memo.tabulate M.synthetic P.chti task_10s in
+  Alcotest.(check int) "covers platform" 20 (Array.length table);
+  for p = 1 to 20 do
+    check_float
+      (Printf.sprintf "entry %d" p)
+      (M.time M.synthetic P.chti task_10s ~procs:p)
+      table.(p - 1)
+  done
+
+let test_memo_tabulate_graph () =
+  let g = Testutil.diamond_graph () in
+  let tables = M.Memo.tabulate_graph M.amdahl P.chti g in
+  Alcotest.(check int) "one row per task" 4 (Array.length tables);
+  Array.iter
+    (fun row -> Alcotest.(check int) "row width" 20 (Array.length row))
+    tables
+
+let test_find_preset () =
+  Alcotest.(check bool) "amdahl" true (M.find_preset "amdahl" <> None);
+  Alcotest.(check bool) "model1 alias" true (M.find_preset "Model1" <> None);
+  Alcotest.(check bool) "model2 alias" true (M.find_preset "MODEL2" <> None);
+  Alcotest.(check bool) "unknown" true (M.find_preset "quantum" = None)
+
+let prop_amdahl_monotone =
+  QCheck.Test.make ~name:"Amdahl time non-increasing in procs" ~count:200
+    QCheck.(pair (float_range 0. 1.) (float_range 1e6 1e12))
+    (fun (alpha, flop) ->
+      let t = Task.make ~id:0 ~flop ~alpha () in
+      M.is_monotone M.amdahl P.grelon t)
+
+let prop_synthetic_bounded_by_penalty =
+  QCheck.Test.make
+    ~name:"Model 2 within [1x, 1.3x] of Model 1 everywhere" ~count:200
+    QCheck.(pair (float_range 0. 1.) (int_range 1 120))
+    (fun (alpha, procs) ->
+      let t = Task.make ~id:0 ~flop:1e10 ~alpha () in
+      let base = M.time M.amdahl P.grelon t ~procs in
+      let synth = M.time M.synthetic P.grelon t ~procs in
+      synth >= base -. 1e-12 && synth <= (1.3 *. base) +. 1e-9)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "amdahl",
+        [
+          Alcotest.test_case "sequential anchor" `Quick test_sequential_time;
+          Alcotest.test_case "formula" `Quick test_amdahl_formula;
+          Alcotest.test_case "alpha=0" `Quick test_amdahl_perfectly_parallel;
+          Alcotest.test_case "alpha=1" `Quick test_amdahl_serial_task;
+          Alcotest.test_case "range checks" `Quick test_procs_range_checked;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "penalties" `Quick test_synthetic_penalties;
+          Alcotest.test_case "monotonicity" `Quick test_monotonicity;
+        ] );
+      ("downey", [ Alcotest.test_case "properties" `Quick test_downey_properties ]);
+      ( "empirical",
+        [
+          Alcotest.test_case "lookup" `Quick test_empirical_lookup;
+          Alcotest.test_case "validation" `Quick test_empirical_validation;
+          Alcotest.test_case "pdgemm shape" `Quick
+            test_pdgemm_tables_non_monotone;
+          Alcotest.test_case "file format" `Quick test_empirical_file_format;
+          Alcotest.test_case "model wrapper" `Quick test_empirical_model_wrapper;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "with_penalty" `Quick test_with_penalty;
+          Alcotest.test_case "monotonized" `Quick test_monotonized;
+          Alcotest.test_case "tabulate" `Quick test_memo_tabulate;
+          Alcotest.test_case "tabulate_graph" `Quick test_memo_tabulate_graph;
+          Alcotest.test_case "find_preset" `Quick test_find_preset;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_amdahl_monotone;
+            prop_synthetic_bounded_by_penalty;
+            prop_monotonized_always_monotone;
+          ] );
+    ]

@@ -1,0 +1,107 @@
+(* Tests for Emts_platform: presets, validation, file round-trips. *)
+
+module P = Emts_platform
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_presets () =
+  Alcotest.(check int) "chti size" 20 P.chti.P.processors;
+  check_float "chti speed" 4.3 P.chti.P.speed_gflops;
+  Alcotest.(check int) "grelon size" 120 P.grelon.P.processors;
+  check_float "grelon speed" 3.1 P.grelon.P.speed_gflops;
+  Alcotest.(check int) "two presets" 2 (List.length P.presets)
+
+let test_find_preset () =
+  (match P.find_preset "GRELON" with
+  | Some p -> Alcotest.(check string) "case-insensitive" "grelon" p.P.name
+  | None -> Alcotest.fail "grelon not found");
+  Alcotest.(check bool) "unknown" true (P.find_preset "saturn" = None)
+
+let test_make_validation () =
+  Alcotest.check_raises "zero processors"
+    (Invalid_argument "Emts_platform.make: processors must be >= 1")
+    (fun () -> ignore (P.make ~name:"x" ~processors:0 ~speed_gflops:1.));
+  Alcotest.check_raises "non-positive speed"
+    (Invalid_argument "Emts_platform.make: speed_gflops must be > 0")
+    (fun () -> ignore (P.make ~name:"x" ~processors:4 ~speed_gflops:0.))
+
+let test_seconds_for () =
+  (* 4.3 GFLOPS, 4.3e9 FLOP -> exactly 1 s sequential, 0.25 s on 4. *)
+  check_float "sequential" 1. (P.seconds_for P.chti ~flop:4.3e9 ~procs:1);
+  check_float "4 procs" 0.25 (P.seconds_for P.chti ~flop:4.3e9 ~procs:4);
+  Alcotest.check_raises "procs < 1"
+    (Invalid_argument "Emts_platform.seconds_for: procs must be >= 1")
+    (fun () -> ignore (P.seconds_for P.chti ~flop:1. ~procs:0))
+
+let test_round_trip () =
+  List.iter
+    (fun p ->
+      match P.of_string (P.to_string p) with
+      | Ok q -> Alcotest.(check bool) ("round-trip " ^ p.P.name) true (P.equal p q)
+      | Error e -> Alcotest.fail e)
+    P.presets
+
+let test_parse_features () =
+  let text = "# a comment\n\nname  custom\nprocessors 8\nspeed_gflops 2.5\n" in
+  match P.of_string text with
+  | Ok p ->
+    Alcotest.(check string) "name" "custom" p.P.name;
+    Alcotest.(check int) "processors" 8 p.P.processors
+  | Error e -> Alcotest.fail e
+
+let expect_error label text =
+  match P.of_string text with
+  | Ok _ -> Alcotest.fail (label ^ ": expected a parse error")
+  | Error _ -> ()
+
+let test_parse_errors () =
+  expect_error "missing keys" "name only\n";
+  expect_error "bad integer" "name x\nprocessors many\nspeed_gflops 1.0\n";
+  expect_error "bad float" "name x\nprocessors 4\nspeed_gflops fast\n";
+  expect_error "unknown key" "name x\nprocessors 4\nspeed_gflops 1\ncolor blue\n";
+  expect_error "invalid value" "name x\nprocessors 0\nspeed_gflops 1\n"
+
+let test_save_load () =
+  let path = Filename.temp_file "emts_platform" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      P.save P.grelon path;
+      match P.load path with
+      | Ok p -> Alcotest.(check bool) "load = save" true (P.equal p P.grelon)
+      | Error e -> Alcotest.fail e)
+
+let test_load_missing () =
+  match P.load "/nonexistent/path/platform.txt" with
+  | Ok _ -> Alcotest.fail "expected error for missing file"
+  | Error _ -> ()
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"platform to_string/of_string round-trip" ~count:200
+    QCheck.(pair (int_range 1 100_000) (float_range 0.001 10_000.))
+    (fun (processors, speed_gflops) ->
+      let p = P.make ~name:"rand" ~processors ~speed_gflops in
+      match P.of_string (P.to_string p) with
+      | Ok q -> P.equal p q
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "platform"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "presets" `Quick test_presets;
+          Alcotest.test_case "find_preset" `Quick test_find_preset;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "seconds_for" `Quick test_seconds_for;
+        ] );
+      ( "format",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "parse features" `Quick test_parse_features;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "load missing" `Quick test_load_missing;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_round_trip ]);
+    ]

@@ -1,0 +1,252 @@
+(* Tests for Emts_prng: determinism, ranges, and distribution sanity. *)
+
+module P = Emts_prng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = P.create ~seed:123 () and b = P.create ~seed:123 () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (P.bits64 a) (P.bits64 b)
+  done
+
+let test_seed_changes_stream () =
+  let a = P.create ~seed:1 () and b = P.create ~seed:2 () in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if P.bits64 a = P.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = P.create ~seed:7 () in
+  ignore (P.bits64 a);
+  let b = P.copy a in
+  let expected = P.bits64 b in
+  Alcotest.(check int64) "copy replays the future" expected (P.bits64 a);
+  (* advancing the copy does not affect the original *)
+  ignore (P.bits64 b);
+  let c = P.copy a in
+  Alcotest.(check int64) "original unaffected" (P.bits64 c) (P.bits64 a)
+
+let test_split_decorrelates () =
+  let a = P.create ~seed:9 () in
+  let s1 = P.split a and s2 = P.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if P.bits64 s1 = P.bits64 s2 then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same = 0)
+
+let test_seed_of_label () =
+  Alcotest.(check bool)
+    "stable" true
+    (P.seed_of_label "fig4/fft/0" = P.seed_of_label "fig4/fft/0");
+  Alcotest.(check bool)
+    "distinct labels, distinct seeds" true
+    (P.seed_of_label "a" <> P.seed_of_label "b");
+  Alcotest.(check bool) "non-negative" true (P.seed_of_label "anything" >= 0)
+
+let test_int_bounds () =
+  let rng = P.create ~seed:3 () in
+  for _ = 1 to 10_000 do
+    let v = P.int rng 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (0 <= v && v < 7)
+  done;
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Emts_prng.int: bound must be positive") (fun () ->
+      ignore (P.int rng 0))
+
+let test_int_uniform () =
+  let rng = P.create ~seed:4 () in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = P.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d within 5%%" i)
+        true
+        (abs (c - expected) < expected / 20))
+    counts
+
+let test_int_in () =
+  let rng = P.create ~seed:5 () in
+  for _ = 1 to 1000 do
+    let v = P.int_in rng (-3) 3 in
+    Alcotest.(check bool) "in [-3,3]" true (-3 <= v && v <= 3)
+  done;
+  Alcotest.(check int) "degenerate range" 5 (P.int_in rng 5 5);
+  Alcotest.check_raises "lo > hi rejected"
+    (Invalid_argument "Emts_prng.int_in: lo > hi") (fun () ->
+      ignore (P.int_in rng 2 1))
+
+let test_float_bounds () =
+  let rng = P.create ~seed:6 () in
+  for _ = 1 to 10_000 do
+    let v = P.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (0. <= v && v < 2.5)
+  done
+
+let test_float_mean () =
+  let rng = P.create ~seed:7 () in
+  let acc = ref 0. in
+  let n = 100_000 in
+  for _ = 1 to n do
+    acc := !acc +. P.float rng 1.
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_bernoulli () =
+  let rng = P.create ~seed:8 () in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if P.bernoulli rng ~p:0.2 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p=0.2 within 1%" true (Float.abs (rate -. 0.2) < 0.01);
+  Alcotest.(check bool) "p=0 never" false (P.bernoulli rng ~p:0.);
+  Alcotest.(check bool) "p=1 always" true (P.bernoulli rng ~p:1.);
+  Alcotest.(check bool) "p>1 clamps" true (P.bernoulli rng ~p:2.)
+
+let test_normal_moments () =
+  let rng = P.create ~seed:9 () in
+  let acc = Emts_stats.Acc.create () in
+  for _ = 1 to 200_000 do
+    Emts_stats.Acc.add acc (P.normal rng ~mu:3. ~sigma:2.)
+  done;
+  Alcotest.(check bool)
+    "mean near 3" true
+    (Float.abs (Emts_stats.Acc.mean acc -. 3.) < 0.05);
+  Alcotest.(check bool)
+    "stddev near 2" true
+    (Float.abs (Emts_stats.Acc.stddev acc -. 2.) < 0.05);
+  check_float "sigma=0 returns mu" 5. (P.normal rng ~mu:5. ~sigma:0.)
+
+let test_log_uniform () =
+  let rng = P.create ~seed:10 () in
+  for _ = 1 to 10_000 do
+    let v = P.log_uniform rng ~lo:64. ~hi:512. in
+    Alcotest.(check bool) "in [64, 512]" true (64. <= v && v <= 512.)
+  done
+
+let test_exponential () =
+  let rng = P.create ~seed:11 () in
+  let acc = Emts_stats.Acc.create () in
+  for _ = 1 to 100_000 do
+    let v = P.exponential rng ~lambda:2. in
+    Alcotest.(check bool) "non-negative" true (v >= 0.);
+    Emts_stats.Acc.add acc v
+  done;
+  Alcotest.(check bool)
+    "mean near 1/lambda" true
+    (Float.abs (Emts_stats.Acc.mean acc -. 0.5) < 0.01)
+
+let test_shuffle_is_permutation () =
+  let rng = P.create ~seed:12 () in
+  let a = Array.init 50 Fun.id in
+  P.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = P.create ~seed:13 () in
+  for _ = 1 to 200 do
+    let sample = P.sample_without_replacement rng ~k:10 ~n:30 in
+    Alcotest.(check int) "k elements" 10 (Array.length sample);
+    let sorted = Array.copy sample in
+    Array.sort compare sorted;
+    for i = 1 to 9 do
+      Alcotest.(check bool) "distinct" true (sorted.(i - 1) < sorted.(i))
+    done;
+    Array.iter
+      (fun v -> Alcotest.(check bool) "in range" true (0 <= v && v < 30))
+      sample
+  done;
+  Alcotest.(check (array int)) "k=0 empty" [||]
+    (P.sample_without_replacement rng ~k:0 ~n:5);
+  let all = P.sample_without_replacement rng ~k:5 ~n:5 in
+  let sorted = Array.copy all in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "k=n is a permutation" [| 0; 1; 2; 3; 4 |] sorted
+
+let test_choose () =
+  let rng = P.create ~seed:14 () in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (P.choose rng a) a)
+  done;
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Emts_prng.choose: empty array") (fun () ->
+      ignore (P.choose rng [||]))
+
+(* qcheck properties *)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"int always below bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = P.create ~seed () in
+      let v = P.int rng bound in
+      0 <= v && v < bound)
+
+let prop_float_in =
+  QCheck.Test.make ~name:"float_in stays in [lo, hi)" ~count:500
+    QCheck.(triple small_int (float_range (-100.) 100.) (float_range 0.001 50.))
+    (fun (seed, lo, span) ->
+      let rng = P.create ~seed () in
+      let hi = lo +. span in
+      let v = P.float_in rng lo hi in
+      lo <= v && v < hi)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample_without_replacement distinct" ~count:300
+    QCheck.(pair small_int (pair (int_range 0 20) (int_range 20 60)))
+    (fun (seed, (k, n)) ->
+      let rng = P.create ~seed () in
+      let sample = P.sample_without_replacement rng ~k ~n in
+      let module IS = Set.Make (Int) in
+      IS.cardinal (IS.of_list (Array.to_list sample)) = k)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "stream",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed changes stream" `Quick
+            test_seed_changes_stream;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_decorrelates;
+          Alcotest.test_case "seed_of_label" `Quick test_seed_of_label;
+        ] );
+      ( "draws",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int uniform" `Slow test_int_uniform;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "float mean" `Slow test_float_mean;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "bernoulli" `Slow test_bernoulli;
+          Alcotest.test_case "normal moments" `Slow test_normal_moments;
+          Alcotest.test_case "log_uniform" `Quick test_log_uniform;
+          Alcotest.test_case "exponential" `Slow test_exponential;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            test_sample_without_replacement;
+          Alcotest.test_case "choose" `Quick test_choose;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_in_range; prop_float_in; prop_sample_distinct ] );
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the .ptg serialisation format and the DOT exporter. *)
+
+module Graph = Emts_ptg.Graph
+module Task = Emts_ptg.Task
+module Serial = Emts_ptg.Serial
+module Dot = Emts_ptg.Dot
+
+let graph_equal a b =
+  Graph.equal_structure a b
+  && Array.for_all2 Task.equal (Graph.tasks a) (Graph.tasks b)
+
+let test_round_trip_diamond () =
+  let g = Testutil.diamond_graph () in
+  match Serial.of_string (Serial.to_string g) with
+  | Ok g' -> Alcotest.(check bool) "identical" true (graph_equal g g')
+  | Error e -> Alcotest.fail e
+
+let test_round_trip_rich_tasks () =
+  let b = Graph.Builder.create () in
+  let a =
+    Graph.Builder.add_task ~name:"alpha" ~data_size:1.25e7 ~alpha:0.125
+      ~pattern:Task.Sort ~flop:3.5e9 b
+  in
+  let c =
+    Graph.Builder.add_task ~name:"beta" ~data_size:0.1 ~alpha:0.99999
+      ~pattern:Task.Matmul ~flop:1e-3 b
+  in
+  Graph.Builder.add_edge b ~src:a ~dst:c;
+  let g = Graph.Builder.build b in
+  match Serial.of_string (Serial.to_string g) with
+  | Ok g' -> Alcotest.(check bool) "floats exact" true (graph_equal g g')
+  | Error e -> Alcotest.fail e
+
+let test_comments_and_blanks () =
+  let text =
+    "# header comment\n\nptg v1\n  task 0 1 0 0 direct solo  \n\n# done\n"
+  in
+  match Serial.of_string text with
+  | Ok g ->
+    Alcotest.(check int) "one task" 1 (Graph.task_count g);
+    Alcotest.(check string) "name" "solo" (Graph.task g 0).Task.name
+  | Error e -> Alcotest.fail e
+
+let expect_error label text =
+  match Serial.of_string text with
+  | Ok _ -> Alcotest.fail (label ^ ": expected parse failure")
+  | Error _ -> ()
+
+let test_malformed_inputs () =
+  expect_error "missing header" "task 0 1 0 0 direct t0\n";
+  expect_error "bad version" "ptg v9\n";
+  expect_error "non-dense ids" "ptg v1\ntask 1 1 0 0 direct t1\n";
+  expect_error "bad pattern" "ptg v1\ntask 0 1 0 0 mystery t0\n";
+  expect_error "malformed task" "ptg v1\ntask 0 one 0 0 direct t0\n";
+  expect_error "edge to unknown node" "ptg v1\ntask 0 1 0 0 direct t0\nedge 0 7\n";
+  expect_error "malformed edge" "ptg v1\ntask 0 1 0 0 direct t0\nedge 0 x\n";
+  expect_error "unknown record" "ptg v1\nnode 0\n";
+  expect_error "alpha out of range" "ptg v1\ntask 0 1 0 2.0 direct t0\n"
+
+let test_cyclic_file_rejected () =
+  let text =
+    "ptg v1\ntask 0 1 0 0 direct a\ntask 1 1 0 0 direct b\nedge 0 1\nedge 1 0\n"
+  in
+  match Serial.of_string text with
+  | Ok _ -> Alcotest.fail "cycle accepted"
+  | Error msg ->
+    Alcotest.(check bool)
+      "mentions cycle" true
+      (String.length msg > 0
+      && String.lowercase_ascii msg |> fun s ->
+         String.length s >= 5 && String.sub s 0 5 = "graph")
+
+let test_save_load () =
+  let g = Emts_daggen.Fft.generate ~points:4 in
+  let path = Filename.temp_file "emts_ptg" ".ptg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serial.save g path;
+      match Serial.load path with
+      | Ok g' -> Alcotest.(check bool) "load = save" true (graph_equal g g')
+      | Error e -> Alcotest.fail e)
+
+let test_load_missing () =
+  match Serial.load "/nonexistent/file.ptg" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_dot_output () =
+  let g = Testutil.diamond_graph () in
+  let dot = Dot.to_dot ~graph_name:"d" g in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 10 && String.sub dot 0 9 = "digraph d");
+  (* one node line per task, one edge line per edge *)
+  let count_substring needle hay =
+    let n = String.length needle and h = String.length hay in
+    let hits = ref 0 in
+    for i = 0 to h - n do
+      if String.sub hay i n = needle then incr hits
+    done;
+    !hits
+  in
+  Alcotest.(check int) "edges rendered" 4 (count_substring " -> " dot);
+  Alcotest.(check int) "nodes rendered" 4 (count_substring "label=" dot)
+
+let test_dot_escaping () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_task ~name:"we\"ird\\name" ~flop:1. b);
+  let g = Graph.Builder.build b in
+  let dot = Dot.to_dot ~label:(fun t -> t.Task.name) g in
+  Alcotest.(check bool) "escaped quote present" true
+    (let needle = "we\\\"ird" in
+     let n = String.length needle in
+     let found = ref false in
+     for i = 0 to String.length dot - n do
+       if String.sub dot i n = needle then found := true
+     done;
+     !found)
+
+let prop_round_trip =
+  QCheck.Test.make ~name:".ptg round-trip on random DAGs" ~count:150
+    (Testutil.arbitrary_dag ())
+    (fun g ->
+      match Serial.of_string (Serial.to_string g) with
+      | Ok g' -> graph_equal g g'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "serial"
+    [
+      ( "round trip",
+        [
+          Alcotest.test_case "diamond" `Quick test_round_trip_diamond;
+          Alcotest.test_case "rich tasks" `Quick test_round_trip_rich_tasks;
+          Alcotest.test_case "comments/blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+          Alcotest.test_case "cyclic file" `Quick test_cyclic_file_rejected;
+          Alcotest.test_case "missing file" `Quick test_load_missing;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "structure" `Quick test_dot_output;
+          Alcotest.test_case "escaping" `Quick test_dot_escaping;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_round_trip ]);
+    ]

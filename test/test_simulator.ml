@@ -1,0 +1,186 @@
+(* Tests for the discrete-event schedule executor. *)
+
+module Sim = Emts_simulator
+module Schedule = Emts_sched.Schedule
+module LS = Emts_sched.List_scheduler
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let schedule_of g alloc times procs = LS.run ~graph:g ~times ~alloc ~procs
+
+let diamond_setup () =
+  let g = Testutil.diamond_graph () in
+  let times = Array.init 4 (Testutil.unit_speed_times g) in
+  let alloc = [| 2; 1; 1; 2 |] in
+  (g, schedule_of g alloc times 2)
+
+let test_noise_models () =
+  let rng = Emts_prng.create ~seed:1 () in
+  check_float "none is identity" 3.5
+    (Sim.Noise.apply Sim.Noise.none rng ~planned:3.5);
+  let slow = Sim.Noise.uniform_slowdown ~max_factor:2. in
+  for _ = 1 to 1000 do
+    let v = Sim.Noise.apply slow rng ~planned:1. in
+    Alcotest.(check bool) "slowdown in [1, 2]" true (1. <= v && v <= 2.)
+  done;
+  let log_noise = Sim.Noise.multiplicative_lognormal ~sigma:0.3 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "lognormal positive" true
+      (Sim.Noise.apply log_noise rng ~planned:1. > 0.)
+  done;
+  Alcotest.(check bool) "bad sigma" true
+    (try
+       ignore (Sim.Noise.multiplicative_lognormal ~sigma:(-1.));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad factor" true
+    (try
+       ignore (Sim.Noise.uniform_slowdown ~max_factor:0.5);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative planned" true
+    (try
+       ignore (Sim.Noise.apply Sim.Noise.none rng ~planned:(-1.));
+       false
+     with Invalid_argument _ -> true)
+
+let test_exact_replay () =
+  let g, schedule = diamond_setup () in
+  let r = Sim.execute ~graph:g ~schedule () in
+  Alcotest.(check bool) "realized = planned" true
+    (Schedule.entries r.Sim.realized = Schedule.entries schedule);
+  check_float "slowdown 1" 1. (Sim.slowdown r)
+
+let test_trace_structure () =
+  let g, schedule = diamond_setup () in
+  let r = Sim.execute ~graph:g ~schedule () in
+  Alcotest.(check int) "two events per task" 8 (List.length r.Sim.trace);
+  (* chronological *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      Sim.event_time a <= Sim.event_time b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "chronological" true (sorted r.Sim.trace);
+  (* every start precedes its finish *)
+  let started = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match e with
+      | Sim.Start { task; _ } -> Hashtbl.replace started task ()
+      | Sim.Finish { task; _ } ->
+        Alcotest.(check bool) "finish after start" true
+          (Hashtbl.mem started task))
+    r.Sim.trace
+
+let test_noise_changes_makespan () =
+  let g, schedule = diamond_setup () in
+  let r =
+    Sim.execute
+      ~noise:(Sim.Noise.uniform_slowdown ~max_factor:3.)
+      ~rng:(Emts_prng.create ~seed:2 ())
+      ~graph:g ~schedule ()
+  in
+  Alcotest.(check bool) "slower than planned" true (Sim.slowdown r > 1.);
+  Alcotest.(check bool) "still valid" true
+    (Schedule.validate r.Sim.realized ~graph:g = Ok ())
+
+let test_deterministic_given_seed () =
+  let g, schedule = diamond_setup () in
+  let run () =
+    (Sim.execute
+       ~noise:(Sim.Noise.multiplicative_lognormal ~sigma:0.5)
+       ~rng:(Emts_prng.create ~seed:3 ())
+       ~graph:g ~schedule ())
+      .Sim.makespan
+  in
+  check_float "reproducible" (run ()) (run ())
+
+let test_mismatched_graph_rejected () =
+  let g, schedule = diamond_setup () in
+  ignore g;
+  let other = Emts_daggen.Shapes.chain 2 in
+  Alcotest.(check bool) "size mismatch" true
+    (try
+       ignore (Sim.execute ~graph:other ~schedule ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_csv () =
+  let g, schedule = diamond_setup () in
+  let r = Sim.execute ~graph:g ~schedule () in
+  let csv = Sim.trace_to_csv r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 8 events" 9 (List.length lines);
+  Alcotest.(check string) "header" "event,task,time,procs" (List.hd lines)
+
+(* properties over random graphs and allocations *)
+
+let arbitrary_sim_input =
+  QCheck.map
+    (fun (g, alloc) ->
+      let platform =
+        Emts_platform.make ~name:"sim16" ~processors:16 ~speed_gflops:1.
+      in
+      let tables =
+        Emts_model.Memo.tabulate_graph Emts_model.synthetic platform g
+      in
+      let times = Emts_sched.Allocation.times_of_tables alloc ~tables in
+      (g, LS.run ~graph:g ~times ~alloc ~procs:16))
+    (Testutil.arbitrary_dag_alloc ~procs:16 ())
+
+let prop_exact_replay =
+  QCheck.Test.make ~name:"noise-free execution reproduces the schedule"
+    ~count:150 arbitrary_sim_input
+    (fun (g, schedule) ->
+      let r = Sim.execute ~graph:g ~schedule () in
+      Schedule.entries r.Sim.realized = Schedule.entries schedule)
+
+let prop_noisy_execution_valid =
+  QCheck.Test.make ~name:"noisy executions stay valid" ~count:100
+    arbitrary_sim_input
+    (fun (g, schedule) ->
+      let r =
+        Sim.execute
+          ~noise:(Sim.Noise.multiplicative_lognormal ~sigma:0.4)
+          ~rng:(Emts_prng.create ~seed:7 ())
+          ~graph:g ~schedule ()
+      in
+      Schedule.validate r.Sim.realized ~graph:g = Ok ())
+
+let prop_slowdown_bounded =
+  QCheck.Test.make
+    ~name:"uniform slowdown(f): makespan within [planned, f * planned]"
+    ~count:100 arbitrary_sim_input
+    (fun (g, schedule) ->
+      let f = 2.5 in
+      let r =
+        Sim.execute
+          ~noise:(Sim.Noise.uniform_slowdown ~max_factor:f)
+          ~rng:(Emts_prng.create ~seed:8 ())
+          ~graph:g ~schedule ()
+      in
+      r.Sim.makespan >= r.Sim.planned_makespan -. 1e-9
+      && r.Sim.makespan <= (f *. r.Sim.planned_makespan) +. 1e-9)
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "noise",
+        [ Alcotest.test_case "models" `Quick test_noise_models ] );
+      ( "execution",
+        [
+          Alcotest.test_case "exact replay" `Quick test_exact_replay;
+          Alcotest.test_case "trace structure" `Quick test_trace_structure;
+          Alcotest.test_case "noise changes makespan" `Quick
+            test_noise_changes_makespan;
+          Alcotest.test_case "deterministic" `Quick
+            test_deterministic_given_seed;
+          Alcotest.test_case "graph mismatch" `Quick
+            test_mismatched_graph_rejected;
+          Alcotest.test_case "trace csv" `Quick test_trace_csv;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_exact_replay; prop_noisy_execution_valid; prop_slowdown_bounded ] );
+    ]

@@ -1,0 +1,195 @@
+(* Tests for Emts_stats: accumulators, summaries, quantiles, histograms. *)
+
+module S = Emts_stats
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close = Alcotest.(check (float 1e-6))
+
+let test_acc_basic () =
+  let acc = S.Acc.create () in
+  List.iter (S.Acc.add acc) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (S.Acc.count acc);
+  check_float "mean" 5. (S.Acc.mean acc);
+  check_close "variance (n-1)" (32. /. 7.) (S.Acc.variance acc);
+  check_float "min" 2. (S.Acc.min acc);
+  check_float "max" 9. (S.Acc.max acc);
+  check_float "total" 40. (S.Acc.total acc)
+
+let test_acc_empty () =
+  let acc = S.Acc.create () in
+  Alcotest.(check int) "count 0" 0 (S.Acc.count acc);
+  check_float "variance of empty" 0. (S.Acc.variance acc);
+  Alcotest.check_raises "mean of empty"
+    (Invalid_argument "Emts_stats.Acc.mean: empty accumulator") (fun () ->
+      ignore (S.Acc.mean acc))
+
+let test_acc_single () =
+  let acc = S.Acc.create () in
+  S.Acc.add acc 3.5;
+  check_float "mean" 3.5 (S.Acc.mean acc);
+  check_float "variance" 0. (S.Acc.variance acc);
+  check_float "stddev" 0. (S.Acc.stddev acc)
+
+let test_acc_matches_two_pass () =
+  let rng = Emts_prng.create ~seed:1 () in
+  let xs = Array.init 1000 (fun _ -> Emts_prng.float rng 100.) in
+  let acc = S.Acc.create () in
+  Array.iter (S.Acc.add acc) xs;
+  let n = float_of_int (Array.length xs) in
+  let mean = Array.fold_left ( +. ) 0. xs /. n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+  in
+  Alcotest.(check (float 1e-6)) "mean matches two-pass" mean (S.Acc.mean acc);
+  Alcotest.(check (float 1e-6)) "variance matches two-pass" var
+    (S.Acc.variance acc)
+
+let test_acc_merge () =
+  let rng = Emts_prng.create ~seed:2 () in
+  let xs = Array.init 500 (fun _ -> Emts_prng.normal rng ~mu:10. ~sigma:3.) in
+  let whole = S.Acc.create () in
+  Array.iter (S.Acc.add whole) xs;
+  let left = S.Acc.create () and right = S.Acc.create () in
+  Array.iteri (fun i x -> S.Acc.add (if i < 123 then left else right) x) xs;
+  let merged = S.Acc.merge left right in
+  Alcotest.(check int) "count" (S.Acc.count whole) (S.Acc.count merged);
+  check_close "mean" (S.Acc.mean whole) (S.Acc.mean merged);
+  check_close "variance" (S.Acc.variance whole) (S.Acc.variance merged);
+  check_float "min" (S.Acc.min whole) (S.Acc.min merged);
+  check_float "max" (S.Acc.max whole) (S.Acc.max merged)
+
+let test_acc_merge_with_empty () =
+  let acc = S.Acc.create () in
+  List.iter (S.Acc.add acc) [ 1.; 2.; 3. ];
+  let merged = S.Acc.merge acc (S.Acc.create ()) in
+  check_float "mean preserved" 2. (S.Acc.mean merged);
+  let merged2 = S.Acc.merge (S.Acc.create ()) acc in
+  check_float "mean preserved (flipped)" 2. (S.Acc.mean merged2)
+
+let test_student_t () =
+  check_float "df=1" 12.706 (S.student_t_975 1);
+  check_float "df=10" 2.228 (S.student_t_975 10);
+  check_float "df=30" 2.042 (S.student_t_975 30);
+  check_float "df large" 1.96 (S.student_t_975 1000);
+  Alcotest.check_raises "df=0 rejected"
+    (Invalid_argument "Emts_stats.student_t_975: df must be positive")
+    (fun () -> ignore (S.student_t_975 0))
+
+let test_summary () =
+  let s = S.summarize [| 10.; 12.; 14. |] in
+  Alcotest.(check int) "n" 3 s.S.n;
+  check_float "mean" 12. s.S.mean;
+  check_float "stddev" 2. s.S.stddev;
+  (* t(0.975, df=2) = 4.303; hw = 4.303 * 2 / sqrt 3 *)
+  check_close "ci95" (4.303 *. 2. /. sqrt 3.) s.S.ci95_half_width;
+  check_float "min" 10. s.S.min;
+  check_float "max" 14. s.S.max
+
+let test_summary_single () =
+  let s = S.summarize [| 42. |] in
+  check_float "mean" 42. s.S.mean;
+  check_float "no CI for n=1" 0. s.S.ci95_half_width
+
+let test_quantiles () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  check_float "median interpolates" 2.5 (S.median xs);
+  check_float "q0 = min" 1. (S.quantile xs 0.);
+  check_float "q1 = max" 4. (S.quantile xs 1.);
+  check_float "q0.25" 1.75 (S.quantile xs 0.25);
+  check_float "odd median" 3. (S.median [| 5.; 3.; 1. |]);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Emts_stats.quantile: q must lie in [0, 1]") (fun () ->
+      ignore (S.quantile xs 1.5))
+
+let test_geometric_mean () =
+  check_close "gm(2,8) = 4" 4. (S.geometric_mean [| 2.; 8. |]);
+  check_close "gm of equal" 3. (S.geometric_mean [| 3.; 3.; 3. |]);
+  Alcotest.check_raises "non-positive rejected"
+    (Invalid_argument "Emts_stats.geometric_mean: non-positive value")
+    (fun () -> ignore (S.geometric_mean [| 1.; 0. |]))
+
+let test_histogram () =
+  let h = S.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (S.Histogram.add h) [ 0.5; 1.5; 1.9; 9.99; -1.; 10.; 10.5 ];
+  Alcotest.(check int) "in-range count" 4 (S.Histogram.count h);
+  Alcotest.(check int) "bin 0" 1 (S.Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 1" 2 (S.Histogram.bin_count h 1);
+  Alcotest.(check int) "bin 9 (hi is exclusive)" 1 (S.Histogram.bin_count h 9);
+  Alcotest.(check int) "underflow" 1 (S.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (S.Histogram.overflow h);
+  check_float "bin center" 0.5 (S.Histogram.bin_center h 0);
+  check_close "density of bin 1" (2. /. 4.) (S.Histogram.density h 1);
+  Alcotest.(check bool)
+    "render mentions counts" true
+    (String.length (S.Histogram.render h) > 0)
+
+let test_histogram_density_integrates () =
+  let rng = Emts_prng.create ~seed:3 () in
+  let h = S.Histogram.create ~lo:(-4.) ~hi:4. ~bins:32 in
+  for _ = 1 to 50_000 do
+    S.Histogram.add h (Emts_prng.normal rng ~mu:0. ~sigma:1.)
+  done;
+  let integral = ref 0. in
+  for i = 0 to S.Histogram.bins h - 1 do
+    integral := !integral +. (S.Histogram.density h i *. (8. /. 32.))
+  done;
+  Alcotest.(check (float 1e-9)) "density integrates to 1" 1. !integral
+
+let prop_summary_bounds =
+  QCheck.Test.make ~name:"mean within [min, max]" ~count:300
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = S.summarize xs in
+      s.S.min <= s.S.mean +. 1e-9 && s.S.mean <= s.S.max +. 1e-9)
+
+let prop_merge_associative_count =
+  QCheck.Test.make ~name:"merge preserves count and sum" ~count:200
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 0 30) (float_range (-100.) 100.))
+        (array_of_size Gen.(int_range 0 30) (float_range (-100.) 100.)))
+    (fun (a, b) ->
+      let accum xs =
+        let acc = S.Acc.create () in
+        Array.iter (S.Acc.add acc) xs;
+        acc
+      in
+      let merged = S.Acc.merge (accum a) (accum b) in
+      S.Acc.count merged = Array.length a + Array.length b
+      && Float.abs
+           (S.Acc.total merged
+           -. (Array.fold_left ( +. ) 0. a +. Array.fold_left ( +. ) 0. b))
+         < 1e-6)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "accumulator",
+        [
+          Alcotest.test_case "basic" `Quick test_acc_basic;
+          Alcotest.test_case "empty" `Quick test_acc_empty;
+          Alcotest.test_case "single" `Quick test_acc_single;
+          Alcotest.test_case "matches two-pass" `Quick
+            test_acc_matches_two_pass;
+          Alcotest.test_case "merge" `Quick test_acc_merge;
+          Alcotest.test_case "merge with empty" `Quick
+            test_acc_merge_with_empty;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "student t table" `Quick test_student_t;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary n=1" `Quick test_summary_single;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "binning" `Quick test_histogram;
+          Alcotest.test_case "density integrates" `Slow
+            test_histogram_density_integrates;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_summary_bounds; prop_merge_associative_count ] );
+    ]

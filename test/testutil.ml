@@ -1,0 +1,100 @@
+(* Shared helpers for the test suite: hand-built graphs with known
+   analytic answers and QCheck generators for random PTG inputs. *)
+
+module Graph = Emts_ptg.Graph
+
+(* Diamond with asymmetric costs:
+
+        0 (10 FLOP)
+       / \
+      1   2      (20 / 30 FLOP)
+       \ /
+        3 (40 FLOP)
+
+   With unit-speed sequential times t(v) = cost, bottom levels are
+   bl3 = 40, bl1 = 60, bl2 = 70, bl0 = 80; critical path 0-2-3. *)
+let diamond_graph () =
+  let b = Graph.Builder.create () in
+  let t0 = Graph.Builder.add_task ~flop:10. b in
+  let t1 = Graph.Builder.add_task ~flop:20. b in
+  let t2 = Graph.Builder.add_task ~flop:30. b in
+  let t3 = Graph.Builder.add_task ~flop:40. b in
+  List.iter
+    (fun (src, dst) -> Graph.Builder.add_edge b ~src ~dst)
+    [ (t0, t1); (t0, t2); (t1, t3); (t2, t3) ];
+  Graph.Builder.build b
+
+(* Two independent chains of two tasks: 0->1, 2->3 (no shared nodes). *)
+let two_chains_graph () =
+  let b = Graph.Builder.create () in
+  let ids = Array.init 4 (fun _ -> Graph.Builder.add_task ~flop:1. b) in
+  Graph.Builder.add_edge b ~src:ids.(0) ~dst:ids.(1);
+  Graph.Builder.add_edge b ~src:ids.(2) ~dst:ids.(3);
+  Graph.Builder.build b
+
+(* The paper's Figure 2 shape: five nodes, two levels of parallelism. *)
+let figure2_graph () =
+  let b = Graph.Builder.create () in
+  let n1 = Graph.Builder.add_task ~flop:1. b in
+  let n2 = Graph.Builder.add_task ~flop:1. b in
+  let n3 = Graph.Builder.add_task ~flop:1. b in
+  let n4 = Graph.Builder.add_task ~flop:1. b in
+  let n5 = Graph.Builder.add_task ~flop:1. b in
+  List.iter
+    (fun (src, dst) -> Graph.Builder.add_edge b ~src ~dst)
+    [ (n1, n2); (n1, n3); (n2, n4); (n3, n4); (n3, n5) ];
+  Graph.Builder.build b
+
+let const_time t _ = t
+let unit_speed_times g = fun v -> (Graph.task g v).Emts_ptg.Task.flop
+
+(* Random DAG by upper-triangular coin flips: acyclic by construction,
+   arbitrary shape (unlike the layered daggen graphs). *)
+let random_triangular_dag rng ~n ~p =
+  let b = Graph.Builder.create () in
+  let ids =
+    Array.init n (fun _ ->
+        Graph.Builder.add_task
+          ~flop:(1. +. Emts_prng.float rng 99.)
+          ~alpha:(Emts_prng.float rng 0.5)
+          b)
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Emts_prng.bernoulli rng ~p then
+        Graph.Builder.add_edge b ~src:ids.(i) ~dst:ids.(j)
+    done
+  done;
+  Graph.Builder.build b
+
+(* QCheck generator of (graph, seed): graphs of 1..max_n tasks. *)
+let gen_dag ?(max_n = 25) () =
+  QCheck.Gen.(
+    pair (int_range 1 max_n) (pair int (float_range 0.05 0.5))
+    >|= fun (n, (seed, p)) ->
+    let rng = Emts_prng.create ~seed () in
+    random_triangular_dag rng ~n ~p)
+
+let arbitrary_dag ?max_n () =
+  QCheck.make
+    ~print:(fun g -> Format.asprintf "%a" Graph.pp_stats g)
+    (gen_dag ?max_n ())
+
+(* Graph plus a valid random allocation for a platform of [procs]. *)
+let arbitrary_dag_alloc ~procs ?max_n () =
+  QCheck.make
+    ~print:(fun (g, alloc) ->
+      Format.asprintf "%a / %a" Graph.pp_stats g Emts_sched.Allocation.pp
+        alloc)
+    QCheck.Gen.(
+      pair (gen_dag ?max_n ()) int >|= fun (g, seed) ->
+      let rng = Emts_prng.create ~seed () in
+      let alloc =
+        Array.init (Graph.task_count g) (fun _ ->
+            Emts_prng.int_in rng 1 procs)
+      in
+      (g, alloc))
+
+(* Times for every task under an allocation, via a model and platform. *)
+let times_for ~model ~platform g alloc =
+  Emts_sched.Allocation.times alloc ~model ~platform ~graph:g

@@ -6,7 +6,11 @@
      BENCH_SCALE  fraction of the paper's instance counts for the table
                   regeneration part (default 0.25, the scale recorded
                   in EXPERIMENTS.md; 1.0 = full campaign).
-     BENCH_QUOTA  seconds of sampling per micro-benchmark (default 0.5). *)
+     BENCH_QUOTA  seconds of sampling per micro-benchmark (default 0.5).
+     BENCH_METRICS_JSON  when set to a path, collect the Emts_obs
+                  metrics over the whole run and write the JSON snapshot
+                  there (counters such as fitness evaluations and
+                  ready-queue operations, for regression tracking). *)
 
 open Bechamel
 open Toolkit
@@ -325,7 +329,15 @@ let run_extensions () =
        (Emts_experiments.Walltime.run ~jobs:25 ~rng:(Emts_prng.create ()) ()))
 
 let () =
+  let metrics_json = Sys.getenv_opt "BENCH_METRICS_JSON" in
+  if metrics_json <> None then Emts_obs.Metrics.set_enabled true;
   rule "Micro-benchmarks (Bechamel): one per table/figure code path";
   run_benchmarks ();
   run_tables ();
-  run_extensions ()
+  run_extensions ();
+  match metrics_json with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Emts_obs.Metrics.to_json ()));
+    Printf.eprintf "[bench] wrote %s\n%!" path

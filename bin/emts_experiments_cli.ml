@@ -33,13 +33,14 @@ let counts_of_scale scale =
   else Ok (E.Campaign.scaled scale)
 
 let fig1_cmd =
-  let run () =
+  let run obs () =
+    Obs_cli.with_obs obs @@ fun () ->
     print_string (E.Fig1.render ());
     Ok ()
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"PDGEMM-shaped non-monotone timings (Figure 1).")
-    Term.(term_result' (const run $ const ()))
+    Term.(term_result' (const run $ Obs_cli.term $ const ()))
 
 let fig3_cmd =
   let samples =
@@ -47,7 +48,8 @@ let fig3_cmd =
       value & opt int 1_000_000
       & info [ "samples" ] ~docv:"INT" ~doc:"Mutation draws to histogram.")
   in
-  let run samples seed =
+  let run obs samples seed =
+    Obs_cli.with_obs obs @@ fun () ->
     if samples < 1 then Error "samples must be >= 1"
     else begin
       print_string (E.Fig3.render ~samples (Emts_prng.create ~seed ()));
@@ -56,7 +58,7 @@ let fig3_cmd =
   in
   Cmd.v
     (Cmd.info "fig3" ~doc:"Mutation operator density (Figure 3).")
-    Term.(term_result' (const run $ samples $ seed_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ samples $ seed_arg))
 
 let csv_arg =
   Arg.(
@@ -73,7 +75,8 @@ let write_csv csv groups =
     Printf.eprintf "wrote %s\n%!" path
 
 let fig4_cmd =
-  let run scale seed quiet csv =
+  let run obs scale seed quiet csv =
+    Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let rng = Emts_prng.create ~seed () in
@@ -87,10 +90,11 @@ let fig4_cmd =
   Cmd.v
     (Cmd.info "fig4" ~doc:"Relative makespans under Model 1 (Figure 4).")
     Term.(
-      term_result' (const run $ scale_arg $ seed_arg $ quiet_arg $ csv_arg))
+      term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg $ csv_arg))
 
 let fig5_cmd =
-  let run scale seed quiet csv =
+  let run obs scale seed quiet csv =
+    Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let rng = Emts_prng.create ~seed () in
@@ -104,7 +108,7 @@ let fig5_cmd =
   Cmd.v
     (Cmd.info "fig5" ~doc:"Relative makespans under Model 2 (Figure 5).")
     Term.(
-      term_result' (const run $ scale_arg $ seed_arg $ quiet_arg $ csv_arg))
+      term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg $ csv_arg))
 
 let fig6_cmd =
   let width =
@@ -118,7 +122,8 @@ let fig6_cmd =
       & info [ "svg" ] ~docv:"FILE"
           ~doc:"Additionally write the side-by-side chart as an SVG file.")
   in
-  let run width svg seed =
+  let run obs width svg seed =
+    Obs_cli.with_obs obs @@ fun () ->
     if width < 1 then Error "width must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
@@ -141,10 +146,11 @@ let fig6_cmd =
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"MCPA vs EMTS10 Gantt comparison (Figure 6).")
-    Term.(term_result' (const run $ width $ svg $ seed_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ width $ svg $ seed_arg))
 
 let runtime_cmd =
-  let run scale seed quiet =
+  let run obs scale seed quiet =
+    Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let rng = Emts_prng.create ~seed () in
@@ -167,10 +173,11 @@ let runtime_cmd =
   Cmd.v
     (Cmd.info "runtime"
        ~doc:"EMTS5/EMTS10 run-time statistics (Section V text).")
-    Term.(term_result' (const run $ scale_arg $ seed_arg $ quiet_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg))
 
 let all_cmd =
-  let run scale seed quiet =
+  let run obs scale seed quiet =
+    Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let rng = Emts_prng.create ~seed () in
@@ -201,7 +208,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run the whole campaign: every figure and table.")
-    Term.(term_result' (const run $ scale_arg $ seed_arg $ quiet_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg))
 
 let instances_arg default =
   Arg.(
@@ -209,7 +216,8 @@ let instances_arg default =
     & info [ "instances" ] ~docv:"INT" ~doc:"PTG instances per experiment.")
 
 let ablation_cmd =
-  let run instances seed =
+  let run obs instances seed =
+    Obs_cli.with_obs obs @@ fun () ->
     if instances < 1 then Error "instances must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
@@ -251,7 +259,7 @@ let ablation_cmd =
   Cmd.v
     (Cmd.info "ablation"
        ~doc:"Seeding / crossover / early-rejection ablations (DESIGN.md §5).")
-    Term.(term_result' (const run $ instances_arg 20 $ seed_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ instances_arg 20 $ seed_arg))
 
 let robustness_cmd =
   let draws =
@@ -259,7 +267,8 @@ let robustness_cmd =
       value & opt int 5
       & info [ "draws" ] ~docv:"INT" ~doc:"Noise draws per instance.")
   in
-  let run instances draws seed =
+  let run obs instances draws seed =
+    Obs_cli.with_obs obs @@ fun () ->
     if instances < 1 || draws < 1 then Error "instances and draws must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
@@ -270,7 +279,7 @@ let robustness_cmd =
   Cmd.v
     (Cmd.info "robustness"
        ~doc:"Execute MCPA and EMTS schedules under duration noise.")
-    Term.(term_result' (const run $ instances_arg 10 $ draws $ seed_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ instances_arg 10 $ draws $ seed_arg))
 
 let sweep_cmd =
   let per_combo =
@@ -279,7 +288,8 @@ let sweep_cmd =
       & info [ "per-combo" ] ~docv:"INT"
           ~doc:"Instances per parameter combination.")
   in
-  let run per_combo seed quiet =
+  let run obs per_combo seed quiet =
+    Obs_cli.with_obs obs @@ fun () ->
     if per_combo < 1 then Error "per-combo must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
@@ -291,7 +301,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"EMTS gain as a function of PTG size (n sweep).")
-    Term.(term_result' (const run $ per_combo $ seed_arg $ quiet_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ per_combo $ seed_arg $ quiet_arg))
 
 let walltime_cmd =
   let jobs =
@@ -299,7 +309,8 @@ let walltime_cmd =
       value & opt int 30
       & info [ "jobs" ] ~docv:"INT" ~doc:"PTG jobs in the workload.")
   in
-  let run jobs seed =
+  let run obs jobs seed =
+    Obs_cli.with_obs obs @@ fun () ->
     if jobs < 1 then Error "jobs must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
@@ -310,10 +321,11 @@ let walltime_cmd =
   Cmd.v
     (Cmd.info "walltime"
        ~doc:"Batch-level cost of walltime overestimation (EASY backfilling).")
-    Term.(term_result' (const run $ jobs $ seed_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ jobs $ seed_arg))
 
 let gaps_cmd =
-  let run scale seed quiet =
+  let run obs scale seed quiet =
+    Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let rng = Emts_prng.create ~seed () in
@@ -324,10 +336,11 @@ let gaps_cmd =
   Cmd.v
     (Cmd.info "gaps"
        ~doc:"Optimality gaps: every algorithm against provable lower bounds.")
-    Term.(term_result' (const run $ scale_arg $ seed_arg $ quiet_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg))
 
 let convergence_cmd =
-  let run instances seed =
+  let run obs instances seed =
+    Obs_cli.with_obs obs @@ fun () ->
     if instances < 1 then Error "instances must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
@@ -338,7 +351,7 @@ let convergence_cmd =
   Cmd.v
     (Cmd.info "convergence"
        ~doc:"Anytime curve: best makespan per EMTS10 generation.")
-    Term.(term_result' (const run $ instances_arg 15 $ seed_arg))
+    Term.(term_result' (const run $ Obs_cli.term $ instances_arg 15 $ seed_arg))
 
 let () =
   let info =

@@ -29,7 +29,12 @@ let emit ~output graph =
 
 let finish ~seed ~costs ~output graph =
   let rng = Emts_prng.create ~seed () in
-  let graph = if costs then Emts_daggen.Costs.assign rng graph else graph in
+  let graph =
+    if costs then
+      Emts_obs.Trace.span "gen.assign_costs" (fun () ->
+          Emts_daggen.Costs.assign rng graph)
+    else graph
+  in
   emit ~output graph;
   Ok ()
 
@@ -38,8 +43,12 @@ let fft_cmd =
     let doc = "FFT size (power of two >= 2); the paper uses 2, 4, 8, 16." in
     Arg.(value & opt int 16 & info [ "points" ] ~docv:"INT" ~doc)
   in
-  let run points seed costs output =
-    match Emts_daggen.Fft.generate ~points with
+  let run obs points seed costs output =
+    Obs_cli.with_obs obs @@ fun () ->
+    match
+      Emts_obs.Trace.span "gen.generate" (fun () ->
+          Emts_daggen.Fft.generate ~points)
+    with
     | graph -> finish ~seed ~costs ~output graph
     | exception Invalid_argument msg -> Error msg
   in
@@ -47,15 +56,19 @@ let fft_cmd =
     (Cmd.info "fft" ~doc:"Generate an FFT task graph.")
     Term.(
       term_result'
-        (const run $ points $ seed_arg $ costs_arg $ output_arg))
+        (const run $ Obs_cli.term $ points $ seed_arg $ costs_arg
+       $ output_arg))
 
 let strassen_cmd =
-  let run seed costs output =
+  let run obs seed costs output =
+    Obs_cli.with_obs obs @@ fun () ->
     finish ~seed ~costs ~output (Emts_daggen.Strassen.generate ())
   in
   Cmd.v
     (Cmd.info "strassen" ~doc:"Generate the Strassen task graph (23 tasks).")
-    Term.(term_result' (const run $ seed_arg $ costs_arg $ output_arg))
+    Term.(
+      term_result'
+        (const run $ Obs_cli.term $ seed_arg $ costs_arg $ output_arg))
 
 let random_cmd =
   let n =
@@ -83,20 +96,23 @@ let random_cmd =
       & info [ "jump" ] ~docv:"INT"
           ~doc:"Levels an edge may skip; 0 gives a layered graph.")
   in
-  let run n width regularity density jump seed costs output =
+  let run obs n width regularity density jump seed costs output =
+    Obs_cli.with_obs obs @@ fun () ->
     let rng = Emts_prng.create ~seed () in
     let params = { Emts_daggen.Random_dag.n; width; regularity; density; jump } in
     match Emts_daggen.Random_dag.validate params with
     | Error msg -> Error msg
     | Ok params ->
-      finish ~seed ~costs ~output (Emts_daggen.Random_dag.generate rng params)
+      finish ~seed ~costs ~output
+        (Emts_obs.Trace.span "gen.generate" (fun () ->
+             Emts_daggen.Random_dag.generate rng params))
   in
   Cmd.v
     (Cmd.info "random" ~doc:"Generate a DAGGEN-style random task graph.")
     Term.(
       term_result'
-        (const run $ n $ width $ regularity $ density $ jump $ seed_arg
-       $ costs_arg $ output_arg))
+        (const run $ Obs_cli.term $ n $ width $ regularity $ density $ jump
+       $ seed_arg $ costs_arg $ output_arg))
 
 let shape_cmd =
   let kind =
@@ -114,7 +130,8 @@ let shape_cmd =
       value & opt int 4
       & info [ "layers" ] ~docv:"INT" ~doc:"Layers (mesh only).")
   in
-  let run kind size layers seed costs output =
+  let run obs kind size layers seed costs output =
+    Obs_cli.with_obs obs @@ fun () ->
     match
       match String.lowercase_ascii kind with
       | "chain" -> Ok (Emts_daggen.Shapes.chain size)
@@ -131,7 +148,8 @@ let shape_cmd =
     (Cmd.info "shape" ~doc:"Generate an elementary shape (chain, forkjoin, ...).")
     Term.(
       term_result'
-        (const run $ kind $ size $ layers $ seed_arg $ costs_arg $ output_arg))
+        (const run $ Obs_cli.term $ kind $ size $ layers $ seed_arg
+       $ costs_arg $ output_arg))
 
 let () =
   let info =

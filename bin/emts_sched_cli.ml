@@ -32,6 +32,14 @@ let seed_arg =
     value & opt int 0x5EED_CA11
     & info [ "seed" ] ~docv:"INT" ~doc:"Random seed for EMTS.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"INT"
+        ~doc:
+          "Worker domains for parallel fitness evaluation (EMTS only; \
+           results are identical for any value).")
+
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
 
@@ -61,8 +69,12 @@ let resolve_model spec =
         (Emts_model.Empirical.load spec)
     else Error (Printf.sprintf "unknown model %S (no such preset or file)" spec)
 
-let run graph_file platform_spec model_spec algorithm seed gantt csv svg =
+let run obs graph_file platform_spec model_spec algorithm seed domains gantt
+    csv svg =
+  Obs_cli.with_obs obs @@ fun () ->
   let ( let* ) = Result.bind in
+  if domains < 1 then Error "domains must be >= 1"
+  else
   let* graph = Emts_ptg.Serial.load graph_file in
   let* platform = resolve_platform platform_spec in
   let* model = resolve_model model_spec in
@@ -75,6 +87,7 @@ let run graph_file platform_spec model_spec algorithm seed gantt csv svg =
           Emts.Algorithm.emts5
         else Emts.Algorithm.emts10
       in
+      let config = Emts.Algorithm.with_domains domains config in
       let rng = Emts_prng.create ~seed () in
       let result = Emts.Algorithm.run_ctx ~rng ~config ~ctx () in
       List.iter
@@ -122,7 +135,8 @@ let () =
   let term =
     Term.(
       term_result'
-        (const run $ graph_arg $ platform_arg $ model_arg $ algorithm_arg
-       $ seed_arg $ gantt_arg $ csv_arg $ svg_arg))
+        (const run $ Obs_cli.term $ graph_arg $ platform_arg $ model_arg
+       $ algorithm_arg $ seed_arg $ domains_arg $ gantt_arg $ csv_arg
+       $ svg_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,89 @@
+(* Shared observability flags for the emts binaries: --trace, --metrics,
+   --metrics-json and --progress behave identically on emts-gen,
+   emts-sched and emts-experiments. *)
+
+open Cmdliner
+
+type t = {
+  trace : string option;
+  metrics : bool;
+  metrics_json : string option;
+  progress : bool;
+}
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event JSONL trace to $(docv): one JSON \
+           object per line, loadable in Perfetto (ui.perfetto.dev).  \
+           Parallel fitness evaluation appears as one lane per worker \
+           domain.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect runtime metrics (fitness evaluations, early-reject \
+           hits, ready-queue operations, ...) and print a summary table \
+           after the run.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the collected metrics as machine-readable JSON to $(docv) \
+           (implies metric collection).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Report per-generation progress lines on stderr.")
+
+let make trace metrics metrics_json progress =
+  { trace; metrics; metrics_json; progress }
+
+let term = Term.(const make $ trace_arg $ metrics_arg $ metrics_json_arg
+                 $ progress_arg)
+
+(* Enable the requested sinks, run [f], then flush: close the trace,
+   print the metrics table to stdout and write the JSON snapshot.  The
+   sinks are flushed even when [f] raises or returns an error.
+   Unwritable sink paths surface as clean CLI errors, not uncaught
+   [Sys_error] exceptions. *)
+let with_obs t f =
+  match
+    match t.trace with Some path -> Emts_obs.Trace.start ~path | None -> ()
+  with
+  | exception Sys_error msg -> Error msg
+  | () ->
+    if t.metrics || t.metrics_json <> None then
+      Emts_obs.Metrics.set_enabled true;
+    if t.progress then Emts_obs.Progress.set_enabled true;
+    let json_error = ref None in
+    let finalize () =
+      (match t.trace with
+      | Some path ->
+        Emts_obs.Trace.stop ();
+        Printf.eprintf "wrote %s\n%!" path
+      | None -> ());
+      (match t.metrics_json with
+      | Some path -> (
+        try
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Emts_obs.Metrics.to_json ()));
+          Printf.eprintf "wrote %s\n%!" path
+        with Sys_error msg -> json_error := Some msg)
+      | None -> ());
+      if t.metrics then print_string (Emts_obs.Metrics.render ())
+    in
+    let result = Fun.protect ~finally:finalize f in
+    (match (result, !json_error) with
+    | Ok _, Some msg -> Error msg
+    | _, _ -> result)

@@ -68,8 +68,21 @@ let shadow_and_extra ~free ~running head =
   in
   scan free sorted
 
+let m_simulations = Emts_obs.Metrics.counter "batch.simulations"
+let m_jobs_started = Emts_obs.Metrics.counter "batch.jobs_started"
+let m_backfill_starts = Emts_obs.Metrics.counter "batch.backfill_starts"
+let m_jobs_killed = Emts_obs.Metrics.counter "batch.jobs_killed"
+
 let simulate ~backfill ~procs jobs =
   validate_input ~procs jobs;
+  Emts_obs.Trace.span "batch.simulate"
+    ~args:
+      [
+        ("jobs", Emts_obs.Trace.Int (List.length jobs));
+        ("backfill", Emts_obs.Trace.Str (string_of_bool backfill));
+      ]
+  @@ fun () ->
+  Emts_obs.Metrics.incr m_simulations;
   let arrivals =
     List.sort (fun a b -> compare (a.submit, a.id) (b.submit, b.id)) jobs
   in
@@ -80,6 +93,8 @@ let simulate ~backfill ~procs jobs =
   let placements = ref [] in
   let start_job now j =
     let actual_finish = now +. Float.min j.runtime j.walltime in
+    Emts_obs.Metrics.incr m_jobs_started;
+    if j.runtime > j.walltime then Emts_obs.Metrics.incr m_jobs_killed;
     free := !free - j.procs;
     running :=
       { rjob = j; rstart = now; actual_finish;
@@ -116,6 +131,7 @@ let simulate ~backfill ~procs jobs =
           match pick [] rest with
           | Some (j, rest') ->
             queue := head :: rest';
+            Emts_obs.Metrics.incr m_backfill_starts;
             start_job now j;
             go ()
           | None -> ()

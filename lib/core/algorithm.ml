@@ -1,5 +1,12 @@
 module Common = Emts_alloc.Common
 
+(* Early-reject effectiveness (paper conclusion): hits are offspring cut
+   off mid-schedule by [makespan_bounded], misses completed schedules.
+   The hit rate quantifies how much mapping work the optimisation saves;
+   bumped from worker domains, hence counters (atomic). *)
+let m_early_reject_hits = Emts_obs.Metrics.counter "ea.early_reject.hits"
+let m_early_reject_misses = Emts_obs.Metrics.counter "ea.early_reject.misses"
+
 type config = {
   mu : int;
   lambda : int;
@@ -58,7 +65,17 @@ let run_ctx ?rng ~config ~ctx () =
       "Emts.run: early_reject requires Plus selection (rejected offspring \
        could survive under Comma)";
   let rng = match rng with Some r -> r | None -> Emts_prng.create () in
-  let seeds = Seeding.collect ~heuristics:config.heuristics ctx in
+  Emts_obs.Trace.span "emts.run_ctx"
+    ~args:
+      [
+        ("tasks", Emts_obs.Trace.Int (Emts_ptg.Graph.task_count ctx.Common.graph));
+        ("procs", Emts_obs.Trace.Int ctx.Common.procs);
+      ]
+  @@ fun () ->
+  let seeds =
+    Emts_obs.Trace.span "emts.seeding" (fun () ->
+        Seeding.collect ~heuristics:config.heuristics ctx)
+  in
   (* Early rejection (paper conclusion): the cutoff is the WORST
      fitness among the previous generation's survivors — an offspring
      scoring strictly above it can never enter the population (the mu
@@ -76,8 +93,12 @@ let run_ctx ?rng ~config ~ctx () =
         Emts_sched.List_scheduler.makespan_bounded ~graph:ctx.Common.graph
           ~times ~alloc ~procs:ctx.Common.procs ~cutoff:!cutoff
       with
-      | Some m -> m
-      | None -> infinity
+      | Some m ->
+        Emts_obs.Metrics.incr m_early_reject_misses;
+        m
+      | None ->
+        Emts_obs.Metrics.incr m_early_reject_hits;
+        infinity
     else
       Emts_sched.List_scheduler.makespan ~graph:ctx.Common.graph ~times
         ~alloc ~procs:ctx.Common.procs
@@ -133,7 +154,10 @@ let run_ctx ?rng ~config ~ctx () =
       ~seeds:(List.map (fun (s : Seeding.seed) -> s.alloc) seeds)
       { fitness; mutate; recombine; crossover_rate }
   in
-  let schedule = schedule_allocation ~ctx ea.Emts_ea.best in
+  let schedule =
+    Emts_obs.Trace.span "emts.schedule_best" (fun () ->
+        schedule_allocation ~ctx ea.Emts_ea.best)
+  in
   {
     alloc = ea.Emts_ea.best;
     makespan = ea.Emts_ea.best_fitness;

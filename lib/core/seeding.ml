@@ -12,11 +12,15 @@ type seed = {
   makespan : float;
 }
 
+let m_seeds = Emts_obs.Metrics.counter "seeding.seeds"
+let m_makespan = Emts_obs.Metrics.histogram "seeding.makespan"
+
 let collect ~heuristics ctx =
   if heuristics = [] then
     invalid_arg "Seeding.collect: heuristics must be non-empty";
   List.map
     (fun (h : Emts_alloc.heuristic) ->
+      Emts_obs.Trace.span ("seed." ^ h.name) @@ fun () ->
       let alloc = h.allocate ctx in
       let times =
         Emts_sched.Allocation.times_of_tables alloc
@@ -26,6 +30,8 @@ let collect ~heuristics ctx =
         Emts_sched.List_scheduler.makespan ~graph:ctx.Emts_alloc.Common.graph
           ~times ~alloc ~procs:ctx.Emts_alloc.Common.procs
       in
+      Emts_obs.Metrics.incr m_seeds;
+      Emts_obs.Metrics.observe m_makespan makespan;
       { heuristic = h.name; alloc; makespan })
     heuristics
 

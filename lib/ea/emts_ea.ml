@@ -53,13 +53,22 @@ type 'g result = {
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
+let m_evaluations = Emts_obs.Metrics.counter "ea.evaluations"
+let m_generations = Emts_obs.Metrics.counter "ea.generations"
+let m_fitness = Emts_obs.Metrics.histogram "ea.fitness"
+
 (* Evaluate all genomes, splitting the array across [domains] worker
    domains in contiguous chunks.  Results land by index, so the outcome
-   is independent of scheduling. *)
+   is independent of scheduling.  Worker spans are pinned to one trace
+   lane per worker slot ([tid = w + 1]) so that every generation's
+   short-lived domains stack onto stable, comparable lanes. *)
 let evaluate_all ~domains fitness genomes =
   let n = Array.length genomes in
   if n = 0 then [||]
-  else if domains <= 1 || n < 2 * domains then Array.map fitness genomes
+  else if domains <= 1 || n < 2 * domains then
+    Emts_obs.Trace.span "ea.eval"
+      ~args:[ ("tasks", Emts_obs.Trace.Int n) ]
+      (fun () -> Array.map fitness genomes)
   else begin
     let out = Array.make n nan in
     let workers = min domains n in
@@ -69,9 +78,15 @@ let evaluate_all ~domains fitness genomes =
           let lo = w * chunk in
           let hi = min n (lo + chunk) in
           Domain.spawn (fun () ->
-              for i = lo to hi - 1 do
-                out.(i) <- fitness genomes.(i)
-              done))
+              let tid = w + 1 in
+              Emts_obs.Trace.set_thread_name ~tid
+                (Printf.sprintf "worker %d" tid);
+              Emts_obs.Trace.span "ea.eval.worker" ~tid
+                ~args:[ ("tasks", Emts_obs.Trace.Int (hi - lo)) ]
+                (fun () ->
+                  for i = lo to hi - 1 do
+                    out.(i) <- fitness genomes.(i)
+                  done)))
     in
     List.iter Domain.join spawned;
     out
@@ -104,12 +119,26 @@ let stats_of ~generation ~evaluations ~born_after population =
 
 let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
   if seeds = [] then invalid_arg "Emts_ea.run: seeds must be non-empty";
-  let started = Unix.gettimeofday () in
+  Emts_obs.Trace.span "ea.run"
+    ~args:
+      [
+        ("mu", Emts_obs.Trace.Int config.mu);
+        ("lambda", Emts_obs.Trace.Int config.lambda);
+        ("generations", Emts_obs.Trace.Int config.generations);
+        ("domains", Emts_obs.Trace.Int config.domains);
+      ]
+  @@ fun () ->
+  let started = Emts_obs.Clock.now () in
   let evaluations = ref 0 in
   let births = ref 0 in
   let eval_batch genomes =
     let fits = evaluate_all ~domains:config.domains problem.fitness genomes in
     evaluations := !evaluations + Array.length genomes;
+    Emts_obs.Metrics.add m_evaluations (Array.length genomes);
+    if Emts_obs.Metrics.enabled () then
+      Array.iter
+        (fun fit -> if Float.is_finite fit then Emts_obs.Metrics.observe m_fitness fit)
+        fits;
     Array.map2
       (fun genome fit ->
         let birth = !births in
@@ -137,16 +166,23 @@ let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
       stats_of ~generation ~evaluations:!evaluations ~born_after population
     in
     history := s :: !history;
+    Emts_obs.Progress.report (fun () ->
+        Printf.sprintf "ea generation %d/%d best %.6g evaluations %d"
+          s.generation config.generations s.best s.evaluations);
     on_generation s
   in
   record ~born_after:0 0;
   let out_of_time () =
     match config.time_budget with
     | None -> false
-    | Some budget -> Unix.gettimeofday () -. started > budget
+    | Some budget -> Emts_obs.Clock.elapsed ~since:started > budget
   in
   let u = ref 1 in
   while !u <= config.generations && not (out_of_time ()) do
+    Emts_obs.Trace.span "ea.generation"
+      ~args:[ ("generation", Emts_obs.Trace.Int !u) ]
+    @@ fun () ->
+    Emts_obs.Metrics.incr m_generations;
     let born_after = !births in
     (* Draw all offspring mutations before evaluating anything: the RNG
        stream is identical whether evaluation is parallel or not. *)
@@ -187,5 +223,5 @@ let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
     best_fitness = !best_ever.fit;
     history = List.rev !history;
     evaluations = !evaluations;
-    elapsed = Unix.gettimeofday () -. started;
+    elapsed = Emts_obs.Clock.elapsed ~since:started;
   }

@@ -84,7 +84,10 @@ type 'g result = {
   best_fitness : float;
   history : generation_stats list;  (** chronological, seeds first *)
   evaluations : int;
-  elapsed : float;                  (** wall-clock seconds *)
+  elapsed : float;
+      (** elapsed seconds, measured on the monotonic clock
+          ({!Emts_obs.Clock}) so mid-run wall-clock adjustments cannot
+          skew it *)
 }
 
 val run :

@@ -206,12 +206,12 @@ let mapping_priority ?(instances = default_instances) ~rng () =
       Emts_sched.Allocation.times_of_tables alloc
         ~tables:ctx.Emts_alloc.Common.tables
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Emts_obs.Clock.now () in
     let base =
       Emts_sched.List_scheduler.makespan ~graph ~times ~alloc
         ~procs:ctx.Emts_alloc.Common.procs
     in
-    base_time := !base_time +. (Unix.gettimeofday () -. t0);
+    base_time := !base_time +. Emts_obs.Clock.elapsed ~since:t0;
     incr n_done;
     let random_priority =
       Array.init (Emts_ptg.Graph.task_count graph) (fun _ ->

@@ -40,8 +40,16 @@ let run ?(progress = fun _ -> ()) ?(versus = default_versus)
             (fun graph ->
               let run_rng = Emts_prng.split rng in
               let result =
-                Emts.Algorithm.run ~rng:run_rng ~config ~model ~platform
-                  ~graph ()
+                Emts_obs.Trace.span "experiment.instance"
+                  ~args:
+                    [
+                      ("class", Emts_obs.Trace.Str (Campaign.class_name cls));
+                      ( "platform",
+                        Emts_obs.Trace.Str platform.Emts_platform.name );
+                    ]
+                  (fun () ->
+                    Emts.Algorithm.run ~rng:run_rng ~config ~model ~platform
+                      ~graph ())
               in
               Emts_stats.Acc.add runtime_acc result.ea.Emts_ea.elapsed;
               List.iter

@@ -1,0 +1,376 @@
+module Clock = struct
+  let now_ns = Monotonic_clock.now
+  let now () = Int64.to_float (now_ns ()) *. 1e-9
+  let elapsed ~since = now () -. since
+end
+
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON floats: a bare %g can print "inf"/"nan", which is not JSON. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.17g" x
+  else if Float.is_nan x then "\"nan\""
+  else if x > 0. then "\"inf\""
+  else "\"-inf\""
+
+module Trace = struct
+  type arg = Str of string | Int of int | Float of float
+
+  type sink = {
+    oc : out_channel;
+    t0_ns : int64;
+    named_tids : (int, unit) Hashtbl.t;
+  }
+
+  let active_flag = Atomic.make false
+  let lock = Mutex.create ()
+  let sink = ref None
+
+  let active () = Atomic.get active_flag
+
+  let self_tid () = (Domain.self () :> int)
+
+  let buf_arg buf (key, v) =
+    Buffer.add_string buf (Printf.sprintf "\"%s\":" (json_escape key));
+    match v with
+    | Str s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape s))
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (json_float f)
+
+  let buf_args buf = function
+    | [] -> ()
+    | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_char buf ',';
+          buf_arg buf a)
+        args;
+      Buffer.add_char buf '}'
+
+  let us_of ~t0_ns ns = Int64.to_float (Int64.sub ns t0_ns) /. 1e3
+
+  (* Must be called with [lock] held. *)
+  let write_line s ~ts_us ~tid ~ph ~name ~extra ~args =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"ph\":\"%s\",\"pid\":1,\"tid\":%d,\"ts\":%.3f" ph tid
+         ts_us);
+    Buffer.add_string buf extra;
+    Buffer.add_string buf
+      (Printf.sprintf ",\"cat\":\"emts\",\"name\":\"%s\"" (json_escape name));
+    buf_args buf args;
+    Buffer.add_string buf "}\n";
+    output_string s.oc (Buffer.contents buf)
+
+  (* Must be called with [lock] held: give the lane a stable, readable
+     name the first time a thread id appears in the stream. *)
+  let ensure_named s ~tid ~name =
+    if not (Hashtbl.mem s.named_tids tid) then begin
+      Hashtbl.add s.named_tids tid ();
+      let name =
+        match name with Some n -> n | None -> Printf.sprintf "domain %d" tid
+      in
+      write_line s ~ts_us:0. ~tid ~ph:"M" ~name:"thread_name" ~extra:""
+        ~args:[ ("name", Str name) ]
+    end
+
+  let emit ?thread_name ~tid ~ph ~name ~extra ~args () =
+    Mutex.lock lock;
+    (match !sink with
+    | None -> ()
+    | Some s ->
+      ensure_named s ~tid ~name:thread_name;
+      write_line s ~ts_us:(us_of ~t0_ns:s.t0_ns (Clock.now_ns ())) ~tid ~ph
+        ~name ~extra ~args);
+    Mutex.unlock lock
+
+  let stop () =
+    Mutex.lock lock;
+    (match !sink with
+    | None -> ()
+    | Some s ->
+      Atomic.set active_flag false;
+      sink := None;
+      close_out s.oc);
+    Mutex.unlock lock
+
+  let start ~path =
+    stop ();
+    let oc = open_out path in
+    Mutex.lock lock;
+    sink :=
+      Some { oc; t0_ns = Clock.now_ns (); named_tids = Hashtbl.create 8 };
+    Atomic.set active_flag true;
+    Mutex.unlock lock;
+    emit ~tid:(self_tid ()) ~ph:"M" ~name:"process_name" ~extra:""
+      ~args:[ ("name", Str "emts") ]
+      ()
+
+  let () = at_exit stop
+
+  let set_thread_name ?tid name =
+    if active () then begin
+      let tid = match tid with Some t -> t | None -> self_tid () in
+      Mutex.lock lock;
+      (match !sink with
+      | None -> ()
+      | Some s -> ensure_named s ~tid ~name:(Some name));
+      Mutex.unlock lock
+    end
+
+  let instant ?tid ?(args = []) name =
+    if active () then
+      let tid = match tid with Some t -> t | None -> self_tid () in
+      emit ~tid ~ph:"i" ~name ~extra:",\"s\":\"t\"" ~args ()
+
+  let counter name values =
+    if active () then
+      emit ~tid:(self_tid ()) ~ph:"C" ~name ~extra:""
+        ~args:(List.map (fun (k, v) -> (k, Float v)) values)
+        ()
+
+  let span ?tid ?(args = []) name f =
+    if not (active ()) then f ()
+    else begin
+      let tid = match tid with Some t -> t | None -> self_tid () in
+      let t_start = Clock.now_ns () in
+      Fun.protect f ~finally:(fun () ->
+          let t_end = Clock.now_ns () in
+          Mutex.lock lock;
+          (match !sink with
+          | None -> ()
+          | Some s ->
+            ensure_named s ~tid ~name:None;
+            let ts_us = us_of ~t0_ns:s.t0_ns t_start in
+            let dur_us = us_of ~t0_ns:t_start t_end in
+            write_line s ~ts_us ~tid ~ph:"X" ~name
+              ~extra:(Printf.sprintf ",\"dur\":%.3f" dur_us)
+              ~args);
+          Mutex.unlock lock)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  let enabled_flag = Atomic.make false
+  let set_enabled b = Atomic.set enabled_flag b
+  let enabled () = Atomic.get enabled_flag
+
+  type counter = { cname : string; count : int Atomic.t }
+  type gauge = { gname : string; value : float Atomic.t }
+
+  type histogram = {
+    hname : string;
+    hlock : Mutex.t;
+    mutable acc : Emts_stats.Acc.t;
+  }
+
+  type instrument = C of counter | G of gauge | H of histogram
+
+  let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+  let registry_lock = Mutex.create ()
+
+  let intern name make classify =
+    Mutex.lock registry_lock;
+    let r =
+      match Hashtbl.find_opt registry name with
+      | Some i -> classify i
+      | None ->
+        let i = make () in
+        Hashtbl.add registry name i;
+        classify i
+    in
+    Mutex.unlock registry_lock;
+    match r with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Emts_obs.Metrics: instrument %S already registered with another \
+            kind"
+           name)
+
+  let counter name =
+    intern name
+      (fun () -> C { cname = name; count = Atomic.make 0 })
+      (function C c -> Some c | _ -> None)
+
+  let gauge name =
+    intern name
+      (fun () -> G { gname = name; value = Atomic.make 0. })
+      (function G g -> Some g | _ -> None)
+
+  let histogram name =
+    intern name
+      (fun () ->
+        H { hname = name; hlock = Mutex.create (); acc = Emts_stats.Acc.create () })
+      (function H h -> Some h | _ -> None)
+
+  let add c n = if enabled () then ignore (Atomic.fetch_and_add c.count n)
+  let incr c = add c 1
+  let counter_value c = Atomic.get c.count
+  let set_gauge g v = if enabled () then Atomic.set g.value v
+  let gauge_value g = Atomic.get g.value
+
+  let observe h x =
+    if enabled () then begin
+      Mutex.lock h.hlock;
+      Emts_stats.Acc.add h.acc x;
+      Mutex.unlock h.hlock
+    end
+
+  type distribution = {
+    count : int;
+    total : float;
+    mean : float;
+    stddev : float;
+    min : float;
+    max : float;
+  }
+
+  let histogram_value h =
+    Mutex.lock h.hlock;
+    let a = h.acc in
+    let v =
+      if Emts_stats.Acc.count a = 0 then None
+      else
+        Some
+          {
+            count = Emts_stats.Acc.count a;
+            total = Emts_stats.Acc.total a;
+            mean = Emts_stats.Acc.mean a;
+            stddev = Emts_stats.Acc.stddev a;
+            min = Emts_stats.Acc.min a;
+            max = Emts_stats.Acc.max a;
+          }
+    in
+    Mutex.unlock h.hlock;
+    v
+
+  let find_counter name =
+    Mutex.lock registry_lock;
+    let r = Hashtbl.find_opt registry name in
+    Mutex.unlock registry_lock;
+    match r with Some (C c) -> Some (counter_value c) | _ -> None
+
+  let reset () =
+    Mutex.lock registry_lock;
+    Hashtbl.iter
+      (fun _ i ->
+        match i with
+        | C c -> Atomic.set c.count 0
+        | G g -> Atomic.set g.value 0.
+        | H h ->
+          Mutex.lock h.hlock;
+          h.acc <- Emts_stats.Acc.create ();
+          Mutex.unlock h.hlock)
+      registry;
+    Mutex.unlock registry_lock
+
+  let sorted_instruments () =
+    Mutex.lock registry_lock;
+    let all = Hashtbl.fold (fun name i acc -> (name, i) :: acc) registry [] in
+    Mutex.unlock registry_lock;
+    List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+  let render () =
+    let buf = Buffer.create 512 in
+    let instruments = sorted_instruments () in
+    Buffer.add_string buf "metrics summary\n===============\n";
+    let shown = ref 0 in
+    List.iter
+      (fun (name, i) ->
+        match i with
+        | C c ->
+          let v = counter_value c in
+          if v <> 0 then begin
+            shown := !shown + 1;
+            Buffer.add_string buf (Printf.sprintf "  %-36s %14d\n" name v)
+          end
+        | G g ->
+          let v = gauge_value g in
+          if v <> 0. then begin
+            shown := !shown + 1;
+            Buffer.add_string buf (Printf.sprintf "  %-36s %14.6g\n" name v)
+          end
+        | H h -> (
+          match histogram_value h with
+          | None -> ()
+          | Some d ->
+            shown := !shown + 1;
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "  %-36s n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g\n" name
+                 d.count d.mean d.stddev d.min d.max)))
+      instruments;
+    if !shown = 0 then Buffer.add_string buf "  (no metrics recorded)\n";
+    Buffer.contents buf
+
+  let to_json () =
+    let buf = Buffer.create 512 in
+    let instruments = sorted_instruments () in
+    let section kind render_one =
+      let entries =
+        List.filter_map
+          (fun (name, i) ->
+            Option.map
+              (fun body -> Printf.sprintf "\"%s\":%s" (json_escape name) body)
+              (render_one i))
+          instruments
+      in
+      Printf.sprintf "\"%s\":{%s}" kind (String.concat "," entries)
+    in
+    Buffer.add_char buf '{';
+    Buffer.add_string buf
+      (section "counters" (function
+        | C c -> Some (string_of_int (counter_value c))
+        | _ -> None));
+    Buffer.add_char buf ',';
+    Buffer.add_string buf
+      (section "gauges" (function
+        | G g -> Some (json_float (gauge_value g))
+        | _ -> None));
+    Buffer.add_char buf ',';
+    Buffer.add_string buf
+      (section "histograms" (function
+        | H h ->
+          Option.map
+            (fun d ->
+              Printf.sprintf
+                "{\"count\":%d,\"total\":%s,\"mean\":%s,\"stddev\":%s,\"min\":%s,\"max\":%s}"
+                d.count (json_float d.total) (json_float d.mean)
+                (json_float d.stddev) (json_float d.min) (json_float d.max))
+            (histogram_value h)
+        | _ -> None));
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Progress = struct
+  let enabled_flag = Atomic.make false
+  let set_enabled b = Atomic.set enabled_flag b
+  let enabled () = Atomic.get enabled_flag
+
+  let report thunk =
+    if enabled () then Printf.eprintf "[obs] %s\n%!" (thunk ())
+end

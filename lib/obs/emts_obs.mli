@@ -1,0 +1,144 @@
+(** Observability substrate: monotonic clock, Chrome trace-event sink,
+    and a metrics registry shared by the whole EMTS stack.
+
+    The layer is strictly observer-only: none of the facilities below
+    touch the PRNG or alter control flow, so enabling them cannot change
+    any scheduling result (enforced by the determinism regression test
+    in [test/test_obs.ml]).  With sinks disabled every entry point
+    reduces to one atomic-bool load, so instrumented hot paths stay
+    essentially free. *)
+
+(** {1 Monotonic clock}
+
+    All timing in the library goes through this module rather than
+    [Unix.gettimeofday], which is wall-clock time and jumps when NTP or
+    an operator adjusts the system clock mid-run. *)
+module Clock : sig
+  val now_ns : unit -> int64
+  (** Monotonic time in nanoseconds from an arbitrary origin
+      ([CLOCK_MONOTONIC]). *)
+
+  val now : unit -> float
+  (** Monotonic time in seconds from an arbitrary origin.  Only
+      differences are meaningful. *)
+
+  val elapsed : since:float -> float
+  (** [elapsed ~since:t0] is [now () -. t0]. *)
+end
+
+(** {1 Tracing}
+
+    A global trace sink in Chrome trace-event format, one JSON object
+    per line (JSONL).  Load the file in {{:https://ui.perfetto.dev}
+    Perfetto} directly, or wrap the lines in [\[...\]] for
+    [chrome://tracing].  Events carry the emitting domain's id as their
+    [tid], so parallel fitness evaluation shows up as concurrent
+    lanes. *)
+module Trace : sig
+  type arg = Str of string | Int of int | Float of float
+
+  val start : path:string -> unit
+  (** Open [path] and start recording.  Any previously open sink is
+      closed first.  The sink is closed automatically at exit. *)
+
+  val stop : unit -> unit
+  (** Flush and close the sink; no-op when inactive. *)
+
+  val active : unit -> bool
+
+  val span : ?tid:int -> ?args:(string * arg) list -> string ->
+    (unit -> 'a) -> 'a
+  (** [span name f] runs [f] and emits a complete ("X") event covering
+      its execution, even when [f] raises.  Nested spans stack in the
+      viewer.  When the sink is inactive this is just [f ()].  [tid]
+      overrides the lane (default: current domain id) — useful to give
+      short-lived worker domains one stable lane per worker slot. *)
+
+  val instant : ?tid:int -> ?args:(string * arg) list -> string -> unit
+  (** Zero-duration marker ("i") event. *)
+
+  val counter : string -> (string * float) list -> unit
+  (** Counter ("C") event: a named set of series values at the current
+      time, rendered as a stacked area chart by trace viewers. *)
+
+  val set_thread_name : ?tid:int -> string -> unit
+  (** Label a lane (default: the current domain's). *)
+end
+
+(** {1 Metrics}
+
+    A process-global registry of named instruments.  Instruments are
+    interned by name: [counter "x"] returns the same counter wherever it
+    is called.  Counters and gauges are atomics and may be bumped from
+    worker domains; histograms take a per-instrument mutex.  Collection
+    is disabled by default; when disabled, updates are dropped. *)
+module Metrics : sig
+  val set_enabled : bool -> unit
+  (** Toggle collection ([false] initially).  Reads are always
+      allowed. *)
+
+  val enabled : unit -> bool
+
+  type counter
+
+  val counter : string -> counter
+  (** Find or create the counter [name].  Raises [Invalid_argument] if
+      the name is already registered as another instrument kind. *)
+
+  val incr : counter -> unit
+  val add : counter -> int -> unit
+  val counter_value : counter -> int
+
+  type gauge
+
+  val gauge : string -> gauge
+  val set_gauge : gauge -> float -> unit
+  val gauge_value : gauge -> float
+
+  type histogram
+  (** Distribution instrument built on {!Emts_stats.Acc}: streaming
+      count/mean/variance/min/max of observed values. *)
+
+  val histogram : string -> histogram
+  val observe : histogram -> float -> unit
+
+  type distribution = {
+    count : int;
+    total : float;
+    mean : float;
+    stddev : float;
+    min : float;
+    max : float;
+  }
+
+  val histogram_value : histogram -> distribution option
+  (** [None] until the first observation. *)
+
+  val find_counter : string -> int option
+  (** Current value of the counter registered under [name], if any. *)
+
+  val reset : unit -> unit
+  (** Zero every registered instrument (instrument identities are
+      preserved — modules hold them in top-level bindings). *)
+
+  val render : unit -> string
+  (** Human-readable summary table of all non-empty instruments, sorted
+      by name. *)
+
+  val to_json : unit -> string
+  (** Machine-readable snapshot:
+      [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+end
+
+(** {1 Progress}
+
+    Lightweight progress reporting to stderr, enabled by the [--progress]
+    CLI flag.  [report] takes a thunk so that disabled reporting costs
+    one atomic load and no formatting. *)
+module Progress : sig
+  val set_enabled : bool -> unit
+  val enabled : unit -> bool
+
+  val report : (unit -> string) -> unit
+  (** Print ["[obs] <message>"] to stderr when enabled. *)
+end

@@ -79,6 +79,17 @@ let check_inputs ~graph ~times ~alloc ~procs =
 
 exception Rejected
 
+(* Mapping-step instruments.  The loop below counts into plain local
+   ints (free) and flushes them to the shared atomics once per run, and
+   only when collection is enabled — fitness evaluation calls this from
+   worker domains, so per-operation atomic bumps would contend. *)
+let m_runs = Emts_obs.Metrics.counter "sched.runs"
+let m_tasks = Emts_obs.Metrics.counter "sched.tasks_scheduled"
+let m_ready_pushes = Emts_obs.Metrics.counter "sched.ready_pushes"
+let m_ready_pops = Emts_obs.Metrics.counter "sched.ready_pops"
+let m_proc_limited = Emts_obs.Metrics.counter "sched.proc_limited_starts"
+let m_cutoff_rejections = Emts_obs.Metrics.counter "sched.cutoff_rejections"
+
 type priority = Bottom_level | Top_level_first | Static of float array
 
 let priorities ~priority ~graph ~times =
@@ -119,8 +130,12 @@ let schedule_loop ?(cutoff = infinity) ?(priority = Bottom_level) ~graph
   let order = Array.init procs Fun.id in
   let scratch = Array.make procs 0 in
   let ready = Heap.create n in
+  let pushes = ref 0 and pops = ref 0 and proc_limited = ref 0 in
   for v = 0 to n - 1 do
-    if indeg.(v) = 0 then Heap.push ready bl.(v) v
+    if indeg.(v) = 0 then begin
+      Heap.push ready bl.(v) v;
+      incr pushes
+    end
   done;
   let merge_front s =
     let chosen = Array.sub order 0 s in
@@ -150,36 +165,60 @@ let schedule_loop ?(cutoff = infinity) ?(priority = Bottom_level) ~graph
   in
   let finished = ref 0 in
   let makespan = ref 0. in
-  while not (Heap.is_empty ready) do
-    let v = Heap.pop ready in
-    let s = alloc.(v) in
-    (* First-fit: the s processors available earliest. *)
-    let start = Float.max data_ready.(v) avail.(order.(s - 1)) in
-    let finish = start +. times.(v) in
-    if finish > cutoff then raise Rejected;
-    for k = 0 to s - 1 do
-      avail.(order.(k)) <- finish
-    done;
-    let chosen = merge_front s in
-    (match record with
-    | None -> ()
-    | Some f -> f v start finish chosen);
-    if finish > !makespan then makespan := finish;
-    incr finished;
-    Array.iter
-      (fun w ->
-        if finish > data_ready.(w) then data_ready.(w) <- finish;
-        indeg.(w) <- indeg.(w) - 1;
-        if indeg.(w) = 0 then Heap.push ready bl.(w) w)
-      (Graph.succs graph v)
-  done;
+  let flush ~rejected =
+    if Emts_obs.Metrics.enabled () then begin
+      Emts_obs.Metrics.incr m_runs;
+      Emts_obs.Metrics.add m_tasks !finished;
+      Emts_obs.Metrics.add m_ready_pushes !pushes;
+      Emts_obs.Metrics.add m_ready_pops !pops;
+      Emts_obs.Metrics.add m_proc_limited !proc_limited;
+      if rejected then Emts_obs.Metrics.incr m_cutoff_rejections
+    end
+  in
+  (try
+     while not (Heap.is_empty ready) do
+       let v = Heap.pop ready in
+       incr pops;
+       let s = alloc.(v) in
+       (* First-fit: the s processors available earliest. *)
+       let proc_avail = avail.(order.(s - 1)) in
+       if proc_avail > data_ready.(v) then incr proc_limited;
+       let start = Float.max data_ready.(v) proc_avail in
+       let finish = start +. times.(v) in
+       if finish > cutoff then raise Rejected;
+       for k = 0 to s - 1 do
+         avail.(order.(k)) <- finish
+       done;
+       let chosen = merge_front s in
+       (match record with
+       | None -> ()
+       | Some f -> f v start finish chosen);
+       if finish > !makespan then makespan := finish;
+       incr finished;
+       Array.iter
+         (fun w ->
+           if finish > data_ready.(w) then data_ready.(w) <- finish;
+           indeg.(w) <- indeg.(w) - 1;
+           if indeg.(w) = 0 then begin
+             Heap.push ready bl.(w) w;
+             incr pushes
+           end)
+         (Graph.succs graph v)
+     done
+   with Rejected ->
+     flush ~rejected:true;
+     raise Rejected);
   if !finished <> n then
     (* Unreachable for a validated DAG; defensive. *)
     invalid_arg "List_scheduler: not all tasks were scheduled";
+  flush ~rejected:false;
   !makespan
 
 let run_prioritized ~priority ~graph ~times ~alloc ~procs =
   check_inputs ~graph ~times ~alloc ~procs;
+  Emts_obs.Trace.span "sched.run"
+    ~args:[ ("tasks", Emts_obs.Trace.Int (Graph.task_count graph)) ]
+  @@ fun () ->
   let n = Graph.task_count graph in
   let entries =
     Array.init n (fun task ->

@@ -1,0 +1,62 @@
+Observability flags on emts-sched: a seeded run with --trace and
+--metrics produces a Chrome trace-event JSONL file and a metrics
+summary whose evaluation count matches the EA exactly (EMTS5 on a
+seeded run: 4 heuristic seeds + 5 generations x 25 offspring = 129).
+
+  $ emts-gen fft --points 16 --costs --seed 42 -o fft.ptg
+  wrote fft.ptg (95 tasks, 158 edges)
+  $ emts-sched fft.ptg --platform chti --model model2 --algorithm emts5 \
+  >   --seed 42 --domains 2 --trace out.jsonl --metrics \
+  >   --metrics-json metrics.json > summary.txt 2> err.txt
+  $ grep 'wrote out.jsonl' err.txt
+  wrote out.jsonl
+
+The summary reports exactly one count per instrument; evaluations are
+the acceptance-criteria 129:
+
+  $ grep 'metrics summary' summary.txt
+  metrics summary
+  $ grep -E 'ea\.(evaluations|generations) ' summary.txt | tr -s ' '
+   ea.evaluations 129
+   ea.generations 5
+  $ grep -c 'sched.runs' summary.txt
+  1
+
+The trace is well-formed JSONL: every line is one JSON object carrying
+ph, ts and name keys, with one span per EA generation and one lane per
+worker domain:
+
+  $ lines=$(wc -l < out.jsonl)
+  $ test "$lines" -gt 0
+  $ test "$(grep -c '^{.*}$' out.jsonl)" = "$lines"
+  $ test "$(grep -c '"ph":' out.jsonl)" = "$lines"
+  $ test "$(grep -c '"ts":' out.jsonl)" = "$lines"
+  $ test "$(grep -c '"name":' out.jsonl)" = "$lines"
+  $ grep -c '"name":"ea.generation"' out.jsonl
+  5
+  $ grep -o '"name":"worker [0-9]*"' out.jsonl | sort -u
+  "name":"worker 1"
+  "name":"worker 2"
+
+The machine-readable snapshot has all three instrument sections:
+
+  $ grep -c '^{"counters":{.*},"gauges":{.*},"histograms":{.*}}$' metrics.json
+  1
+  $ grep -o '"ea.evaluations":[0-9]*' metrics.json
+  "ea.evaluations":129
+
+Without the flags nothing extra is emitted:
+
+  $ emts-sched fft.ptg --platform chti --model model2 --algorithm emts5 \
+  >   --seed 42 > plain.txt 2> plain_err.txt
+  $ grep -c 'metrics summary' plain.txt
+  0
+  [1]
+  $ test ! -s plain_err.txt
+
+And the observer layer never changes results: makespans agree between
+the plain and the fully instrumented run.
+
+  $ grep 'EMTS5 makespan' summary.txt > a
+  $ grep 'EMTS5 makespan' plain.txt > b
+  $ cmp a b

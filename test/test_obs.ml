@@ -1,0 +1,285 @@
+(* Tests for Emts_obs (clock, trace sink, metrics registry) and the
+   observer-only guarantee: enabling tracing/metrics must not change any
+   scheduling result. *)
+
+module Obs = Emts_obs
+
+let read_lines path =
+  In_channel.with_open_text path (fun ic ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | None -> List.rev acc
+        | Some l -> go (l :: acc)
+      in
+      go [])
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- clock ----------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Obs.Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now_ns () in
+    if Int64.compare t !prev < 0 then Alcotest.fail "clock went backwards";
+    prev := t
+  done;
+  let t0 = Obs.Clock.now () in
+  ignore (Sys.opaque_identity (Array.init 1000 Fun.id));
+  Alcotest.(check bool) "elapsed >= 0" true (Obs.Clock.elapsed ~since:t0 >= 0.)
+
+(* --- tracing --------------------------------------------------------- *)
+
+let test_span_disabled () =
+  Obs.Trace.stop ();
+  Alcotest.(check bool) "inactive" false (Obs.Trace.active ());
+  Alcotest.(check int) "span returns value" 42 (Obs.Trace.span "x" (fun () -> 42));
+  Obs.Trace.instant "nothing";
+  Obs.Trace.counter "nothing" [ ("v", 1.) ]
+
+let test_trace_wellformed () =
+  let path = Filename.temp_file "emts_obs" ".jsonl" in
+  Obs.Trace.start ~path;
+  Alcotest.(check bool) "active" true (Obs.Trace.active ());
+  Obs.Trace.span "outer" ~args:[ ("k", Obs.Trace.Str "v\"quoted\"") ]
+    (fun () -> Obs.Trace.span "inner" (fun () -> ()));
+  Obs.Trace.instant "marker" ~args:[ ("n", Obs.Trace.Int 3) ];
+  Obs.Trace.counter "series" [ ("a", 1.5); ("b", 2.5) ];
+  (* concurrent emission from worker domains, one pinned lane each *)
+  let workers =
+    List.init 2 (fun w ->
+        Domain.spawn (fun () ->
+            Obs.Trace.span "worker" ~tid:(100 + w) (fun () -> ())))
+  in
+  List.iter Domain.join workers;
+  (* spans survive exceptions *)
+  (try Obs.Trace.span "raising" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Obs.Trace.stop ();
+  let lines = read_lines path in
+  Alcotest.(check bool) "non-empty" true (List.length lines > 5);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "object per line" true
+        (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      List.iter
+        (fun key ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s has %s" l key)
+            true
+            (contains ~needle:(Printf.sprintf "\"%s\":" key) l))
+        [ "ph"; "ts"; "name"; "pid"; "tid" ])
+    lines;
+  let count needle =
+    List.length (List.filter (fun l -> contains ~needle l) lines)
+  in
+  Alcotest.(check int) "outer span" 1 (count "\"name\":\"outer\"");
+  Alcotest.(check int) "inner span" 1 (count "\"name\":\"inner\"");
+  Alcotest.(check int) "worker spans" 2 (count "\"name\":\"worker\"");
+  Alcotest.(check int) "raising span recorded" 1 (count "\"name\":\"raising\"");
+  Alcotest.(check int) "instant" 1 (count "\"ph\":\"i\"");
+  Alcotest.(check int) "counter event" 1 (count "\"ph\":\"C\"");
+  Alcotest.(check bool) "escaped quote" true
+    (count "v\\\"quoted\\\"" = 1);
+  Alcotest.(check bool) "thread metadata" true
+    (count "\"name\":\"thread_name\"" >= 3);
+  Sys.remove path
+
+(* --- metrics --------------------------------------------------------- *)
+
+let test_counters_multidomain () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let c = Obs.Metrics.counter "test.multidomain" in
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Obs.Metrics.incr c
+            done))
+  in
+  List.iter Domain.join workers;
+  Obs.Metrics.set_enabled false;
+  Alcotest.(check int) "atomic count" 40_000 (Obs.Metrics.counter_value c);
+  Alcotest.(check (option int))
+    "find_counter" (Some 40_000)
+    (Obs.Metrics.find_counter "test.multidomain")
+
+let test_metrics_disabled_noop () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled false;
+  let c = Obs.Metrics.counter "test.disabled" in
+  let h = Obs.Metrics.histogram "test.disabled_hist" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 10;
+  Obs.Metrics.observe h 1.;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "histogram untouched" true
+    (Obs.Metrics.histogram_value h = None)
+
+let test_histogram_instrument () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let h = Obs.Metrics.histogram "test.hist" in
+  List.iter (Obs.Metrics.observe h) [ 1.; 2.; 3.; 4. ];
+  Obs.Metrics.set_enabled false;
+  (match Obs.Metrics.histogram_value h with
+  | None -> Alcotest.fail "expected observations"
+  | Some d ->
+    Alcotest.(check int) "count" 4 d.Obs.Metrics.count;
+    Alcotest.(check (float 1e-9)) "mean" 2.5 d.Obs.Metrics.mean;
+    Alcotest.(check (float 1e-9)) "min" 1. d.Obs.Metrics.min;
+    Alcotest.(check (float 1e-9)) "max" 4. d.Obs.Metrics.max;
+    Alcotest.(check (float 1e-9)) "total" 10. d.Obs.Metrics.total);
+  (* same name returns the same instrument; other kind is rejected *)
+  List.iter (Obs.Metrics.observe (Obs.Metrics.histogram "test.hist")) [];
+  Alcotest.(check bool) "kind clash rejected" true
+    (try
+       ignore (Obs.Metrics.counter "test.hist");
+       false
+     with Invalid_argument _ -> true)
+
+let test_render_and_json () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let c = Obs.Metrics.counter "test.render_counter" in
+  Obs.Metrics.add c 7;
+  let g = Obs.Metrics.gauge "test.render_gauge" in
+  Obs.Metrics.set_gauge g 1.25;
+  let h = Obs.Metrics.histogram "test.render_hist" in
+  Obs.Metrics.observe h 2.;
+  Obs.Metrics.set_enabled false;
+  let table = Obs.Metrics.render () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("render has " ^ needle) true
+        (contains ~needle table))
+    [ "test.render_counter"; "test.render_gauge"; "test.render_hist"; "7" ];
+  let json = Obs.Metrics.to_json () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json has " ^ needle) true
+        (contains ~needle json))
+    [
+      "\"counters\":{"; "\"gauges\":{"; "\"histograms\":{";
+      "\"test.render_counter\":7"; "\"count\":1";
+    ];
+  (* reset zeroes but keeps instrument identity *)
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "reset clears histogram" true
+    (Obs.Metrics.histogram_value h = None)
+
+(* --- observer-only guarantee ----------------------------------------- *)
+
+let emts_result ~seed ~early_reject () =
+  let rng = Emts_prng.create ~seed:7 () in
+  let graph = Testutil.random_triangular_dag rng ~n:40 ~p:0.15 in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic
+      ~platform:Emts_platform.chti ~graph
+  in
+  let config =
+    { Emts.Algorithm.emts5 with domains = 2; early_reject }
+  in
+  Emts.Algorithm.run_ctx ~rng:(Emts_prng.create ~seed ()) ~config ~ctx ()
+
+let test_determinism_tracing () =
+  (* identical PRNG stream and results with every sink off vs. on *)
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled false;
+  Obs.Trace.stop ();
+  let plain = emts_result ~seed:99 ~early_reject:false () in
+  let path = Filename.temp_file "emts_obs_det" ".jsonl" in
+  Obs.Metrics.set_enabled true;
+  Obs.Trace.start ~path;
+  let observed = emts_result ~seed:99 ~early_reject:false () in
+  Obs.Trace.stop ();
+  Obs.Metrics.set_enabled false;
+  Alcotest.(check (float 0.)) "best_fitness identical" plain.Emts.Algorithm.makespan
+    observed.Emts.Algorithm.makespan;
+  Alcotest.(check (array int)) "allocation identical"
+    plain.Emts.Algorithm.alloc observed.Emts.Algorithm.alloc;
+  Alcotest.(check int) "evaluation counts identical"
+    plain.Emts.Algorithm.ea.Emts_ea.evaluations
+    observed.Emts.Algorithm.ea.Emts_ea.evaluations;
+  (* the trace actually recorded the generations *)
+  let lines = read_lines path in
+  let gen_spans =
+    List.length
+      (List.filter (fun l -> contains ~needle:"\"name\":\"ea.generation\"" l) lines)
+  in
+  Alcotest.(check int) "one span per generation" 5 gen_spans;
+  Alcotest.(check bool) "worker lanes present" true
+    (List.exists (fun l -> contains ~needle:"\"name\":\"worker 1\"" l) lines
+    && List.exists (fun l -> contains ~needle:"\"name\":\"worker 2\"" l) lines);
+  Sys.remove path
+
+let test_counters_match_result () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let result = emts_result ~seed:123 ~early_reject:true () in
+  Obs.Metrics.set_enabled false;
+  Alcotest.(check (option int))
+    "ea.evaluations matches result.evaluations"
+    (Some result.Emts.Algorithm.ea.Emts_ea.evaluations)
+    (Obs.Metrics.find_counter "ea.evaluations");
+  let hits =
+    Option.value ~default:0 (Obs.Metrics.find_counter "ea.early_reject.hits")
+  in
+  let misses =
+    Option.value ~default:0
+      (Obs.Metrics.find_counter "ea.early_reject.misses")
+  in
+  (* seed evaluations bypass the bounded path only when cutoff is inf:
+     every fitness call goes through early_reject, so hits+misses
+     accounts for every evaluation *)
+  Alcotest.(check int) "hits + misses = evaluations"
+    result.Emts.Algorithm.ea.Emts_ea.evaluations (hits + misses);
+  Alcotest.(check bool) "early reject fired" true (hits > 0)
+
+let test_determinism_early_reject_metrics () =
+  (* metrics collection on the early-reject path must not change results *)
+  Obs.Metrics.set_enabled false;
+  let plain = emts_result ~seed:5 ~early_reject:true () in
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let observed = emts_result ~seed:5 ~early_reject:true () in
+  Obs.Metrics.set_enabled false;
+  Alcotest.(check (float 0.)) "makespan identical" plain.Emts.Algorithm.makespan
+    observed.Emts.Algorithm.makespan;
+  Alcotest.(check (array int)) "allocation identical"
+    plain.Emts.Algorithm.alloc observed.Emts.Algorithm.alloc
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ]);
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_span_disabled;
+          Alcotest.test_case "JSONL well-formed" `Quick test_trace_wellformed;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "multi-domain counters" `Quick
+            test_counters_multidomain;
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_metrics_disabled_noop;
+          Alcotest.test_case "histogram instrument" `Quick
+            test_histogram_instrument;
+          Alcotest.test_case "render and json" `Quick test_render_and_json;
+        ] );
+      ( "observer-only",
+        [
+          Alcotest.test_case "tracing preserves determinism" `Slow
+            test_determinism_tracing;
+          Alcotest.test_case "counters match EA result" `Slow
+            test_counters_match_result;
+          Alcotest.test_case "early-reject metrics preserve results" `Slow
+            test_determinism_early_reject_metrics;
+        ] );
+    ]

@@ -66,6 +66,42 @@ let test_acc_merge_with_empty () =
   let merged2 = S.Acc.merge (S.Acc.create ()) acc in
   check_float "mean preserved (flipped)" 2. (S.Acc.mean merged2)
 
+let test_acc_merge_both_empty () =
+  let merged = S.Acc.merge (S.Acc.create ()) (S.Acc.create ()) in
+  Alcotest.(check int) "count" 0 (S.Acc.count merged);
+  Alcotest.(check bool) "mean still rejects empty" true
+    (try
+       ignore (S.Acc.mean merged);
+       false
+     with Invalid_argument _ -> true)
+
+let test_acc_merge_singletons () =
+  (* merging two single-element accumulators must produce the exact
+     sample variance of the pair: for {3, 5}, mean 4 and variance 2 *)
+  let a = S.Acc.create () and b = S.Acc.create () in
+  S.Acc.add a 3.;
+  S.Acc.add b 5.;
+  let merged = S.Acc.merge a b in
+  Alcotest.(check int) "count" 2 (S.Acc.count merged);
+  check_float "mean" 4. (S.Acc.mean merged);
+  check_close "variance" 2. (S.Acc.variance merged);
+  check_close "stddev" (sqrt 2.) (S.Acc.stddev merged)
+
+let test_acc_merge_minmax () =
+  (* min/max must propagate from whichever side holds the extremum,
+     including when one side's range contains the other's *)
+  let a = S.Acc.create () and b = S.Acc.create () in
+  List.iter (S.Acc.add a) [ -7.; 2. ];
+  List.iter (S.Acc.add b) [ 0.; 11. ];
+  let merged = S.Acc.merge a b in
+  check_float "min from left" (-7.) (S.Acc.min merged);
+  check_float "max from right" 11. (S.Acc.max merged);
+  let inner = S.Acc.create () in
+  List.iter (S.Acc.add inner) [ -1.; 1. ];
+  let nested = S.Acc.merge merged inner in
+  check_float "min survives nesting" (-7.) (S.Acc.min nested);
+  check_float "max survives nesting" 11. (S.Acc.max nested)
+
 let test_student_t () =
   check_float "df=1" 12.706 (S.student_t_975 1);
   check_float "df=10" 2.228 (S.student_t_975 10);
@@ -174,6 +210,11 @@ let () =
           Alcotest.test_case "merge" `Quick test_acc_merge;
           Alcotest.test_case "merge with empty" `Quick
             test_acc_merge_with_empty;
+          Alcotest.test_case "merge both empty" `Quick
+            test_acc_merge_both_empty;
+          Alcotest.test_case "merge singletons" `Quick
+            test_acc_merge_singletons;
+          Alcotest.test_case "merge min/max" `Quick test_acc_merge_minmax;
         ] );
       ( "summary",
         [

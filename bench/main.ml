@@ -328,6 +328,47 @@ let run_extensions () =
     (Emts_experiments.Walltime.render
        (Emts_experiments.Walltime.run ~jobs:25 ~rng:(Emts_prng.create ()) ()))
 
+(* Fitness-cache & worker-pool speedup on an EMTS10-sized run: same
+   seed, same instance, cache off vs on (and the pool on top).  The
+   makespans must agree exactly — the cache and the pool are
+   outcome-preserving — while the cached run skips every duplicate
+   allocation vector.  Metrics are force-enabled here so the
+   ea.cache.* and pool.* counters land in BENCH_METRICS_JSON. *)
+let run_cache_speedup () =
+  rule "Fitness cache & pool (EMTS10, irregular n=100, Grelon, Model 2)";
+  Emts_obs.Metrics.set_enabled true;
+  let counter name =
+    Option.value ~default:0 (Emts_obs.Metrics.find_counter name)
+  in
+  let timed config =
+    let rng = Emts_prng.create ~seed:0xCAC4E () in
+    let t0 = Emts_obs.Clock.now () in
+    let r = Emts.Algorithm.run_ctx ~rng ~config ~ctx:ctx_irregular () in
+    (Emts_obs.Clock.elapsed ~since:t0, r.Emts.Algorithm.makespan)
+  in
+  let t_off, m_off = timed Emts.Algorithm.emts10 in
+  let h0 = counter "ea.cache.hits" and mi0 = counter "ea.cache.misses" in
+  let t_on, m_on =
+    timed (Emts.Algorithm.with_fitness_cache 65536 Emts.Algorithm.emts10)
+  in
+  let hits = counter "ea.cache.hits" - h0
+  and misses = counter "ea.cache.misses" - mi0 in
+  let rate = 100. *. float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  let pool_domains = Emts_ea.default_domains () in
+  let t_pool, m_pool =
+    timed
+      Emts.Algorithm.(
+        emts10 |> with_domains pool_domains |> with_fitness_cache 65536)
+  in
+  Printf.printf "cache off            %8.3f s   makespan %.6g\n" t_off m_off;
+  Printf.printf
+    "cache on             %8.3f s   makespan %.6g   hit rate %.1f%% (%d/%d)\n"
+    t_on m_on rate hits (hits + misses);
+  Printf.printf
+    "cache on, %d domains %8.3f s   makespan %.6g   pool chunks %d steals %d\n"
+    pool_domains t_pool m_pool (counter "pool.chunks") (counter "pool.steals");
+  Printf.printf "identical makespans  %b\n" (m_off = m_on && m_off = m_pool)
+
 let () =
   let metrics_json = Sys.getenv_opt "BENCH_METRICS_JSON" in
   if metrics_json <> None then Emts_obs.Metrics.set_enabled true;
@@ -335,6 +376,7 @@ let () =
   run_benchmarks ();
   run_tables ();
   run_extensions ();
+  run_cache_speedup ();
   match metrics_json with
   | None -> ()
   | Some path ->

@@ -24,6 +24,37 @@ let scale_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress on stderr.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"INT"
+        ~doc:
+          "Worker domains for parallel fitness evaluation inside each EMTS \
+           run (one persistent pool per run; results are identical for any \
+           value).")
+
+let fitness_cache_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fitness-cache" ] ~docv:"CAP"
+        ~doc:
+          "Memoize fitness evaluations by allocation vector in a bounded \
+           cache of capacity $(docv) per EMTS run (0 disables).  Duplicate \
+           genomes are list-scheduled once; results are identical either \
+           way.")
+
+(* The outcome-preserving performance knobs, as a config transform for
+   Emts_experiments.Figures and the direct Relative.run call sites. *)
+let tune_of ~domains ~fitness_cache =
+  if domains < 1 then Error "domains must be >= 1"
+  else if fitness_cache < 0 then Error "fitness-cache must be >= 0"
+  else
+    Ok
+      (fun config ->
+        config
+        |> Emts.Algorithm.with_domains domains
+        |> Emts.Algorithm.with_fitness_cache fitness_cache)
+
 let progress quiet =
   if quiet then fun _ -> ()
   else fun line -> Printf.eprintf "[progress] %s\n%!" line
@@ -75,13 +106,14 @@ let write_csv csv groups =
     Printf.eprintf "wrote %s\n%!" path
 
 let fig4_cmd =
-  let run obs scale seed quiet csv =
+  let run obs scale seed quiet csv domains fitness_cache =
     Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
+    let* tune = tune_of ~domains ~fitness_cache in
     let rng = Emts_prng.create ~seed () in
     let groups, text =
-      E.Figures.fig4 ~progress:(progress quiet) ~rng ~counts ()
+      E.Figures.fig4 ~progress:(progress quiet) ~tune ~rng ~counts ()
     in
     print_string text;
     write_csv csv groups;
@@ -90,16 +122,19 @@ let fig4_cmd =
   Cmd.v
     (Cmd.info "fig4" ~doc:"Relative makespans under Model 1 (Figure 4).")
     Term.(
-      term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg $ csv_arg))
+      term_result'
+        (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg $ csv_arg
+       $ domains_arg $ fitness_cache_arg))
 
 let fig5_cmd =
-  let run obs scale seed quiet csv =
+  let run obs scale seed quiet csv domains fitness_cache =
     Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
+    let* tune = tune_of ~domains ~fitness_cache in
     let rng = Emts_prng.create ~seed () in
     let (top, bottom), text =
-      E.Figures.fig5 ~progress:(progress quiet) ~rng ~counts ()
+      E.Figures.fig5 ~progress:(progress quiet) ~tune ~rng ~counts ()
     in
     print_string text;
     write_csv csv (top @ bottom);
@@ -108,7 +143,9 @@ let fig5_cmd =
   Cmd.v
     (Cmd.info "fig5" ~doc:"Relative makespans under Model 2 (Figure 5).")
     Term.(
-      term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg $ csv_arg))
+      term_result'
+        (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg $ csv_arg
+       $ domains_arg $ fitness_cache_arg))
 
 let fig6_cmd =
   let width =
@@ -149,21 +186,26 @@ let fig6_cmd =
     Term.(term_result' (const run $ Obs_cli.term $ width $ svg $ seed_arg))
 
 let runtime_cmd =
-  let run obs scale seed quiet =
+  let run obs scale seed quiet domains fitness_cache =
     Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
+    let* tune = tune_of ~domains ~fitness_cache in
     let rng = Emts_prng.create ~seed () in
     let emts5 =
       E.Relative.run ~progress:(progress quiet) ~rng
-        ~model:Emts_model.synthetic ~config:Emts.Algorithm.emts5 ~counts ()
+        ~model:Emts_model.synthetic
+        ~config:(tune Emts.Algorithm.emts5)
+        ~counts ()
     in
     print_string
       (E.Relative.render_runtime
          ~title:"EMTS5 optimisation time per PTG (Model 2)" emts5);
     let emts10 =
       E.Relative.run ~progress:(progress quiet) ~rng
-        ~model:Emts_model.synthetic ~config:Emts.Algorithm.emts10 ~counts ()
+        ~model:Emts_model.synthetic
+        ~config:(tune Emts.Algorithm.emts10)
+        ~counts ()
     in
     print_string
       (E.Relative.render_runtime
@@ -173,25 +215,29 @@ let runtime_cmd =
   Cmd.v
     (Cmd.info "runtime"
        ~doc:"EMTS5/EMTS10 run-time statistics (Section V text).")
-    Term.(term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg))
+    Term.(
+      term_result'
+        (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg
+       $ domains_arg $ fitness_cache_arg))
 
 let all_cmd =
-  let run obs scale seed quiet =
+  let run obs scale seed quiet domains fitness_cache =
     Obs_cli.with_obs obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
+    let* tune = tune_of ~domains ~fitness_cache in
     let rng = Emts_prng.create ~seed () in
     print_string (E.Fig1.render ());
     print_newline ();
     print_string (E.Fig3.render (Emts_prng.create ~seed ()));
     print_newline ();
     let groups4, text4 =
-      E.Figures.fig4 ~progress:(progress quiet) ~rng ~counts ()
+      E.Figures.fig4 ~progress:(progress quiet) ~tune ~rng ~counts ()
     in
     print_string text4;
     print_newline ();
     let (top, bottom), text5 =
-      E.Figures.fig5 ~progress:(progress quiet) ~rng ~counts ()
+      E.Figures.fig5 ~progress:(progress quiet) ~tune ~rng ~counts ()
     in
     print_string text5;
     print_newline ();
@@ -208,7 +254,10 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run the whole campaign: every figure and table.")
-    Term.(term_result' (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg))
+    Term.(
+      term_result'
+        (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg
+       $ domains_arg $ fitness_cache_arg))
 
 let instances_arg default =
   Arg.(

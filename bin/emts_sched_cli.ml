@@ -38,7 +38,18 @@ let domains_arg =
     & info [ "domains" ] ~docv:"INT"
         ~doc:
           "Worker domains for parallel fitness evaluation (EMTS only; \
-           results are identical for any value).")
+           results are identical for any value).  The workers form one \
+           persistent pool per run.")
+
+let fitness_cache_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fitness-cache" ] ~docv:"CAP"
+        ~doc:
+          "Memoize fitness evaluations by allocation vector in a bounded \
+           cache of capacity $(docv) (EMTS only; 0 disables).  Duplicate \
+           genomes are list-scheduled once; results are identical either \
+           way.  65536 is a good default capacity.")
 
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
@@ -69,11 +80,12 @@ let resolve_model spec =
         (Emts_model.Empirical.load spec)
     else Error (Printf.sprintf "unknown model %S (no such preset or file)" spec)
 
-let run obs graph_file platform_spec model_spec algorithm seed domains gantt
-    csv svg =
+let run obs graph_file platform_spec model_spec algorithm seed domains
+    fitness_cache gantt csv svg =
   Obs_cli.with_obs obs @@ fun () ->
   let ( let* ) = Result.bind in
   if domains < 1 then Error "domains must be >= 1"
+  else if fitness_cache < 0 then Error "fitness-cache must be >= 0"
   else
   let* graph = Emts_ptg.Serial.load graph_file in
   let* platform = resolve_platform platform_spec in
@@ -87,7 +99,11 @@ let run obs graph_file platform_spec model_spec algorithm seed domains gantt
           Emts.Algorithm.emts5
         else Emts.Algorithm.emts10
       in
-      let config = Emts.Algorithm.with_domains domains config in
+      let config =
+        config
+        |> Emts.Algorithm.with_domains domains
+        |> Emts.Algorithm.with_fitness_cache fitness_cache
+      in
       let rng = Emts_prng.create ~seed () in
       let result = Emts.Algorithm.run_ctx ~rng ~config ~ctx () in
       List.iter
@@ -136,7 +152,7 @@ let () =
     Term.(
       term_result'
         (const run $ Obs_cli.term $ graph_arg $ platform_arg $ model_arg
-       $ algorithm_arg $ seed_arg $ domains_arg $ gantt_arg $ csv_arg
-       $ svg_arg))
+       $ algorithm_arg $ seed_arg $ domains_arg $ fitness_cache_arg
+       $ gantt_arg $ csv_arg $ svg_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -19,6 +19,7 @@ type config = {
   selection : Emts_ea.selection;
   adaptive_sigma : bool;
   early_reject : bool;
+  fitness_cache : int option;
 }
 
 let emts5 =
@@ -34,6 +35,7 @@ let emts5 =
     selection = Emts_ea.Plus;
     adaptive_sigma = false;
     early_reject = false;
+    fitness_cache = None;
   }
 
 let emts10 = { emts5 with mu = 10; lambda = 100; generations = 10 }
@@ -41,6 +43,11 @@ let emts10 = { emts5 with mu = 10; lambda = 100; generations = 10 }
 let with_domains domains config =
   if domains < 1 then invalid_arg "Emts.with_domains: domains must be >= 1";
   { config with domains }
+
+let with_fitness_cache capacity config =
+  if capacity < 0 then
+    invalid_arg "Emts.with_fitness_cache: capacity must be >= 0";
+  { config with fitness_cache = (if capacity = 0 then None else Some capacity) }
 
 type result = {
   alloc : Emts_sched.Allocation.t;
@@ -82,40 +89,79 @@ let run_ctx ?rng ~config ~ctx () =
      parents themselves outrank it, and ties favour the older
      individual), so rejection cannot change any outcome.  The cutoff is
      refreshed between generations only, so parallel evaluation stays
-     deterministic. *)
-  let cutoff = ref infinity in
-  let fitness alloc =
+     deterministic.  Written by [on_generation] on the main domain and
+     read by fitness calls on worker domains, hence an [Atomic.t]. *)
+  let cutoff = Atomic.make infinity in
+  (* Evaluate one allocation under [cutoff_now], returning the fitness
+     together with the cache entry that records it.  A rejection stores
+     the rejecting cutoff, not a bare [infinity]: the rejection is only
+     reusable while the cutoff stays at or below it. *)
+  let evaluate alloc cutoff_now =
     let times =
       Emts_sched.Allocation.times_of_tables alloc ~tables:ctx.Common.tables
     in
     if config.early_reject then
       match
         Emts_sched.List_scheduler.makespan_bounded ~graph:ctx.Common.graph
-          ~times ~alloc ~procs:ctx.Common.procs ~cutoff:!cutoff
+          ~times ~alloc ~procs:ctx.Common.procs ~cutoff:cutoff_now
       with
       | Some m ->
         Emts_obs.Metrics.incr m_early_reject_misses;
-        m
+        (m, Emts_pool.Cache.Known m)
       | None ->
         Emts_obs.Metrics.incr m_early_reject_hits;
-        infinity
+        (infinity, Emts_pool.Cache.Rejected_above cutoff_now)
     else
-      Emts_sched.List_scheduler.makespan ~graph:ctx.Common.graph ~times
-        ~alloc ~procs:ctx.Common.procs
+      let m =
+        Emts_sched.List_scheduler.makespan ~graph:ctx.Common.graph ~times
+          ~alloc ~procs:ctx.Common.procs
+      in
+      (m, Emts_pool.Cache.Known m)
+  in
+  let cache =
+    Option.map
+      (fun capacity -> Emts_pool.Cache.create ~capacity)
+      config.fitness_cache
+  in
+  (* [Seeding.collect] just list-scheduled every heuristic allocation,
+     and the EA immediately re-evaluates those same vectors for its
+     initial population: seed the cache so the recomputation is a hit.
+     Identical scheduler, identical inputs, so the cached float is the
+     one [evaluate] would produce. *)
+  (match cache with
+  | None -> ()
+  | Some cache ->
+    List.iter
+      (fun (s : Seeding.seed) ->
+        Emts_pool.Cache.store cache s.alloc (Emts_pool.Cache.Known s.makespan))
+      seeds);
+  let fitness alloc =
+    let c = Atomic.get cutoff in
+    match cache with
+    | None -> fst (evaluate alloc c)
+    | Some cache -> (
+      match Emts_pool.Cache.find cache alloc ~cutoff:c with
+      | Some v -> v
+      | None ->
+        let v, entry = evaluate alloc c in
+        Emts_pool.Cache.store cache alloc entry;
+        v)
   in
   (* 1/5-rule step-size adaptation (optional): scale both sigmas by a
-     factor updated from the fraction of fresh survivors. *)
-  let sigma_scale = ref 1. in
+     factor updated from the fraction of fresh survivors.  Same
+     cross-domain pattern as [cutoff]: main domain writes, [mutate]
+     reads. *)
+  let sigma_scale = Atomic.make 1. in
   let mutate rng ~generation ~total_generations genome =
     let params =
-      if config.adaptive_sigma then
+      if config.adaptive_sigma then begin
+        let scale = Atomic.get sigma_scale in
         {
           config.mutation with
-          Mutation.sigma_shrink =
-            config.mutation.Mutation.sigma_shrink *. !sigma_scale;
-          sigma_stretch =
-            config.mutation.Mutation.sigma_stretch *. !sigma_scale;
+          Mutation.sigma_shrink = config.mutation.Mutation.sigma_shrink *. scale;
+          sigma_stretch = config.mutation.Mutation.sigma_stretch *. scale;
         }
+      end
       else config.mutation
     in
     Mutation.mutate rng params ~procs:ctx.Common.procs ~generation
@@ -139,17 +185,17 @@ let run_ctx ?rng ~config ~ctx () =
   let ea =
     Emts_ea.run ~rng ~config:ea_config
       ~on_generation:(fun stats ->
-        cutoff := stats.Emts_ea.worst;
+        Atomic.set cutoff stats.Emts_ea.worst;
         if config.adaptive_sigma && stats.Emts_ea.generation >= 1 then begin
           let success =
             float_of_int stats.Emts_ea.fresh_survivors
             /. float_of_int config.mu
           in
           let scaled =
-            if success > 0.2 then !sigma_scale *. 1.22
-            else !sigma_scale /. 1.22
+            if success > 0.2 then Atomic.get sigma_scale *. 1.22
+            else Atomic.get sigma_scale /. 1.22
           in
-          sigma_scale := Float.max 0.1 (Float.min 10. scaled)
+          Atomic.set sigma_scale (Float.max 0.1 (Float.min 10. scaled))
         end)
       ~seeds:(List.map (fun (s : Seeding.seed) -> s.alloc) seeds)
       { fitness; mutate; recombine; crossover_rate }

@@ -40,6 +40,16 @@ type config = {
           (a rejected individual scores above every current parent and
           ties break toward the older individual, so it could never
           have been selected); property-tested in [test_emts]. *)
+  fitness_cache : int option;
+      (** when [Some capacity], memoize fitness evaluations by
+          allocation vector in an {!Emts_pool.Cache} of at most
+          [capacity] entries: duplicate genomes — frequent under (μ+λ)
+          selection with seeded starts — are list-scheduled once.  Pure
+          optimisation, bit-identical results (property-tested),
+          including under [early_reject]: a rejected evaluation is
+          cached together with its rejecting cutoff and only reused
+          while the current cutoff is at or below it.  Default [None]
+          (off). *)
 }
 
 val emts5 : config
@@ -52,6 +62,12 @@ val emts10 : config
 
 val with_domains : int -> config -> config
 (** Enable parallel fitness evaluation (identical results). *)
+
+val with_fitness_cache : int -> config -> config
+(** [with_fitness_cache capacity config] enables the fitness
+    memoization cache with the given capacity; [0] disables it
+    (identical results either way).  Raises [Invalid_argument] on a
+    negative capacity. *)
 
 type result = {
   alloc : Emts_sched.Allocation.t;   (** best allocation found *)

@@ -57,40 +57,17 @@ let m_evaluations = Emts_obs.Metrics.counter "ea.evaluations"
 let m_generations = Emts_obs.Metrics.counter "ea.generations"
 let m_fitness = Emts_obs.Metrics.histogram "ea.fitness"
 
-(* Evaluate all genomes, splitting the array across [domains] worker
-   domains in contiguous chunks.  Results land by index, so the outcome
-   is independent of scheduling.  Worker spans are pinned to one trace
-   lane per worker slot ([tid = w + 1]) so that every generation's
-   short-lived domains stack onto stable, comparable lanes. *)
-let evaluate_all ~domains fitness genomes =
+(* Evaluate all genomes through the persistent worker pool.  Results
+   land by index, so the outcome is independent of scheduling; the
+   pool's workers keep one stable trace lane per worker slot across
+   generations. *)
+let evaluate_all ~pool fitness genomes =
   let n = Array.length genomes in
-  if n = 0 then [||]
-  else if domains <= 1 || n < 2 * domains then
-    Emts_obs.Trace.span "ea.eval"
-      ~args:[ ("tasks", Emts_obs.Trace.Int n) ]
-      (fun () -> Array.map fitness genomes)
-  else begin
-    let out = Array.make n nan in
-    let workers = min domains n in
-    let chunk = (n + workers - 1) / workers in
-    let spawned =
-      List.init workers (fun w ->
-          let lo = w * chunk in
-          let hi = min n (lo + chunk) in
-          Domain.spawn (fun () ->
-              let tid = w + 1 in
-              Emts_obs.Trace.set_thread_name ~tid
-                (Printf.sprintf "worker %d" tid);
-              Emts_obs.Trace.span "ea.eval.worker" ~tid
-                ~args:[ ("tasks", Emts_obs.Trace.Int (hi - lo)) ]
-                (fun () ->
-                  for i = lo to hi - 1 do
-                    out.(i) <- fitness genomes.(i)
-                  done)))
-    in
-    List.iter Domain.join spawned;
-    out
-  end
+  let out = Array.make n nan in
+  Emts_obs.Trace.span "ea.eval"
+    ~args:[ ("tasks", Emts_obs.Trace.Int n) ]
+    (fun () -> Emts_pool.run pool ~n (fun i -> out.(i) <- fitness genomes.(i)));
+  out
 
 type 'g individual = { genome : 'g; fit : float; birth : int }
 
@@ -128,11 +105,16 @@ let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
         ("domains", Emts_obs.Trace.Int config.domains);
       ]
   @@ fun () ->
+  (* One pool for the whole run: worker domains are spawned here once
+     and joined on every exit path (normal return or raising fitness),
+     not re-spawned every generation. *)
+  Emts_pool.with_pool ~domains:config.domains
+  @@ fun pool ->
   let started = Emts_obs.Clock.now () in
   let evaluations = ref 0 in
   let births = ref 0 in
   let eval_batch genomes =
-    let fits = evaluate_all ~domains:config.domains problem.fitness genomes in
+    let fits = evaluate_all ~pool problem.fitness genomes in
     evaluations := !evaluations + Array.length genomes;
     Emts_obs.Metrics.add m_evaluations (Array.length genomes);
     if Emts_obs.Metrics.enabled () then
@@ -152,7 +134,7 @@ let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
   Array.sort compare_individual seed_pop;
   let population =
     Array.init config.mu (fun i ->
-        seed_pop.(min i (Array.length seed_pop - 1)))
+        if i < Array.length seed_pop then seed_pop.(i) else seed_pop.(0))
   in
   (* best-ever tracking, needed under Comma selection where the
      population may lose the incumbent *)

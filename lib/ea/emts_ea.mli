@@ -29,7 +29,10 @@ type config = {
           first generation that exceeds it (the paper's "given time
           constraint" mode) *)
   domains : int;
-      (** worker domains for fitness evaluation; 1 = sequential *)
+      (** worker domains for fitness evaluation; 1 = sequential.  The
+          workers form a persistent {!Emts_pool} created once per
+          {!run} (and joined on every exit path, including a raising
+          fitness function), not re-spawned per generation. *)
   selection : selection;  (** default [Plus] *)
 }
 

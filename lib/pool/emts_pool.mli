@@ -1,0 +1,105 @@
+(** Persistent worker-domain pool and fitness memoization cache.
+
+    The EA spends essentially all of its runtime in fitness evaluation
+    (one list schedule per offspring).  This module provides the two
+    throughput layers underneath {!Emts_ea}:
+
+    - a {b pool} of worker domains created once per run instead of once
+      per generation, fed by dynamic chunked work distribution (an
+      atomic claim index), with results landing by item index so the
+      outcome is bit-identical to sequential evaluation regardless of
+      worker count or scheduling;
+    - a {b cache} memoizing fitness values by allocation vector, so
+      duplicate genomes — common under (μ+λ) selection with seeded
+      starts — are scheduled once.
+
+    Both layers are strictly outcome-preserving: they may only change
+    how fast a result is obtained, never which result.  Observability:
+    the pool bumps the [pool.jobs] / [pool.chunks] / [pool.steals]
+    counters and emits one trace span per worker per job on a stable
+    per-worker-slot lane ([tid = slot + 1]); the cache bumps
+    [ea.cache.hits] / [ea.cache.misses]. *)
+
+type t
+(** A pool handle.  Owned by the domain that created it: only that
+    domain may call {!run} or {!shutdown}. *)
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains] worker domains ([domains >= 1];
+    with [domains = 1] no domain is spawned and {!run} executes
+    inline).  Workers sleep on a condition variable between jobs.
+    Raises [Invalid_argument] on [domains < 1]. *)
+
+val domains : t -> int
+(** The configured lane count (the [domains] given to {!create}). *)
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n f] executes [f 0 .. f (n-1)], splitting the index space
+    across the pool's workers in dynamically claimed chunks.  [f] must
+    be safe to call from any domain and must not assume any particular
+    index order; making [f i] write its result into slot [i] of a
+    pre-sized array yields results independent of scheduling.
+
+    If any [f i] raises, the workers stop claiming further chunks, the
+    job still quiesces (every worker returns to its waiting state — no
+    domain is leaked), and the first recorded exception is re-raised
+    with its backtrace.  The pool remains usable afterwards.
+
+    Raises [Invalid_argument] if [n < 0] or the pool was shut down. *)
+
+val shutdown : t -> unit
+(** Wake and join every worker domain.  Idempotent.  All workers are
+    joined even if one join raises; the first such exception is
+    re-raised afterwards. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises (exception-safe: workers
+    are joined before the exception propagates). *)
+
+(** Fitness memoization keyed by allocation vector.
+
+    Entries are {e cutoff-aware} so the cache composes correctly with
+    the early-rejection fitness mode ({!Emts.Algorithm}): a completed
+    schedule stores its true makespan ([Known m], reusable under any
+    cutoff), while a rejection records the cutoff it was rejected at
+    ([Rejected_above c], i.e. the true makespan exceeds [c]).  A
+    rejected entry only answers lookups whose current cutoff is [<= c]
+    — a laxer cutoff could let the same genome complete with a finite
+    makespan, so it must be re-evaluated (and the entry is then
+    upgraded in place).
+
+    The table is domain-safe (a mutex guards lookups and stores; the
+    critical section is tiny next to a list-schedule evaluation) and
+    capacity-bounded: inserting a fresh key into a full cache flushes
+    the table, so memory stays bounded without bookkeeping on the hit
+    path.  Keys are copied on store; callers must not mutate an array
+    between {!find} and {!store}. *)
+module Cache : sig
+  type entry =
+    | Known of float
+        (** the genome's exact fitness (completed schedule) *)
+    | Rejected_above of float
+        (** evaluation was cut off at this cutoff: the true makespan is
+            strictly greater than it *)
+
+  type t
+
+  val create : capacity:int -> t
+  (** Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val capacity : t -> int
+
+  val find : t -> int array -> cutoff:float -> float option
+  (** [find t key ~cutoff] is [Some fitness] when the cache can answer
+      under the current [cutoff] ([Some infinity] for a reusable
+      rejection), [None] otherwise.  Bumps [ea.cache.hits] or
+      [ea.cache.misses]. *)
+
+  val store : t -> int array -> entry -> unit
+  (** Record (or upgrade) the entry for [key].  The key array is
+      copied. *)
+
+  val length : t -> int
+  (** Number of entries currently held ([<= capacity]). *)
+end

@@ -23,6 +23,18 @@ Random layered graphs honour the requested size:
   $ grep -c '^task' r.ptg
   30
 
+The performance flags are outcome-preserving — the cached, multi-domain
+run prints exactly the same schedule:
+
+  $ emts-sched fft.ptg --platform chti --model model2 --algorithm emts5 \
+  >   --seed 11 > plain.out
+  $ emts-sched fft.ptg --platform chti --model model2 --algorithm emts5 \
+  >   --seed 11 --domains 2 --fitness-cache 1024 > tuned.out
+  $ cmp plain.out tuned.out
+  $ emts-sched fft.ptg --algorithm emts5 --fitness-cache=-3
+  emts-sched: fitness-cache must be >= 0
+  [124]
+
 Bad inputs fail cleanly:
 
   $ emts-gen fft --points 5 -o bad.ptg

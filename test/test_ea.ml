@@ -10,8 +10,8 @@ let toy_problem ?(sigma = 5.) () =
     ~mutate:(fun rng ~generation:_ ~total_generations:_ x ->
       x +. Emts_prng.normal rng ~mu:0. ~sigma)
 
-let config ?time_budget ?(domains = 1) ?(mu = 4) ?(lambda = 12)
-    ?(generations = 30) () =
+let config ?time_budget ?(domains = Testutil.test_domains) ?(mu = 4)
+    ?(lambda = 12) ?(generations = 30) () =
   EA.config ?time_budget ~domains ~mu ~lambda ~generations ()
 
 let run ?(seed = 1) ?config:(c = config ()) ?(seeds = [ 100.; -50. ]) () =
@@ -97,7 +97,11 @@ let test_parallel_eval_equivalent () =
   Alcotest.(check (float 0.)) "identical best" sequential.EA.best_fitness
     parallel.EA.best_fitness;
   Alcotest.(check (float 0.)) "identical genome" sequential.EA.best
-    parallel.EA.best
+    parallel.EA.best;
+  Alcotest.(check int) "identical evaluation count" sequential.EA.evaluations
+    parallel.EA.evaluations;
+  Alcotest.(check bool) "bit-identical history" true
+    (sequential.EA.history = parallel.EA.history)
 
 let test_time_budget_stops () =
   (* A microscopic budget: the run must stop before its 1000 nominal
@@ -127,6 +131,58 @@ let test_seed_padding () =
   in
   Alcotest.(check bool) "works with fewer seeds than mu" true
     (r.EA.best_fitness <= (3. -. 7.) ** 2.)
+
+let test_seed_padding_uses_best_seed () =
+  (* Regression: with mu > #seeds the padded slots must replicate the
+     BEST seed, not the worst.  Seeds 10. (fitness 9) and 3. (fitness
+     16) with mu = 3: the initial population is {10., 3., 10.}, so the
+     generation-0 mean over fitnesses is (9 + 16 + 9) / 3.  The old
+     code padded with the worst seed, giving (9 + 16 + 16) / 3. *)
+  let c = config ~mu:3 ~generations:0 () in
+  let r =
+    EA.run
+      ~rng:(Emts_prng.create ~seed:2 ())
+      ~config:c ~seeds:[ 3.; 10. ] (toy_problem ())
+  in
+  match r.EA.history with
+  | s0 :: _ ->
+    Alcotest.(check (float 1e-9)) "mean reflects best-seed padding"
+      ((9. +. 16. +. 9.) /. 3.)
+      s0.EA.mean;
+    Alcotest.(check (float 0.)) "worst survivor is the worst seed" 16.
+      s0.EA.worst;
+    Alcotest.(check (float 0.)) "best is the best seed" 9. s0.EA.best
+  | [] -> Alcotest.fail "empty history"
+
+exception Fitness_failed of int
+
+let test_worker_exception_propagates () =
+  (* A fitness exception inside a parallel evaluation must reach the
+     caller with every worker domain joined — observable because a
+     fresh run on the same process still works afterwards. *)
+  let failing =
+    EA.mutation_only
+      ~fitness:(fun x ->
+        if x > 50. then raise (Fitness_failed (int_of_float x));
+        (x -. 7.) ** 2.)
+      ~mutate:(fun rng ~generation:_ ~total_generations:_ x ->
+        x +. Emts_prng.normal rng ~mu:0. ~sigma:5.)
+  in
+  let c = config ~domains:4 ~mu:4 ~lambda:16 ~generations:2 () in
+  let raised =
+    try
+      ignore
+        (EA.run
+           ~rng:(Emts_prng.create ~seed:3 ())
+           ~config:c
+           ~seeds:[ 0.; 10.; 20.; 99. ]
+           failing);
+      false
+    with Fitness_failed _ -> true
+  in
+  Alcotest.(check bool) "fitness exception propagates" true raised;
+  let r = run ~config:(config ~domains:4 ()) () in
+  Alcotest.(check bool) "later runs unaffected" true (r.EA.best_fitness < 4.)
 
 let test_stats_fields () =
   let r = run () in
@@ -212,6 +268,8 @@ let () =
           Alcotest.test_case "accounting" `Quick test_generation_accounting;
           Alcotest.test_case "zero generations" `Quick test_zero_generations;
           Alcotest.test_case "seed padding" `Quick test_seed_padding;
+          Alcotest.test_case "seed padding uses best seed" `Quick
+            test_seed_padding_uses_best_seed;
           Alcotest.test_case "stats ordering" `Quick test_stats_fields;
         ] );
       ( "determinism",
@@ -229,6 +287,8 @@ let () =
           Alcotest.test_case "comma selection" `Quick test_comma_selection;
           Alcotest.test_case "comma oscillation" `Quick
             test_comma_population_can_worsen;
+          Alcotest.test_case "worker exception" `Quick
+            test_worker_exception_propagates;
           Alcotest.test_case "default domains" `Quick test_default_domains;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_invariants ]);

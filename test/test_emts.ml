@@ -39,6 +39,17 @@ let test_with_domains () =
        false
      with Invalid_argument _ -> true)
 
+let test_with_fitness_cache () =
+  let c = Alg.with_fitness_cache 4096 Alg.emts5 in
+  Alcotest.(check (option int)) "capacity set" (Some 4096) c.Alg.fitness_cache;
+  let off = Alg.with_fitness_cache 0 c in
+  Alcotest.(check (option int)) "zero disables" None off.Alg.fitness_cache;
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Alg.with_fitness_cache (-1) Alg.emts5);
+       false
+     with Invalid_argument _ -> true)
+
 let test_seeding_defaults () =
   let names =
     List.map (fun (h : Emts_alloc.heuristic) -> h.name)
@@ -228,6 +239,46 @@ let prop_early_reject_equivalent =
       in
       r1.Alg.makespan = r2.Alg.makespan && r1.Alg.alloc = r2.Alg.alloc)
 
+(* Satellite 4: parallelism and the fitness cache are pure
+   optimisations.  Any combination of domains x cache x early-reject
+   must reproduce the sequential, cache-free run bit for bit: same
+   best fitness, same history, same evaluation count. *)
+let prop_pool_cache_determinism =
+  QCheck.Test.make
+    ~name:"domains x cache x early-reject never change the outcome" ~count:10
+    (Testutil.arbitrary_dag ~max_n:15 ())
+    (fun graph ->
+      let run_with tune =
+        let config =
+          tune { quick_config with Alg.generations = 3; lambda = 8 }
+        in
+        Alg.run
+          ~rng:(Emts_prng.create ~seed:13 ())
+          ~config ~model:Emts_model.synthetic ~platform:chti ~graph ()
+      in
+      let baseline = run_with Fun.id in
+      let same (r : Alg.result) =
+        r.Alg.makespan = baseline.Alg.makespan
+        && r.Alg.alloc = baseline.Alg.alloc
+        && r.Alg.ea.Emts_ea.best_fitness
+           = baseline.Alg.ea.Emts_ea.best_fitness
+        && r.Alg.ea.Emts_ea.history = baseline.Alg.ea.Emts_ea.history
+        && r.Alg.ea.Emts_ea.evaluations
+           = baseline.Alg.ea.Emts_ea.evaluations
+      in
+      List.for_all
+        (fun tune -> same (run_with tune))
+        [
+          Alg.with_domains 4;
+          Alg.with_fitness_cache 512;
+          (fun c -> Alg.with_fitness_cache 512 (Alg.with_domains 4 c));
+          (fun c ->
+            {
+              (Alg.with_fitness_cache 512 (Alg.with_domains 4 c)) with
+              Alg.early_reject = true;
+            });
+        ])
+
 let prop_emts_beats_every_seed =
   QCheck.Test.make
     ~name:"EMTS makespan <= every seed's makespan (elitist seeding)"
@@ -264,6 +315,8 @@ let () =
         [
           Alcotest.test_case "presets" `Quick test_presets;
           Alcotest.test_case "with_domains" `Quick test_with_domains;
+          Alcotest.test_case "with_fitness_cache" `Quick
+            test_with_fitness_cache;
           Alcotest.test_case "default seeds" `Quick test_seeding_defaults;
         ] );
       ( "seeding",
@@ -294,6 +347,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_early_reject_equivalent;
+            prop_pool_cache_determinism;
             prop_emts_beats_every_seed;
             prop_emts_schedule_valid;
           ] );

@@ -1,0 +1,246 @@
+(* Tests for the persistent worker pool and the fitness memoization
+   cache (Emts_pool). *)
+
+module Pool = Emts_pool
+module Cache = Emts_pool.Cache
+
+let sequential n f =
+  let out = Array.make n 0. in
+  for i = 0 to n - 1 do
+    out.(i) <- f i
+  done;
+  out
+
+let pooled ~domains n f =
+  Pool.with_pool ~domains @@ fun pool ->
+  let out = Array.make n 0. in
+  Pool.run pool ~n (fun i -> out.(i) <- f i);
+  out
+
+let test_matches_sequential () =
+  let f i = Float.of_int (i * i) +. (1. /. Float.of_int (i + 1)) in
+  let expected = sequential 100 f in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array (float 0.)))
+        (Printf.sprintf "domains %d" domains)
+        expected
+        (pooled ~domains 100 f))
+    [ 1; 2; 4; 7 ]
+
+let test_uneven_work_lands_by_index () =
+  (* Wildly uneven item costs: dynamic chunking must still place every
+     result in its own slot. *)
+  let f i =
+    if i mod 13 = 0 then begin
+      let acc = ref 0. in
+      for k = 1 to 20_000 do
+        acc := !acc +. (1. /. Float.of_int k)
+      done;
+      !acc +. Float.of_int i
+    end
+    else Float.of_int i
+  in
+  Alcotest.(check (array (float 0.)))
+    "uneven" (sequential 67 f)
+    (pooled ~domains:4 67 f)
+
+let test_empty_and_single () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  Pool.run pool ~n:0 (fun _ -> Alcotest.fail "no item to run");
+  let hit = ref false in
+  Pool.run pool ~n:1 (fun i ->
+      Alcotest.(check int) "index 0" 0 i;
+      hit := true);
+  Alcotest.(check bool) "single item ran" true !hit
+
+let test_pool_reused_across_jobs () =
+  (* One pool, many jobs — the per-run usage pattern of the EA. *)
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  for job = 1 to 20 do
+    let n = 10 + job in
+    let out = Array.make n (-1) in
+    Pool.run pool ~n (fun i -> out.(i) <- i + job);
+    Array.iteri
+      (fun i v -> Alcotest.(check int) (Printf.sprintf "job %d" job) (i + job) v)
+      out
+  done
+
+exception Boom of int
+
+let test_exception_propagates_and_pool_survives () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  (* A failing item aborts the job and re-raises the recorded
+     exception; every worker must be back waiting (no leaked domain),
+     which we observe by running further jobs on the same pool. *)
+  let raised =
+    try
+      Pool.run pool ~n:64 (fun i -> if i = 37 then raise (Boom i));
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "exception re-raised" (Some 37) raised;
+  let out = Array.make 32 0 in
+  Pool.run pool ~n:32 (fun i -> out.(i) <- 2 * i);
+  Alcotest.(check int) "pool still works after a failed job" 62 out.(31)
+
+let test_with_pool_reraises_after_shutdown () =
+  (* Direct regression for the old evaluate_all leak: the body raising
+     must not prevent the workers from being joined, and the original
+     exception must survive the cleanup. *)
+  Alcotest.check_raises "body exception survives shutdown" (Boom 1)
+    (fun () ->
+      Pool.with_pool ~domains:4 @@ fun pool ->
+      Pool.run pool ~n:8 (fun _ -> ());
+      raise (Boom 1))
+
+let test_worker_exception_inside_with_pool () =
+  Alcotest.check_raises "worker exception survives shutdown" (Boom 5)
+    (fun () ->
+      Pool.with_pool ~domains:4 @@ fun pool ->
+      Pool.run pool ~n:40 (fun i -> if i = 5 then raise (Boom 5)))
+
+let test_shutdown_idempotent_and_run_rejected () =
+  let pool = Pool.create ~domains:2 in
+  Pool.run pool ~n:4 (fun _ -> ());
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "run after shutdown rejected" true
+    (try
+       Pool.run pool ~n:4 (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_create_validation () =
+  Alcotest.(check bool) "domains 0 rejected" true
+    (try
+       ignore (Pool.create ~domains:0);
+       false
+     with Invalid_argument _ -> true);
+  let p = Pool.create ~domains:5 in
+  Alcotest.(check int) "domains recorded" 5 (Pool.domains p);
+  Pool.shutdown p
+
+(* --- cache ----------------------------------------------------------- *)
+
+let test_cache_known_hits_any_cutoff () =
+  let c = Cache.create ~capacity:16 in
+  Cache.store c [| 1; 2; 3 |] (Cache.Known 42.);
+  List.iter
+    (fun cutoff ->
+      Alcotest.(check (option (float 0.)))
+        (Printf.sprintf "cutoff %g" cutoff)
+        (Some 42.)
+        (Cache.find c [| 1; 2; 3 |] ~cutoff))
+    [ infinity; 100.; 42.; 1. ];
+  Alcotest.(check (option (float 0.))) "unknown key misses" None
+    (Cache.find c [| 3; 2; 1 |] ~cutoff:infinity)
+
+let test_cache_rejection_cutoff_aware () =
+  (* A genome rejected at cutoff 5 has makespan > 5.  That rejection is
+     reusable for any cutoff <= 5 but NOT for a laxer one, where the
+     schedule could complete below the new cutoff. *)
+  let c = Cache.create ~capacity:16 in
+  Cache.store c [| 7; 7 |] (Cache.Rejected_above 5.);
+  Alcotest.(check (option (float 0.))) "tighter cutoff reuses rejection"
+    (Some infinity)
+    (Cache.find c [| 7; 7 |] ~cutoff:4.);
+  Alcotest.(check (option (float 0.))) "equal cutoff reuses rejection"
+    (Some infinity)
+    (Cache.find c [| 7; 7 |] ~cutoff:5.);
+  Alcotest.(check (option (float 0.))) "laxer cutoff must re-evaluate" None
+    (Cache.find c [| 7; 7 |] ~cutoff:6.);
+  (* the re-evaluation completed: the entry upgrades in place *)
+  Cache.store c [| 7; 7 |] (Cache.Known 5.5);
+  Alcotest.(check (option (float 0.))) "upgraded entry answers everything"
+    (Some 5.5)
+    (Cache.find c [| 7; 7 |] ~cutoff:6.)
+
+let test_cache_capacity_bounded () =
+  let c = Cache.create ~capacity:4 in
+  for i = 0 to 99 do
+    Cache.store c [| i |] (Cache.Known (Float.of_int i))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "length %d <= capacity" (Cache.length c))
+    true
+    (Cache.length c <= Cache.capacity c);
+  Alcotest.(check bool) "capacity 0 rejected" true
+    (try
+       ignore (Cache.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cache_copies_keys () =
+  let c = Cache.create ~capacity:16 in
+  let key = [| 9; 9; 9 |] in
+  Cache.store c key (Cache.Known 1.);
+  (* mutating the caller's array must not corrupt the stored key *)
+  key.(0) <- 0;
+  Alcotest.(check (option (float 0.))) "original key still present"
+    (Some 1.)
+    (Cache.find c [| 9; 9; 9 |] ~cutoff:infinity);
+  Alcotest.(check (option (float 0.))) "mutated key is a different genome"
+    None
+    (Cache.find c key ~cutoff:infinity)
+
+let test_cache_concurrent_use () =
+  (* Hammer one cache from several domains through the pool: no crash,
+     and every lookup that hits returns the value stored for that key. *)
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let c = Cache.create ~capacity:1024 in
+  Pool.run pool ~n:400 (fun i ->
+      let key = [| i mod 32; (i / 32) mod 4 |] in
+      match Cache.find c key ~cutoff:infinity with
+      | Some v ->
+        if v <> Float.of_int ((i mod 32) + (100 * ((i / 32) mod 4))) then
+          failwith "stale value"
+      | None ->
+        Cache.store c key
+          (Cache.Known (Float.of_int ((i mod 32) + (100 * ((i / 32) mod 4))))));
+  Alcotest.(check bool) "table bounded" true (Cache.length c <= 1024)
+
+(* Property: any (domains, n) split produces exactly the sequential
+   result array. *)
+let prop_pool_matches_sequential =
+  QCheck.Test.make ~name:"pool result = sequential result" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 0 200))
+    (fun (domains, n) ->
+      let f i = Float.of_int (i * 7) +. Float.of_int (i mod 3) in
+      pooled ~domains n f = sequential n f)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "uneven work" `Quick test_uneven_work_lands_by_index;
+          Alcotest.test_case "empty and single" `Quick test_empty_and_single;
+          Alcotest.test_case "reuse across jobs" `Quick
+            test_pool_reused_across_jobs;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "propagates, pool survives" `Quick
+            test_exception_propagates_and_pool_survives;
+          Alcotest.test_case "with_pool re-raises after join" `Quick
+            test_with_pool_reraises_after_shutdown;
+          Alcotest.test_case "worker exception inside with_pool" `Quick
+            test_worker_exception_inside_with_pool;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent_and_run_rejected;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "known entries" `Quick
+            test_cache_known_hits_any_cutoff;
+          Alcotest.test_case "cutoff-aware rejections" `Quick
+            test_cache_rejection_cutoff_aware;
+          Alcotest.test_case "capacity bound" `Quick test_cache_capacity_bounded;
+          Alcotest.test_case "keys copied" `Quick test_cache_copies_keys;
+          Alcotest.test_case "concurrent use" `Quick test_cache_concurrent_use;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_pool_matches_sequential ]);
+    ]

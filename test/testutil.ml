@@ -98,3 +98,14 @@ let arbitrary_dag_alloc ~procs ?max_n () =
 (* Times for every task under an allocation, via a model and platform. *)
 let times_for ~model ~platform g alloc =
   Emts_sched.Allocation.times alloc ~model ~platform ~graph:g
+
+(* Worker domains for EA/EMTS tests: 1 by default, overridden by the CI
+   multi-domain job (EMTS_TEST_DOMAINS=4) so the parallel evaluation
+   paths are exercised by the whole suite on every PR. *)
+let test_domains =
+  match Sys.getenv_opt "EMTS_TEST_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | Some _ | None -> 1)

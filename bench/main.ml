@@ -369,6 +369,49 @@ let run_cache_speedup () =
     pool_domains t_pool m_pool (counter "pool.chunks") (counter "pool.steals");
   Printf.printf "identical makespans  %b\n" (m_off = m_on && m_off = m_pool)
 
+(* Checkpointing cost on an EMTS10-sized run: a snapshot serialises
+   the population and fsyncs one checksummed line, so the overhead
+   should be well under 2% at --checkpoint-every 10 (one write per ten
+   generations) and still small at every generation.  The result must
+   be byte-identical with and without snapshots — checkpointing is an
+   observer.  The ea.checkpoint_writes counter lands in
+   BENCH_METRICS_JSON. *)
+let run_checkpoint_overhead () =
+  rule "EA checkpoint overhead (EMTS10, irregular n=100, Grelon, Model 2)";
+  Emts_obs.Metrics.set_enabled true;
+  let counter name =
+    Option.value ~default:0 (Emts_obs.Metrics.find_counter name)
+  in
+  let path = Filename.temp_file "emts_bench" ".ckpt" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let timed checkpoint =
+    let rng = Emts_prng.create ~seed:0xC4EC1 () in
+    let t0 = Emts_obs.Clock.now () in
+    let r =
+      Emts.Algorithm.run_ctx ~rng ?checkpoint ~config:Emts.Algorithm.emts10
+        ~ctx:ctx_irregular ()
+    in
+    (Emts_obs.Clock.elapsed ~since:t0, r.Emts.Algorithm.makespan)
+  in
+  let t_off, m_off = timed None in
+  let w0 = counter "ea.checkpoint_writes" in
+  let t_10, m_10 = timed (Some (path, 10)) in
+  let writes_10 = counter "ea.checkpoint_writes" - w0 in
+  let t_1, m_1 = timed (Some (path, 1)) in
+  let writes_1 = counter "ea.checkpoint_writes" - w0 - writes_10 in
+  let overhead t = 100. *. (t -. t_off) /. t_off in
+  Printf.printf "no checkpoint        %8.3f s   makespan %.6g\n" t_off m_off;
+  Printf.printf
+    "every 10 generations %8.3f s   makespan %.6g   overhead %+.2f%% (%d \
+     writes)\n"
+    t_10 m_10 (overhead t_10) writes_10;
+  Printf.printf
+    "every generation     %8.3f s   makespan %.6g   overhead %+.2f%% (%d \
+     writes)\n"
+    t_1 m_1 (overhead t_1) writes_1;
+  Printf.printf "identical makespans  %b\n" (m_off = m_10 && m_off = m_1)
+
 let () =
   let metrics_json = Sys.getenv_opt "BENCH_METRICS_JSON" in
   if metrics_json <> None then Emts_obs.Metrics.set_enabled true;
@@ -377,6 +420,7 @@ let () =
   run_tables ();
   run_extensions ();
   run_cache_speedup ();
+  run_checkpoint_overhead ();
   match metrics_json with
   | None -> ()
   | Some path ->

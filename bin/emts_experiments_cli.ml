@@ -43,6 +43,84 @@ let fitness_cache_arg =
            genomes are list-scheduled once; results are identical either \
            way.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Record every completed (instance, platform) cell durably to \
+           $(docv) (checksummed JSONL, fsynced per cell).  A crashed or \
+           interrupted campaign restarted with $(b,--resume) replays the \
+           recorded cells from disk and recomputes only the missing ones.  \
+           Without $(b,--resume), an existing journal is discarded.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Reuse the cells already recorded in $(b,--journal) (requires it; \
+           the seed, scale and classes must match the original run — \
+           mismatches are detected and rejected).")
+
+let classes_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "classes" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated subset of PTG classes to run \
+           (fft,strassen,layered,irregular).  Default: all four.")
+
+let classes_of = function
+  | None -> Ok None
+  | Some spec ->
+    let names =
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (( <> ) "")
+    in
+    if names = [] then Error "--classes must name at least one class"
+    else
+      let rec parse acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | name :: rest -> (
+          match E.Campaign.class_of_name name with
+          | Some cls -> parse (cls :: acc) rest
+          | None ->
+            Error
+              (Printf.sprintf
+                 "unknown PTG class %S (expected fft, strassen, layered or \
+                  irregular)"
+                 name))
+      in
+      parse [] names
+
+(* Open the journal around [f] (which receives [Journal.t option]),
+   closing it and reporting reuse statistics on every exit path —
+   including a graceful interruption, where the journal is precisely
+   the state the next run resumes from. *)
+let with_journal ~journal ~resume f =
+  match journal with
+  | None -> if resume then Error "--resume requires --journal FILE" else f None
+  | Some path -> (
+    match E.Journal.open_ ~path ~resume with
+    | exception Failure msg -> Error msg
+    | j ->
+      Fun.protect
+        ~finally:(fun () ->
+          E.Journal.close j;
+          Printf.eprintf "journal %s: %d cell(s) reused, %d recorded\n%!" path
+            (E.Journal.reused j) (E.Journal.recorded j))
+        (fun () ->
+          (* Journal/campaign mismatches (wrong seed, scale or classes)
+             surface as [Failure] from deep inside the cell loop; turn
+             them into clean CLI errors. *)
+          match f (Some j) with
+          | r -> r
+          | exception Failure msg -> Error msg))
+
 (* The outcome-preserving performance knobs, as a config transform for
    Emts_experiments.Figures and the direct Relative.run call sites. *)
 let tune_of ~domains ~fitness_cache =
@@ -101,19 +179,22 @@ let write_csv csv groups =
   match csv with
   | None -> ()
   | Some path ->
-    Out_channel.with_open_text path (fun oc ->
-        Out_channel.output_string oc (E.Relative.to_csv groups));
+    Emts_resilience.write_string ~path (E.Relative.to_csv groups);
     Printf.eprintf "wrote %s\n%!" path
 
 let fig4_cmd =
-  let run obs scale seed quiet csv domains fitness_cache =
-    Obs_cli.with_obs obs @@ fun () ->
+  let run obs scale seed quiet csv domains fitness_cache journal resume classes
+      =
+    Obs_cli.with_obs_graceful obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let* tune = tune_of ~domains ~fitness_cache in
+    let* classes = classes_of classes in
+    with_journal ~journal ~resume @@ fun journal ->
     let rng = Emts_prng.create ~seed () in
     let groups, text =
-      E.Figures.fig4 ~progress:(progress quiet) ~tune ~rng ~counts ()
+      E.Figures.fig4 ~progress:(progress quiet) ?journal ?classes ~tune ~rng
+        ~counts ()
     in
     print_string text;
     write_csv csv groups;
@@ -124,17 +205,22 @@ let fig4_cmd =
     Term.(
       term_result'
         (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg $ csv_arg
-       $ domains_arg $ fitness_cache_arg))
+       $ domains_arg $ fitness_cache_arg $ journal_arg $ resume_arg
+       $ classes_arg))
 
 let fig5_cmd =
-  let run obs scale seed quiet csv domains fitness_cache =
-    Obs_cli.with_obs obs @@ fun () ->
+  let run obs scale seed quiet csv domains fitness_cache journal resume classes
+      =
+    Obs_cli.with_obs_graceful obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let* tune = tune_of ~domains ~fitness_cache in
+    let* classes = classes_of classes in
+    with_journal ~journal ~resume @@ fun journal ->
     let rng = Emts_prng.create ~seed () in
     let (top, bottom), text =
-      E.Figures.fig5 ~progress:(progress quiet) ~tune ~rng ~counts ()
+      E.Figures.fig5 ~progress:(progress quiet) ?journal ?classes ~tune ~rng
+        ~counts ()
     in
     print_string text;
     write_csv csv (top @ bottom);
@@ -145,7 +231,8 @@ let fig5_cmd =
     Term.(
       term_result'
         (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg $ csv_arg
-       $ domains_arg $ fitness_cache_arg))
+       $ domains_arg $ fitness_cache_arg $ journal_arg $ resume_arg
+       $ classes_arg))
 
 let fig6_cmd =
   let width =
@@ -160,11 +247,13 @@ let fig6_cmd =
           ~doc:"Additionally write the side-by-side chart as an SVG file.")
   in
   let run obs width svg seed =
-    Obs_cli.with_obs obs @@ fun () ->
+    Obs_cli.with_obs_graceful obs @@ fun () ->
     if width < 1 then Error "width must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
-      let c = E.Fig6.compare_schedules rng in
+      let c =
+        E.Fig6.compare_schedules ~stop:Emts_resilience.Shutdown.requested rng
+      in
       print_string (E.Fig6.render ~width c);
       (match svg with
       | None -> ()
@@ -175,8 +264,7 @@ let fig6_cmd =
             ~right:("EMTS10", c.E.Fig6.emts_schedule)
             ()
         in
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc doc);
+        Emts_resilience.write_string ~path doc;
         Printf.eprintf "wrote %s\n%!" path);
       Ok ()
     end
@@ -186,14 +274,18 @@ let fig6_cmd =
     Term.(term_result' (const run $ Obs_cli.term $ width $ svg $ seed_arg))
 
 let runtime_cmd =
-  let run obs scale seed quiet domains fitness_cache =
-    Obs_cli.with_obs obs @@ fun () ->
+  let run obs scale seed quiet domains fitness_cache journal resume classes =
+    Obs_cli.with_obs_graceful obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let* tune = tune_of ~domains ~fitness_cache in
+    let* classes = classes_of classes in
+    with_journal ~journal ~resume @@ fun journal ->
+    let scoped label = Option.map (E.Journal.scope ~label) journal in
     let rng = Emts_prng.create ~seed () in
     let emts5 =
-      E.Relative.run ~progress:(progress quiet) ~rng
+      E.Relative.run ~progress:(progress quiet)
+        ?journal:(scoped "runtime-emts5") ?classes ~rng
         ~model:Emts_model.synthetic
         ~config:(tune Emts.Algorithm.emts5)
         ~counts ()
@@ -202,7 +294,8 @@ let runtime_cmd =
       (E.Relative.render_runtime
          ~title:"EMTS5 optimisation time per PTG (Model 2)" emts5);
     let emts10 =
-      E.Relative.run ~progress:(progress quiet) ~rng
+      E.Relative.run ~progress:(progress quiet)
+        ?journal:(scoped "runtime-emts10") ?classes ~rng
         ~model:Emts_model.synthetic
         ~config:(tune Emts.Algorithm.emts10)
         ~counts ()
@@ -218,26 +311,28 @@ let runtime_cmd =
     Term.(
       term_result'
         (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg
-       $ domains_arg $ fitness_cache_arg))
+       $ domains_arg $ fitness_cache_arg $ journal_arg $ resume_arg
+       $ classes_arg))
 
 let all_cmd =
-  let run obs scale seed quiet domains fitness_cache =
-    Obs_cli.with_obs obs @@ fun () ->
+  let run obs scale seed quiet domains fitness_cache journal resume =
+    Obs_cli.with_obs_graceful obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let* tune = tune_of ~domains ~fitness_cache in
+    with_journal ~journal ~resume @@ fun journal ->
     let rng = Emts_prng.create ~seed () in
     print_string (E.Fig1.render ());
     print_newline ();
     print_string (E.Fig3.render (Emts_prng.create ~seed ()));
     print_newline ();
     let groups4, text4 =
-      E.Figures.fig4 ~progress:(progress quiet) ~tune ~rng ~counts ()
+      E.Figures.fig4 ~progress:(progress quiet) ?journal ~tune ~rng ~counts ()
     in
     print_string text4;
     print_newline ();
     let (top, bottom), text5 =
-      E.Figures.fig5 ~progress:(progress quiet) ~tune ~rng ~counts ()
+      E.Figures.fig5 ~progress:(progress quiet) ?journal ~tune ~rng ~counts ()
     in
     print_string text5;
     print_newline ();
@@ -248,7 +343,10 @@ let all_cmd =
     print_string
       (E.Relative.render_runtime ~title:"EMTS10 run time (Model 2)" bottom);
     print_newline ();
-    let c = E.Fig6.compare_schedules (Emts_prng.create ~seed ()) in
+    let c =
+      E.Fig6.compare_schedules ~stop:Emts_resilience.Shutdown.requested
+        (Emts_prng.create ~seed ())
+    in
     print_string (E.Fig6.render c);
     Ok ()
   in
@@ -257,7 +355,7 @@ let all_cmd =
     Term.(
       term_result'
         (const run $ Obs_cli.term $ scale_arg $ seed_arg $ quiet_arg
-       $ domains_arg $ fitness_cache_arg))
+       $ domains_arg $ fitness_cache_arg $ journal_arg $ resume_arg))
 
 let instances_arg default =
   Arg.(
@@ -338,7 +436,7 @@ let sweep_cmd =
           ~doc:"Instances per parameter combination.")
   in
   let run obs per_combo seed quiet =
-    Obs_cli.with_obs obs @@ fun () ->
+    Obs_cli.with_obs_graceful obs @@ fun () ->
     if per_combo < 1 then Error "per-combo must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
@@ -359,7 +457,7 @@ let walltime_cmd =
       & info [ "jobs" ] ~docv:"INT" ~doc:"PTG jobs in the workload.")
   in
   let run obs jobs seed =
-    Obs_cli.with_obs obs @@ fun () ->
+    Obs_cli.with_obs_graceful obs @@ fun () ->
     if jobs < 1 then Error "jobs must be >= 1"
     else begin
       let rng = Emts_prng.create ~seed () in
@@ -374,7 +472,7 @@ let walltime_cmd =
 
 let gaps_cmd =
   let run obs scale seed quiet =
-    Obs_cli.with_obs obs @@ fun () ->
+    Obs_cli.with_obs_graceful obs @@ fun () ->
     let ( let* ) = Result.bind in
     let* counts = counts_of_scale scale in
     let rng = Emts_prng.create ~seed () in

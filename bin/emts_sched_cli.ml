@@ -51,6 +51,32 @@ let fitness_cache_arg =
            genomes are list-scheduled once; results are identical either \
            way.  65536 is a good default capacity.")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Snapshot the EMTS optimisation state to $(docv) (atomically, \
+           checksummed) after the seed ranking, every \
+           $(b,--checkpoint-every) generations, and when the run stops for \
+           any reason.  EMTS algorithms only.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"Generations between checkpoint snapshots (default 1).")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue from the $(b,--checkpoint) file (requires it).  The \
+           resumed run is bit-identical to the uninterrupted one; a missing \
+           checkpoint file falls back to a fresh run.")
+
 let gantt_arg =
   Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
 
@@ -81,13 +107,19 @@ let resolve_model spec =
     else Error (Printf.sprintf "unknown model %S (no such preset or file)" spec)
 
 let run obs graph_file platform_spec model_spec algorithm seed domains
-    fitness_cache gantt csv svg =
-  Obs_cli.with_obs obs @@ fun () ->
+    fitness_cache checkpoint checkpoint_every resume gantt csv svg =
+  Obs_cli.with_obs_graceful obs @@ fun () ->
   let ( let* ) = Result.bind in
   if domains < 1 then Error "domains must be >= 1"
   else if fitness_cache < 0 then Error "fitness-cache must be >= 0"
+  else if checkpoint_every < 1 then Error "checkpoint-every must be >= 1"
+  else if resume && checkpoint = None then
+    Error "--resume requires --checkpoint FILE"
   else
-  let* graph = Emts_ptg.Serial.load graph_file in
+  let* graph =
+    Result.map_error Emts_resilience.Error.to_string
+      (Emts_ptg.Serial.load graph_file)
+  in
   let* platform = resolve_platform platform_spec in
   let* model = resolve_model model_spec in
   let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
@@ -105,12 +137,32 @@ let run obs graph_file platform_spec model_spec algorithm seed domains
         |> Emts.Algorithm.with_fitness_cache fitness_cache
       in
       let rng = Emts_prng.create ~seed () in
-      let result = Emts.Algorithm.run_ctx ~rng ~config ~ctx () in
+      let checkpoint =
+        Option.map (fun path -> (path, checkpoint_every)) checkpoint
+      in
+      let* result =
+        match
+          Emts.Algorithm.run_ctx ~stop:Emts_resilience.Shutdown.requested
+            ?checkpoint ~resume ~rng ~config ~ctx ()
+        with
+        | result -> Ok result
+        | exception Failure msg -> Error msg
+      in
       List.iter
         (fun (s : Emts.Seeding.seed) ->
           Printf.printf "seed %-8s makespan %.6g s\n" s.heuristic s.makespan)
         result.seeds;
+      let completed =
+        List.length result.ea.Emts_ea.history - 1
+      in
+      if completed < config.Emts.Algorithm.generations then
+        Printf.eprintf
+          "emts: stopped after generation %d/%d — best-so-far below; resume \
+           with --resume\n%!"
+          completed config.Emts.Algorithm.generations;
       Ok (result.alloc, String.uppercase_ascii algorithm)
+    | _ when checkpoint <> None || resume ->
+      Error "--checkpoint/--resume apply to EMTS algorithms only"
     | name -> (
       match Emts_alloc.find name with
       | Some h -> Ok (h.allocate ctx, h.name)
@@ -153,6 +205,7 @@ let () =
       term_result'
         (const run $ Obs_cli.term $ graph_arg $ platform_arg $ model_arg
        $ algorithm_arg $ seed_arg $ domains_arg $ fitness_cache_arg
+       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
        $ gantt_arg $ csv_arg $ svg_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -87,3 +87,26 @@ let with_obs t f =
     (match (result, !json_error) with
     | Ok _, Some msg -> Error msg
     | _, _ -> result)
+
+(* Same, for commands whose loops poll the shutdown flag at unit
+   boundaries (EA generations, campaign cells): install the SIGINT /
+   SIGTERM handlers, and turn a graceful interruption into exit code
+   130 after the sinks have been flushed by [with_obs]'s finalizer.
+   Commands without stop-aware loops keep [with_obs] and the default
+   kill-on-signal behaviour — installing a handler there would turn the
+   first Ctrl-C into a no-op. *)
+let with_obs_graceful t f =
+  Emts_resilience.Shutdown.install ();
+  match with_obs t f with
+  | exception Emts_resilience.Interrupted ->
+    (* [with_obs]'s finalizer already flushed every sink. *)
+    Printf.eprintf
+      "emts: interrupted — completed work is on disk; re-run to resume\n%!";
+    exit Emts_resilience.Shutdown.exit_interrupted
+  | r ->
+    (* A stop that landed inside the final unit still finished the
+       command; the distinct exit code tells wrapper scripts the run
+       was cut short and a resume may add more work. *)
+    if Emts_resilience.Shutdown.requested () then
+      exit Emts_resilience.Shutdown.exit_interrupted
+    else r

@@ -64,9 +64,14 @@ let schedule_allocation ~ctx alloc =
   Emts_sched.List_scheduler.run ~graph:ctx.Common.graph ~times ~alloc
     ~procs:ctx.Common.procs
 
-let run_ctx ?rng ~config ~ctx () =
+let allocation_codec : Emts_sched.Allocation.t Emts_ea.codec =
+  Emts_ea.int_array_codec
+
+let run_ctx ?rng ?stop ?checkpoint ?(resume = false) ~config ~ctx () =
   if Emts_ptg.Graph.task_count ctx.Common.graph = 0 then
     invalid_arg "Emts.run: empty graph";
+  if resume && Option.is_none checkpoint then
+    invalid_arg "Emts.run: resume requires a checkpoint path";
   if config.selection = Emts_ea.Comma && config.early_reject then
     invalid_arg
       "Emts.run: early_reject requires Plus selection (rejected offspring \
@@ -182,23 +187,42 @@ let run_ctx ?rng ~config ~ctx () =
       ~selection:config.selection ~mu:config.mu ~lambda:config.lambda
       ~generations:config.generations ()
   in
+  (* [on_generation] is the only channel through which the EA loop
+     feeds the adaptive state above; checkpoint resumption replays the
+     restored history through it, so [cutoff] and [sigma_scale] are
+     rebuilt exactly before the first resumed generation runs. *)
+  let on_generation stats =
+    Atomic.set cutoff stats.Emts_ea.worst;
+    if config.adaptive_sigma && stats.Emts_ea.generation >= 1 then begin
+      let success =
+        float_of_int stats.Emts_ea.fresh_survivors /. float_of_int config.mu
+      in
+      let scaled =
+        if success > 0.2 then Atomic.get sigma_scale *. 1.22
+        else Atomic.get sigma_scale /. 1.22
+      in
+      Atomic.set sigma_scale (Float.max 0.1 (Float.min 10. scaled))
+    end
+  in
+  let problem = { Emts_ea.fitness; mutate; recombine; crossover_rate } in
+  let ea_checkpoint =
+    Option.map
+      (fun (path, every) -> Emts_ea.checkpoint ~path ~every allocation_codec)
+      checkpoint
+  in
   let ea =
-    Emts_ea.run ~rng ~config:ea_config
-      ~on_generation:(fun stats ->
-        Atomic.set cutoff stats.Emts_ea.worst;
-        if config.adaptive_sigma && stats.Emts_ea.generation >= 1 then begin
-          let success =
-            float_of_int stats.Emts_ea.fresh_survivors
-            /. float_of_int config.mu
-          in
-          let scaled =
-            if success > 0.2 then Atomic.get sigma_scale *. 1.22
-            else Atomic.get sigma_scale /. 1.22
-          in
-          Atomic.set sigma_scale (Float.max 0.1 (Float.min 10. scaled))
-        end)
-      ~seeds:(List.map (fun (s : Seeding.seed) -> s.alloc) seeds)
-      { fitness; mutate; recombine; crossover_rate }
+    let run_fresh () =
+      Emts_ea.run ?stop ?checkpoint:ea_checkpoint ~rng ~config:ea_config
+        ~on_generation
+        ~seeds:(List.map (fun (s : Seeding.seed) -> s.alloc) seeds)
+        problem
+    in
+    match (checkpoint, ea_checkpoint) with
+    | Some (path, _), Some from when resume && Sys.file_exists path -> (
+      match Emts_ea.resume ?stop ~on_generation ~from ~config:ea_config problem with
+      | Ok r -> r
+      | Error msg -> failwith msg)
+    | _ -> run_fresh ()
   in
   let schedule =
     Emts_obs.Trace.span "emts.schedule_best" (fun () ->
@@ -212,6 +236,6 @@ let run_ctx ?rng ~config ~ctx () =
     ea;
   }
 
-let run ?rng ~config ~model ~platform ~graph () =
+let run ?rng ?stop ?checkpoint ?resume ~config ~model ~platform ~graph () =
   let ctx = Common.make_ctx ~model ~platform ~graph in
-  run_ctx ?rng ~config ~ctx ()
+  run_ctx ?rng ?stop ?checkpoint ?resume ~config ~ctx ()

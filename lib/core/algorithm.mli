@@ -77,8 +77,14 @@ type result = {
   ea : Emts_sched.Allocation.t Emts_ea.result;  (** full EA trace *)
 }
 
+val allocation_codec : Emts_sched.Allocation.t Emts_ea.codec
+(** Checkpoint codec for allocation genomes (comma-separated decimal). *)
+
 val run :
   ?rng:Emts_prng.t ->
+  ?stop:(unit -> bool) ->
+  ?checkpoint:string * int ->
+  ?resume:bool ->
   config:config ->
   model:Emts_model.t ->
   platform:Emts_platform.t ->
@@ -89,10 +95,28 @@ val run :
     paper uses one fixed seed for all experiments).  The result's
     makespan never exceeds the best seed's makespan: seeds join the
     initial population and selection is elitist.  Raises
-    [Invalid_argument] on an empty graph. *)
+    [Invalid_argument] on an empty graph.
+
+    Crash safety (all optional):
+    - [stop] is polled at every generation boundary; [true] ends the
+      run gracefully with the generations completed so far.
+    - [checkpoint:(path, every)] snapshots the EA state to [path] after
+      generation 0, every [every] generations, and at loop exit (see
+      {!Emts_ea.checkpoint}).
+    - [resume:true] (requires [checkpoint], else [Invalid_argument])
+      restores [path] and continues — bit-identical to the
+      uninterrupted run under any [domains] / [fitness_cache] /
+      [early_reject] / [adaptive_sigma] setting, because the restored
+      generation history is replayed through the internal adaptive
+      state.  A missing checkpoint file falls back to a fresh run; a
+      corrupt file or config mismatch raises [Failure] with a one-line
+      [file: reason] diagnostic. *)
 
 val run_ctx :
   ?rng:Emts_prng.t ->
+  ?stop:(unit -> bool) ->
+  ?checkpoint:string * int ->
+  ?resume:bool ->
   config:config ->
   ctx:Emts_alloc.Common.ctx ->
   unit ->

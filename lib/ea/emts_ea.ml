@@ -56,6 +56,8 @@ let default_domains () = min 8 (Domain.recommended_domain_count ())
 let m_evaluations = Emts_obs.Metrics.counter "ea.evaluations"
 let m_generations = Emts_obs.Metrics.counter "ea.generations"
 let m_fitness = Emts_obs.Metrics.histogram "ea.fitness"
+let m_checkpoint_writes = Emts_obs.Metrics.counter "ea.checkpoint_writes"
+let m_checkpoint_resumes = Emts_obs.Metrics.counter "ea.checkpoint_resumes"
 
 (* Evaluate all genomes through the persistent worker pool.  Results
    land by index, so the outcome is independent of scheduling; the
@@ -94,73 +96,281 @@ let stats_of ~generation ~evaluations ~born_after population =
     fresh_survivors = !fresh;
   }
 
-let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
-  if seeds = [] then invalid_arg "Emts_ea.run: seeds must be non-empty";
-  Emts_obs.Trace.span "ea.run"
-    ~args:
-      [
-        ("mu", Emts_obs.Trace.Int config.mu);
-        ("lambda", Emts_obs.Trace.Int config.lambda);
-        ("generations", Emts_obs.Trace.Int config.generations);
-        ("domains", Emts_obs.Trace.Int config.domains);
-      ]
-  @@ fun () ->
-  (* One pool for the whole run: worker domains are spawned here once
-     and joined on every exit path (normal return or raising fitness),
-     not re-spawned every generation. *)
-  Emts_pool.with_pool ~domains:config.domains
-  @@ fun pool ->
-  let started = Emts_obs.Clock.now () in
-  let evaluations = ref 0 in
-  let births = ref 0 in
-  let eval_batch genomes =
-    let fits = evaluate_all ~pool problem.fitness genomes in
-    evaluations := !evaluations + Array.length genomes;
-    Emts_obs.Metrics.add m_evaluations (Array.length genomes);
-    if Emts_obs.Metrics.enabled () then
-      Array.iter
-        (fun fit -> if Float.is_finite fit then Emts_obs.Metrics.observe m_fitness fit)
-        fits;
-    Array.map2
-      (fun genome fit ->
-        let birth = !births in
-        incr births;
-        { genome; fit; birth })
-      genomes fits
+(* {1 Checkpointing} *)
+
+type 'g codec = {
+  encode : 'g -> string;
+  decode : string -> ('g, string) Stdlib.result;
+}
+
+type 'g checkpoint = { path : string; every : int; codec : 'g codec }
+
+let checkpoint ~path ~every codec =
+  if every < 1 then invalid_arg "Emts_ea.checkpoint: every must be >= 1";
+  { path; every; codec }
+
+let int_array_codec =
+  {
+    encode =
+      (fun a ->
+        String.concat "," (List.map string_of_int (Array.to_list a)));
+    decode =
+      (fun s ->
+        if s = "" then Ok [||]
+        else
+          try
+            Ok
+              (Array.of_list
+                 (List.map int_of_string (String.split_on_char ',' s)))
+          with Failure _ -> Error "int_array_codec: malformed integer list");
+  }
+
+module J = Emts_resilience.Json
+
+let checkpoint_magic = "emts-ea-checkpoint"
+let checkpoint_version = 1.
+
+let string_of_selection = function Plus -> "plus" | Comma -> "comma"
+
+let json_of_stats s =
+  J.Obj
+    [
+      ("generation", J.Num (float_of_int s.generation));
+      ("best", J.float s.best);
+      ("mean", J.float s.mean);
+      ("worst", J.float s.worst);
+      ("evaluations", J.Num (float_of_int s.evaluations));
+      ("fresh_survivors", J.Num (float_of_int s.fresh_survivors));
+    ]
+
+let json_of_individual codec i =
+  J.Obj
+    [
+      ("genome", J.Str (codec.encode i.genome));
+      ("fit", J.float i.fit);
+      ("birth", J.Num (float_of_int i.birth));
+    ]
+
+let save_checkpoint ck ~config ~generation ~evaluations ~births ~rng
+    ~best_ever ~population ~history =
+  let payload =
+    J.to_string
+      (J.Obj
+         [
+           ("magic", J.Str checkpoint_magic);
+           ("version", J.Num checkpoint_version);
+           ( "config",
+             J.Obj
+               [
+                 ("mu", J.Num (float_of_int config.mu));
+                 ("lambda", J.Num (float_of_int config.lambda));
+                 ("generations", J.Num (float_of_int config.generations));
+                 ("selection", J.Str (string_of_selection config.selection));
+               ] );
+           ("generation", J.Num (float_of_int generation));
+           ("evaluations", J.Num (float_of_int evaluations));
+           ("births", J.Num (float_of_int births));
+           ( "rng",
+             J.List
+               (Array.to_list
+                  (Array.map
+                     (fun w -> J.Str (Printf.sprintf "%016Lx" w))
+                     (Emts_prng.state rng))) );
+           ("best", json_of_individual ck.codec best_ever);
+           ( "population",
+             J.List
+               (Array.to_list
+                  (Array.map (json_of_individual ck.codec) population)) );
+           ("history", J.List (List.map json_of_stats history));
+         ])
   in
-  (* Seed population: best mu of the seeds; pad with the best seed when
-     there are fewer seeds than mu. *)
-  let seed_pop = eval_batch (Array.of_list seeds) in
-  Array.sort compare_individual seed_pop;
-  let population =
-    Array.init config.mu (fun i ->
-        if i < Array.length seed_pop then seed_pop.(i) else seed_pop.(0))
+  Emts_obs.Trace.span "ea.checkpoint"
+    ~args:[ ("generation", Emts_obs.Trace.Int generation) ]
+    (fun () -> Emts_resilience.Checksummed.save ~path:ck.path payload);
+  Emts_obs.Metrics.incr m_checkpoint_writes
+
+(* Everything [resume] needs to continue the run exactly where a
+   checkpoint left it.  [history] is chronological. *)
+type 'g snapshot = {
+  s_generation : int;
+  s_evaluations : int;
+  s_births : int;
+  s_rng : int64 array;
+  s_best : 'g individual;
+  s_population : 'g individual array;
+  s_history : generation_stats list;
+}
+
+let ( let* ) = Result.bind
+
+let field name conv json =
+  match J.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v ->
+    Result.map_error (fun m -> Printf.sprintf "field %S: %s" name m) (conv v)
+
+let individual_of_json codec json =
+  let* genome_s = field "genome" J.to_str json in
+  let* genome =
+    Result.map_error
+      (fun m -> Printf.sprintf "field \"genome\": %s" m)
+      (codec.decode genome_s)
   in
-  (* best-ever tracking, needed under Comma selection where the
-     population may lose the incumbent *)
-  let best_ever = ref population.(0) in
+  let* fit = field "fit" J.to_float json in
+  let* birth = field "birth" J.to_int json in
+  Ok { genome; fit; birth }
+
+let stats_of_json json =
+  let* generation = field "generation" J.to_int json in
+  let* best = field "best" J.to_float json in
+  let* mean = field "mean" J.to_float json in
+  let* worst = field "worst" J.to_float json in
+  let* evaluations = field "evaluations" J.to_int json in
+  let* fresh_survivors = field "fresh_survivors" J.to_int json in
+  Ok { generation; best; mean; worst; evaluations; fresh_survivors }
+
+let word_of_json = function
+  | J.Str s -> (
+    try Ok (Int64.of_string ("0x" ^ s))
+    with Failure _ -> Error (Printf.sprintf "bad rng word %S" s))
+  | _ -> Error "rng word must be a hex string"
+
+let check_config_field name stored expected =
+  if stored = expected then Ok ()
+  else
+    Error
+      (Printf.sprintf "config mismatch: checkpoint has %s = %s, run has %s"
+         name stored expected)
+
+let load_checkpoint ck ~config =
+  let fail msg = Error (Printf.sprintf "%s: %s" ck.path msg) in
+  match Emts_resilience.Checksummed.load ~path:ck.path with
+  | Error e -> Error (Emts_resilience.Error.to_string e)
+  | Ok payload -> (
+    match
+      let* json = J.of_string payload in
+      let* magic = field "magic" J.to_str json in
+      let* () =
+        if magic = checkpoint_magic then Ok ()
+        else Error (Printf.sprintf "not an EA checkpoint (magic %S)" magic)
+      in
+      let* version = field "version" J.to_float json in
+      let* () =
+        if version = checkpoint_version then Ok ()
+        else Error (Printf.sprintf "unsupported version %g" version)
+      in
+      let* cfg = field "config" (fun j -> Ok j) json in
+      let* mu = field "mu" J.to_int cfg in
+      let* () =
+        check_config_field "mu" (string_of_int mu) (string_of_int config.mu)
+      in
+      let* lambda = field "lambda" J.to_int cfg in
+      let* () =
+        check_config_field "lambda" (string_of_int lambda)
+          (string_of_int config.lambda)
+      in
+      let* generations = field "generations" J.to_int cfg in
+      let* () =
+        check_config_field "generations"
+          (string_of_int generations)
+          (string_of_int config.generations)
+      in
+      let* sel = field "selection" J.to_str cfg in
+      let* () =
+        check_config_field "selection" sel
+          (string_of_selection config.selection)
+      in
+      let* s_generation = field "generation" J.to_int json in
+      let* s_evaluations = field "evaluations" J.to_int json in
+      let* s_births = field "births" J.to_int json in
+      let* rng_words = field "rng" J.to_list json in
+      let* s_rng =
+        List.fold_left
+          (fun acc w ->
+            let* acc = acc in
+            let* w = word_of_json w in
+            Ok (w :: acc))
+          (Ok []) rng_words
+        |> Result.map (fun ws -> Array.of_list (List.rev ws))
+      in
+      let* () =
+        if Array.length s_rng = 4 then Ok ()
+        else Error "rng state must have 4 words"
+      in
+      let* s_best = field "best" (individual_of_json ck.codec) json in
+      let* pop = field "population" J.to_list json in
+      let* s_population =
+        List.fold_left
+          (fun acc j ->
+            let* acc = acc in
+            let* i = individual_of_json ck.codec j in
+            Ok (i :: acc))
+          (Ok []) pop
+        |> Result.map (fun is -> Array.of_list (List.rev is))
+      in
+      let* () =
+        if Array.length s_population = config.mu then Ok ()
+        else
+          Error
+            (Printf.sprintf "population has %d individuals, config.mu is %d"
+               (Array.length s_population) config.mu)
+      in
+      let* hist = field "history" J.to_list json in
+      let* s_history =
+        List.fold_left
+          (fun acc j ->
+            let* acc = acc in
+            let* s = stats_of_json j in
+            Ok (s :: acc))
+          (Ok []) hist
+        |> Result.map List.rev
+      in
+      Ok
+        {
+          s_generation;
+          s_evaluations;
+          s_births;
+          s_rng;
+          s_best;
+          s_population;
+          s_history;
+        }
+    with
+    | Ok snap -> Ok snap
+    | Error msg -> fail msg)
+
+(* {1 The engine} *)
+
+(* The generation loop shared by [run] and [resume].  The caller has
+   already built (or restored) the population, best-ever, counters and
+   history through generation [first_generation - 1]; when a checkpoint
+   is configured, the state through that generation is on disk iff
+   [saved_through = first_generation - 1]. *)
+let evolve ~stop ~checkpoint ~rng ~config ~started ~eval_batch ~record
+    ~evaluations ~births ~history ~population ~best_ever ~first_generation
+    ~saved_through problem =
   let consider candidate =
     if compare_individual candidate !best_ever < 0 then best_ever := candidate
   in
-  let history = ref [] in
-  let record ~born_after generation =
-    let s =
-      stats_of ~generation ~evaluations:!evaluations ~born_after population
-    in
-    history := s :: !history;
-    Emts_obs.Progress.report (fun () ->
-        Printf.sprintf "ea generation %d/%d best %.6g evaluations %d"
-          s.generation config.generations s.best s.evaluations);
-    on_generation s
+  let last_saved = ref saved_through in
+  let save u =
+    match checkpoint with
+    | None -> ()
+    | Some ck ->
+      save_checkpoint ck ~config ~generation:u ~evaluations:!evaluations
+        ~births:!births ~rng ~best_ever:!best_ever ~population
+        ~history:(List.rev !history);
+      last_saved := u
   in
-  record ~born_after:0 0;
+  if Option.is_some checkpoint && !last_saved < first_generation - 1 then
+    save (first_generation - 1);
   let out_of_time () =
     match config.time_budget with
     | None -> false
     | Some budget -> Emts_obs.Clock.elapsed ~since:started > budget
   in
-  let u = ref 1 in
-  while !u <= config.generations && not (out_of_time ()) do
+  let u = ref first_generation in
+  while !u <= config.generations && not (out_of_time ()) && not (stop ()) do
     Emts_obs.Trace.span "ea.generation"
       ~args:[ ("generation", Emts_obs.Trace.Int !u) ]
     @@ fun () ->
@@ -198,8 +408,15 @@ let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
     Array.sort compare_individual pool;
     Array.blit pool 0 population 0 config.mu;
     record ~born_after !u;
+    (match checkpoint with
+    | Some ck when !u mod ck.every = 0 -> save !u
+    | _ -> ());
     incr u
   done;
+  (* Final save: a graceful stop, a time-budget expiry, or normal
+     completion between [every] multiples must still be resumable from
+     the exact generation reached. *)
+  if Option.is_some checkpoint && !last_saved < !u - 1 then save (!u - 1);
   {
     best = !best_ever.genome;
     best_fitness = !best_ever.fit;
@@ -207,3 +424,116 @@ let run ?(on_generation = fun _ -> ()) ~rng ~config ~seeds problem =
     evaluations = !evaluations;
     elapsed = Emts_obs.Clock.elapsed ~since:started;
   }
+
+let make_eval_batch ~pool ~evaluations ~births problem genomes =
+  let fits = evaluate_all ~pool problem.fitness genomes in
+  evaluations := !evaluations + Array.length genomes;
+  Emts_obs.Metrics.add m_evaluations (Array.length genomes);
+  if Emts_obs.Metrics.enabled () then
+    Array.iter
+      (fun fit ->
+        if Float.is_finite fit then Emts_obs.Metrics.observe m_fitness fit)
+      fits;
+  Array.map2
+    (fun genome fit ->
+      let birth = !births in
+      incr births;
+      { genome; fit; birth })
+    genomes fits
+
+let make_record ~on_generation ~config ~evaluations ~history ~population
+    ~born_after generation =
+  let s =
+    stats_of ~generation ~evaluations:!evaluations ~born_after population
+  in
+  history := s :: !history;
+  Emts_obs.Progress.report (fun () ->
+      Printf.sprintf "ea generation %d/%d best %.6g evaluations %d"
+        s.generation config.generations s.best s.evaluations);
+  on_generation s
+
+let run ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?checkpoint
+    ~rng ~config ~seeds problem =
+  if seeds = [] then invalid_arg "Emts_ea.run: seeds must be non-empty";
+  Emts_obs.Trace.span "ea.run"
+    ~args:
+      [
+        ("mu", Emts_obs.Trace.Int config.mu);
+        ("lambda", Emts_obs.Trace.Int config.lambda);
+        ("generations", Emts_obs.Trace.Int config.generations);
+        ("domains", Emts_obs.Trace.Int config.domains);
+      ]
+  @@ fun () ->
+  (* One pool for the whole run: worker domains are spawned here once
+     and joined on every exit path (normal return or raising fitness),
+     not re-spawned every generation. *)
+  Emts_pool.with_pool ~domains:config.domains
+  @@ fun pool ->
+  let started = Emts_obs.Clock.now () in
+  let evaluations = ref 0 in
+  let births = ref 0 in
+  let eval_batch = make_eval_batch ~pool ~evaluations ~births problem in
+  (* Seed population: best mu of the seeds; pad with the best seed when
+     there are fewer seeds than mu. *)
+  let seed_pop = eval_batch (Array.of_list seeds) in
+  Array.sort compare_individual seed_pop;
+  let population =
+    Array.init config.mu (fun i ->
+        if i < Array.length seed_pop then seed_pop.(i) else seed_pop.(0))
+  in
+  (* best-ever tracking, needed under Comma selection where the
+     population may lose the incumbent *)
+  let best_ever = ref population.(0) in
+  let history = ref [] in
+  let record =
+    make_record ~on_generation ~config ~evaluations ~history ~population
+  in
+  record ~born_after:0 0;
+  evolve ~stop ~checkpoint ~rng ~config ~started ~eval_batch ~record
+    ~evaluations ~births ~history ~population ~best_ever ~first_generation:1
+    ~saved_through:(-1) problem
+
+let resume ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ~from
+    ~config problem =
+  match load_checkpoint from ~config with
+  | Error _ as e -> e
+  | Ok snap ->
+    Emts_obs.Metrics.incr m_checkpoint_resumes;
+    Ok
+      ( Emts_obs.Trace.span "ea.resume"
+          ~args:
+            [
+              ("generation", Emts_obs.Trace.Int snap.s_generation);
+              ("mu", Emts_obs.Trace.Int config.mu);
+              ("lambda", Emts_obs.Trace.Int config.lambda);
+              ("domains", Emts_obs.Trace.Int config.domains);
+            ]
+      @@ fun () ->
+        Emts_pool.with_pool ~domains:config.domains
+        @@ fun pool ->
+        let started = Emts_obs.Clock.now () in
+        let evaluations = ref snap.s_evaluations in
+        let births = ref snap.s_births in
+        let eval_batch = make_eval_batch ~pool ~evaluations ~births problem in
+        let rng = Emts_prng.of_state snap.s_rng in
+        let population = snap.s_population in
+        let best_ever = ref snap.s_best in
+        let history = ref [] in
+        let record =
+          make_record ~on_generation ~config ~evaluations ~history ~population
+        in
+        (* Replay the restored history through [on_generation] in
+           chronological order: callers derive state from the stream of
+           generation stats (fitness cutoffs, 1/5-rule step sizes), and
+           replaying rebuilds that state exactly as the uninterrupted
+           run built it — this is what makes resumption bit-identical
+           even under adaptive operators. *)
+        List.iter
+          (fun s ->
+            history := s :: !history;
+            on_generation s)
+          snap.s_history;
+        evolve ~stop ~checkpoint:(Some from) ~rng ~config ~started ~eval_batch
+          ~record ~evaluations ~births ~history ~population ~best_ever
+          ~first_generation:(snap.s_generation + 1)
+          ~saved_through:snap.s_generation problem )

@@ -93,8 +93,48 @@ type 'g result = {
           skew it *)
 }
 
+(** {1 Checkpointing}
+
+    A checkpoint is a single checksummed JSON line written atomically
+    ({!Emts_resilience.Checksummed}) after a generation completes: it
+    snapshots the population (genomes, fitnesses, birth indices), the
+    best individual ever seen, the cumulative evaluation and birth
+    counters, the chronological history, the full 256-bit PRNG state,
+    and an echo of the run configuration.  {!resume} restores all of
+    it and continues the loop; because the PRNG state is captured at a
+    generation boundary and the restored history is replayed through
+    [on_generation], the resumed run is {e bit-identical} to the
+    uninterrupted one — same [best], [best_fitness], [history] and
+    [evaluations] — for any interruption point and any [domains]
+    setting. *)
+
+type 'g codec = {
+  encode : 'g -> string;
+      (** must produce a newline-free string; it is embedded in the
+          JSON checkpoint *)
+  decode : string -> ('g, string) Stdlib.result;
+}
+(** Genome serialisation for checkpoints.  [decode (encode g)] must
+    reconstruct [g] exactly (the population is re-used for further
+    evolution, so a lossy codec breaks bit-identical resumption). *)
+
+val int_array_codec : int array codec
+(** Codec for [int array] genomes (EMTS allocation vectors):
+    comma-separated decimal. *)
+
+type 'g checkpoint
+(** Where and how often to snapshot. *)
+
+val checkpoint : path:string -> every:int -> 'g codec -> 'g checkpoint
+(** [checkpoint ~path ~every codec] snapshots to [path] after the seed
+    ranking (generation 0), after every [every]-th generation, and when
+    the loop exits for any reason (completion, time budget, [?stop]).
+    Raises [Invalid_argument] if [every < 1]. *)
+
 val run :
   ?on_generation:(generation_stats -> unit) ->
+  ?stop:(unit -> bool) ->
+  ?checkpoint:'g checkpoint ->
   rng:Emts_prng.t ->
   config:config ->
   seeds:'g list ->
@@ -107,7 +147,34 @@ val run :
     evaluate, and select the best [mu] of parents ∪ offspring.
     Survivor ranking prefers, at equal fitness, the longest-lived
     individual (stable elitism).  [on_generation] observes every entry
-    appended to [history]. *)
+    appended to [history].
+
+    [stop] is polled at each generation boundary (default: never); when
+    it returns [true] the run ends gracefully — a final checkpoint is
+    written if one is configured, and the result covers the generations
+    actually completed.  Pass {!Emts_resilience.Shutdown.requested} to
+    make a standalone run respond to Ctrl-C. *)
+
+val resume :
+  ?on_generation:(generation_stats -> unit) ->
+  ?stop:(unit -> bool) ->
+  from:'g checkpoint ->
+  config:config ->
+  'g problem ->
+  ('g result, string) Stdlib.result
+(** [resume ~from ~config problem] restores the snapshot at [from]'s
+    path and continues until [config.generations].  [config] must agree
+    with the checkpointed run ([mu], [lambda], [generations],
+    [selection] are validated; [domains] and [time_budget] may differ
+    freely — neither affects the result).  The restored history is
+    replayed through [on_generation] (chronologically, before any new
+    generation runs) so callers that derive state from the stats stream
+    rebuild it exactly.  Checkpointing continues with [from]'s cadence.
+
+    [Error] with a one-line [file: reason] diagnostic on a missing or
+    corrupt checkpoint, a config mismatch, or a genome that fails to
+    decode; the checkpoint file is never modified on error.  [elapsed]
+    in the result counts only the resumed portion of the run. *)
 
 val default_domains : unit -> int
 (** Recommended worker count: [Domain.recommended_domain_count],

@@ -2,6 +2,7 @@
     see DESIGN.md for the per-experiment index. *)
 
 module Campaign = Campaign
+module Journal = Journal
 module Relative = Relative
 module Fig1 = Fig1
 module Fig3 = Fig3
@@ -18,12 +19,20 @@ module Walltime = Walltime
     [tune] post-processes the EMTS configuration before each campaign —
     the hook the CLIs use for [--domains] and [--fitness-cache].  It
     must stay outcome-preserving (both of those flags are) for the
-    rendered figures to match the paper. *)
+    rendered figures to match the paper.
+
+    [journal] is the crash-safety hook: each driver scopes the shared
+    {!Journal.t} per campaign (["fig4"], ["fig5-top"], ["fig5-bottom"])
+    so one journal file can carry a whole [all] run.  [classes]
+    restricts the campaign to a subset of PTG classes (the figures use
+    all four; the subset exists for quick runs and the crash-resume
+    tests). *)
 module Figures = struct
   (** Figure 4: Model 1, heuristics vs EMTS5. *)
-  let fig4 ?progress ?(tune = Fun.id) ~rng ~counts () =
+  let fig4 ?progress ?journal ?classes ?(tune = Fun.id) ~rng ~counts () =
+    let journal = Option.map (Journal.scope ~label:"fig4") journal in
     let groups =
-      Relative.run ?progress ~rng ~model:Emts_model.amdahl
+      Relative.run ?progress ?journal ?classes ~rng ~model:Emts_model.amdahl
         ~config:(tune Emts.Algorithm.emts5) ~counts ()
     in
     ( groups,
@@ -34,13 +43,18 @@ module Figures = struct
         groups )
 
   (** Figure 5: Model 2, heuristics vs EMTS5 (top) and EMTS10 (bottom). *)
-  let fig5 ?progress ?(tune = Fun.id) ~rng ~counts () =
+  let fig5 ?progress ?journal ?classes ?(tune = Fun.id) ~rng ~counts () =
+    let scoped label =
+      Option.map (fun j -> Journal.scope j ~label) journal
+    in
     let top =
-      Relative.run ?progress ~rng ~model:Emts_model.synthetic
+      Relative.run ?progress ?journal:(scoped "fig5-top") ?classes ~rng
+        ~model:Emts_model.synthetic
         ~config:(tune Emts.Algorithm.emts5) ~counts ()
     in
     let bottom =
-      Relative.run ?progress ~rng ~model:Emts_model.synthetic
+      Relative.run ?progress ?journal:(scoped "fig5-bottom") ?classes ~rng
+        ~model:Emts_model.synthetic
         ~config:(tune Emts.Algorithm.emts10) ~counts ()
     in
     ( (top, bottom),

@@ -6,7 +6,7 @@ type comparison = {
   emts_makespan : float;
 }
 
-let compare_schedules ?(platform = Emts_platform.grelon)
+let compare_schedules ?stop ?(platform = Emts_platform.grelon)
     ?(model = Emts_model.synthetic) ?(config = Emts.Algorithm.emts10) rng =
   let params =
     { Emts_daggen.Random_dag.n = 100; width = 0.5; regularity = 0.2;
@@ -18,7 +18,7 @@ let compare_schedules ?(platform = Emts_platform.grelon)
   let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
   let mcpa_alloc = Emts_alloc.Mcpa.allocate ctx in
   let mcpa_schedule = Emts.Algorithm.schedule_allocation ~ctx mcpa_alloc in
-  let result = Emts.Algorithm.run_ctx ~rng ~config ~ctx () in
+  let result = Emts.Algorithm.run_ctx ?stop ~rng ~config ~ctx () in
   {
     graph;
     mcpa_schedule;

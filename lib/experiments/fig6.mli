@@ -13,12 +13,15 @@ type comparison = {
 }
 
 val compare_schedules :
+  ?stop:(unit -> bool) ->
   ?platform:Emts_platform.t ->
   ?model:Emts_model.t ->
   ?config:Emts.Algorithm.config ->
   Emts_prng.t ->
   comparison
-(** Defaults: Grelon, Model 2, EMTS10. *)
+(** Defaults: Grelon, Model 2, EMTS10.  [stop] is polled at EA
+    generation boundaries (see {!Emts.Algorithm.run}); on a graceful
+    stop the comparison shows EMTS's best-so-far schedule. *)
 
 val render : ?width:int -> comparison -> string
 (** The two Gantt charts over a common time scale plus the makespan

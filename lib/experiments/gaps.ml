@@ -26,6 +26,7 @@ let run ?(progress = fun _ -> ())
           in
           List.iter
             (fun graph ->
+              Emts_resilience.Shutdown.check ();
               let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
               let lb = Emts_alloc.Bounds.lower_bound ctx in
               let record name makespan =

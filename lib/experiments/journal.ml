@@ -1,0 +1,136 @@
+module R = Emts_resilience
+module J = R.Json
+
+type entry = {
+  seed_fp : int64;
+  makespan : float;
+  elapsed : float;
+  heuristics : (string * float) list;
+}
+
+type t = {
+  cells : (string, entry) Hashtbl.t;
+  writer : R.Jsonl.writer;
+  mutable reused : int;
+  mutable recorded : int;
+  mutable closed : bool;
+}
+
+type scope = { journal : t; label : string }
+
+let m_reused = Emts_obs.Metrics.counter "journal.cells_reused"
+let m_recorded = Emts_obs.Metrics.counter "journal.cells_recorded"
+
+let json_of_entry ~key e =
+  J.Obj
+    [
+      ("key", J.Str key);
+      ("seed_fp", J.Str (Printf.sprintf "%016Lx" e.seed_fp));
+      ("makespan", J.float e.makespan);
+      ("elapsed", J.float e.elapsed);
+      ( "heuristics",
+        J.Obj (List.map (fun (name, m) -> (name, J.float m)) e.heuristics) );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv json =
+  match J.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v ->
+    Result.map_error (fun m -> Printf.sprintf "field %S: %s" name m) (conv v)
+
+let entry_of_json json =
+  let* key = field "key" J.to_str json in
+  let* fp_s = field "seed_fp" J.to_str json in
+  let* seed_fp =
+    try Ok (Int64.of_string ("0x" ^ fp_s))
+    with Failure _ -> Error (Printf.sprintf "bad seed_fp %S" fp_s)
+  in
+  let* makespan = field "makespan" J.to_float json in
+  let* elapsed = field "elapsed" J.to_float json in
+  let* heuristics =
+    field "heuristics"
+      (fun j ->
+        let* fields = J.to_obj j in
+        List.fold_left
+          (fun acc (name, v) ->
+            let* acc = acc in
+            let* m = J.to_float v in
+            Ok ((name, m) :: acc))
+          (Ok []) fields
+        |> Result.map List.rev)
+      json
+  in
+  Ok (key, { seed_fp; makespan; elapsed; heuristics })
+
+let open_ ~path ~resume =
+  let cells = Hashtbl.create 256 in
+  (try
+     if not resume then (if Sys.file_exists path then R.Jsonl.rewrite path [])
+     else if Sys.file_exists path then begin
+       match R.Jsonl.load path with
+       | Error e -> failwith (R.Error.to_string e)
+       | Ok { R.Jsonl.records; dropped } ->
+         List.iteri
+           (fun i payload ->
+             match Result.bind (J.of_string payload) entry_of_json with
+             | Ok (key, entry) -> Hashtbl.replace cells key entry
+             | Error msg ->
+               failwith
+                 (Printf.sprintf "%s: line %d: %s" path (i + 1) msg))
+           records;
+         if dropped > 0 then begin
+           (* A torn tail would corrupt every later append's framing
+              context for external readers; rewrite the clean prefix
+              before appending anything new. *)
+           Printf.eprintf
+             "journal %s: dropped %d torn trailing line(s) from a previous \
+              crash\n%!"
+             path dropped;
+           R.Jsonl.rewrite path records
+         end
+     end
+   with Sys_error msg -> failwith (Printf.sprintf "%s: %s" path msg));
+  let writer =
+    try R.Jsonl.open_append path
+    with Sys_error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  in
+  { cells; writer; reused = 0; recorded = 0; closed = false }
+
+let scope journal ~label = { journal; label }
+
+let full_key scope key = scope.label ^ "/" ^ key
+
+let find scope ~key ~seed_fp =
+  let full = full_key scope key in
+  match Hashtbl.find_opt scope.journal.cells full with
+  | None -> None
+  | Some entry ->
+    if not (Int64.equal entry.seed_fp seed_fp) then
+      failwith
+        (Printf.sprintf
+           "journal: cell %s was recorded under a different campaign (stream \
+            fingerprint %016Lx, this run derives %016Lx) — resume with the \
+            same --seed, --scale and --classes"
+           full entry.seed_fp seed_fp);
+    scope.journal.reused <- scope.journal.reused + 1;
+    Emts_obs.Metrics.incr m_reused;
+    Some entry
+
+let record scope ~key entry =
+  let key = full_key scope key in
+  R.Jsonl.append scope.journal.writer
+    (J.to_string (json_of_entry ~key entry));
+  Hashtbl.replace scope.journal.cells key entry;
+  scope.journal.recorded <- scope.journal.recorded + 1;
+  Emts_obs.Metrics.incr m_recorded
+
+let reused t = t.reused
+let recorded t = t.recorded
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    R.Jsonl.close t.writer
+  end

@@ -1,0 +1,64 @@
+(** Campaign run journal: one durable record per completed
+    (instance × platform × algorithm-config) cell, so a multi-hour
+    campaign killed at any point resumes by replaying finished cells
+    from disk instead of recomputing them.
+
+    The journal is a checksummed JSONL file ({!Emts_resilience.Jsonl}):
+    every append is fsynced before the campaign moves on, and a torn
+    trailing line — the signature of a crash mid-append — is dropped on
+    load.  Each record carries the cell's key (e.g.
+    ["fig4/fft/chti/17"]) and a fingerprint of the per-instance PRNG
+    sub-stream; on resume the campaign re-derives its streams from the
+    master seed and refuses to reuse a record whose fingerprint does
+    not match, which catches a resume under a different [--seed],
+    [--scale] or [--classes]. *)
+
+type t
+(** An open journal (reader state + append writer). *)
+
+type entry = {
+  seed_fp : int64;
+      (** fingerprint of the cell's split PRNG stream (first state
+          word); must match on reuse *)
+  makespan : float;    (** the EMTS makespan for the cell *)
+  elapsed : float;     (** EMTS wall-clock for the cell, seconds *)
+  heuristics : (string * float) list;
+      (** every seed heuristic's makespan, so ratio columns can be
+          re-aggregated without re-running anything *)
+}
+
+val open_ : path:string -> resume:bool -> t
+(** [open_ ~path ~resume] opens [path] for the campaign.  With
+    [resume = false] any existing content is discarded (atomically) and
+    the campaign starts clean.  With [resume = true] existing records
+    are loaded for {!find}; a missing file is an empty journal, and a
+    corrupt tail is dropped (with a note to stderr) before appends
+    continue.  Raises [Failure] with a [file: reason] diagnostic on an
+    unreadable or unwritable path. *)
+
+type scope
+(** A key prefix, e.g. ["fig4"] — lets one journal file serve the
+    multiple campaigns of a composite run ([fig5-top] / [fig5-bottom],
+    [all]). *)
+
+val scope : t -> label:string -> scope
+
+val find : scope -> key:string -> seed_fp:int64 -> entry option
+(** Look up a completed cell ([key] is relative to the scope).  The
+    caller passes the fingerprint of the PRNG sub-stream it derived for
+    the cell; a record whose stored fingerprint differs means the
+    journal belongs to a different campaign ([--seed], [--scale] or
+    [--classes] changed) and raises [Failure] rather than silently
+    mixing results.  {!reused} counts only verified hits. *)
+
+val record : scope -> key:string -> entry -> unit
+(** Append a completed cell; durable (fsynced) once it returns. *)
+
+val reused : t -> int
+(** Cells served from disk by {!find} so far. *)
+
+val recorded : t -> int
+(** Cells appended by {!record} so far. *)
+
+val close : t -> unit
+(** Close the append channel (idempotent). *)

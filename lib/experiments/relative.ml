@@ -22,7 +22,7 @@ let seed_makespan (result : Emts.Algorithm.result) name =
       (Printf.sprintf
          "Relative.run: %S is not among the config's seed heuristics" name)
 
-let run ?(progress = fun _ -> ()) ?(versus = default_versus)
+let run ?(progress = fun _ -> ()) ?journal ?(versus = default_versus)
     ?(platforms = [ Emts_platform.chti; Emts_platform.grelon ])
     ?(classes = Campaign.all_classes) ~rng ~model ~config ~counts () =
   if versus = [] then invalid_arg "Relative.run: versus must be non-empty";
@@ -36,27 +36,75 @@ let run ?(progress = fun _ -> ()) ?(versus = default_versus)
             List.map (fun v -> (v, Emts_stats.Acc.create ())) versus
           in
           let runtime_acc = Emts_stats.Acc.create () in
-          List.iter
-            (fun graph ->
+          List.iteri
+            (fun index graph ->
+              (* Cell boundary: an interrupt here loses nothing — every
+                 completed cell is already fsynced in the journal. *)
+              Emts_resilience.Shutdown.check ();
+              (* Split unconditionally so the master stream's position —
+                 and with it every later instance's sub-stream — is the
+                 same whether this cell runs or is replayed from disk. *)
               let run_rng = Emts_prng.split rng in
-              let result =
-                Emts_obs.Trace.span "experiment.instance"
-                  ~args:
-                    [
-                      ("class", Emts_obs.Trace.Str (Campaign.class_name cls));
-                      ( "platform",
-                        Emts_obs.Trace.Str platform.Emts_platform.name );
-                    ]
-                  (fun () ->
-                    Emts.Algorithm.run ~rng:run_rng ~config ~model ~platform
-                      ~graph ())
+              let seed_fp = (Emts_prng.state run_rng).(0) in
+              let key =
+                Printf.sprintf "%s/%s/%d" (Campaign.class_name cls)
+                  platform.Emts_platform.name index
               in
-              Emts_stats.Acc.add runtime_acc result.ea.Emts_ea.elapsed;
-              List.iter
-                (fun (name, acc) ->
-                  Emts_stats.Acc.add acc
-                    (seed_makespan result name /. result.makespan))
-                ratio_accs)
+              let replay =
+                match journal with
+                | None -> None
+                | Some scope -> Journal.find scope ~key ~seed_fp
+              in
+              match replay with
+              | Some e ->
+                Emts_stats.Acc.add runtime_acc e.elapsed;
+                List.iter
+                  (fun (name, acc) ->
+                    match List.assoc_opt name e.heuristics with
+                    | Some m -> Emts_stats.Acc.add acc (m /. e.makespan)
+                    | None ->
+                      failwith
+                        (Printf.sprintf
+                           "journal: cell %s lacks heuristic %S — it was \
+                            recorded under a different seeding configuration"
+                           key name))
+                  ratio_accs
+              | None ->
+                let result =
+                  Emts_obs.Trace.span "experiment.instance"
+                    ~args:
+                      [
+                        ("class", Emts_obs.Trace.Str (Campaign.class_name cls));
+                        ( "platform",
+                          Emts_obs.Trace.Str platform.Emts_platform.name );
+                      ]
+                    (fun () ->
+                      Emts.Algorithm.run ~rng:run_rng ~config ~model ~platform
+                        ~graph ())
+                in
+                (match journal with
+                | None -> ()
+                | Some scope ->
+                  Journal.record scope ~key
+                    {
+                      Journal.seed_fp;
+                      makespan = result.makespan;
+                      elapsed = result.ea.Emts_ea.elapsed;
+                      heuristics =
+                        List.map
+                          (fun (s : Emts.Seeding.seed) ->
+                            (s.heuristic, s.makespan))
+                          result.seeds;
+                    };
+                  (* Keep the trace consistent with the journal: both
+                     reflect exactly the completed cells. *)
+                  Emts_obs.Trace.flush ());
+                Emts_stats.Acc.add runtime_acc result.ea.Emts_ea.elapsed;
+                List.iter
+                  (fun (name, acc) ->
+                    Emts_stats.Acc.add acc
+                      (seed_makespan result name /. result.makespan))
+                  ratio_accs)
             graphs;
           let group =
             {

@@ -22,6 +22,7 @@ type group = {
 
 val run :
   ?progress:(string -> unit) ->
+  ?journal:Journal.scope ->
   ?versus:string list ->
   ?platforms:Emts_platform.t list ->
   ?classes:Campaign.ptg_class list ->
@@ -36,7 +37,20 @@ val run :
     [platforms] to Chti and Grelon, [classes] to all four.  Instance
     PTGs are drawn from [rng]; each (instance, platform) EMTS run uses
     a split sub-stream, so results do not depend on evaluation order.
-    [progress] receives one line per (class, platform). *)
+    [progress] receives one line per (class, platform).
+
+    With [journal], every completed cell (one EMTS run) is appended
+    durably under the key [class/platform/index], and cells already in
+    the journal are replayed from disk instead of recomputed — the
+    aggregated groups are identical either way because sub-stream
+    derivation never depends on which cells actually run.  A journaled
+    cell recorded under a different master seed or instance set is
+    detected by its stream fingerprint and raises [Failure].
+
+    Whether journaled or not, {!Emts_resilience.Shutdown} is honoured
+    at every cell boundary: once a stop is requested the run raises
+    {!Emts_resilience.Interrupted} before starting the next cell (all
+    completed cells are already on disk when it escapes). *)
 
 val render : title:string -> group list -> string
 (** Text table in the layout of the paper's figures: one block per PTG

@@ -15,6 +15,7 @@ let run ?(progress = fun _ -> ()) ?(per_combo = 1)
     List.iter
       (fun params ->
         for _ = 1 to per_combo do
+          Emts_resilience.Shutdown.check ();
           let graph =
             Emts_daggen.Costs.assign rng
               (Emts_daggen.Random_dag.generate rng params)

@@ -17,6 +17,7 @@ let run ?(jobs = 30) ?(cluster_procs = 120)
   let specs =
     let clock = ref 0. in
     List.init jobs (fun id ->
+        Emts_resilience.Shutdown.check ();
         clock := !clock +. Emts_prng.exponential rng ~lambda:(1. /. 30.);
         let n = Emts_prng.choose rng [| 20; 50; 100 |] in
         let procs =

@@ -174,10 +174,7 @@ module Empirical = struct
     | exception Sys_error msg -> Error msg
 
   let save table path =
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (to_string table))
+    Emts_resilience.write_string ~path (to_string table)
 end
 
 let with_penalty ~base ~penalty ~name =

@@ -114,14 +114,23 @@ module Trace = struct
   let start ~path =
     stop ();
     let oc = open_out path in
-    Mutex.lock lock;
-    sink :=
-      Some { oc; t0_ns = Clock.now_ns (); named_tids = Hashtbl.create 8 };
-    Atomic.set active_flag true;
-    Mutex.unlock lock;
+    (try
+       Mutex.lock lock;
+       sink :=
+         Some { oc; t0_ns = Clock.now_ns (); named_tids = Hashtbl.create 8 };
+       Atomic.set active_flag true;
+       Mutex.unlock lock
+     with e ->
+       close_out_noerr oc;
+       raise e);
     emit ~tid:(self_tid ()) ~ph:"M" ~name:"process_name" ~extra:""
       ~args:[ ("name", Str "emts") ]
       ()
+
+  let flush () =
+    Mutex.lock lock;
+    (match !sink with None -> () | Some s -> Stdlib.flush s.oc);
+    Mutex.unlock lock
 
   let () = at_exit stop
 

@@ -44,6 +44,11 @@ module Trace : sig
   val stop : unit -> unit
   (** Flush and close the sink; no-op when inactive. *)
 
+  val flush : unit -> unit
+  (** Push buffered events to the OS; no-op when inactive.  Campaign
+      drivers call this at cell boundaries so the trace on disk stays
+      consistent with the run journal after a crash. *)
+
   val active : unit -> bool
 
   val span : ?tid:int -> ?args:(string * arg) list -> string ->

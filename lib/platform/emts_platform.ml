@@ -59,10 +59,7 @@ let of_string text =
     with Invalid_argument m -> Error m)
   | None, _, _, _ -> Error "missing key: need name, processors, speed_gflops"
 
-let save t path =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (to_string t))
+let save t path = Emts_resilience.write_string ~path (to_string t)
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with

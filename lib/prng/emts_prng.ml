@@ -26,6 +26,15 @@ let create ?(seed = default_seed) () = of_seed64 (Int64.of_int seed)
 
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_state a =
+  if Array.length a <> 4 then
+    invalid_arg "Emts_prng.of_state: state must have exactly 4 words";
+  if Array.for_all (fun w -> Int64.equal w 0L) a then
+    invalid_arg "Emts_prng.of_state: all-zero state is invalid for xoshiro256**";
+  { s0 = a.(0); s1 = a.(1); s2 = a.(2); s3 = a.(3) }
+
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 

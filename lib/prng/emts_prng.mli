@@ -23,6 +23,17 @@ val copy : t -> t
 (** [copy t] is an independent generator with the same current state:
     it will produce the same future stream as [t] without affecting it. *)
 
+val state : t -> int64 array
+(** [state t] is the generator's full 256-bit state as 4 words, for
+    checkpointing: [of_state (state t)] produces a generator whose
+    future stream is identical to [t]'s.  The array is a snapshot;
+    mutating it does not affect [t]. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state}.  Raises [Invalid_argument]
+    unless given exactly 4 words that are not all zero (the all-zero
+    state is a fixed point of the generator). *)
+
 val split : t -> t
 (** [split t] derives a statistically independent generator from [t],
     advancing [t].  Use one split stream per experimental unit (one per

@@ -35,7 +35,4 @@ let to_dot ?(graph_name = "ptg") ?(label = default_label)
   Buffer.contents buf
 
 let save ?graph_name g path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_dot ?graph_name g))
+  Emts_resilience.write_string ~path (to_dot ?graph_name g)

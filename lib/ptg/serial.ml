@@ -22,8 +22,12 @@ type parse_state = {
   mutable rev_edges : (int * int) list;
 }
 
+(* Parse errors carry the 1-based line they occurred on ([None] for
+   whole-file problems such as a missing header), so [load] can render
+   a [file: line N: msg] diagnostic while [of_string] keeps its plain
+   string interface. *)
 let parse_line st lineno line =
-  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt in
+  let fail fmt = Printf.ksprintf (fun m -> Error (Some lineno, m)) fmt in
   let fields = String.split_on_char ' ' line |> List.filter (( <> ) "") in
   match fields with
   | [] -> Ok ()
@@ -65,7 +69,7 @@ let parse_line st lineno line =
     | _ -> fail "malformed edge record")
   | keyword :: _ -> fail "unknown record %S" keyword
 
-let of_string text =
+let parse text =
   let st = { header_seen = false; rev_tasks = []; n = 0; rev_edges = [] } in
   let lines = String.split_on_char '\n' text in
   let rec run lineno = function
@@ -81,25 +85,42 @@ let of_string text =
   match run 1 lines with
   | Error _ as e -> e
   | Ok () ->
-    if not st.header_seen then Error "missing 'ptg v1' header"
+    if not st.header_seen then Error (None, "missing 'ptg v1' header")
     else begin
       let tasks = Array.of_list (List.rev st.rev_tasks) in
       match Graph.of_tasks_and_edges tasks (List.rev st.rev_edges) with
       | g -> Ok g
       | exception Graph.Cycle vs ->
         Error
-          (Printf.sprintf "graph contains a cycle through nodes [%s]"
-             (String.concat "; " (List.map string_of_int vs)))
-      | exception Invalid_argument m -> Error m
+          ( None,
+            Printf.sprintf "graph contains a cycle through nodes [%s]"
+              (String.concat "; " (List.map string_of_int vs)) )
+      | exception Invalid_argument m -> Error (None, m)
     end
 
-let save g path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string g))
+let of_string text =
+  Result.map_error
+    (function
+      | Some line, msg -> Printf.sprintf "line %d: %s" line msg
+      | None, msg -> msg)
+    (parse text)
+
+let save g path = Emts_resilience.write_string ~path (to_string g)
 
 let load path =
   match In_channel.with_open_text path In_channel.input_all with
-  | text -> of_string text
-  | exception Sys_error msg -> Error msg
+  | text ->
+    Result.map_error
+      (fun (line, msg) -> Emts_resilience.Error.make ?line ~file:path msg)
+      (parse text)
+  | exception Sys_error msg ->
+    (* [Sys_error] messages usually lead with the path already; strip
+       it so the rendered diagnostic names the file exactly once. *)
+    let msg =
+      let prefix = path ^ ": " in
+      let plen = String.length prefix in
+      if String.length msg >= plen && String.sub msg 0 plen = prefix then
+        String.sub msg plen (String.length msg - plen)
+      else msg
+    in
+    Error (Emts_resilience.Error.make ~file:path msg)

@@ -13,6 +13,17 @@
     round-trip is exact. *)
 
 val to_string : Graph.t -> string
+
 val of_string : string -> (Graph.t, string) result
+(** Parse errors are one-line messages, [line N: ...] when a specific
+    line is at fault. *)
+
 val save : Graph.t -> string -> unit
-val load : string -> (Graph.t, string) result
+(** Atomic and durable ({!Emts_resilience.write_file}): readers never
+    see a partially written file, and a mid-write crash leaves any
+    previous content intact. *)
+
+val load : string -> (Graph.t, Emts_resilience.Error.t) result
+(** Read and parse a [.ptg] file.  Every failure — missing file, I/O
+    error, malformed content — is an {!Emts_resilience.Error.t} naming
+    the file (and line, when one is at fault); no exception escapes. *)

@@ -152,7 +152,4 @@ let render_pair ?(width_px = 450) ?(row_px = 6) ~left:(lname, ls)
   envelope ~total_w:(w_l +. w_r) ~total_h:h (body_l ^ body_r)
 
 let save ?width_px ?row_px ?title schedule path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (render ?width_px ?row_px ?title schedule))
+  Emts_resilience.write_string ~path (render ?width_px ?row_px ?title schedule)

@@ -1,0 +1,72 @@
+A journaled campaign records each completed (instance x platform) cell
+durably; everything is seeded, so this output is reproducible.
+
+  $ emts-experiments fig4 --classes strassen --scale 0.02 --seed 7 --quiet \
+  >   --journal j.jsonl --csv first.csv > fig4-first.txt
+  wrote first.csv
+  journal j.jsonl: 0 cell(s) reused, 4 recorded
+
+Re-running with --resume serves every cell from the journal without
+recomputing anything, and reproduces the figure and the deterministic
+CSV columns exactly (column 8, emts_runtime_mean, is wall-clock):
+
+  $ emts-experiments fig4 --classes strassen --scale 0.02 --seed 7 --quiet \
+  >   --journal j.jsonl --resume --csv second.csv > fig4-second.txt
+  wrote second.csv
+  journal j.jsonl: 4 cell(s) reused, 0 recorded
+  $ diff fig4-first.txt fig4-second.txt
+  $ cut -d, -f1-7 first.csv > first.det
+  $ cut -d, -f1-7 second.csv > second.det
+  $ diff first.det second.det
+
+A torn trailing line — the signature of a crash mid-append — is dropped
+on load and only the lost cell is recomputed:
+
+  $ head -c -60 j.jsonl > torn.jsonl
+  $ emts-experiments fig4 --classes strassen --scale 0.02 --seed 7 --quiet \
+  >   --journal torn.jsonl --resume --csv third.csv > fig4-third.txt
+  journal torn.jsonl: dropped 1 torn trailing line(s) from a previous crash
+  wrote third.csv
+  journal torn.jsonl: 3 cell(s) reused, 1 recorded
+  $ cut -d, -f1-7 third.csv > third.det
+  $ diff first.det third.det
+
+Resuming under a different seed derives different per-cell PRNG
+sub-streams; the recorded fingerprints catch it instead of silently
+mixing incompatible results:
+
+  $ emts-experiments fig4 --classes strassen --scale 0.02 --seed 8 --quiet \
+  >   --journal j.jsonl --resume > /dev/null
+  journal j.jsonl: 0 cell(s) reused, 0 recorded
+  emts-experiments: journal: cell fig4/Strassen/chti/0 was recorded under a different campaign (stream fingerprint 10819648e9f61e30, this run derives 5ddb99768b8a793d) — resume with the same --seed, --scale and --classes
+  [124]
+  $ emts-experiments fig4 --resume
+  emts-experiments: --resume requires --journal FILE
+  [124]
+
+The EMTS optimiser itself checkpoints and resumes bit-identically: a
+checkpointed run and a resume from its final snapshot print exactly the
+same schedule as a plain run.
+
+  $ emts-gen fft --points 4 -o fft.ptg
+  wrote fft.ptg (15 tasks, 22 edges)
+  $ emts-sched fft.ptg --platform chti --model model2 --algorithm emts5 \
+  >   --seed 11 > plain.out
+  $ emts-sched fft.ptg --platform chti --model model2 --algorithm emts5 \
+  >   --seed 11 --checkpoint ck.json > checkpointed.out
+  $ cmp plain.out checkpointed.out
+  $ emts-sched fft.ptg --platform chti --model model2 --algorithm emts5 \
+  >   --seed 11 --checkpoint ck.json --resume > resumed.out
+  $ cmp plain.out resumed.out
+
+The flags validate cleanly:
+
+  $ emts-sched fft.ptg --algorithm emts5 --resume
+  emts-sched: --resume requires --checkpoint FILE
+  [124]
+  $ emts-sched fft.ptg --algorithm mcpa --checkpoint ck2.json
+  emts-sched: --checkpoint/--resume apply to EMTS algorithms only
+  [124]
+  $ emts-sched fft.ptg --algorithm emts5 --checkpoint ck.json --checkpoint-every 0
+  emts-sched: checkpoint-every must be >= 1
+  [124]

@@ -236,6 +236,130 @@ let test_comma_population_can_worsen () =
         (r.EA.best_fitness <= s.EA.best +. 1e-12))
     r.EA.history
 
+(* Lossless float codec for checkpoint tests: %h hex floats
+   round-trip every finite double exactly. *)
+let float_codec =
+  {
+    EA.encode = (fun x -> Printf.sprintf "%h" x);
+    decode =
+      (fun s ->
+        match float_of_string_opt s with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "not a float: %S" s));
+  }
+
+let with_ckpt_file f =
+  let path = Filename.temp_file "emts_ea" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_checkpoint_resume_bit_identical () =
+  (* Interrupt at generation k (stop polled at generation boundaries),
+     resume from the checkpoint, and demand the exact trajectory of an
+     uninterrupted run: same best genome, fitness, history and
+     evaluation count. *)
+  let generations = 12 in
+  let c = config ~mu:4 ~lambda:12 ~generations () in
+  let reference = run ~seed:11 ~config:c () in
+  List.iter
+    (fun k ->
+      with_ckpt_file @@ fun path ->
+      let ck = EA.checkpoint ~path ~every:1 float_codec in
+      let completed = ref (-1) in
+      let partial =
+        EA.run
+          ~on_generation:(fun s -> completed := s.EA.generation)
+          ~stop:(fun () -> !completed >= k)
+          ~checkpoint:ck
+          ~rng:(Emts_prng.create ~seed:11 ())
+          ~config:c ~seeds:[ 100.; -50. ] (toy_problem ())
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d: stopped after generation k" k)
+        (k + 1)
+        (List.length partial.EA.history);
+      match EA.resume ~from:ck ~config:c (toy_problem ()) with
+      | Error msg -> Alcotest.fail (Printf.sprintf "k=%d: %s" k msg)
+      | Ok r ->
+        Alcotest.(check (float 0.))
+          (Printf.sprintf "k=%d: best fitness" k)
+          reference.EA.best_fitness r.EA.best_fitness;
+        Alcotest.(check (float 0.))
+          (Printf.sprintf "k=%d: best genome" k)
+          reference.EA.best r.EA.best;
+        Alcotest.(check int)
+          (Printf.sprintf "k=%d: evaluations" k)
+          reference.EA.evaluations r.EA.evaluations;
+        Alcotest.(check bool)
+          (Printf.sprintf "k=%d: bit-identical history" k)
+          true
+          (r.EA.history = reference.EA.history))
+    [ 0; 1; generations / 2; generations ]
+
+let test_checkpoint_resume_parallel () =
+  (* The resume guarantee must hold under parallel evaluation too. *)
+  let c = config ~domains:4 ~mu:4 ~lambda:16 ~generations:8 () in
+  let reference = run ~seed:21 ~config:c () in
+  with_ckpt_file @@ fun path ->
+  let ck = EA.checkpoint ~path ~every:2 float_codec in
+  let completed = ref (-1) in
+  ignore
+    (EA.run
+       ~on_generation:(fun s -> completed := s.EA.generation)
+       ~stop:(fun () -> !completed >= 4)
+       ~checkpoint:ck
+       ~rng:(Emts_prng.create ~seed:21 ())
+       ~config:c ~seeds:[ 100.; -50. ] (toy_problem ()));
+  match EA.resume ~from:ck ~config:c (toy_problem ()) with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    Alcotest.(check (float 0.)) "best fitness" reference.EA.best_fitness
+      r.EA.best_fitness;
+    Alcotest.(check bool) "bit-identical history" true
+      (r.EA.history = reference.EA.history)
+
+let test_resume_rejects_mismatched_config () =
+  let c = config ~mu:4 ~lambda:12 ~generations:4 () in
+  with_ckpt_file @@ fun path ->
+  let ck = EA.checkpoint ~path ~every:1 float_codec in
+  ignore
+    (EA.run ~checkpoint:ck
+       ~rng:(Emts_prng.create ~seed:31 ())
+       ~config:c ~seeds:[ 100.; -50. ] (toy_problem ()));
+  let mismatched = config ~mu:5 ~lambda:12 ~generations:4 () in
+  (match EA.resume ~from:ck ~config:mismatched (toy_problem ()) with
+  | Ok _ -> Alcotest.fail "mu mismatch accepted"
+  | Error msg ->
+    Alcotest.(check bool) "error names the file" true
+      (Testutil.contains_substring msg path));
+  (* A corrupted checkpoint file is a clean error, not an exception. *)
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let broken = Bytes.of_string raw in
+  Bytes.set broken (Bytes.length broken / 2) '#';
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc broken);
+  match EA.resume ~from:ck ~config:c (toy_problem ()) with
+  | Ok _ -> Alcotest.fail "corrupt checkpoint accepted"
+  | Error _ -> ()
+
+let test_stop_flag_halts () =
+  (* stop = always true: only the seed ranking happens, and the exit
+     checkpoint is still written so the run can resume. *)
+  let c = config ~generations:30 () in
+  with_ckpt_file @@ fun path ->
+  let ck = EA.checkpoint ~path ~every:5 float_codec in
+  let r =
+    EA.run
+      ~stop:(fun () -> true)
+      ~checkpoint:ck
+      ~rng:(Emts_prng.create ~seed:41 ())
+      ~config:c ~seeds:[ 100.; -50. ] (toy_problem ())
+  in
+  Alcotest.(check int) "only the seed ranking ran" 1
+    (List.length r.EA.history);
+  Alcotest.(check bool) "checkpoint written" true (Sys.file_exists path)
+
 let test_default_domains () =
   let d = EA.default_domains () in
   Alcotest.(check bool) "in [1, 8]" true (1 <= d && d <= 8)
@@ -290,6 +414,16 @@ let () =
           Alcotest.test_case "worker exception" `Quick
             test_worker_exception_propagates;
           Alcotest.test_case "default domains" `Quick test_default_domains;
+        ] );
+      ( "checkpointing",
+        [
+          Alcotest.test_case "resume is bit-identical" `Quick
+            test_checkpoint_resume_bit_identical;
+          Alcotest.test_case "resume under parallel eval" `Quick
+            test_checkpoint_resume_parallel;
+          Alcotest.test_case "mismatch and corruption rejected" `Quick
+            test_resume_rejects_mismatched_config;
+          Alcotest.test_case "stop flag" `Quick test_stop_flag_halts;
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_invariants ]);
     ]

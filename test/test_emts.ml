@@ -217,6 +217,107 @@ let test_adaptive_sigma_runs () =
     (r.Alg.makespan <> r_fixed.Alg.makespan
     || r.Alg.alloc = r_fixed.Alg.alloc)
 
+let test_checkpoint_resume_matrix () =
+  (* Crash-safety tentpole: interrupting an EMTS run at any generation
+     and resuming from its checkpoint reproduces the uninterrupted run
+     bit for bit — same allocation, makespan, history and evaluation
+     count — under every combination of worker domains, fitness cache
+     and early rejection.  The stop closure counts polls: the EA polls
+     once per generation boundary, so [calls > k] halts after exactly
+     [k] generations. *)
+  let graph = small_graph () in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic ~platform:chti
+      ~graph
+  in
+  let generations = 4 in
+  let tunes =
+    [
+      ("plain", Fun.id);
+      ("domains", Alg.with_domains Testutil.test_domains);
+      ("cache", Alg.with_fitness_cache 512);
+      ( "domains+cache+reject",
+        fun c ->
+          {
+            (Alg.with_fitness_cache 512 (Alg.with_domains 4 c)) with
+            Alg.early_reject = true;
+          } );
+    ]
+  in
+  List.iter
+    (fun (label, tune) ->
+      let config = tune { quick_config with Alg.generations = generations } in
+      let reference =
+        Alg.run_ctx ~rng:(Emts_prng.create ~seed:55 ()) ~config ~ctx ()
+      in
+      List.iter
+        (fun k ->
+          let path = Filename.temp_file "emts_alg" ".ckpt" in
+          Fun.protect
+            ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+            (fun () ->
+              let calls = ref 0 in
+              let partial =
+                Alg.run_ctx
+                  ~rng:(Emts_prng.create ~seed:55 ())
+                  ~stop:(fun () ->
+                    incr calls;
+                    !calls > k)
+                  ~checkpoint:(path, 1) ~config ~ctx ()
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "%s k=%d: interrupted after k generations"
+                   label k)
+                (k + 1)
+                (List.length partial.Alg.ea.Emts_ea.history);
+              let r =
+                Alg.run_ctx
+                  ~rng:(Emts_prng.create ~seed:55 ())
+                  ~checkpoint:(path, 1) ~resume:true ~config ~ctx ()
+              in
+              let tag msg = Printf.sprintf "%s k=%d: %s" label k msg in
+              Alcotest.(check (float 0.))
+                (tag "makespan") reference.Alg.makespan r.Alg.makespan;
+              Alcotest.(check (array int))
+                (tag "allocation") reference.Alg.alloc r.Alg.alloc;
+              Alcotest.(check int)
+                (tag "evaluations") reference.Alg.ea.Emts_ea.evaluations
+                r.Alg.ea.Emts_ea.evaluations;
+              Alcotest.(check bool)
+                (tag "bit-identical history") true
+                (r.Alg.ea.Emts_ea.history
+                = reference.Alg.ea.Emts_ea.history)))
+        [ 0; 2; generations ])
+    tunes
+
+let test_resume_without_checkpoint_is_fresh () =
+  (* --resume with a checkpoint path that does not exist (yet) falls
+     back to a fresh run rather than failing: that is what makes
+     "always pass --resume" an idempotent crash-recovery loop. *)
+  let graph = small_graph () in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic ~platform:chti
+      ~graph
+  in
+  let path = Filename.temp_file "emts_alg" ".ckpt" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let reference =
+        Alg.run_ctx
+          ~rng:(Emts_prng.create ~seed:8 ())
+          ~config:quick_config ~ctx ()
+      in
+      let r =
+        Alg.run_ctx
+          ~rng:(Emts_prng.create ~seed:8 ())
+          ~checkpoint:(path, 2) ~resume:true ~config:quick_config ~ctx ()
+      in
+      Alcotest.(check (array int)) "fresh run" reference.Alg.alloc r.Alg.alloc;
+      Alcotest.(check bool) "checkpoint written for next time" true
+        (Sys.file_exists path))
+
 let prop_early_reject_equivalent =
   QCheck.Test.make
     ~name:"early rejection never changes the outcome" ~count:20
@@ -342,6 +443,13 @@ let () =
           Alcotest.test_case "recombination configs" `Quick
             test_recombination_configs_run;
           Alcotest.test_case "adaptive sigma" `Quick test_adaptive_sigma_runs;
+        ] );
+      ( "crash safety",
+        [
+          Alcotest.test_case "resume matrix" `Quick
+            test_checkpoint_resume_matrix;
+          Alcotest.test_case "resume without checkpoint" `Quick
+            test_resume_without_checkpoint_is_fresh;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -38,6 +38,52 @@ let test_split_decorrelates () =
   done;
   Alcotest.(check bool) "split streams differ" true (!same = 0)
 
+let test_state_round_trip () =
+  let a = P.create ~seed:42 () in
+  (* Restore mid-stream: drain some draws, snapshot, then compare the
+     next 1000 draws of the original and the restored generator. *)
+  for _ = 1 to 257 do
+    ignore (P.bits64 a)
+  done;
+  let snap = P.state a in
+  let b = P.of_state snap in
+  for i = 1 to 1000 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d identical" i)
+      (P.bits64 a) (P.bits64 b)
+  done;
+  (* Snapshotting must not advance or mutate the generator. *)
+  let c = P.of_state snap in
+  for _ = 1 to 1001 do
+    ignore (P.bits64 c)
+  done;
+  Alcotest.(check bool)
+    "snapshot array is a copy" true
+    (P.state (P.of_state snap) = snap)
+
+let test_state_validation () =
+  (match P.of_state [| 1L; 2L |] with
+  | _ -> Alcotest.fail "short state accepted"
+  | exception Invalid_argument _ -> ());
+  match P.of_state [| 0L; 0L; 0L; 0L |] with
+  | _ -> Alcotest.fail "all-zero state accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_state_round_trip =
+  QCheck.Test.make ~name:"state/of_state round-trips mid-stream" ~count:100
+    QCheck.(pair small_int (int_range 0 500))
+    (fun (seed, drain) ->
+      let a = P.create ~seed () in
+      for _ = 1 to drain do
+        ignore (P.bits64 a)
+      done;
+      let b = P.of_state (P.state a) in
+      let ok = ref true in
+      for _ = 1 to 1000 do
+        if P.bits64 a <> P.bits64 b then ok := false
+      done;
+      !ok)
+
 let test_seed_of_label () =
   Alcotest.(check bool)
     "stable" true
@@ -225,6 +271,8 @@ let () =
             test_seed_changes_stream;
           Alcotest.test_case "copy" `Quick test_copy_independent;
           Alcotest.test_case "split" `Quick test_split_decorrelates;
+          Alcotest.test_case "state round-trip" `Quick test_state_round_trip;
+          Alcotest.test_case "state validation" `Quick test_state_validation;
           Alcotest.test_case "seed_of_label" `Quick test_seed_of_label;
         ] );
       ( "draws",
@@ -248,5 +296,10 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_int_in_range; prop_float_in; prop_sample_distinct ] );
+          [
+            prop_int_in_range;
+            prop_float_in;
+            prop_sample_distinct;
+            prop_state_round_trip;
+          ] );
     ]

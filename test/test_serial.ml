@@ -79,12 +79,32 @@ let test_save_load () =
       Serial.save g path;
       match Serial.load path with
       | Ok g' -> Alcotest.(check bool) "load = save" true (graph_equal g g')
-      | Error e -> Alcotest.fail e)
+      | Error e -> Alcotest.fail (Emts_resilience.Error.to_string e))
 
 let test_load_missing () =
   match Serial.load "/nonexistent/file.ptg" with
   | Ok _ -> Alcotest.fail "expected error"
-  | Error _ -> ()
+  | Error e ->
+    let msg = Emts_resilience.Error.to_string e in
+    Alcotest.(check bool) "names the file" true
+      (Testutil.contains_substring msg "/nonexistent/file.ptg")
+
+let test_load_malformed_diagnostic () =
+  let path = Filename.temp_file "emts_ptg" ".ptg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Emts_resilience.write_string ~path
+        "ptg v1\ntask 0 1 0 0 direct a\ntask 1 one 0 0 direct b\n";
+      match Serial.load path with
+      | Ok _ -> Alcotest.fail "malformed file accepted"
+      | Error e ->
+        Alcotest.(check (option int)) "line number" (Some 3) e.line;
+        Alcotest.(check string) "file" path e.file;
+        let msg = Emts_resilience.Error.to_string e in
+        Alcotest.(check bool) "one-line 'file: line N: msg' shape" true
+          (Testutil.contains_substring msg (path ^ ": line 3:")
+          && not (String.contains msg '\n')))
 
 let test_dot_output () =
   let g = Testutil.diamond_graph () in
@@ -140,6 +160,8 @@ let () =
           Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
           Alcotest.test_case "cyclic file" `Quick test_cyclic_file_rejected;
           Alcotest.test_case "missing file" `Quick test_load_missing;
+          Alcotest.test_case "malformed file diagnostic" `Quick
+            test_load_malformed_diagnostic;
         ] );
       ( "dot",
         [

@@ -95,6 +95,12 @@ let arbitrary_dag_alloc ~procs ?max_n () =
       in
       (g, alloc))
 
+(* Substring check for error-message assertions. *)
+let contains_substring hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
 (* Times for every task under an allocation, via a model and platform. *)
 let times_for ~model ~platform g alloc =
   Emts_sched.Allocation.times alloc ~model ~platform ~graph:g

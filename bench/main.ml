@@ -412,6 +412,98 @@ let run_checkpoint_overhead () =
     t_1 m_1 (overhead t_1) writes_1;
   Printf.printf "identical makespans  %b\n" (m_off = m_10 && m_off = m_1)
 
+(* Serving: the daemon's warm path (persistent engine — worker pool
+   and cross-request fitness cache survive between requests) against
+   the cold one-shot path (fresh engine per request, no shared cache —
+   what a CLI invocation pays, minus process startup).  Same instance,
+   same seed: the makespans must agree exactly, only the latency may
+   differ.  The report lands in BENCH_SERVE.json (override with
+   BENCH_SERVE_JSON; empty string disables). *)
+let run_serving () =
+  rule "Serving: warm engine vs cold one-shot (EMTS5, irregular n=100)";
+  let module Engine = Emts_serve.Engine in
+  let module Json = Emts_resilience.Json in
+  let req =
+    Emts_serve.Protocol.Request.schedule ~platform:"grelon" ~model:"model2"
+      ~algorithm:"emts5" ~seed:0x5E4E
+      ~ptg:(Emts_ptg.Serial.to_string irregular100)
+      ()
+  in
+  let pool_domains = Emts_ea.default_domains () in
+  let handle engine =
+    let t0 = Emts_obs.Clock.now () in
+    match Engine.handle engine req ~deadline:None with
+    | Ok o -> (Emts_obs.Clock.elapsed ~since:t0, o.Engine.makespan)
+    | Error m -> failwith ("bench serving: " ^ m)
+  in
+  let warm_n = 12 and cold_n = 4 in
+  let caches = Engine.caches ~capacity:65536 ~max_instances:4 in
+  let warm_engine = Engine.create ~pool_domains ~caches () in
+  (* One untimed request warms the pool and fills the fitness cache. *)
+  let _, warm_makespan = handle warm_engine in
+  let warm =
+    List.init warm_n (fun _ -> handle warm_engine) |> List.map fst
+  in
+  Engine.shutdown warm_engine;
+  let cold_makespan = ref warm_makespan in
+  let cold =
+    List.init cold_n (fun _ ->
+        let caches = Engine.caches ~capacity:0 ~max_instances:1 in
+        let engine = Engine.create ~pool_domains ~caches () in
+        let dt, m =
+          Fun.protect ~finally:(fun () -> Engine.shutdown engine) (fun () ->
+              handle engine)
+        in
+        cold_makespan := m;
+        dt)
+  in
+  let stats label xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+    let median = a.(n / 2) in
+    Printf.printf "%-22s %8.4f s median   %8.4f s mean   (%d requests)\n"
+      label median mean n;
+    (median, mean)
+  in
+  let warm_median, warm_mean = stats "warm engine" warm in
+  let cold_median, cold_mean = stats "cold one-shot" cold in
+  Printf.printf "warm/cold median     %8.2fx\n"
+    (cold_median /. Float.max warm_median 1e-9);
+  Printf.printf "identical makespans  %b\n" (warm_makespan = !cold_makespan);
+  match Sys.getenv_opt "BENCH_SERVE_JSON" with
+  | Some "" -> ()
+  | serve_json ->
+    let path = Option.value ~default:"BENCH_SERVE.json" serve_json in
+    let doc =
+      Json.Obj
+        [
+          ("instance", Json.Str "irregular/n=100/grelon/model2");
+          ("algorithm", Json.Str "emts5");
+          ("pool_domains", Json.Num (float_of_int pool_domains));
+          ( "warm",
+            Json.Obj
+              [
+                ("requests", Json.Num (float_of_int warm_n));
+                ("median_s", Json.float warm_median);
+                ("mean_s", Json.float warm_mean);
+              ] );
+          ( "cold",
+            Json.Obj
+              [
+                ("requests", Json.Num (float_of_int cold_n));
+                ("median_s", Json.float cold_median);
+                ("mean_s", Json.float cold_mean);
+              ] );
+          ( "speedup_median",
+            Json.float (cold_median /. Float.max warm_median 1e-9) );
+          ("makespans_identical", Json.Bool (warm_makespan = !cold_makespan));
+        ]
+    in
+    Emts_resilience.write_string ~path (Json.to_string doc);
+    Printf.eprintf "[bench] wrote %s\n%!" path
+
 let () =
   let metrics_json = Sys.getenv_opt "BENCH_METRICS_JSON" in
   if metrics_json <> None then Emts_obs.Metrics.set_enabled true;
@@ -421,6 +513,7 @@ let () =
   run_extensions ();
   run_cache_speedup ();
   run_checkpoint_overhead ();
+  run_serving ();
   match metrics_json with
   | None -> ()
   | Some path ->

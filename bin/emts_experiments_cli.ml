@@ -502,7 +502,7 @@ let convergence_cmd =
 
 let () =
   let info =
-    Cmd.info "emts-experiments" ~version:"1.0.0"
+    Cmd.info "emts-experiments" ~version:(Obs_cli.version_string "emts-experiments")
       ~doc:
         "Reproduce the evaluation of Hunold & Lepping, CLUSTER 2011 \
          (EMTS).  See DESIGN.md for the experiment index."

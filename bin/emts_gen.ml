@@ -153,7 +153,7 @@ let shape_cmd =
 
 let () =
   let info =
-    Cmd.info "emts-gen" ~version:"1.0.0"
+    Cmd.info "emts-gen" ~version:(Obs_cli.version_string "emts-gen")
       ~doc:"Generate parallel task graphs in the .ptg format."
   in
   exit

@@ -1,0 +1,428 @@
+(* emts-loadgen: client and load generator for the emts-serve daemon.
+
+   Two roles:
+   - single-shot probes for scripting and CI (--ping, --once, --stats,
+     and the fault injectors --malformed / --hangup used by the cram
+     robustness tests);
+   - an open-loop load run (the default): requests are launched on a
+     fixed arrival schedule of --rate per second regardless of how fast
+     responses come back, against a corpus of daggen-style random PTGs,
+     reporting throughput and p50/p95/p99 latency, optionally as JSON
+     (the serving benchmark writes BENCH_SERVE.json through this). *)
+
+open Cmdliner
+module Protocol = Emts_serve.Protocol
+module J = Emts_resilience.Json
+
+(* ------------------------------------------------------------------ *)
+(* Transport *)
+
+let connect ~socket ~tcp =
+  match (socket, tcp) with
+  | Some path, _ ->
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e -> Unix.close fd; raise e);
+    fd
+  | None, Some (host, port) ->
+    let addr =
+      match Unix.inet_addr_of_string host with
+      | a -> a
+      | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+     with e -> Unix.close fd; raise e);
+    fd
+  | None, None -> failwith "no server address (need --socket or --connect)"
+
+let with_conn ~socket ~tcp f =
+  let fd = connect ~socket ~tcp in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) (fun () ->
+      f fd)
+
+let roundtrip fd request =
+  Protocol.write_frame fd (Protocol.Request.to_string request);
+  match Protocol.read_frame fd ~max_size:Protocol.default_max_frame with
+  | Error e -> Error (Protocol.frame_error_to_string e)
+  | Ok payload -> Protocol.Response.of_string payload
+
+(* ------------------------------------------------------------------ *)
+(* Corpus *)
+
+let synth_corpus ~count ~tasks ~seed =
+  List.init count (fun i ->
+      let rng = Emts_prng.create ~seed:(seed + (7919 * i)) () in
+      let params =
+        {
+          Emts_daggen.Random_dag.n = tasks;
+          width = 0.5;
+          regularity = 0.5;
+          density = 0.5;
+          jump = 1;
+        }
+      in
+      let graph = Emts_daggen.Random_dag.generate rng params in
+      let graph = Emts_daggen.Costs.assign rng graph in
+      Emts_ptg.Serial.to_string graph)
+
+let load_corpus ~files ~count ~tasks ~seed =
+  match files with
+  | [] -> Ok (synth_corpus ~count ~tasks ~seed)
+  | files -> (
+    try
+      Ok
+        (List.map
+           (fun path ->
+             let ic = open_in_bin path in
+             Fun.protect
+               ~finally:(fun () -> close_in_noerr ic)
+               (fun () -> really_input_string ic (in_channel_length ic)))
+           files)
+    with Sys_error m -> Error m)
+
+(* ------------------------------------------------------------------ *)
+(* Latency accounting *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (q *. float_of_int n)) - 1)))
+
+type tally = {
+  lock : Mutex.t;
+  mutable ok : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable latencies : float list;
+}
+
+let record t outcome latency =
+  Mutex.lock t.lock;
+  (match outcome with
+  | `Ok -> t.ok <- t.ok + 1; t.latencies <- latency :: t.latencies
+  | `Rejected -> t.rejected <- t.rejected + 1
+  | `Error -> t.errors <- t.errors + 1);
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Single-shot probes *)
+
+let request_of ~ptg ~platform ~model ~algorithm ~seed ~deadline_s ~budget_s =
+  Protocol.Request.Schedule
+    {
+      id = J.Str "loadgen";
+      req =
+        Protocol.Request.schedule ~platform ~model ~algorithm ~seed
+          ?deadline_s ?budget_s ~ptg ();
+    }
+
+let print_schedule_result (r : Protocol.Response.schedule_result) =
+  Printf.printf
+    "algorithm=%s makespan=%.6f tasks=%d procs=%d utilization=%.2f%% \
+     deadline_hit=%b generations=%d evaluations=%d\n"
+    r.Protocol.Response.algorithm r.makespan r.tasks r.procs r.utilization
+    r.deadline_hit r.generations_done r.evaluations
+
+let run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
+    ~deadline_s ~budget_s =
+  let ptg = List.hd corpus in
+  with_conn ~socket ~tcp (fun fd ->
+      match
+        roundtrip fd
+          (request_of ~ptg ~platform ~model ~algorithm ~seed ~deadline_s
+             ~budget_s)
+      with
+      | Ok (Protocol.Response.Schedule_result r) ->
+        print_schedule_result r;
+        Ok ()
+      | Ok (Protocol.Response.Error { code; message; _ }) ->
+        Error (Printf.sprintf "server error [%s]: %s" code message)
+      | Ok _ -> Error "unexpected response verb"
+      | Error m -> Error m)
+
+let run_ping ~socket ~tcp =
+  with_conn ~socket ~tcp (fun fd ->
+      match roundtrip fd (Protocol.Request.Ping { id = J.Str "loadgen" }) with
+      | Ok (Protocol.Response.Pong { server; _ }) ->
+        Printf.printf "pong from %s\n" server;
+        Ok ()
+      | Ok _ -> Error "unexpected response verb"
+      | Error m -> Error m)
+
+let run_stats ~socket ~tcp =
+  with_conn ~socket ~tcp (fun fd ->
+      match roundtrip fd (Protocol.Request.Stats { id = J.Str "loadgen" }) with
+      | Ok (Protocol.Response.Stats { stats; _ }) ->
+        print_endline (J.to_string stats);
+        Ok ()
+      | Ok _ -> Error "unexpected response verb"
+      | Error m -> Error m)
+
+(* Fault injector: a frame with the wrong magic.  A correct server
+   answers [malformed_frame] and closes only this connection. *)
+let run_malformed ~socket ~tcp =
+  with_conn ~socket ~tcp (fun fd ->
+      let junk = "XXXX\x00\x00\x00\x04junk" in
+      let _ = Unix.write_substring fd junk 0 (String.length junk) in
+      match Protocol.read_frame fd ~max_size:Protocol.default_max_frame with
+      | Ok payload -> (
+        match Protocol.Response.of_string payload with
+        | Ok (Protocol.Response.Error { code; _ }) ->
+          Printf.printf "rejected with code=%s\n" code;
+          Ok ()
+        | Ok _ -> Error "server accepted a malformed frame"
+        | Error m -> Error m)
+      | Error Protocol.Closed -> Printf.printf "connection closed\n"; Ok ()
+      | Error e -> Error (Protocol.frame_error_to_string e))
+
+(* Fault injector: send a real request, then hang up without reading
+   the reply.  The server must absorb the failed write and keep
+   serving everyone else. *)
+let run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed =
+  let ptg = List.hd corpus in
+  with_conn ~socket ~tcp (fun fd ->
+      Protocol.write_frame fd
+        (Protocol.Request.to_string
+           (request_of ~ptg ~platform ~model ~algorithm ~seed ~deadline_s:None
+              ~budget_s:None));
+      Printf.printf "hung up after sending request\n";
+      Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop load run *)
+
+let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
+    ~requests ~deadline_s ~budget_s ~json =
+  if rate <= 0. then Error "--rate must be positive"
+  else begin
+    let corpus = Array.of_list corpus in
+    let tally =
+      { lock = Mutex.create (); ok = 0; rejected = 0; errors = 0;
+        latencies = [] }
+    in
+    let start = Emts_obs.Clock.now () in
+    let fire k =
+      let ptg = corpus.(k mod Array.length corpus) in
+      let sent = Emts_obs.Clock.now () in
+      match
+        with_conn ~socket ~tcp (fun fd ->
+            roundtrip fd
+              (request_of ~ptg ~platform ~model ~algorithm ~seed:(seed + k)
+                 ~deadline_s ~budget_s))
+      with
+      | Ok (Protocol.Response.Schedule_result _) ->
+        record tally `Ok (Emts_obs.Clock.now () -. sent)
+      | Ok (Protocol.Response.Error { code; _ })
+        when code = Protocol.Error_code.overloaded
+             || code = Protocol.Error_code.draining ->
+        record tally `Rejected 0.
+      | Ok _ | Error _ -> record tally `Error 0.
+      | exception _ -> record tally `Error 0.
+    in
+    (* Open loop: launch request [k] at [start + k/rate] whether or not
+       earlier requests have completed. *)
+    let threads =
+      List.init requests (fun k ->
+          let due = start +. (float_of_int k /. rate) in
+          let delay = due -. Emts_obs.Clock.now () in
+          if delay > 0. then Thread.delay delay;
+          Thread.create fire k)
+    in
+    List.iter Thread.join threads;
+    let wall = Emts_obs.Clock.now () -. start in
+    let latencies =
+      let a = Array.of_list tally.latencies in
+      Array.sort compare a;
+      a
+    in
+    let quant q =
+      if Array.length latencies = 0 then 0. else percentile latencies q
+    in
+    let throughput = if wall > 0. then float_of_int tally.ok /. wall else 0. in
+    Printf.printf "requests=%d ok=%d rejected=%d errors=%d wall_s=%.3f\n"
+      requests tally.ok tally.rejected tally.errors wall;
+    Printf.printf "throughput=%.2f req/s\n" throughput;
+    Printf.printf "latency_s p50=%.6f p95=%.6f p99=%.6f\n" (quant 0.5)
+      (quant 0.95) (quant 0.99);
+    (match json with
+    | None -> ()
+    | Some path ->
+      let doc =
+        J.Obj
+          [
+            ("requests", J.Num (float_of_int requests));
+            ("ok", J.Num (float_of_int tally.ok));
+            ("rejected", J.Num (float_of_int tally.rejected));
+            ("errors", J.Num (float_of_int tally.errors));
+            ("rate_rps", J.float rate);
+            ("wall_s", J.float wall);
+            ("throughput_rps", J.float throughput);
+            ( "latency_s",
+              J.Obj
+                [
+                  ("p50", J.float (quant 0.5));
+                  ("p95", J.float (quant 0.95));
+                  ("p99", J.float (quant 0.99));
+                ] );
+          ]
+      in
+      Emts_resilience.write_string ~path (J.to_string doc));
+    if tally.errors > 0 then Error "some requests failed" else Ok ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CLI *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to a Unix-domain socket.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP.")
+
+let mode_arg =
+  Arg.(
+    value
+    & vflag `Load
+        [
+          (`Once, info [ "once" ]
+             ~doc:"Send one schedule request, print the result, exit.");
+          (`Ping, info [ "ping" ] ~doc:"Health-check the server.");
+          (`Stats, info [ "stats" ] ~doc:"Fetch and print server metrics.");
+          (`Malformed, info [ "malformed" ]
+             ~doc:"Send a corrupt frame and report the server's reaction.");
+          (`Hangup, info [ "hangup" ]
+             ~doc:"Send a request and disconnect without reading the reply.");
+        ])
+
+let ptg_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "ptg" ] ~docv:"FILE"
+        ~doc:"Use $(docv) as corpus (repeatable).  Without it a corpus \
+              of daggen-style random graphs is synthesized.")
+
+let corpus_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "corpus" ] ~docv:"N" ~doc:"Synthesized corpus size.")
+
+let tasks_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "tasks" ] ~docv:"N" ~doc:"Tasks per synthesized graph.")
+
+let platform_arg =
+  Arg.(
+    value & opt string "grelon"
+    & info [ "platform" ] ~docv:"NAME" ~doc:"Platform preset.")
+
+let model_arg =
+  Arg.(
+    value & opt string "amdahl"
+    & info [ "model" ] ~docv:"NAME" ~doc:"Timing-model preset.")
+
+let algorithm_arg =
+  Arg.(
+    value & opt string "emts5"
+    & info [ "algorithm" ] ~docv:"NAME" ~doc:"Scheduling algorithm.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Base PRNG seed (request $(i,k) of a load run uses seed+k).")
+
+let rate_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "rate" ] ~docv:"R" ~doc:"Open-loop arrival rate, requests/s.")
+
+let requests_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "requests" ] ~docv:"N" ~doc:"Total requests in a load run.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"S"
+        ~doc:"Per-request latency deadline in seconds (queue wait \
+              included); EMTS runs return their best-so-far answer when \
+              it passes.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ] ~docv:"S" ~doc:"Per-request EA solve-time budget.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the load-run report as JSON to $(docv) \
+              (e.g. BENCH_SERVE.json).")
+
+let run mode socket connect ptg_files corpus_n tasks platform model algorithm
+    seed rate requests deadline_s budget_s json =
+  let ( let* ) = Result.bind in
+  let* tcp =
+    match connect with
+    | None -> Ok None
+    | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | None -> Error (Printf.sprintf "--connect %S: expected HOST:PORT" spec)
+      | Some i ->
+        let host = String.sub spec 0 i in
+        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        (match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Some (host, p))
+        | _ -> Error (Printf.sprintf "--connect %S: expected HOST:PORT" spec)))
+  in
+  let* () =
+    if socket = None && tcp = None then
+      Error "no server address (need --socket or --connect)"
+    else Ok ()
+  in
+  let* corpus = load_corpus ~files:ptg_files ~count:corpus_n ~tasks ~seed in
+  let* () = if corpus = [] then Error "empty corpus" else Ok () in
+  try
+    match mode with
+    | `Ping -> run_ping ~socket ~tcp
+    | `Stats -> run_stats ~socket ~tcp
+    | `Malformed -> run_malformed ~socket ~tcp
+    | `Hangup -> run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
+    | `Once ->
+      run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
+        ~deadline_s ~budget_s
+    | `Load ->
+      run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
+        ~requests ~deadline_s ~budget_s ~json
+  with
+  | Unix.Unix_error (e, fn, arg) ->
+    Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+  | Failure m -> Error m
+
+let () =
+  let info =
+    Cmd.info "emts-loadgen"
+      ~version:(Obs_cli.version_string "emts-loadgen")
+      ~doc:"Load generator and client for the emts-serve daemon."
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ mode_arg $ socket_arg $ connect_arg $ ptg_arg
+       $ corpus_arg $ tasks_arg $ platform_arg $ model_arg $ algorithm_arg
+       $ seed_arg $ rate_arg $ requests_arg $ deadline_arg $ budget_arg
+       $ json_arg))
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -197,7 +197,7 @@ let run obs graph_file platform_spec model_spec algorithm seed domains
 
 let () =
   let info =
-    Cmd.info "emts-sched" ~version:"1.0.0"
+    Cmd.info "emts-sched" ~version:(Obs_cli.version_string "emts-sched")
       ~doc:"Schedule a parallel task graph onto a homogeneous cluster."
   in
   let term =

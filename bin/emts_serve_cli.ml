@@ -1,0 +1,155 @@
+(* emts-serve: the EMTS scheduling daemon.
+
+   Listens on a Unix-domain socket (and/or TCP), speaks the
+   length-prefixed JSON protocol of [Emts_serve.Protocol] (DESIGN.md
+   §11), and answers schedule requests from a bounded admission queue
+   drained by persistent worker domains.  SIGINT/SIGTERM drain
+   gracefully: admitted work is finished and answered, then the
+   process exits 0 with a final metrics dump on stderr. *)
+
+open Cmdliner
+module Server = Emts_serve.Server
+module Protocol = Emts_serve.Protocol
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on a Unix-domain socket at $(docv).  An existing \
+              socket file is replaced; it is removed again on clean \
+              shutdown.")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"HOST:PORT"
+        ~doc:"Also listen on TCP at $(docv), e.g. 127.0.0.1:7464.")
+
+let workers_arg =
+  Arg.(
+    value & opt int Server.default.Server.workers
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains draining the admission queue.  Each holds \
+              a persistent evaluation pool; the response to a request \
+              does not depend on $(docv).")
+
+let pool_domains_arg =
+  Arg.(
+    value & opt int Server.default.Server.pool_domains
+    & info [ "pool-domains" ] ~docv:"N"
+        ~doc:"Fitness-evaluation lanes in each worker's pool.")
+
+let queue_arg =
+  Arg.(
+    value & opt int Server.default.Server.queue_capacity
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:"Admission queue bound.  A full queue answers $(b,overloaded) \
+              immediately instead of growing latency silently.")
+
+let max_frame_arg =
+  Arg.(
+    value & opt int Server.default.Server.max_frame
+    & info [ "max-request-bytes" ] ~docv:"N"
+        ~doc:"Refuse request frames whose payload exceeds $(docv) bytes \
+              (checked before the payload is read).")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int Server.default.Server.cache_capacity
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Entries in each per-instance fitness cache shared across \
+              requests; 0 disables cross-request caching.")
+
+let cache_instances_arg =
+  Arg.(
+    value & opt int Server.default.Server.cache_instances
+    & info [ "cache-instances" ] ~docv:"N"
+        ~doc:"Bound on distinct scheduling instances cached at once.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Also write the final metrics snapshot as JSON to $(docv).")
+
+let parse_listen spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error ((Printf.sprintf "--listen %S: expected HOST:PORT" spec))
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+    | _ ->
+      Error ((Printf.sprintf "--listen %S: expected HOST:PORT" spec)))
+
+let run socket listen workers pool_domains queue_capacity max_frame
+    cache_capacity cache_instances metrics_json =
+  let ( let* ) = Result.bind in
+  let* tcp =
+    match listen with
+    | None -> Ok None
+    | Some spec -> Result.map Option.some (parse_listen spec)
+  in
+  let config =
+    {
+      Server.socket;
+      tcp;
+      workers;
+      pool_domains;
+      queue_capacity;
+      max_frame;
+      cache_capacity;
+      cache_instances;
+    }
+  in
+  Emts_resilience.Shutdown.install ();
+  match Server.run config with
+  | Error msg -> Error msg
+  | Ok () ->
+    (* Final metrics dump: the drain is complete, every admitted
+       request has been answered. *)
+    prerr_string (Emts_obs.Metrics.render ());
+    let* () =
+      match metrics_json with
+      | None -> Ok ()
+      | Some path -> (
+        try
+          Emts_resilience.write_string ~path (Emts_obs.Metrics.to_json ());
+          Ok ()
+        with
+        | Sys_error m ->
+          Error (Printf.sprintf "cannot write metrics JSON to %s: %s" path m)
+        | Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot write metrics JSON to %s: %s" path
+               (Unix.error_message e)))
+    in
+    Ok ()
+
+let () =
+  let info =
+    Cmd.info "emts-serve"
+      ~version:(Obs_cli.version_string "emts-serve")
+      ~doc:"EMTS scheduling service daemon."
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Serves schedule requests over a length-prefixed JSON protocol \
+             on a Unix-domain socket and/or TCP.  See DESIGN.md §11 for \
+             the frame format, verbs, error codes and backpressure \
+             semantics; use emts-loadgen to drive it.";
+        ]
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ socket_arg $ listen_arg $ workers_arg $ pool_domains_arg
+       $ queue_arg $ max_frame_arg $ cache_capacity_arg $ cache_instances_arg
+       $ metrics_json_arg))
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -110,3 +110,8 @@ let with_obs_graceful t f =
     if Emts_resilience.Shutdown.requested () then
       exit Emts_resilience.Shutdown.exit_interrupted
     else r
+
+(* Every emts binary answers --version with the same
+   "emts-<name> <version>" line (checked by test/cram/version.t). *)
+let version = "1.0.0"
+let version_string name = name ^ " " ^ version

@@ -67,7 +67,8 @@ let schedule_allocation ~ctx alloc =
 let allocation_codec : Emts_sched.Allocation.t Emts_ea.codec =
   Emts_ea.int_array_codec
 
-let run_ctx ?rng ?stop ?checkpoint ?(resume = false) ~config ~ctx () =
+let run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?(resume = false)
+    ~config ~ctx () =
   if Emts_ptg.Graph.task_count ctx.Common.graph = 0 then
     invalid_arg "Emts.run: empty graph";
   if resume && Option.is_none checkpoint then
@@ -124,9 +125,15 @@ let run_ctx ?rng ?stop ?checkpoint ?(resume = false) ~config ~ctx () =
       (m, Emts_pool.Cache.Known m)
   in
   let cache =
-    Option.map
-      (fun capacity -> Emts_pool.Cache.create ~capacity)
-      config.fitness_cache
+    (* An externally supplied cache (the serving layer shares one per
+       scheduling instance across requests) takes precedence over the
+       per-run capacity setting. *)
+    match cache with
+    | Some _ -> cache
+    | None ->
+      Option.map
+        (fun capacity -> Emts_pool.Cache.create ~capacity)
+        config.fitness_cache
   in
   (* [Seeding.collect] just list-scheduled every heuristic allocation,
      and the EA immediately re-evaluates those same vectors for its
@@ -212,14 +219,17 @@ let run_ctx ?rng ?stop ?checkpoint ?(resume = false) ~config ~ctx () =
   in
   let ea =
     let run_fresh () =
-      Emts_ea.run ?stop ?checkpoint:ea_checkpoint ~rng ~config:ea_config
-        ~on_generation
+      Emts_ea.run ?stop ?deadline ?pool ?checkpoint:ea_checkpoint ~rng
+        ~config:ea_config ~on_generation
         ~seeds:(List.map (fun (s : Seeding.seed) -> s.alloc) seeds)
         problem
     in
     match (checkpoint, ea_checkpoint) with
     | Some (path, _), Some from when resume && Sys.file_exists path -> (
-      match Emts_ea.resume ?stop ~on_generation ~from ~config:ea_config problem with
+      match
+        Emts_ea.resume ?stop ?deadline ?pool ~on_generation ~from
+          ~config:ea_config problem
+      with
       | Ok r -> r
       | Error msg -> failwith msg)
     | _ -> run_fresh ()
@@ -236,6 +246,7 @@ let run_ctx ?rng ?stop ?checkpoint ?(resume = false) ~config ~ctx () =
     ea;
   }
 
-let run ?rng ?stop ?checkpoint ?resume ~config ~model ~platform ~graph () =
+let run ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?resume ~config ~model
+    ~platform ~graph () =
   let ctx = Common.make_ctx ~model ~platform ~graph in
-  run_ctx ?rng ?stop ?checkpoint ?resume ~config ~ctx ()
+  run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?resume ~config ~ctx ()

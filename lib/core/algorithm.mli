@@ -83,6 +83,9 @@ val allocation_codec : Emts_sched.Allocation.t Emts_ea.codec
 val run :
   ?rng:Emts_prng.t ->
   ?stop:(unit -> bool) ->
+  ?deadline:float ->
+  ?cache:Emts_pool.Cache.t ->
+  ?pool:Emts_pool.t ->
   ?checkpoint:string * int ->
   ?resume:bool ->
   config:config ->
@@ -96,6 +99,20 @@ val run :
     makespan never exceeds the best seed's makespan: seeds join the
     initial population and selection is elitist.  Raises
     [Invalid_argument] on an empty graph.
+
+    Serving hooks (all optional):
+    - [deadline] is an absolute instant on the monotonic clock
+      ({!Emts_obs.Clock.now}): the EA loop stops gracefully after the
+      first generation ending past it and the best-so-far allocation is
+      returned.  The serving layer sets it from the request's arrival
+      time, so queue wait counts against the latency budget.
+    - [cache] supplies an external fitness cache shared across runs of
+      the {e same} scheduling instance (graph, platform, model); it
+      overrides [config.fitness_cache].  Sharing a cache between
+      different instances is unsound — keys are allocation vectors.
+    - [pool] evaluates fitness through a persistent caller-owned worker
+      pool instead of spawning one per run (see {!Emts_ea.run});
+      [config.domains] is then ignored.
 
     Crash safety (all optional):
     - [stop] is polled at every generation boundary; [true] ends the
@@ -115,6 +132,9 @@ val run :
 val run_ctx :
   ?rng:Emts_prng.t ->
   ?stop:(unit -> bool) ->
+  ?deadline:float ->
+  ?cache:Emts_pool.Cache.t ->
+  ?pool:Emts_pool.t ->
   ?checkpoint:string * int ->
   ?resume:bool ->
   config:config ->

@@ -346,9 +346,9 @@ let load_checkpoint ck ~config =
    history through generation [first_generation - 1]; when a checkpoint
    is configured, the state through that generation is on disk iff
    [saved_through = first_generation - 1]. *)
-let evolve ~stop ~checkpoint ~rng ~config ~started ~eval_batch ~record
-    ~evaluations ~births ~history ~population ~best_ever ~first_generation
-    ~saved_through problem =
+let evolve ~stop ~deadline ~checkpoint ~rng ~config ~started ~eval_batch
+    ~record ~evaluations ~births ~history ~population ~best_ever
+    ~first_generation ~saved_through problem =
   let consider candidate =
     if compare_individual candidate !best_ever < 0 then best_ever := candidate
   in
@@ -365,9 +365,13 @@ let evolve ~stop ~checkpoint ~rng ~config ~started ~eval_batch ~record
   if Option.is_some checkpoint && !last_saved < first_generation - 1 then
     save (first_generation - 1);
   let out_of_time () =
-    match config.time_budget with
+    (match config.time_budget with
     | None -> false
-    | Some budget -> Emts_obs.Clock.elapsed ~since:started > budget
+    | Some budget -> Emts_obs.Clock.elapsed ~since:started > budget)
+    ||
+    match deadline with
+    | None -> false
+    | Some d -> Emts_obs.Clock.now () > d
   in
   let u = ref first_generation in
   while !u <= config.generations && not (out_of_time ()) && not (stop ()) do
@@ -452,8 +456,16 @@ let make_record ~on_generation ~config ~evaluations ~history ~population
         s.generation config.generations s.best s.evaluations);
   on_generation s
 
-let run ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?checkpoint
-    ~rng ~config ~seeds problem =
+(* Run [f] with the caller's persistent pool when one is supplied (the
+   serving layer keeps one per worker across requests), else with a
+   fresh pool for the duration of the run. *)
+let with_pool_opt ~domains pool f =
+  match pool with
+  | Some p -> f p
+  | None -> Emts_pool.with_pool ~domains f
+
+let run ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?deadline
+    ?pool ?checkpoint ~rng ~config ~seeds problem =
   if seeds = [] then invalid_arg "Emts_ea.run: seeds must be non-empty";
   Emts_obs.Trace.span "ea.run"
     ~args:
@@ -466,8 +478,9 @@ let run ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?checkpoint
   @@ fun () ->
   (* One pool for the whole run: worker domains are spawned here once
      and joined on every exit path (normal return or raising fitness),
-     not re-spawned every generation. *)
-  Emts_pool.with_pool ~domains:config.domains
+     not re-spawned every generation.  A caller-supplied pool outlives
+     the run instead. *)
+  with_pool_opt ~domains:config.domains pool
   @@ fun pool ->
   let started = Emts_obs.Clock.now () in
   let evaluations = ref 0 in
@@ -489,12 +502,12 @@ let run ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?checkpoint
     make_record ~on_generation ~config ~evaluations ~history ~population
   in
   record ~born_after:0 0;
-  evolve ~stop ~checkpoint ~rng ~config ~started ~eval_batch ~record
+  evolve ~stop ~deadline ~checkpoint ~rng ~config ~started ~eval_batch ~record
     ~evaluations ~births ~history ~population ~best_ever ~first_generation:1
     ~saved_through:(-1) problem
 
-let resume ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ~from
-    ~config problem =
+let resume ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?deadline
+    ?pool ~from ~config problem =
   match load_checkpoint from ~config with
   | Error _ as e -> e
   | Ok snap ->
@@ -509,7 +522,7 @@ let resume ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ~from
               ("domains", Emts_obs.Trace.Int config.domains);
             ]
       @@ fun () ->
-        Emts_pool.with_pool ~domains:config.domains
+        with_pool_opt ~domains:config.domains pool
         @@ fun pool ->
         let started = Emts_obs.Clock.now () in
         let evaluations = ref snap.s_evaluations in
@@ -533,7 +546,8 @@ let resume ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ~from
             history := s :: !history;
             on_generation s)
           snap.s_history;
-        evolve ~stop ~checkpoint:(Some from) ~rng ~config ~started ~eval_batch
-          ~record ~evaluations ~births ~history ~population ~best_ever
+        evolve ~stop ~deadline ~checkpoint:(Some from) ~rng ~config ~started
+          ~eval_batch ~record ~evaluations ~births ~history ~population
+          ~best_ever
           ~first_generation:(snap.s_generation + 1)
           ~saved_through:snap.s_generation problem )

@@ -134,6 +134,8 @@ val checkpoint : path:string -> every:int -> 'g codec -> 'g checkpoint
 val run :
   ?on_generation:(generation_stats -> unit) ->
   ?stop:(unit -> bool) ->
+  ?deadline:float ->
+  ?pool:Emts_pool.t ->
   ?checkpoint:'g checkpoint ->
   rng:Emts_prng.t ->
   config:config ->
@@ -153,11 +155,28 @@ val run :
     it returns [true] the run ends gracefully — a final checkpoint is
     written if one is configured, and the result covers the generations
     actually completed.  Pass {!Emts_resilience.Shutdown.requested} to
-    make a standalone run respond to Ctrl-C. *)
+    make a standalone run respond to Ctrl-C.
+
+    [deadline] is an {e absolute} instant on the monotonic clock
+    ({!Emts_obs.Clock.now}); the loop stops gracefully after the first
+    generation that ends past it, returning the best-so-far result.
+    Unlike [config.time_budget] (relative to the start of [run]), an
+    absolute deadline can account for time spent before the run begins
+    — the serving layer sets it from the request's {e arrival} time, so
+    queue wait counts against the request's latency budget.
+
+    [pool] supplies a persistent worker pool owned by the caller: the
+    run evaluates through it and does {e not} shut it down, and
+    [config.domains] is ignored in favour of the pool's lane count.
+    The serving layer keeps one pool per server worker across requests,
+    eliminating the per-request domain-spawn cost.  The result is
+    bit-identical either way (pool evaluation is outcome-preserving). *)
 
 val resume :
   ?on_generation:(generation_stats -> unit) ->
   ?stop:(unit -> bool) ->
+  ?deadline:float ->
+  ?pool:Emts_pool.t ->
   from:'g checkpoint ->
   config:config ->
   'g problem ->

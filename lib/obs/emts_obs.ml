@@ -186,10 +186,19 @@ module Metrics = struct
   type counter = { cname : string; count : int Atomic.t }
   type gauge = { gname : string; value : float Atomic.t }
 
+  (* Geometric bucket width for quantile estimation: each bucket spans
+     a ~4% relative range, so a reported percentile is within ~2% of
+     the true value — plenty for latency reporting, with O(1) memory
+     per distinct magnitude instead of a sample reservoir. *)
+  let bucket_gamma = log 1.04
+
   type histogram = {
     hname : string;
     hlock : Mutex.t;
     mutable acc : Emts_stats.Acc.t;
+    hbuckets : (int, int ref) Hashtbl.t;
+        (* log-scale bucket index -> observation count, for x > 0 *)
+    mutable hnonpos : int;  (* observations <= 0 (no log bucket) *)
   }
 
   type instrument = C of counter | G of gauge | H of histogram
@@ -230,7 +239,14 @@ module Metrics = struct
   let histogram name =
     intern name
       (fun () ->
-        H { hname = name; hlock = Mutex.create (); acc = Emts_stats.Acc.create () })
+        H
+          {
+            hname = name;
+            hlock = Mutex.create ();
+            acc = Emts_stats.Acc.create ();
+            hbuckets = Hashtbl.create 64;
+            hnonpos = 0;
+          })
       (function H h -> Some h | _ -> None)
 
   let add c n = if enabled () then ignore (Atomic.fetch_and_add c.count n)
@@ -239,10 +255,19 @@ module Metrics = struct
   let set_gauge g v = if enabled () then Atomic.set g.value v
   let gauge_value g = Atomic.get g.value
 
+  let bucket_of x = int_of_float (Float.floor (Float.log x /. bucket_gamma))
+
   let observe h x =
     if enabled () then begin
       Mutex.lock h.hlock;
       Emts_stats.Acc.add h.acc x;
+      if x > 0. && Float.is_finite x then begin
+        let idx = bucket_of x in
+        match Hashtbl.find_opt h.hbuckets idx with
+        | Some r -> r := !r + 1
+        | None -> Hashtbl.add h.hbuckets idx (ref 1)
+      end
+      else h.hnonpos <- h.hnonpos + 1;
       Mutex.unlock h.hlock
     end
 
@@ -274,6 +299,45 @@ module Metrics = struct
     Mutex.unlock h.hlock;
     v
 
+  (* Walk the buckets in value order until the cumulative count reaches
+     the target rank; report the bucket's geometric midpoint, clamped to
+     the exact observed range so degenerate distributions (one value,
+     two values) answer exactly.  Must be called with [h.hlock] held. *)
+  let quantile_locked h q =
+    let total = Emts_stats.Acc.count h.acc in
+    if total = 0 then None
+    else begin
+      let lo = Emts_stats.Acc.min h.acc and hi = Emts_stats.Acc.max h.acc in
+      let clamp x = Float.max lo (Float.min hi x) in
+      let rank =
+        max 1 (int_of_float (Float.ceil (q *. float_of_int total)))
+      in
+      if rank <= h.hnonpos then Some lo
+      else begin
+        let buckets =
+          Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) h.hbuckets []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        in
+        let rec walk seen = function
+          | [] -> Some hi
+          | (idx, count) :: rest ->
+            let seen = seen + count in
+            if seen >= rank then
+              Some (clamp (Float.exp ((float_of_int idx +. 0.5) *. bucket_gamma)))
+            else walk seen rest
+        in
+        walk h.hnonpos buckets
+      end
+    end
+
+  let quantile h q =
+    if not (Float.is_finite q) || q < 0. || q > 1. then
+      invalid_arg "Emts_obs.Metrics.quantile: q must be in [0, 1]";
+    Mutex.lock h.hlock;
+    let v = quantile_locked h q in
+    Mutex.unlock h.hlock;
+    v
+
   let find_counter name =
     Mutex.lock registry_lock;
     let r = Hashtbl.find_opt registry name in
@@ -290,6 +354,8 @@ module Metrics = struct
         | H h ->
           Mutex.lock h.hlock;
           h.acc <- Emts_stats.Acc.create ();
+          Hashtbl.reset h.hbuckets;
+          h.hnonpos <- 0;
           Mutex.unlock h.hlock)
       registry;
     Mutex.unlock registry_lock
@@ -325,10 +391,14 @@ module Metrics = struct
           | None -> ()
           | Some d ->
             shown := !shown + 1;
+            let p50 = Option.value ~default:Float.nan (quantile h 0.5) in
+            let p95 = Option.value ~default:Float.nan (quantile h 0.95) in
+            let p99 = Option.value ~default:Float.nan (quantile h 0.99) in
             Buffer.add_string buf
               (Printf.sprintf
-                 "  %-36s n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g\n" name
-                 d.count d.mean d.stddev d.min d.max)))
+                 "  %-36s n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g \
+                  p50=%.6g p95=%.6g p99=%.6g\n"
+                 name d.count d.mean d.stddev d.min d.max p50 p95 p99)))
       instruments;
     if !shown = 0 then Buffer.add_string buf "  (no metrics recorded)\n";
     Buffer.contents buf
@@ -363,10 +433,12 @@ module Metrics = struct
         | H h ->
           Option.map
             (fun d ->
+              let q p = json_float (Option.value ~default:Float.nan (quantile h p)) in
               Printf.sprintf
-                "{\"count\":%d,\"total\":%s,\"mean\":%s,\"stddev\":%s,\"min\":%s,\"max\":%s}"
+                "{\"count\":%d,\"total\":%s,\"mean\":%s,\"stddev\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
                 d.count (json_float d.total) (json_float d.mean)
-                (json_float d.stddev) (json_float d.min) (json_float d.max))
+                (json_float d.stddev) (json_float d.min) (json_float d.max)
+                (q 0.5) (q 0.95) (q 0.99))
             (histogram_value h)
         | _ -> None));
     Buffer.add_string buf "}\n";

@@ -119,6 +119,16 @@ module Metrics : sig
   val histogram_value : histogram -> distribution option
   (** [None] until the first observation. *)
 
+  val quantile : histogram -> float -> float option
+  (** [quantile h q] is an approximate [q]-quantile ([0 <= q <= 1],
+      else [Invalid_argument]) of the observed values, estimated from
+      geometric buckets of ~4% relative width and clamped to the exact
+      observed [min, max] — so single-valued distributions answer
+      exactly and any estimate is within ~2% of the true value.
+      [None] until the first observation.  The serve layer's
+      p50/p95/p99 latency figures come from here; {!render} and
+      {!to_json} include all three for every histogram. *)
+
   val find_counter : string -> int option
   (** Current value of the counter registered under [name], if any. *)
 

@@ -1,0 +1,6 @@
+(** EMTS scheduling service: wire protocol, warm request engine, and
+    the concurrent daemon.  See DESIGN.md §11 for the protocol spec. *)
+
+module Protocol = Protocol
+module Engine = Engine
+module Server = Server

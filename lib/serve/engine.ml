@@ -1,0 +1,174 @@
+let m_cache_instances = Emts_obs.Metrics.gauge "serve.cache_instances"
+
+(* One fitness cache per scheduling instance.  Keys are the verbatim
+   (ptg, platform, model) request fields: two requests share a cache
+   only when their instances are byte-identical, which is exactly the
+   condition under which allocation-vector-keyed memoization is sound.
+   The algorithm and seed deliberately do not participate — any EMTS
+   variant on the same instance computes the same fitness function. *)
+type caches = {
+  lock : Mutex.t;
+  table : (string, Emts_pool.Cache.t) Hashtbl.t;
+  capacity : int;
+  max_instances : int;
+}
+
+let caches ~capacity ~max_instances =
+  if capacity < 0 then
+    invalid_arg "Emts_serve.Engine.caches: capacity must be >= 0";
+  if capacity > 0 && max_instances < 1 then
+    invalid_arg "Emts_serve.Engine.caches: max_instances must be >= 1";
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 16;
+    capacity;
+    max_instances;
+  }
+
+let cache_instances c =
+  Mutex.lock c.lock;
+  let n = Hashtbl.length c.table in
+  Mutex.unlock c.lock;
+  n
+
+let instance_key (req : Protocol.Request.schedule) =
+  String.concat "\x01" [ req.ptg; req.platform; req.model ]
+
+let cache_for c req =
+  if c.capacity = 0 then None
+  else begin
+    let key = instance_key req in
+    Mutex.lock c.lock;
+    let cache =
+      match Hashtbl.find_opt c.table key with
+      | Some cache -> cache
+      | None ->
+        if Hashtbl.length c.table >= c.max_instances then
+          Hashtbl.reset c.table;
+        let cache = Emts_pool.Cache.create ~capacity:c.capacity in
+        Hashtbl.add c.table key cache;
+        cache
+    in
+    Emts_obs.Metrics.set_gauge m_cache_instances
+      (float_of_int (Hashtbl.length c.table));
+    Mutex.unlock c.lock;
+    Some cache
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type t = { pool : Emts_pool.t; caches : caches; mutable alive : bool }
+
+let create ?(pool_domains = 1) ~caches () =
+  { pool = Emts_pool.create ~domains:pool_domains; caches; alive = true }
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Emts_pool.shutdown t.pool
+  end
+
+type outcome = {
+  algorithm : string;
+  makespan : float;
+  alloc : int array;
+  tasks : int;
+  procs : int;
+  utilization : float;
+  platform : string;
+  deadline_hit : bool;
+  generations_done : int;
+  evaluations : int;
+}
+
+let ( let* ) = Result.bind
+
+let resolve_platform spec =
+  if String.contains spec '\n' then Emts_platform.of_string spec
+  else
+    match Emts_platform.find_preset spec with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown platform %S (not a preset; inline platform text must \
+            span several lines)"
+           spec)
+
+let resolve_model spec =
+  if String.contains spec '\n' then
+    Result.map
+      (fun table -> Emts_model.Empirical.model ~name:"inline" table)
+      (Emts_model.Empirical.of_string spec)
+  else
+    match Emts_model.find_preset spec with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown model %S (not a preset; inline timing tables must span \
+            several lines)"
+           spec)
+
+let handle t (req : Protocol.Request.schedule) ~deadline =
+  let* graph =
+    Result.map_error (fun m -> "ptg: " ^ m) (Emts_ptg.Serial.of_string req.ptg)
+  in
+  let* () =
+    if Emts_ptg.Graph.task_count graph = 0 then Error "ptg: empty graph"
+    else Ok ()
+  in
+  let* platform = resolve_platform req.platform in
+  let* model = resolve_model req.model in
+  let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
+  let finish ~alloc ~label ~makespan ~deadline_hit ~generations_done
+      ~evaluations =
+    let schedule = Emts.Algorithm.schedule_allocation ~ctx alloc in
+    Ok
+      {
+        algorithm = label;
+        makespan;
+        alloc;
+        tasks = Array.length alloc;
+        procs = platform.Emts_platform.processors;
+        utilization = 100. *. Emts_sched.Schedule.utilization schedule;
+        platform = platform.Emts_platform.name;
+        deadline_hit;
+        generations_done;
+        evaluations;
+      }
+  in
+  match String.lowercase_ascii req.algorithm with
+  | ("emts5" | "emts10") as name ->
+    let config =
+      if name = "emts5" then Emts.Algorithm.emts5 else Emts.Algorithm.emts10
+    in
+    let config = { config with Emts.Algorithm.time_budget = req.budget_s } in
+    let cache = cache_for t.caches req in
+    let rng = Emts_prng.create ~seed:req.seed () in
+    let result =
+      Emts.Algorithm.run_ctx ?deadline ?cache ~pool:t.pool ~rng ~config ~ctx
+        ()
+    in
+    let generations_done =
+      List.length result.Emts.Algorithm.ea.Emts_ea.history - 1
+    in
+    let deadline_hit =
+      generations_done < config.Emts.Algorithm.generations
+      && match deadline with
+         | Some d -> Emts_obs.Clock.now () > d
+         | None -> false
+    in
+    finish ~alloc:result.Emts.Algorithm.alloc
+      ~label:(String.uppercase_ascii name)
+      ~makespan:result.Emts.Algorithm.makespan ~deadline_hit ~generations_done
+      ~evaluations:result.Emts.Algorithm.ea.Emts_ea.evaluations
+  | name -> (
+    match Emts_alloc.find name with
+    | None -> Error (Printf.sprintf "unknown algorithm %S" req.algorithm)
+    | Some h ->
+      let alloc = h.Emts_alloc.allocate ctx in
+      let schedule = Emts.Algorithm.schedule_allocation ~ctx alloc in
+      finish ~alloc ~label:h.Emts_alloc.name
+        ~makespan:(Emts_sched.Schedule.makespan schedule)
+        ~deadline_hit:false ~generations_done:0 ~evaluations:0)

@@ -1,0 +1,64 @@
+(** Request execution engine: the state a server worker keeps {e warm}
+    across requests, and the pure request → outcome computation.
+
+    One engine belongs to one worker domain (it owns an {!Emts_pool}
+    whose owner is the creating domain); all engines of a server share
+    one {!caches} — a pool of fitness-memoization caches keyed by
+    scheduling instance, so repeated requests for the same (PTG,
+    platform, model) triple reuse each other's evaluations.  Both are
+    outcome-preserving: a response is a function of the request alone
+    (property-tested by the serve determinism matrix). *)
+
+(** {1 Shared cross-request cache pool} *)
+
+type caches
+
+val caches : capacity:int -> max_instances:int -> caches
+(** [caches ~capacity ~max_instances] provides one
+    {!Emts_pool.Cache} of [capacity] entries per distinct scheduling
+    instance, holding at most [max_instances] instances (inserting
+    beyond the bound flushes the pool, mirroring the cache's own
+    flush-on-full policy).  [capacity = 0] disables caching entirely.
+    Domain-safe.  Raises [Invalid_argument] on negative values or
+    [max_instances = 0] with a positive capacity. *)
+
+val cache_instances : caches -> int
+(** Number of instance caches currently held. *)
+
+(** {1 Engine} *)
+
+type t
+
+val create : ?pool_domains:int -> caches:caches -> unit -> t
+(** [create ~caches ()] builds an engine with a persistent worker pool
+    of [pool_domains] lanes (default 1 — no domains spawned).  Must be
+    called from the domain that will call {!handle}. *)
+
+val shutdown : t -> unit
+(** Join the engine's pool.  Idempotent. *)
+
+type outcome = {
+  algorithm : string;  (** canonical label, e.g. ["EMTS5"] or ["MCPA"] *)
+  makespan : float;
+  alloc : int array;
+  tasks : int;
+  procs : int;
+  utilization : float;  (** percent *)
+  platform : string;
+  deadline_hit : bool;
+  generations_done : int;
+  evaluations : int;
+}
+
+val handle :
+  t ->
+  Protocol.Request.schedule ->
+  deadline:float option ->
+  (outcome, string) result
+(** [handle t req ~deadline] parses the inline instance, resolves
+    platform / model / algorithm, and schedules.  [deadline] is an
+    absolute instant on {!Emts_obs.Clock.now}; when it passes, an EMTS
+    run stops at the next generation boundary and the outcome carries
+    the best-so-far allocation with [deadline_hit = true].  [Error] is
+    a one-line client-fault diagnostic ([bad_request] material);
+    genuine server faults escape as exceptions. *)

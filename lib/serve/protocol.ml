@@ -1,0 +1,373 @@
+module J = Emts_resilience.Json
+
+let magic = "EMTS"
+let default_max_frame = 4 * 1024 * 1024
+let header_size = 8
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+type frame_error =
+  | Closed
+  | Truncated
+  | Bad_magic
+  | Too_large of int
+
+let frame_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "connection closed mid-frame"
+  | Bad_magic -> "bad frame magic (expected \"EMTS\")"
+  | Too_large n -> Printf.sprintf "frame payload of %d bytes exceeds the cap" n
+
+let encode_frame payload =
+  let n = String.length payload in
+  if n > 0xFFFF_FFF0 then
+    invalid_arg "Emts_serve.Protocol.encode_frame: payload too large";
+  let b = Bytes.create (header_size + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 5 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 6 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 7 (Char.chr (n land 0xFF));
+  Bytes.blit_string payload 0 b header_size n;
+  Bytes.unsafe_to_string b
+
+let rec read_retry fd buf pos len =
+  match Unix.read fd buf pos len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd buf pos len
+
+(* Read exactly [len] bytes; [`Eof got] when the stream ends first. *)
+let read_exact fd buf len =
+  let rec go pos =
+    if pos >= len then `Ok
+    else
+      match read_retry fd buf pos (len - pos) with
+      | 0 -> `Eof pos
+      | n -> go (pos + n)
+  in
+  go 0
+
+let read_frame fd ~max_size =
+  let header = Bytes.create header_size in
+  match read_exact fd header header_size with
+  | `Eof 0 -> Error Closed
+  | `Eof _ -> Error Truncated
+  | `Ok ->
+    if Bytes.sub_string header 0 4 <> magic then Error Bad_magic
+    else begin
+      let byte i = Char.code (Bytes.get header i) in
+      let len =
+        (byte 4 lsl 24) lor (byte 5 lsl 16) lor (byte 6 lsl 8) lor byte 7
+      in
+      if len > max_size then Error (Too_large len)
+      else begin
+        let payload = Bytes.create len in
+        match read_exact fd payload len with
+        | `Eof _ -> Error Truncated
+        | `Ok -> Ok (Bytes.unsafe_to_string payload)
+      end
+    end
+
+let write_frame fd payload =
+  let data = Bytes.unsafe_of_string (encode_frame payload) in
+  let len = Bytes.length data in
+  let rec go pos =
+    if pos < len then
+      match Unix.write fd data pos (len - pos) with
+      | n -> go (pos + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers *)
+
+let ( let* ) = Result.bind
+
+let field name conv json =
+  match J.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v ->
+    Result.map_error (fun m -> Printf.sprintf "field %S: %s" name m) (conv v)
+
+let opt_field name conv json =
+  match J.member name json with
+  | None | Some J.Null -> Ok None
+  | Some v ->
+    Result.map_error
+      (fun m -> Printf.sprintf "field %S: %s" name m)
+      (Result.map Option.some (conv v))
+
+let id_of json = Option.value ~default:J.Null (J.member "id" json)
+
+(* ------------------------------------------------------------------ *)
+
+module Request = struct
+  type schedule = {
+    ptg : string;
+    platform : string;
+    model : string;
+    algorithm : string;
+    seed : int;
+    deadline_s : float option;
+    budget_s : float option;
+  }
+
+  let schedule ?(platform = "grelon") ?(model = "amdahl")
+      ?(algorithm = "emts5") ?(seed = 0x5EED_CA11) ?deadline_s ?budget_s ~ptg
+      () =
+    { ptg; platform; model; algorithm; seed; deadline_s; budget_s }
+
+  type t =
+    | Schedule of { id : J.t; req : schedule }
+    | Stats of { id : J.t }
+    | Ping of { id : J.t }
+
+  let id = function
+    | Schedule { id; _ } | Stats { id } | Ping { id } -> id
+
+  let to_json t =
+    let with_id id fields =
+      J.Obj (if id = J.Null then fields else ("id", id) :: fields)
+    in
+    match t with
+    | Ping { id } -> with_id id [ ("verb", J.Str "ping") ]
+    | Stats { id } -> with_id id [ ("verb", J.Str "stats") ]
+    | Schedule { id; req } ->
+      let opt name = function
+        | None -> []
+        | Some x -> [ (name, J.float x) ]
+      in
+      with_id id
+        ([
+           ("verb", J.Str "schedule");
+           ("ptg", J.Str req.ptg);
+           ("platform", J.Str req.platform);
+           ("model", J.Str req.model);
+           ("algorithm", J.Str req.algorithm);
+           ("seed", J.Num (float_of_int req.seed));
+         ]
+        @ opt "deadline_s" req.deadline_s
+        @ opt "budget_s" req.budget_s)
+
+  let of_json json =
+    let id = id_of json in
+    let* verb = field "verb" J.to_str json in
+    match verb with
+    | "ping" -> Ok (Ping { id })
+    | "stats" -> Ok (Stats { id })
+    | "schedule" ->
+      let* ptg = field "ptg" J.to_str json in
+      let* platform =
+        match J.member "platform" json with
+        | None -> Ok "grelon"
+        | Some v -> J.to_str v
+      in
+      let* model =
+        match J.member "model" json with
+        | None -> Ok "amdahl"
+        | Some v -> J.to_str v
+      in
+      let* algorithm =
+        match J.member "algorithm" json with
+        | None -> Ok "emts5"
+        | Some v -> J.to_str v
+      in
+      let* seed =
+        match J.member "seed" json with
+        | None -> Ok 0x5EED_CA11
+        | Some v -> J.to_int v
+      in
+      let* deadline_s = opt_field "deadline_s" J.to_float json in
+      let* () =
+        match deadline_s with
+        | Some d when not (d > 0. && Float.is_finite d) ->
+          Error "field \"deadline_s\": must be a positive finite number"
+        | _ -> Ok ()
+      in
+      let* budget_s = opt_field "budget_s" J.to_float json in
+      let* () =
+        match budget_s with
+        | Some b when not (b > 0. && Float.is_finite b) ->
+          Error "field \"budget_s\": must be a positive finite number"
+        | _ -> Ok ()
+      in
+      Ok
+        (Schedule
+           { id; req = { ptg; platform; model; algorithm; seed; deadline_s;
+                         budget_s } })
+    | v -> Error (Printf.sprintf "unknown verb %S" v)
+
+  let to_string t = J.to_string (to_json t)
+
+  let of_string s =
+    let* json = Result.map_error (fun m -> "invalid JSON: " ^ m) (J.of_string s) in
+    of_json json
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Error_code = struct
+  let bad_request = "bad_request"
+  let overloaded = "overloaded"
+  let too_large = "too_large"
+  let malformed_frame = "malformed_frame"
+  let draining = "draining"
+  let internal = "internal"
+end
+
+module Response = struct
+  type schedule_result = {
+    id : J.t;
+    algorithm : string;
+    makespan : float;
+    alloc : int array;
+    tasks : int;
+    procs : int;
+    utilization : float;
+    platform : string;
+    queue_s : float;
+    solve_s : float;
+    total_s : float;
+    deadline_hit : bool;
+    generations_done : int;
+    evaluations : int;
+  }
+
+  type t =
+    | Schedule_result of schedule_result
+    | Stats of { id : J.t; stats : J.t }
+    | Pong of { id : J.t; server : string }
+    | Error of { id : J.t; code : string; message : string }
+
+  let to_json = function
+    | Pong { id; server } ->
+      J.Obj
+        [
+          ("status", J.Str "ok");
+          ("verb", J.Str "ping");
+          ("id", id);
+          ("server", J.Str server);
+        ]
+    | Stats { id; stats } ->
+      J.Obj
+        [
+          ("status", J.Str "ok");
+          ("verb", J.Str "stats");
+          ("id", id);
+          ("stats", stats);
+        ]
+    | Error { id; code; message } ->
+      J.Obj
+        [
+          ("status", J.Str "error");
+          ("id", id);
+          ("code", J.Str code);
+          ("message", J.Str message);
+        ]
+    | Schedule_result r ->
+      J.Obj
+        [
+          ("status", J.Str "ok");
+          ("verb", J.Str "schedule");
+          ("id", r.id);
+          ("algorithm", J.Str r.algorithm);
+          ("makespan", J.float r.makespan);
+          ( "alloc",
+            J.List
+              (Array.to_list
+                 (Array.map (fun p -> J.Num (float_of_int p)) r.alloc)) );
+          ( "summary",
+            J.Obj
+              [
+                ("tasks", J.Num (float_of_int r.tasks));
+                ("procs", J.Num (float_of_int r.procs));
+                ("utilization", J.float r.utilization);
+                ("platform", J.Str r.platform);
+              ] );
+          ( "timing",
+            J.Obj
+              [
+                ("queue_s", J.float r.queue_s);
+                ("solve_s", J.float r.solve_s);
+                ("total_s", J.float r.total_s);
+              ] );
+          ("deadline_hit", J.Bool r.deadline_hit);
+          ("generations_done", J.Num (float_of_int r.generations_done));
+          ("evaluations", J.Num (float_of_int r.evaluations));
+        ]
+
+  let of_json json =
+    let id = id_of json in
+    let* status = field "status" J.to_str json in
+    match status with
+    | "error" ->
+      let* code = field "code" J.to_str json in
+      let* message = field "message" J.to_str json in
+      Ok (Error { id; code; message })
+    | "ok" -> (
+      let* verb = field "verb" J.to_str json in
+      match verb with
+      | "ping" ->
+        let* server = field "server" J.to_str json in
+        Ok (Pong { id; server })
+      | "stats" ->
+        let* stats = field "stats" (fun j -> Ok j) json in
+        Ok (Stats { id; stats })
+      | "schedule" ->
+        let* algorithm = field "algorithm" J.to_str json in
+        let* makespan = field "makespan" J.to_float json in
+        let* alloc_json = field "alloc" J.to_list json in
+        let* alloc =
+          List.fold_left
+            (fun acc v ->
+              let* acc = acc in
+              let* p = J.to_int v in
+              Ok (p :: acc))
+            (Ok []) alloc_json
+          |> Result.map (fun l -> Array.of_list (List.rev l))
+        in
+        let* summary = field "summary" (fun j -> Ok j) json in
+        let* tasks = field "tasks" J.to_int summary in
+        let* procs = field "procs" J.to_int summary in
+        let* utilization = field "utilization" J.to_float summary in
+        let* platform = field "platform" J.to_str summary in
+        let* timing = field "timing" (fun j -> Ok j) json in
+        let* queue_s = field "queue_s" J.to_float timing in
+        let* solve_s = field "solve_s" J.to_float timing in
+        let* total_s = field "total_s" J.to_float timing in
+        let* deadline_hit =
+          field "deadline_hit"
+            (function J.Bool b -> Ok b | _ -> Result.Error "expected a boolean")
+            json
+        in
+        let* generations_done = field "generations_done" J.to_int json in
+        let* evaluations = field "evaluations" J.to_int json in
+        Ok
+          (Schedule_result
+             {
+               id;
+               algorithm;
+               makespan;
+               alloc;
+               tasks;
+               procs;
+               utilization;
+               platform;
+               queue_s;
+               solve_s;
+               total_s;
+               deadline_hit;
+               generations_done;
+               evaluations;
+             })
+      | v -> Result.Error (Printf.sprintf "unknown response verb %S" v))
+    | s -> Result.Error (Printf.sprintf "unknown status %S" s)
+
+  let to_string t = J.to_string (to_json t)
+
+  let of_string s =
+    let* json = Result.map_error (fun m -> "invalid JSON: " ^ m) (J.of_string s) in
+    of_json json
+end

@@ -1,0 +1,147 @@
+(** Wire protocol of the EMTS scheduling service.
+
+    A connection carries a sequence of {e frames} in each direction.
+    Every frame is a fixed 8-byte header — the ASCII magic ["EMTS"]
+    followed by the payload length as a big-endian unsigned 32-bit
+    integer — and then exactly [length] bytes of payload.  The payload
+    is one JSON value in the {!Emts_resilience.Json} dialect: a
+    {!Request} client-to-server, a {!Response} server-to-client.
+
+    The framing is designed for untrusted input: a wrong magic or an
+    oversized length is detected before any payload is read, so the
+    server can answer with a structured error and drop the connection
+    without ever allocating attacker-controlled amounts of memory.
+    Because stream positioning is lost after a framing error, both
+    sides close the connection after one; a malformed {e payload}
+    inside a well-formed frame, by contrast, is answered with a
+    [bad_request] error and the connection stays usable. *)
+
+module J = Emts_resilience.Json
+
+val magic : string
+(** ["EMTS"], the 4-byte frame preamble. *)
+
+val default_max_frame : int
+(** Default cap on a frame's payload size: 4 MiB.  A daggen PTG of
+    thousands of tasks is well under 1 MiB of [.ptg] text. *)
+
+val header_size : int
+(** 8: magic plus 32-bit length. *)
+
+(** {1 Framing} *)
+
+type frame_error =
+  | Closed  (** clean EOF before the first header byte *)
+  | Truncated  (** EOF inside a header or payload *)
+  | Bad_magic  (** the first 4 bytes were not {!magic} *)
+  | Too_large of int  (** declared payload length exceeds the cap *)
+
+val frame_error_to_string : frame_error -> string
+
+val encode_frame : string -> string
+(** [encode_frame payload] is the wire form of a frame: header plus
+    payload.  Raises [Invalid_argument] if the payload exceeds what a
+    32-bit length can describe. *)
+
+val read_frame :
+  Unix.file_descr -> max_size:int -> (string, frame_error) result
+(** Blocking read of one complete frame payload.  Retries on [EINTR];
+    any other [Unix_error] propagates. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Blocking write of [encode_frame payload], handling short writes.
+    [Unix_error] (e.g. [EPIPE] on a disconnected peer) propagates —
+    callers decide whether a lost client is an error. *)
+
+(** {1 Requests} *)
+
+module Request : sig
+  (** A [schedule] request: one scheduling instance, inline. *)
+  type schedule = {
+    ptg : string;  (** the task graph, in [.ptg] text form *)
+    platform : string;
+        (** a preset name ([chti], [grelon]) or, when it contains a
+            newline, an inline platform file *)
+    model : string;
+        (** a preset name ([amdahl], [synthetic], ...) or an inline
+            empirical timing table ("procs seconds" lines) *)
+    algorithm : string;  (** [seq], [cpa], ..., [emts5], [emts10] *)
+    seed : int;  (** EMTS PRNG seed; responses are a function of it *)
+    deadline_s : float option;
+        (** latency budget in seconds, measured from the server's
+            admission of the request (queue wait counts); the EA
+            returns its best-so-far allocation when it expires *)
+    budget_s : float option;
+        (** EA time budget in seconds, measured from solve start
+            (maps to {!Emts_ea.config.time_budget}) *)
+  }
+
+  val schedule :
+    ?platform:string -> ?model:string -> ?algorithm:string -> ?seed:int ->
+    ?deadline_s:float -> ?budget_s:float -> ptg:string -> unit -> schedule
+
+  type t =
+    | Schedule of { id : J.t; req : schedule }
+    | Stats of { id : J.t }  (** metrics snapshot *)
+    | Ping of { id : J.t }  (** liveness probe *)
+
+  val id : t -> J.t
+  (** The client-chosen correlation id (any JSON value; defaults to
+      [Null]), echoed verbatim in the response. *)
+
+  val to_json : t -> J.t
+  val of_json : J.t -> (t, string) result
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+end
+
+(** {1 Responses} *)
+
+(** Machine-readable error codes:
+    - [bad_request] — unparseable or invalid request payload;
+    - [overloaded] — admission queue full, retry later;
+    - [too_large] — frame exceeded the size cap;
+    - [malformed_frame] — framing lost, connection closed;
+    - [draining] — server is shutting down;
+    - [internal] — unexpected server-side failure. *)
+module Error_code : sig
+  val bad_request : string
+  val overloaded : string
+  val too_large : string
+  val malformed_frame : string
+  val draining : string
+  val internal : string
+end
+
+module Response : sig
+  type schedule_result = {
+    id : J.t;
+    algorithm : string;  (** canonical label, e.g. ["EMTS5"] *)
+    makespan : float;
+    alloc : int array;  (** processors per task, task-id order *)
+    tasks : int;
+    procs : int;
+    utilization : float;  (** percent *)
+    platform : string;
+    queue_s : float;  (** admission -> dequeue by a worker *)
+    solve_s : float;  (** parse + allocate + schedule *)
+    total_s : float;  (** admission -> response written *)
+    deadline_hit : bool;
+        (** the EA stopped early on the request deadline; [makespan] /
+            [alloc] are the best found so far *)
+    generations_done : int;  (** EA generations completed (0 for
+            heuristic algorithms) *)
+    evaluations : int;  (** fitness evaluations spent *)
+  }
+
+  type t =
+    | Schedule_result of schedule_result
+    | Stats of { id : J.t; stats : J.t }
+    | Pong of { id : J.t; server : string }
+    | Error of { id : J.t; code : string; message : string }
+
+  val to_json : t -> J.t
+  val of_json : J.t -> (t, string) result
+  val to_string : t -> string
+  val of_string : string -> (t, string) result
+end

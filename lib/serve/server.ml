@@ -1,0 +1,405 @@
+module J = Emts_resilience.Json
+module Metrics = Emts_obs.Metrics
+
+let server_id = "emts-serve 1.0.0"
+
+(* Issue-mandated serving metrics; the serve.* prefix follows the
+   repo's ea.* / pool.* convention. *)
+let m_requests = Metrics.counter "serve.requests_total"
+let m_rejected = Metrics.counter "serve.rejected_total"
+let m_errors = Metrics.counter "serve.errors_total"
+let m_malformed = Metrics.counter "serve.frames_malformed"
+let m_disconnects = Metrics.counter "serve.client_disconnects"
+let m_connections = Metrics.counter "serve.connections_total"
+let g_queue_depth = Metrics.gauge "serve.queue_depth"
+let g_in_flight = Metrics.gauge "serve.in_flight"
+let m_latency = Metrics.histogram "serve.latency_s"
+let m_queue_wait = Metrics.histogram "serve.queue_wait_s"
+
+type config = {
+  socket : string option;
+  tcp : (string * int) option;
+  workers : int;
+  pool_domains : int;
+  queue_capacity : int;
+  max_frame : int;
+  cache_capacity : int;
+  cache_instances : int;
+}
+
+let default =
+  {
+    socket = None;
+    tcp = None;
+    workers = 2;
+    pool_domains = 1;
+    queue_capacity = 64;
+    max_frame = Protocol.default_max_frame;
+    cache_capacity = 65536;
+    cache_instances = 32;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections.
+
+   The reader thread owns the read side; replies (from the reader for
+   ping/stats/errors, from worker domains for schedule results) are
+   serialised by [wmutex].  The fd is closed only once the reader is
+   done AND no admitted job still owes a reply, so a worker can never
+   write into a recycled descriptor. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  mutable alive : bool;  (* a write failed; skip further writes *)
+  mutable pending : int;  (* admitted jobs that will reply via a worker *)
+  mutable reader_done : bool;
+}
+
+let conn_make fd = { fd; wmutex = Mutex.create (); alive = true;
+                     pending = 0; reader_done = false }
+
+let close_if_done_locked c =
+  if c.reader_done && c.pending = 0 then
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Send a response frame; a dead peer is counted, not fatal.
+   [finish] marks one admitted job as replied. *)
+let send ?(finish = false) c resp =
+  Mutex.lock c.wmutex;
+  (if c.alive then
+     try Protocol.write_frame c.fd (Protocol.Response.to_string resp)
+     with Unix.Unix_error _ | Sys_error _ ->
+       c.alive <- false;
+       Metrics.incr m_disconnects);
+  if finish then begin
+    c.pending <- c.pending - 1;
+    close_if_done_locked c
+  end;
+  Mutex.unlock c.wmutex
+
+let reader_finished c =
+  Mutex.lock c.wmutex;
+  c.reader_done <- true;
+  close_if_done_locked c;
+  Mutex.unlock c.wmutex
+
+(* ------------------------------------------------------------------ *)
+(* Bounded FIFO admission queue. *)
+
+type job = {
+  id : J.t;
+  req : Protocol.Request.schedule;
+  conn : conn;
+  arrival : float;  (* Clock.now at admission *)
+  deadline : float option;  (* absolute, derived from deadline_s *)
+}
+
+type queue = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  jobs : job Queue.t;
+  cap : int;
+  mutable draining : bool;  (* no new admissions *)
+  mutable closed : bool;  (* workers may exit when empty *)
+  mutable in_flight : int;
+}
+
+let queue_make cap =
+  {
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    idle = Condition.create ();
+    jobs = Queue.create ();
+    cap;
+    draining = false;
+    closed = false;
+    in_flight = 0;
+  }
+
+let enqueue q job =
+  Mutex.lock q.m;
+  let r =
+    if q.draining then Error Protocol.Error_code.draining
+    else if Queue.length q.jobs >= q.cap then Error Protocol.Error_code.overloaded
+    else begin
+      Queue.push job q.jobs;
+      Metrics.set_gauge g_queue_depth (float_of_int (Queue.length q.jobs));
+      Condition.signal q.nonempty;
+      Ok ()
+    end
+  in
+  Mutex.unlock q.m;
+  r
+
+let dequeue q =
+  Mutex.lock q.m;
+  while Queue.is_empty q.jobs && not q.closed do
+    Condition.wait q.nonempty q.m
+  done;
+  let r =
+    if Queue.is_empty q.jobs then None
+    else begin
+      let job = Queue.pop q.jobs in
+      q.in_flight <- q.in_flight + 1;
+      Metrics.set_gauge g_queue_depth (float_of_int (Queue.length q.jobs));
+      Metrics.set_gauge g_in_flight (float_of_int q.in_flight);
+      Some job
+    end
+  in
+  Mutex.unlock q.m;
+  r
+
+let job_done q =
+  Mutex.lock q.m;
+  q.in_flight <- q.in_flight - 1;
+  Metrics.set_gauge g_in_flight (float_of_int q.in_flight);
+  if q.in_flight = 0 && Queue.is_empty q.jobs then Condition.broadcast q.idle;
+  Mutex.unlock q.m
+
+(* Stop admitting, wait for every admitted job to be answered, then
+   release the workers. *)
+let drain q =
+  Mutex.lock q.m;
+  q.draining <- true;
+  while not (Queue.is_empty q.jobs && q.in_flight = 0) do
+    Condition.wait q.idle q.m
+  done;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.m
+
+(* ------------------------------------------------------------------ *)
+(* Workers *)
+
+let stats_json () =
+  match J.of_string (Metrics.to_json ()) with
+  | Ok j -> j
+  | Error _ -> J.Obj []
+
+let worker_loop q ~pool_domains ~caches () =
+  let engine = Engine.create ~pool_domains ~caches () in
+  let rec loop () =
+    match dequeue q with
+    | None -> Engine.shutdown engine
+    | Some job ->
+      let dequeued = Emts_obs.Clock.now () in
+      Metrics.observe m_queue_wait (dequeued -. job.arrival);
+      (match Engine.handle engine job.req ~deadline:job.deadline with
+      | Ok o ->
+        let finished = Emts_obs.Clock.now () in
+        Metrics.observe m_latency (finished -. job.arrival);
+        send ~finish:true job.conn
+          (Protocol.Response.Schedule_result
+             {
+               id = job.id;
+               algorithm = o.Engine.algorithm;
+               makespan = o.Engine.makespan;
+               alloc = o.Engine.alloc;
+               tasks = o.Engine.tasks;
+               procs = o.Engine.procs;
+               utilization = o.Engine.utilization;
+               platform = o.Engine.platform;
+               queue_s = dequeued -. job.arrival;
+               solve_s = finished -. dequeued;
+               total_s = finished -. job.arrival;
+               deadline_hit = o.Engine.deadline_hit;
+               generations_done = o.Engine.generations_done;
+               evaluations = o.Engine.evaluations;
+             })
+      | Error message ->
+        Metrics.incr m_errors;
+        send ~finish:true job.conn
+          (Protocol.Response.Error
+             { id = job.id; code = Protocol.Error_code.bad_request; message })
+      | exception e ->
+        Metrics.incr m_errors;
+        send ~finish:true job.conn
+          (Protocol.Response.Error
+             {
+               id = job.id;
+               code = Protocol.Error_code.internal;
+               message = Printexc.to_string e;
+             }));
+      job_done q;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection readers *)
+
+let handle_conn q ~max_frame conn =
+  let error ?(finish = false) id code message =
+    send ~finish conn (Protocol.Response.Error { id; code; message })
+  in
+  let rec loop () =
+    match Protocol.read_frame conn.fd ~max_size:max_frame with
+    | Error Protocol.Closed -> ()
+    | Error e ->
+      (* Framing is broken (or the cap was exceeded before the payload
+         was read): answer best-effort and stop reading — the stream
+         position is unrecoverable.  Other connections are unaffected. *)
+      Metrics.incr m_malformed;
+      let code =
+        match e with
+        | Protocol.Too_large _ -> Protocol.Error_code.too_large
+        | _ -> Protocol.Error_code.malformed_frame
+      in
+      error J.Null code (Protocol.frame_error_to_string e)
+    | Ok payload -> (
+      match Protocol.Request.of_string payload with
+      | Error message ->
+        (* The frame itself was sound, so the stream stays in sync:
+           reject the payload and keep serving this client. *)
+        Metrics.incr m_errors;
+        error J.Null Protocol.Error_code.bad_request message;
+        loop ()
+      | Ok (Protocol.Request.Ping { id }) ->
+        send conn (Protocol.Response.Pong { id; server = server_id });
+        loop ()
+      | Ok (Protocol.Request.Stats { id }) ->
+        send conn (Protocol.Response.Stats { id; stats = stats_json () });
+        loop ()
+      | Ok (Protocol.Request.Schedule { id; req }) ->
+        Metrics.incr m_requests;
+        let arrival = Emts_obs.Clock.now () in
+        let deadline = Option.map (fun d -> arrival +. d) req.deadline_s in
+        (* Reserve the reply slot before the job becomes visible to
+           workers so the fd cannot be closed under them. *)
+        Mutex.lock conn.wmutex;
+        conn.pending <- conn.pending + 1;
+        Mutex.unlock conn.wmutex;
+        (match enqueue q { id; req; conn; arrival; deadline } with
+        | Ok () -> ()
+        | Error code ->
+          Metrics.incr m_rejected;
+          let message =
+            if code = Protocol.Error_code.draining then
+              "server is draining; no new work accepted"
+            else "admission queue full; retry later"
+          in
+          error ~finish:true id code message);
+        loop ())
+  in
+  (try loop () with _ -> ());
+  reader_finished conn
+
+(* ------------------------------------------------------------------ *)
+(* Listeners *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+    | h -> h.Unix.h_addr_list.(0))
+
+let bind_listeners config =
+  try
+    let listeners = [] in
+    let listeners =
+      match config.socket with
+      | None -> listeners
+      | Some path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        Printf.eprintf "listening on unix:%s\n%!" path;
+        fd :: listeners
+    in
+    let listeners =
+      match config.tcp with
+      | None -> listeners
+      | Some (host, port) ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+        Unix.listen fd 64;
+        Printf.eprintf "listening on tcp:%s:%d\n%!" host port;
+        fd :: listeners
+    in
+    Ok listeners
+  with
+  | Unix.Unix_error (e, fn, arg) ->
+    Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+  | Not_found ->
+    Error
+      (match config.tcp with
+      | Some (host, _) -> Printf.sprintf "cannot resolve host %S" host
+      | None -> "cannot resolve host")
+
+(* Accept connections until [stop]; [select] with a short timeout keeps
+   the loop responsive to the stop flag without busy-waiting. *)
+let accept_loop ~stop ~max_frame q listeners =
+  let rec loop () =
+    if not (stop ()) then begin
+      (match Unix.select listeners [] [] 0.2 with
+      | ready, _, _ ->
+        List.iter
+          (fun lfd ->
+            match Unix.accept ~cloexec:true lfd with
+            | fd, _ ->
+              Metrics.incr m_connections;
+              let conn = conn_make fd in
+              ignore
+                (Thread.create (fun () -> handle_conn q ~max_frame conn) ())
+            | exception
+                Unix.Unix_error
+                  ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                    | Unix.ECONNABORTED ),
+                    _,
+                    _ ) ->
+              ())
+          ready
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(stop = Emts_resilience.Shutdown.requested) config =
+  if config.workers < 1 then Error "workers must be >= 1"
+  else if config.queue_capacity < 1 then Error "queue capacity must be >= 1"
+  else if config.max_frame < 1 then Error "max frame size must be >= 1"
+  else if config.socket = None && config.tcp = None then
+    Error "no listeners configured (set a socket path or a TCP address)"
+  else
+    match
+      Engine.caches ~capacity:config.cache_capacity
+        ~max_instances:config.cache_instances
+    with
+    | exception Invalid_argument m -> Error m
+    | caches -> (
+      (* A client that disconnects mid-reply must cost one failed
+         write, not the process. *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      Metrics.set_enabled true;
+      match bind_listeners config with
+      | Error _ as e -> e
+      | Ok listeners ->
+        let q = queue_make config.queue_capacity in
+        let workers =
+          List.init config.workers (fun _ ->
+              Domain.spawn
+                (worker_loop q ~pool_domains:config.pool_domains ~caches))
+        in
+        accept_loop ~stop ~max_frame:config.max_frame q listeners;
+        (* Shutdown: stop accepting, answer everything admitted
+           (readers still running reject new work with [draining]),
+           then release and join the workers. *)
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          listeners;
+        drain q;
+        List.iter Domain.join workers;
+        (match config.socket with
+        | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+        | None -> ());
+        Ok ())

@@ -1,0 +1,55 @@
+(** The scheduling daemon: listeners, admission queue, worker domains.
+
+    Anatomy of a request.  Connection reader threads (one per accepted
+    client) decode frames and push [schedule] jobs onto a bounded FIFO
+    admission queue; a fixed set of worker domains drains it, each
+    holding a persistent {!Engine} (worker pool + shared fitness cache
+    pool) across requests.  [ping] and [stats] are answered directly
+    by the reader thread, so health checks and metrics bypass the
+    queue and stay responsive under load.
+
+    Robustness contract:
+    - a full queue answers [overloaded] immediately (backpressure is
+      explicit, never silent latency);
+    - frames larger than [max_frame] are refused before the payload is
+      read;
+    - a malformed frame poisons only its own connection: the client
+      gets a [malformed_frame] / [too_large] error and the connection
+      closes, while every other connection and all queued work proceed;
+    - a client that disconnects mid-request costs the server one wasted
+      computation and one failed write, nothing more;
+    - when [stop] becomes true (default: {!Emts_resilience.Shutdown}),
+      the server stops accepting, rejects new work with [draining],
+      finishes everything admitted, answers it, joins its workers and
+      returns — a clean SIGTERM drain exits 0. *)
+
+type config = {
+  socket : string option;  (** Unix-domain socket path *)
+  tcp : (string * int) option;  (** TCP listen address (host, port) *)
+  workers : int;  (** worker domains draining the queue, [>= 1] *)
+  pool_domains : int;
+      (** fitness-evaluation lanes per worker's persistent pool *)
+  queue_capacity : int;  (** admission queue bound, [>= 1] *)
+  max_frame : int;  (** request frame payload cap in bytes *)
+  cache_capacity : int;
+      (** per-instance fitness cache entries shared across requests;
+          0 disables cross-request caching *)
+  cache_instances : int;  (** bound on distinct cached instances *)
+}
+
+val default : config
+(** No listeners (callers must set at least one), 2 workers, 1 pool
+    domain, queue of 64, {!Protocol.default_max_frame}, 65536-entry
+    caches over at most 32 instances. *)
+
+val server_id : string
+(** ["emts-serve <version>"], echoed in [ping] responses. *)
+
+val run : ?stop:(unit -> bool) -> config -> (unit, string) result
+(** Run the daemon until [stop] returns true (polled a few times per
+    second; default {!Emts_resilience.Shutdown.requested}), then drain
+    and return.  Enables metrics collection, binds the configured
+    listeners (an existing Unix socket path is replaced), and prints
+    one [listening on ...] line per listener to stderr so wrappers can
+    wait for readiness.  [Error] on configuration or bind problems
+    only; per-connection failures never surface here. *)

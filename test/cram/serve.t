@@ -1,0 +1,85 @@
+The scheduling daemon: start it on a private Unix socket and drive it
+with the load generator.  (The socket lives in /tmp because Unix
+socket paths are limited to ~100 bytes and the sandbox path is long.)
+
+  $ SOCK=/tmp/emts-serve-cram-$$.sock
+  $ emts-serve --socket $SOCK --workers 2 2>serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK ] && break; sleep 0.1; done
+
+A health check reports the server identity:
+
+  $ emts-loadgen --socket $SOCK --ping
+  pong from emts-serve 1.0.0
+
+A schedule request returns a complete answer; repeating it with the
+same seed returns byte-identical output (responses are a function of
+the request alone):
+
+  $ emts-loadgen --socket $SOCK --once --seed 7 > first.out
+  $ grep -c 'algorithm=EMTS5' first.out
+  1
+  $ emts-loadgen --socket $SOCK --once --seed 7 > second.out
+  $ cmp first.out second.out
+
+A malformed frame poisons only its own connection — the client is told
+and the daemon keeps serving everyone else:
+
+  $ emts-loadgen --socket $SOCK --malformed
+  rejected with code=malformed_frame
+
+A client that sends a request and hangs up before reading the reply
+costs the server nothing but a failed write:
+
+  $ emts-loadgen --socket $SOCK --hangup
+  hung up after sending request
+
+After both faults the daemon still answers, with the same bytes:
+
+  $ emts-loadgen --socket $SOCK --once --seed 7 > third.out
+  $ cmp first.out third.out
+
+A deadline-tagged request still returns a valid best-so-far schedule:
+
+  $ emts-loadgen --socket $SOCK --once --seed 7 --algorithm emts10 \
+  >   --deadline 0.000001 | grep -c 'deadline_hit=true'
+  1
+
+The stats verb exposes the serving metrics, latency percentiles
+included:
+
+  $ emts-loadgen --socket $SOCK --stats | grep -c 'serve.requests_total'
+  1
+  $ emts-loadgen --socket $SOCK --stats | grep -c '"p99"'
+  1
+
+SIGTERM drains gracefully: the daemon finishes admitted work, dumps
+its metrics, removes the socket and exits 0:
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ grep -c 'serve.requests_total' serve.log
+  1
+  $ test -S $SOCK
+  [1]
+
+Responses do not depend on the worker-domain count: a fresh daemon
+with a different topology returns the same bytes for the same seed:
+
+  $ emts-serve --socket $SOCK --workers 4 --pool-domains 2 2>> serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK ] && break; sleep 0.1; done
+  $ emts-loadgen --socket $SOCK --once --seed 7 > fourth.out
+  $ cmp first.out fourth.out
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+
+The daemon refuses to start without a listener, and rejects a bad TCP
+spec:
+
+  $ emts-serve
+  emts-serve: no listeners configured (set a socket path or a TCP address)
+  [124]
+  $ emts-serve --listen nonsense
+  emts-serve: --listen "nonsense": expected HOST:PORT
+  [124]

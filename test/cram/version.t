@@ -1,0 +1,13 @@
+Every emts binary answers --version with the same "emts-<name>
+<version>" convention (one shared version constant in Obs_cli):
+
+  $ emts-gen --version
+  emts-gen 1.0.0
+  $ emts-sched --version
+  emts-sched 1.0.0
+  $ emts-experiments --version
+  emts-experiments 1.0.0
+  $ emts-serve --version
+  emts-serve 1.0.0
+  $ emts-loadgen --version
+  emts-loadgen 1.0.0

@@ -134,6 +134,101 @@ let test_json_rejects_garbage () =
       | Error _ -> ())
     [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
 
+(* Strings in this codec are byte strings: every byte value 0..255 must
+   survive encode → parse unchanged, whether it needs an escape ('"',
+   '\\', control characters) or passes through raw (non-ASCII bytes,
+   DEL).  The serve protocol ships PTG text through [Str], so any gap
+   here is a wire-corruption bug. *)
+let test_json_string_escaping_edges () =
+  for code = 0 to 255 do
+    let s = String.make 1 (Char.chr code) in
+    Alcotest.(check bool)
+      (Printf.sprintf "byte 0x%02x round-trips" code)
+      true
+      (json_round_trip (Json.Str s))
+  done;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S round-trips" s)
+        true
+        (json_round_trip (Json.Str s)))
+    [
+      "\"";
+      "\\";
+      "\\\"";
+      "a\"b\\c\"d";
+      "\x00\x01\x02\x1f\x7f";
+      "tab\there\nnewline\rreturn";
+      "h\xc3\xa9llo";  (* UTF-8 bytes pass through verbatim *)
+      String.init 256 Char.chr;
+      "trailing backslash \\";
+    ];
+  (* Escapes the encoder never emits must still parse. *)
+  let parses_to expect text =
+    match Json.of_string text with
+    | Ok (Json.Str s) -> Alcotest.(check string) text expect s
+    | Ok _ -> Alcotest.fail (text ^ ": parsed to a non-string")
+    | Error e -> Alcotest.fail (text ^ ": " ^ e)
+  in
+  parses_to "A" {|"A"|};
+  parses_to "\xff" "\"\\u00ff\"";
+  parses_to "/" {|"\/"|};
+  parses_to "\b\012" {|"\b\f"|};
+  (* ... and broken escapes must be rejected, not mangled. *)
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Ok _ -> Alcotest.fail (text ^ " parsed")
+      | Error _ -> ())
+    [ "\"\\u0100\""; {|"\uzzzz"|}; {|"\u00f"|}; {|"\x41"|}; {|"\"|} ]
+
+(* --- Json properties --- *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let byte_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_bound 12) in
+  (* Finite floats only: non-finite values encode as strings by design
+     (covered by [test_json_nonfinite]), and [Num nan <> Num nan]. *)
+  let finite_float =
+    map2 (fun m e -> Float.ldexp m e) (float_bound_inclusive 1.) (int_range (-60) 60)
+  in
+  let leaf =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.Num f) finite_float;
+        map (fun i -> Json.Num (float_of_int i)) small_signed_int;
+        map (fun s -> Json.Str s) byte_string;
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (depth - 1))));
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_bound 4) (pair byte_string (self (depth - 1)))) );
+          ])
+    3
+
+let json_arb =
+  QCheck.make ~print:(fun v -> Json.to_string v) json_gen
+
+let prop_json_round_trip =
+  QCheck.Test.make ~name:"to_string |> of_string is the identity" ~count:500
+    json_arb json_round_trip
+
+let prop_json_single_line =
+  QCheck.Test.make ~name:"to_string never emits a newline" ~count:500 json_arb
+    (fun v -> not (String.contains (Json.to_string v) '\n'))
+
 (* --- Jsonl --- *)
 
 let test_jsonl_append_load () =
@@ -275,6 +370,10 @@ let () =
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
           Alcotest.test_case "single line" `Quick test_json_no_newline;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "string escaping edges" `Quick
+            test_json_string_escaping_edges;
+          QCheck_alcotest.to_alcotest prop_json_round_trip;
+          QCheck_alcotest.to_alcotest prop_json_single_line;
         ] );
       ( "jsonl",
         [

@@ -1,0 +1,381 @@
+(* Tests for the serving subsystem: frame codec, request/response JSON,
+   engine determinism across pool widths, deadline best-so-far
+   behaviour, the instance-keyed cache pool, and an in-process
+   end-to-end daemon exchange. *)
+
+module Protocol = Emts_serve.Protocol
+module Engine = Emts_serve.Engine
+module Server = Emts_serve.Server
+module J = Emts_resilience.Json
+
+let graph_string ?(tasks = 12) ?(seed = 11) () =
+  let rng = Emts_prng.create ~seed () in
+  let params =
+    { Emts_daggen.Random_dag.n = tasks; width = 0.5; regularity = 0.5;
+      density = 0.5; jump = 1 }
+  in
+  let graph = Emts_daggen.Random_dag.generate rng params in
+  Emts_ptg.Serial.to_string (Emts_daggen.Costs.assign rng graph)
+
+let schedule_req ?(algorithm = "emts5") ?(seed = 7) ?deadline_s ?budget_s ptg =
+  Protocol.Request.schedule ~algorithm ~seed ?deadline_s ?budget_s ~ptg ()
+
+(* --- framing --- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe ~cloexec:true () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+let frame_error =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Protocol.frame_error_to_string e))
+    ( = )
+
+let read_result =
+  Alcotest.(result string frame_error)
+
+let test_frame_round_trip () =
+  with_pipe @@ fun r w ->
+  let payloads = [ ""; "x"; String.make 1000 '\xff'; "{\"verb\":\"ping\"}" ] in
+  List.iter
+    (fun payload ->
+      Protocol.write_frame w payload;
+      Alcotest.check read_result "round trip" (Ok payload)
+        (Protocol.read_frame r ~max_size:Protocol.default_max_frame))
+    payloads
+
+let test_frame_closed_and_truncated () =
+  with_pipe (fun r w ->
+      Unix.close w;
+      Alcotest.check read_result "eof at boundary" (Error Protocol.Closed)
+        (Protocol.read_frame r ~max_size:16));
+  with_pipe (fun r w ->
+      let partial = String.sub (Protocol.encode_frame "hello") 0 6 in
+      let _ = Unix.write_substring w partial 0 (String.length partial) in
+      Unix.close w;
+      Alcotest.check read_result "eof inside header" (Error Protocol.Truncated)
+        (Protocol.read_frame r ~max_size:16));
+  with_pipe (fun r w ->
+      let frame = Protocol.encode_frame "hello" in
+      let _ = Unix.write_substring w frame 0 (String.length frame - 2) in
+      Unix.close w;
+      Alcotest.check read_result "eof inside payload" (Error Protocol.Truncated)
+        (Protocol.read_frame r ~max_size:16))
+
+let test_frame_bad_magic_and_too_large () =
+  with_pipe (fun r w ->
+      let junk = "XMTS\x00\x00\x00\x01z" in
+      let _ = Unix.write_substring w junk 0 (String.length junk) in
+      Alcotest.check read_result "magic" (Error Protocol.Bad_magic)
+        (Protocol.read_frame r ~max_size:16));
+  with_pipe (fun r w ->
+      (* The length field announces more than the cap; the refusal must
+         come from the header alone, before any payload arrives. *)
+      let header = "EMTS\x00\x10\x00\x00" in
+      let _ = Unix.write_substring w header 0 (String.length header) in
+      Alcotest.check read_result "too large"
+        (Error (Protocol.Too_large 0x100000))
+        (Protocol.read_frame r ~max_size:16))
+
+(* --- request / response JSON --- *)
+
+let test_request_round_trip () =
+  let reqs =
+    [
+      Protocol.Request.Ping { id = J.Str "a" };
+      Protocol.Request.Stats { id = J.Num 3. };
+      Protocol.Request.Schedule
+        {
+          id = J.Null;
+          req =
+            schedule_req ~algorithm:"mcpa" ~seed:123 ~deadline_s:1.5
+              ~budget_s:0.25 "graph text\nwith lines";
+        };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.Request.of_string (Protocol.Request.to_string r) with
+      | Ok r' ->
+        Alcotest.(check bool) "round trip" true (r = r')
+      | Error m -> Alcotest.fail m)
+    reqs
+
+let test_request_defaults_and_errors () =
+  (match Protocol.Request.of_string {|{"verb":"schedule","ptg":"g"}|} with
+  | Ok (Protocol.Request.Schedule { req; _ }) ->
+    Alcotest.(check string) "platform default" "grelon" req.platform;
+    Alcotest.(check string) "model default" "amdahl" req.model;
+    Alcotest.(check string) "algorithm default" "emts5" req.algorithm
+  | Ok _ -> Alcotest.fail "wrong verb"
+  | Error m -> Alcotest.fail m);
+  let bad s =
+    match Protocol.Request.of_string s with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+    | Error _ -> ()
+  in
+  bad "not json at all";
+  bad {|{"ptg":"g"}|};
+  bad {|{"verb":"schedule"}|};
+  bad {|{"verb":"launch-missiles"}|};
+  bad {|{"verb":"schedule","ptg":"g","deadline_s":-1}|};
+  bad {|{"verb":"schedule","ptg":"g","budget_s":0}|}
+
+let test_response_round_trip () =
+  let resps =
+    [
+      Protocol.Response.Pong { id = J.Str "a"; server = Server.server_id };
+      Protocol.Response.Error
+        {
+          id = J.Null;
+          code = Protocol.Error_code.overloaded;
+          message = "queue full";
+        };
+      Protocol.Response.Stats
+        { id = J.Null; stats = J.Obj [ ("x", J.Num 1.) ] };
+      Protocol.Response.Schedule_result
+        {
+          id = J.Str "r1";
+          algorithm = "EMTS5";
+          makespan = 12.5;
+          alloc = [| 1; 2; 3 |];
+          tasks = 3;
+          procs = 8;
+          utilization = 83.25;
+          platform = "grelon";
+          queue_s = 0.001;
+          solve_s = 0.25;
+          total_s = 0.251;
+          deadline_hit = false;
+          generations_done = 5;
+          evaluations = 129;
+        };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.Response.of_string (Protocol.Response.to_string r) with
+      | Ok r' -> Alcotest.(check bool) "round trip" true (r = r')
+      | Error m -> Alcotest.fail m)
+    resps
+
+(* --- engine --- *)
+
+let with_engine ?(pool_domains = 1) ?(capacity = 1024) f =
+  let caches = Engine.caches ~capacity ~max_instances:4 in
+  let e = Engine.create ~pool_domains ~caches () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown e) (fun () -> f caches e)
+
+let handle_exn e req ~deadline =
+  match Engine.handle e req ~deadline with
+  | Ok o -> o
+  | Error m -> Alcotest.fail m
+
+(* The response to a request must be a function of the request alone:
+   same outcome whatever the pool width and whether caches are on. *)
+let test_engine_determinism () =
+  let ptg = graph_string () in
+  let outcomes =
+    List.map
+      (fun (pool_domains, capacity) ->
+        with_engine ~pool_domains ~capacity (fun _ e ->
+            handle_exn e (schedule_req ptg) ~deadline:None))
+      [ (1, 1024); (3, 1024); (2, 0) ]
+  in
+  match outcomes with
+  | first :: rest ->
+    List.iter
+      (fun o ->
+        Alcotest.(check (float 0.)) "makespan" first.Engine.makespan
+          o.Engine.makespan;
+        Alcotest.(check (array int)) "alloc" first.Engine.alloc o.Engine.alloc)
+      rest
+  | [] -> assert false
+
+let test_engine_repeat_hits_cache () =
+  let ptg = graph_string () in
+  with_engine (fun caches e ->
+      let a = handle_exn e (schedule_req ptg) ~deadline:None in
+      Alcotest.(check int) "one instance cached" 1
+        (Engine.cache_instances caches);
+      let b = handle_exn e (schedule_req ptg) ~deadline:None in
+      Alcotest.(check (float 0.)) "same makespan" a.Engine.makespan
+        b.Engine.makespan;
+      Alcotest.(check (array int)) "same alloc" a.Engine.alloc b.Engine.alloc)
+
+let test_engine_cache_instances_bounded () =
+  with_engine (fun caches e ->
+      for seed = 1 to 9 do
+        ignore
+          (handle_exn e (schedule_req (graph_string ~seed ())) ~deadline:None)
+      done;
+      Alcotest.(check bool) "bounded" true
+        (Engine.cache_instances caches <= 4))
+
+let test_engine_heuristic_and_errors () =
+  let ptg = graph_string () in
+  with_engine (fun _ e ->
+      let o = handle_exn e (schedule_req ~algorithm:"mcpa" ptg) ~deadline:None in
+      Alcotest.(check string) "label" "MCPA" o.Engine.algorithm;
+      Alcotest.(check bool) "positive makespan" true (o.Engine.makespan > 0.);
+      let expect_err req =
+        match Engine.handle e req ~deadline:None with
+        | Ok _ -> Alcotest.fail "expected an error"
+        | Error _ -> ()
+      in
+      expect_err (schedule_req "not a graph");
+      expect_err (schedule_req ~algorithm:"no-such-algorithm" ptg);
+      expect_err { (schedule_req ptg) with Protocol.Request.platform = "no-such-platform" })
+
+(* A deadline in the past still yields a complete, valid answer: the
+   EA stops at the first generation boundary and reports best-so-far. *)
+let test_engine_deadline_best_so_far () =
+  let ptg = graph_string ~tasks:20 () in
+  with_engine (fun _ e ->
+      let full =
+        handle_exn e (schedule_req ~algorithm:"emts10" ptg) ~deadline:None
+      in
+      let cut =
+        handle_exn e
+          (schedule_req ~algorithm:"emts10" ptg)
+          ~deadline:(Some (Emts_obs.Clock.now () -. 1.))
+      in
+      Alcotest.(check bool) "deadline reported" true cut.Engine.deadline_hit;
+      Alcotest.(check bool) "stopped early" true
+        (cut.Engine.generations_done < full.Engine.generations_done);
+      Alcotest.(check int) "alloc covers every task"
+        (Array.length full.Engine.alloc)
+        (Array.length cut.Engine.alloc);
+      Alcotest.(check bool) "valid makespan" true
+        (Float.is_finite cut.Engine.makespan && cut.Engine.makespan > 0.))
+
+(* --- end-to-end over a real socket --- *)
+
+let test_server_end_to_end () =
+  let dir = Filename.temp_file "emts_serve" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "emts.sock" in
+  let stop = Atomic.make false in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.run
+          ~stop:(fun () -> Atomic.get stop)
+          { Server.default with Server.socket = Some path; workers = 2 })
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join server;
+      if Sys.file_exists path then Sys.remove path;
+      Unix.rmdir dir)
+    (fun () ->
+      let connect () =
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      in
+      let roundtrip fd req =
+        Protocol.write_frame fd (Protocol.Request.to_string req);
+        match Protocol.read_frame fd ~max_size:Protocol.default_max_frame with
+        | Ok payload -> (
+          match Protocol.Response.of_string payload with
+          | Ok r -> r
+          | Error m -> Alcotest.fail ("bad response: " ^ m))
+        | Error e -> Alcotest.fail (Protocol.frame_error_to_string e)
+      in
+      (* A connection poisoned by a malformed frame is closed... *)
+      let bad = connect () in
+      let junk = "GARBAGEGARBAGE" in
+      let _ = Unix.write_substring bad junk 0 (String.length junk) in
+      (match Protocol.read_frame bad ~max_size:Protocol.default_max_frame with
+      | Ok payload -> (
+        match Protocol.Response.of_string payload with
+        | Ok (Protocol.Response.Error { code; _ }) ->
+          Alcotest.(check string) "malformed code"
+            Protocol.Error_code.malformed_frame code
+        | _ -> Alcotest.fail "expected an error response")
+      | Error _ -> Alcotest.fail "expected an error response before close");
+      Unix.close bad;
+      (* ... while a fresh connection on the same server still works,
+         and a bad payload in a sound frame keeps its connection. *)
+      let fd = connect () in
+      (match roundtrip fd (Protocol.Request.Ping { id = J.Str "t" }) with
+      | Protocol.Response.Pong { server; _ } ->
+        Alcotest.(check string) "server id" Server.server_id server
+      | _ -> Alcotest.fail "expected pong");
+      Protocol.write_frame fd "this is not json";
+      (match Protocol.read_frame fd ~max_size:Protocol.default_max_frame with
+      | Ok payload -> (
+        match Protocol.Response.of_string payload with
+        | Ok (Protocol.Response.Error { code; _ }) ->
+          Alcotest.(check string) "bad payload code"
+            Protocol.Error_code.bad_request code
+        | _ -> Alcotest.fail "expected an error response")
+      | Error e -> Alcotest.fail (Protocol.frame_error_to_string e));
+      let ptg = graph_string () in
+      (match
+         roundtrip fd
+           (Protocol.Request.Schedule
+              { id = J.Str "s1"; req = schedule_req ptg })
+       with
+      | Protocol.Response.Schedule_result r ->
+        Alcotest.(check string) "id echoed" "s1"
+          (match r.Protocol.Response.id with J.Str s -> s | _ -> "?");
+        Alcotest.(check int) "alloc length" 12
+          (Array.length r.Protocol.Response.alloc)
+      | _ -> Alcotest.fail "expected a schedule result");
+      (match roundtrip fd (Protocol.Request.Stats { id = J.Null }) with
+      | Protocol.Response.Stats { stats; _ } -> (
+        match J.member "counters" stats with
+        | Some (J.Obj _) -> ()
+        | _ -> Alcotest.fail "stats missing counters")
+      | _ -> Alcotest.fail "expected stats");
+      Unix.close fd)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "round trip" `Quick test_frame_round_trip;
+          Alcotest.test_case "closed / truncated" `Quick
+            test_frame_closed_and_truncated;
+          Alcotest.test_case "bad magic / too large" `Quick
+            test_frame_bad_magic_and_too_large;
+        ] );
+      ( "messages",
+        [
+          Alcotest.test_case "request round trip" `Quick
+            test_request_round_trip;
+          Alcotest.test_case "request defaults and errors" `Quick
+            test_request_defaults_and_errors;
+          Alcotest.test_case "response round trip" `Quick
+            test_response_round_trip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "determinism across pool widths" `Quick
+            test_engine_determinism;
+          Alcotest.test_case "repeat request, shared cache" `Quick
+            test_engine_repeat_hits_cache;
+          Alcotest.test_case "cache instances bounded" `Quick
+            test_engine_cache_instances_bounded;
+          Alcotest.test_case "heuristics and request errors" `Quick
+            test_engine_heuristic_and_errors;
+          Alcotest.test_case "deadline returns best-so-far" `Quick
+            test_engine_deadline_best_so_far;
+        ] );
+      ( "server",
+        [ Alcotest.test_case "end to end" `Quick test_server_end_to_end ] );
+    ]

@@ -1,0 +1,157 @@
+(* emts-fuzz: differential fuzzing and invariant checking for the whole
+   EMTS stack.
+
+   Default mode: sample random adversarial scenarios for --time-budget
+   seconds and check them against the selected oracles; the first
+   failure of each oracle is shrunk and persisted to --corpus as a
+   .ptg + JSON repro pair, and the process exits 1.  --replay re-runs
+   one persisted repro (exit 0 when the oracle now passes, 1 when the
+   bug still reproduces). *)
+
+open Cmdliner
+module Check = Emts_check
+
+let oracle_arg =
+  let doc =
+    "Comma-separated oracle names, or 'all'.  Known oracles: "
+    ^ String.concat ", " Check.Oracle.names ^ "."
+  in
+  Arg.(
+    value & opt string "all" & info [ "oracle" ] ~docv:"NAMES" ~doc)
+
+let time_budget_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "time-budget" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock fuzzing budget in seconds.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0x5EED_CA11
+    & info [ "seed" ] ~docv:"INT"
+        ~doc:
+          "Run seed.  Scenario $(i,i) is generated from the \
+           content-addressed seed of \"fuzz/<seed>/<i>\", so two runs \
+           with one seed visit identical scenarios in identical order.")
+
+let corpus_arg =
+  Arg.(
+    value & opt string "fuzz-corpus"
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "Directory for repro files (created lazily, only when a \
+           failure is found).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "replay" ] ~docv:"REPRO.json"
+        ~doc:
+          "Replay one persisted repro instead of fuzzing: exit 0 when \
+           its oracle now passes, 1 when the failure still reproduces.")
+
+let max_scenarios_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-scenarios" ] ~docv:"N"
+        ~doc:
+          "Stop after $(docv) scenarios even if budget remains (mainly \
+           for tests).")
+
+let list_arg =
+  Arg.(value & flag & info [ "list-oracles" ] ~doc:"List the oracles and exit.")
+
+let resolve_oracles spec =
+  let names =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if names = [] then Error "--oracle: empty oracle list"
+  else if List.mem "all" (List.map String.lowercase_ascii names) then
+    Ok Check.Oracle.all
+  else
+    List.fold_left
+      (fun acc name ->
+        match (acc, Check.Oracle.find name) with
+        | Error _, _ -> acc
+        | Ok _, None ->
+          Error
+            (Printf.sprintf "unknown oracle %S (known: %s)" name
+               (String.concat ", " Check.Oracle.names))
+        | Ok os, Some o -> Ok (os @ [ o ]))
+      (Ok []) names
+
+let print_report (r : Check.Fuzz.report) =
+  List.iter
+    (fun (name, runs) -> Printf.printf "oracle %-12s %d checks\n" name runs)
+    r.Check.Fuzz.runs;
+  List.iter
+    (fun (f : Check.Fuzz.failure) ->
+      Printf.printf "FAILED %s: %s\n" f.Check.Fuzz.oracle f.Check.Fuzz.detail;
+      Printf.printf "  scenario: %s\n"
+        (Check.Scenario.describe f.Check.Fuzz.scenario);
+      match f.Check.Fuzz.repro with
+      | Some path -> Printf.printf "  repro: %s (re-run with --replay)\n" path
+      | None -> ())
+    r.Check.Fuzz.failures;
+  Printf.printf "emts-fuzz: %d scenarios in %.1fs, %d failure%s\n"
+    r.Check.Fuzz.scenarios r.Check.Fuzz.elapsed
+    (List.length r.Check.Fuzz.failures)
+    (if List.length r.Check.Fuzz.failures = 1 then "" else "s")
+
+let run obs oracle_spec time_budget seed corpus replay max_scenarios list =
+  Obs_cli.with_obs_graceful obs @@ fun () ->
+  if list then begin
+    List.iter
+      (fun (o : Check.Oracle.t) ->
+        Printf.printf "%-12s %s\n" o.Check.Oracle.name o.Check.Oracle.doc)
+      Check.Oracle.all;
+    Ok ()
+  end
+  else
+    match replay with
+    | Some path -> (
+      match Check.Corpus.replay path with
+      | Ok () ->
+        Printf.printf "replay %s: oracle passes (bug fixed or not present)\n"
+          path;
+        Check.Oracle.shutdown ();
+        Ok ()
+      | Error detail ->
+        Printf.printf "replay %s: still failing\n  %s\n" path detail;
+        Check.Oracle.shutdown ();
+        exit 1)
+    | None -> (
+      match resolve_oracles oracle_spec with
+      | Error m -> Error m
+      | Ok oracles ->
+        if time_budget <= 0. then Error "--time-budget must be positive"
+        else begin
+          let report =
+            Check.Fuzz.run ~corpus ?max_scenarios
+              ~log:(fun line -> Printf.eprintf "emts-fuzz: %s\n%!" line)
+              ~oracles ~time_budget ~seed ()
+          in
+          Check.Oracle.shutdown ();
+          print_report report;
+          if report.Check.Fuzz.failures = [] then Ok () else exit 1
+        end)
+
+let () =
+  let info =
+    Cmd.info "emts-fuzz"
+      ~version:(Obs_cli.version_string "emts-fuzz")
+      ~doc:
+        "Differential fuzzing and invariant checking for the EMTS \
+         scheduling stack."
+  in
+  let term =
+    Term.(
+      term_result'
+        (const run $ Obs_cli.term $ oracle_arg $ time_budget_arg $ seed_arg
+       $ corpus_arg $ replay_arg $ max_scenarios_arg $ list_arg))
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,82 @@
+module J = Emts_resilience.Json
+
+type repro = {
+  oracle : string;
+  scenario : Scenario.t;
+  detail : string;
+}
+
+let ( let* ) = Result.bind
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let save ~dir ~oracle ~detail (s : Scenario.t) =
+  mkdir_p dir;
+  let ptg_text = Emts_ptg.Serial.to_string s.Scenario.graph in
+  let stem =
+    Printf.sprintf "%s-seed%d-%s" oracle s.Scenario.seed
+      (Emts_resilience.Crc32.to_hex (Emts_resilience.Crc32.string ptg_text))
+  in
+  let ptg_file = stem ^ ".ptg" in
+  Emts_resilience.write_string ~path:(Filename.concat dir ptg_file) ptg_text;
+  let json_path = Filename.concat dir (stem ^ ".json") in
+  Emts_resilience.write_string ~path:json_path
+    (J.to_string
+       (J.Obj
+          [
+            ("oracle", J.Str oracle);
+            ("ptg", J.Str ptg_file);
+            ("procs", J.Num (float_of_int s.Scenario.procs));
+            ("model", J.Str s.Scenario.model);
+            ("seed", J.Num (float_of_int s.Scenario.seed));
+            ("detail", J.Str detail);
+          ]));
+  json_path
+
+let field name conv json =
+  match J.member name json with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> conv v
+
+let load path =
+  let* text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error m -> Error m
+  in
+  let* json = J.of_string text in
+  let* oracle = field "oracle" J.to_str json in
+  let* ptg_file = field "ptg" J.to_str json in
+  let* procs = field "procs" J.to_int json in
+  let* model = field "model" J.to_str json in
+  let* seed = field "seed" J.to_int json in
+  let* detail = field "detail" J.to_str json in
+  let* () =
+    if List.mem_assoc model Scenario.models then Ok ()
+    else Error (Printf.sprintf "unknown model %S" model)
+  in
+  let* () =
+    if procs >= 1 then Ok ()
+    else Error (Printf.sprintf "invalid procs %d" procs)
+  in
+  let ptg_path =
+    if Filename.is_relative ptg_file then
+      Filename.concat (Filename.dirname path) ptg_file
+    else ptg_file
+  in
+  let* graph =
+    Result.map_error Emts_resilience.Error.to_string
+      (Emts_ptg.Serial.load ptg_path)
+  in
+  Ok { oracle; detail; scenario = { Scenario.graph; procs; model; seed } }
+
+let replay path =
+  let* r = load path in
+  match Oracle.find r.oracle with
+  | None -> Error (Printf.sprintf "unknown oracle %S" r.oracle)
+  | Some oracle -> Oracle.run oracle r.scenario

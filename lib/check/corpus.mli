@@ -1,0 +1,29 @@
+(** Replayable failure corpus.
+
+    Every failure the fuzzer finds is persisted as a pair of files in
+    the corpus directory: the (shrunk) graph as a plain [.ptg] file,
+    and a JSON repro record naming the oracle, the platform size, the
+    model key, the scenario seed, the diagnostic and the [.ptg] file.
+    [emts-fuzz --replay repro.json] re-runs exactly that check; CI
+    uploads the directory as an artifact so a nightly failure arrives
+    as a ready-to-replay test case. *)
+
+type repro = {
+  oracle : string;
+  scenario : Scenario.t;
+  detail : string;  (** the diagnostic recorded at save time *)
+}
+
+val save : dir:string -> oracle:string -> detail:string -> Scenario.t -> string
+(** Persist one failure (creating [dir] if needed); returns the path
+    of the JSON repro file.  Writes are atomic and durable
+    ({!Emts_resilience.write_file}). *)
+
+val load : string -> (repro, string) result
+(** Read a repro record back (the [.ptg] file is resolved relative to
+    the record's directory). *)
+
+val replay : string -> (unit, string) result
+(** [replay path] loads the repro and re-runs its oracle on its
+    scenario: [Ok] when the oracle now passes (the bug is fixed),
+    [Error] with the fresh diagnostic when it still fails. *)

@@ -1,0 +1,94 @@
+let m_scenarios = Emts_obs.Metrics.counter "fuzz.scenarios"
+let m_failures = Emts_obs.Metrics.counter "fuzz.failures"
+
+type failure = {
+  oracle : string;
+  scenario : Scenario.t;
+  detail : string;
+  repro : string option;
+}
+
+type report = {
+  scenarios : int;
+  elapsed : float;
+  runs : (string * int) list;
+  failures : failure list;
+}
+
+let run ?corpus ?max_scenarios ?(log = fun _ -> ()) ~oracles ~time_budget ~seed
+    () =
+  let started = Emts_obs.Clock.now () in
+  let counters =
+    List.map
+      (fun (o : Oracle.t) ->
+        (o.Oracle.name, ref 0, Emts_obs.Metrics.counter ("fuzz.oracle." ^ o.Oracle.name)))
+      oracles
+  in
+  let live = ref oracles in
+  let failures = ref [] in
+  let scenarios = ref 0 in
+  let last_log = ref started in
+  let budget_left () = Emts_obs.Clock.elapsed ~since:started < time_budget in
+  let under_max () =
+    match max_scenarios with None -> true | Some m -> !scenarios < m
+  in
+  while
+    !live <> [] && budget_left () && under_max ()
+    && not (Emts_resilience.Shutdown.requested ())
+  do
+    let i = !scenarios in
+    let rng =
+      Emts_prng.create
+        ~seed:(Emts_prng.seed_of_label (Printf.sprintf "fuzz/%d/%d" seed i))
+        ()
+    in
+    let scenario = Gen.scenario rng in
+    incr scenarios;
+    Emts_obs.Metrics.incr m_scenarios;
+    List.iter
+      (fun (o : Oracle.t) ->
+        let _, runs, metric =
+          List.find (fun (n, _, _) -> n = o.Oracle.name) counters
+        in
+        incr runs;
+        Emts_obs.Metrics.incr metric;
+        match Oracle.run o scenario with
+        | Ok () -> ()
+        | Error detail ->
+          Emts_obs.Metrics.incr m_failures;
+          log
+            (Printf.sprintf "oracle %s FAILED on scenario %d: %s" o.Oracle.name
+               i detail);
+          let shrunk = Shrink.shrink ~oracle:o scenario in
+          (* Re-run on the shrunk scenario so the recorded diagnostic
+             matches the persisted repro. *)
+          let detail =
+            match Oracle.run o shrunk with Error d -> d | Ok () -> detail
+          in
+          let repro =
+            Option.map
+              (fun dir ->
+                Corpus.save ~dir ~oracle:o.Oracle.name ~detail shrunk)
+              corpus
+          in
+          failures :=
+            { oracle = o.Oracle.name; scenario = shrunk; detail; repro }
+            :: !failures;
+          live := List.filter (fun l -> l != o) !live)
+      !live;
+    let now = Emts_obs.Clock.now () in
+    if now -. !last_log >= 5. then begin
+      last_log := now;
+      log
+        (Printf.sprintf "t=%.1fs scenarios=%d failures=%d"
+           (Emts_obs.Clock.elapsed ~since:started)
+           !scenarios
+           (List.length !failures))
+    end
+  done;
+  {
+    scenarios = !scenarios;
+    elapsed = Emts_obs.Clock.elapsed ~since:started;
+    runs = List.map (fun (n, r, _) -> (n, !r)) counters;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,43 @@
+(** The fuzzing driver: sample scenarios, run oracles, shrink and
+    persist what fails.
+
+    Scenario [i] of a run with seed [S] is generated from the
+    content-addressed seed [seed_of_label "fuzz/S/i"], so a run is
+    reproducible from [(S, time_budget)]-independent state: re-running
+    with the same seed visits the same scenarios in the same order
+    regardless of how many the budget admitted last time.
+
+    Observability: bumps [fuzz.scenarios], [fuzz.failures] and one
+    [fuzz.oracle.<name>] counter per oracle run, so [--metrics] on the
+    binary reports coverage per oracle. *)
+
+type failure = {
+  oracle : string;
+  scenario : Scenario.t;  (** shrunk *)
+  detail : string;
+  repro : string option;  (** JSON repro path when a corpus dir is set *)
+}
+
+type report = {
+  scenarios : int;  (** scenarios sampled *)
+  elapsed : float;  (** seconds, monotonic *)
+  runs : (string * int) list;  (** oracle name -> checks executed *)
+  failures : failure list;
+}
+
+val run :
+  ?corpus:string ->
+  ?max_scenarios:int ->
+  ?log:(string -> unit) ->
+  oracles:Oracle.t list ->
+  time_budget:float ->
+  seed:int ->
+  unit ->
+  report
+(** Sample and check scenarios until [time_budget] seconds elapse (or
+    [max_scenarios] is reached, or shutdown is requested via
+    {!Emts_resilience.Shutdown}).  The first failure of each oracle is
+    shrunk, persisted to [corpus] (when given) and recorded; that
+    oracle is then retired for the rest of the run — one bug yields
+    one repro, not a thousand duplicates.  [log] receives occasional
+    progress lines. *)

@@ -1,0 +1,122 @@
+module Graph = Emts_ptg.Graph
+
+(* Moved here from test/testutil.ml so the fuzzer and the alcotest
+   suites share one implementation (testutil delegates to us). *)
+let random_triangular_dag rng ~n ~p =
+  let b = Graph.Builder.create () in
+  let ids =
+    Array.init n (fun _ ->
+        Graph.Builder.add_task
+          ~flop:(1. +. Emts_prng.float rng 99.)
+          ~alpha:(Emts_prng.float rng 0.5)
+          b)
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Emts_prng.bernoulli rng ~p then
+        Graph.Builder.add_edge b ~src:ids.(i) ~dst:ids.(j)
+    done
+  done;
+  Graph.Builder.build b
+
+let costed_daggen ?(width = 0.5) ?(regularity = 0.5) ?(density = 0.3)
+    ?(jump = 1) rng ~n =
+  Emts_daggen.Costs.assign rng
+    (Emts_daggen.Random_dag.generate rng
+       { Emts_daggen.Random_dag.n; width; regularity; density; jump })
+
+let random_daggen rng ~n =
+  let params =
+    {
+      Emts_daggen.Random_dag.n;
+      width = Emts_prng.float_in rng 0.1 1.0;
+      regularity = Emts_prng.float rng 1.0;
+      density = Emts_prng.float rng 1.0;
+      jump = Emts_prng.int rng 4;
+    }
+  in
+  Emts_daggen.Costs.assign rng (Emts_daggen.Random_dag.generate rng params)
+
+let random_valid_alloc rng graph ~procs =
+  Array.init (Graph.task_count graph) (fun _ -> Emts_prng.int_in rng 1 procs)
+
+let graph_classes =
+  [
+    "daggen-layered";
+    "daggen-irregular";
+    "chain";
+    "wide-fork";
+    "single";
+    "independent";
+    "mesh";
+    "triangular";
+  ]
+
+(* Zero-cost tasks: a schedule full of zero-duration work is legal and
+   exercises the epsilon comparisons of Schedule.validate and the
+   simulator's simultaneous-event ordering. *)
+let zero_some_tasks rng g =
+  Graph.map_tasks
+    (fun t ->
+      if Emts_prng.bernoulli rng ~p:0.3 then
+        { t with Emts_ptg.Task.flop = 0.; pattern = Emts_ptg.Task.Direct }
+      else t)
+    g
+
+let structure rng = function
+  | "daggen-layered" ->
+    let n = Emts_prng.int_in rng 5 50 in
+    let params =
+      {
+        Emts_daggen.Random_dag.n;
+        width = Emts_prng.float_in rng 0.2 0.8;
+        regularity = Emts_prng.float_in rng 0.2 0.8;
+        density = Emts_prng.float_in rng 0.2 0.8;
+        jump = 0;
+      }
+    in
+    Emts_daggen.Random_dag.generate rng params
+  | "daggen-irregular" ->
+    let n = Emts_prng.int_in rng 5 50 in
+    let params =
+      {
+        Emts_daggen.Random_dag.n;
+        width = Emts_prng.float_in rng 0.2 0.8;
+        regularity = Emts_prng.float_in rng 0.2 0.8;
+        density = Emts_prng.float_in rng 0.2 0.8;
+        jump = Emts_prng.int_in rng 1 4;
+      }
+    in
+    Emts_daggen.Random_dag.generate rng params
+  | "chain" -> Emts_daggen.Shapes.chain (Emts_prng.int_in rng 1 30)
+  | "wide-fork" -> Emts_daggen.Shapes.fork_join (Emts_prng.int_in rng 1 40)
+  | "single" -> Emts_daggen.Shapes.chain 1
+  | "independent" -> Emts_daggen.Shapes.independent (Emts_prng.int_in rng 1 30)
+  | "mesh" ->
+    Emts_daggen.Shapes.layered_mesh
+      ~layers:(Emts_prng.int_in rng 1 6)
+      ~width:(Emts_prng.int_in rng 1 6)
+  | "triangular" ->
+    random_triangular_dag rng
+      ~n:(Emts_prng.int_in rng 1 30)
+      ~p:(Emts_prng.float_in rng 0.05 0.5)
+  | cls -> invalid_arg ("Emts_check.Gen: unknown graph class " ^ cls)
+
+let classes_array = Array.of_list graph_classes
+
+let graph rng =
+  let cls = Emts_prng.choose rng classes_array in
+  let g = Emts_daggen.Costs.assign rng (structure rng cls) in
+  if Emts_prng.bernoulli rng ~p:0.2 then zero_some_tasks rng g else g
+
+let platform_sizes = [| 1; 2; 3; 5; 8; 16; 32 |]
+let model_names = Array.of_list (List.map fst Scenario.models)
+
+let scenario rng =
+  let g = graph rng in
+  {
+    Scenario.graph = g;
+    procs = Emts_prng.choose rng platform_sizes;
+    model = Emts_prng.choose rng model_names;
+    seed = Emts_prng.int rng 1_000_000_000;
+  }

@@ -1,0 +1,48 @@
+(** Random-scenario generators for the fuzzing harness.
+
+    Two layers: reusable graph generators (also consumed by the
+    alcotest suites through [test/testutil.ml]) and the scenario
+    sampler the fuzz driver iterates.  The sampler deliberately mixes
+    the daggen classes of the paper's campaign with adversarial shapes
+    — chains, wide forks, single-task graphs, bags of independent
+    tasks, zero-cost tasks, one-processor platforms, non-monotone
+    models — because that is where scheduling invariants are most
+    likely to break. *)
+
+val random_triangular_dag :
+  Emts_prng.t -> n:int -> p:float -> Emts_ptg.Graph.t
+(** Upper-triangular coin-flip DAG: acyclic by construction, arbitrary
+    shape (unlike the layered daggen graphs).  [n >= 1] tasks with
+    random costs; each forward edge present with probability [p]. *)
+
+val costed_daggen :
+  ?width:float ->
+  ?regularity:float ->
+  ?density:float ->
+  ?jump:int ->
+  Emts_prng.t ->
+  n:int ->
+  Emts_ptg.Graph.t
+(** A daggen graph with explicit shape parameters (defaults: width 0.5,
+    regularity 0.5, density 0.3, jump 1 — the test suite's customary
+    mid-sized shape) and costs assigned from the same generator. *)
+
+val random_daggen : Emts_prng.t -> n:int -> Emts_ptg.Graph.t
+(** A daggen-style graph of [n] tasks with randomly drawn shape
+    parameters (width, regularity, density, jump) and random costs. *)
+
+val random_valid_alloc :
+  Emts_prng.t -> Emts_ptg.Graph.t -> procs:int -> Emts_sched.Allocation.t
+(** A uniformly random allocation vector with every entry in
+    [1, procs]. *)
+
+val graph_classes : string list
+(** Names of the structural classes the sampler draws from. *)
+
+val graph : Emts_prng.t -> Emts_ptg.Graph.t
+(** One random graph: a class drawn from {!graph_classes}, costs
+    assigned, and (sometimes) a few tasks zeroed out to cost 0. *)
+
+val scenario : Emts_prng.t -> Scenario.t
+(** One complete random scenario: graph, platform size (1 included),
+    model (non-monotone included), and a derived per-scenario seed. *)

@@ -1,0 +1,709 @@
+module Schedule = Emts_sched.Schedule
+module List_scheduler = Emts_sched.List_scheduler
+module Allocation = Emts_sched.Allocation
+module Alg = Emts.Algorithm
+module Protocol = Emts_serve.Protocol
+module Server = Emts_serve.Server
+module Engine = Emts_serve.Engine
+module J = Emts_resilience.Json
+
+type t = {
+  name : string;
+  doc : string;
+  check : Scenario.t -> (unit, string) result;
+}
+
+let ( let* ) = Result.bind
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let bits = Int64.bits_of_float
+let float_eq a b = Int64.equal (bits a) (bits b)
+
+let rng_of (s : Scenario.t) = Emts_prng.create ~seed:s.Scenario.seed ()
+
+let ctx_of (s : Scenario.t) =
+  Emts_alloc.Common.make_ctx ~model:(Scenario.model s)
+    ~platform:(Scenario.platform s) ~graph:s.Scenario.graph
+
+(* A small-but-real EMTS: enough generations for mutation, selection,
+   caching and checkpointing to all fire, cheap enough to run on every
+   scenario. *)
+let mini_config = { Alg.emts5 with Alg.mu = 3; lambda = 8; generations = 3 }
+
+let violations_to_string vs =
+  String.concat "; " (List.map (Format.asprintf "%a" Schedule.pp_violation) vs)
+
+let check_list f xs =
+  List.fold_left (fun acc x -> match acc with Ok () -> f x | e -> e) (Ok ()) xs
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "emts_check" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* (a) validate: every algorithm's product is a valid schedule. *)
+
+let heuristic_products (s : Scenario.t) ctx =
+  List.map
+    (fun (h : Emts_alloc.heuristic) -> (h.Emts_alloc.name, h.allocate ctx))
+    Emts_alloc.all
+  @ [
+      ( "random",
+        Gen.random_valid_alloc (rng_of s) s.Scenario.graph
+          ~procs:s.Scenario.procs );
+    ]
+
+let validated_schedule (s : Scenario.t) ctx ~label alloc =
+  let graph = s.Scenario.graph in
+  let* () =
+    Result.map_error
+      (fun m -> Printf.sprintf "%s: invalid allocation: %s" label m)
+      (Allocation.validate alloc ~graph ~procs:s.Scenario.procs)
+  in
+  let times = Allocation.times_of_tables alloc ~tables:ctx.Emts_alloc.Common.tables in
+  let schedule =
+    List_scheduler.run ~graph ~times ~alloc ~procs:s.Scenario.procs
+  in
+  match Schedule.validate ~alloc schedule ~graph with
+  | Ok () -> Ok schedule
+  | Error vs ->
+    fail "%s: invalid schedule: %s" label (violations_to_string vs)
+
+let check_validate (s : Scenario.t) =
+  let ctx = ctx_of s in
+  let* () =
+    check_list
+      (fun (label, alloc) ->
+        Result.map (fun _ -> ()) (validated_schedule s ctx ~label alloc))
+      (heuristic_products s ctx)
+  in
+  let result = Alg.run_ctx ~rng:(rng_of s) ~config:mini_config ~ctx () in
+  match Schedule.validate ~alloc:result.Alg.alloc result.Alg.schedule
+          ~graph:s.Scenario.graph
+  with
+  | Ok () -> Ok ()
+  | Error vs -> fail "EA best: invalid schedule: %s" (violations_to_string vs)
+
+(* ------------------------------------------------------------------ *)
+(* (b) differential: the zero-noise simulator replays every list
+   schedule exactly, and the fitness fast paths agree with the
+   materialised schedule. *)
+
+let entry_equal (a : Schedule.entry) (b : Schedule.entry) =
+  a.Schedule.task = b.Schedule.task
+  && float_eq a.Schedule.start b.Schedule.start
+  && float_eq a.Schedule.finish b.Schedule.finish
+  && a.Schedule.procs = b.Schedule.procs
+
+let check_differential (s : Scenario.t) =
+  let ctx = ctx_of s in
+  let graph = s.Scenario.graph in
+  let procs = s.Scenario.procs in
+  let rng = rng_of s in
+  let allocs =
+    heuristic_products s ctx
+    @ List.init 2 (fun i ->
+          ( Printf.sprintf "random%d" i,
+            Gen.random_valid_alloc rng graph ~procs ))
+  in
+  check_list
+    (fun (label, alloc) ->
+      let* schedule = validated_schedule s ctx ~label alloc in
+      let times =
+        Allocation.times_of_tables alloc ~tables:ctx.Emts_alloc.Common.tables
+      in
+      let makespan = Schedule.makespan schedule in
+      let fast = List_scheduler.makespan ~graph ~times ~alloc ~procs in
+      let* () =
+        if float_eq fast makespan then Ok ()
+        else
+          fail "%s: fast-path makespan %.17g <> schedule makespan %.17g" label
+            fast makespan
+      in
+      let* () =
+        match
+          List_scheduler.makespan_bounded ~graph ~times ~alloc ~procs
+            ~cutoff:infinity
+        with
+        | Some m when float_eq m makespan -> Ok ()
+        | Some m ->
+          fail "%s: bounded makespan %.17g <> %.17g" label m makespan
+        | None -> fail "%s: cutoff=infinity rejected the schedule" label
+      in
+      let sim =
+        Emts_simulator.execute ~noise:Emts_simulator.Noise.none ~rng:(rng_of s)
+          ~graph ~schedule ()
+      in
+      let* () =
+        if float_eq sim.Emts_simulator.makespan makespan then Ok ()
+        else
+          fail "%s: simulated makespan %.17g <> planned %.17g" label
+            sim.Emts_simulator.makespan makespan
+      in
+      let planned = Schedule.entries schedule in
+      let realized = Schedule.entries sim.Emts_simulator.realized in
+      let* () =
+        if Array.length planned = Array.length realized then Ok ()
+        else fail "%s: realised schedule lost tasks" label
+      in
+      let mismatch = ref None in
+      Array.iteri
+        (fun v p ->
+          if !mismatch = None && not (entry_equal p realized.(v)) then
+            mismatch := Some v)
+        planned;
+      match !mismatch with
+      | None -> Ok ()
+      | Some v ->
+        let p = planned.(v) and r = realized.(v) in
+        fail
+          "%s: task %d diverges under zero noise: planned \
+           [%.17g,%.17g]@{%s} vs realised [%.17g,%.17g]@{%s}"
+          label v p.Schedule.start p.Schedule.finish
+          (String.concat "|"
+             (Array.to_list (Array.map string_of_int p.Schedule.procs)))
+          r.Schedule.start r.Schedule.finish
+          (String.concat "|"
+             (Array.to_list (Array.map string_of_int r.Schedule.procs))))
+    allocs
+
+(* ------------------------------------------------------------------ *)
+(* (c) determinism: one seed, one result — whatever the execution
+   strategy. *)
+
+type ea_summary = {
+  makespan : float;
+  alloc : int array;
+  history : Emts_ea.generation_stats list;
+}
+
+let summarize (r : Alg.result) =
+  {
+    makespan = r.Alg.makespan;
+    alloc = r.Alg.alloc;
+    history = r.Alg.ea.Emts_ea.history;
+  }
+
+let summaries_agree ~label a b =
+  if not (float_eq a.makespan b.makespan) then
+    fail "%s: makespan %.17g <> base %.17g" label b.makespan a.makespan
+  else if a.alloc <> b.alloc then fail "%s: allocation differs from base" label
+  else if
+    List.length a.history = List.length b.history
+    && not
+         (List.for_all2
+            (fun (x : Emts_ea.generation_stats) (y : Emts_ea.generation_stats) ->
+              float_eq x.Emts_ea.best y.Emts_ea.best)
+            a.history b.history)
+  then fail "%s: per-generation best fitness differs from base" label
+  else Ok ()
+
+let check_determinism (s : Scenario.t) =
+  let ctx = ctx_of s in
+  let seed = s.Scenario.seed in
+  let run ?stop ?checkpoint ?resume config =
+    Alg.run_ctx ?stop ?checkpoint ?resume
+      ~rng:(Emts_prng.create ~seed ())
+      ~config ~ctx ()
+  in
+  let base = summarize (run mini_config) in
+  let* () =
+    summaries_agree ~label:"domains=2"
+      base
+      (summarize (run (Alg.with_domains 2 mini_config)))
+  in
+  let* () =
+    summaries_agree ~label:"fitness-cache"
+      base
+      (summarize (run (Alg.with_fitness_cache 512 mini_config)))
+  in
+  let* () =
+    summaries_agree ~label:"early-reject"
+      base
+      (summarize (run { mini_config with Alg.early_reject = true }))
+  in
+  (* Interrupt after k generations, resume from the checkpoint: the
+     stitched run must equal the uninterrupted one bit for bit. *)
+  let* () =
+    let k = 1 + (abs seed mod mini_config.Alg.generations) in
+    let path = Filename.temp_file "emts_check" ".ckpt" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        let polls = ref 0 in
+        let _partial =
+          run
+            ~stop:(fun () ->
+              incr polls;
+              !polls > k)
+            ~checkpoint:(path, 1) mini_config
+        in
+        let resumed =
+          summarize (run ~checkpoint:(path, 1) ~resume:true mini_config)
+        in
+        summaries_agree ~label:(Printf.sprintf "resume@k=%d" k) base resumed)
+  in
+  (* The serve engine path: the same request parsed back from wire
+     form must reproduce the direct computation exactly. *)
+  let serve_leg algorithm ~reference =
+    match Scenario.serve_model_spec s with
+    | None -> Ok ()
+    | Some model_spec -> (
+      let caches = Engine.caches ~capacity:256 ~max_instances:4 in
+      let engine = Engine.create ~caches () in
+      Fun.protect
+        ~finally:(fun () -> Engine.shutdown engine)
+        (fun () ->
+          let req =
+            Protocol.Request.schedule
+              ~platform:(Emts_platform.to_string (Scenario.platform s))
+              ~model:model_spec ~algorithm ~seed
+              ~ptg:(Emts_ptg.Serial.to_string s.Scenario.graph)
+              ()
+          in
+          match Engine.handle engine req ~deadline:None with
+          | Error m -> fail "serve/%s: engine rejected request: %s" algorithm m
+          | Ok outcome ->
+            let expected_makespan, expected_alloc = reference () in
+            if not (float_eq outcome.Engine.makespan expected_makespan) then
+              fail "serve/%s: makespan %.17g <> direct %.17g" algorithm
+                outcome.Engine.makespan expected_makespan
+            else if outcome.Engine.alloc <> expected_alloc then
+              fail "serve/%s: allocation differs from direct run" algorithm
+            else Ok ()))
+  in
+  let* () =
+    serve_leg "mcpa" ~reference:(fun () ->
+        let alloc = Emts_alloc.Mcpa.allocate ctx in
+        let schedule = Alg.schedule_allocation ~ctx alloc in
+        (Schedule.makespan schedule, alloc))
+  in
+  if Emts_ptg.Graph.task_count s.Scenario.graph > 30 then Ok ()
+  else
+    serve_leg "emts5" ~reference:(fun () ->
+        let r =
+          Alg.run_ctx
+            ~rng:(Emts_prng.create ~seed ())
+            ~config:Alg.emts5 ~ctx ()
+        in
+        (r.Alg.makespan, r.Alg.alloc))
+
+(* ------------------------------------------------------------------ *)
+(* (d) wire: abuse a live daemon; it must answer with typed errors or
+   clean closes, and stay alive. *)
+
+(* One daemon is kept warm across wire checks: starting a listener per
+   scenario would dominate the fuzzing budget.  Liveness is re-proven
+   at the end of every check, so a crash is still pinned to the
+   scenario that caused it. *)
+let wire_server : (string * bool Atomic.t * Thread.t) option ref = ref None
+
+let shutdown () =
+  match !wire_server with
+  | None -> ()
+  | Some (sock, stop, thread) ->
+    Atomic.set stop true;
+    Thread.join thread;
+    if Sys.file_exists sock then Sys.remove sock;
+    wire_server := None
+
+let wire_socket () =
+  match !wire_server with
+  | Some (sock, _, _) -> sock
+  | None ->
+    (* /tmp, not TMPDIR: Unix socket paths are limited to ~100 bytes
+       and sandboxed temp dirs routinely exceed that. *)
+    let sock = Printf.sprintf "/tmp/emts-fuzz-%d.sock" (Unix.getpid ()) in
+    if Sys.file_exists sock then Sys.remove sock;
+    let stop = Atomic.make false in
+    let thread =
+      Thread.create
+        (fun () ->
+          ignore
+            (Server.run
+               ~stop:(fun () -> Atomic.get stop)
+               {
+                 Server.default with
+                 Server.socket = Some sock;
+                 workers = 1;
+                 queue_capacity = 8;
+               }))
+        ()
+    in
+    let deadline = Emts_obs.Clock.now () +. 10. in
+    while (not (Sys.file_exists sock)) && Emts_obs.Clock.now () < deadline do
+      Thread.delay 0.01
+    done;
+    wire_server := Some (sock, stop, thread);
+    at_exit shutdown;
+    sock
+
+let wire_connect sock =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX sock)
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+  fd
+
+let wire_send fd bytes =
+  try
+    ignore (Unix.write_substring fd bytes 0 (String.length bytes));
+    `Sent
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> `Peer_closed
+
+let wire_reply fd =
+  match Protocol.read_frame fd ~max_size:Protocol.default_max_frame with
+  | Ok payload -> (
+    match Protocol.Response.of_string payload with
+    | Ok r -> `Response r
+    | Error m -> `Junk_response m)
+  | Error e -> `Frame_error e
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+    ->
+    `Timeout
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Frame_error Protocol.Closed
+
+(* Any typed error, a clean close, or a server legitimately waiting
+   for the rest of a frame we never sent — all acceptable.  A response
+   that does not decode is not. *)
+let abuse_outcome_ok = function
+  | `Response _ | `Frame_error _ | `Timeout | `Peer_closed -> true
+  | `Junk_response _ -> false
+
+let flip_bits rng bytes count =
+  let b = Bytes.of_string bytes in
+  for _ = 1 to count do
+    let i = Emts_prng.int rng (Bytes.length b) in
+    let bit = Emts_prng.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+  done;
+  Bytes.to_string b
+
+let check_wire (s : Scenario.t) =
+  let rng = rng_of s in
+  let sock = wire_socket () in
+  let with_conn f =
+    let fd = wire_connect sock in
+    Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) (fun () -> f fd)
+  in
+  let valid_request =
+    Protocol.Request.to_string
+      (Protocol.Request.Schedule
+         {
+           id = J.Str "fuzz";
+           req =
+             Protocol.Request.schedule ~algorithm:"mcpa"
+               ~platform:(Emts_platform.to_string (Scenario.platform s))
+               ~seed:s.Scenario.seed
+               ~ptg:(Emts_ptg.Serial.to_string s.Scenario.graph)
+               ();
+         })
+  in
+  let abuse label bytes =
+    with_conn (fun fd ->
+        match wire_send fd bytes with
+        | `Peer_closed -> Ok ()
+        | `Sent ->
+          let reply = wire_reply fd in
+          if abuse_outcome_ok reply then Ok ()
+          else
+            fail "%s: undecodable server response (%s)" label
+              (match reply with `Junk_response m -> m | _ -> "?"))
+  in
+  (* Random garbage. *)
+  let* () =
+    let len = Emts_prng.int_in rng 1 64 in
+    let garbage =
+      String.init len (fun _ -> Char.chr (Emts_prng.int rng 256))
+    in
+    abuse "garbage" garbage
+  in
+  (* A valid frame with a few bits flipped. *)
+  let* () =
+    let frame = Protocol.encode_frame valid_request in
+    abuse "bit-flip" (flip_bits rng frame (Emts_prng.int_in rng 1 4))
+  in
+  (* A truncated frame: header promises more than we send. *)
+  let* () =
+    let frame = Protocol.encode_frame valid_request in
+    let cut = Protocol.header_size + ((String.length frame - Protocol.header_size) / 2) in
+    with_conn (fun fd ->
+        match wire_send fd (String.sub frame 0 cut) with
+        | `Peer_closed -> Ok ()
+        | `Sent ->
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          let reply = wire_reply fd in
+          if abuse_outcome_ok reply then Ok ()
+          else fail "truncated: undecodable server response")
+  in
+  (* An oversized declared length is refused before any payload. *)
+  let* () =
+    let header = Bytes.create Protocol.header_size in
+    Bytes.blit_string Protocol.magic 0 header 0 4;
+    Bytes.set_int32_be header 4 0x7FFF_FFF0l;
+    with_conn (fun fd ->
+        match wire_send fd (Bytes.to_string header) with
+        | `Peer_closed -> Ok ()
+        | `Sent -> (
+          match wire_reply fd with
+          | `Response (Protocol.Response.Error { code; _ })
+            when code = Protocol.Error_code.too_large ->
+            Ok ()
+          | `Response _ -> fail "oversized: expected a too_large error"
+          | `Frame_error _ | `Timeout | `Peer_closed -> Ok ()
+          | `Junk_response m -> fail "oversized: undecodable response (%s)" m))
+  in
+  (* After all that abuse the daemon must still answer a valid request
+     and a ping — this is the actual crash detector. *)
+  let* () =
+    with_conn (fun fd ->
+        match wire_send fd (Protocol.encode_frame valid_request) with
+        | `Peer_closed -> fail "liveness: daemon closed a valid connection"
+        | `Sent -> (
+          match wire_reply fd with
+          | `Response (Protocol.Response.Schedule_result _) -> Ok ()
+          | `Response (Protocol.Response.Error { code; message; _ }) ->
+            fail "liveness: valid request rejected [%s]: %s" code message
+          | `Response _ -> fail "liveness: unexpected response verb"
+          | `Junk_response m -> fail "liveness: undecodable response (%s)" m
+          | `Frame_error e ->
+            fail "liveness: %s" (Protocol.frame_error_to_string e)
+          | `Timeout -> fail "liveness: daemon did not answer within 5s"))
+  in
+  with_conn (fun fd ->
+      match
+        wire_send fd
+          (Protocol.encode_frame
+             (Protocol.Request.to_string
+                (Protocol.Request.Ping { id = J.Str "fuzz" })))
+      with
+      | `Peer_closed -> fail "ping: daemon closed the connection"
+      | `Sent -> (
+        match wire_reply fd with
+        | `Response (Protocol.Response.Pong _) -> Ok ()
+        | `Timeout -> fail "ping: no answer within 5s"
+        | _ -> fail "ping: expected a pong"))
+
+(* ------------------------------------------------------------------ *)
+(* (e) resilience: corrupt and truncated durable state is rejected or
+   torn-tail-truncated, never silently misread. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_raw path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let corrupt_byte rng content =
+  let i = Emts_prng.int rng (String.length content) in
+  let b = Bytes.of_string content in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+  (Bytes.to_string b, i)
+
+let count_char c s =
+  String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 s
+
+let is_prefix ~of_:full prefix =
+  List.length prefix <= List.length full
+  && List.for_all2 ( = ) prefix
+       (List.filteri (fun i _ -> i < List.length prefix) full)
+
+let check_journal rng dir =
+  let path = Filename.concat dir "journal.jsonl" in
+  let records =
+    List.init 12 (fun i ->
+        J.to_string
+          (J.Obj [ ("cell", J.Num (float_of_int i)); ("seed", J.Str "x") ]))
+  in
+  let w = Emts_resilience.Jsonl.open_append path in
+  List.iter (Emts_resilience.Jsonl.append w) records;
+  Emts_resilience.Jsonl.close w;
+  let pristine = read_file path in
+  (* Torn tail: every complete line before the cut survives, nothing
+     after it is invented. *)
+  let* () =
+    let cut = Emts_prng.int rng (String.length pristine) in
+    let torn = String.sub pristine 0 cut in
+    write_raw path torn;
+    match Emts_resilience.Jsonl.load path with
+    | Error e ->
+      fail "journal truncated@%d: load error: %s" cut
+        (Emts_resilience.Error.to_string e)
+    | Ok { Emts_resilience.Jsonl.records = got; _ } ->
+      (* A cut landing exactly before a line's newline leaves a
+         complete CRC-valid frame in the tail, which load rightly
+         recovers despite the missing terminator. *)
+      let expected =
+        count_char '\n' torn
+        + (if cut < String.length pristine && pristine.[cut] = '\n' then 1
+           else 0)
+      in
+      if List.length got <> expected then
+        fail "journal truncated@%d: %d records, expected the %d complete lines"
+          cut (List.length got) expected
+      else if not (is_prefix ~of_:records got) then
+        fail "journal truncated@%d: surviving records are not a prefix" cut
+      else Ok ()
+  in
+  (* One flipped byte: the damaged line and everything after it drop;
+     the prefix survives verbatim. *)
+  let corrupted, offset = corrupt_byte rng pristine in
+  write_raw path corrupted;
+  match Emts_resilience.Jsonl.load path with
+  | Error e ->
+    fail "journal corrupt@%d: load error: %s" offset
+      (Emts_resilience.Error.to_string e)
+  | Ok { Emts_resilience.Jsonl.records = got; dropped } ->
+    if not (is_prefix ~of_:records got) then
+      fail "journal corrupt@%d: surviving records are not a prefix" offset
+    else if List.length got >= List.length records then
+      fail "journal corrupt@%d: corruption was silently accepted" offset
+    else if dropped = 0 then
+      fail "journal corrupt@%d: dropped lines were not reported" offset
+    else Ok ()
+
+let check_checksummed rng dir =
+  let path = Filename.concat dir "record.crc" in
+  let payload = J.to_string (J.Obj [ ("answer", J.Num 42.) ]) in
+  Emts_resilience.Checksummed.save ~path payload;
+  let pristine = read_file path in
+  let* () =
+    match Emts_resilience.Checksummed.load ~path with
+    | Ok p when p = payload -> Ok ()
+    | Ok _ -> fail "checksummed: clean round-trip altered the payload"
+    | Error e ->
+      fail "checksummed: clean load failed: %s"
+        (Emts_resilience.Error.to_string e)
+  in
+  let corrupted, offset = corrupt_byte rng pristine in
+  write_raw path corrupted;
+  let* () =
+    match Emts_resilience.Checksummed.load ~path with
+    | Error _ -> Ok ()
+    | Ok _ -> fail "checksummed: flipped byte@%d silently accepted" offset
+  in
+  let cut = Emts_prng.int rng (String.length pristine) in
+  write_raw path (String.sub pristine 0 cut);
+  match Emts_resilience.Checksummed.load ~path with
+  | Error _ -> Ok ()
+  | Ok p when cut = String.length pristine && p = payload -> Ok ()
+  | Ok _ -> fail "checksummed: truncation@%d silently accepted" cut
+
+let check_checkpoint (s : Scenario.t) rng dir =
+  let ctx = ctx_of s in
+  let path = Filename.concat dir "ea.ckpt" in
+  let run ?resume () =
+    Alg.run_ctx ?resume
+      ~rng:(Emts_prng.create ~seed:s.Scenario.seed ())
+      ~checkpoint:(path, 1) ~config:mini_config ~ctx ()
+  in
+  let _ = run () in
+  let pristine = read_file path in
+  let corrupted, offset = corrupt_byte rng pristine in
+  write_raw path corrupted;
+  match run ~resume:true () with
+  | exception Failure _ -> Ok ()
+  | exception e ->
+    fail "checkpoint corrupt@%d: escaped %s instead of a clean Failure" offset
+      (Printexc.to_string e)
+  | _ -> fail "checkpoint corrupt@%d: resume silently accepted it" offset
+
+let check_ptg_loader (s : Scenario.t) rng =
+  let pristine = Emts_ptg.Serial.to_string s.Scenario.graph in
+  let* () =
+    match Emts_ptg.Serial.of_string pristine with
+    | Ok g when Emts_ptg.Graph.equal_structure g s.Scenario.graph -> Ok ()
+    | Ok _ -> fail "ptg: round-trip changed the structure"
+    | Error m -> fail "ptg: round-trip rejected its own output: %s" m
+  in
+  let try_parse label text =
+    match Emts_ptg.Serial.of_string text with
+    | Ok _ | Error _ -> Ok ()
+    | exception e ->
+      fail "ptg %s: parser raised %s instead of returning an error" label
+        (Printexc.to_string e)
+  in
+  let corrupted, _ = corrupt_byte rng pristine in
+  let* () = try_parse "corrupt" corrupted in
+  try_parse "truncated"
+    (String.sub pristine 0 (Emts_prng.int rng (String.length pristine)))
+
+let check_resilience (s : Scenario.t) =
+  let rng = rng_of s in
+  in_temp_dir (fun dir ->
+      let* () = check_journal rng dir in
+      let* () = check_checksummed rng dir in
+      let* () = check_checkpoint s rng dir in
+      check_ptg_loader s rng)
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      name = "validate";
+      doc =
+        "every algorithm's schedule (heuristic seeds, random \
+         allocations, EA best) passes Schedule.validate";
+      check = check_validate;
+    };
+    {
+      name = "differential";
+      doc =
+        "the zero-noise simulator and the fitness fast paths reproduce \
+         every list schedule exactly";
+      check = check_differential;
+    };
+    {
+      name = "determinism";
+      doc =
+        "one seed, one result: domains, fitness cache, early reject, \
+         checkpoint/resume and the serve engine all agree bit for bit";
+      check = check_determinism;
+    };
+    {
+      name = "wire";
+      doc =
+        "random/bit-flipped/truncated/oversized frames against a live \
+         daemon yield only typed errors, and the daemon stays alive";
+      check = check_wire;
+    };
+    {
+      name = "resilience";
+      doc =
+        "corrupt or truncated journals, checkpoints and .ptg files are \
+         cleanly rejected or torn-tail-truncated, never misread";
+      check = check_resilience;
+    };
+  ]
+
+let names = List.map (fun o -> o.name) all
+
+let find name =
+  let lowered = String.lowercase_ascii name in
+  List.find_opt (fun o -> o.name = lowered) all
+
+let run o scenario =
+  match o.check scenario with
+  | r -> r
+  | exception e ->
+    Error
+      (Printf.sprintf "oracle raised: %s" (Printexc.to_string e))

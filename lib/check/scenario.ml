@@ -1,0 +1,48 @@
+type t = {
+  graph : Emts_ptg.Graph.t;
+  procs : int;
+  model : string;
+  seed : int;
+}
+
+(* A non-monotone empirical table: going from 2 to 3 processors or from
+   4 to 5 makes the task slower, like PDGEMM with an awkward process
+   grid.  Tables ignore the task and the platform, which is itself an
+   edge case worth fuzzing (every task of the graph has equal time). *)
+let zigzag_table =
+  Emts_model.Empirical.of_points
+    [ (1, 10.); (2, 6.); (3, 8.); (4, 3.5); (5, 7.); (8, 2.5); (16, 4.) ]
+
+let models =
+  [
+    ("amdahl", Emts_model.amdahl);
+    ("synthetic", Emts_model.synthetic);
+    ( "zigzag",
+      Emts_model.with_penalty ~base:Emts_model.amdahl
+        ~penalty:(fun p -> 1. +. (0.5 *. float_of_int (p mod 3)))
+        ~name:"zigzag" );
+    ("downey", Emts_model.downey ~avg_parallelism:8. ~variance:2.);
+    ("table", Emts_model.Empirical.model ~name:"table" zigzag_table);
+  ]
+
+let model t =
+  match List.assoc_opt t.model models with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Emts_check: unknown model %S" t.model)
+
+let platform t =
+  Emts_platform.make
+    ~name:(Printf.sprintf "fuzz%d" t.procs)
+    ~processors:t.procs ~speed_gflops:1.
+
+(* Only values expressible as a request field can cross the wire:
+   preset names, or an inline empirical table. *)
+let serve_model_spec t =
+  match t.model with
+  | "amdahl" | "synthetic" -> Some t.model
+  | "table" -> Some (Emts_model.Empirical.to_string zigzag_table)
+  | _ -> None
+
+let describe t =
+  Format.asprintf "%a | procs=%d model=%s seed=%d" Emts_ptg.Graph.pp_stats
+    t.graph t.procs t.model t.seed

@@ -1,0 +1,40 @@
+(** A fuzzing scenario: one complete scheduling instance.
+
+    Everything an oracle needs is derivable from a scenario, and a
+    scenario is fully serialisable (the graph as [.ptg] text, the
+    platform as its processor count, the model as a registry key, plus
+    one integer seed), so every failure the fuzzer finds can be saved
+    to disk and replayed bit-for-bit later ({!Corpus}). *)
+
+type t = {
+  graph : Emts_ptg.Graph.t;
+  procs : int;  (** platform size, [>= 1] *)
+  model : string;  (** key into {!models} *)
+  seed : int;
+      (** per-scenario seed: every oracle derives its internal
+          randomness (EA runs, corruption offsets, bit flips) from it,
+          so a replayed scenario re-runs identically *)
+}
+
+val models : (string * Emts_model.t) list
+(** The model registry the generator draws from: the paper's presets
+    ([amdahl], [synthetic]), a deliberately non-monotone penalty model
+    ([zigzag]), Downey's speed-up model ([downey]), and a non-monotone
+    empirical table ([table]).  Oracles must hold on every one of
+    them — non-monotone regions are where scheduling invariants
+    break first. *)
+
+val model : t -> Emts_model.t
+(** Raises [Invalid_argument] on an unknown key (corrupt repro file —
+    {!Corpus.load} validates before constructing a scenario). *)
+
+val platform : t -> Emts_platform.t
+(** A [procs]-processor unit-speed platform. *)
+
+val serve_model_spec : t -> string option
+(** The model as an [Emts_serve] request field — a preset name or an
+    inline empirical table — or [None] when the model cannot cross the
+    wire (the determinism oracle then skips its serve leg). *)
+
+val describe : t -> string
+(** One line: graph stats, procs, model, seed. *)

@@ -1,0 +1,48 @@
+module Graph = Emts_ptg.Graph
+
+let prefix_tasks g k =
+  let n = Graph.task_count g in
+  if k < 1 || k > n then invalid_arg "Emts_check.Shrink.prefix_tasks";
+  let tasks = Array.init k (fun v -> Graph.task g v) in
+  let edges =
+    List.filter (fun (src, dst) -> src < k && dst < k) (Graph.edges g)
+  in
+  Graph.of_tasks_and_edges tasks edges
+
+let halve_edges g =
+  let edges = List.filteri (fun i _ -> i mod 2 = 0) (Graph.edges g) in
+  Graph.of_tasks_and_edges (Graph.tasks g) edges
+
+let candidates (s : Scenario.t) =
+  let n = Graph.task_count s.Scenario.graph in
+  let with_graph g = { s with Scenario.graph = g } in
+  let halves =
+    if n > 1 then [ with_graph (prefix_tasks s.Scenario.graph ((n + 1) / 2)) ]
+    else []
+  in
+  let minus_one =
+    if n > 1 then [ with_graph (prefix_tasks s.Scenario.graph (n - 1)) ]
+    else []
+  in
+  let fewer_edges =
+    if Graph.edge_count s.Scenario.graph > 0 then
+      [ with_graph (halve_edges s.Scenario.graph) ]
+    else []
+  in
+  let smaller_platform =
+    if s.Scenario.procs > 1 then
+      [ { s with Scenario.procs = 1 }; { s with Scenario.procs = s.Scenario.procs / 2 } ]
+    else []
+  in
+  halves @ minus_one @ fewer_edges @ smaller_platform
+
+let shrink ~oracle s =
+  let fails c = Result.is_error (Oracle.run oracle c) in
+  let rec go s fuel =
+    if fuel = 0 then s
+    else
+      match List.find_opt fails (candidates s) with
+      | Some smaller -> go smaller (fuel - 1)
+      | None -> s
+  in
+  go s 64

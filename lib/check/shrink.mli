@@ -1,0 +1,19 @@
+(** Failure minimisation: once an oracle rejects a scenario, walk it
+    down to a smaller scenario the same oracle still rejects.
+
+    Strategies, tried greedily until none makes progress (bounded by a
+    small fuel): keep only a prefix of the tasks (with the induced
+    edges), drop every other edge, and shrink the platform towards one
+    processor.  The scenario's model and seed are preserved — they are
+    part of what makes the failure reproducible. *)
+
+val prefix_tasks : Emts_ptg.Graph.t -> int -> Emts_ptg.Graph.t
+(** [prefix_tasks g k] keeps tasks [0..k-1] and the edges between
+    them.  Requires [1 <= k <= task_count]. *)
+
+val halve_edges : Emts_ptg.Graph.t -> Emts_ptg.Graph.t
+(** Drop every other edge (tasks unchanged). *)
+
+val shrink : oracle:Oracle.t -> Scenario.t -> Scenario.t
+(** Greedy minimisation; returns the smallest still-failing scenario
+    found (the input itself when nothing smaller fails). *)

@@ -57,10 +57,17 @@ type result = {
 let slowdown r =
   if r.planned_makespan <= 0. then 1. else r.makespan /. r.planned_makespan
 
-(* Dispatch order: planned start time, with the topological position as
-   a tie-breaker so zero-duration tasks keep precedence order.  Within a
-   processor the planned schedule is non-overlapping, so this order also
-   respects each processor's task sequence. *)
+(* Dispatch order: planned start time, zero-duration tasks first among
+   ties, topological position last.  The middle component matters: a
+   processor's timeline can hold several tasks at one instant — any
+   number of zero-duration tasks plus at most one task that advances
+   the clock, and the list scheduler necessarily placed the
+   zero-duration ones first (a positive-duration task bumps the
+   availability past the instant, so nothing else can tie with it from
+   behind).  Dispatching the clock-advancing task before its
+   zero-duration peers would let it start too early and shift the rest
+   of the timeline.  The topological tie-break keeps chained
+   zero-duration tasks in precedence order. *)
 let dispatch_order graph schedule =
   let n = Schedule.task_count schedule in
   let topo_pos = Array.make n 0 in
@@ -68,7 +75,10 @@ let dispatch_order graph schedule =
     (fun k v -> topo_pos.(v) <- k)
     (Emts_ptg.Graph.topological_order graph);
   let order = Array.init n Fun.id in
-  let key v = ((Schedule.entry schedule v).Schedule.start, topo_pos.(v)) in
+  let key v =
+    let e = Schedule.entry schedule v in
+    (e.Schedule.start, e.Schedule.finish > e.Schedule.start, topo_pos.(v))
+  in
   Array.sort (fun a b -> compare (key a) (key b)) order;
   order
 
@@ -100,7 +110,17 @@ let execute ?(noise = Noise.none) ?rng ~graph ~schedule () =
           (fun acc p -> Float.max acc free.(p))
           0. planned.Schedule.procs
       in
-      let start = Float.max data_ready procs_free in
+      (* Reservation semantics: the plan's start time is a release
+         time, so a task launches at the latest of its reservation, its
+         data being ready and its processors draining.  Without the
+         reservation bound, zero-noise execution could legally start a
+         task *earlier* than planned (the list scheduler delays
+         low-priority tasks to processor-availability instants that
+         pure (data_ready, procs_free) recomputation does not
+         reproduce), and exact replay would not hold. *)
+      let start =
+        Float.max planned.Schedule.start (Float.max data_ready procs_free)
+      in
       let stop = start +. duration in
       finish.(v) <- stop;
       Array.iter (fun p -> free.(p) <- stop) planned.Schedule.procs;

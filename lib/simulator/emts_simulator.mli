@@ -7,13 +7,16 @@
     robust a schedule is to model error — the imprecision of
     execution-time models is the paper's core motivation.
 
-    Execution semantics (static schedule execution): the processor
-    assignment and the per-processor task order of the input schedule
-    are kept; a task starts as soon as (a) all its predecessors have
-    finished and (b) all its assigned processors are free.  With exact
-    durations this reproduces the input schedule exactly
-    (property-tested); with noisy durations it yields the realised
-    schedule and makespan. *)
+    Execution semantics (static schedule execution with reservations):
+    the processor assignment and the per-processor task order of the
+    input schedule are kept; a task starts as soon as (a) its planned
+    start time is reached, (b) all its predecessors have finished and
+    (c) all its assigned processors are free.  The planned start acts
+    as a release time — a runtime executing a static plan does not
+    launch tasks ahead of schedule, but late predecessors push work
+    back.  With exact durations this reproduces the input schedule
+    exactly, for every valid schedule (property- and fuzz-tested); with
+    noisy durations it yields the realised schedule and makespan. *)
 
 (** Duration perturbation models.  All draws flow through the supplied
     {!Emts_prng.t}, so simulations are reproducible. *)

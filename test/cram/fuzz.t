@@ -1,0 +1,33 @@
+The fuzzing harness: oracle registry, a clean bounded run, and the
+error surface for unknown oracle names.
+
+  $ emts-fuzz --list-oracles
+  validate     every algorithm's schedule (heuristic seeds, random allocations, EA best) passes Schedule.validate
+  differential the zero-noise simulator and the fitness fast paths reproduce every list schedule exactly
+  determinism  one seed, one result: domains, fitness cache, early reject, checkpoint/resume and the serve engine all agree bit for bit
+  wire         random/bit-flipped/truncated/oversized frames against a live daemon yield only typed errors, and the daemon stays alive
+  resilience   corrupt or truncated journals, checkpoints and .ptg files are cleanly rejected or torn-tail-truncated, never misread
+
+A bounded offline run on a clean tree passes and leaves no corpus
+directory behind (repro files are only written on failure):
+
+  $ emts-fuzz --oracle validate,differential --max-scenarios 5 --time-budget 60 --seed 1 2>/dev/null | grep -v 'scenarios in'
+  oracle validate     5 checks
+  oracle differential 5 checks
+  $ emts-fuzz --oracle validate --max-scenarios 2 --time-budget 60 --seed 1 2>/dev/null | grep -c '0 failures'
+  1
+  $ test ! -e fuzz-corpus
+
+Unknown oracles are rejected with the list of known ones:
+
+  $ emts-fuzz --oracle nope --time-budget 1
+  emts-fuzz: unknown oracle "nope" (known: validate, differential, determinism, wire, resilience)
+  [124]
+
+Replaying a nonexistent repro file is a usage error:
+
+  $ emts-fuzz --replay missing.json
+  emts-fuzz: option '--replay': no 'missing.json' file or directory
+  Usage: emts-fuzz [OPTION]…
+  Try 'emts-fuzz --help' for more information.
+  [124]

@@ -1,0 +1,66 @@
+The load generator's own error surface: every operator mistake must be
+a one-line typed error, never a stack trace or a hang.
+
+No server address:
+
+  $ emts-loadgen --ping
+  emts-loadgen: no server address (need --socket or --connect)
+  [124]
+
+A socket nobody is listening on:
+
+  $ emts-loadgen --socket /tmp/emts-loadgen-cram-dead-$$.sock --ping
+  emts-loadgen: connect(): No such file or directory
+  [124]
+
+A malformed TCP address:
+
+  $ emts-loadgen --connect nonsense --ping
+  emts-loadgen: --connect "nonsense": expected HOST:PORT
+  [124]
+
+A non-positive load rate is rejected before any connection is made:
+
+  $ emts-loadgen --socket /tmp/emts-loadgen-cram-dead-$$.sock --rate 0 --requests 1
+  emts-loadgen: --rate must be positive
+  [124]
+
+A missing PTG corpus file:
+
+  $ emts-loadgen --socket /tmp/emts-loadgen-cram-dead-$$.sock --once --ptg /does/not/exist.ptg
+  emts-loadgen: /does/not/exist.ptg: No such file or directory
+  [124]
+
+Against a live daemon, the client-side algorithm selector reaches the
+heuristic (non-evolutionary) path, and is deterministic per seed:
+
+  $ SOCK=/tmp/emts-loadgen-cram-$$.sock
+  $ emts-serve --socket $SOCK --workers 1 2>serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK ] && break; sleep 0.1; done
+
+  $ emts-loadgen --socket $SOCK --once --algorithm mcpa --seed 3 > mcpa1.out
+  $ grep -c 'algorithm=MCPA' mcpa1.out
+  1
+  $ grep -c 'generations=0 evaluations=0' mcpa1.out
+  1
+  $ emts-loadgen --socket $SOCK --once --algorithm mcpa --seed 3 > mcpa2.out
+  $ cmp mcpa1.out mcpa2.out
+
+An open-loop load run reports a tally and writes the JSON summary the
+campaign tooling consumes (timings vary, shape does not):
+
+  $ emts-loadgen --socket $SOCK --rate 50 --requests 5 --tasks 8 --json load.json > load.out
+  $ grep -c 'requests=5 ok=5 rejected=0 errors=0' load.out
+  1
+  $ grep -c 'throughput=' load.out
+  1
+  $ grep -c '"p99"' load.json
+  1
+  $ grep -c '"ok":5' load.json
+  1
+
+Shut the daemon down:
+
+  $ kill $SERVE_PID
+  $ wait $SERVE_PID 2>/dev/null || true

@@ -11,3 +11,5 @@ Every emts binary answers --version with the same "emts-<name>
   emts-serve 1.0.0
   $ emts-loadgen --version
   emts-loadgen 1.0.0
+  $ emts-fuzz --version
+  emts-fuzz 1.0.0

@@ -107,9 +107,7 @@ let test_cpr_never_worse_than_seq () =
   let rng = Emts_prng.create ~seed:31 () in
   for _ = 1 to 10 do
     let g =
-      Emts_daggen.Costs.assign rng
-        (Emts_daggen.Random_dag.generate rng
-           { n = 20; width = 0.6; regularity = 0.5; density = 0.3; jump = 1 })
+      Testutil.costed_daggen rng ~n:20 ~width:0.6
     in
     let ctx = ctx_of ~model:Emts_model.synthetic g in
     let seq = cpr_makespan ctx (Array.make 20 1) in
@@ -128,9 +126,7 @@ let test_cpr_beats_cpa_usually () =
   let wins = ref 0 and n = 10 in
   for _ = 1 to n do
     let g =
-      Emts_daggen.Costs.assign rng
-        (Emts_daggen.Random_dag.generate rng
-           { n = 25; width = 0.6; regularity = 0.5; density = 0.3; jump = 1 })
+      Testutil.costed_daggen rng ~n:25 ~width:0.6
     in
     let ctx = ctx_of ~model:Emts_model.amdahl g in
     let cpa = cpr_makespan ctx (A.Cpa.allocate ctx) in
@@ -158,9 +154,7 @@ let test_mcpa_bounds_all_levels_random () =
   let rng = Emts_prng.create ~seed:11 () in
   for _ = 1 to 20 do
     let g =
-      Emts_daggen.Costs.assign rng
-        (Emts_daggen.Random_dag.generate rng
-           { n = 40; width = 0.7; regularity = 0.5; density = 0.4; jump = 1 })
+      Testutil.costed_daggen rng ~n:40 ~width:0.7 ~density:0.4
     in
     let ctx = ctx_of ~model:Emts_model.synthetic g in
     let alloc = A.Mcpa.allocate ctx in

@@ -1,0 +1,270 @@
+(* Tests for the fuzzing harness itself (lib/check): the scenario
+   sampler, the oracle registry, the shrinker, the corpus round-trip
+   and the fuzz driver's bookkeeping. *)
+
+module Check = Emts_check
+module Scenario = Check.Scenario
+module Gen = Check.Gen
+module Oracle = Check.Oracle
+
+let rng seed = Emts_prng.create ~seed ()
+
+(* --- scenario sampling --- *)
+
+let test_scenario_fields () =
+  let r = rng 3 in
+  for _ = 1 to 50 do
+    let s = Gen.scenario r in
+    Alcotest.(check bool) "at least one task" true
+      (Emts_ptg.Graph.task_count s.Scenario.graph >= 1);
+    Alcotest.(check bool) "procs >= 1" true (s.Scenario.procs >= 1);
+    Alcotest.(check bool) "model resolvable" true
+      (List.mem_assoc s.Scenario.model Scenario.models);
+    ignore (Scenario.model s);
+    Alcotest.(check int) "platform size" s.Scenario.procs
+      (Scenario.platform s).Emts_platform.processors
+  done
+
+let test_scenario_deterministic () =
+  let describe_n seed =
+    let r = rng seed in
+    List.init 10 (fun _ -> Scenario.describe (Gen.scenario r))
+  in
+  Alcotest.(check (list string))
+    "same seed, same scenarios" (describe_n 9) (describe_n 9)
+
+let test_models_include_adversaries () =
+  let names = List.map fst Scenario.models in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m ^ " registered") true (List.mem m names))
+    [ "amdahl"; "table"; "downey" ]
+
+(* --- oracle registry --- *)
+
+let test_oracle_lookup () =
+  Alcotest.(check bool) "find differential" true
+    (Oracle.find "differential" <> None);
+  Alcotest.(check bool) "case-insensitive" true
+    (Oracle.find "Differential" <> None);
+  Alcotest.(check bool) "unknown rejected" true (Oracle.find "nonsense" = None);
+  Alcotest.(check (list string))
+    "registry names"
+    [ "validate"; "differential"; "determinism"; "wire"; "resilience" ]
+    Oracle.names
+
+let test_oracle_exception_barrier () =
+  let boom =
+    { Oracle.name = "boom"; doc = "always raises"; check = (fun _ -> failwith "kaboom") }
+  in
+  let s = Gen.scenario (rng 1) in
+  match Oracle.run boom s with
+  | Ok () -> Alcotest.fail "exception swallowed"
+  | Error m ->
+    Alcotest.(check bool) "diagnostic mentions the exception" true
+      (Testutil.contains_substring m "kaboom")
+
+(* The cheap offline oracles must accept a spread of sampled scenarios
+   (the CLI smoke job fuzzes for 30s; this is the suite-level variant). *)
+let test_offline_oracles_pass () =
+  let r = rng 42 in
+  for _ = 1 to 5 do
+    let s = Gen.scenario r in
+    List.iter
+      (fun name ->
+        match Oracle.find name with
+        | None -> Alcotest.fail ("missing oracle " ^ name)
+        | Some o -> (
+          match Oracle.run o s with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.fail
+              (Printf.sprintf "%s failed on %s: %s" name (Scenario.describe s)
+                 m)))
+      [ "validate"; "differential" ]
+  done
+
+(* --- shrinking --- *)
+
+let test_shrink_minimises () =
+  (* An oracle failing whenever the graph has > 3 tasks must shrink to
+     at most ... the shrinker halves and prefix-truncates, so it should
+     land well under the original size and still fail. *)
+  let failing =
+    {
+      Oracle.name = "big-graph";
+      doc = "fails on > 3 tasks";
+      check =
+        (fun s ->
+          if Emts_ptg.Graph.task_count s.Scenario.graph > 3 then
+            Error "too big"
+          else Ok ());
+    }
+  in
+  let base =
+    {
+      Scenario.graph = Gen.costed_daggen (rng 7) ~n:40;
+      procs = 8;
+      model = "amdahl";
+      seed = 1;
+    }
+  in
+  let shrunk = Check.Shrink.shrink ~oracle:failing base in
+  let n = Emts_ptg.Graph.task_count shrunk.Scenario.graph in
+  Alcotest.(check bool) "still failing" true
+    (Oracle.run failing shrunk <> Ok ());
+  Alcotest.(check bool) "smaller than the original" true (n < 40);
+  Alcotest.(check int) "minimal failing size" 4 n
+
+let test_shrink_keeps_passing_scenario () =
+  let passing =
+    { Oracle.name = "ok"; doc = "never fails"; check = (fun _ -> Ok ()) }
+  in
+  let base =
+    {
+      Scenario.graph = Gen.costed_daggen (rng 8) ~n:10;
+      procs = 4;
+      model = "synthetic";
+      seed = 2;
+    }
+  in
+  let shrunk = Check.Shrink.shrink ~oracle:passing base in
+  Alcotest.(check int) "untouched" 10
+    (Emts_ptg.Graph.task_count shrunk.Scenario.graph)
+
+(* --- corpus --- *)
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "test_check" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun x -> try Sys.remove (Filename.concat dir x) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_corpus_round_trip () =
+  in_temp_dir (fun dir ->
+      let s = Gen.scenario (rng 5) in
+      let path =
+        Check.Corpus.save ~dir ~oracle:"validate" ~detail:"d" s
+      in
+      match Check.Corpus.load path with
+      | Error m -> Alcotest.fail m
+      | Ok r ->
+        Alcotest.(check string) "oracle" "validate" r.Check.Corpus.oracle;
+        Alcotest.(check string) "detail" "d" r.Check.Corpus.detail;
+        let s' = r.Check.Corpus.scenario in
+        Alcotest.(check int) "procs" s.Scenario.procs s'.Scenario.procs;
+        Alcotest.(check string) "model" s.Scenario.model s'.Scenario.model;
+        Alcotest.(check int) "seed" s.Scenario.seed s'.Scenario.seed;
+        Alcotest.(check string) "graph round-trips"
+          (Emts_ptg.Serial.to_string s.Scenario.graph)
+          (Emts_ptg.Serial.to_string s'.Scenario.graph))
+
+let test_corpus_rejects_garbage () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "bad.json" in
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc "{\"oracle\":\"validate\"");
+      match Check.Corpus.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated json accepted")
+
+(* --- fuzz driver --- *)
+
+let test_fuzz_driver_bookkeeping () =
+  let flaky_failures = ref 0 in
+  let flaky =
+    {
+      Oracle.name = "flaky";
+      doc = "fails on every 2nd scenario";
+      check =
+        (fun _ ->
+          incr flaky_failures;
+          if !flaky_failures mod 2 = 0 then Error "even" else Ok ());
+    }
+  in
+  let steady =
+    { Oracle.name = "steady"; doc = "never fails"; check = (fun _ -> Ok ()) }
+  in
+  let report =
+    Check.Fuzz.run ~max_scenarios:6 ~oracles:[ flaky; steady ]
+      ~time_budget:60. ~seed:11 ()
+  in
+  Alcotest.(check int) "all scenarios sampled" 6 report.Check.Fuzz.scenarios;
+  (* flaky fails on its 2nd check and is retired; steady keeps going *)
+  Alcotest.(check (list (pair string int)))
+    "per-oracle run counts"
+    [ ("flaky", 2); ("steady", 6) ]
+    report.Check.Fuzz.runs;
+  match report.Check.Fuzz.failures with
+  | [ f ] ->
+    Alcotest.(check string) "failing oracle" "flaky" f.Check.Fuzz.oracle;
+    Alcotest.(check bool) "no repro without corpus dir" true
+      (f.Check.Fuzz.repro = None)
+  | fs ->
+    Alcotest.fail
+      (Printf.sprintf "expected exactly one failure, got %d" (List.length fs))
+
+let test_fuzz_reproducible () =
+  let seen = ref [] in
+  let recorder =
+    {
+      Oracle.name = "recorder";
+      doc = "records descriptions";
+      check =
+        (fun s ->
+          seen := Scenario.describe s :: !seen;
+          Ok ());
+    }
+  in
+  let round () =
+    seen := [];
+    ignore
+      (Check.Fuzz.run ~max_scenarios:5 ~oracles:[ recorder ]
+         ~time_budget:60. ~seed:4 ());
+    !seen
+  in
+  Alcotest.(check (list string)) "same seed, same stream" (round ()) (round ())
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "fields" `Quick test_scenario_fields;
+          Alcotest.test_case "deterministic" `Quick
+            test_scenario_deterministic;
+          Alcotest.test_case "adversarial models" `Quick
+            test_models_include_adversaries;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "lookup" `Quick test_oracle_lookup;
+          Alcotest.test_case "exception barrier" `Quick
+            test_oracle_exception_barrier;
+          Alcotest.test_case "offline oracles pass" `Slow
+            test_offline_oracles_pass;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimises" `Quick test_shrink_minimises;
+          Alcotest.test_case "no-op on pass" `Quick
+            test_shrink_keeps_passing_scenario;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "round trip" `Quick test_corpus_round_trip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_corpus_rejects_garbage;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "bookkeeping" `Quick test_fuzz_driver_bookkeeping;
+          Alcotest.test_case "reproducible" `Quick test_fuzz_reproducible;
+        ] );
+    ]

@@ -8,9 +8,7 @@ let chti = Emts_platform.chti
 
 let small_graph () =
   let rng = Emts_prng.create ~seed:17 () in
-  Emts_daggen.Costs.assign rng
-    (Emts_daggen.Random_dag.generate rng
-       { n = 25; width = 0.5; regularity = 0.5; density = 0.3; jump = 1 })
+  Testutil.costed_daggen rng ~n:25
 
 let quick_config = { Alg.emts5 with Alg.generations = 3; lambda = 10; mu = 3 }
 
@@ -142,9 +140,7 @@ let test_improves_under_model2_often () =
   let improved = ref 0 and n = 10 in
   for _ = 1 to n do
     let graph =
-      Emts_daggen.Costs.assign rng
-        (Emts_daggen.Random_dag.generate rng
-           { n = 40; width = 0.6; regularity = 0.5; density = 0.3; jump = 2 })
+      Testutil.costed_daggen rng ~n:40 ~width:0.6 ~jump:2
     in
     let r =
       Alg.run ~rng:(Emts_prng.split rng) ~config:quick_config

@@ -15,9 +15,7 @@ let graphs =
        ("fft8", Emts_daggen.Costs.assign rng (Emts_daggen.Fft.generate ~points:8));
        ("strassen", Emts_daggen.Costs.assign rng (Emts_daggen.Strassen.generate ()));
        ( "irregular",
-         Emts_daggen.Costs.assign rng
-           (Emts_daggen.Random_dag.generate rng
-              { n = 40; width = 0.6; regularity = 0.4; density = 0.3; jump = 2 })
+         Testutil.costed_daggen rng ~n:40 ~width:0.6 ~regularity:0.4 ~jump:2
        );
      ])
 
@@ -135,9 +133,7 @@ let test_batch_of_ptg_jobs () =
   let jobs =
     List.init 6 (fun id ->
         let graph =
-          Emts_daggen.Costs.assign rng
-            (Emts_daggen.Random_dag.generate rng
-               { n = 20; width = 0.5; regularity = 0.5; density = 0.3; jump = 0 })
+          Testutil.costed_daggen rng ~n:20 ~jump:0
         in
         let ctx =
           Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic

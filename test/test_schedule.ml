@@ -117,6 +117,68 @@ let test_validate_allocation_mismatch () =
   | Ok () -> Alcotest.fail "mismatch missed"
   | Error _ -> Alcotest.fail "unexpected violations"
 
+(* The rendered violation messages are part of the user-facing error
+   surface (CLI diagnostics, fuzzer repro details): pin them. *)
+let test_pp_violation_strings () =
+  let render v = Format.asprintf "%a" S.pp_violation v in
+  Alcotest.(check string)
+    "precedence" "task 4 starts before its predecessor 2 finishes"
+    (render (S.Precedence { src = 2; dst = 4 }));
+  Alcotest.(check string)
+    "overlap" "tasks 1 and 3 overlap on processor 0"
+    (render (S.Overlap { proc = 0; first = 1; second = 3 }));
+  Alcotest.(check string)
+    "allocation mismatch" "task 5 uses 1 processors, allocation says 2"
+    (render (S.Allocation_mismatch { task = 5; expected = 2; actual = 1 }))
+
+(* A schedule broken in several independent ways reports every
+   violation, not just the first one found. *)
+let test_validate_reports_all () =
+  let s =
+    S.make ~platform_procs:2
+      [|
+        entry 0 0. 2. [| 0 |];
+        entry 1 1. 3. [| 0 |];  (* overlaps 0 on proc 0, starts early *)
+        entry 2 1. 3. [| 1 |];
+        entry 3 3. 4. [| 0 |];  (* allocation says 2 *)
+      |]
+  in
+  match S.validate ~alloc:[| 1; 1; 1; 2 |] s ~graph:diamond with
+  | Ok () -> Alcotest.fail "violations missed"
+  | Error vs ->
+    let has pred = List.exists pred vs in
+    Alcotest.(check bool) "precedence reported" true
+      (has (function S.Precedence { src = 0; dst = 1 } -> true | _ -> false));
+    Alcotest.(check bool) "overlap reported" true
+      (has (function
+        | S.Overlap { proc = 0; first = 0; second = 1 } -> true
+        | _ -> false));
+    Alcotest.(check bool) "mismatch reported" true
+      (has (function
+        | S.Allocation_mismatch { task = 3; expected = 2; actual = 1 } -> true
+        | _ -> false))
+
+(* Over-subscription: more simultaneous work than the platform has
+   processors must surface as overlaps on some processor. *)
+let test_validate_oversubscription () =
+  let tasks = Array.init 3 (fun id -> Emts_ptg.Task.make ~id ~flop:1. ()) in
+  let g = Emts_ptg.Graph.of_tasks_and_edges tasks [] in
+  let s =
+    S.make ~platform_procs:2
+      [|
+        entry 0 0. 2. [| 0; 1 |];
+        entry 1 0. 2. [| 0 |];
+        entry 2 0. 2. [| 1 |];
+      |]
+  in
+  match S.validate s ~graph:g with
+  | Ok () -> Alcotest.fail "over-subscription missed"
+  | Error vs ->
+    Alcotest.(check bool) "every violation is an overlap" true
+      (List.for_all (function S.Overlap _ -> true | _ -> false) vs);
+    Alcotest.(check bool) "both processors over-subscribed" true
+      (List.length vs >= 2)
+
 let test_adjacent_tasks_share_instant () =
   (* finish of one = start of next on the same processor: legal *)
   let tasks = Array.init 2 (fun id -> Emts_ptg.Task.make ~id ~flop:1. ()) in
@@ -251,6 +313,12 @@ let () =
             test_validate_allocation_mismatch;
           Alcotest.test_case "adjacency is legal" `Quick
             test_adjacent_tasks_share_instant;
+          Alcotest.test_case "violation messages" `Quick
+            test_pp_violation_strings;
+          Alcotest.test_case "all violations reported" `Quick
+            test_validate_reports_all;
+          Alcotest.test_case "over-subscription" `Quick
+            test_validate_oversubscription;
         ] );
       ( "rendering",
         [

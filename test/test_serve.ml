@@ -10,12 +10,8 @@ module J = Emts_resilience.Json
 
 let graph_string ?(tasks = 12) ?(seed = 11) () =
   let rng = Emts_prng.create ~seed () in
-  let params =
-    { Emts_daggen.Random_dag.n = tasks; width = 0.5; regularity = 0.5;
-      density = 0.5; jump = 1 }
-  in
-  let graph = Emts_daggen.Random_dag.generate rng params in
-  Emts_ptg.Serial.to_string (Emts_daggen.Costs.assign rng graph)
+  Emts_ptg.Serial.to_string
+    (Testutil.costed_daggen rng ~n:tasks ~density:0.5)
 
 let schedule_req ?(algorithm = "emts5") ?(seed = 7) ?deadline_s ?budget_s ptg =
   Protocol.Request.schedule ~algorithm ~seed ?deadline_s ?budget_s ~ptg ()

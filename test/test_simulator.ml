@@ -51,6 +51,43 @@ let test_exact_replay () =
     (Schedule.entries r.Sim.realized = Schedule.entries schedule);
   check_float "slowdown 1" 1. (Sim.slowdown r)
 
+(* Regression: the list scheduler can park several zero-duration tasks
+   at one processor-availability instant that sits *after* an idle gap
+   on that processor.  Replaying by (data ready, processors free) alone
+   would let the unconstrained zero-duration task slide into the gap;
+   the planned start must act as a release time.  Built with static
+   priorities so the placement order is forced:
+
+     p0: t1 [0,12]  t4 [12,15]
+     p1: t3 [0,2]   t2 [12,12]  t0 [12,12]   (gap [2,12] before the tie)
+
+   t0 is a source with data-ready 0; without the reservation bound it
+   would realise at [2,2]. *)
+let test_zero_duration_reservation () =
+  let g =
+    let b = Emts_ptg.Graph.Builder.create () in
+    let ids = Array.init 5 (fun _ -> Emts_ptg.Graph.Builder.add_task ~flop:1. b) in
+    Emts_ptg.Graph.Builder.add_edge b ~src:ids.(1) ~dst:ids.(2);
+    Emts_ptg.Graph.Builder.add_edge b ~src:ids.(1) ~dst:ids.(4);
+    Emts_ptg.Graph.Builder.build b
+  in
+  let times = [| 0.; 12.; 0.; 2.; 3. |] in
+  let alloc = [| 1; 1; 1; 1; 1 |] in
+  let schedule =
+    LS.run_prioritized
+      ~priority:(LS.Static [| 1.; 5.; 3.; 4.; 2. |])
+      ~graph:g ~times ~alloc ~procs:2
+  in
+  let e v = Schedule.entry schedule v in
+  (* The planned shape the regression depends on — fail loudly if the
+     list scheduler's placement ever changes. *)
+  check_float "t0 planned start" 12. (e 0).Schedule.start;
+  check_float "t2 planned start" 12. (e 2).Schedule.start;
+  check_float "gap end on t0's processor" 2. (e 3).Schedule.finish;
+  let r = Sim.execute ~graph:g ~schedule () in
+  Alcotest.(check bool) "zero-duration tie replays exactly" true
+    (Schedule.entries r.Sim.realized = Schedule.entries schedule)
+
 let test_trace_structure () =
   let g, schedule = diamond_setup () in
   let r = Sim.execute ~graph:g ~schedule () in
@@ -171,6 +208,8 @@ let () =
       ( "execution",
         [
           Alcotest.test_case "exact replay" `Quick test_exact_replay;
+          Alcotest.test_case "zero-duration reservation" `Quick
+            test_zero_duration_reservation;
           Alcotest.test_case "trace structure" `Quick test_trace_structure;
           Alcotest.test_case "noise changes makespan" `Quick
             test_noise_changes_makespan;

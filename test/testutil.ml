@@ -48,24 +48,11 @@ let figure2_graph () =
 let const_time t _ = t
 let unit_speed_times g = fun v -> (Graph.task g v).Emts_ptg.Task.flop
 
-(* Random DAG by upper-triangular coin flips: acyclic by construction,
-   arbitrary shape (unlike the layered daggen graphs). *)
-let random_triangular_dag rng ~n ~p =
-  let b = Graph.Builder.create () in
-  let ids =
-    Array.init n (fun _ ->
-        Graph.Builder.add_task
-          ~flop:(1. +. Emts_prng.float rng 99.)
-          ~alpha:(Emts_prng.float rng 0.5)
-          b)
-  in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      if Emts_prng.bernoulli rng ~p then
-        Graph.Builder.add_edge b ~src:ids.(i) ~dst:ids.(j)
-    done
-  done;
-  Graph.Builder.build b
+(* Random graph constructors live in Emts_check.Gen so the fuzzing
+   harness and the alcotest suites draw from one implementation; the
+   aliases keep existing call sites stable. *)
+let random_triangular_dag = Emts_check.Gen.random_triangular_dag
+let costed_daggen = Emts_check.Gen.costed_daggen
 
 (* QCheck generator of (graph, seed): graphs of 1..max_n tasks. *)
 let gen_dag ?(max_n = 25) () =
@@ -89,11 +76,18 @@ let arbitrary_dag_alloc ~procs ?max_n () =
     QCheck.Gen.(
       pair (gen_dag ?max_n ()) int >|= fun (g, seed) ->
       let rng = Emts_prng.create ~seed () in
-      let alloc =
-        Array.init (Graph.task_count g) (fun _ ->
-            Emts_prng.int_in rng 1 procs)
-      in
-      (g, alloc))
+      (g, Emts_check.Gen.random_valid_alloc rng g ~procs))
+
+(* A full random fuzzing scenario (graph, platform size, model, seed),
+   wrapped as a QCheck arbitrary so property suites can range over the
+   same adversarial input distribution as [emts-fuzz]. *)
+let gen_scenario =
+  QCheck.Gen.(
+    int >|= fun seed ->
+    Emts_check.Gen.scenario (Emts_prng.create ~seed ()))
+
+let arbitrary_scenario =
+  QCheck.make ~print:Emts_check.Scenario.describe gen_scenario
 
 (* Substring check for error-message assertions. *)
 let contains_substring hay needle =

@@ -412,6 +412,47 @@ let run_checkpoint_overhead () =
     t_1 m_1 (overhead t_1) writes_1;
   Printf.printf "identical makespans  %b\n" (m_off = m_10 && m_off = m_1)
 
+(* Allocation & GC profile of the fitness-evaluation hot path: the
+   before-number for the allocation-reduction roadmap item.  One EMTS5
+   run on the reference instance with the GC profiler on; the per-eval
+   allocated-bytes histogram (gc.eval.alloc_bytes) and the minor/major
+   collection counters land in the registry and hence in
+   BENCH_METRICS_JSON. *)
+let run_gc_profile () =
+  rule "GC/alloc profile per fitness evaluation (EMTS5, irregular n=100)";
+  Emts_obs.Metrics.set_enabled true;
+  Emts_obs.Gcprof.set_enabled true;
+  let counter name =
+    Option.value ~default:0 (Emts_obs.Metrics.find_counter name)
+  in
+  let minor0 = counter "gc.eval.minor_collections"
+  and major0 = counter "gc.eval.major_collections" in
+  let rng = Emts_prng.create ~seed:0x6CA11 () in
+  let r =
+    Emts.Algorithm.run_ctx ~rng ~config:Emts.Algorithm.emts5
+      ~ctx:ctx_irregular ()
+  in
+  Emts_obs.Gcprof.set_enabled false;
+  let minors = counter "gc.eval.minor_collections" - minor0
+  and majors = counter "gc.eval.major_collections" - major0 in
+  match
+    Emts_obs.Metrics.histogram_value
+      (Emts_obs.Metrics.histogram "gc.eval.alloc_bytes")
+  with
+  | None -> print_string "no evaluations were measured\n"
+  | Some d ->
+    Printf.printf "evaluations measured %8d   (EA reports %d)\n"
+      d.Emts_obs.Metrics.count r.Emts.Algorithm.ea.Emts_ea.evaluations;
+    Printf.printf
+      "alloc per evaluation %8.0f B mean   %8.0f B min   %10.0f B max   \
+       (total %.1f MB)\n"
+      d.Emts_obs.Metrics.mean d.Emts_obs.Metrics.min d.Emts_obs.Metrics.max
+      (d.Emts_obs.Metrics.total /. 1e6);
+    Printf.printf
+      "collections          %8d minor   %6d major   (%.1f evals per minor)\n"
+      minors majors
+      (float_of_int d.Emts_obs.Metrics.count /. float_of_int (max 1 minors))
+
 (* Serving: the daemon's warm path (persistent engine — worker pool
    and cross-request fitness cache survive between requests) against
    the cold one-shot path (fresh engine per request, no shared cache —
@@ -513,6 +554,7 @@ let () =
   run_extensions ();
   run_cache_speedup ();
   run_checkpoint_overhead ();
+  run_gc_profile ();
   run_serving ();
   match metrics_json with
   | None -> ()

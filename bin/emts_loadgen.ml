@@ -47,6 +47,28 @@ let roundtrip fd request =
   | Error e -> Error (Protocol.frame_error_to_string e)
   | Ok payload -> Protocol.Response.of_string payload
 
+(* Client-side tracing (--trace): every request gets a fresh trace_id,
+   carried in the request frame and used as the context of a
+   [client.request] span, so the daemon's spans for the same request
+   share the id and a concatenation of both JSONL files is one merged
+   Perfetto timeline.  The firing threads all share the main domain, so
+   the context must be passed explicitly, never through the ambient
+   per-domain slot. *)
+let client_ctx () =
+  if Emts_obs.Trace.active () then begin
+    let trace_id = Emts_obs.Span.make_trace_id () in
+    (Some trace_id, Some (Emts_obs.Span.root ~trace_id))
+  end
+  else (None, None)
+
+let with_client_span ctx ~k f =
+  match ctx with
+  | Some c ->
+    Emts_obs.Trace.span "client.request" ~ctx:c
+      ~args:[ ("k", Emts_obs.Trace.Int k) ]
+      f
+  | None -> f ()
+
 (* ------------------------------------------------------------------ *)
 (* Corpus *)
 
@@ -107,13 +129,14 @@ let record t outcome latency =
 (* ------------------------------------------------------------------ *)
 (* Single-shot probes *)
 
-let request_of ~ptg ~platform ~model ~algorithm ~seed ~deadline_s ~budget_s =
+let request_of ~trace_id ~ptg ~platform ~model ~algorithm ~seed ~deadline_s
+    ~budget_s =
   Protocol.Request.Schedule
     {
       id = J.Str "loadgen";
       req =
         Protocol.Request.schedule ~platform ~model ~algorithm ~seed
-          ?deadline_s ?budget_s ~ptg ();
+          ?deadline_s ?budget_s ?trace_id ~ptg ();
     }
 
 let print_schedule_result (r : Protocol.Response.schedule_result) =
@@ -126,19 +149,21 @@ let print_schedule_result (r : Protocol.Response.schedule_result) =
 let run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
     ~deadline_s ~budget_s =
   let ptg = List.hd corpus in
-  with_conn ~socket ~tcp (fun fd ->
-      match
-        roundtrip fd
-          (request_of ~ptg ~platform ~model ~algorithm ~seed ~deadline_s
-             ~budget_s)
-      with
-      | Ok (Protocol.Response.Schedule_result r) ->
-        print_schedule_result r;
-        Ok ()
-      | Ok (Protocol.Response.Error { code; message; _ }) ->
-        Error (Printf.sprintf "server error [%s]: %s" code message)
-      | Ok _ -> Error "unexpected response verb"
-      | Error m -> Error m)
+  let trace_id, ctx = client_ctx () in
+  with_client_span ctx ~k:0 (fun () ->
+      with_conn ~socket ~tcp (fun fd ->
+          match
+            roundtrip fd
+              (request_of ~trace_id ~ptg ~platform ~model ~algorithm ~seed
+                 ~deadline_s ~budget_s)
+          with
+          | Ok (Protocol.Response.Schedule_result r) ->
+            print_schedule_result r;
+            Ok ()
+          | Ok (Protocol.Response.Error { code; message; _ }) ->
+            Error (Printf.sprintf "server error [%s]: %s" code message)
+          | Ok _ -> Error "unexpected response verb"
+          | Error m -> Error m))
 
 let run_ping ~socket ~tcp =
   with_conn ~socket ~tcp (fun fd ->
@@ -154,6 +179,17 @@ let run_stats ~socket ~tcp =
       match roundtrip fd (Protocol.Request.Stats { id = J.Str "loadgen" }) with
       | Ok (Protocol.Response.Stats { stats; _ }) ->
         print_endline (J.to_string stats);
+        Ok ()
+      | Ok _ -> Error "unexpected response verb"
+      | Error m -> Error m)
+
+let run_metrics ~socket ~tcp =
+  with_conn ~socket ~tcp (fun fd ->
+      match
+        roundtrip fd (Protocol.Request.Metrics { id = J.Str "loadgen" })
+      with
+      | Ok (Protocol.Response.Metrics { body; _ }) ->
+        print_string body;
         Ok ()
       | Ok _ -> Error "unexpected response verb"
       | Error m -> Error m)
@@ -183,13 +219,47 @@ let run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed =
   with_conn ~socket ~tcp (fun fd ->
       Protocol.write_frame fd
         (Protocol.Request.to_string
-           (request_of ~ptg ~platform ~model ~algorithm ~seed ~deadline_s:None
-              ~budget_s:None));
+           (request_of ~trace_id:None ~ptg ~platform ~model ~algorithm ~seed
+              ~deadline_s:None ~budget_s:None));
       Printf.printf "hung up after sending request\n";
       Ok ())
 
 (* ------------------------------------------------------------------ *)
 (* Open-loop load run *)
+
+(* Server-side phase breakdown: after a load run, pull the daemon's
+   phase histograms through the stats verb so the report splits the
+   observed client latency into queue wait, solve and encode time.
+   Best-effort — an unreachable server or one without the histograms
+   just omits the section. *)
+let phase_metrics =
+  [
+    ("queue_wait", "serve.queue_wait_s");
+    ("solve", "serve.solve_s");
+    ("encode", "serve.encode_s");
+  ]
+
+let fetch_server_phases ~socket ~tcp =
+  match
+    with_conn ~socket ~tcp (fun fd ->
+        roundtrip fd (Protocol.Request.Stats { id = J.Str "loadgen" }))
+  with
+  | Ok (Protocol.Response.Stats { stats; _ }) ->
+    let hists = J.member "histograms" stats in
+    List.filter_map
+      (fun (label, metric) ->
+        match Option.bind hists (J.member metric) with
+        | None -> None
+        | Some h ->
+          let f k =
+            match Option.map J.to_float (J.member k h) with
+            | Some (Ok v) -> v
+            | _ -> Float.nan
+          in
+          Some (label, f "p50", f "p95", f "p99"))
+      phase_metrics
+  | Ok _ | Error _ -> []
+  | exception _ -> []
 
 let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
     ~requests ~deadline_s ~budget_s ~json =
@@ -203,12 +273,14 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
     let start = Emts_obs.Clock.now () in
     let fire k =
       let ptg = corpus.(k mod Array.length corpus) in
+      let trace_id, ctx = client_ctx () in
       let sent = Emts_obs.Clock.now () in
       match
-        with_conn ~socket ~tcp (fun fd ->
-            roundtrip fd
-              (request_of ~ptg ~platform ~model ~algorithm ~seed:(seed + k)
-                 ~deadline_s ~budget_s))
+        with_client_span ctx ~k (fun () ->
+            with_conn ~socket ~tcp (fun fd ->
+                roundtrip fd
+                  (request_of ~trace_id ~ptg ~platform ~model ~algorithm
+                     ~seed:(seed + k) ~deadline_s ~budget_s)))
       with
       | Ok (Protocol.Response.Schedule_result _) ->
         record tally `Ok (Emts_obs.Clock.now () -. sent)
@@ -244,27 +316,53 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
     Printf.printf "throughput=%.2f req/s\n" throughput;
     Printf.printf "latency_s p50=%.6f p95=%.6f p99=%.6f\n" (quant 0.5)
       (quant 0.95) (quant 0.99);
+    let phases = fetch_server_phases ~socket ~tcp in
+    List.iter
+      (fun (label, p50, p95, p99) ->
+        Printf.printf "server %s_s p50=%.6f p95=%.6f p99=%.6f\n" label p50
+          p95 p99)
+      phases;
     (match json with
     | None -> ()
     | Some path ->
+      let server_section =
+        match phases with
+        | [] -> []
+        | ps ->
+          [
+            ( "server",
+              J.Obj
+                (List.map
+                   (fun (label, p50, p95, p99) ->
+                     ( label ^ "_s",
+                       J.Obj
+                         [
+                           ("p50", J.float p50);
+                           ("p95", J.float p95);
+                           ("p99", J.float p99);
+                         ] ))
+                   ps) );
+          ]
+      in
       let doc =
         J.Obj
-          [
-            ("requests", J.Num (float_of_int requests));
-            ("ok", J.Num (float_of_int tally.ok));
-            ("rejected", J.Num (float_of_int tally.rejected));
-            ("errors", J.Num (float_of_int tally.errors));
-            ("rate_rps", J.float rate);
-            ("wall_s", J.float wall);
-            ("throughput_rps", J.float throughput);
-            ( "latency_s",
-              J.Obj
-                [
-                  ("p50", J.float (quant 0.5));
-                  ("p95", J.float (quant 0.95));
-                  ("p99", J.float (quant 0.99));
-                ] );
-          ]
+          ([
+             ("requests", J.Num (float_of_int requests));
+             ("ok", J.Num (float_of_int tally.ok));
+             ("rejected", J.Num (float_of_int tally.rejected));
+             ("errors", J.Num (float_of_int tally.errors));
+             ("rate_rps", J.float rate);
+             ("wall_s", J.float wall);
+             ("throughput_rps", J.float throughput);
+             ( "latency_s",
+               J.Obj
+                 [
+                   ("p50", J.float (quant 0.5));
+                   ("p95", J.float (quant 0.95));
+                   ("p99", J.float (quant 0.99));
+                 ] );
+           ]
+          @ server_section)
       in
       Emts_resilience.write_string ~path (J.to_string doc));
     if tally.errors > 0 then Error "some requests failed" else Ok ()
@@ -294,6 +392,9 @@ let mode_arg =
              ~doc:"Send one schedule request, print the result, exit.");
           (`Ping, info [ "ping" ] ~doc:"Health-check the server.");
           (`Stats, info [ "stats" ] ~doc:"Fetch and print server metrics.");
+          (`Metrics, info [ "metrics" ]
+             ~doc:"Fetch and print the server's OpenMetrics text \
+                   exposition (the $(b,metrics) protocol verb).");
           (`Malformed, info [ "malformed" ]
              ~doc:"Send a corrupt frame and report the server's reaction.");
           (`Hangup, info [ "hangup" ]
@@ -371,8 +472,21 @@ let json_arg =
         ~doc:"Write the load-run report as JSON to $(docv) \
               (e.g. BENCH_SERVE.json).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a client-side Chrome trace-event JSONL trace to $(docv).  \
+           Each request gets a fresh trace_id that is sent to the server; \
+           concatenating this file with the daemon's own $(b,--trace) \
+           output yields a single merged Perfetto timeline in which \
+           client and server spans of the same request share a \
+           trace_id.")
+
 let run mode socket connect ptg_files corpus_n tasks platform model algorithm
-    seed rate requests deadline_s budget_s json =
+    seed rate requests deadline_s budget_s json trace =
   let ( let* ) = Result.bind in
   let* tcp =
     match connect with
@@ -394,22 +508,44 @@ let run mode socket connect ptg_files corpus_n tasks platform model algorithm
   in
   let* corpus = load_corpus ~files:ptg_files ~count:corpus_n ~tasks ~seed in
   let* () = if corpus = [] then Error "empty corpus" else Ok () in
-  try
-    match mode with
-    | `Ping -> run_ping ~socket ~tcp
-    | `Stats -> run_stats ~socket ~tcp
-    | `Malformed -> run_malformed ~socket ~tcp
-    | `Hangup -> run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
-    | `Once ->
-      run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
-        ~deadline_s ~budget_s
-    | `Load ->
-      run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
-        ~requests ~deadline_s ~budget_s ~json
-  with
-  | Unix.Unix_error (e, fn, arg) ->
-    Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
-  | Failure m -> Error m
+  (* pid 2 marks the client lane in a merged client+server trace (the
+     daemon records under pid 1); both processes stamp events with the
+     machine-wide monotonic clock, so the lanes align. *)
+  let* () =
+    match trace with
+    | None -> Ok ()
+    | Some path -> (
+      try
+        Ok (Emts_obs.Trace.start ~pid:2 ~process_name:"emts-loadgen" ~path ())
+      with Sys_error m ->
+        Error (Printf.sprintf "cannot open trace file %s: %s" path m))
+  in
+  let finally () =
+    match trace with
+    | None -> ()
+    | Some path ->
+      Emts_obs.Trace.stop ();
+      Printf.eprintf "wrote %s\n%!" path
+  in
+  Fun.protect ~finally (fun () ->
+      try
+        match mode with
+        | `Ping -> run_ping ~socket ~tcp
+        | `Stats -> run_stats ~socket ~tcp
+        | `Metrics -> run_metrics ~socket ~tcp
+        | `Malformed -> run_malformed ~socket ~tcp
+        | `Hangup ->
+          run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
+        | `Once ->
+          run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
+            ~deadline_s ~budget_s
+        | `Load ->
+          run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
+            ~rate ~requests ~deadline_s ~budget_s ~json
+      with
+      | Unix.Unix_error (e, fn, arg) ->
+        Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+      | Failure m -> Error m)
 
 let () =
   let info =
@@ -423,6 +559,6 @@ let () =
         (const run $ mode_arg $ socket_arg $ connect_arg $ ptg_arg
        $ corpus_arg $ tasks_arg $ platform_arg $ model_arg $ algorithm_arg
        $ seed_arg $ rate_arg $ requests_arg $ deadline_arg $ budget_arg
-       $ json_arg))
+       $ json_arg $ trace_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

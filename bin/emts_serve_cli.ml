@@ -75,29 +75,75 @@ let metrics_json_arg =
     & info [ "metrics-json" ] ~docv:"FILE"
         ~doc:"Also write the final metrics snapshot as JSON to $(docv).")
 
-let parse_listen spec =
+let metrics_listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-listen" ] ~docv:"HOST:PORT"
+        ~doc:"Serve the metrics registry as an OpenMetrics text document \
+              over plain HTTP at $(docv), for Prometheus scraping.  The \
+              same document is available in-band through the \
+              $(b,metrics) protocol verb.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record a Chrome trace-event JSONL trace of every request \
+              to $(docv) (Perfetto-loadable).  Server-side spans carry \
+              each request's trace_id; concatenating this file with a \
+              loadgen --trace file yields one merged client+server \
+              view.")
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"FILE"
+        ~doc:"Keep a fixed-size in-memory ring of recent trace events \
+              and dump it to $(docv) as JSONL on SIGQUIT (the daemon \
+              keeps serving) or on an uncaught-exception crash.")
+
+let gc_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "gc-profile" ]
+        ~doc:"Record per-fitness-evaluation allocation and GC-collection \
+              deltas into the gc.eval.* metrics.")
+
+let parse_hostport ~flag spec =
   match String.rindex_opt spec ':' with
-  | None -> Error ((Printf.sprintf "--listen %S: expected HOST:PORT" spec))
+  | None -> Error (Printf.sprintf "%s %S: expected HOST:PORT" flag spec)
   | Some i -> (
     let host = String.sub spec 0 i in
     let port = String.sub spec (i + 1) (String.length spec - i - 1) in
     match int_of_string_opt port with
     | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
-    | _ ->
-      Error ((Printf.sprintf "--listen %S: expected HOST:PORT" spec)))
+    | _ -> Error (Printf.sprintf "%s %S: expected HOST:PORT" flag spec))
 
-let run socket listen workers pool_domains queue_capacity max_frame
-    cache_capacity cache_instances metrics_json =
+let parse_listen = parse_hostport ~flag:"--listen"
+
+let run socket listen metrics_listen workers pool_domains queue_capacity
+    max_frame cache_capacity cache_instances metrics_json trace flight
+    gc_profile =
   let ( let* ) = Result.bind in
   let* tcp =
     match listen with
     | None -> Ok None
     | Some spec -> Result.map Option.some (parse_listen spec)
   in
+  let* metrics_tcp =
+    match metrics_listen with
+    | None -> Ok None
+    | Some spec ->
+      Result.map Option.some (parse_hostport ~flag:"--metrics-listen" spec)
+  in
   let config =
     {
       Server.socket;
       tcp;
+      metrics_tcp;
       workers;
       pool_domains;
       queue_capacity;
@@ -107,11 +153,32 @@ let run socket listen workers pool_domains queue_capacity max_frame
     }
   in
   Emts_resilience.Shutdown.install ();
+  let* () =
+    match trace with
+    | None -> Ok ()
+    | Some path -> (
+      try
+        Emts_obs.Trace.start ~path ();
+        Ok ()
+      with Sys_error m ->
+        Error (Printf.sprintf "cannot open trace file %s: %s" path m))
+  in
+  (match flight with
+  | Some path -> Emts_obs.Flight.install ~path ()
+  | None -> ());
+  if gc_profile then Emts_obs.Gcprof.set_enabled true;
   match Server.run config with
   | Error msg -> Error msg
   | Ok () ->
     (* Final metrics dump: the drain is complete, every admitted
-       request has been answered. *)
+       request has been answered.  Stopping the trace closes (and
+       therefore flushes) the sink, so a drained daemon never leaves a
+       truncated trace behind. *)
+    (match trace with
+    | Some path ->
+      Emts_obs.Trace.stop ();
+      Printf.eprintf "wrote %s\n%!" path
+    | None -> ());
     prerr_string (Emts_obs.Metrics.render ());
     let* () =
       match metrics_json with
@@ -148,8 +215,9 @@ let () =
   let term =
     Term.(
       term_result'
-        (const run $ socket_arg $ listen_arg $ workers_arg $ pool_domains_arg
-       $ queue_arg $ max_frame_arg $ cache_capacity_arg $ cache_instances_arg
-       $ metrics_json_arg))
+        (const run $ socket_arg $ listen_arg $ metrics_listen_arg
+       $ workers_arg $ pool_domains_arg $ queue_arg $ max_frame_arg
+       $ cache_capacity_arg $ cache_instances_arg $ metrics_json_arg
+       $ trace_arg $ flight_arg $ gc_profile_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

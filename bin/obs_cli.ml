@@ -1,6 +1,6 @@
 (* Shared observability flags for the emts binaries: --trace, --metrics,
-   --metrics-json and --progress behave identically on emts-gen,
-   emts-sched and emts-experiments. *)
+   --metrics-json, --gc-profile, --flight-recorder and --progress behave
+   identically on emts-gen, emts-sched and emts-experiments. *)
 
 open Cmdliner
 
@@ -8,6 +8,8 @@ type t = {
   trace : string option;
   metrics : bool;
   metrics_json : string option;
+  gc_profile : bool;
+  flight : string option;
   progress : bool;
 }
 
@@ -40,17 +42,37 @@ let metrics_json_arg =
           "Write the collected metrics as machine-readable JSON to $(docv) \
            (implies metric collection).")
 
+let gc_profile_arg =
+  Arg.(
+    value & flag
+    & info [ "gc-profile" ]
+        ~doc:
+          "Profile allocation per fitness evaluation: record the \
+           $(b,Gc.allocated_bytes) delta and minor/major collection \
+           counts of every evaluation into the gc.eval.* metrics \
+           (implies metric collection).")
+
+let flight_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-recorder" ] ~docv:"FILE"
+        ~doc:
+          "Keep a fixed-size in-memory ring of recent trace events and \
+           dump it to $(docv) as JSONL on SIGQUIT or on an uncaught \
+           exception — a postmortem for wedged or crashing runs.")
+
 let progress_arg =
   Arg.(
     value & flag
     & info [ "progress" ]
         ~doc:"Report per-generation progress lines on stderr.")
 
-let make trace metrics metrics_json progress =
-  { trace; metrics; metrics_json; progress }
+let make trace metrics metrics_json gc_profile flight progress =
+  { trace; metrics; metrics_json; gc_profile; flight; progress }
 
 let term = Term.(const make $ trace_arg $ metrics_arg $ metrics_json_arg
-                 $ progress_arg)
+                 $ gc_profile_arg $ flight_arg $ progress_arg)
 
 (* Enable the requested sinks, run [f], then flush: close the trace,
    print the metrics table to stdout and write the JSON snapshot.  The
@@ -59,12 +81,18 @@ let term = Term.(const make $ trace_arg $ metrics_arg $ metrics_json_arg
    [Sys_error] exceptions. *)
 let with_obs t f =
   match
-    match t.trace with Some path -> Emts_obs.Trace.start ~path | None -> ()
+    match t.trace with
+    | Some path -> Emts_obs.Trace.start ~path ()
+    | None -> ()
   with
   | exception Sys_error msg -> Error msg
   | () ->
     if t.metrics || t.metrics_json <> None then
       Emts_obs.Metrics.set_enabled true;
+    if t.gc_profile then Emts_obs.Gcprof.set_enabled true;
+    (match t.flight with
+    | Some path -> Emts_obs.Flight.install ~path ()
+    | None -> ());
     if t.progress then Emts_obs.Progress.set_enabled true;
     let json_error = ref None in
     let finalize () =
@@ -81,7 +109,8 @@ let with_obs t f =
           Printf.eprintf "wrote %s\n%!" path
         with Sys_error msg -> json_error := Some msg)
       | None -> ());
-      if t.metrics then print_string (Emts_obs.Metrics.render ())
+      if t.metrics || t.gc_profile then
+        print_string (Emts_obs.Metrics.render ())
     in
     let result = Fun.protect ~finally:finalize f in
     (match (result, !json_error) with

@@ -466,6 +466,83 @@ let check_wire (s : Scenario.t) =
           | `Frame_error _ | `Timeout | `Peer_closed -> Ok ()
           | `Junk_response m -> fail "oversized: undecodable response (%s)" m))
   in
+  (* A ping on the same connection proves a payload-level error (or a
+     read-only verb) left it open and in frame sync. *)
+  let ping_still_works fd ~label =
+    match
+      wire_send fd
+        (Protocol.encode_frame
+           (Protocol.Request.to_string (Protocol.Request.Ping { id = J.Null })))
+    with
+    | `Peer_closed -> fail "%s: connection closed afterwards" label
+    | `Sent -> (
+      match wire_reply fd with
+      | `Response (Protocol.Response.Pong _) -> Ok ()
+      | `Timeout -> fail "%s: connection wedged afterwards" label
+      | _ -> fail "%s: expected a pong on the same connection" label)
+  in
+  (* The metrics verb answers a complete OpenMetrics exposition and
+     leaves the connection open for further requests. *)
+  let* () =
+    with_conn (fun fd ->
+        match
+          wire_send fd
+            (Protocol.encode_frame
+               (Protocol.Request.to_string
+                  (Protocol.Request.Metrics { id = J.Str "fuzz" })))
+        with
+        | `Peer_closed -> fail "metrics: daemon closed the connection"
+        | `Sent -> (
+          match wire_reply fd with
+          | `Response (Protocol.Response.Metrics { body; _ }) ->
+            let n = String.length body in
+            let* () =
+              if n >= 6 && String.sub body (n - 6) 6 = "# EOF\n" then Ok ()
+              else fail "metrics: exposition does not end with \"# EOF\""
+            in
+            ping_still_works fd ~label:"metrics"
+          | `Timeout -> fail "metrics: no answer within 5s"
+          | _ -> fail "metrics: expected a metrics response"))
+  in
+  (* Malformed trace_id fields get a typed bad_request, and — like any
+     payload-level error — must not wedge or close the connection. *)
+  let* () =
+    let oversized =
+      String.make
+        (Emts_obs.Span.max_trace_id_len + 1 + Emts_prng.int rng 64)
+        'a'
+    in
+    let cases =
+      [
+        ("wrong-type", {|{"verb":"schedule","ptg":"g","trace_id":123}|});
+        ("empty", {|{"verb":"schedule","ptg":"g","trace_id":""}|});
+        ( "oversized",
+          Printf.sprintf {|{"verb":"schedule","ptg":"g","trace_id":"%s"}|}
+            oversized );
+        ( "bad-charset",
+          {|{"verb":"schedule","ptg":"g","trace_id":"no spaces allowed"}|} );
+      ]
+    in
+    check_list
+      (fun (label, payload) ->
+        with_conn (fun fd ->
+            match wire_send fd (Protocol.encode_frame payload) with
+            | `Peer_closed ->
+              fail "trace_id/%s: daemon closed the connection" label
+            | `Sent -> (
+              match wire_reply fd with
+              | `Response (Protocol.Response.Error { code; _ })
+                when code = Protocol.Error_code.bad_request ->
+                ping_still_works fd ~label:("trace_id/" ^ label)
+              | `Response _ ->
+                fail "trace_id/%s: expected a bad_request error" label
+              | `Timeout -> fail "trace_id/%s: no answer within 5s" label
+              | `Frame_error e ->
+                fail "trace_id/%s: %s" label (Protocol.frame_error_to_string e)
+              | `Junk_response m ->
+                fail "trace_id/%s: undecodable response (%s)" label m)))
+      cases
+  in
   (* After all that abuse the daemon must still answer a valid request
      and a ping — this is the actual crash detector. *)
   let* () =
@@ -682,8 +759,10 @@ let all =
     {
       name = "wire";
       doc =
-        "random/bit-flipped/truncated/oversized frames against a live \
-         daemon yield only typed errors, and the daemon stays alive";
+        "random/bit-flipped/truncated/oversized frames and malformed \
+         trace_id fields against a live daemon yield only typed errors \
+         (the metrics verb a complete exposition), and the daemon stays \
+         alive";
       check = check_wire;
     };
     {

@@ -467,6 +467,11 @@ let with_pool_opt ~domains pool f =
 let run ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?deadline
     ?pool ?checkpoint ~rng ~config ~seeds problem =
   if seeds = [] then invalid_arg "Emts_ea.run: seeds must be non-empty";
+  (* Span context is ambient (Domain.DLS): when the serving layer runs
+     this under a request's [serve.solve] span, ea.run and everything
+     below it inherit that request's trace_id with no plumbing here.
+     The pool re-installs the submitting context inside worker domains
+     (see Emts_pool), so ea.eval spans correlate too. *)
   Emts_obs.Trace.span "ea.run"
     ~args:
       [

@@ -17,6 +17,10 @@ type job = {
   next : int Atomic.t;
   remaining : int Atomic.t;
   failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+  ctx : Emts_obs.Span.ctx option;
+      (* the submitter's span context, installed in each worker domain
+         for the duration of the job so worker-lane trace events carry
+         the request's trace_id *)
 }
 
 type command = Idle | Job of job
@@ -41,9 +45,13 @@ let execute ~tid job =
   (* Named per job, not per worker lifetime: deduplicated per trace
      sink, and a trace started mid-run still gets labelled lanes. *)
   Emts_obs.Trace.set_thread_name ~tid (Printf.sprintf "worker %d" tid);
+  Emts_obs.Span.with_ctx job.ctx @@ fun () ->
   Emts_obs.Trace.span "pool.worker" ~tid
     ~args:[ ("tasks", Emts_obs.Trace.Int job.total) ]
   @@ fun () ->
+  (* Hoisted so a disabled profiler costs nothing per item (no closure,
+     one atomic load per job). *)
+  let gc = Emts_obs.Gcprof.enabled () in
   let claimed = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -58,7 +66,8 @@ let execute ~tid job =
         let hi = min job.total (lo + job.chunk) in
         try
           for i = lo to hi - 1 do
-            job.f i
+            if gc then Emts_obs.Gcprof.measure ~lane:tid (fun () -> job.f i)
+            else job.f i
           done
         with e ->
           let bt = Printexc.get_raw_backtrace () in
@@ -123,10 +132,12 @@ let run t ~n f =
   if n < 0 then invalid_arg "Emts_pool.run: n must be >= 0";
   if t.shut then invalid_arg "Emts_pool.run: pool is shut down";
   let workers = Array.length t.workers in
-  if workers = 0 || n < 2 then
+  if workers = 0 || n < 2 then begin
+    let gc = Emts_obs.Gcprof.enabled () in
     for i = 0 to n - 1 do
-      f i
+      if gc then Emts_obs.Gcprof.measure ~lane:0 (fun () -> f i) else f i
     done
+  end
   else begin
     (* Chunks several times smaller than a fair share, so stragglers
        (fitness costs vary with the genome) get rebalanced. *)
@@ -139,6 +150,7 @@ let run t ~n f =
         next = Atomic.make 0;
         remaining = Atomic.make workers;
         failed = Atomic.make None;
+        ctx = Emts_obs.Span.current ();
       }
     in
     Emts_obs.Metrics.incr m_jobs;

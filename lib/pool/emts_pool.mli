@@ -45,6 +45,13 @@ val run : t -> n:int -> (int -> unit) -> unit
     domain is leaked), and the first recorded exception is re-raised
     with its backtrace.  The pool remains usable afterwards.
 
+    Telemetry rides along transparently: the submitter's ambient
+    {!Emts_obs.Span} context is captured at submission and installed in
+    each worker domain for the duration of the job, and when
+    {!Emts_obs.Gcprof} is enabled every [f i] is measured as one
+    fitness evaluation (per-lane allocation and GC-collection deltas).
+    Both are observer-only and change no result.
+
     Raises [Invalid_argument] if [n < 0] or the pool was shut down. *)
 
 val shutdown : t -> unit

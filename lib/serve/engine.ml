@@ -111,8 +111,13 @@ let resolve_model spec =
            spec)
 
 let handle t (req : Protocol.Request.schedule) ~deadline =
+  (* Runs inside the worker domain's ambient span context (installed by
+     the server's worker loop), so these spans nest under serve.solve
+     and carry the request's trace_id. *)
   let* graph =
-    Result.map_error (fun m -> "ptg: " ^ m) (Emts_ptg.Serial.of_string req.ptg)
+    Emts_obs.Trace.span "engine.parse" (fun () ->
+        Result.map_error (fun m -> "ptg: " ^ m)
+          (Emts_ptg.Serial.of_string req.ptg))
   in
   let* () =
     if Emts_ptg.Graph.task_count graph = 0 then Error "ptg: empty graph"
@@ -147,8 +152,11 @@ let handle t (req : Protocol.Request.schedule) ~deadline =
     let cache = cache_for t.caches req in
     let rng = Emts_prng.create ~seed:req.seed () in
     let result =
-      Emts.Algorithm.run_ctx ?deadline ?cache ~pool:t.pool ~rng ~config ~ctx
-        ()
+      Emts_obs.Trace.span "engine.solve"
+        ~args:[ ("algorithm", Emts_obs.Trace.Str name) ]
+        (fun () ->
+          Emts.Algorithm.run_ctx ?deadline ?cache ~pool:t.pool ~rng ~config
+            ~ctx ())
     in
     let generations_done =
       List.length result.Emts.Algorithm.ea.Emts_ea.history - 1
@@ -167,8 +175,13 @@ let handle t (req : Protocol.Request.schedule) ~deadline =
     match Emts_alloc.find name with
     | None -> Error (Printf.sprintf "unknown algorithm %S" req.algorithm)
     | Some h ->
-      let alloc = h.Emts_alloc.allocate ctx in
-      let schedule = Emts.Algorithm.schedule_allocation ~ctx alloc in
+      let alloc, schedule =
+        Emts_obs.Trace.span "engine.solve"
+          ~args:[ ("algorithm", Emts_obs.Trace.Str h.Emts_alloc.name) ]
+          (fun () ->
+            let alloc = h.Emts_alloc.allocate ctx in
+            (alloc, Emts.Algorithm.schedule_allocation ~ctx alloc))
+      in
       finish ~alloc ~label:h.Emts_alloc.name
         ~makespan:(Emts_sched.Schedule.makespan schedule)
         ~deadline_hit:false ~generations_done:0 ~evaluations:0)

@@ -112,20 +112,22 @@ module Request = struct
     seed : int;
     deadline_s : float option;
     budget_s : float option;
+    trace_id : string option;
   }
 
   let schedule ?(platform = "grelon") ?(model = "amdahl")
-      ?(algorithm = "emts5") ?(seed = 0x5EED_CA11) ?deadline_s ?budget_s ~ptg
-      () =
-    { ptg; platform; model; algorithm; seed; deadline_s; budget_s }
+      ?(algorithm = "emts5") ?(seed = 0x5EED_CA11) ?deadline_s ?budget_s
+      ?trace_id ~ptg () =
+    { ptg; platform; model; algorithm; seed; deadline_s; budget_s; trace_id }
 
   type t =
     | Schedule of { id : J.t; req : schedule }
     | Stats of { id : J.t }
+    | Metrics of { id : J.t }
     | Ping of { id : J.t }
 
   let id = function
-    | Schedule { id; _ } | Stats { id } | Ping { id } -> id
+    | Schedule { id; _ } | Stats { id } | Metrics { id } | Ping { id } -> id
 
   let to_json t =
     let with_id id fields =
@@ -134,10 +136,15 @@ module Request = struct
     match t with
     | Ping { id } -> with_id id [ ("verb", J.Str "ping") ]
     | Stats { id } -> with_id id [ ("verb", J.Str "stats") ]
+    | Metrics { id } -> with_id id [ ("verb", J.Str "metrics") ]
     | Schedule { id; req } ->
       let opt name = function
         | None -> []
         | Some x -> [ (name, J.float x) ]
+      in
+      let opt_str name = function
+        | None -> []
+        | Some s -> [ (name, J.Str s) ]
       in
       with_id id
         ([
@@ -149,7 +156,8 @@ module Request = struct
            ("seed", J.Num (float_of_int req.seed));
          ]
         @ opt "deadline_s" req.deadline_s
-        @ opt "budget_s" req.budget_s)
+        @ opt "budget_s" req.budget_s
+        @ opt_str "trace_id" req.trace_id)
 
   let of_json json =
     let id = id_of json in
@@ -157,6 +165,7 @@ module Request = struct
     match verb with
     | "ping" -> Ok (Ping { id })
     | "stats" -> Ok (Stats { id })
+    | "metrics" -> Ok (Metrics { id })
     | "schedule" ->
       let* ptg = field "ptg" J.to_str json in
       let* platform =
@@ -193,10 +202,21 @@ module Request = struct
           Error "field \"budget_s\": must be a positive finite number"
         | _ -> Ok ()
       in
+      let* trace_id = opt_field "trace_id" J.to_str json in
+      let* () =
+        match trace_id with
+        | Some t when not (Emts_obs.Span.valid_trace_id t) ->
+          Error
+            (Printf.sprintf
+               "field \"trace_id\": must be 1..%d characters from \
+                [A-Za-z0-9._-]"
+               Emts_obs.Span.max_trace_id_len)
+        | _ -> Ok ()
+      in
       Ok
         (Schedule
            { id; req = { ptg; platform; model; algorithm; seed; deadline_s;
-                         budget_s } })
+                         budget_s; trace_id } })
     | v -> Error (Printf.sprintf "unknown verb %S" v)
 
   let to_string t = J.to_string (to_json t)
@@ -207,6 +227,9 @@ module Request = struct
 end
 
 (* ------------------------------------------------------------------ *)
+
+let openmetrics_content_type =
+  "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 module Error_code = struct
   let bad_request = "bad_request"
@@ -233,11 +256,13 @@ module Response = struct
     deadline_hit : bool;
     generations_done : int;
     evaluations : int;
+    trace_id : string option;
   }
 
   type t =
     | Schedule_result of schedule_result
     | Stats of { id : J.t; stats : J.t }
+    | Metrics of { id : J.t; body : string }
     | Pong of { id : J.t; server : string }
     | Error of { id : J.t; code : string; message : string }
 
@@ -258,6 +283,15 @@ module Response = struct
           ("id", id);
           ("stats", stats);
         ]
+    | Metrics { id; body } ->
+      J.Obj
+        [
+          ("status", J.Str "ok");
+          ("verb", J.Str "metrics");
+          ("id", id);
+          ("content_type", J.Str openmetrics_content_type);
+          ("body", J.Str body);
+        ]
     | Error { id; code; message } ->
       J.Obj
         [
@@ -268,7 +302,7 @@ module Response = struct
         ]
     | Schedule_result r ->
       J.Obj
-        [
+        ([
           ("status", J.Str "ok");
           ("verb", J.Str "schedule");
           ("id", r.id);
@@ -297,6 +331,9 @@ module Response = struct
           ("generations_done", J.Num (float_of_int r.generations_done));
           ("evaluations", J.Num (float_of_int r.evaluations));
         ]
+        @ (match r.trace_id with
+          | None -> []
+          | Some t -> [ ("trace_id", J.Str t) ]))
 
   let of_json json =
     let id = id_of json in
@@ -315,6 +352,9 @@ module Response = struct
       | "stats" ->
         let* stats = field "stats" (fun j -> Ok j) json in
         Ok (Stats { id; stats })
+      | "metrics" ->
+        let* body = field "body" J.to_str json in
+        Ok (Metrics { id; body })
       | "schedule" ->
         let* algorithm = field "algorithm" J.to_str json in
         let* makespan = field "makespan" J.to_float json in
@@ -344,6 +384,7 @@ module Response = struct
         in
         let* generations_done = field "generations_done" J.to_int json in
         let* evaluations = field "evaluations" J.to_int json in
+        let* trace_id = opt_field "trace_id" J.to_str json in
         Ok
           (Schedule_result
              {
@@ -361,6 +402,7 @@ module Response = struct
                deadline_hit;
                generations_done;
                evaluations;
+               trace_id;
              })
       | v -> Result.Error (Printf.sprintf "unknown response verb %S" v))
     | s -> Result.Error (Printf.sprintf "unknown status %S" s)

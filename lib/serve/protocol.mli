@@ -28,6 +28,11 @@ val default_max_frame : int
 val header_size : int
 (** 8: magic plus 32-bit length. *)
 
+val openmetrics_content_type : string
+(** The content type of {!Response.Metrics} bodies (also sent by the
+    daemon's plain-HTTP scrape endpoint):
+    ["application/openmetrics-text; version=1.0.0; charset=utf-8"]. *)
+
 (** {1 Framing} *)
 
 type frame_error =
@@ -74,15 +79,23 @@ module Request : sig
     budget_s : float option;
         (** EA time budget in seconds, measured from solve start
             (maps to {!Emts_ea.config.time_budget}) *)
+    trace_id : string option;
+        (** client-chosen span-trace correlation token, validated by
+            {!Emts_obs.Span.valid_trace_id} (else [bad_request]); the
+            server tags its server-side spans with it and echoes it in
+            the response, so a client trace and a daemon trace
+            concatenate into one coherent Perfetto file *)
   }
 
   val schedule :
     ?platform:string -> ?model:string -> ?algorithm:string -> ?seed:int ->
-    ?deadline_s:float -> ?budget_s:float -> ptg:string -> unit -> schedule
+    ?deadline_s:float -> ?budget_s:float -> ?trace_id:string ->
+    ptg:string -> unit -> schedule
 
   type t =
     | Schedule of { id : J.t; req : schedule }
-    | Stats of { id : J.t }  (** metrics snapshot *)
+    | Stats of { id : J.t }  (** metrics snapshot, JSON form *)
+    | Metrics of { id : J.t }  (** metrics snapshot, OpenMetrics text *)
     | Ping of { id : J.t }  (** liveness probe *)
 
   val id : t -> J.t
@@ -132,11 +145,17 @@ module Response : sig
     generations_done : int;  (** EA generations completed (0 for
             heuristic algorithms) *)
     evaluations : int;  (** fitness evaluations spent *)
+    trace_id : string option;
+        (** the request's trace id (client-supplied, or minted by the
+            server when it is tracing), echoed for correlation *)
   }
 
   type t =
     | Schedule_result of schedule_result
     | Stats of { id : J.t; stats : J.t }
+    | Metrics of { id : J.t; body : string }
+        (** [body] is the OpenMetrics text exposition
+            ({!Emts_obs.Metrics.render_openmetrics}) *)
     | Pong of { id : J.t; server : string }
     | Error of { id : J.t; code : string; message : string }
 

@@ -1,24 +1,50 @@
 module J = Emts_resilience.Json
 module Metrics = Emts_obs.Metrics
+module Trace = Emts_obs.Trace
+module Span = Emts_obs.Span
 
 let server_id = "emts-serve 1.0.0"
 
 (* Issue-mandated serving metrics; the serve.* prefix follows the
    repo's ea.* / pool.* convention. *)
-let m_requests = Metrics.counter "serve.requests_total"
-let m_rejected = Metrics.counter "serve.rejected_total"
-let m_errors = Metrics.counter "serve.errors_total"
-let m_malformed = Metrics.counter "serve.frames_malformed"
-let m_disconnects = Metrics.counter "serve.client_disconnects"
-let m_connections = Metrics.counter "serve.connections_total"
-let g_queue_depth = Metrics.gauge "serve.queue_depth"
-let g_in_flight = Metrics.gauge "serve.in_flight"
-let m_latency = Metrics.histogram "serve.latency_s"
-let m_queue_wait = Metrics.histogram "serve.queue_wait_s"
+let m_requests =
+  Metrics.counter ~help:"schedule requests admitted" "serve.requests_total"
+let m_rejected =
+  Metrics.counter ~help:"requests rejected at admission (overloaded/draining)"
+    "serve.rejected_total"
+let m_errors =
+  Metrics.counter ~help:"requests answered with an error response"
+    "serve.errors_total"
+let m_malformed =
+  Metrics.counter ~help:"frames with broken framing or over the size cap"
+    "serve.frames_malformed"
+let m_disconnects =
+  Metrics.counter ~help:"clients that vanished before their reply"
+    "serve.client_disconnects"
+let m_connections =
+  Metrics.counter ~help:"connections accepted" "serve.connections_total"
+let g_queue_depth =
+  Metrics.gauge ~help:"jobs waiting in the admission queue"
+    "serve.queue_depth"
+let g_in_flight =
+  Metrics.gauge ~help:"jobs currently being solved" "serve.in_flight"
+let m_latency =
+  Metrics.histogram ~help:"request latency, admission to reply (seconds)"
+    "serve.latency_s"
+let m_queue_wait =
+  Metrics.histogram ~help:"admission-queue wait (seconds)"
+    "serve.queue_wait_s"
+let m_solve =
+  Metrics.histogram ~help:"solve phase: parse + allocate + schedule (seconds)"
+    "serve.solve_s"
+let m_encode =
+  Metrics.histogram ~help:"encode phase: serialise + write the reply (seconds)"
+    "serve.encode_s"
 
 type config = {
   socket : string option;
   tcp : (string * int) option;
+  metrics_tcp : (string * int) option;
   workers : int;
   pool_domains : int;
   queue_capacity : int;
@@ -31,6 +57,7 @@ let default =
   {
     socket = None;
     tcp = None;
+    metrics_tcp = None;
     workers = 2;
     pool_domains = 1;
     queue_capacity = 64;
@@ -92,7 +119,12 @@ type job = {
   req : Protocol.Request.schedule;
   conn : conn;
   arrival : float;  (* Clock.now at admission *)
+  arrival_ns : int64;  (* same instant, for the retroactive queue span *)
   deadline : float option;  (* absolute, derived from deadline_s *)
+  ctx : Span.ctx option;
+      (* span context minted at admission: carries the client's
+         trace_id (or a server-minted one when telemetry is on) from
+         the reader thread into the worker domain *)
 }
 
 type queue = {
@@ -184,44 +216,65 @@ let worker_loop q ~pool_domains ~caches () =
     match dequeue q with
     | None -> Engine.shutdown engine
     | Some job ->
-      let dequeued = Emts_obs.Clock.now () in
-      Metrics.observe m_queue_wait (dequeued -. job.arrival);
-      (match Engine.handle engine job.req ~deadline:job.deadline with
-      | Ok o ->
-        let finished = Emts_obs.Clock.now () in
-        Metrics.observe m_latency (finished -. job.arrival);
-        send ~finish:true job.conn
-          (Protocol.Response.Schedule_result
-             {
-               id = job.id;
-               algorithm = o.Engine.algorithm;
-               makespan = o.Engine.makespan;
-               alloc = o.Engine.alloc;
-               tasks = o.Engine.tasks;
-               procs = o.Engine.procs;
-               utilization = o.Engine.utilization;
-               platform = o.Engine.platform;
-               queue_s = dequeued -. job.arrival;
-               solve_s = finished -. dequeued;
-               total_s = finished -. job.arrival;
-               deadline_hit = o.Engine.deadline_hit;
-               generations_done = o.Engine.generations_done;
-               evaluations = o.Engine.evaluations;
-             })
-      | Error message ->
-        Metrics.incr m_errors;
-        send ~finish:true job.conn
-          (Protocol.Response.Error
-             { id = job.id; code = Protocol.Error_code.bad_request; message })
-      | exception e ->
-        Metrics.incr m_errors;
-        send ~finish:true job.conn
-          (Protocol.Response.Error
-             {
-               id = job.id;
-               code = Protocol.Error_code.internal;
-               message = Printexc.to_string e;
-             }));
+      (* The worker domain owns its ambient span slot, so the job's
+         context rides along into Engine.handle -> Emts_ea.run ->
+         Emts_pool workers without any signature plumbing. *)
+      Span.with_ctx job.ctx (fun () ->
+          let dequeued = Emts_obs.Clock.now () in
+          Metrics.observe m_queue_wait (dequeued -. job.arrival);
+          Trace.complete ~start_ns:job.arrival_ns "serve.queue_wait";
+          (match
+             Trace.span "serve.solve" (fun () ->
+                 Engine.handle engine job.req ~deadline:job.deadline)
+           with
+          | Ok o ->
+            let solved = Emts_obs.Clock.now () in
+            Metrics.observe m_solve (solved -. dequeued);
+            let encode_start = Emts_obs.Clock.now_ns () in
+            Trace.span "serve.encode" (fun () ->
+                send ~finish:true job.conn
+                  (Protocol.Response.Schedule_result
+                     {
+                       id = job.id;
+                       algorithm = o.Engine.algorithm;
+                       makespan = o.Engine.makespan;
+                       alloc = o.Engine.alloc;
+                       tasks = o.Engine.tasks;
+                       procs = o.Engine.procs;
+                       utilization = o.Engine.utilization;
+                       platform = o.Engine.platform;
+                       queue_s = dequeued -. job.arrival;
+                       solve_s = solved -. dequeued;
+                       total_s = solved -. job.arrival;
+                       deadline_hit = o.Engine.deadline_hit;
+                       generations_done = o.Engine.generations_done;
+                       evaluations = o.Engine.evaluations;
+                       trace_id = Option.map (fun c -> c.Span.trace_id) job.ctx;
+                     }));
+            let finished = Emts_obs.Clock.now () in
+            Metrics.observe m_encode
+              (Int64.to_float (Int64.sub (Emts_obs.Clock.now_ns ()) encode_start)
+              *. 1e-9);
+            Metrics.observe m_latency (finished -. job.arrival);
+            (* A deadline-expired best-so-far reply often precedes an
+               operator killing the daemon: make sure its spans are on
+               disk, not in a stdio buffer. *)
+            if o.Engine.deadline_hit then Trace.flush ()
+          | Error message ->
+            Metrics.incr m_errors;
+            send ~finish:true job.conn
+              (Protocol.Response.Error
+                 { id = job.id; code = Protocol.Error_code.bad_request;
+                   message })
+          | exception e ->
+            Metrics.incr m_errors;
+            send ~finish:true job.conn
+              (Protocol.Response.Error
+                 {
+                   id = job.id;
+                   code = Protocol.Error_code.internal;
+                   message = Printexc.to_string e;
+                 })));
       job_done q;
       loop ()
   in
@@ -262,16 +315,37 @@ let handle_conn q ~max_frame conn =
       | Ok (Protocol.Request.Stats { id }) ->
         send conn (Protocol.Response.Stats { id; stats = stats_json () });
         loop ()
+      | Ok (Protocol.Request.Metrics { id }) ->
+        send conn
+          (Protocol.Response.Metrics
+             { id; body = Metrics.render_openmetrics () });
+        loop ()
       | Ok (Protocol.Request.Schedule { id; req }) ->
         Metrics.incr m_requests;
         let arrival = Emts_obs.Clock.now () in
+        let arrival_ns = Emts_obs.Clock.now_ns () in
         let deadline = Option.map (fun d -> arrival +. d) req.deadline_s in
+        (* A client-supplied trace id always gets a context (it must be
+           echoed); otherwise mint one only when some telemetry sink
+           wants it. *)
+        let ctx =
+          match req.trace_id with
+          | Some t -> Some (Span.root ~trace_id:t)
+          | None ->
+            if Trace.active () || Emts_obs.Flight.enabled () then
+              Some (Span.root ~trace_id:(Span.make_trace_id ()))
+            else None
+        in
+        (* Reader threads share the accept domain, so the ambient slot
+           is off-limits here: tag the admission marker explicitly. *)
+        Option.iter (fun c -> Trace.instant ~ctx:c "serve.admit") ctx;
         (* Reserve the reply slot before the job becomes visible to
            workers so the fd cannot be closed under them. *)
         Mutex.lock conn.wmutex;
         conn.pending <- conn.pending + 1;
         Mutex.unlock conn.wmutex;
-        (match enqueue q { id; req; conn; arrival; deadline } with
+        (match enqueue q { id; req; conn; arrival; arrival_ns; deadline; ctx }
+         with
         | Ok () -> ()
         | Error code ->
           Metrics.incr m_rejected;
@@ -332,6 +406,72 @@ let bind_listeners config =
       | Some (host, _) -> Printf.sprintf "cannot resolve host %S" host
       | None -> "cannot resolve host")
 
+(* Plain-HTTP scrape endpoint for Prometheus: a one-thread HTTP/1.0
+   responder that answers every request with the OpenMetrics
+   exposition.  Connections are handled inline — scrapes are rare and
+   the body is small, so a slow scraper can at worst delay the next
+   scrape, never the frame protocol. *)
+let metrics_http_loop ~stop lfd =
+  let respond fd =
+    (* Read (and ignore) whatever request line and headers arrived —
+       every path answers the same document. *)
+    let buf = Bytes.create 2048 in
+    (try ignore (Unix.read fd buf 0 (Bytes.length buf))
+     with Unix.Unix_error _ -> ());
+    let body = Metrics.render_openmetrics () in
+    let resp =
+      Printf.sprintf
+        "HTTP/1.0 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+         Connection: close\r\n\r\n%s"
+        Protocol.openmetrics_content_type (String.length body) body
+    in
+    let data = Bytes.unsafe_of_string resp in
+    let len = Bytes.length data in
+    let rec go pos =
+      if pos < len then
+        match Unix.write fd data pos (len - pos) with
+        | n -> go (pos + n)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
+    in
+    (try go 0 with Unix.Unix_error _ | Sys_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let rec loop () =
+    if not (stop ()) then begin
+      (match Unix.select [ lfd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true lfd with
+        | fd, _ -> respond fd
+        | exception
+            Unix.Unix_error
+              ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                | Unix.ECONNABORTED ),
+                _,
+                _ ) ->
+          ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let bind_metrics config =
+  match config.metrics_tcp with
+  | None -> Ok None
+  | Some (host, port) -> (
+    try
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
+      Unix.listen fd 16;
+      Printf.eprintf "metrics on http://%s:%d/metrics\n%!" host port;
+      Ok (Some fd)
+    with
+    | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+    | Not_found -> Error (Printf.sprintf "cannot resolve host %S" host))
+
 (* Accept connections until [stop]; [select] with a short timeout keeps
    the loop responsive to the stop flag without busy-waiting. *)
 let accept_loop ~stop ~max_frame q listeners =
@@ -383,23 +523,44 @@ let run ?(stop = Emts_resilience.Shutdown.requested) config =
       Metrics.set_enabled true;
       match bind_listeners config with
       | Error _ as e -> e
-      | Ok listeners ->
-        let q = queue_make config.queue_capacity in
-        let workers =
-          List.init config.workers (fun _ ->
-              Domain.spawn
-                (worker_loop q ~pool_domains:config.pool_domains ~caches))
-        in
-        accept_loop ~stop ~max_frame:config.max_frame q listeners;
-        (* Shutdown: stop accepting, answer everything admitted
-           (readers still running reject new work with [draining]),
-           then release and join the workers. *)
-        List.iter
-          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-          listeners;
-        drain q;
-        List.iter Domain.join workers;
-        (match config.socket with
-        | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-        | None -> ());
-        Ok ())
+      | Ok listeners -> (
+        match bind_metrics config with
+        | Error _ as e ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            listeners;
+          (match e with Error m -> Error m | Ok _ -> assert false)
+        | Ok metrics_fd ->
+          let metrics_thread =
+            Option.map
+              (fun fd ->
+                Thread.create (fun () -> metrics_http_loop ~stop fd) ())
+              metrics_fd
+          in
+          let q = queue_make config.queue_capacity in
+          let workers =
+            List.init config.workers (fun _ ->
+                Domain.spawn
+                  (worker_loop q ~pool_domains:config.pool_domains ~caches))
+          in
+          accept_loop ~stop ~max_frame:config.max_frame q listeners;
+          (* Shutdown: stop accepting, answer everything admitted
+             (readers still running reject new work with [draining]),
+             then release and join the workers. *)
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            listeners;
+          drain q;
+          List.iter Domain.join workers;
+          Option.iter Thread.join metrics_thread;
+          Option.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            metrics_fd;
+          (* The drain answered its last jobs microseconds ago; without
+             this, a SIGTERM exit could leave their spans in a stdio
+             buffer and the trace file truncated mid-line. *)
+          Trace.flush ();
+          (match config.socket with
+          | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+          | None -> ());
+          Ok ()))

@@ -20,12 +20,27 @@
       computation and one failed write, nothing more;
     - when [stop] becomes true (default: {!Emts_resilience.Shutdown}),
       the server stops accepting, rejects new work with [draining],
-      finishes everything admitted, answers it, joins its workers and
-      returns — a clean SIGTERM drain exits 0. *)
+      finishes everything admitted, answers it, joins its workers,
+      flushes any open trace sink (so the last request's spans are on
+      disk, not in a stdio buffer) and returns — a clean SIGTERM drain
+      exits 0.
+
+    Telemetry: each admitted request gets a span context — the client's
+    [trace_id] when supplied (echoed in the response), else one minted
+    by the server while tracing or flight recording is on — which rides
+    from the reader thread through the queue into the worker domain,
+    the engine, the EA and the pool workers, so one request is one
+    correlated span tree.  The [serve.queue_wait_s] / [serve.solve_s] /
+    [serve.encode_s] histograms break the request latency into phases;
+    the [metrics] verb and the optional [metrics_tcp] HTTP endpoint
+    expose the registry in OpenMetrics text form. *)
 
 type config = {
   socket : string option;  (** Unix-domain socket path *)
   tcp : (string * int) option;  (** TCP listen address (host, port) *)
+  metrics_tcp : (string * int) option;
+      (** optional plain-HTTP listen address serving the OpenMetrics
+          exposition on every path, for Prometheus scraping *)
   workers : int;  (** worker domains draining the queue, [>= 1] *)
   pool_domains : int;
       (** fitness-evaluation lanes per worker's persistent pool *)

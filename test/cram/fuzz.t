@@ -5,7 +5,7 @@ error surface for unknown oracle names.
   validate     every algorithm's schedule (heuristic seeds, random allocations, EA best) passes Schedule.validate
   differential the zero-noise simulator and the fitness fast paths reproduce every list schedule exactly
   determinism  one seed, one result: domains, fitness cache, early reject, checkpoint/resume and the serve engine all agree bit for bit
-  wire         random/bit-flipped/truncated/oversized frames against a live daemon yield only typed errors, and the daemon stays alive
+  wire         random/bit-flipped/truncated/oversized frames and malformed trace_id fields against a live daemon yield only typed errors (the metrics verb a complete exposition), and the daemon stays alive
   resilience   corrupt or truncated journals, checkpoints and .ptg files are cleanly rejected or torn-tail-truncated, never misread
 
 A bounded offline run on a clean tree passes and leaves no corpus

@@ -74,6 +74,56 @@ with a different topology returns the same bytes for the same seed:
   $ kill -TERM $SERVE_PID
   $ wait $SERVE_PID
 
+Telemetry.  A traced daemon and a traced client stamp the same
+trace_id on both sides of the wire, the metrics verb serves an
+OpenMetrics text exposition, SIGQUIT dumps the flight recorder without
+stopping the daemon, and the SIGTERM drain flushes the trace so spans
+are never left in a stdio buffer:
+
+  $ emts-serve --socket $SOCK --trace server-trace.jsonl \
+  >   --flight-recorder flight.jsonl 2>> serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK ] && break; sleep 0.1; done
+
+  $ emts-loadgen --socket $SOCK --once --seed 7 --trace client-trace.jsonl \
+  >   > traced.out 2> client.log
+  $ grep -c 'algorithm=EMTS5' traced.out
+  1
+  $ grep -c 'wrote client-trace.jsonl' client.log
+  1
+  $ grep -c '"name":"client.request"' client-trace.jsonl
+  1
+
+  $ emts-loadgen --socket $SOCK --metrics > metrics.out
+  $ grep -c '^# EOF' metrics.out
+  1
+  $ grep -c '^emts_serve_requests_total' metrics.out
+  1
+  $ grep -c '^# TYPE emts_serve_queue_wait_s histogram' metrics.out
+  1
+
+  $ kill -QUIT $SERVE_PID
+  $ for i in $(seq 1 100); do [ -s flight.jsonl ] && break; sleep 0.1; done
+  $ grep -c '"flight":"emts"' flight.jsonl
+  1
+  $ grep -c '"metrics":' flight.jsonl
+  1
+  $ emts-loadgen --socket $SOCK --ping
+  pong from emts-serve 1.0.0
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ test $(grep -c '"name":"serve.solve"' server-trace.jsonl) -ge 1
+  $ tail -n 1 server-trace.jsonl | grep -c '}$'
+  1
+
+Concatenating the two JSONL files yields one merged Perfetto trace in
+which client and server spans of the same request share a trace_id:
+
+  $ TID=$(grep -o '"trace_id":"[^"]*"' client-trace.jsonl | head -n 1)
+  $ cat server-trace.jsonl client-trace.jsonl > merged.jsonl
+  $ test $(grep -c -- "$TID" merged.jsonl) -ge 2
+
 The daemon refuses to start without a listener, and rejects a bad TCP
 spec:
 

@@ -339,19 +339,46 @@ let prop_early_reject_equivalent =
 (* Satellite 4: parallelism and the fitness cache are pure
    optimisations.  Any combination of domains x cache x early-reject
    must reproduce the sequential, cache-free run bit for bit: same
-   best fitness, same history, same evaluation count. *)
+   best fitness, same history, same evaluation count.  The telemetry
+   layer is observer-only, so the whole matrix is replayed a second
+   time with every sink on (trace, metrics, GC profiling, flight ring)
+   plus a checkpointing leg, against the telemetry-off baseline. *)
 let prop_pool_cache_determinism =
   QCheck.Test.make
-    ~name:"domains x cache x early-reject never change the outcome" ~count:10
+    ~name:
+      "domains x cache x early-reject x checkpoint x telemetry never change \
+       the outcome"
+    ~count:10
     (Testutil.arbitrary_dag ~max_n:15 ())
     (fun graph ->
-      let run_with tune =
+      let run_with ?checkpoint tune =
         let config =
           tune { quick_config with Alg.generations = 3; lambda = 8 }
         in
-        Alg.run
+        Alg.run ?checkpoint
           ~rng:(Emts_prng.create ~seed:13 ())
           ~config ~model:Emts_model.synthetic ~platform:chti ~graph ()
+      in
+      let with_telemetry f =
+        let path = Filename.temp_file "emts_det" ".jsonl" in
+        Emts_obs.Trace.start ~path ();
+        Emts_obs.Metrics.set_enabled true;
+        Emts_obs.Gcprof.set_enabled true;
+        Emts_obs.Flight.configure ~capacity:64 ();
+        Fun.protect
+          ~finally:(fun () ->
+            Emts_obs.Gcprof.set_enabled false;
+            Emts_obs.Metrics.set_enabled false;
+            Emts_obs.Flight.disable ();
+            Emts_obs.Trace.stop ();
+            Sys.remove path)
+          f
+      in
+      let in_ckpt f =
+        let path = Filename.temp_file "emts_det" ".ckpt" in
+        Fun.protect
+          ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+          (fun () -> f path)
       in
       let baseline = run_with Fun.id in
       let same (r : Alg.result) =
@@ -363,8 +390,7 @@ let prop_pool_cache_determinism =
         && r.Alg.ea.Emts_ea.evaluations
            = baseline.Alg.ea.Emts_ea.evaluations
       in
-      List.for_all
-        (fun tune -> same (run_with tune))
+      let variants =
         [
           Alg.with_domains 4;
           Alg.with_fitness_cache 512;
@@ -374,7 +400,17 @@ let prop_pool_cache_determinism =
               (Alg.with_fitness_cache 512 (Alg.with_domains 4 c)) with
               Alg.early_reject = true;
             });
-        ])
+        ]
+      in
+      List.for_all (fun tune -> same (run_with tune)) variants
+      && List.for_all
+           (fun tune -> same (with_telemetry (fun () -> run_with tune)))
+           (Fun.id :: variants)
+      && in_ckpt (fun path ->
+             same (run_with ~checkpoint:(path, 1) Fun.id)
+             && same
+                  (with_telemetry (fun () ->
+                       run_with ~checkpoint:(path, 1) Fun.id))))
 
 let prop_emts_beats_every_seed =
   QCheck.Test.make

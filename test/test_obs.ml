@@ -1,8 +1,10 @@
-(* Tests for Emts_obs (clock, trace sink, metrics registry) and the
-   observer-only guarantee: enabling tracing/metrics must not change any
+(* Tests for Emts_obs (clock, trace sink, span contexts, metrics
+   registry, OpenMetrics exposition, flight recorder) and the
+   observer-only guarantee: enabling telemetry must not change any
    scheduling result. *)
 
 module Obs = Emts_obs
+module J = Emts_resilience.Json
 
 let read_lines path =
   In_channel.with_open_text path (fun ic ->
@@ -42,7 +44,7 @@ let test_span_disabled () =
 
 let test_trace_wellformed () =
   let path = Filename.temp_file "emts_obs" ".jsonl" in
-  Obs.Trace.start ~path;
+  Obs.Trace.start ~path ();
   Alcotest.(check bool) "active" true (Obs.Trace.active ());
   Obs.Trace.span "outer" ~args:[ ("k", Obs.Trace.Str "v\"quoted\"") ]
     (fun () -> Obs.Trace.span "inner" (fun () -> ()));
@@ -86,6 +88,132 @@ let test_trace_wellformed () =
     (count "v\\\"quoted\\\"" = 1);
   Alcotest.(check bool) "thread metadata" true
     (count "\"name\":\"thread_name\"" >= 3);
+  Sys.remove path
+
+(* --- spans ----------------------------------------------------------- *)
+
+let event_named lines name =
+  match
+    List.find_opt
+      (fun l -> contains ~needle:(Printf.sprintf "\"name\":\"%s\"" name) l)
+      lines
+  with
+  | Some l -> l
+  | None -> Alcotest.fail (Printf.sprintf "no %s event in trace" name)
+
+let event_arg line key =
+  match J.of_string line with
+  | Error m -> Alcotest.fail (Printf.sprintf "unparseable event %s: %s" line m)
+  | Ok j -> Option.bind (J.member "args" j) (J.member key)
+
+let arg_int line key =
+  match event_arg line key with
+  | Some (J.Num n) -> int_of_float n
+  | _ -> Alcotest.fail (Printf.sprintf "no integer arg %s in %s" key line)
+
+let test_span_ids () =
+  Alcotest.(check bool) "make_trace_id valid" true
+    (Obs.Span.valid_trace_id (Obs.Span.make_trace_id ()));
+  Alcotest.(check bool) "fresh ids" true
+    (Obs.Span.make_trace_id () <> Obs.Span.make_trace_id ());
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Printf.sprintf "%S valid" id) true
+        (Obs.Span.valid_trace_id id))
+    [ "a"; "t1f-2.B_x"; String.make Obs.Span.max_trace_id_len 'z' ];
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Printf.sprintf "%S invalid" id) false
+        (Obs.Span.valid_trace_id id))
+    [
+      "";
+      "has space";
+      "non\xc3\xa9ascii";
+      String.make (Obs.Span.max_trace_id_len + 1) 'z';
+    ]
+
+(* Nesting: an inner span closes (and is written) before its enclosing
+   span, carries the shared trace_id, and points at the outer span
+   through parent_id; an instant emitted inside a span inherits the
+   span as its parent. *)
+let test_span_nesting () =
+  let path = Filename.temp_file "emts_obs_span" ".jsonl" in
+  Obs.Trace.start ~path ();
+  Obs.Span.with_trace ~trace_id:"tNEST-1" (fun () ->
+      Obs.Trace.span "outer" (fun () ->
+          Obs.Trace.span "inner" (fun () -> ());
+          Obs.Trace.instant "mark"));
+  Obs.Trace.stop ();
+  let lines = read_lines path in
+  let outer = event_named lines "outer" in
+  let inner = event_named lines "inner" in
+  let mark = event_named lines "mark" in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "shared trace_id" true
+        (event_arg l "trace_id" = Some (J.Str "tNEST-1")))
+    [ outer; inner; mark ];
+  let index_of l =
+    let rec go i = function
+      | [] -> Alcotest.fail "event vanished"
+      | x :: rest -> if x = l then i else go (i + 1) rest
+    in
+    go 0 lines
+  in
+  Alcotest.(check bool) "inner written before outer" true
+    (index_of inner < index_of outer);
+  let outer_id = arg_int outer "span_id" in
+  Alcotest.(check int) "inner.parent = outer" outer_id
+    (arg_int inner "parent_id");
+  Alcotest.(check int) "mark.parent = outer" outer_id
+    (arg_int mark "parent_id");
+  Alcotest.(check bool) "outer is a root" true
+    (event_arg outer "parent_id" = None);
+  (* an explicit ctx does not leak into the ambient slot *)
+  Alcotest.(check bool) "ambient clear" true (Obs.Span.current () = None);
+  Sys.remove path
+
+(* --- flight recorder -------------------------------------------------- *)
+
+let test_flight_recorder () =
+  Obs.Trace.stop ();
+  Obs.Metrics.reset ();
+  Obs.Flight.configure ~capacity:4 ();
+  Alcotest.(check bool) "enabled" true (Obs.Flight.enabled ());
+  (* trace events reach the ring even with no trace sink open *)
+  for i = 1 to 10 do
+    Obs.Trace.instant (Printf.sprintf "ev%d" i)
+  done;
+  let path = Filename.temp_file "emts_flight" ".jsonl" in
+  (match Obs.Flight.dump ~path with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* an unwritable path is a clean error, never an exception *)
+  (match Obs.Flight.dump ~path:"/nonexistent-dir/flight.jsonl" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "dump to an unwritable path succeeded");
+  Obs.Flight.disable ();
+  Alcotest.(check bool) "disabled" false (Obs.Flight.enabled ());
+  let lines = read_lines path in
+  (* header + the 4 retained events + metrics snapshot *)
+  Alcotest.(check int) "line count" 6 (List.length lines);
+  let header = List.hd lines in
+  Alcotest.(check bool) "header" true
+    (contains ~needle:"{\"flight\":\"emts\"" header
+    && contains ~needle:"\"events\":4" header
+    && contains ~needle:"\"dropped\":6" header);
+  (* ring keeps the newest events, oldest first in the dump *)
+  List.iteri
+    (fun i l ->
+      if i >= 1 && i <= 4 then
+        Alcotest.(check bool)
+          (Printf.sprintf "slot %d is ev%d" i (i + 6))
+          true
+          (contains ~needle:(Printf.sprintf "\"name\":\"ev%d\"" (i + 6)) l))
+    lines;
+  let last = List.nth lines 5 in
+  Alcotest.(check bool) "metrics snapshot" true
+    (contains ~needle:"{\"metrics\":{" last);
   Sys.remove path
 
 (* --- metrics --------------------------------------------------------- *)
@@ -173,6 +301,77 @@ let test_render_and_json () =
   Alcotest.(check bool) "reset clears histogram" true
     (Obs.Metrics.histogram_value h = None)
 
+(* --- OpenMetrics exposition ------------------------------------------ *)
+
+(* Golden-file comparison, same protocol as test_golden.ml: regenerate
+   with EMTS_GOLDEN_UPDATE=1 dune runtest test --force. *)
+let update_mode = Sys.getenv_opt "EMTS_GOLDEN_UPDATE" <> None
+
+let golden_source_dir =
+  match Sys.getenv_opt "DUNE_SOURCEROOT" with
+  | Some root -> Filename.concat (Filename.concat root "test") "golden"
+  | None -> "golden"
+
+let check_golden name actual =
+  let sandbox_path = Filename.concat "golden" (name ^ ".expected") in
+  if update_mode then begin
+    let path = Filename.concat golden_source_dir (name ^ ".expected") in
+    Out_channel.with_open_bin path (fun oc -> output_string oc actual);
+    Printf.printf "updated %s\n" path
+  end
+  else if not (Sys.file_exists sandbox_path) then
+    Alcotest.fail
+      (Printf.sprintf
+         "missing golden file %s — run with EMTS_GOLDEN_UPDATE=1 to create it"
+         sandbox_path)
+  else
+    let expected =
+      In_channel.with_open_bin sandbox_path In_channel.input_all
+    in
+    if String.equal expected actual then ()
+    else
+      Alcotest.fail
+        (Printf.sprintf
+           "%s: output differs from golden file (%d bytes vs %d expected) — \
+            if the change is intentional, regenerate with \
+            EMTS_GOLDEN_UPDATE=1"
+           name (String.length actual) (String.length expected))
+
+(* The registry is global to the test binary, so the golden file keeps
+   only this test's uniquely-prefixed om.* instruments (every other
+   name in this binary starts with test. or gc.) plus the terminator. *)
+let filter_exposition body =
+  String.split_on_char '\n' body
+  |> List.filter (fun l -> contains ~needle:"emts_om_" l || l = "# EOF")
+  |> fun ls -> String.concat "\n" ls ^ "\n"
+
+let test_openmetrics_golden () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  let c =
+    Obs.Metrics.counter
+      ~help:"Total \"om\" requests — first line\nsecond \\ line."
+      "om.requests.total"
+  in
+  Obs.Metrics.add c 7;
+  (* a counter whose name does not end in _total gets the suffix added
+     on its sample line only *)
+  let hits = Obs.Metrics.counter ~help:"Cache hits." "om.hits" in
+  Obs.Metrics.incr hits;
+  let g = Obs.Metrics.gauge ~help:"Queue depth." "om.queue_depth" in
+  Obs.Metrics.set_gauge g (-2.5);
+  let h = Obs.Metrics.histogram ~help:"Solve latency." "om.latency_s" in
+  (* 0.0 exercises the le="0" bucket for nonpositive observations *)
+  List.iter (Obs.Metrics.observe h) [ 0.; 0.001; 0.001; 0.25 ];
+  (* registered but never observed: still exposed, with empty buckets *)
+  ignore (Obs.Metrics.histogram ~help:"Never observed." "om.empty_s");
+  Obs.Metrics.set_enabled false;
+  let body = Obs.Metrics.render_openmetrics () in
+  let n = String.length body in
+  Alcotest.(check bool) "terminated" true
+    (n >= 6 && String.sub body (n - 6) 6 = "# EOF\n");
+  check_golden "openmetrics" (filter_exposition body)
+
 (* --- observer-only guarantee ----------------------------------------- *)
 
 let emts_result ~seed ~early_reject () =
@@ -195,7 +394,7 @@ let test_determinism_tracing () =
   let plain = emts_result ~seed:99 ~early_reject:false () in
   let path = Filename.temp_file "emts_obs_det" ".jsonl" in
   Obs.Metrics.set_enabled true;
-  Obs.Trace.start ~path;
+  Obs.Trace.start ~path ();
   let observed = emts_result ~seed:99 ~early_reject:false () in
   Obs.Trace.stop ();
   Obs.Metrics.set_enabled false;
@@ -254,6 +453,39 @@ let test_determinism_early_reject_metrics () =
   Alcotest.(check (array int)) "allocation identical"
     plain.Emts.Algorithm.alloc observed.Emts.Algorithm.alloc
 
+(* Every telemetry sink at once — trace, metrics, GC profiling, flight
+   recorder — against all of them off: bit-identical results. *)
+let test_determinism_full_telemetry () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled false;
+  Obs.Trace.stop ();
+  let plain = emts_result ~seed:31 ~early_reject:true () in
+  let path = Filename.temp_file "emts_obs_full" ".jsonl" in
+  Obs.Trace.start ~path ();
+  Obs.Metrics.set_enabled true;
+  Obs.Gcprof.set_enabled true;
+  Obs.Flight.configure ~capacity:256 ();
+  let observed = emts_result ~seed:31 ~early_reject:true () in
+  Obs.Gcprof.set_enabled false;
+  Obs.Metrics.set_enabled false;
+  Obs.Flight.disable ();
+  Obs.Trace.stop ();
+  Alcotest.(check (float 0.)) "makespan identical" plain.Emts.Algorithm.makespan
+    observed.Emts.Algorithm.makespan;
+  Alcotest.(check (array int)) "allocation identical"
+    plain.Emts.Algorithm.alloc observed.Emts.Algorithm.alloc;
+  Alcotest.(check int) "evaluation counts identical"
+    plain.Emts.Algorithm.ea.Emts_ea.evaluations
+    observed.Emts.Algorithm.ea.Emts_ea.evaluations;
+  (* the GC profiler measured every evaluation into the registry *)
+  (match Obs.Metrics.histogram_value (Obs.Metrics.histogram "gc.eval.alloc_bytes") with
+  | Some d ->
+    Alcotest.(check bool) "per-eval allocation recorded" true
+      (d.Obs.Metrics.count >= observed.Emts.Algorithm.ea.Emts_ea.evaluations
+      && d.Obs.Metrics.total > 0.)
+  | None -> Alcotest.fail "gc.eval.alloc_bytes is empty");
+  Sys.remove path
+
 let () =
   Alcotest.run "obs"
     [
@@ -263,6 +495,13 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_span_disabled;
           Alcotest.test_case "JSONL well-formed" `Quick test_trace_wellformed;
         ] );
+      ( "spans",
+        [
+          Alcotest.test_case "trace ids" `Quick test_span_ids;
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+        ] );
+      ( "flight",
+        [ Alcotest.test_case "ring, dump, bounds" `Quick test_flight_recorder ] );
       ( "metrics",
         [
           Alcotest.test_case "multi-domain counters" `Quick
@@ -272,6 +511,8 @@ let () =
           Alcotest.test_case "histogram instrument" `Quick
             test_histogram_instrument;
           Alcotest.test_case "render and json" `Quick test_render_and_json;
+          Alcotest.test_case "openmetrics golden" `Quick
+            test_openmetrics_golden;
         ] );
       ( "observer-only",
         [
@@ -281,5 +522,7 @@ let () =
             test_counters_match_result;
           Alcotest.test_case "early-reject metrics preserve results" `Slow
             test_determinism_early_reject_metrics;
+          Alcotest.test_case "full telemetry preserves results" `Slow
+            test_determinism_full_telemetry;
         ] );
     ]

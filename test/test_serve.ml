@@ -13,8 +13,10 @@ let graph_string ?(tasks = 12) ?(seed = 11) () =
   Emts_ptg.Serial.to_string
     (Testutil.costed_daggen rng ~n:tasks ~density:0.5)
 
-let schedule_req ?(algorithm = "emts5") ?(seed = 7) ?deadline_s ?budget_s ptg =
-  Protocol.Request.schedule ~algorithm ~seed ?deadline_s ?budget_s ~ptg ()
+let schedule_req ?(algorithm = "emts5") ?(seed = 7) ?deadline_s ?budget_s
+    ?trace_id ptg =
+  Protocol.Request.schedule ~algorithm ~seed ?deadline_s ?budget_s ?trace_id
+    ~ptg ()
 
 (* --- framing --- *)
 
@@ -84,6 +86,7 @@ let test_request_round_trip () =
     [
       Protocol.Request.Ping { id = J.Str "a" };
       Protocol.Request.Stats { id = J.Num 3. };
+      Protocol.Request.Metrics { id = J.Str "m" };
       Protocol.Request.Schedule
         {
           id = J.Null;
@@ -91,6 +94,8 @@ let test_request_round_trip () =
             schedule_req ~algorithm:"mcpa" ~seed:123 ~deadline_s:1.5
               ~budget_s:0.25 "graph text\nwith lines";
         };
+      Protocol.Request.Schedule
+        { id = J.Str "t"; req = schedule_req ~trace_id:"t1f3a-9.B_x" "g" };
     ]
   in
   List.iter
@@ -119,7 +124,25 @@ let test_request_defaults_and_errors () =
   bad {|{"verb":"schedule"}|};
   bad {|{"verb":"launch-missiles"}|};
   bad {|{"verb":"schedule","ptg":"g","deadline_s":-1}|};
-  bad {|{"verb":"schedule","ptg":"g","budget_s":0}|}
+  bad {|{"verb":"schedule","ptg":"g","budget_s":0}|};
+  (* trace_id must be 1..64 chars of [A-Za-z0-9._-] when present *)
+  bad {|{"verb":"schedule","ptg":"g","trace_id":123}|};
+  bad {|{"verb":"schedule","ptg":"g","trace_id":""}|};
+  bad {|{"verb":"schedule","ptg":"g","trace_id":"has space"}|};
+  bad
+    (Printf.sprintf {|{"verb":"schedule","ptg":"g","trace_id":"%s"}|}
+       (String.make 65 'a'));
+  match
+    Protocol.Request.of_string
+      (Printf.sprintf {|{"verb":"schedule","ptg":"g","trace_id":"%s"}|}
+         (String.make 64 'a'))
+  with
+  | Ok (Protocol.Request.Schedule { req; _ }) ->
+    Alcotest.(check (option string)) "64-char trace_id accepted"
+      (Some (String.make 64 'a'))
+      req.trace_id
+  | Ok _ -> Alcotest.fail "wrong verb"
+  | Error m -> Alcotest.fail m
 
 let test_response_round_trip () =
   let resps =
@@ -133,6 +156,8 @@ let test_response_round_trip () =
         };
       Protocol.Response.Stats
         { id = J.Null; stats = J.Obj [ ("x", J.Num 1.) ] };
+      Protocol.Response.Metrics
+        { id = J.Str "m"; body = "# TYPE emts_x counter\nemts_x_total 1\n# EOF\n" };
       Protocol.Response.Schedule_result
         {
           id = J.Str "r1";
@@ -149,6 +174,25 @@ let test_response_round_trip () =
           deadline_hit = false;
           generations_done = 5;
           evaluations = 129;
+          trace_id = None;
+        };
+      Protocol.Response.Schedule_result
+        {
+          id = J.Str "r2";
+          algorithm = "MCPA";
+          makespan = 3.25;
+          alloc = [| 2 |];
+          tasks = 1;
+          procs = 4;
+          utilization = 10.;
+          platform = "grelon";
+          queue_s = 0.;
+          solve_s = 0.01;
+          total_s = 0.01;
+          deadline_hit = true;
+          generations_done = 0;
+          evaluations = 0;
+          trace_id = Some "t4cafe-1";
         };
     ]
   in
@@ -337,6 +381,31 @@ let test_server_end_to_end () =
         | Some (J.Obj _) -> ()
         | _ -> Alcotest.fail "stats missing counters")
       | _ -> Alcotest.fail "expected stats");
+      (* The metrics verb answers with a complete OpenMetrics text
+         exposition on the same connection. *)
+      (match roundtrip fd (Protocol.Request.Metrics { id = J.Str "m" }) with
+      | Protocol.Response.Metrics { body; _ } ->
+        let contains ~sub s =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "terminated" true (contains ~sub:"# EOF" body);
+        Alcotest.(check bool) "has requests counter" true
+          (contains ~sub:"emts_serve_requests_total" body)
+      | _ -> Alcotest.fail "expected metrics");
+      (* A client-supplied trace_id is echoed even with tracing off. *)
+      (match
+         roundtrip fd
+           (Protocol.Request.Schedule
+              { id = J.Str "s2"; req = schedule_req ~trace_id:"tdeadbeef" ptg })
+       with
+      | Protocol.Response.Schedule_result r ->
+        Alcotest.(check (option string)) "trace_id echoed"
+          (Some "tdeadbeef") r.Protocol.Response.trace_id
+      | _ -> Alcotest.fail "expected a schedule result");
       Unix.close fd)
 
 let () =

@@ -453,6 +453,130 @@ let run_gc_profile () =
       minors majors
       (float_of_int d.Emts_obs.Metrics.count /. float_of_int (max 1 minors))
 
+(* Delta fitness: the incremental evaluator against the from-scratch
+   list scheduler on the same EMTS10 run (mutation-dominated offspring,
+   so most evaluations reuse a long schedule prefix).  Same seed, same
+   instance: the makespans must agree exactly — delta evaluation is
+   bit-identical by construction — while the sched.delta.* counters
+   show how much scheduling work the prefix reuse saved. *)
+let run_delta_speedup () =
+  rule "Delta fitness evaluation (EMTS10, irregular n=100, Grelon, Model 2)";
+  Emts_obs.Metrics.set_enabled true;
+  let counter name =
+    Option.value ~default:0 (Emts_obs.Metrics.find_counter name)
+  in
+  let timed config =
+    let rng = Emts_prng.create ~seed:0xDE17A () in
+    let t0 = Emts_obs.Clock.now () in
+    let r = Emts.Algorithm.run_ctx ~rng ~config ~ctx:ctx_irregular () in
+    ( Emts_obs.Clock.elapsed ~since:t0,
+      r.Emts.Algorithm.makespan,
+      r.Emts.Algorithm.ea.Emts_ea.evaluations )
+  in
+  let t_off, m_off, evals_off =
+    timed { Emts.Algorithm.emts10 with Emts.Algorithm.delta_fitness = false }
+  in
+  let full0 = counter "sched.delta.full_runs"
+  and incr0 = counter "sched.delta.incremental_runs"
+  and reused0 = counter "sched.delta.reused_steps"
+  and sched0 = counter "sched.delta.scheduled_steps" in
+  let t_on, m_on, evals_on = timed Emts.Algorithm.emts10 in
+  let full = counter "sched.delta.full_runs" - full0
+  and incr = counter "sched.delta.incremental_runs" - incr0
+  and reused = counter "sched.delta.reused_steps" - reused0
+  and scheduled = counter "sched.delta.scheduled_steps" - sched0 in
+  let rate x n = float_of_int x /. Float.max n 1e-9 in
+  Printf.printf "delta off            %8.3f s   makespan %.6g   %8.0f evals/s\n"
+    t_off m_off (rate evals_off t_off);
+  Printf.printf "delta on             %8.3f s   makespan %.6g   %8.0f evals/s\n"
+    t_on m_on (rate evals_on t_on);
+  Printf.printf "speedup              %8.2fx\n" (t_off /. Float.max t_on 1e-9);
+  Printf.printf
+    "evaluator stats      %d full   %d incremental   steps: %d reused / %d \
+     scheduled (%.1f%% skipped)\n"
+    full incr reused scheduled
+    (100. *. float_of_int reused /. float_of_int (max 1 (reused + scheduled)));
+  Printf.printf "identical makespans  %b\n" (m_off = m_on);
+  (* A single-allele mutation chain is the evaluator's design point
+     (an EA batch interleaves offspring of different parents, so the
+     shared prefix is short; a local-search or memetic descent is not).
+     Same chain, same mutations: from-scratch rebuilds the times array
+     and the whole schedule per step, the evaluator reuses the prefix. *)
+  let steps = 5000 in
+  let tables = ctx_irregular.Emts_alloc.Common.tables in
+  let mutate r v =
+    1 + Emts_prng.int r (min 120 (Array.length tables.(v)))
+  in
+  let n = Array.length mcpa_alloc in
+  let chain eval =
+    let a = Array.copy mcpa_alloc in
+    let r = Emts_prng.create ~seed:0xC4A1 () in
+    let t0 = Emts_obs.Clock.now () in
+    let acc = ref 0. in
+    for _ = 1 to steps do
+      let v = Emts_prng.int r n in
+      a.(v) <- mutate r v;
+      acc := !acc +. eval a
+    done;
+    (Emts_obs.Clock.elapsed ~since:t0, !acc)
+  in
+  let t_scratch, sum_scratch =
+    chain (fun a ->
+        let times = Emts_sched.Allocation.times_of_tables a ~tables in
+        Emts_sched.List_scheduler.makespan ~graph:irregular100 ~times ~alloc:a
+          ~procs:120)
+  in
+  let ev = Emts_sched.Evaluator.create () in
+  let t_delta, sum_delta =
+    chain (fun a ->
+        Emts_sched.Evaluator.makespan ev ~graph:irregular100 ~tables ~procs:120
+          ~alloc:a ~cutoff:infinity)
+  in
+  let per_sec t = float_of_int steps /. Float.max t 1e-9 in
+  Printf.printf
+    "mutation chain       scratch %8.0f evals/s   delta %8.0f evals/s   \
+     speedup %.2fx\n"
+    (per_sec t_scratch) (per_sec t_delta)
+    (t_scratch /. Float.max t_delta 1e-9);
+  Printf.printf "identical makespans  %b\n" (sum_scratch = sum_delta)
+
+(* Allocation-regression gate (BENCH_ONLY=alloc-gate): a short EMTS run
+   with the GC profiler on; the median per-evaluation allocation must
+   stay within BENCH_ALLOC_BUDGET bytes (default 512 — the delta
+   evaluator's steady state measures ~10 B, so the budget has room for
+   allocator noise but fails loudly if a boxing regression reintroduces
+   per-step allocation).  Exits non-zero on exceed, so CI can gate on
+   it without running the full bench. *)
+let run_alloc_gate () =
+  let budget = getenv_float "BENCH_ALLOC_BUDGET" 512. in
+  rule
+    (Printf.sprintf
+       "Allocation gate: median bytes per fitness evaluation <= %.0f" budget);
+  Emts_obs.Metrics.set_enabled true;
+  Emts_obs.Gcprof.set_enabled true;
+  let rng = Emts_prng.create ~seed:0x6A7E () in
+  let r =
+    Emts.Algorithm.run_ctx ~rng ~config:Emts.Algorithm.emts5 ~ctx:ctx_irregular
+      ()
+  in
+  Emts_obs.Gcprof.set_enabled false;
+  let h = Emts_obs.Metrics.histogram "gc.eval.alloc_bytes" in
+  match (Emts_obs.Metrics.histogram_value h, Emts_obs.Metrics.quantile h 0.5) with
+  | None, _ | _, None ->
+    print_string "no evaluations were measured\n";
+    exit 1
+  | Some d, Some median ->
+    Printf.printf "evaluations measured %8d   (EA reports %d)\n"
+      d.Emts_obs.Metrics.count r.Emts.Algorithm.ea.Emts_ea.evaluations;
+    Printf.printf
+      "alloc per evaluation %8.0f B median   %8.0f B mean   %10.0f B max\n"
+      median d.Emts_obs.Metrics.mean d.Emts_obs.Metrics.max;
+    if median > budget then begin
+      Printf.printf "FAIL: median %.0f B exceeds budget %.0f B\n" median budget;
+      exit 1
+    end
+    else Printf.printf "OK: within budget (%.0f B <= %.0f B)\n" median budget
+
 (* Serving: the daemon's warm path (persistent engine — worker pool
    and cross-request fitness cache survive between requests) against
    the cold one-shot path (fresh engine per request, no shared cache —
@@ -545,20 +669,37 @@ let run_serving () =
     Emts_resilience.write_string ~path (Json.to_string doc);
     Printf.eprintf "[bench] wrote %s\n%!" path
 
-let () =
-  let metrics_json = Sys.getenv_opt "BENCH_METRICS_JSON" in
-  if metrics_json <> None then Emts_obs.Metrics.set_enabled true;
-  rule "Micro-benchmarks (Bechamel): one per table/figure code path";
-  run_benchmarks ();
-  run_tables ();
-  run_extensions ();
-  run_cache_speedup ();
-  run_checkpoint_overhead ();
-  run_gc_profile ();
-  run_serving ();
+let write_metrics_json metrics_json =
   match metrics_json with
   | None -> ()
   | Some path ->
     Out_channel.with_open_text path (fun oc ->
         Out_channel.output_string oc (Emts_obs.Metrics.to_json ()));
     Printf.eprintf "[bench] wrote %s\n%!" path
+
+let () =
+  let metrics_json = Sys.getenv_opt "BENCH_METRICS_JSON" in
+  if metrics_json <> None then Emts_obs.Metrics.set_enabled true;
+  match Sys.getenv_opt "BENCH_ONLY" with
+  | Some "alloc-gate" ->
+    (* [run_alloc_gate] exits on failure, so write the snapshot first
+       via at_exit to keep it available for triage either way *)
+    at_exit (fun () -> write_metrics_json metrics_json);
+    run_alloc_gate ()
+  | Some "delta" ->
+    run_delta_speedup ();
+    write_metrics_json metrics_json
+  | Some other when other <> "" ->
+    Printf.eprintf "unknown BENCH_ONLY=%s (known: alloc-gate, delta)\n" other;
+    exit 2
+  | _ ->
+    rule "Micro-benchmarks (Bechamel): one per table/figure code path";
+    run_benchmarks ();
+    run_tables ();
+    run_extensions ();
+    run_cache_speedup ();
+    run_checkpoint_overhead ();
+    run_gc_profile ();
+    run_delta_speedup ();
+    run_serving ();
+    write_metrics_json metrics_json

@@ -51,6 +51,19 @@ let fitness_cache_arg =
            genomes are list-scheduled once; results are identical either \
            way.  65536 is a good default capacity.")
 
+let no_delta_fitness_arg =
+  Arg.(
+    value & flag
+    & info [ "no-delta-fitness" ]
+        ~doc:
+          "Disable incremental (delta) fitness evaluation and fall back to \
+           from-scratch list scheduling per candidate (EMTS only).  Delta \
+           evaluation reuses the schedule prefix shared with the previous \
+           genome on preallocated per-domain scratch; results are \
+           bit-identical either way, so this flag only trades speed for a \
+           simpler execution path (e.g. when profiling the scheduler \
+           itself).")
+
 let checkpoint_arg =
   Arg.(
     value
@@ -107,7 +120,8 @@ let resolve_model spec =
     else Error (Printf.sprintf "unknown model %S (no such preset or file)" spec)
 
 let run obs graph_file platform_spec model_spec algorithm seed domains
-    fitness_cache checkpoint checkpoint_every resume gantt csv svg =
+    fitness_cache no_delta_fitness checkpoint checkpoint_every resume gantt
+    csv svg =
   Obs_cli.with_obs_graceful obs @@ fun () ->
   let ( let* ) = Result.bind in
   if domains < 1 then Error "domains must be >= 1"
@@ -135,6 +149,9 @@ let run obs graph_file platform_spec model_spec algorithm seed domains
         config
         |> Emts.Algorithm.with_domains domains
         |> Emts.Algorithm.with_fitness_cache fitness_cache
+      in
+      let config =
+        { config with Emts.Algorithm.delta_fitness = not no_delta_fitness }
       in
       let rng = Emts_prng.create ~seed () in
       let checkpoint =
@@ -205,7 +222,7 @@ let () =
       term_result'
         (const run $ Obs_cli.term $ graph_arg $ platform_arg $ model_arg
        $ algorithm_arg $ seed_arg $ domains_arg $ fitness_cache_arg
-       $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+       $ no_delta_fitness_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
        $ gantt_arg $ csv_arg $ svg_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,6 +1,7 @@
 module Schedule = Emts_sched.Schedule
 module List_scheduler = Emts_sched.List_scheduler
 module Allocation = Emts_sched.Allocation
+module Evaluator = Emts_sched.Evaluator
 module Alg = Emts.Algorithm
 module Protocol = Emts_serve.Protocol
 module Server = Emts_serve.Server
@@ -105,6 +106,52 @@ let entry_equal (a : Schedule.entry) (b : Schedule.entry) =
   && float_eq a.Schedule.finish b.Schedule.finish
   && a.Schedule.procs = b.Schedule.procs
 
+(* The delta evaluator walks a mutation chain (each step changes one
+   allele of the previous genome, occasionally none — the duplicate
+   path) and must agree bit for bit with the from-scratch bounded
+   makespan at every step, including finite-cutoff rejections. *)
+let check_delta_chain (s : Scenario.t) ctx rng =
+  let graph = s.Scenario.graph in
+  let procs = s.Scenario.procs in
+  let tables = ctx.Emts_alloc.Common.tables in
+  let ev = Evaluator.create () in
+  let cur = Array.copy (Gen.random_valid_alloc rng graph ~procs) in
+  let n = Array.length cur in
+  let rec step i =
+    if i >= 24 then Ok ()
+    else begin
+      if i mod 5 <> 0 then begin
+        (* splice one allele from another valid genome: stays within
+           the task's table row and [1..procs] by construction *)
+        let donor = Gen.random_valid_alloc rng graph ~procs in
+        let v = Emts_prng.int rng n in
+        cur.(v) <- donor.(v)
+      end;
+      let times = Allocation.times_of_tables cur ~tables in
+      let scratch = List_scheduler.makespan ~graph ~times ~alloc:cur ~procs in
+      let cutoff =
+        if Emts_prng.int rng 4 = 0 then scratch *. 0.9 else infinity
+      in
+      let expect, rejected =
+        match
+          List_scheduler.makespan_bounded ~graph ~times ~alloc:cur ~procs
+            ~cutoff
+        with
+        | Some m -> (m, false)
+        | None -> (infinity, true)
+      in
+      let delta = Evaluator.makespan ev ~graph ~tables ~procs ~alloc:cur ~cutoff in
+      if not (float_eq delta expect) then
+        fail "delta step %d: evaluator %.17g <> scratch %.17g (cutoff %.17g)" i
+          delta expect cutoff
+      else if Evaluator.last_rejected ev <> rejected then
+        fail "delta step %d: rejection flag %b, scratch says %b" i
+          (Evaluator.last_rejected ev) rejected
+      else step (i + 1)
+    end
+  in
+  step 0
+
 let check_differential (s : Scenario.t) =
   let ctx = ctx_of s in
   let graph = s.Scenario.graph in
@@ -116,6 +163,8 @@ let check_differential (s : Scenario.t) =
           ( Printf.sprintf "random%d" i,
             Gen.random_valid_alloc rng graph ~procs ))
   in
+  let* () = check_delta_chain s ctx rng in
+  let delta_ev = Evaluator.create () in
   check_list
     (fun (label, alloc) ->
       let* schedule = validated_schedule s ctx ~label alloc in
@@ -129,6 +178,19 @@ let check_differential (s : Scenario.t) =
         else
           fail "%s: fast-path makespan %.17g <> schedule makespan %.17g" label
             fast makespan
+      in
+      let* () =
+        (* one evaluator across all products: heuristic allocations
+           differ wholesale, so this also exercises large change sets *)
+        let delta =
+          Evaluator.makespan delta_ev ~graph
+            ~tables:ctx.Emts_alloc.Common.tables ~procs ~alloc
+            ~cutoff:infinity
+        in
+        if float_eq delta makespan then Ok ()
+        else
+          fail "%s: delta makespan %.17g <> schedule makespan %.17g" label
+            delta makespan
       in
       let* () =
         match
@@ -231,6 +293,13 @@ let check_determinism (s : Scenario.t) =
     summaries_agree ~label:"early-reject"
       base
       (summarize (run { mini_config with Alg.early_reject = true }))
+  in
+  (* Delta fitness is on by default; the from-scratch evaluator must
+     reproduce the same trajectory bit for bit. *)
+  let* () =
+    summaries_agree ~label:"delta-off"
+      base
+      (summarize (run { mini_config with Alg.delta_fitness = false }))
   in
   (* Interrupt after k generations, resume from the checkpoint: the
      stitched run must equal the uninterrupted one bit for bit. *)
@@ -745,15 +814,17 @@ let all =
     {
       name = "differential";
       doc =
-        "the zero-noise simulator and the fitness fast paths reproduce \
-         every list schedule exactly";
+        "the zero-noise simulator, the fitness fast paths and the delta \
+         evaluator (over a mutation chain) reproduce every list \
+         schedule exactly";
       check = check_differential;
     };
     {
       name = "determinism";
       doc =
         "one seed, one result: domains, fitness cache, early reject, \
-         checkpoint/resume and the serve engine all agree bit for bit";
+         delta fitness off, checkpoint/resume and the serve engine all \
+         agree bit for bit";
       check = check_determinism;
     };
     {

@@ -20,7 +20,16 @@ type config = {
   adaptive_sigma : bool;
   early_reject : bool;
   fitness_cache : int option;
+  delta_fitness : bool;
 }
+
+(* Per-worker-domain delta evaluator scratch.  Toplevel on purpose: an
+   [Emts_pool.Local] key wraps a DLS slot that is never reclaimed, so
+   minting one per run would leak.  One process-wide key means every
+   worker domain owns exactly one evaluator, reused across generations,
+   runs and serving requests (it rebinds itself when the instance
+   changes). *)
+let evaluator_slot = Emts_pool.Local.key (fun () -> Emts_sched.Evaluator.create ())
 
 let emts5 =
   {
@@ -36,6 +45,7 @@ let emts5 =
     adaptive_sigma = false;
     early_reject = false;
     fitness_cache = None;
+    delta_fitness = true;
   }
 
 let emts10 = { emts5 with mu = 10; lambda = 100; generations = 10 }
@@ -102,7 +112,34 @@ let run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?(resume = false)
      together with the cache entry that records it.  A rejection stores
      the rejecting cutoff, not a bare [infinity]: the rejection is only
      reusable while the cutoff stays at or below it. *)
+  (* Delta path: the per-domain evaluator computes the identical float
+     (property-tested + fuzz-checked) while reusing the schedule prefix
+     shared with the previously evaluated genome and allocating nothing
+     in steady state.  Rejection comes back as [infinity] plus a flag
+     instead of an option, so this path builds no intermediate values at
+     all. *)
+  let delta_makespan alloc cutoff_now =
+    let ev = Emts_pool.Local.get evaluator_slot in
+    Emts_sched.Evaluator.makespan ev ~graph:ctx.Common.graph
+      ~tables:ctx.Common.tables ~procs:ctx.Common.procs ~alloc
+      ~cutoff:(if config.early_reject then cutoff_now else infinity)
+  in
+  let delta_rejected () =
+    Emts_sched.Evaluator.last_rejected (Emts_pool.Local.get evaluator_slot)
+  in
   let evaluate alloc cutoff_now =
+    if config.delta_fitness then begin
+      let m = delta_makespan alloc cutoff_now in
+      if delta_rejected () then begin
+        Emts_obs.Metrics.incr m_early_reject_hits;
+        (infinity, Emts_pool.Cache.Rejected_above cutoff_now)
+      end
+      else begin
+        if config.early_reject then Emts_obs.Metrics.incr m_early_reject_misses;
+        (m, Emts_pool.Cache.Known m)
+      end
+    end
+    else
     let times =
       Emts_sched.Allocation.times_of_tables alloc ~tables:ctx.Common.tables
     in
@@ -150,7 +187,18 @@ let run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?(resume = false)
   let fitness alloc =
     let c = Atomic.get cutoff in
     match cache with
-    | None -> fst (evaluate alloc c)
+    | None ->
+      if config.delta_fitness then begin
+        (* Hot path: no cache, no tuple, no option — zero steady-state
+           allocation end to end. *)
+        let m = delta_makespan alloc c in
+        if config.early_reject then
+          Emts_obs.Metrics.incr
+            (if delta_rejected () then m_early_reject_hits
+             else m_early_reject_misses);
+        m
+      end
+      else fst (evaluate alloc c)
     | Some cache -> (
       match Emts_pool.Cache.find cache alloc ~cutoff:c with
       | Some v -> v

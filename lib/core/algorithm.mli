@@ -50,6 +50,17 @@ type config = {
           cached together with its rejecting cutoff and only reused
           while the current cutoff is at or below it.  Default [None]
           (off). *)
+  delta_fitness : bool;
+      (** evaluate fitness through the per-worker-domain
+          {!Emts_sched.Evaluator}: incremental re-evaluation reusing
+          the schedule prefix shared with the previously evaluated
+          genome, on preallocated scratch (zero steady-state allocation
+          per evaluation).  Pure optimisation — the returned makespans
+          are bit-identical to the from-scratch path (property-tested
+          and fuzz-checked), composing with [domains], [early_reject]
+          and [fitness_cache] unchanged.  Default [true]; set [false]
+          ([--no-delta-fitness] on the CLI) to fall back to from-scratch
+          evaluation. *)
 }
 
 val emts5 : config

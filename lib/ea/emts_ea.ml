@@ -60,16 +60,15 @@ let m_checkpoint_writes = Emts_obs.Metrics.counter "ea.checkpoint_writes"
 let m_checkpoint_resumes = Emts_obs.Metrics.counter "ea.checkpoint_resumes"
 
 (* Evaluate all genomes through the persistent worker pool.  Results
-   land by index, so the outcome is independent of scheduling; the
-   pool's workers keep one stable trace lane per worker slot across
-   generations. *)
-let evaluate_all ~pool fitness genomes =
+   land by index in [out] (grow-only scratch owned by the run, reused
+   across generations — entries past the batch length are stale), so
+   the outcome is independent of scheduling; the pool's workers keep
+   one stable trace lane per worker slot across generations. *)
+let evaluate_all ~pool ~out fitness genomes =
   let n = Array.length genomes in
-  let out = Array.make n nan in
   Emts_obs.Trace.span "ea.eval"
     ~args:[ ("tasks", Emts_obs.Trace.Int n) ]
-    (fun () -> Emts_pool.run pool ~n (fun i -> out.(i) <- fitness genomes.(i)));
-  out
+    (fun () -> Emts_pool.run pool ~n (fun i -> out.(i) <- fitness genomes.(i)))
 
 type 'g individual = { genome : 'g; fit : float; birth : int }
 
@@ -429,21 +428,27 @@ let evolve ~stop ~deadline ~checkpoint ~rng ~config ~started ~eval_batch
     elapsed = Emts_obs.Clock.elapsed ~since:started;
   }
 
-let make_eval_batch ~pool ~evaluations ~births problem genomes =
-  let fits = evaluate_all ~pool problem.fitness genomes in
-  evaluations := !evaluations + Array.length genomes;
-  Emts_obs.Metrics.add m_evaluations (Array.length genomes);
-  if Emts_obs.Metrics.enabled () then
-    Array.iter
-      (fun fit ->
-        if Float.is_finite fit then Emts_obs.Metrics.observe m_fitness fit)
-      fits;
-  Array.map2
-    (fun genome fit ->
-      let birth = !births in
-      incr births;
-      { genome; fit; birth })
-    genomes fits
+let make_eval_batch ~pool ~evaluations ~births problem =
+  (* One fitness buffer per run, not per batch: the seed batch sizes it
+     (seeds can outnumber lambda) and every generation reuses it. *)
+  let scratch = ref [||] in
+  fun genomes ->
+    let n = Array.length genomes in
+    if Array.length !scratch < n then scratch := Array.make n nan;
+    let fits = !scratch in
+    evaluate_all ~pool ~out:fits problem.fitness genomes;
+    evaluations := !evaluations + n;
+    Emts_obs.Metrics.add m_evaluations n;
+    if Emts_obs.Metrics.enabled () then
+      for i = 0 to n - 1 do
+        if Float.is_finite fits.(i) then Emts_obs.Metrics.observe m_fitness fits.(i)
+      done;
+    Array.mapi
+      (fun i genome ->
+        let birth = !births in
+        incr births;
+        { genome; fit = fits.(i); birth })
+      genomes
 
 let make_record ~on_generation ~config ~evaluations ~history ~population
     ~born_after generation =

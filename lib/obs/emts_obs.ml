@@ -22,10 +22,12 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* JSON floats: a bare %g can print "inf"/"nan", which is not JSON. *)
+(* JSON floats: a bare %g can print "inf"/"nan", which is not JSON.
+   NaN (an absent measurement, e.g. a quantile of an empty histogram)
+   becomes [null]; infinities keep a parseable string encoding. *)
 let json_float x =
   if Float.is_finite x then Printf.sprintf "%.17g" x
-  else if Float.is_nan x then "\"nan\""
+  else if Float.is_nan x then "null"
   else if x > 0. then "\"inf\""
   else "\"-inf\""
 

@@ -194,6 +194,20 @@ let with_pool ~domains f =
   let t = create ~domains in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+module Local = struct
+  (* Thin wrapper over [Domain.DLS]: one value per (key, domain) pair,
+     created lazily by the key's init function on first access from each
+     domain.  Keys must be created at toplevel — a DLS slot is never
+     reclaimed, so a key per run would leak slots.  Values persist for
+     the lifetime of the domain: a pool worker keeps its scratch across
+     jobs, runs and (in the serving layer) requests, which is exactly
+     the cross-request reuse the evaluator scratch wants. *)
+  type 'a key = 'a Domain.DLS.key
+
+  let key init = Domain.DLS.new_key init
+  let get k = Domain.DLS.get k
+end
+
 module Cache = struct
   let m_hits = Emts_obs.Metrics.counter "ea.cache.hits"
   let m_misses = Emts_obs.Metrics.counter "ea.cache.misses"

@@ -64,6 +64,28 @@ val with_pool : domains:int -> (t -> 'a) -> 'a
     afterwards, whether [f] returns or raises (exception-safe: workers
     are joined before the exception propagates). *)
 
+(** Per-worker-domain storage for evaluation scratch.
+
+    A pool worker is a long-lived domain: scratch state stored here is
+    created once per domain and survives across jobs, runs and serving
+    requests, so a steady-state fitness evaluation touches only
+    preallocated buffers.  Keys wrap [Domain.DLS] and therefore must be
+    created at toplevel (a DLS slot is never reclaimed; a key minted per
+    run would leak a slot per run).  Values are domain-local and need no
+    locking — but they are only safe if at most one evaluation runs per
+    domain at a time, which holds for the pool (one job item at a time
+    per worker) and for inline execution on the submitting domain. *)
+module Local : sig
+  type 'a key
+
+  val key : (unit -> 'a) -> 'a key
+  (** [key init] mints a new storage slot; [init ()] runs on first
+      {!get} from each domain.  Call at toplevel only. *)
+
+  val get : 'a key -> 'a
+  (** This domain's value, creating it with [init] if absent. *)
+end
+
 (** Fitness memoization keyed by allocation vector.
 
     Entries are {e cutoff-aware} so the cache composes correctly with

@@ -109,7 +109,15 @@ module Json = struct
       | Null -> Buffer.add_string buf "null"
       | Bool b -> Buffer.add_string buf (if b then "true" else "false")
       | Num x ->
-        if Float.is_integer x && Float.abs x < 1e15 then
+        (* A raw [Num nan] / [Num inf] (constructed without {!float})
+           must not leak a bare [nan]/[inf] token — that is not JSON.
+           NaN carries no value, so it serialises as [null]; infinities
+           use the same string encoding {!float} chooses, which
+           {!to_float} round-trips. *)
+        if Float.is_nan x then Buffer.add_string buf "null"
+        else if x = infinity then Buffer.add_string buf "\"inf\""
+        else if x = neg_infinity then Buffer.add_string buf "\"-inf\""
+        else if Float.is_integer x && Float.abs x < 1e15 then
           Buffer.add_string buf (Printf.sprintf "%.0f" x)
         else Buffer.add_string buf (Printf.sprintf "%.17g" x)
       | Str s ->

@@ -4,5 +4,6 @@
 module Allocation = Allocation
 module Schedule = Schedule
 module List_scheduler = List_scheduler
+module Evaluator = Evaluator
 module Gantt = Gantt
 module Svg = Svg

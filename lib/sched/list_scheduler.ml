@@ -12,9 +12,16 @@ module Heap = struct
   let create capacity =
     { prio = Array.make (max 1 capacity) 0.; ids = Array.make (max 1 capacity) 0; size = 0 }
 
+  (* [Float.compare], not [>]/[=]: the IEEE operators are both false
+     when either side is NaN, so a NaN priority would make [before]
+     asymmetric and silently corrupt the heap order.  [Float.compare] is
+     a total order, so even a NaN that slips past validation degrades to
+     a deterministic (if meaningless) rank instead of structural
+     corruption.  NaN priorities are additionally rejected up front in
+     [priorities]. *)
   let before h i j =
-    h.prio.(i) > h.prio.(j)
-    || (h.prio.(i) = h.prio.(j) && h.ids.(i) < h.ids.(j))
+    let c = Float.compare h.prio.(i) h.prio.(j) in
+    c > 0 || (c = 0 && h.ids.(i) < h.ids.(j))
 
   let swap h i j =
     let p = h.prio.(i) and v = h.ids.(i) in
@@ -92,22 +99,38 @@ let m_cutoff_rejections = Emts_obs.Metrics.counter "sched.cutoff_rejections"
 
 type priority = Bottom_level | Top_level_first | Static of float array
 
+(* Every mode is checked for NaN, not just [Static]: computed bottom /
+   top levels are NaN-free whenever the task times are (and
+   [check_inputs] rejects NaN times), but a NaN that reached the heap
+   would corrupt its ordering silently, so the defense is worth one
+   linear scan per schedule. *)
+let reject_nan ~what p =
+  Array.iter
+    (fun x ->
+      if Float.is_nan x then
+        invalid_arg (Printf.sprintf "List_scheduler: %s contains NaN" what))
+    p
+
 let priorities ~priority ~graph ~times =
   match priority with
   | Bottom_level ->
-    Emts_ptg.Analysis.bottom_levels graph ~time:(fun v -> times.(v))
+    let p =
+      Emts_ptg.Analysis.bottom_levels graph ~time:(fun v -> times.(v))
+    in
+    reject_nan ~what:"bottom-level priority" p;
+    p
   | Top_level_first ->
     (* negate: the heap favours larger values, we want small top levels *)
-    Array.map (fun t -> -.t)
-      (Emts_ptg.Analysis.top_levels graph ~time:(fun v -> times.(v)))
+    let p =
+      Array.map (fun t -> -.t)
+        (Emts_ptg.Analysis.top_levels graph ~time:(fun v -> times.(v)))
+    in
+    reject_nan ~what:"top-level priority" p;
+    p
   | Static p ->
     if Array.length p <> Graph.task_count graph then
       invalid_arg "List_scheduler: static priority length mismatch";
-    Array.iter
-      (fun x ->
-        if Float.is_nan x then
-          invalid_arg "List_scheduler: static priority contains NaN")
-      p;
+    reject_nan ~what:"static priority" p;
     p
 
 (* Core loop, shared by [run], [makespan] and [makespan_bounded].

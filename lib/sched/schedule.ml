@@ -64,6 +64,7 @@ type violation =
   | Precedence of { src : int; dst : int }
   | Overlap of { proc : int; first : int; second : int }
   | Allocation_mismatch of { task : int; expected : int; actual : int }
+  | Invalid_time of { task : int }
 
 let pp_violation ppf = function
   | Precedence { src; dst } ->
@@ -75,6 +76,22 @@ let pp_violation ppf = function
   | Allocation_mismatch { task; expected; actual } ->
     Format.fprintf ppf "task %d uses %d processors, allocation says %d" task
       actual expected
+  | Invalid_time { task } ->
+    Format.fprintf ppf "task %d has a NaN start or finish time" task
+
+(* Interval ordering for the per-processor sweep.  Explicit
+   [Float.compare]/[Int.compare], not the polymorphic [compare]:
+   structural comparison is not a total order on floats containing NaN
+   (NaN-tainted intervals could land anywhere in the sorted list and
+   the sweep would silently skip real overlaps behind them), and the
+   monomorphic comparators are also what keeps the sort's behaviour
+   independent of the runtime's polymorphic-compare float handling. *)
+let compare_interval (s1, f1, t1) (s2, f2, t2) =
+  let c = Float.compare s1 s2 in
+  if c <> 0 then c
+  else
+    let c = Float.compare f1 f2 in
+    if c <> 0 then c else Int.compare t1 t2
 
 let validate ?alloc t ~graph =
   let violations = ref [] in
@@ -82,6 +99,15 @@ let validate ?alloc t ~graph =
   let n = Array.length t.entries in
   if Emts_ptg.Graph.task_count graph <> n then
     invalid_arg "Schedule.validate: graph size does not match schedule";
+  (* NaN times are their own violation: [make] rejects them, but
+     [validate] must not depend on how the schedule was built — and the
+     precedence/overlap sweeps below cannot be trusted on NaN input
+     (every comparison against NaN is false), so flag them explicitly. *)
+  Array.iteri
+    (fun v e ->
+      if Float.is_nan e.start || Float.is_nan e.finish then
+        push (Invalid_time { task = v }))
+    t.entries;
   (* precedence *)
   List.iter
     (fun (src, dst) ->
@@ -98,7 +124,7 @@ let validate ?alloc t ~graph =
     t.entries;
   Array.iteri
     (fun p intervals ->
-      let sorted = List.sort compare intervals in
+      let sorted = List.sort compare_interval intervals in
       let rec sweep = function
         | (s1, f1, t1) :: ((s2, _, t2) :: _ as rest) ->
           ignore s1;

@@ -51,6 +51,12 @@ type violation =
       (** two tasks share processor [proc] at the same time *)
   | Allocation_mismatch of { task : int; expected : int; actual : int }
       (** processor-set size differs from the allocation vector *)
+  | Invalid_time of { task : int }
+      (** NaN start or finish time; the precedence and overlap sweeps
+          are meaningless for such a task, so it is reported on its
+          own.  Unreachable for schedules built by {!make} (which
+          rejects NaN), kept as defense in depth for {!validate}
+          itself. *)
 
 val pp_violation : Format.formatter -> violation -> unit
 

@@ -57,10 +57,20 @@ let cache_for c req =
 
 (* ------------------------------------------------------------------ *)
 
-type t = { pool : Emts_pool.t; caches : caches; mutable alive : bool }
+type t = {
+  pool : Emts_pool.t;
+  caches : caches;
+  delta_fitness : bool;
+  mutable alive : bool;
+}
 
-let create ?(pool_domains = 1) ~caches () =
-  { pool = Emts_pool.create ~domains:pool_domains; caches; alive = true }
+let create ?(pool_domains = 1) ?(delta_fitness = true) ~caches () =
+  {
+    pool = Emts_pool.create ~domains:pool_domains;
+    caches;
+    delta_fitness;
+    alive = true;
+  }
 
 let shutdown t =
   if t.alive then begin
@@ -148,7 +158,13 @@ let handle t (req : Protocol.Request.schedule) ~deadline =
     let config =
       if name = "emts5" then Emts.Algorithm.emts5 else Emts.Algorithm.emts10
     in
-    let config = { config with Emts.Algorithm.time_budget = req.budget_s } in
+    let config =
+      {
+        config with
+        Emts.Algorithm.time_budget = req.budget_s;
+        delta_fitness = t.delta_fitness;
+      }
+    in
     let cache = cache_for t.caches req in
     let rng = Emts_prng.create ~seed:req.seed () in
     let result =

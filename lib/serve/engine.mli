@@ -29,10 +29,17 @@ val cache_instances : caches -> int
 
 type t
 
-val create : ?pool_domains:int -> caches:caches -> unit -> t
+val create :
+  ?pool_domains:int -> ?delta_fitness:bool -> caches:caches -> unit -> t
 (** [create ~caches ()] builds an engine with a persistent worker pool
     of [pool_domains] lanes (default 1 — no domains spawned).  Must be
-    called from the domain that will call {!handle}. *)
+    called from the domain that will call {!handle}.
+
+    [delta_fitness] (default [true]) routes EMTS fitness through the
+    per-worker-domain incremental {!Emts_sched.Evaluator}; the scratch
+    buffers live in domain-local storage, so they are reused across
+    requests handled by the same worker — bit-identical responses
+    either way (covered by the serve determinism tests). *)
 
 val shutdown : t -> unit
 (** Join the engine's pool.  Idempotent. *)

@@ -3,8 +3,8 @@ error surface for unknown oracle names.
 
   $ emts-fuzz --list-oracles
   validate     every algorithm's schedule (heuristic seeds, random allocations, EA best) passes Schedule.validate
-  differential the zero-noise simulator and the fitness fast paths reproduce every list schedule exactly
-  determinism  one seed, one result: domains, fitness cache, early reject, checkpoint/resume and the serve engine all agree bit for bit
+  differential the zero-noise simulator, the fitness fast paths and the delta evaluator (over a mutation chain) reproduce every list schedule exactly
+  determinism  one seed, one result: domains, fitness cache, early reject, delta fitness off, checkpoint/resume and the serve engine all agree bit for bit
   wire         random/bit-flipped/truncated/oversized frames and malformed trace_id fields against a live daemon yield only typed errors (the metrics verb a complete exposition), and the daemon stays alive
   resilience   corrupt or truncated journals, checkpoints and .ptg files are cleanly rejected or torn-tail-truncated, never misread
 

@@ -338,7 +338,8 @@ let prop_early_reject_equivalent =
 
 (* Satellite 4: parallelism and the fitness cache are pure
    optimisations.  Any combination of domains x cache x early-reject
-   must reproduce the sequential, cache-free run bit for bit: same
+   x delta-fitness-off must reproduce the sequential, cache-free run
+   bit for bit: same
    best fitness, same history, same evaluation count.  The telemetry
    layer is observer-only, so the whole matrix is replayed a second
    time with every sink on (trace, metrics, GC profiling, flight ring)
@@ -346,8 +347,8 @@ let prop_early_reject_equivalent =
 let prop_pool_cache_determinism =
   QCheck.Test.make
     ~name:
-      "domains x cache x early-reject x checkpoint x telemetry never change \
-       the outcome"
+      "domains x cache x early-reject x delta x checkpoint x telemetry never \
+       change the outcome"
     ~count:10
     (Testutil.arbitrary_dag ~max_n:15 ())
     (fun graph ->
@@ -399,6 +400,16 @@ let prop_pool_cache_determinism =
             {
               (Alg.with_fitness_cache 512 (Alg.with_domains 4 c)) with
               Alg.early_reject = true;
+            });
+          (* the baseline runs with delta fitness on (the default);
+             the from-scratch evaluator must agree bit for bit, alone
+             and under the full optimisation stack *)
+          (fun c -> { c with Alg.delta_fitness = false });
+          (fun c ->
+            {
+              (Alg.with_fitness_cache 512 (Alg.with_domains 4 c)) with
+              Alg.early_reject = true;
+              delta_fitness = false;
             });
         ]
       in

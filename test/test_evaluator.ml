@@ -1,0 +1,252 @@
+(* Tests for the delta fitness evaluator: bit-identical equivalence with
+   the from-scratch list-scheduler path over random mutation chains
+   (including cutoffs, duplicates and instance rebinds), plus the
+   zero-allocation budget the hot path is designed around. *)
+
+module Ev = Emts_sched.Evaluator
+module LS = Emts_sched.List_scheduler
+module Graph = Emts_ptg.Graph
+
+let bits = Int64.bits_of_float
+let float_eq a b = Int64.equal (bits a) (bits b)
+
+(* From-scratch reference: [infinity] on rejection, like the evaluator. *)
+let reference ~graph ~tables ~procs ~alloc ~cutoff =
+  let times = Emts_sched.Allocation.times_of_tables alloc ~tables in
+  match LS.makespan_bounded ~graph ~times ~alloc ~procs ~cutoff with
+  | Some m -> m
+  | None -> infinity
+
+(* Random execution-time tables drawn from a small discrete set, so
+   distinct allocations frequently share bitwise-equal times — the case
+   where the divergence test must fall back to comparing allocations. *)
+let make_tables rng g ~procs =
+  Array.init (Graph.task_count g) (fun _ ->
+      Array.init procs (fun _ -> float_of_int (Emts_prng.int rng 8) /. 2.))
+
+let check_against_reference ~what ev ~graph ~tables ~procs ~alloc ~cutoff =
+  let expected = reference ~graph ~tables ~procs ~alloc ~cutoff in
+  let got = Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff in
+  if not (float_eq expected got) then
+    Alcotest.failf "%s: delta %h <> from-scratch %h" what got expected;
+  if Ev.last_rejected ev <> (expected = infinity && cutoff < infinity) then
+    Alcotest.failf "%s: rejection flag disagrees with the reference" what
+
+(* One mutation chain on one instance: start from a random allocation,
+   repeatedly flip a few alleles (the first and last ones included) and
+   under varying cutoffs, checking every evaluation bitwise. *)
+let run_chain rng ev ~graph ~tables ~procs ~steps =
+  let n = Graph.task_count graph in
+  let alloc = Emts_check.Gen.random_valid_alloc rng graph ~procs in
+  let best = ref infinity in
+  for step = 0 to steps - 1 do
+    (match step mod 7 with
+    | 0 -> () (* duplicate genome: full-schedule reuse *)
+    | 1 -> alloc.(0) <- 1 + Emts_prng.int rng procs
+    | 2 -> alloc.(n - 1) <- 1 + Emts_prng.int rng procs
+    | _ ->
+      let m = 1 + Emts_prng.int rng 3 in
+      for _ = 1 to m do
+        alloc.(Emts_prng.int rng n) <- 1 + Emts_prng.int rng procs
+      done);
+    let cutoff =
+      match step mod 5 with
+      | 3 when !best < infinity -> !best *. Emts_prng.float_in rng 0.5 1.2
+      | 4 when !best < infinity -> !best (* exactly at the best: tight *)
+      | _ -> infinity
+    in
+    let got = Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff in
+    let expected = reference ~graph ~tables ~procs ~alloc ~cutoff in
+    if not (float_eq expected got) then
+      Alcotest.failf "step %d (cutoff %h): delta %h <> from-scratch %h" step
+        cutoff got expected;
+    if got < !best then best := got
+  done
+
+let prop_delta_equals_scratch =
+  QCheck.Test.make ~name:"delta == from-scratch over mutation chains"
+    ~count:60
+    QCheck.(pair (Testutil.arbitrary_dag ~max_n:40 ()) small_int)
+    (fun (graph, seed) ->
+      let rng = Emts_prng.create ~seed () in
+      let procs = 1 + Emts_prng.int rng 8 in
+      let tables = make_tables rng graph ~procs in
+      let ev = Ev.create () in
+      run_chain rng ev ~graph ~tables ~procs ~steps:40;
+      true)
+
+let test_first_and_last_allele () =
+  (* Deterministic check of the two boundary mutation sites on a chain
+     (every task on the critical path, so any change invalidates the
+     whole prefix) and on independent tasks (maximal reuse). *)
+  List.iter
+    (fun graph ->
+      let procs = 3 in
+      let rng = Emts_prng.create ~seed:7 () in
+      let tables = make_tables rng graph ~procs in
+      let n = Graph.task_count graph in
+      let ev = Ev.create () in
+      let alloc = Array.make n 1 in
+      check_against_reference ~what:"initial" ev ~graph ~tables ~procs ~alloc
+        ~cutoff:infinity;
+      alloc.(0) <- procs;
+      check_against_reference ~what:"allele 0" ev ~graph ~tables ~procs ~alloc
+        ~cutoff:infinity;
+      alloc.(n - 1) <- 2;
+      check_against_reference ~what:"last allele" ev ~graph ~tables ~procs
+        ~alloc ~cutoff:infinity;
+      check_against_reference ~what:"duplicate" ev ~graph ~tables ~procs
+        ~alloc ~cutoff:infinity)
+    [ Emts_daggen.Shapes.chain 12; Emts_daggen.Shapes.independent 12 ]
+
+let test_rebind_across_instances () =
+  (* One evaluator alternating between two instances of different sizes
+     and platform widths: every rebind must land on a correct full run,
+     and the snapshot must never leak across instances. *)
+  let rng = Emts_prng.create ~seed:11 () in
+  let g1 = Testutil.random_triangular_dag rng ~n:20 ~p:0.2 in
+  let g2 = Testutil.random_triangular_dag rng ~n:33 ~p:0.35 in
+  let t1 = make_tables rng g1 ~procs:4 and t2 = make_tables rng g2 ~procs:7 in
+  let ev = Ev.create () in
+  for round = 0 to 11 do
+    let graph, tables, procs =
+      if round mod 2 = 0 then (g1, t1, 4) else (g2, t2, 7)
+    in
+    let alloc = Emts_check.Gen.random_valid_alloc rng graph ~procs in
+    check_against_reference
+      ~what:(Printf.sprintf "round %d" round)
+      ev ~graph ~tables ~procs ~alloc ~cutoff:infinity
+  done;
+  let s = Ev.stats ev in
+  Alcotest.(check bool)
+    "rebinds force full runs" true
+    (s.Ev.full_runs >= 12)
+
+let test_rejection_keeps_snapshot_usable () =
+  (* A cutoff rejection must not corrupt later evaluations: interleave
+     rejected and accepted evaluations and keep checking bitwise. *)
+  let rng = Emts_prng.create ~seed:23 () in
+  let graph = Testutil.random_triangular_dag rng ~n:30 ~p:0.25 in
+  let procs = 5 in
+  let tables = make_tables rng graph ~procs in
+  let ev = Ev.create () in
+  let n = Graph.task_count graph in
+  let alloc = Array.make n 1 in
+  let full = reference ~graph ~tables ~procs ~alloc ~cutoff:infinity in
+  List.iter
+    (fun cutoff ->
+      check_against_reference ~what:"interleaved" ev ~graph ~tables ~procs
+        ~alloc ~cutoff;
+      alloc.(Emts_prng.int rng n) <- 1 + Emts_prng.int rng procs)
+    [ infinity; full /. 2.; infinity; 0.; full; infinity; full /. 4.; infinity ]
+
+let test_input_validation () =
+  let graph = Emts_daggen.Shapes.chain 3 in
+  let tables = [| [| 1.; 2. |]; [| 1.; 2. |]; [| 1.; 2. |] |] in
+  let ev = Ev.create () in
+  let raises what f =
+    match f () with
+    | (_ : float) -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument _ -> ()
+  in
+  raises "alloc too long" (fun () ->
+      Ev.makespan ev ~graph ~tables ~procs:2 ~alloc:[| 1; 1; 1; 1 |]
+        ~cutoff:infinity);
+  raises "alloc out of range" (fun () ->
+      Ev.makespan ev ~graph ~tables ~procs:2 ~alloc:[| 1; 3; 1 |]
+        ~cutoff:infinity);
+  raises "NaN cutoff" (fun () ->
+      Ev.makespan ev ~graph ~tables ~procs:2 ~alloc:[| 1; 1; 1 |]
+        ~cutoff:Float.nan);
+  raises "NaN time" (fun () ->
+      Ev.makespan ev ~graph
+        ~tables:[| [| 1. |]; [| Float.nan |]; [| 1. |] |]
+        ~procs:1 ~alloc:[| 1; 1; 1 |] ~cutoff:infinity)
+
+(* The allocation budget the hot path is designed around.  Steady state
+   (instance bound, buffers warm) allocates nothing inside the
+   evaluator; the only per-call allocation left is the boxed float
+   crossing the function boundary (OCaml's calling convention), a
+   couple of words.  The budget below is deliberately far under one
+   small scratch array, so any reintroduced per-eval allocation fails
+   loudly. *)
+let test_steady_state_allocation () =
+  let rng = Emts_prng.create ~seed:5 () in
+  let graph = Testutil.random_triangular_dag rng ~n:60 ~p:0.15 in
+  let procs = 16 in
+  let tables = make_tables rng graph ~procs in
+  let n = Graph.task_count graph in
+  let ev = Ev.create () in
+  let alloc = Emts_check.Gen.random_valid_alloc rng graph ~procs in
+  (* warm up: bind the instance and grow every buffer *)
+  for _ = 1 to 50 do
+    alloc.(Emts_prng.int rng n) <- 1 + Emts_prng.int rng procs;
+    ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity)
+  done;
+  (* pre-draw mutation sites so the loop body allocates nothing itself *)
+  let rounds = 1000 in
+  let sites = Array.init rounds (fun _ -> Emts_prng.int rng n) in
+  let values = Array.init rounds (fun _ -> 1 + Emts_prng.int rng procs) in
+  let sink = Array.make 1 0. in
+  let before = Gc.allocated_bytes () in
+  for i = 0 to rounds - 1 do
+    alloc.(sites.(i)) <- values.(i);
+    sink.(0) <-
+      sink.(0) +. Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity
+  done;
+  let after = Gc.allocated_bytes () in
+  let per_eval = (after -. before) /. float_of_int rounds in
+  if per_eval > 64. then
+    Alcotest.failf "steady-state allocation %.1f bytes/eval (budget 64)"
+      per_eval;
+  Alcotest.(check bool) "sink finite" true (Float.is_finite sink.(0))
+
+let test_stats_and_metrics_accounting () =
+  (* Diamond 0 -> {1, 2} -> 3.  Task 2's time dwarfs task 1's under
+     every allocation, so mutating task 1 changes bl(1) but not bl(0):
+     the change set is exactly {1}, whose earliest heap entry is step 1
+     (right after the source pops) — a 1-step prefix reuse.  An
+     independent graph would NOT exercise this: every task is a source
+     there, so any change forces a full run. *)
+  let graph = Testutil.diamond_graph () in
+  let procs = 2 in
+  let tables = [| [| 1.; 1. |]; [| 1.; 2. |]; [| 10.; 10. |]; [| 1.; 1. |] |] in
+  let ev = Ev.create () in
+  let alloc = Array.make 4 1 in
+  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity);
+  (* duplicate: the whole 4-step schedule is reused *)
+  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity);
+  (* mutate task 1: divergence at step 1, the source pop is reused *)
+  alloc.(1) <- 2;
+  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity);
+  let s = Ev.stats ev in
+  Alcotest.(check int) "one full run" 1 s.Ev.full_runs;
+  Alcotest.(check int) "two incremental runs" 2 s.Ev.incremental_runs;
+  Alcotest.(check int) "reused steps" 5 s.Ev.reused_steps;
+  Alcotest.(check int) "scheduled steps" 7 s.Ev.scheduled_steps;
+  Alcotest.(check bool)
+    "scheduled + reused covers all steps" true
+    (s.Ev.scheduled_steps + s.Ev.reused_steps = 12)
+
+let () =
+  Alcotest.run "evaluator"
+    [
+      ( "delta",
+        [
+          QCheck_alcotest.to_alcotest prop_delta_equals_scratch;
+          Alcotest.test_case "first and last allele" `Quick
+            test_first_and_last_allele;
+          Alcotest.test_case "rebind across instances" `Quick
+            test_rebind_across_instances;
+          Alcotest.test_case "rejections keep snapshot usable" `Quick
+            test_rejection_keeps_snapshot_usable;
+          Alcotest.test_case "input validation" `Quick test_input_validation;
+          Alcotest.test_case "stats accounting" `Quick
+            test_stats_and_metrics_accounting;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "steady state is allocation-free" `Quick
+            test_steady_state_allocation;
+        ] );
+    ]

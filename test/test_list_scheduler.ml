@@ -158,6 +158,40 @@ let test_priority_policies () =
        false
      with Invalid_argument _ -> true)
 
+let test_heap_equal_priorities () =
+  (* Adversarial heap content: many tasks with bitwise-equal priorities
+     in the ready heap at once.  The tie-break is the task id, so pops —
+     and hence start times on a single processor — must come out in id
+     order no matter how the sift pattern shuffles equal keys. *)
+  let n = 33 in
+  let g = Emts_daggen.Shapes.independent n in
+  let times = Array.make n 1. and alloc = Array.make n 1 in
+  let check_id_order label s =
+    for v = 0 to n - 1 do
+      check_float
+        (Printf.sprintf "%s: task %d" label v)
+        (float_of_int v)
+        (Schedule.entry s v).Schedule.start
+    done
+  in
+  check_id_order "equal bottom levels" (LS.run ~graph:g ~times ~alloc ~procs:1);
+  check_id_order "equal static priorities"
+    (LS.run_prioritized
+       ~priority:(LS.Static (Array.make n 3.14))
+       ~graph:g ~times ~alloc ~procs:1);
+  check_id_order "equal top levels"
+    (LS.run_prioritized ~priority:LS.Top_level_first ~graph:g ~times ~alloc
+       ~procs:1);
+  (* -0. and +0. compare equal, so they are a tie, not an ordering:
+     task 0 keeps its id-order advantage either way *)
+  let g2 = Emts_daggen.Shapes.independent 2 in
+  let s =
+    LS.run_prioritized
+      ~priority:(LS.Static [| -0.; 0. |])
+      ~graph:g2 ~times:[| 1.; 1. |] ~alloc:[| 1; 1 |] ~procs:1
+  in
+  check_float "-0/+0 tie: id order" 0. (Schedule.entry s 0).Schedule.start
+
 (* --- properties --- *)
 
 let procs = 16
@@ -254,6 +288,8 @@ let () =
           Alcotest.test_case "input validation" `Quick test_input_validation;
           Alcotest.test_case "bounded makespan" `Quick test_makespan_bounded;
           Alcotest.test_case "priority policies" `Quick test_priority_policies;
+          Alcotest.test_case "heap equal priorities" `Quick
+            test_heap_equal_priorities;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

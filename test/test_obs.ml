@@ -301,6 +301,46 @@ let test_render_and_json () =
   Alcotest.(check bool) "reset clears histogram" true
     (Obs.Metrics.histogram_value h = None)
 
+(* Every emitted JSON artifact must parse back, including non-finite
+   values: a NaN gauge serialises as [null] (a bare [nan] token is not
+   JSON and broke downstream parsers), infinities as parseable
+   strings. *)
+let test_json_round_trip_nonfinite () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_enabled true;
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge "test.rt_nan_gauge") Float.nan;
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge "test.rt_inf_gauge") infinity;
+  ignore (Obs.Metrics.histogram "test.rt_empty_hist");
+  Obs.Metrics.set_enabled false;
+  let json = Obs.Metrics.to_json () in
+  Alcotest.(check bool) "no bare nan token" false (contains ~needle:":nan" json);
+  (match Emts_resilience.Json.of_string json with
+  | Error e -> Alcotest.failf "metrics json does not parse back: %s" e
+  | Ok v -> (
+    match Emts_resilience.Json.(member "gauges" v) with
+    | Some (Emts_resilience.Json.Obj gauges) ->
+      Alcotest.(check bool) "nan gauge is null" true
+        (List.assoc_opt "test.rt_nan_gauge" gauges
+        = Some Emts_resilience.Json.Null);
+      Alcotest.(check bool) "inf gauge survives" true
+        (List.assoc_opt "test.rt_inf_gauge" gauges
+        = Some (Emts_resilience.Json.Str "inf"))
+    | _ -> Alcotest.fail "gauges object missing"));
+  (* the resilience serialiser makes the same guarantee for raw [Num] *)
+  let raw =
+    Emts_resilience.Json.(
+      to_string (Obj [ ("x", Num Float.nan); ("y", Num infinity) ]))
+  in
+  match Emts_resilience.Json.of_string raw with
+  | Error e -> Alcotest.failf "raw Num json does not parse back: %s" e
+  | Ok v ->
+    Alcotest.(check bool) "raw NaN is null" true
+      (Emts_resilience.Json.member "x" v = Some Emts_resilience.Json.Null);
+    Alcotest.(check bool) "raw inf round-trips" true
+      (match Emts_resilience.Json.member "y" v with
+      | Some j -> Emts_resilience.Json.to_float j = Ok infinity
+      | None -> false)
+
 (* --- OpenMetrics exposition ------------------------------------------ *)
 
 (* Golden-file comparison, same protocol as test_golden.ml: regenerate
@@ -511,6 +551,8 @@ let () =
           Alcotest.test_case "histogram instrument" `Quick
             test_histogram_instrument;
           Alcotest.test_case "render and json" `Quick test_render_and_json;
+          Alcotest.test_case "json round-trips non-finite values" `Quick
+            test_json_round_trip_nonfinite;
           Alcotest.test_case "openmetrics golden" `Quick
             test_openmetrics_golden;
         ] );

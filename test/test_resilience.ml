@@ -116,7 +116,31 @@ let test_json_nonfinite () =
   check_back "inf" infinity infinity;
   check_back "-inf" neg_infinity neg_infinity;
   check_back "nan" Float.nan Float.nan;
-  check_back "finite" 1.25 1.25
+  check_back "finite" 1.25 1.25;
+  (* A raw [Num] that slipped past {!Json.float} must still emit valid
+     JSON: NaN degrades to [null], infinities to the string encoding. *)
+  Alcotest.(check string)
+    "raw Num nan emits null" "null"
+    (Json.to_string (Json.Num Float.nan));
+  Alcotest.(check string)
+    "raw Num inf emits string" "\"inf\""
+    (Json.to_string (Json.Num infinity));
+  Alcotest.(check string)
+    "raw Num -inf emits string" "\"-inf\""
+    (Json.to_string (Json.Num neg_infinity));
+  let doc =
+    Json.to_string
+      (Json.Obj [ ("a", Json.Num Float.nan); ("b", Json.Num infinity) ])
+  in
+  match Json.of_string doc with
+  | Error e -> Alcotest.fail ("raw non-finite doc does not parse: " ^ e)
+  | Ok v ->
+    Alcotest.(check bool) "nan field is null" true
+      (Json.member "a" v = Some Json.Null);
+    Alcotest.(check bool) "inf field round-trips" true
+      (match Json.member "b" v with
+      | Some j -> Json.to_float j = Ok infinity
+      | None -> false)
 
 let test_json_no_newline () =
   let v =

@@ -102,6 +102,48 @@ let test_validate_overlap () =
          (Format.pp_print_list S.pp_violation)
          vs)
 
+(* Identical start times used to be fragile under the old polymorphic
+   sort: with equal keys the sweep's pairing depended on unspecified
+   ordering.  The monomorphic comparator breaks ties by finish then id,
+   so three tasks occupying the same interval report exactly the two
+   adjacent overlaps, deterministically. *)
+let test_validate_overlap_identical_starts () =
+  let tasks = Array.init 3 (fun id -> Emts_ptg.Task.make ~id ~flop:1. ()) in
+  let g = Emts_ptg.Graph.of_tasks_and_edges tasks [] in
+  let s =
+    S.make ~platform_procs:1
+      [| entry 0 0. 1. [| 0 |]; entry 1 0. 1. [| 0 |]; entry 2 0. 1. [| 0 |] |]
+  in
+  (match S.validate s ~graph:g with
+  | Ok () -> Alcotest.fail "identical-start overlaps missed"
+  | Error vs ->
+    let pairs =
+      List.filter_map
+        (function
+          | S.Overlap { proc = 0; first; second } -> Some (first, second)
+          | _ -> None)
+        vs
+    in
+    Alcotest.(check (list (pair int int)))
+      "adjacent id-order pairs"
+      [ (0, 1); (1, 2) ]
+      (List.sort compare pairs));
+  (* equal starts, different finishes: the shorter interval sorts first
+     and the pair is still caught *)
+  let tasks2 = Array.init 2 (fun id -> Emts_ptg.Task.make ~id ~flop:1. ()) in
+  let g2 = Emts_ptg.Graph.of_tasks_and_edges tasks2 [] in
+  let s2 =
+    S.make ~platform_procs:1 [| entry 0 0. 2. [| 0 |]; entry 1 0. 1. [| 0 |] |]
+  in
+  match S.validate s2 ~graph:g2 with
+  | Error [ S.Overlap { proc = 0; first = 1; second = 0 } ] -> ()
+  | Ok () -> Alcotest.fail "equal-start overlap missed"
+  | Error vs ->
+    Alcotest.fail
+      (Format.asprintf "unexpected: %a"
+         (Format.pp_print_list S.pp_violation)
+         vs)
+
 let test_validate_allocation_mismatch () =
   let s =
     S.make ~platform_procs:2
@@ -309,6 +351,8 @@ let () =
           Alcotest.test_case "precedence violation" `Quick
             test_validate_precedence_violation;
           Alcotest.test_case "overlap" `Quick test_validate_overlap;
+          Alcotest.test_case "overlap with identical starts" `Quick
+            test_validate_overlap_identical_starts;
           Alcotest.test_case "allocation mismatch" `Quick
             test_validate_allocation_mismatch;
           Alcotest.test_case "adjacency is legal" `Quick

@@ -637,6 +637,37 @@ let run_serving () =
   Printf.printf "warm/cold median     %8.2fx\n"
     (cold_median /. Float.max warm_median 1e-9);
   Printf.printf "identical makespans  %b\n" (warm_makespan = !cold_makespan);
+  (* The same warm path under a seeded chaos plan: engine-level faults
+     (slow solves, crashed evaluations) are absorbed the way the daemon
+     absorbs them — teardown and recreate — and the instance must come
+     out computing the same makespan.  Networked sites in the generated
+     plan (socket stalls, durable writes) have no call sites at this
+     level and stay dormant. *)
+  let fault_n = 8 in
+  let plan = Emts_fault.Plan.generate ~seed:0xC4A05 () in
+  let chaos_engine = ref (Engine.create ~pool_domains ~caches ()) in
+  let crashes = ref 0 in
+  Emts_fault.arm plan;
+  let storm_t0 = Emts_obs.Clock.now () in
+  for _ = 1 to fault_n do
+    match Engine.handle !chaos_engine req ~deadline:None with
+    | Ok _ | Error _ -> ()
+    | exception _ ->
+      incr crashes;
+      (try Engine.shutdown !chaos_engine with _ -> ());
+      chaos_engine := Engine.create ~pool_domains ~caches ()
+  done;
+  let storm_s = Emts_obs.Clock.elapsed ~since:storm_t0 in
+  let eval_fires = Emts_fault.hits Emts_fault.Site.Worker_eval in
+  Emts_fault.disarm ();
+  let _, post_makespan =
+    Fun.protect
+      ~finally:(fun () -> Engine.shutdown !chaos_engine)
+      (fun () -> handle !chaos_engine)
+  in
+  Printf.printf "chaos storm          %d requests, %d crashes absorbed, %.4f s\n"
+    fault_n !crashes storm_s;
+  Printf.printf "post-storm identical %b\n" (post_makespan = warm_makespan);
   match Sys.getenv_opt "BENCH_SERVE_JSON" with
   | Some "" -> ()
   | serve_json ->
@@ -664,6 +695,22 @@ let run_serving () =
           ( "speedup_median",
             Json.float (cold_median /. Float.max warm_median 1e-9) );
           ("makespans_identical", Json.Bool (warm_makespan = !cold_makespan));
+          ( "faults",
+            Json.Obj
+              [
+                ( "plan_seed",
+                  Json.Num (float_of_int plan.Emts_fault.Plan.seed) );
+                ( "plan_events",
+                  Json.Num
+                    (float_of_int (List.length plan.Emts_fault.Plan.events))
+                );
+                ("requests", Json.Num (float_of_int fault_n));
+                ("crashes_absorbed", Json.Num (float_of_int !crashes));
+                ("eval_fires", Json.Num (float_of_int eval_fires));
+                ("storm_s", Json.float storm_s);
+                ( "post_storm_identical",
+                  Json.Bool (post_makespan = warm_makespan) );
+              ] );
         ]
     in
     Emts_resilience.write_string ~path (Json.to_string doc);
@@ -689,8 +736,12 @@ let () =
   | Some "delta" ->
     run_delta_speedup ();
     write_metrics_json metrics_json
+  | Some "serve" ->
+    run_serving ();
+    write_metrics_json metrics_json
   | Some other when other <> "" ->
-    Printf.eprintf "unknown BENCH_ONLY=%s (known: alloc-gate, delta)\n" other;
+    Printf.eprintf "unknown BENCH_ONLY=%s (known: alloc-gate, delta, serve)\n"
+      other;
     exit 2
   | _ ->
     rule "Micro-benchmarks (Bechamel): one per table/figure code path";

@@ -115,6 +115,10 @@ type tally = {
   mutable ok : int;
   mutable rejected : int;
   mutable errors : int;
+  mutable retried : int;  (** retry attempts performed (not requests) *)
+  mutable shed : int;
+      (** [overloaded] replies carrying a [retry_after_ms] hint — the
+          server's adaptive shedding, as opposed to a plain full queue *)
   mutable latencies : float list;
 }
 
@@ -125,6 +129,28 @@ let record t outcome latency =
   | `Rejected -> t.rejected <- t.rejected + 1
   | `Error -> t.errors <- t.errors + 1);
   Mutex.unlock t.lock
+
+let count_retry t = Mutex.lock t.lock; t.retried <- t.retried + 1; Mutex.unlock t.lock
+let count_shed t = Mutex.lock t.lock; t.shed <- t.shed + 1; Mutex.unlock t.lock
+
+(* Capped exponential backoff with deterministic jitter.  The server's
+   [retry_after_ms] hint, when present, acts as a floor: the daemon
+   computed it from its own queue-wait percentiles, so sleeping less
+   just earns another shed. *)
+type retry_policy = { max_retries : int; base_s : float; cap_s : float }
+
+let backoff_delay policy rng ~attempt ~retry_after_ms =
+  let exp_s =
+    Float.min policy.cap_s
+      (policy.base_s *. Float.pow 2. (float_of_int attempt))
+  in
+  let jitter = Emts_prng.float_in rng 0. (0.5 *. exp_s) in
+  let floor_s =
+    match retry_after_ms with
+    | Some ms -> float_of_int ms /. 1000.
+    | None -> 0.
+  in
+  Float.max floor_s (exp_s +. jitter)
 
 (* ------------------------------------------------------------------ *)
 (* Single-shot probes *)
@@ -179,6 +205,15 @@ let run_stats ~socket ~tcp =
       match roundtrip fd (Protocol.Request.Stats { id = J.Str "loadgen" }) with
       | Ok (Protocol.Response.Stats { stats; _ }) ->
         print_endline (J.to_string stats);
+        Ok ()
+      | Ok _ -> Error "unexpected response verb"
+      | Error m -> Error m)
+
+let run_health ~socket ~tcp =
+  with_conn ~socket ~tcp (fun fd ->
+      match roundtrip fd (Protocol.Request.Health { id = J.Str "loadgen" }) with
+      | Ok (Protocol.Response.Health { live; ready; draining; _ }) ->
+        Printf.printf "live=%b ready=%b draining=%b\n" live ready draining;
         Ok ()
       | Ok _ -> Error "unexpected response verb"
       | Error m -> Error m)
@@ -262,34 +297,50 @@ let fetch_server_phases ~socket ~tcp =
   | exception _ -> []
 
 let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
-    ~requests ~deadline_s ~budget_s ~json =
+    ~requests ~deadline_s ~budget_s ~retry ~json =
   if rate <= 0. then Error "--rate must be positive"
   else begin
     let corpus = Array.of_list corpus in
     let tally =
       { lock = Mutex.create (); ok = 0; rejected = 0; errors = 0;
-        latencies = [] }
+        retried = 0; shed = 0; latencies = [] }
     in
     let start = Emts_obs.Clock.now () in
     let fire k =
       let ptg = corpus.(k mod Array.length corpus) in
-      let trace_id, ctx = client_ctx () in
+      let rng = Emts_prng.create ~seed:(seed + (104729 * k)) () in
       let sent = Emts_obs.Clock.now () in
-      match
-        with_client_span ctx ~k (fun () ->
-            with_conn ~socket ~tcp (fun fd ->
-                roundtrip fd
-                  (request_of ~trace_id ~ptg ~platform ~model ~algorithm
-                     ~seed:(seed + k) ~deadline_s ~budget_s)))
-      with
-      | Ok (Protocol.Response.Schedule_result _) ->
-        record tally `Ok (Emts_obs.Clock.now () -. sent)
-      | Ok (Protocol.Response.Error { code; _ })
-        when code = Protocol.Error_code.overloaded
-             || code = Protocol.Error_code.draining ->
-        record tally `Rejected 0.
-      | Ok _ | Error _ -> record tally `Error 0.
-      | exception _ -> record tally `Error 0.
+      (* Latency of a retried request spans all its attempts, backoff
+         included: that is what the caller of a self-retrying client
+         experiences. *)
+      let rec attempt n =
+        let trace_id, ctx = client_ctx () in
+        match
+          with_client_span ctx ~k (fun () ->
+              with_conn ~socket ~tcp (fun fd ->
+                  roundtrip fd
+                    (request_of ~trace_id ~ptg ~platform ~model ~algorithm
+                       ~seed:(seed + k) ~deadline_s ~budget_s)))
+        with
+        | Ok (Protocol.Response.Schedule_result _) ->
+          record tally `Ok (Emts_obs.Clock.now () -. sent)
+        | Ok (Protocol.Response.Error { code; retry_after_ms; _ })
+          when code = Protocol.Error_code.overloaded ->
+          if retry_after_ms <> None then count_shed tally;
+          if n < retry.max_retries then begin
+            count_retry tally;
+            Thread.delay (backoff_delay retry rng ~attempt:n ~retry_after_ms);
+            attempt (n + 1)
+          end
+          else record tally `Rejected 0.
+        | Ok (Protocol.Response.Error { code; _ })
+          when code = Protocol.Error_code.draining ->
+          (* The server is going away; retrying against it is noise. *)
+          record tally `Rejected 0.
+        | Ok _ | Error _ -> record tally `Error 0.
+        | exception _ -> record tally `Error 0.
+      in
+      attempt 0
     in
     (* Open loop: launch request [k] at [start + k/rate] whether or not
        earlier requests have completed. *)
@@ -311,8 +362,11 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
       if Array.length latencies = 0 then 0. else percentile latencies q
     in
     let throughput = if wall > 0. then float_of_int tally.ok /. wall else 0. in
-    Printf.printf "requests=%d ok=%d rejected=%d errors=%d wall_s=%.3f\n"
-      requests tally.ok tally.rejected tally.errors wall;
+    Printf.printf
+      "requests=%d ok=%d rejected=%d errors=%d retried=%d shed=%d \
+       wall_s=%.3f\n"
+      requests tally.ok tally.rejected tally.errors tally.retried tally.shed
+      wall;
     Printf.printf "throughput=%.2f req/s\n" throughput;
     Printf.printf "latency_s p50=%.6f p95=%.6f p99=%.6f\n" (quant 0.5)
       (quant 0.95) (quant 0.99);
@@ -351,6 +405,8 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
              ("ok", J.Num (float_of_int tally.ok));
              ("rejected", J.Num (float_of_int tally.rejected));
              ("errors", J.Num (float_of_int tally.errors));
+             ("retried", J.Num (float_of_int tally.retried));
+             ("shed", J.Num (float_of_int tally.shed));
              ("rate_rps", J.float rate);
              ("wall_s", J.float wall);
              ("throughput_rps", J.float throughput);
@@ -395,6 +451,9 @@ let mode_arg =
           (`Metrics, info [ "metrics" ]
              ~doc:"Fetch and print the server's OpenMetrics text \
                    exposition (the $(b,metrics) protocol verb).");
+          (`Health, info [ "health" ]
+             ~doc:"Query the $(b,health) protocol verb and print the \
+                   live/ready/draining triple.");
           (`Malformed, info [ "malformed" ]
              ~doc:"Send a corrupt frame and report the server's reaction.");
           (`Hangup, info [ "hangup" ]
@@ -464,6 +523,28 @@ let budget_arg =
     & opt (some float) None
     & info [ "budget" ] ~docv:"S" ~doc:"Per-request EA solve-time budget.")
 
+let retry_max_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry-max" ] ~docv:"N"
+        ~doc:"Retry $(b,overloaded) rejections up to $(docv) times per \
+              request with capped exponential backoff and jitter, \
+              honouring the server's $(b,retry_after_ms) hint as a \
+              floor.  0 (the default) disables retries; rejections are \
+              then terminal and counted as such.")
+
+let retry_base_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "retry-base" ] ~docv:"S"
+        ~doc:"Backoff before retry $(i,n) is \
+              min(cap, $(docv)·2^$(i,n)) plus up to 50% jitter.")
+
+let retry_cap_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "retry-cap" ] ~docv:"S" ~doc:"Backoff ceiling in seconds.")
+
 let json_arg =
   Arg.(
     value
@@ -486,7 +567,8 @@ let trace_arg =
            trace_id.")
 
 let run mode socket connect ptg_files corpus_n tasks platform model algorithm
-    seed rate requests deadline_s budget_s json trace =
+    seed rate requests deadline_s budget_s retry_max retry_base retry_cap
+    json trace =
   let ( let* ) = Result.bind in
   let* tcp =
     match connect with
@@ -533,6 +615,7 @@ let run mode socket connect ptg_files corpus_n tasks platform model algorithm
         | `Ping -> run_ping ~socket ~tcp
         | `Stats -> run_stats ~socket ~tcp
         | `Metrics -> run_metrics ~socket ~tcp
+        | `Health -> run_health ~socket ~tcp
         | `Malformed -> run_malformed ~socket ~tcp
         | `Hangup ->
           run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
@@ -540,8 +623,15 @@ let run mode socket connect ptg_files corpus_n tasks platform model algorithm
           run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
             ~deadline_s ~budget_s
         | `Load ->
+          let retry =
+            {
+              max_retries = max 0 retry_max;
+              base_s = Float.max 0.001 retry_base;
+              cap_s = Float.max 0.001 retry_cap;
+            }
+          in
           run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
-            ~rate ~requests ~deadline_s ~budget_s ~json
+            ~rate ~requests ~deadline_s ~budget_s ~retry ~json
       with
       | Unix.Unix_error (e, fn, arg) ->
         Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
@@ -559,6 +649,7 @@ let () =
         (const run $ mode_arg $ socket_arg $ connect_arg $ ptg_arg
        $ corpus_arg $ tasks_arg $ platform_arg $ model_arg $ algorithm_arg
        $ seed_arg $ rate_arg $ requests_arg $ deadline_arg $ budget_arg
-       $ json_arg $ trace_arg))
+       $ retry_max_arg $ retry_base_arg $ retry_cap_arg $ json_arg
+       $ trace_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -68,6 +68,36 @@ let cache_instances_arg =
     & info [ "cache-instances" ] ~docv:"N"
         ~doc:"Bound on distinct scheduling instances cached at once.")
 
+let watchdog_grace_arg =
+  Arg.(
+    value & opt float Server.default.Server.watchdog_grace
+    & info [ "watchdog-grace" ] ~docv:"SECONDS"
+        ~doc:"Answer a request $(b,deadline_exceeded) once it is $(docv) \
+              seconds past its deadline with no reply yet — a solve stuck \
+              inside one evaluation cannot hang its client.")
+
+let shed_budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "shed-budget" ] ~docv:"SECONDS"
+        ~doc:"Adaptive load shedding: when the p95 of recent \
+              admission-queue waits exceeds $(docv) seconds, refuse new \
+              schedule requests with $(b,overloaded) plus a \
+              $(b,retry_after_ms) hint instead of queueing them into \
+              certain death.  Unset disables shedding.")
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"FILE"
+        ~doc:"Arm the deterministic fault-injection plan in $(docv) \
+              (single-line JSON, as produced by the chaos tooling) before \
+              serving.  Testing only: injects worker crashes, stalls and \
+              I/O errors at named sites to exercise the self-healing \
+              paths.")
+
 let metrics_json_arg =
   Arg.(
     value
@@ -125,8 +155,8 @@ let parse_hostport ~flag spec =
 let parse_listen = parse_hostport ~flag:"--listen"
 
 let run socket listen metrics_listen workers pool_domains queue_capacity
-    max_frame cache_capacity cache_instances metrics_json trace flight
-    gc_profile =
+    max_frame cache_capacity cache_instances watchdog_grace shed_budget
+    fault_plan metrics_json trace flight gc_profile =
   let ( let* ) = Result.bind in
   let* tcp =
     match listen with
@@ -150,7 +180,26 @@ let run socket listen metrics_listen workers pool_domains queue_capacity
       max_frame;
       cache_capacity;
       cache_instances;
+      watchdog_grace;
+      shed_budget;
     }
+  in
+  let* () =
+    match fault_plan with
+    | None -> Ok ()
+    | Some path -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error m ->
+        Error (Printf.sprintf "cannot read fault plan: %s" m)
+      | text -> (
+        match Emts_fault.Plan.of_string (String.trim text) with
+        | Error m -> Error (Printf.sprintf "--fault-plan %s: %s" path m)
+        | Ok plan ->
+          Emts_fault.arm plan;
+          Printf.eprintf "fault plan armed: %d events (seed %d)\n%!"
+            (List.length plan.Emts_fault.Plan.events)
+            plan.Emts_fault.Plan.seed;
+          Ok ()))
   in
   Emts_resilience.Shutdown.install ();
   let* () =
@@ -217,7 +266,8 @@ let () =
       term_result'
         (const run $ socket_arg $ listen_arg $ metrics_listen_arg
        $ workers_arg $ pool_domains_arg $ queue_arg $ max_frame_arg
-       $ cache_capacity_arg $ cache_instances_arg $ metrics_json_arg
+       $ cache_capacity_arg $ cache_instances_arg $ watchdog_grace_arg
+       $ shed_budget_arg $ fault_plan_arg $ metrics_json_arg
        $ trace_arg $ flight_arg $ gc_profile_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -22,17 +22,23 @@ let save ~dir ~oracle ~detail (s : Scenario.t) =
   let ptg_file = stem ^ ".ptg" in
   Emts_resilience.write_string ~path:(Filename.concat dir ptg_file) ptg_text;
   let json_path = Filename.concat dir (stem ^ ".json") in
+  let fault_field =
+    match s.Scenario.fault_plan with
+    | None -> []
+    | Some plan -> [ ("fault_plan", Emts_fault.Plan.to_json plan) ]
+  in
   Emts_resilience.write_string ~path:json_path
     (J.to_string
        (J.Obj
-          [
-            ("oracle", J.Str oracle);
-            ("ptg", J.Str ptg_file);
-            ("procs", J.Num (float_of_int s.Scenario.procs));
-            ("model", J.Str s.Scenario.model);
-            ("seed", J.Num (float_of_int s.Scenario.seed));
-            ("detail", J.Str detail);
-          ]));
+          ([
+             ("oracle", J.Str oracle);
+             ("ptg", J.Str ptg_file);
+             ("procs", J.Num (float_of_int s.Scenario.procs));
+             ("model", J.Str s.Scenario.model);
+             ("seed", J.Num (float_of_int s.Scenario.seed));
+             ("detail", J.Str detail);
+           ]
+          @ fault_field)));
   json_path
 
 let field name conv json =
@@ -69,11 +75,25 @@ let load path =
       Filename.concat (Filename.dirname path) ptg_file
     else ptg_file
   in
+  let* fault_plan =
+    match J.member "fault_plan" json with
+    | None -> Ok None
+    | Some v ->
+      Result.map Option.some
+        (Result.map_error
+           (fun m -> Printf.sprintf "invalid fault_plan: %s" m)
+           (Emts_fault.Plan.of_json v))
+  in
   let* graph =
     Result.map_error Emts_resilience.Error.to_string
       (Emts_ptg.Serial.load ptg_path)
   in
-  Ok { oracle; detail; scenario = { Scenario.graph; procs; model; seed } }
+  Ok
+    {
+      oracle;
+      detail;
+      scenario = { Scenario.graph; procs; model; seed; fault_plan };
+    }
 
 let replay path =
   let* r = load path in

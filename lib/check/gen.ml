@@ -114,9 +114,23 @@ let model_names = Array.of_list (List.map fst Scenario.models)
 
 let scenario rng =
   let g = graph rng in
+  (* Most scenarios leave the fault plan implicit (the chaos oracle
+     derives one from the seed); a quarter carry an explicit plan of
+     varied size so plan serialisation, replay and shrinking are
+     exercised on generated scenarios too, not only on shrunk ones. *)
+  let fault_plan =
+    if Emts_prng.bernoulli rng ~p:0.25 then
+      Some
+        (Emts_fault.Plan.generate
+           ~events:(Emts_prng.int_in rng 2 10)
+           ~seed:(Emts_prng.int rng 1_000_000_000)
+           ())
+    else None
+  in
   {
     Scenario.graph = g;
     procs = Emts_prng.choose rng platform_sizes;
     model = Emts_prng.choose rng model_names;
     seed = Emts_prng.int rng 1_000_000_000;
+    fault_plan;
   }

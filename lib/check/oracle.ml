@@ -801,6 +801,227 @@ let check_resilience (s : Scenario.t) =
       check_ptg_loader s rng)
 
 (* ------------------------------------------------------------------ *)
+(* (f) chaos: a live daemon under an armed deterministic fault plan
+   must never die, answer every accepted request with exactly one
+   valid typed reply, respawn crashed worker lanes (visible in the
+   metrics), keep shed requests retryable, and — once the storm has
+   passed — still compute bit-identical results. *)
+
+let counter_value name =
+  Option.value ~default:0 (Emts_obs.Metrics.find_counter name)
+
+(* Fault injection is process-global, so the chaos daemon is private
+   to each check (the warm [wire] daemon must never see an armed
+   plan), started fresh and drained before the check returns. *)
+let with_chaos_server (s : Scenario.t) f =
+  let sock =
+    Printf.sprintf "/tmp/emts-chaos-%d-%d.sock" (Unix.getpid ())
+      (s.Scenario.seed land 0xFFFF)
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let stop = Atomic.make false in
+  let outcome = ref (Ok ()) in
+  let thread =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Server.run
+            ~stop:(fun () -> Atomic.get stop)
+            {
+              Server.default with
+              Server.socket = Some sock;
+              workers = 1;
+              queue_capacity = 8;
+              watchdog_grace = 0.25;
+              shed_budget = Some 0.75;
+            })
+      ()
+  in
+  let deadline = Emts_obs.Clock.now () +. 10. in
+  while (not (Sys.file_exists sock)) && Emts_obs.Clock.now () < deadline do
+    Thread.delay 0.01
+  done;
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Emts_fault.disarm ();
+        Atomic.set stop true;
+        Thread.join thread;
+        if Sys.file_exists sock then Sys.remove sock)
+      (fun () -> f sock)
+  in
+  let* () = result in
+  match !outcome with
+  | Ok () -> Ok ()
+  | Error m -> fail "chaos: daemon exited with an error: %s" m
+
+let check_chaos (s : Scenario.t) =
+  let plan = Scenario.effective_fault_plan s in
+  with_chaos_server s @@ fun sock ->
+  let with_conn f =
+    let fd = wire_connect sock in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () -> f fd)
+  in
+  (* Models that cannot cross the wire fall back to the protocol
+     default; the post-storm reference below is built with whatever
+     model the daemon actually used. *)
+  let model_spec = Scenario.serve_model_spec s in
+  let schedule_frame k =
+    Protocol.encode_frame
+      (Protocol.Request.to_string
+         (Protocol.Request.Schedule
+            {
+              id = J.Str (Printf.sprintf "chaos%d" k);
+              req =
+                Protocol.Request.schedule ~algorithm:"mcpa"
+                  ?model:model_spec
+                  ~platform:(Emts_platform.to_string (Scenario.platform s))
+                  ~seed:s.Scenario.seed ~deadline_s:2.0
+                  ~ptg:(Emts_ptg.Serial.to_string s.Scenario.graph)
+                  ();
+            }))
+  in
+  (* One frame-sync probe doubles as the exactly-one-reply check: a
+     stray duplicate reply on the connection would be read here in
+     place of the pong. *)
+  let no_second_reply fd ~label =
+    match
+      wire_send fd
+        (Protocol.encode_frame
+           (Protocol.Request.to_string (Protocol.Request.Ping { id = J.Null })))
+    with
+    | `Peer_closed -> Ok ()
+    | `Sent -> (
+      match wire_reply fd with
+      | `Response (Protocol.Response.Pong _) -> Ok ()
+      | `Frame_error Protocol.Closed | `Peer_closed -> Ok ()
+      | `Timeout -> fail "%s: connection wedged after the reply" label
+      | `Response _ -> fail "%s: a second reply followed the first" label
+      | `Junk_response m -> fail "%s: undecodable second frame (%s)" label m
+      | `Frame_error e ->
+        fail "%s: frame error after the reply: %s" label
+          (Protocol.frame_error_to_string e))
+  in
+  let internal_replies = ref 0 in
+  (* Every request must end in exactly one valid typed reply.  Requests
+     the storm prevents from being admitted at all — a reader hangup
+     before the frame was parsed, a shed or overloaded rejection — are
+     retried: retryable-until-accepted is exactly the contract the
+     client backoff relies on. *)
+  let rec fire_request k ~attempts =
+    if attempts > 12 then
+      fail "request %d: still not accepted after 12 attempts" k
+    else
+      with_conn (fun fd ->
+          match wire_send fd (schedule_frame k) with
+          | `Peer_closed -> fire_request k ~attempts:(attempts + 1)
+          | `Sent -> (
+            match wire_reply fd with
+            | `Response (Protocol.Response.Schedule_result _) ->
+              no_second_reply fd ~label:(Printf.sprintf "request %d" k)
+            | `Response (Protocol.Response.Error { code; retry_after_ms; _ })
+              when code = Protocol.Error_code.overloaded ->
+              (* Shed or full queue: must be retryable as hinted. *)
+              Thread.delay
+                (match retry_after_ms with
+                | Some ms -> float_of_int ms /. 1000.
+                | None -> 0.05);
+              fire_request k ~attempts:(attempts + 1)
+            | `Response (Protocol.Response.Error { code; _ })
+              when code = Protocol.Error_code.internal ->
+              incr internal_replies;
+              no_second_reply fd ~label:(Printf.sprintf "request %d" k)
+            | `Response (Protocol.Response.Error { code; _ })
+              when code = Protocol.Error_code.deadline_exceeded ->
+              no_second_reply fd ~label:(Printf.sprintf "request %d" k)
+            | `Response (Protocol.Response.Error { code; message; _ }) ->
+              fail "request %d: unexpected typed error [%s]: %s" k code
+                message
+            | `Response _ -> fail "request %d: unexpected response verb" k
+            | `Junk_response m ->
+              fail "request %d: undecodable reply (%s)" k m
+            | `Frame_error _ ->
+              (* An injected reader hangup can kill the connection
+                 before the frame was parsed; the request was never
+                 accepted, so resending is the correct client move. *)
+              fire_request k ~attempts:(attempts + 1)
+            | `Timeout -> fail "request %d: no reply within 5s" k))
+  in
+  let injected_workers () =
+    counter_value "fault.injected.worker_eval"
+    + counter_value "fault.injected.pool_claim"
+  in
+  let internal0 = counter_value "serve.internal_errors_total" in
+  let respawn0 = counter_value "serve.worker_respawns_total" in
+  let crashes0 = injected_workers () in
+  Emts_fault.arm plan;
+  let storm =
+    let rec go k =
+      if k >= 8 then Ok ()
+      else
+        let* () = fire_request k ~attempts:0 in
+        go (k + 1)
+    in
+    go 0
+  in
+  Emts_fault.disarm ();
+  let* () = storm in
+  (* Self-healing bookkeeping: every injected worker crash became a
+     typed internal_error and a respawned engine, nothing more and
+     nothing less; the replies we saw are a subset (a watchdog may
+     have answered first). *)
+  let crashes = injected_workers () - crashes0 in
+  let internal = counter_value "serve.internal_errors_total" - internal0 in
+  let respawns = counter_value "serve.worker_respawns_total" - respawn0 in
+  let* () =
+    if internal <> crashes then
+      fail "chaos: %d injected worker crashes but %d internal errors"
+        crashes internal
+    else if respawns <> crashes then
+      fail "chaos: %d injected worker crashes but %d lane respawns" crashes
+        respawns
+    else if !internal_replies > internal then
+      fail "chaos: %d internal_error replies exceed the %d recorded errors"
+        !internal_replies internal
+    else Ok ()
+  in
+  (* Post-storm determinism: with the plan disarmed, the survivor must
+     compute the same answer as a fresh, never-faulted engine. *)
+  let ctx =
+    match model_spec with
+    | Some _ -> ctx_of s
+    | None ->
+      Emts_alloc.Common.make_ctx ~model:Emts_model.amdahl
+        ~platform:(Scenario.platform s) ~graph:s.Scenario.graph
+  in
+  let expected_alloc = Emts_alloc.Mcpa.allocate ctx in
+  let expected_makespan =
+    Schedule.makespan (Alg.schedule_allocation ~ctx expected_alloc)
+  in
+  with_conn (fun fd ->
+      match wire_send fd (schedule_frame 999) with
+      | `Peer_closed -> fail "chaos: daemon closed a post-storm connection"
+      | `Sent -> (
+        match wire_reply fd with
+        | `Response (Protocol.Response.Schedule_result r) ->
+          if not (float_eq r.Protocol.Response.makespan expected_makespan)
+          then
+            fail "chaos: post-storm makespan %.17g <> fresh %.17g"
+              r.Protocol.Response.makespan expected_makespan
+          else if r.Protocol.Response.alloc <> expected_alloc then
+            fail "chaos: post-storm allocation differs from a fresh engine"
+          else Ok ()
+        | `Response (Protocol.Response.Error { code; message; _ }) ->
+          fail "chaos: post-storm request rejected [%s]: %s" code message
+        | `Response _ -> fail "chaos: unexpected post-storm response verb"
+        | `Junk_response m -> fail "chaos: undecodable post-storm reply (%s)" m
+        | `Frame_error e ->
+          fail "chaos: post-storm %s" (Protocol.frame_error_to_string e)
+        | `Timeout -> fail "chaos: post-storm request unanswered within 5s"))
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -842,6 +1063,16 @@ let all =
         "corrupt or truncated journals, checkpoints and .ptg files are \
          cleanly rejected or torn-tail-truncated, never misread";
       check = check_resilience;
+    };
+    {
+      name = "chaos";
+      doc =
+        "a live daemon under a seeded fault plan (worker crashes, \
+         stalls, hangups, I/O errors) never dies, answers every \
+         accepted request exactly once with a typed reply, respawns \
+         crashed lanes, keeps shed requests retryable, and computes \
+         bit-identical results once the storm passes";
+      check = check_chaos;
     };
   ]
 

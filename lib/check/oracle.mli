@@ -22,7 +22,13 @@
       closes, and the daemon stays alive;
     - [resilience] — truncated or corrupted journals, checkpoints and
       [.ptg] files are cleanly rejected or torn-tail-truncated, never
-      silently misread or crash-inducing. *)
+      silently misread or crash-inducing;
+    - [chaos] — a private live daemon under an armed deterministic
+      fault plan ({!Emts_fault}) never dies, answers every accepted
+      request with exactly one valid typed reply, respawns crashed
+      worker lanes (metrics-visible), keeps shed requests retryable,
+      and answers a post-storm request bit-identically to a fresh
+      engine. *)
 
 type t = {
   name : string;

@@ -3,6 +3,7 @@ type t = {
   procs : int;
   model : string;
   seed : int;
+  fault_plan : Emts_fault.Plan.t option;
 }
 
 (* A non-monotone empirical table: going from 2 to 3 processors or from
@@ -43,6 +44,23 @@ let serve_model_spec t =
   | "table" -> Some (Emts_model.Empirical.to_string zigzag_table)
   | _ -> None
 
+(* The chaos oracle's plan: the explicit one when the scenario carries
+   it (a shrunk or replayed repro), else derived from the scenario seed
+   so a bare seed still determines the whole storm. *)
+let effective_fault_plan t =
+  match t.fault_plan with
+  | Some plan -> plan
+  | None ->
+    Emts_fault.Plan.generate
+      ~seed:(Emts_prng.seed_of_label (Printf.sprintf "chaos/%d" t.seed))
+      ()
+
 let describe t =
-  Format.asprintf "%a | procs=%d model=%s seed=%d" Emts_ptg.Graph.pp_stats
+  Format.asprintf "%a | procs=%d model=%s seed=%d%s" Emts_ptg.Graph.pp_stats
     t.graph t.procs t.model t.seed
+    (match t.fault_plan with
+    | None -> ""
+    | Some p ->
+      Printf.sprintf " faults=%d(seed %d)"
+        (List.length p.Emts_fault.Plan.events)
+        p.Emts_fault.Plan.seed)

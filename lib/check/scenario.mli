@@ -14,6 +14,9 @@ type t = {
       (** per-scenario seed: every oracle derives its internal
           randomness (EA runs, corruption offsets, bit flips) from it,
           so a replayed scenario re-runs identically *)
+  fault_plan : Emts_fault.Plan.t option;
+      (** explicit fault plan for the chaos oracle ([None]: derive one
+          from [seed]); carried so a shrunk plan persists and replays *)
 }
 
 val models : (string * Emts_model.t) list
@@ -30,6 +33,12 @@ val model : t -> Emts_model.t
 
 val platform : t -> Emts_platform.t
 (** A [procs]-processor unit-speed platform. *)
+
+val effective_fault_plan : t -> Emts_fault.Plan.t
+(** The plan the chaos oracle arms: [fault_plan] when set, else one
+    generated deterministically from the scenario seed — so a bare
+    seed still determines the entire storm, and a shrunk explicit
+    plan overrides it. *)
 
 val serve_model_spec : t -> string option
 (** The model as an [Emts_serve] request field — a preset name or an

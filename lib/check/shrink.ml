@@ -34,7 +34,20 @@ let candidates (s : Scenario.t) =
       [ { s with Scenario.procs = 1 }; { s with Scenario.procs = s.Scenario.procs / 2 } ]
     else []
   in
-  halves @ minus_one @ fewer_edges @ smaller_platform
+  (* Fault plans shrink too: drop events, halve delays.  An implicit
+     plan (derived from the seed) is first materialised — a no-op
+     behaviourally, so the candidate fails iff the original does — and
+     then shrinks on later rounds. *)
+  let smaller_plan =
+    match s.Scenario.fault_plan with
+    | Some plan ->
+      List.map
+        (fun p -> { s with Scenario.fault_plan = Some p })
+        (Emts_fault.Plan.shrink_candidates plan)
+    | None ->
+      [ { s with Scenario.fault_plan = Some (Scenario.effective_fault_plan s) } ]
+  in
+  halves @ minus_one @ fewer_edges @ smaller_platform @ smaller_plan
 
 let shrink ~oracle s =
   let fails c = Result.is_error (Oracle.run oracle c) in

@@ -1,0 +1,262 @@
+module J = Emts_resilience.Json
+
+module Site = struct
+  type t =
+    | Worker_eval
+    | Pool_claim
+    | Solve
+    | Sock_read
+    | Sock_write
+    | File_write
+    | Queue_poll
+
+  let all =
+    [ Worker_eval; Pool_claim; Solve; Sock_read; Sock_write; File_write;
+      Queue_poll ]
+
+  let to_string = function
+    | Worker_eval -> "worker_eval"
+    | Pool_claim -> "pool_claim"
+    | Solve -> "solve"
+    | Sock_read -> "sock_read"
+    | Sock_write -> "sock_write"
+    | File_write -> "file_write"
+    | Queue_poll -> "queue_poll"
+
+  let of_string = function
+    | "worker_eval" -> Ok Worker_eval
+    | "pool_claim" -> Ok Pool_claim
+    | "solve" -> Ok Solve
+    | "sock_read" -> Ok Sock_read
+    | "sock_write" -> Ok Sock_write
+    | "file_write" -> Ok File_write
+    | "queue_poll" -> Ok Queue_poll
+    | s -> Error (Printf.sprintf "unknown fault site %S" s)
+
+  let index = function
+    | Worker_eval -> 0
+    | Pool_claim -> 1
+    | Solve -> 2
+    | Sock_read -> 3
+    | Sock_write -> 4
+    | File_write -> 5
+    | Queue_poll -> 6
+
+  let count = List.length all
+end
+
+exception Injected of string
+
+type action =
+  | Raise
+  | Delay of float
+  | Io_error of string
+  | Hangup
+
+(* Per-site injection counters, registered up front so a chaos run can
+   diff them before/after the storm even for sites that never fired. *)
+let m_injected =
+  Array.of_list
+    (List.map
+       (fun site ->
+         Emts_obs.Metrics.counter
+           ~help:"faults actually performed at this site"
+           ("fault.injected." ^ Site.to_string site))
+       Site.all)
+
+module Plan = struct
+  type event = { site : Site.t; nth : int; action : action }
+  type t = { seed : int; events : event list }
+
+  let empty = { seed = 0; events = [] }
+
+  (* Per-site action realism (see the .mli): a raising socket write
+     would silently eat a reply and make the exactly-one-reply chaos
+     invariant unobservable from the client, so writes only stall. *)
+  let action_for rng site =
+    let delay () = Delay (Emts_prng.float_in rng 0.02 0.2) in
+    match (site : Site.t) with
+    | Worker_eval | Pool_claim -> Raise
+    | Solve | Queue_poll | Sock_write -> delay ()
+    | Sock_read -> if Emts_prng.bool rng then delay () else Hangup
+    | File_write ->
+      Io_error (if Emts_prng.bool rng then "ENOSPC" else "EIO")
+
+  (* Weighted site pick: the crash/slow paths the daemon must heal from
+     dominate; file writes are rare in a serving run, so keep them
+     rare in plans too. *)
+  let sites =
+    [| Site.Worker_eval; Site.Worker_eval; Site.Solve; Site.Solve;
+       Site.Sock_read; Site.Sock_write; Site.Queue_poll; Site.Pool_claim;
+       Site.File_write |]
+
+  let generate ?(events = 6) ~seed () =
+    let rng = Emts_prng.create ~seed () in
+    let events =
+      List.init events (fun _ ->
+          let site = Emts_prng.choose rng sites in
+          { site; nth = Emts_prng.int rng 4; action = action_for rng site })
+    in
+    { seed; events }
+
+  let action_to_json = function
+    | Raise -> [ ("action", J.Str "raise") ]
+    | Delay s -> [ ("action", J.Str "delay"); ("seconds", J.float s) ]
+    | Io_error e -> [ ("action", J.Str "io_error"); ("errno", J.Str e) ]
+    | Hangup -> [ ("action", J.Str "hangup") ]
+
+  let to_json t =
+    J.Obj
+      [
+        ("seed", J.Num (float_of_int t.seed));
+        ( "events",
+          J.List
+            (List.map
+               (fun e ->
+                 J.Obj
+                   ([
+                      ("site", J.Str (Site.to_string e.site));
+                      ("nth", J.Num (float_of_int e.nth));
+                    ]
+                   @ action_to_json e.action))
+               t.events) );
+      ]
+
+  let ( let* ) = Result.bind
+
+  let field name conv json =
+    match J.member name json with
+    | None -> Error (Printf.sprintf "missing field %S" name)
+    | Some v ->
+      Result.map_error (fun m -> Printf.sprintf "field %S: %s" name m) (conv v)
+
+  let action_of_json json =
+    let* kind = field "action" J.to_str json in
+    match kind with
+    | "raise" -> Ok Raise
+    | "delay" ->
+      let* s = field "seconds" J.to_float json in
+      if s >= 0. && Float.is_finite s then Ok (Delay s)
+      else Error "field \"seconds\": must be a finite non-negative number"
+    | "io_error" ->
+      let* e = field "errno" J.to_str json in
+      Ok (Io_error e)
+    | "hangup" -> Ok Hangup
+    | k -> Error (Printf.sprintf "unknown fault action %S" k)
+
+  let of_json json =
+    let* seed = field "seed" J.to_int json in
+    let* events = field "events" J.to_list json in
+    let* events =
+      List.fold_left
+        (fun acc ej ->
+          let* acc = acc in
+          let* site = field "site" (fun j -> Result.bind (J.to_str j) Site.of_string) ej in
+          let* nth = field "nth" J.to_int ej in
+          let* () = if nth >= 0 then Ok () else Error "field \"nth\": must be >= 0" in
+          let* action = action_of_json ej in
+          Ok ({ site; nth; action } :: acc))
+        (Ok []) events
+      |> Result.map List.rev
+    in
+    Ok { seed; events }
+
+  let to_string t = J.to_string (to_json t)
+
+  let of_string s =
+    let* json =
+      Result.map_error (fun m -> "invalid JSON: " ^ m) (J.of_string s)
+    in
+    of_json json
+
+  let shrink_candidates t =
+    let n = List.length t.events in
+    let drop i =
+      { t with events = List.filteri (fun j _ -> j <> i) t.events }
+    in
+    let dropped = List.init n drop in
+    let softened =
+      List.filter_map
+        (fun i ->
+          match List.nth t.events i with
+          | { action = Delay s; _ } as e when s >= 0.005 ->
+            Some
+              {
+                t with
+                events =
+                  List.mapi
+                    (fun j e' ->
+                      if j = i then { e with action = Delay (s /. 2.) } else e')
+                    t.events;
+              }
+          | _ -> None)
+        (List.init n Fun.id)
+    in
+    dropped @ softened
+end
+
+(* ------------------------------------------------------------------ *)
+(* Runtime: the armed plan plus per-site hit counters.  [fire] on the
+   disarmed path is a single [Atomic.get] returning [None] — no
+   allocation, no closure — which is what keeps the hooks free on the
+   fitness hot path. *)
+
+type live = { plan : Plan.t; counts : int Atomic.t array }
+
+let state : live option Atomic.t = Atomic.make None
+
+let errno_of = function
+  | "ENOSPC" -> Unix.ENOSPC
+  | "EIO" -> Unix.EIO
+  | "ECONNRESET" -> Unix.ECONNRESET
+  | "EPIPE" -> Unix.EPIPE
+  | "EAGAIN" -> Unix.EAGAIN
+  | _ -> Unix.EIO
+
+let perform site action =
+  Emts_obs.Metrics.incr m_injected.(Site.index site);
+  match action with
+  | Raise -> raise (Injected (Site.to_string site))
+  | Delay s -> if s > 0. then Unix.sleepf s
+  | Io_error e ->
+    raise (Unix.Unix_error (errno_of e, "emts_fault", Site.to_string site))
+  | Hangup ->
+    raise (Unix.Unix_error (Unix.ECONNRESET, "emts_fault", Site.to_string site))
+
+let fire_armed l site =
+  let n = Atomic.fetch_and_add l.counts.(Site.index site) 1 in
+  List.iter
+    (fun (e : Plan.event) ->
+      if e.site = site && e.nth = n then perform site e.action)
+    l.plan.events
+
+let fire site =
+  match Atomic.get state with None -> () | Some l -> fire_armed l site
+
+let arm plan =
+  Atomic.set state
+    (Some { plan; counts = Array.init Site.count (fun _ -> Atomic.make 0) });
+  (* File_write events inject through the resilience hook, so the
+     fault library stays out of write_file's signature (and out of
+     resilience's dependency cone). *)
+  Emts_resilience.set_write_fault (Some (fun _path -> fire Site.File_write))
+
+let disarm () =
+  Atomic.set state None;
+  Emts_resilience.set_write_fault None
+
+let active () = Atomic.get state <> None
+
+let hits site =
+  match Atomic.get state with
+  | None -> 0
+  | Some l -> Atomic.get l.counts.(Site.index site)
+
+let injected_total () =
+  List.fold_left
+    (fun acc site ->
+      acc
+      + Option.value ~default:0
+          (Emts_obs.Metrics.find_counter
+             ("fault.injected." ^ Site.to_string site)))
+    0 Site.all

@@ -1,0 +1,117 @@
+(** Deterministic fault injection.
+
+    A {e fault plan} is a seeded, finite list of events, each naming an
+    {e injection site} (a place in the stack that calls {!fire}), the
+    ordinal hit at that site it applies to, and an action (raise, delay,
+    I/O error, hangup).  Arming a plan makes the named hits misbehave;
+    everything else — and everything when no plan is armed — runs
+    untouched.  The whole subsystem is built so the daemon's
+    self-healing paths (worker crash isolation, watchdogs, load
+    shedding, durable-write error handling) can be driven from a single
+    integer seed and replayed exactly.
+
+    Cost contract: {!fire} on the disarmed fast path is one [Atomic.get]
+    and a branch — no allocation, no closure — so it is safe on the
+    allocation-free fitness hot path ([BENCH_ONLY=alloc-gate] holds with
+    the hooks compiled in).
+
+    Plans serialise to single-line JSON (via {!Emts_resilience.Json}),
+    so a failing chaos run persists its plan next to the [.ptg] repro
+    and replays bit-identically. *)
+
+(** Injection sites.  Each constructor corresponds to one or more
+    {!fire} call sites in the stack; see DESIGN.md §15 for the catalog
+    of what each fault becomes at the wire. *)
+module Site : sig
+  type t =
+    | Worker_eval  (** one fitness evaluation inside the pool worker *)
+    | Pool_claim  (** the chunk-claim step of a pool worker *)
+    | Solve  (** the engine's solve phase, before the EA starts *)
+    | Sock_read  (** the connection reader, before each frame read *)
+    | Sock_write  (** the reply writer, before each frame write *)
+    | File_write  (** {!Emts_resilience.write_file}, before the write *)
+    | Queue_poll  (** a serve worker polling the admission queue *)
+
+  val all : t list
+  val to_string : t -> string
+
+  val of_string : string -> (t, string) result
+  (** Inverse of {!to_string}; [Error] names the unknown site. *)
+
+  val index : t -> int
+  (** Dense index in [0 .. List.length all - 1]. *)
+end
+
+exception Injected of string
+(** The exception raised by a [Raise] action; the payload names the
+    site.  Handlers that must distinguish injected faults from organic
+    ones (tests, the chaos oracle) match on it; production code treats
+    it like any other exception. *)
+
+(** What an armed event does at its site. *)
+type action =
+  | Raise  (** raise {!Injected} *)
+  | Delay of float  (** sleep that many seconds (a slow / hung phase) *)
+  | Io_error of string
+      (** raise [Unix_error] with that error name ([ENOSPC], [EIO],
+          [ECONNRESET], ...) — a disk-full write, a reset socket *)
+  | Hangup  (** raise [Unix_error (ECONNRESET, _, _)] — peer vanished *)
+
+module Plan : sig
+  type event = { site : Site.t; nth : int; action : action }
+  (** Fire number [nth] (0-based, counted per site since {!arm}) at
+      [site] performs [action]. *)
+
+  type t = { seed : int; events : event list }
+
+  val empty : t
+
+  val generate : ?events:int -> seed:int -> unit -> t
+  (** A reproducible plan drawn from [seed] (default 6 events).  Sites
+      and ordinals are PRNG-chosen; actions respect per-site realism:
+      [Worker_eval]/[Pool_claim] raise, [Solve]/[Queue_poll]/[Sock_write]
+      delay (20..200 ms — a write stall must not eat a reply, or the
+      exactly-one-reply invariant becomes unobservable), [Sock_read]
+      delays or hangs up, [File_write] gets [ENOSPC]/[EIO]. *)
+
+  val to_json : t -> Emts_resilience.Json.t
+  val of_json : Emts_resilience.Json.t -> (t, string) result
+
+  val to_string : t -> string
+  (** Single-line JSON, replayable with {!of_string}. *)
+
+  val of_string : string -> (t, string) result
+
+  val shrink_candidates : t -> t list
+  (** Strictly simpler plans: each with one event dropped, then each
+      with one delay halved (delays below 5 ms are dropped instead).
+      Empty for {!empty}.  The fuzz shrinker interleaves these with
+      scenario shrinks. *)
+end
+
+val arm : Plan.t -> unit
+(** Make [plan] live: reset all per-site hit counters, install the
+    {!Emts_resilience.set_write_fault} hook for [File_write] events,
+    and start matching {!fire} calls against the plan.  Arming replaces
+    any previously armed plan.  Process-global — meant for one daemon
+    (or one test) per process at a time. *)
+
+val disarm : unit -> unit
+(** Stop injecting: {!fire} returns to the one-load fast path and the
+    write hook is removed.  Idempotent. *)
+
+val active : unit -> bool
+
+val fire : Site.t -> unit
+(** The injection hook.  Disarmed: one atomic load, nothing else.
+    Armed: count the hit and perform the matching event's action, if
+    any — which may raise ({!Injected} or [Unix.Unix_error]) or block
+    (delay).  Each performed injection increments the site's
+    [fault.injected.<site>_total] metrics counter. *)
+
+val hits : Site.t -> int
+(** Hits at [site] since the last {!arm} (0 when disarmed). *)
+
+val injected_total : unit -> int
+(** Sum of the [fault.injected.*] metric counters — total faults
+    actually performed since the metrics registry was last reset. *)

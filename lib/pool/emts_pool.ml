@@ -56,24 +56,31 @@ let execute ~tid job =
   let continue_ = ref true in
   while !continue_ do
     if Atomic.get job.failed <> None then continue_ := false
-    else begin
-      let lo = Atomic.fetch_and_add job.next job.chunk in
-      if lo >= job.total then continue_ := false
-      else begin
-        incr claimed;
-        Emts_obs.Metrics.incr m_chunks;
-        if !claimed > 1 then Emts_obs.Metrics.incr m_steals;
-        let hi = min job.total (lo + job.chunk) in
-        try
+    else
+      (* The exception barrier covers the claim step too, not just the
+         item loop: a raise between the fetch-and-add and the loop
+         (fault injection, or any future bookkeeping) must land in
+         [job.failed] like an item failure — otherwise the claimed
+         chunk is silently leaked and the exception kills the worker
+         domain, stranding [shutdown]'s join-all. *)
+      try
+        Emts_fault.fire Emts_fault.Site.Pool_claim;
+        let lo = Atomic.fetch_and_add job.next job.chunk in
+        if lo >= job.total then continue_ := false
+        else begin
+          incr claimed;
+          Emts_obs.Metrics.incr m_chunks;
+          if !claimed > 1 then Emts_obs.Metrics.incr m_steals;
+          let hi = min job.total (lo + job.chunk) in
           for i = lo to hi - 1 do
+            Emts_fault.fire Emts_fault.Site.Worker_eval;
             if gc then Emts_obs.Gcprof.measure ~lane:tid (fun () -> job.f i)
             else job.f i
           done
-        with e ->
-          let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set job.failed None (Some (e, bt)))
-      end
-    end
+        end
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set job.failed None (Some (e, bt)))
   done
 
 let worker t slot =
@@ -96,9 +103,15 @@ let worker t slot =
       match job with
       | None -> ()
       | Some j ->
-        (* [execute] cannot raise: item exceptions land in [j.failed],
-           so a worker never dies before shutdown. *)
-        execute ~tid j;
+        (* [execute] cannot raise: item and claim exceptions land in
+           [j.failed], so a worker never dies before shutdown.  The
+           belt-and-braces handler keeps even an unforeseen escape from
+           stranding the [remaining] decrement below — [run] would spin
+           on [work_done] forever. *)
+        (try execute ~tid j
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set j.failed None (Some (e, bt))));
         if Atomic.fetch_and_add j.remaining (-1) = 1 then begin
           Mutex.lock t.mutex;
           Condition.broadcast t.work_done;
@@ -135,6 +148,11 @@ let run t ~n f =
   if workers = 0 || n < 2 then begin
     let gc = Emts_obs.Gcprof.enabled () in
     for i = 0 to n - 1 do
+      (* Inline evaluations hit the same injection site as pooled ones,
+         so a chaos plan behaves identically at pool_domains = 1 (the
+         serve default); the exception simply propagates to the caller
+         instead of riding through [job.failed]. *)
+      Emts_fault.fire Emts_fault.Site.Worker_eval;
       if gc then Emts_obs.Gcprof.measure ~lane:0 (fun () -> f i) else f i
     done
   end

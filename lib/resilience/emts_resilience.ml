@@ -24,7 +24,17 @@ let fsync_dir dir =
     (try Unix.fsync fd with Unix.Unix_error _ -> ());
     Unix.close fd
 
+(* Fault hook for the injection layer (lib/fault): called with the
+   destination path before the temporary file is created, so an
+   injected ENOSPC/EIO aborts the write with the previous file intact —
+   the same contract as a raising producer.  A plain closure slot
+   rather than a dependency: resilience sits below fault in the
+   library graph. *)
+let write_fault : (string -> unit) option Atomic.t = Atomic.make None
+let set_write_fault f = Atomic.set write_fault f
+
 let write_file ~path f =
+  (match Atomic.get write_fault with None -> () | Some hook -> hook path);
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   (match f oc with

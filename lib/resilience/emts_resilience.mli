@@ -61,6 +61,14 @@ val write_string : path:string -> string -> unit
 (** [write_string ~path s] = [write_file ~path (fun oc ->
     output_string oc s)]. *)
 
+val set_write_fault : (string -> unit) option -> unit
+(** Install (or with [None] remove) a fault hook called with the
+    destination path at the start of every {!write_file}.  An exception
+    it raises aborts the write before the temporary file exists, so the
+    previous [path] content is untouched.  Used by the fault-injection
+    layer ([Emts_fault.arm]) to simulate disk-full / I/O errors;
+    production code never sets it. *)
+
 (** {1 CRC-32} *)
 
 module Crc32 : sig

@@ -124,6 +124,10 @@ let handle t (req : Protocol.Request.schedule) ~deadline =
   (* Runs inside the worker domain's ambient span context (installed by
      the server's worker loop), so these spans nest under serve.solve
      and carry the request's trace_id. *)
+  (* Injection site for a slow or hung solve: a Delay here holds the
+     whole request past its deadline, which is what the server's
+     watchdog must convert into a typed [deadline_exceeded] reply. *)
+  Emts_fault.fire Emts_fault.Site.Solve;
   let* graph =
     Emts_obs.Trace.span "engine.parse" (fun () ->
         Result.map_error (fun m -> "ptg: " ^ m)

@@ -125,9 +125,12 @@ module Request = struct
     | Stats of { id : J.t }
     | Metrics of { id : J.t }
     | Ping of { id : J.t }
+    | Health of { id : J.t }
 
   let id = function
-    | Schedule { id; _ } | Stats { id } | Metrics { id } | Ping { id } -> id
+    | Schedule { id; _ } | Stats { id } | Metrics { id } | Ping { id }
+    | Health { id } ->
+      id
 
   let to_json t =
     let with_id id fields =
@@ -137,6 +140,7 @@ module Request = struct
     | Ping { id } -> with_id id [ ("verb", J.Str "ping") ]
     | Stats { id } -> with_id id [ ("verb", J.Str "stats") ]
     | Metrics { id } -> with_id id [ ("verb", J.Str "metrics") ]
+    | Health { id } -> with_id id [ ("verb", J.Str "health") ]
     | Schedule { id; req } ->
       let opt name = function
         | None -> []
@@ -166,6 +170,7 @@ module Request = struct
     | "ping" -> Ok (Ping { id })
     | "stats" -> Ok (Stats { id })
     | "metrics" -> Ok (Metrics { id })
+    | "health" -> Ok (Health { id })
     | "schedule" ->
       let* ptg = field "ptg" J.to_str json in
       let* platform =
@@ -238,6 +243,7 @@ module Error_code = struct
   let malformed_frame = "malformed_frame"
   let draining = "draining"
   let internal = "internal"
+  let deadline_exceeded = "deadline_exceeded"
 end
 
 module Response = struct
@@ -264,7 +270,13 @@ module Response = struct
     | Stats of { id : J.t; stats : J.t }
     | Metrics of { id : J.t; body : string }
     | Pong of { id : J.t; server : string }
-    | Error of { id : J.t; code : string; message : string }
+    | Health of { id : J.t; live : bool; ready : bool; draining : bool }
+    | Error of {
+        id : J.t;
+        code : string;
+        message : string;
+        retry_after_ms : int option;
+      }
 
   let to_json = function
     | Pong { id; server } ->
@@ -292,14 +304,28 @@ module Response = struct
           ("content_type", J.Str openmetrics_content_type);
           ("body", J.Str body);
         ]
-    | Error { id; code; message } ->
+    | Health { id; live; ready; draining } ->
       J.Obj
         [
-          ("status", J.Str "error");
+          ("status", J.Str "ok");
+          ("verb", J.Str "health");
           ("id", id);
-          ("code", J.Str code);
-          ("message", J.Str message);
+          ("live", J.Bool live);
+          ("ready", J.Bool ready);
+          ("draining", J.Bool draining);
         ]
+    | Error { id; code; message; retry_after_ms } ->
+      J.Obj
+        ([
+           ("status", J.Str "error");
+           ("id", id);
+           ("code", J.Str code);
+           ("message", J.Str message);
+         ]
+        @
+        match retry_after_ms with
+        | None -> []
+        | Some ms -> [ ("retry_after_ms", J.Num (float_of_int ms)) ])
     | Schedule_result r ->
       J.Obj
         ([
@@ -342,7 +368,8 @@ module Response = struct
     | "error" ->
       let* code = field "code" J.to_str json in
       let* message = field "message" J.to_str json in
-      Ok (Error { id; code; message })
+      let* retry_after_ms = opt_field "retry_after_ms" J.to_int json in
+      Ok (Error { id; code; message; retry_after_ms })
     | "ok" -> (
       let* verb = field "verb" J.to_str json in
       match verb with
@@ -355,6 +382,16 @@ module Response = struct
       | "metrics" ->
         let* body = field "body" J.to_str json in
         Ok (Metrics { id; body })
+      | "health" ->
+        let bool_field name =
+          field name
+            (function J.Bool b -> Ok b | _ -> Result.Error "expected a boolean")
+            json
+        in
+        let* live = bool_field "live" in
+        let* ready = bool_field "ready" in
+        let* draining = bool_field "draining" in
+        Ok (Health { id; live; ready; draining })
       | "schedule" ->
         let* algorithm = field "algorithm" J.to_str json in
         let* makespan = field "makespan" J.to_float json in

@@ -97,6 +97,10 @@ module Request : sig
     | Stats of { id : J.t }  (** metrics snapshot, JSON form *)
     | Metrics of { id : J.t }  (** metrics snapshot, OpenMetrics text *)
     | Ping of { id : J.t }  (** liveness probe *)
+    | Health of { id : J.t }
+        (** readiness probe: answered by the reader thread (never
+            queued) with live/ready/draining, so orchestrators can
+            route around a draining node before its drain finishes *)
 
   val id : t -> J.t
   (** The client-chosen correlation id (any JSON value; defaults to
@@ -116,7 +120,15 @@ end
     - [too_large] — frame exceeded the size cap;
     - [malformed_frame] — framing lost, connection closed;
     - [draining] — server is shutting down;
-    - [internal] — unexpected server-side failure. *)
+    - [internal] — unexpected server-side failure (worker exception);
+      the worker lane is respawned, the daemon keeps serving;
+    - [deadline_exceeded] — the request's deadline (plus the server's
+      watchdog grace) passed without a reply; the watchdog answered so
+      the client is not left hanging on a stuck solve.
+
+    [overloaded] responses may carry a [retry_after_ms] hint when the
+    server is shedding load adaptively (observed queue-wait p95 over
+    budget): honor it before retrying. *)
 module Error_code : sig
   val bad_request : string
   val overloaded : string
@@ -124,6 +136,7 @@ module Error_code : sig
   val malformed_frame : string
   val draining : string
   val internal : string
+  val deadline_exceeded : string
 end
 
 module Response : sig
@@ -157,7 +170,17 @@ module Response : sig
         (** [body] is the OpenMetrics text exposition
             ({!Emts_obs.Metrics.render_openmetrics}) *)
     | Pong of { id : J.t; server : string }
-    | Error of { id : J.t; code : string; message : string }
+    | Health of { id : J.t; live : bool; ready : bool; draining : bool }
+        (** [ready] is false exactly when [draining] is true: the
+            process still answers admitted work but admits nothing
+            new *)
+    | Error of {
+        id : J.t;
+        code : string;
+        message : string;
+        retry_after_ms : int option;
+            (** backoff hint on shed ([overloaded]) responses *)
+      }
 
   val to_json : t -> J.t
   val of_json : J.t -> (t, string) result

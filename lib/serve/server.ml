@@ -40,6 +40,20 @@ let m_solve =
 let m_encode =
   Metrics.histogram ~help:"encode phase: serialise + write the reply (seconds)"
     "serve.encode_s"
+let m_internal =
+  Metrics.counter ~help:"worker exceptions answered with a typed internal error"
+    "serve.internal_errors_total"
+let m_respawns =
+  Metrics.counter ~help:"worker engine lanes respawned after an exception"
+    "serve.worker_respawns_total"
+let m_shed =
+  Metrics.counter
+    ~help:"requests shed at admission because queue-wait p95 exceeded the budget"
+    "serve.shed_total"
+let m_watchdog =
+  Metrics.counter
+    ~help:"stuck requests answered deadline_exceeded by the watchdog"
+    "serve.watchdog_fired_total"
 
 type config = {
   socket : string option;
@@ -51,6 +65,8 @@ type config = {
   max_frame : int;
   cache_capacity : int;
   cache_instances : int;
+  watchdog_grace : float;
+  shed_budget : float option;
 }
 
 let default =
@@ -64,6 +80,8 @@ let default =
     max_frame = Protocol.default_max_frame;
     cache_capacity = 65536;
     cache_instances = 32;
+    watchdog_grace = 0.5;
+    shed_budget = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -95,8 +113,14 @@ let close_if_done_locked c =
 let send ?(finish = false) c resp =
   Mutex.lock c.wmutex;
   (if c.alive then
-     try Protocol.write_frame c.fd (Protocol.Response.to_string resp)
-     with Unix.Unix_error _ | Sys_error _ ->
+     try
+       (* Write-stall injection site.  Generated plans only delay here
+          (a raising write would eat a reply and break the
+          exactly-one-reply invariant unobservably), but a hand-written
+          raise degrades to a counted disconnect, like a dead peer. *)
+       Emts_fault.fire Emts_fault.Site.Sock_write;
+       Protocol.write_frame c.fd (Protocol.Response.to_string resp)
+     with Unix.Unix_error _ | Sys_error _ | Emts_fault.Injected _ ->
        c.alive <- false;
        Metrics.incr m_disconnects);
   if finish then begin
@@ -121,11 +145,21 @@ type job = {
   arrival : float;  (* Clock.now at admission *)
   arrival_ns : int64;  (* same instant, for the retroactive queue span *)
   deadline : float option;  (* absolute, derived from deadline_s *)
+  replied : bool Atomic.t;
+      (* reply-once flag: the worker and the watchdog race to answer a
+         deadline'd job; whoever wins the CAS sends the single reply
+         (and the single [finish]), the loser stands down *)
   ctx : Span.ctx option;
       (* span context minted at admission: carries the client's
          trace_id (or a server-minted one when telemetry is on) from
          the reader thread into the worker domain *)
 }
+
+(* Why a job was refused at admission, with the backoff hint the
+   shedding policy computed (if any). *)
+type rejection = { rcode : string; retry_after_ms : int option; rmessage : string }
+
+let wait_window = 64
 
 type queue = {
   m : Mutex.t;
@@ -133,34 +167,98 @@ type queue = {
   idle : Condition.t;
   jobs : job Queue.t;
   cap : int;
+  shed_budget : float option;  (* queue-wait p95 budget; None = no shedding *)
+  wait_ring : float array;  (* last [wait_window] queue-wait samples *)
+  mutable wait_idx : int;
+  mutable wait_count : int;
   mutable draining : bool;  (* no new admissions *)
   mutable closed : bool;  (* workers may exit when empty *)
   mutable in_flight : int;
 }
 
-let queue_make cap =
+let queue_make ?shed_budget cap =
   {
     m = Mutex.create ();
     nonempty = Condition.create ();
     idle = Condition.create ();
     jobs = Queue.create ();
     cap;
+    shed_budget;
+    wait_ring = Array.make wait_window 0.;
+    wait_idx = 0;
+    wait_count = 0;
     draining = false;
     closed = false;
     in_flight = 0;
   }
 
+(* Callers hold [q.m]. *)
+let record_wait_locked q w =
+  q.wait_ring.(q.wait_idx) <- w;
+  q.wait_idx <- (q.wait_idx + 1) mod wait_window;
+  if q.wait_count < wait_window then q.wait_count <- q.wait_count + 1
+
+let wait_p95_locked q =
+  if q.wait_count = 0 then 0.
+  else begin
+    let a = Array.sub q.wait_ring 0 q.wait_count in
+    Array.sort Float.compare a;
+    a.(min (q.wait_count - 1)
+         (int_of_float (Float.round (0.95 *. float_of_int (q.wait_count - 1)))))
+  end
+
+let retry_hint_locked q =
+  if q.wait_count = 0 then None
+  else
+    Some (max 10 (min 5000 (int_of_float (ceil (wait_p95_locked q *. 1000.)))))
+
+let queue_draining q =
+  Mutex.lock q.m;
+  let d = q.draining in
+  Mutex.unlock q.m;
+  d
+
 let enqueue q job =
   Mutex.lock q.m;
   let r =
-    if q.draining then Error Protocol.Error_code.draining
-    else if Queue.length q.jobs >= q.cap then Error Protocol.Error_code.overloaded
-    else begin
-      Queue.push job q.jobs;
-      Metrics.set_gauge g_queue_depth (float_of_int (Queue.length q.jobs));
-      Condition.signal q.nonempty;
-      Ok ()
-    end
+    if q.draining then
+      Error
+        {
+          rcode = Protocol.Error_code.draining;
+          retry_after_ms = None;
+          rmessage = "server is draining; no new work accepted";
+        }
+    else if Queue.length q.jobs >= q.cap then
+      Error
+        {
+          rcode = Protocol.Error_code.overloaded;
+          retry_after_ms = retry_hint_locked q;
+          rmessage = "admission queue full; retry later";
+        }
+    else
+      match q.shed_budget with
+      | Some budget
+        when q.wait_count >= 8
+             && (not (Queue.is_empty q.jobs))
+             && wait_p95_locked q > budget ->
+        (* Adaptive shedding: recent jobs waited longer than the budget
+           and the queue is non-empty, so admitting more work only
+           queues it into certain death.  Circuit-break now with an
+           honest backoff hint instead. *)
+        Metrics.incr m_shed;
+        Error
+          {
+            rcode = Protocol.Error_code.overloaded;
+            retry_after_ms = retry_hint_locked q;
+            rmessage =
+              "shedding load: observed queue-wait p95 exceeds the budget; \
+               retry after retry_after_ms";
+          }
+      | _ ->
+        Queue.push job q.jobs;
+        Metrics.set_gauge g_queue_depth (float_of_int (Queue.length q.jobs));
+        Condition.signal q.nonempty;
+        Ok ()
   in
   Mutex.unlock q.m;
   r
@@ -175,6 +273,7 @@ let dequeue q =
     else begin
       let job = Queue.pop q.jobs in
       q.in_flight <- q.in_flight + 1;
+      record_wait_locked q (Emts_obs.Clock.now () -. job.arrival);
       Metrics.set_gauge g_queue_depth (float_of_int (Queue.length q.jobs));
       Metrics.set_gauge g_in_flight (float_of_int q.in_flight);
       Some job
@@ -203,6 +302,74 @@ let drain q =
   Mutex.unlock q.m
 
 (* ------------------------------------------------------------------ *)
+(* Per-request watchdog.
+
+   Jobs with a deadline are registered at admission; a dedicated
+   systhread sweeps the registry a few times per second and answers any
+   job still unreplied [grace] seconds past its deadline with a typed
+   [deadline_exceeded] error.  The EA already polls the deadline at
+   generation boundaries and returns best-so-far — the watchdog covers
+   what that polling cannot: a solve stuck inside one evaluation (or a
+   fault-injected stall), and a job stranded in the queue.  The worker
+   keeps running to completion (its eventual reply loses the
+   [replied] CAS and is dropped), so the drain still waits for it. *)
+
+type watchdog = {
+  wd_m : Mutex.t;
+  grace : float;
+  mutable watched : job list;
+  wd_stop : bool Atomic.t;
+}
+
+let watchdog_make ~grace =
+  { wd_m = Mutex.create (); grace; watched = []; wd_stop = Atomic.make false }
+
+let watchdog_watch wd job =
+  match job.deadline with
+  | None -> ()
+  | Some _ ->
+    Mutex.lock wd.wd_m;
+    wd.watched <- job :: wd.watched;
+    Mutex.unlock wd.wd_m
+
+let watchdog_sweep wd =
+  let now = Emts_obs.Clock.now () in
+  Mutex.lock wd.wd_m;
+  let expired, live =
+    List.partition
+      (fun j ->
+        match j.deadline with
+        | Some d -> now > d +. wd.grace
+        | None -> false)
+      wd.watched
+  in
+  wd.watched <- List.filter (fun j -> not (Atomic.get j.replied)) live;
+  Mutex.unlock wd.wd_m;
+  List.iter
+    (fun j ->
+      if Atomic.compare_and_set j.replied false true then begin
+        Metrics.incr m_watchdog;
+        Metrics.incr m_errors;
+        send ~finish:true j.conn
+          (Protocol.Response.Error
+             {
+               id = j.id;
+               code = Protocol.Error_code.deadline_exceeded;
+               message =
+                 "deadline exceeded and the solve has not completed; \
+                  answered by the watchdog";
+               retry_after_ms = None;
+             })
+      end)
+    expired
+
+let watchdog_loop wd () =
+  while not (Atomic.get wd.wd_stop) do
+    watchdog_sweep wd;
+    Thread.delay 0.05
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Workers *)
 
 let stats_json () =
@@ -210,11 +377,32 @@ let stats_json () =
   | Ok j -> j
   | Error _ -> J.Obj []
 
+(* The reply side of the worker/watchdog race: only the CAS winner
+   writes (and [finish]es) — a watchdog-answered job's late result is
+   dropped silently. *)
+let reply_once job resp =
+  if Atomic.compare_and_set job.replied false true then begin
+    send ~finish:true job.conn resp;
+    true
+  end
+  else false
+
 let worker_loop q ~pool_domains ~caches () =
-  let engine = Engine.create ~pool_domains ~caches () in
+  (* The engine is a lane-local resource behind a ref so a crashed lane
+     can be respawned in place: after a worker exception we cannot
+     prove the pool domains and evaluator scratch are in a sane state,
+     so the whole engine is torn down and rebuilt.  Caches are shared
+     and purely memoizing, so they survive the respawn. *)
+  let engine = ref (Engine.create ~pool_domains ~caches ()) in
   let rec loop () =
+    (* Queue-poll injection site: a delayed poll starves the queue and
+       drives queue-wait up, which is what the shedding policy must
+       react to.  Only delays are meaningful here, so anything a
+       hand-written plan raises is swallowed rather than allowed to
+       kill the worker domain. *)
+    (try Emts_fault.fire Emts_fault.Site.Queue_poll with _ -> ());
     match dequeue q with
-    | None -> Engine.shutdown engine
+    | None -> Engine.shutdown !engine
     | Some job ->
       (* The worker domain owns its ambient span slot, so the job's
          context rides along into Engine.handle -> Emts_ea.run ->
@@ -225,56 +413,87 @@ let worker_loop q ~pool_domains ~caches () =
           Trace.complete ~start_ns:job.arrival_ns "serve.queue_wait";
           (match
              Trace.span "serve.solve" (fun () ->
-                 Engine.handle engine job.req ~deadline:job.deadline)
+                 Engine.handle !engine job.req ~deadline:job.deadline)
            with
           | Ok o ->
             let solved = Emts_obs.Clock.now () in
             Metrics.observe m_solve (solved -. dequeued);
             let encode_start = Emts_obs.Clock.now_ns () in
-            Trace.span "serve.encode" (fun () ->
-                send ~finish:true job.conn
-                  (Protocol.Response.Schedule_result
-                     {
-                       id = job.id;
-                       algorithm = o.Engine.algorithm;
-                       makespan = o.Engine.makespan;
-                       alloc = o.Engine.alloc;
-                       tasks = o.Engine.tasks;
-                       procs = o.Engine.procs;
-                       utilization = o.Engine.utilization;
-                       platform = o.Engine.platform;
-                       queue_s = dequeued -. job.arrival;
-                       solve_s = solved -. dequeued;
-                       total_s = solved -. job.arrival;
-                       deadline_hit = o.Engine.deadline_hit;
-                       generations_done = o.Engine.generations_done;
-                       evaluations = o.Engine.evaluations;
-                       trace_id = Option.map (fun c -> c.Span.trace_id) job.ctx;
-                     }));
-            let finished = Emts_obs.Clock.now () in
-            Metrics.observe m_encode
-              (Int64.to_float (Int64.sub (Emts_obs.Clock.now_ns ()) encode_start)
-              *. 1e-9);
-            Metrics.observe m_latency (finished -. job.arrival);
-            (* A deadline-expired best-so-far reply often precedes an
-               operator killing the daemon: make sure its spans are on
-               disk, not in a stdio buffer. *)
-            if o.Engine.deadline_hit then Trace.flush ()
+            let sent =
+              Trace.span "serve.encode" (fun () ->
+                  reply_once job
+                    (Protocol.Response.Schedule_result
+                       {
+                         id = job.id;
+                         algorithm = o.Engine.algorithm;
+                         makespan = o.Engine.makespan;
+                         alloc = o.Engine.alloc;
+                         tasks = o.Engine.tasks;
+                         procs = o.Engine.procs;
+                         utilization = o.Engine.utilization;
+                         platform = o.Engine.platform;
+                         queue_s = dequeued -. job.arrival;
+                         solve_s = solved -. dequeued;
+                         total_s = solved -. job.arrival;
+                         deadline_hit = o.Engine.deadline_hit;
+                         generations_done = o.Engine.generations_done;
+                         evaluations = o.Engine.evaluations;
+                         trace_id =
+                           Option.map (fun c -> c.Span.trace_id) job.ctx;
+                       }))
+            in
+            if sent then begin
+              let finished = Emts_obs.Clock.now () in
+              Metrics.observe m_encode
+                (Int64.to_float
+                   (Int64.sub (Emts_obs.Clock.now_ns ()) encode_start)
+                *. 1e-9);
+              Metrics.observe m_latency (finished -. job.arrival);
+              (* A deadline-expired best-so-far reply often precedes an
+                 operator killing the daemon: make sure its spans are on
+                 disk, not in a stdio buffer. *)
+              if o.Engine.deadline_hit then Trace.flush ()
+            end
           | Error message ->
             Metrics.incr m_errors;
-            send ~finish:true job.conn
-              (Protocol.Response.Error
-                 { id = job.id; code = Protocol.Error_code.bad_request;
-                   message })
+            ignore
+              (reply_once job
+                 (Protocol.Response.Error
+                    {
+                      id = job.id;
+                      code = Protocol.Error_code.bad_request;
+                      message;
+                      retry_after_ms = None;
+                    }))
           | exception e ->
+            (* Crash isolation: one request's exception becomes one
+               typed reply; the lane respawns; the daemon and every
+               other connection keep serving. *)
+            let bt = Printexc.get_raw_backtrace () in
             Metrics.incr m_errors;
-            send ~finish:true job.conn
-              (Protocol.Response.Error
-                 {
-                   id = job.id;
-                   code = Protocol.Error_code.internal;
-                   message = Printexc.to_string e;
-                 })));
+            Metrics.incr m_internal;
+            if Emts_obs.Flight.enabled () then
+              Emts_obs.Flight.record
+                (J.to_string
+                   (J.Obj
+                      [
+                        ("name", J.Str "serve.worker_exception");
+                        ("exn", J.Str (Printexc.to_string e));
+                        ( "backtrace",
+                          J.Str (Printexc.raw_backtrace_to_string bt) );
+                      ]));
+            ignore
+              (reply_once job
+                 (Protocol.Response.Error
+                    {
+                      id = job.id;
+                      code = Protocol.Error_code.internal;
+                      message = Printexc.to_string e;
+                      retry_after_ms = None;
+                    }));
+            (try Engine.shutdown !engine with _ -> ());
+            engine := Engine.create ~pool_domains ~caches ();
+            Metrics.incr m_respawns));
       job_done q;
       loop ()
   in
@@ -283,11 +502,17 @@ let worker_loop q ~pool_domains ~caches () =
 (* ------------------------------------------------------------------ *)
 (* Connection readers *)
 
-let handle_conn q ~max_frame conn =
-  let error ?(finish = false) id code message =
-    send ~finish conn (Protocol.Response.Error { id; code; message })
+let handle_conn q wd ~max_frame conn =
+  let error ?(finish = false) ?retry_after_ms id code message =
+    send ~finish conn
+      (Protocol.Response.Error { id; code; message; retry_after_ms })
   in
   let rec loop () =
+    (* Read-side injection site: a delay stalls this reader only; a
+       hangup raises and lands in the catch-all below, closing this
+       connection exactly like a vanished peer — admitted jobs still
+       reply first because the fd closes only at pending = 0. *)
+    Emts_fault.fire Emts_fault.Site.Sock_read;
     match Protocol.read_frame conn.fd ~max_size:max_frame with
     | Error Protocol.Closed -> ()
     | Error e ->
@@ -320,6 +545,15 @@ let handle_conn q ~max_frame conn =
           (Protocol.Response.Metrics
              { id; body = Metrics.render_openmetrics () });
         loop ()
+      | Ok (Protocol.Request.Health { id }) ->
+        (* Answered by the reader so health stays responsive when the
+           queue is saturated; [draining] comes straight from the
+           admission queue, which is what decides it. *)
+        let draining = queue_draining q in
+        send conn
+          (Protocol.Response.Health
+             { id; live = true; ready = not draining; draining });
+        loop ()
       | Ok (Protocol.Request.Schedule { id; req }) ->
         Metrics.incr m_requests;
         let arrival = Emts_obs.Clock.now () in
@@ -344,17 +578,19 @@ let handle_conn q ~max_frame conn =
         Mutex.lock conn.wmutex;
         conn.pending <- conn.pending + 1;
         Mutex.unlock conn.wmutex;
-        (match enqueue q { id; req; conn; arrival; arrival_ns; deadline; ctx }
-         with
-        | Ok () -> ()
-        | Error code ->
+        let job =
+          { id; req; conn; arrival; arrival_ns; deadline;
+            replied = Atomic.make false; ctx }
+        in
+        (match enqueue q job with
+        | Ok () ->
+          (* Registered from admission, not dequeue: a deadline that
+             expires while the job is still queued must also produce a
+             timely typed reply. *)
+          watchdog_watch wd job
+        | Error { rcode; retry_after_ms; rmessage } ->
           Metrics.incr m_rejected;
-          let message =
-            if code = Protocol.Error_code.draining then
-              "server is draining; no new work accepted"
-            else "admission queue full; retry later"
-          in
-          error ~finish:true id code message);
+          error ~finish:true ?retry_after_ms id rcode rmessage);
         loop ())
   in
   (try loop () with _ -> ());
@@ -406,24 +642,58 @@ let bind_listeners config =
       | Some (host, _) -> Printf.sprintf "cannot resolve host %S" host
       | None -> "cannot resolve host")
 
-(* Plain-HTTP scrape endpoint for Prometheus: a one-thread HTTP/1.0
-   responder that answers every request with the OpenMetrics
-   exposition.  Connections are handled inline — scrapes are rare and
-   the body is small, so a slow scraper can at worst delay the next
-   scrape, never the frame protocol. *)
-let metrics_http_loop ~stop lfd =
+(* Plain-HTTP endpoint: a one-thread HTTP/1.0 responder serving the
+   OpenMetrics exposition on every path except [/healthz], which
+   answers a JSON liveness/readiness document (HTTP 503 while
+   draining, so load balancers stop routing here the moment the drain
+   begins).  Unlike the frame listeners this thread runs until
+   [finished] — through the whole drain — so orchestrators can watch a
+   node go live -> draining -> gone.  Connections are handled inline —
+   scrapes are rare and the body is small, so a slow scraper can at
+   worst delay the next scrape, never the frame protocol. *)
+let metrics_http_loop ~finished ~draining lfd =
   let respond fd =
-    (* Read (and ignore) whatever request line and headers arrived —
-       every path answers the same document. *)
+    (* Read one buffer's worth of request; only the request-line path
+       matters (headers are ignored). *)
     let buf = Bytes.create 2048 in
-    (try ignore (Unix.read fd buf 0 (Bytes.length buf))
-     with Unix.Unix_error _ -> ());
-    let body = Metrics.render_openmetrics () in
+    let n =
+      try Unix.read fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0
+    in
+    let request = Bytes.sub_string buf 0 (max n 0) in
+    let path =
+      let line =
+        match String.index_opt request '\r' with
+        | Some i -> String.sub request 0 i
+        | None -> request
+      in
+      match String.split_on_char ' ' line with
+      | _meth :: p :: _ -> p
+      | _ -> "/"
+    in
+    let status, content_type, body =
+      if path = "/healthz" || String.starts_with ~prefix:"/healthz?" path then begin
+        let d = draining () in
+        let body =
+          J.to_string
+            (J.Obj
+               [
+                 ("live", J.Bool true);
+                 ("ready", J.Bool (not d));
+                 ("draining", J.Bool d);
+               ])
+        in
+        ((if d then "503 Service Unavailable" else "200 OK"),
+         "application/json", body)
+      end
+      else
+        ("200 OK", Protocol.openmetrics_content_type,
+         Metrics.render_openmetrics ())
+    in
     let resp =
       Printf.sprintf
-        "HTTP/1.0 200 OK\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
          Connection: close\r\n\r\n%s"
-        Protocol.openmetrics_content_type (String.length body) body
+        status content_type (String.length body) body
     in
     let data = Bytes.unsafe_of_string resp in
     let len = Bytes.length data in
@@ -437,7 +707,7 @@ let metrics_http_loop ~stop lfd =
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
   let rec loop () =
-    if not (stop ()) then begin
+    if not (finished ()) then begin
       (match Unix.select [ lfd ] [] [] 0.2 with
       | [], _, _ -> ()
       | _ :: _, _, _ -> (
@@ -474,7 +744,7 @@ let bind_metrics config =
 
 (* Accept connections until [stop]; [select] with a short timeout keeps
    the loop responsive to the stop flag without busy-waiting. *)
-let accept_loop ~stop ~max_frame q listeners =
+let accept_loop ~stop ~max_frame q wd listeners =
   let rec loop () =
     if not (stop ()) then begin
       (match Unix.select listeners [] [] 0.2 with
@@ -486,7 +756,7 @@ let accept_loop ~stop ~max_frame q listeners =
               Metrics.incr m_connections;
               let conn = conn_make fd in
               ignore
-                (Thread.create (fun () -> handle_conn q ~max_frame conn) ())
+                (Thread.create (fun () -> handle_conn q wd ~max_frame conn) ())
             | exception
                 Unix.Unix_error
                   ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
@@ -507,6 +777,11 @@ let run ?(stop = Emts_resilience.Shutdown.requested) config =
   if config.workers < 1 then Error "workers must be >= 1"
   else if config.queue_capacity < 1 then Error "queue capacity must be >= 1"
   else if config.max_frame < 1 then Error "max frame size must be >= 1"
+  else if not (config.watchdog_grace >= 0.) then
+    Error "watchdog grace must be >= 0"
+  else if
+    match config.shed_budget with Some b -> not (b > 0.) | None -> false
+  then Error "shed budget must be > 0"
   else if config.socket = None && config.tcp = None then
     Error "no listeners configured (set a socket path or a TCP address)"
   else
@@ -531,27 +806,46 @@ let run ?(stop = Emts_resilience.Shutdown.requested) config =
             listeners;
           (match e with Error m -> Error m | Ok _ -> assert false)
         | Ok metrics_fd ->
+          let q = queue_make ?shed_budget:config.shed_budget
+              config.queue_capacity in
+          (* The HTTP thread outlives the accept loop on purpose:
+             [/healthz] must report [draining] while admitted work is
+             still being answered, so its shutdown condition is the
+             [finished] flag set after the drain, not [stop]. *)
+          let finished = Atomic.make false in
           let metrics_thread =
             Option.map
               (fun fd ->
-                Thread.create (fun () -> metrics_http_loop ~stop fd) ())
+                Thread.create
+                  (fun () ->
+                    metrics_http_loop
+                      ~finished:(fun () -> Atomic.get finished)
+                      ~draining:(fun () -> stop () || queue_draining q)
+                      fd)
+                  ())
               metrics_fd
           in
-          let q = queue_make config.queue_capacity in
+          let wd = watchdog_make ~grace:config.watchdog_grace in
+          let watchdog_thread = Thread.create (watchdog_loop wd) () in
           let workers =
             List.init config.workers (fun _ ->
                 Domain.spawn
                   (worker_loop q ~pool_domains:config.pool_domains ~caches))
           in
-          accept_loop ~stop ~max_frame:config.max_frame q listeners;
+          accept_loop ~stop ~max_frame:config.max_frame q wd listeners;
           (* Shutdown: stop accepting, answer everything admitted
              (readers still running reject new work with [draining]),
-             then release and join the workers. *)
+             then release and join the workers.  The watchdog stays up
+             through the drain so a stuck in-flight solve still turns
+             into a typed reply. *)
           List.iter
             (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
             listeners;
           drain q;
           List.iter Domain.join workers;
+          Atomic.set wd.wd_stop true;
+          Thread.join watchdog_thread;
+          Atomic.set finished true;
           Option.iter Thread.join metrics_thread;
           Option.iter
             (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())

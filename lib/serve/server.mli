@@ -50,12 +50,25 @@ type config = {
       (** per-instance fitness cache entries shared across requests;
           0 disables cross-request caching *)
   cache_instances : int;  (** bound on distinct cached instances *)
+  watchdog_grace : float;
+      (** seconds past a request's deadline before the watchdog
+          answers it [deadline_exceeded] (the EA normally returns
+          best-so-far at a generation boundary well before that; the
+          watchdog covers solves stuck {e inside} an evaluation and
+          jobs stranded in the queue); [>= 0] *)
+  shed_budget : float option;
+      (** adaptive load shedding: when the p95 of recent queue waits
+          exceeds this many seconds and the queue is non-empty, new
+          schedule requests are refused with [overloaded] and a
+          [retry_after_ms] hint instead of queueing into certain
+          death; [None] disables shedding *)
 }
 
 val default : config
 (** No listeners (callers must set at least one), 2 workers, 1 pool
     domain, queue of 64, {!Protocol.default_max_frame}, 65536-entry
-    caches over at most 32 instances. *)
+    caches over at most 32 instances, 0.5 s watchdog grace, no
+    shedding. *)
 
 val server_id : string
 (** ["emts-serve <version>"], echoed in [ping] responses. *)

@@ -7,6 +7,7 @@ error surface for unknown oracle names.
   determinism  one seed, one result: domains, fitness cache, early reject, delta fitness off, checkpoint/resume and the serve engine all agree bit for bit
   wire         random/bit-flipped/truncated/oversized frames and malformed trace_id fields against a live daemon yield only typed errors (the metrics verb a complete exposition), and the daemon stays alive
   resilience   corrupt or truncated journals, checkpoints and .ptg files are cleanly rejected or torn-tail-truncated, never misread
+  chaos        a live daemon under a seeded fault plan (worker crashes, stalls, hangups, I/O errors) never dies, answers every accepted request exactly once with a typed reply, respawns crashed lanes, keeps shed requests retryable, and computes bit-identical results once the storm passes
 
 A bounded offline run on a clean tree passes and leaves no corpus
 directory behind (repro files are only written on failure):
@@ -21,7 +22,7 @@ directory behind (repro files are only written on failure):
 Unknown oracles are rejected with the list of known ones:
 
   $ emts-fuzz --oracle nope --time-budget 1
-  emts-fuzz: unknown oracle "nope" (known: validate, differential, determinism, wire, resilience)
+  emts-fuzz: unknown oracle "nope" (known: validate, differential, determinism, wire, resilience, chaos)
   [124]
 
 Replaying a nonexistent repro file is a usage error:

@@ -124,6 +124,62 @@ which client and server spans of the same request share a trace_id:
   $ cat server-trace.jsonl client-trace.jsonl > merged.jsonl
   $ test $(grep -c -- "$TID" merged.jsonl) -ge 2
 
+Fault injection.  A seeded plan armed at startup crashes the first
+worker evaluation: the daemon answers it with a typed internal error,
+respawns the lane, and the very next identical request returns the
+same bytes as a fault-free daemon.  The health verb answers throughout
+and the counters record exactly one crash and one respawn:
+
+  $ cat > plan.json << 'EOF'
+  > {"seed":42,"events":[{"site":"worker_eval","nth":0,"action":"raise"}]}
+  > EOF
+  $ emts-serve --socket $SOCK --workers 1 --fault-plan plan.json 2> fault.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK ] && break; sleep 0.1; done
+  $ grep -c 'fault plan armed: 1 events (seed 42)' fault.log
+  1
+  $ emts-loadgen --socket $SOCK --health
+  live=true ready=true draining=false
+  $ emts-loadgen --socket $SOCK --once --seed 7 2>&1 | grep -c 'server error \[internal\]'
+  1
+  $ emts-loadgen --socket $SOCK --once --seed 7 > healed.out
+  $ cmp first.out healed.out
+  $ emts-loadgen --socket $SOCK --metrics | grep '^emts_serve_internal_errors_total'
+  emts_serve_internal_errors_total 1
+  $ emts-loadgen --socket $SOCK --metrics | grep '^emts_serve_worker_respawns_total'
+  emts_serve_worker_respawns_total 1
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+
+A second SIGTERM during a drain is an emergency exit (130 + 1): the
+daemon is held in a drain by an injected slow solve, the first signal
+starts the drain, the second one ends the process immediately:
+
+  $ cat > slow.json << 'EOF'
+  > {"seed":7,"events":[{"site":"solve","nth":0,"action":"delay","seconds":5.0}]}
+  > EOF
+  $ emts-serve --socket $SOCK --workers 1 --fault-plan slow.json 2> slow.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK ] && break; sleep 0.1; done
+  $ emts-loadgen --socket $SOCK --once --seed 7 > slow.out 2> slow-client.log &
+  $ LG_PID=$!
+  $ sleep 0.5
+  $ kill -TERM $SERVE_PID
+  $ sleep 0.5
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  [131]
+  $ wait $LG_PID || true
+  $ rm -f $SOCK
+
+A plan that does not parse refuses the whole daemon, before any
+listener is bound:
+
+  $ echo 'not json' > bad.json
+  $ emts-serve --socket $SOCK --fault-plan bad.json
+  emts-serve: --fault-plan bad.json: invalid JSON: expected "null" at offset 0
+  [124]
+
 The daemon refuses to start without a listener, and rejects a bad TCP
 spec:
 

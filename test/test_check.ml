@@ -50,7 +50,7 @@ let test_oracle_lookup () =
   Alcotest.(check bool) "unknown rejected" true (Oracle.find "nonsense" = None);
   Alcotest.(check (list string))
     "registry names"
-    [ "validate"; "differential"; "determinism"; "wire"; "resilience" ]
+    [ "validate"; "differential"; "determinism"; "wire"; "resilience"; "chaos" ]
     Oracle.names
 
 let test_oracle_exception_barrier () =
@@ -107,6 +107,7 @@ let test_shrink_minimises () =
       procs = 8;
       model = "amdahl";
       seed = 1;
+      fault_plan = None;
     }
   in
   let shrunk = Check.Shrink.shrink ~oracle:failing base in
@@ -126,6 +127,7 @@ let test_shrink_keeps_passing_scenario () =
       procs = 4;
       model = "synthetic";
       seed = 2;
+      fault_plan = None;
     }
   in
   let shrunk = Check.Shrink.shrink ~oracle:passing base in

@@ -1,0 +1,260 @@
+(* Tests for the deterministic fault-injection subsystem (Emts_fault):
+   plan generation, serialisation, shrinking, and the arm/fire runtime
+   including the resilience write hook. *)
+
+module Fault = Emts_fault
+module Plan = Emts_fault.Plan
+module Site = Emts_fault.Site
+
+let disarmed f =
+  Fun.protect ~finally:(fun () -> Fault.disarm ()) (fun () -> f ())
+
+(* --- sites ----------------------------------------------------------- *)
+
+let test_site_round_trip () =
+  List.iter
+    (fun site ->
+      match Site.of_string (Site.to_string site) with
+      | Ok s -> Alcotest.(check bool) (Site.to_string site) true (s = site)
+      | Error m -> Alcotest.fail m)
+    Site.all;
+  Alcotest.(check bool) "unknown site rejected" true
+    (Result.is_error (Site.of_string "cosmic_ray"))
+
+let test_site_index_dense () =
+  let n = List.length Site.all in
+  let seen = Array.make n false in
+  List.iter
+    (fun site ->
+      let i = Site.index site in
+      Alcotest.(check bool) "in range" true (i >= 0 && i < n);
+      Alcotest.(check bool) "no collision" false seen.(i);
+      seen.(i) <- true)
+    Site.all
+
+(* --- plans ----------------------------------------------------------- *)
+
+let test_generate_deterministic () =
+  Alcotest.(check string)
+    "same seed, same plan"
+    (Plan.to_string (Plan.generate ~seed:7 ()))
+    (Plan.to_string (Plan.generate ~seed:7 ()));
+  Alcotest.(check bool) "different seeds differ" true
+    (Plan.to_string (Plan.generate ~seed:7 ())
+    <> Plan.to_string (Plan.generate ~seed:8 ()))
+
+let test_generate_respects_site_realism () =
+  (* A raising socket write would eat a reply and make the
+     exactly-one-reply invariant unobservable — generated plans must
+     never contain one. *)
+  for seed = 0 to 49 do
+    let plan = Plan.generate ~events:12 ~seed () in
+    List.iter
+      (fun (e : Plan.event) ->
+        let ok =
+          match (e.site, e.action) with
+          | (Site.Worker_eval | Site.Pool_claim), Fault.Raise -> true
+          | (Site.Solve | Site.Queue_poll | Site.Sock_write), Fault.Delay _
+            -> true
+          | Site.Sock_read, (Fault.Delay _ | Fault.Hangup) -> true
+          | Site.File_write, Fault.Io_error ("ENOSPC" | "EIO") -> true
+          | _ -> false
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: %s action is realistic" seed
+             (Site.to_string e.site))
+          true ok)
+      plan.Plan.events
+  done
+
+let test_plan_json_round_trip () =
+  for seed = 0 to 19 do
+    let plan = Plan.generate ~events:(1 + (seed mod 9)) ~seed () in
+    match Plan.of_string (Plan.to_string plan) with
+    | Error m -> Alcotest.fail m
+    | Ok plan' ->
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d round-trips" seed)
+        (Plan.to_string plan) (Plan.to_string plan')
+  done
+
+let test_plan_of_string_rejects_garbage () =
+  List.iter
+    (fun (label, text) ->
+      Alcotest.(check bool) label true (Result.is_error (Plan.of_string text)))
+    [
+      ("not JSON", "][");
+      ("no seed", {|{"events":[]}|});
+      ("no events", {|{"seed":1}|});
+      ( "unknown site",
+        {|{"seed":1,"events":[{"site":"cosmic_ray","nth":0,"action":"raise"}]}|}
+      );
+      ( "unknown action",
+        {|{"seed":1,"events":[{"site":"solve","nth":0,"action":"explode"}]}|}
+      );
+      ( "negative nth",
+        {|{"seed":1,"events":[{"site":"solve","nth":-1,"action":"raise"}]}|} );
+      ( "negative delay",
+        {|{"seed":1,"events":[{"site":"solve","nth":0,"action":"delay",
+           "seconds":-0.5}]}|} );
+    ]
+
+let total_delay plan =
+  List.fold_left
+    (fun acc (e : Plan.event) ->
+      match e.action with Fault.Delay s -> acc +. s | _ -> acc)
+    0. plan.Plan.events
+
+let test_shrink_candidates_strictly_simpler () =
+  let plan = Plan.generate ~events:8 ~seed:3 () in
+  let n = List.length plan.Plan.events in
+  let candidates = Plan.shrink_candidates plan in
+  Alcotest.(check bool) "some candidates" true (candidates <> []);
+  List.iter
+    (fun c ->
+      let fewer = List.length c.Plan.events < n in
+      let softer =
+        List.length c.Plan.events = n && total_delay c < total_delay plan
+      in
+      Alcotest.(check bool) "dropped an event or halved a delay" true
+        (fewer || softer))
+    candidates;
+  Alcotest.(check (list string)) "empty plan has no candidates" []
+    (List.map Plan.to_string (Plan.shrink_candidates Plan.empty))
+
+(* --- runtime --------------------------------------------------------- *)
+
+let test_disarmed_fire_is_noop () =
+  Fault.disarm ();
+  Alcotest.(check bool) "inactive" false (Fault.active ());
+  List.iter Fault.fire Site.all;
+  Alcotest.(check int) "no hits recorded" 0 (Fault.hits Site.Solve)
+
+let test_armed_counts_and_fires_nth () =
+  disarmed @@ fun () ->
+  Fault.arm
+    {
+      Plan.seed = 0;
+      events = [ { Plan.site = Site.Solve; nth = 2; action = Fault.Raise } ];
+    };
+  Alcotest.(check bool) "active" true (Fault.active ());
+  (* hits 0 and 1 pass untouched, hit 2 raises, hit 3 passes again *)
+  Fault.fire Site.Solve;
+  Fault.fire Site.Solve;
+  (match Fault.fire Site.Solve with
+  | () -> Alcotest.fail "third hit should raise"
+  | exception Fault.Injected site ->
+    Alcotest.(check string) "payload names the site" "solve" site);
+  Fault.fire Site.Solve;
+  Alcotest.(check int) "all four hits counted" 4 (Fault.hits Site.Solve);
+  Alcotest.(check int) "other sites untouched" 0 (Fault.hits Site.Sock_read)
+
+let test_rearm_resets_counters () =
+  disarmed @@ fun () ->
+  Fault.arm Plan.empty;
+  Fault.fire Site.Solve;
+  Fault.fire Site.Solve;
+  Alcotest.(check int) "two hits" 2 (Fault.hits Site.Solve);
+  Fault.arm Plan.empty;
+  Alcotest.(check int) "rearm resets" 0 (Fault.hits Site.Solve)
+
+let test_io_error_action_raises_unix_error () =
+  disarmed @@ fun () ->
+  Fault.arm
+    {
+      Plan.seed = 0;
+      events =
+        [ { Plan.site = Site.Sock_read; nth = 0; action = Fault.Io_error "ENOSPC" } ];
+    };
+  match Fault.fire Site.Sock_read with
+  | () -> Alcotest.fail "expected an injected Unix_error"
+  | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ()
+  | exception e -> Alcotest.fail (Printexc.to_string e)
+
+let test_hangup_action_is_connreset () =
+  disarmed @@ fun () ->
+  Fault.arm
+    {
+      Plan.seed = 0;
+      events = [ { Plan.site = Site.Sock_read; nth = 0; action = Fault.Hangup } ];
+    };
+  match Fault.fire Site.Sock_read with
+  | () -> Alcotest.fail "expected an injected hangup"
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  | exception e -> Alcotest.fail (Printexc.to_string e)
+
+(* --- the resilience write hook --------------------------------------- *)
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "emts_fault_test" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun file -> try Sys.remove (Filename.concat dir file) with _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f dir)
+
+let test_file_write_fault_hits_write_file () =
+  disarmed @@ fun () ->
+  in_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "out.json" in
+  Fault.arm
+    {
+      Plan.seed = 0;
+      events =
+        [ { Plan.site = Site.File_write; nth = 0; action = Fault.Io_error "ENOSPC" } ];
+    };
+  (match Emts_resilience.write_string ~path "doomed" with
+  | () -> Alcotest.fail "first write should fail with ENOSPC"
+  | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+  Alcotest.(check bool) "nothing durable was left behind" false
+    (Sys.file_exists path);
+  (* the fault was one-shot: the retry goes through *)
+  Emts_resilience.write_string ~path "survived";
+  Alcotest.(check bool) "retry succeeded" true (Sys.file_exists path);
+  Fault.disarm ();
+  Emts_resilience.write_string ~path "clean";
+  Alcotest.(check bool) "disarm removes the hook" true (Sys.file_exists path)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "sites",
+        [
+          Alcotest.test_case "string round-trip" `Quick test_site_round_trip;
+          Alcotest.test_case "dense index" `Quick test_site_index_dense;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "deterministic generation" `Quick
+            test_generate_deterministic;
+          Alcotest.test_case "per-site realism" `Quick
+            test_generate_respects_site_realism;
+          Alcotest.test_case "JSON round-trip" `Quick test_plan_json_round_trip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_plan_of_string_rejects_garbage;
+          Alcotest.test_case "shrink candidates simpler" `Quick
+            test_shrink_candidates_strictly_simpler;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "disarmed fire is a no-op" `Quick
+            test_disarmed_fire_is_noop;
+          Alcotest.test_case "nth hit fires" `Quick
+            test_armed_counts_and_fires_nth;
+          Alcotest.test_case "rearm resets counters" `Quick
+            test_rearm_resets_counters;
+          Alcotest.test_case "io_error raises Unix_error" `Quick
+            test_io_error_action_raises_unix_error;
+          Alcotest.test_case "hangup raises ECONNRESET" `Quick
+            test_hangup_action_is_connreset;
+        ] );
+      ( "write hook",
+        [
+          Alcotest.test_case "file_write fault reaches write_file" `Quick
+            test_file_write_fault_hits_write_file;
+        ] );
+    ]

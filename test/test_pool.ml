@@ -121,6 +121,79 @@ let test_create_validation () =
   Alcotest.(check int) "domains recorded" 5 (Pool.domains p);
   Pool.shutdown p
 
+(* --- fault injection ------------------------------------------------- *)
+
+let with_plan events f =
+  Fun.protect
+    ~finally:(fun () -> Emts_fault.disarm ())
+    (fun () ->
+      Emts_fault.arm { Emts_fault.Plan.seed = 0; events };
+      f ())
+
+(* Regression for exception-safe chunk claiming: a fault raised at the
+   claim step (between the fetch-and-add and the item loop) must land
+   in the job's failure slot like an item exception — not kill the
+   worker domain — so the run re-raises it and the pool still joins
+   and serves later jobs. *)
+let test_injected_claim_fault_pool_still_joins () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  with_plan
+    [
+      {
+        Emts_fault.Plan.site = Emts_fault.Site.Pool_claim;
+        nth = 2;
+        action = Emts_fault.Raise;
+      };
+    ]
+    (fun () ->
+      let raised =
+        try
+          Pool.run pool ~n:64 (fun _ -> ());
+          false
+        with Emts_fault.Injected _ -> true
+      in
+      Alcotest.(check bool) "claim fault re-raised" true raised);
+  (* Every worker domain is back waiting: the same pool completes a
+     clean batch, and with_pool's shutdown join-all does not strand. *)
+  let out = Array.make 32 0 in
+  Pool.run pool ~n:32 (fun i -> out.(i) <- i + 1);
+  Alcotest.(check int) "pool joins and works after the fault" 32 out.(31)
+
+let test_injected_eval_fault_kills_one_worker_mid_batch () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  with_plan
+    [
+      {
+        Emts_fault.Plan.site = Emts_fault.Site.Worker_eval;
+        nth = 10;
+        action = Emts_fault.Raise;
+      };
+    ]
+    (fun () ->
+      let completed = Atomic.make 0 in
+      let raised =
+        try
+          Pool.run pool ~n:64 (fun _ -> Atomic.incr completed);
+          false
+        with Emts_fault.Injected _ -> true
+      in
+      Alcotest.(check bool) "eval fault re-raised" true raised;
+      (* the job aborted early: the poisoned item and abandoned chunks
+         never ran *)
+      Alcotest.(check bool) "batch was cut short" true
+        (Atomic.get completed < 64));
+  let out = Array.make 16 0 in
+  Pool.run pool ~n:16 (fun i -> out.(i) <- i);
+  Alcotest.(check int) "pool survives a mid-batch worker death" 15 out.(15)
+
+let test_disarmed_fire_is_inert () =
+  (* No plan armed: the hooks on the hot path change nothing. *)
+  Emts_fault.disarm ();
+  let f i = Float.of_int (3 * i) in
+  Alcotest.(check (array (float 0.)))
+    "disarmed pool run" (sequential 50 f)
+    (pooled ~domains:4 50 f)
+
 (* --- cache ----------------------------------------------------------- *)
 
 let test_cache_known_hits_any_cutoff () =
@@ -231,6 +304,15 @@ let () =
             test_worker_exception_inside_with_pool;
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent_and_run_rejected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "claim fault: pool still joins" `Quick
+            test_injected_claim_fault_pool_still_joins;
+          Alcotest.test_case "eval fault kills one worker mid-batch" `Quick
+            test_injected_eval_fault_kills_one_worker_mid_batch;
+          Alcotest.test_case "disarmed hooks are inert" `Quick
+            test_disarmed_fire_is_inert;
         ] );
       ( "cache",
         [

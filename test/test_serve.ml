@@ -87,6 +87,7 @@ let test_request_round_trip () =
       Protocol.Request.Ping { id = J.Str "a" };
       Protocol.Request.Stats { id = J.Num 3. };
       Protocol.Request.Metrics { id = J.Str "m" };
+      Protocol.Request.Health { id = J.Str "h" };
       Protocol.Request.Schedule
         {
           id = J.Null;
@@ -153,7 +154,24 @@ let test_response_round_trip () =
           id = J.Null;
           code = Protocol.Error_code.overloaded;
           message = "queue full";
+          retry_after_ms = None;
         };
+      Protocol.Response.Error
+        {
+          id = J.Str "shed";
+          code = Protocol.Error_code.overloaded;
+          message = "shedding load";
+          retry_after_ms = Some 120;
+        };
+      Protocol.Response.Error
+        {
+          id = J.Str "wd";
+          code = Protocol.Error_code.deadline_exceeded;
+          message = "watchdog";
+          retry_after_ms = None;
+        };
+      Protocol.Response.Health
+        { id = J.Str "h"; live = true; ready = false; draining = true };
       Protocol.Response.Stats
         { id = J.Null; stats = J.Obj [ ("x", J.Num 1.) ] };
       Protocol.Response.Metrics
@@ -408,6 +426,218 @@ let test_server_end_to_end () =
       | _ -> Alcotest.fail "expected a schedule result");
       Unix.close fd)
 
+(* --- self-healing under injected faults ------------------------------
+
+   One server instance, one connection, three storms in sequence:
+
+   1. a hung solve with an already-expired deadline: the watchdog must
+      answer [deadline_exceeded] long before the solve wakes up, and
+      the worker's late result must be dropped (probed with a ping on
+      the same connection — a stray second reply would desync framing);
+   2. a worker-domain exception: one typed [internal] reply, the
+      internal-error and respawn counters move in lockstep, and the
+      respawned lane serves the next request;
+   3. a fault in flight at drain start: stop is raised while the worker
+      is sleeping inside an injected delay — health on the existing
+      connection must flip to draining, the admitted job must still get
+      its result, and [Server.run] must return [Ok]. *)
+
+let counter name =
+  Option.value ~default:0 (Emts_obs.Metrics.find_counter name)
+
+let with_fault_plan events f =
+  Fun.protect
+    ~finally:(fun () -> Emts_fault.disarm ())
+    (fun () ->
+      Emts_fault.arm { Emts_fault.Plan.seed = 0; events };
+      f ())
+
+let test_server_self_healing () =
+  let dir = Filename.temp_file "emts_serve_chaos" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "emts.sock" in
+  let stop = Atomic.make false in
+  let outcome = ref (Ok ()) in
+  let server =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Server.run
+            ~stop:(fun () -> Atomic.get stop)
+            {
+              Server.default with
+              Server.socket = Some path;
+              workers = 1;
+              queue_capacity = 16;
+              watchdog_grace = 0.1;
+            })
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Emts_fault.disarm ();
+      Atomic.set stop true;
+      Thread.join server;
+      if Sys.file_exists path then Sys.remove path;
+      Unix.rmdir dir)
+    (fun () ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let send req = Protocol.write_frame fd (Protocol.Request.to_string req) in
+      let read_resp () =
+        match Protocol.read_frame fd ~max_size:Protocol.default_max_frame with
+        | Ok payload -> (
+          match Protocol.Response.of_string payload with
+          | Ok r -> r
+          | Error m -> Alcotest.fail ("bad response: " ^ m))
+        | Error e -> Alcotest.fail (Protocol.frame_error_to_string e)
+      in
+      let roundtrip req = send req; read_resp () in
+      (* One distinct graph per storm: the engine caches completed
+         solves, and a cache hit would skip evaluation entirely — the
+         injected fault must actually be reached. *)
+      let ptg_hung = graph_string ~seed:101 () in
+      let ptg_boom = graph_string ~seed:102 () in
+      let ptg_after = graph_string ~seed:103 () in
+      let ptg_drain = graph_string ~seed:104 () in
+      (* A serving daemon reports live and ready. *)
+      (match roundtrip (Protocol.Request.Health { id = J.Str "h0" }) with
+      | Protocol.Response.Health { live; ready; draining; _ } ->
+        Alcotest.(check bool) "live" true live;
+        Alcotest.(check bool) "ready" true ready;
+        Alcotest.(check bool) "not draining" false draining
+      | _ -> Alcotest.fail "expected a health response");
+      (* 1. Hung solve, deadline already expired when the watchdog
+         sweeps: the solve sleeps 0.8s but the typed reply must arrive
+         within the grace window. *)
+      let watchdog0 = counter "serve.watchdog_fired_total" in
+      with_fault_plan
+        [ { Emts_fault.Plan.site = Emts_fault.Site.Solve; nth = 0;
+            action = Emts_fault.Delay 0.8 } ]
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          (match
+             roundtrip
+               (Protocol.Request.Schedule
+                  { id = J.Str "hung";
+                    req = schedule_req ~deadline_s:0.001 ptg_hung })
+           with
+          | Protocol.Response.Error { code; retry_after_ms; _ } ->
+            Alcotest.(check string) "watchdog answers deadline_exceeded"
+              Protocol.Error_code.deadline_exceeded code;
+            Alcotest.(check (option int)) "no backoff hint" None retry_after_ms
+          | _ -> Alcotest.fail "expected a watchdog error reply");
+          Alcotest.(check bool) "reply beat the hung solve" true
+            (Unix.gettimeofday () -. t0 < 0.75);
+          Alcotest.(check int) "watchdog counted it" (watchdog0 + 1)
+            (counter "serve.watchdog_fired_total");
+          (* The worker's late result must lose the reply-once race:
+             the next frame on this connection is the pong, nothing
+             else. *)
+          (match roundtrip (Protocol.Request.Ping { id = J.Str "p1" }) with
+          | Protocol.Response.Pong _ -> ()
+          | _ -> Alcotest.fail "late worker result leaked onto the wire");
+          (* The single worker is still asleep inside the injected
+             delay; queue a sentinel behind the hung job and wait for
+             its result so the next storm starts with an idle lane (and
+             the hung job's late result is confirmed dropped, not
+             merely late). *)
+          match
+            roundtrip
+              (Protocol.Request.Schedule
+                 { id = J.Str "sentinel";
+                   req = schedule_req (graph_string ~seed:105 ()) })
+          with
+          | Protocol.Response.Schedule_result _ -> ()
+          | _ -> Alcotest.fail "expected the sentinel result");
+      (* 2. Worker-domain exception: one typed internal reply, counters
+         move in lockstep, lane respawns and keeps serving. *)
+      let internal0 = counter "serve.internal_errors_total" in
+      let respawns0 = counter "serve.worker_respawns_total" in
+      with_fault_plan
+        [ { Emts_fault.Plan.site = Emts_fault.Site.Worker_eval; nth = 0;
+            action = Emts_fault.Raise } ]
+        (fun () ->
+          match
+            roundtrip
+              (Protocol.Request.Schedule
+                 { id = J.Str "boom"; req = schedule_req ptg_boom })
+          with
+          | Protocol.Response.Error { code; _ } ->
+            Alcotest.(check string) "typed internal error"
+              Protocol.Error_code.internal code
+          | _ -> Alcotest.fail "expected an internal error reply");
+      Alcotest.(check int) "internal errors counted" (internal0 + 1)
+        (counter "serve.internal_errors_total");
+      (* The respawn is counted after the reply is on the wire. *)
+      let limit = Unix.gettimeofday () +. 5. in
+      while
+        counter "serve.worker_respawns_total" < respawns0 + 1
+        && Unix.gettimeofday () < limit
+      do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check int) "lane respawned exactly once" (respawns0 + 1)
+        (counter "serve.worker_respawns_total");
+      (match
+         roundtrip
+           (Protocol.Request.Schedule
+              { id = J.Str "after"; req = schedule_req ptg_after })
+       with
+      | Protocol.Response.Schedule_result r ->
+        Alcotest.(check int) "respawned lane solves" 12
+          (Array.length r.Protocol.Response.alloc)
+      | _ -> Alcotest.fail "expected a result from the respawned lane");
+      (* 3. Fault in flight at drain start: the worker sleeps inside an
+         injected delay while stop is raised.  An existing connection
+         must see health flip to draining, and the admitted job must
+         still be answered before the drain completes. *)
+      with_fault_plan
+        [ { Emts_fault.Plan.site = Emts_fault.Site.Solve; nth = 0;
+            action = Emts_fault.Delay 0.8 } ]
+        (fun () ->
+          send
+            (Protocol.Request.Schedule
+               { id = J.Str "drainjob"; req = schedule_req ptg_drain });
+          Thread.delay 0.1;  (* let the worker enter the injected sleep *)
+          Atomic.set stop true;
+          let got_draining = ref false in
+          let got_result = ref false in
+          let limit = Unix.gettimeofday () +. 8. in
+          while
+            (not (!got_draining && !got_result))
+            && Unix.gettimeofday () < limit
+          do
+            if not !got_draining then begin
+              Thread.delay 0.05;
+              send (Protocol.Request.Health { id = J.Str "hd" })
+            end;
+            match read_resp () with
+            | Protocol.Response.Health { draining = true; ready; _ } ->
+              Alcotest.(check bool) "draining is not ready" false ready;
+              got_draining := true
+            | Protocol.Response.Health { draining = false; _ } -> ()
+            | Protocol.Response.Schedule_result r ->
+              Alcotest.(check string) "drain answered the admitted job"
+                "drainjob"
+                (match r.Protocol.Response.id with J.Str s -> s | _ -> "?");
+              got_result := true
+            | _ -> Alcotest.fail "unexpected reply during drain"
+          done;
+          Alcotest.(check bool) "health flipped to draining" true !got_draining;
+          Alcotest.(check bool) "admitted job answered through drain" true
+            !got_result);
+      Unix.close fd;
+      Thread.join server;
+      match !outcome with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("server exited with an error: " ^ m))
+
 let () =
   Alcotest.run "serve"
     [
@@ -442,5 +672,9 @@ let () =
             test_engine_deadline_best_so_far;
         ] );
       ( "server",
-        [ Alcotest.test_case "end to end" `Quick test_server_end_to_end ] );
+        [
+          Alcotest.test_case "end to end" `Quick test_server_end_to_end;
+          Alcotest.test_case "self-healing under faults" `Quick
+            test_server_self_healing;
+        ] );
     ]

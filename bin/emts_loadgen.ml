@@ -8,36 +8,24 @@
      fixed arrival schedule of --rate per second regardless of how fast
      responses come back, against a corpus of daggen-style random PTGs,
      reporting throughput and p50/p95/p99 latency, optionally as JSON
-     (the serving benchmark writes BENCH_SERVE.json through this). *)
+     (the serving benchmark writes BENCH_SERVE.json through this).
+
+   Fleet mode: --connect repeats.  Requests round-robin across every
+   endpoint (and rotate to the next one on an overloaded retry), and
+   the report gains a per-endpoint fleet summary — either a set of
+   emts-serve backends driven directly, or one emts-router entry tried
+   alongside its backends. *)
 
 open Cmdliner
 module Protocol = Emts_serve.Protocol
+module Endpoint = Emts_serve.Endpoint
 module J = Emts_resilience.Json
 
 (* ------------------------------------------------------------------ *)
 (* Transport *)
 
-let connect ~socket ~tcp =
-  match (socket, tcp) with
-  | Some path, _ ->
-    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX path)
-     with e -> Unix.close fd; raise e);
-    fd
-  | None, Some (host, port) ->
-    let addr =
-      match Unix.inet_addr_of_string host with
-      | a -> a
-      | exception Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-    in
-    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
-     with e -> Unix.close fd; raise e);
-    fd
-  | None, None -> failwith "no server address (need --socket or --connect)"
-
-let with_conn ~socket ~tcp f =
-  let fd = connect ~socket ~tcp in
+let with_conn ep f =
+  let fd = Endpoint.connect_fd ep in
   Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ()) (fun () ->
       f fd)
 
@@ -120,14 +108,29 @@ type tally = {
       (** [overloaded] replies carrying a [retry_after_ms] hint — the
           server's adaptive shedding, as opposed to a plain full queue *)
   mutable latencies : float list;
+  per_ok : int array;  (** per-endpoint outcome counts, fleet summary *)
+  per_rejected : int array;
+  per_errors : int array;
 }
 
-let record t outcome latency =
+let tally_make n =
+  { lock = Mutex.create (); ok = 0; rejected = 0; errors = 0; retried = 0;
+    shed = 0; latencies = []; per_ok = Array.make n 0;
+    per_rejected = Array.make n 0; per_errors = Array.make n 0 }
+
+let record t ~ep outcome latency =
   Mutex.lock t.lock;
   (match outcome with
-  | `Ok -> t.ok <- t.ok + 1; t.latencies <- latency :: t.latencies
-  | `Rejected -> t.rejected <- t.rejected + 1
-  | `Error -> t.errors <- t.errors + 1);
+  | `Ok ->
+    t.ok <- t.ok + 1;
+    t.per_ok.(ep) <- t.per_ok.(ep) + 1;
+    t.latencies <- latency :: t.latencies
+  | `Rejected ->
+    t.rejected <- t.rejected + 1;
+    t.per_rejected.(ep) <- t.per_rejected.(ep) + 1
+  | `Error ->
+    t.errors <- t.errors + 1;
+    t.per_errors.(ep) <- t.per_errors.(ep) + 1);
   Mutex.unlock t.lock
 
 let count_retry t = Mutex.lock t.lock; t.retried <- t.retried + 1; Mutex.unlock t.lock
@@ -155,14 +158,16 @@ let backoff_delay policy rng ~attempt ~retry_after_ms =
 (* ------------------------------------------------------------------ *)
 (* Single-shot probes *)
 
-let request_of ~trace_id ~ptg ~platform ~model ~algorithm ~seed ~deadline_s
-    ~budget_s =
+let request_of ?(islands = 1) ?(migration_interval = 5)
+    ?(migration_count = 1) ~trace_id ~ptg ~platform ~model ~algorithm ~seed
+    ~deadline_s ~budget_s () =
   Protocol.Request.Schedule
     {
       id = J.Str "loadgen";
       req =
         Protocol.Request.schedule ~platform ~model ~algorithm ~seed
-          ?deadline_s ?budget_s ?trace_id ~ptg ();
+          ?deadline_s ?budget_s ?trace_id ~islands ~migration_interval
+          ~migration_count ~ptg ();
     }
 
 let print_schedule_result (r : Protocol.Response.schedule_result) =
@@ -172,16 +177,16 @@ let print_schedule_result (r : Protocol.Response.schedule_result) =
     r.Protocol.Response.algorithm r.makespan r.tasks r.procs r.utilization
     r.deadline_hit r.generations_done r.evaluations
 
-let run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
-    ~deadline_s ~budget_s =
+let run_once ?islands ~ep ~corpus ~platform ~model ~algorithm ~seed
+    ~deadline_s ~budget_s () =
   let ptg = List.hd corpus in
   let trace_id, ctx = client_ctx () in
   with_client_span ctx ~k:0 (fun () ->
-      with_conn ~socket ~tcp (fun fd ->
+      with_conn ep (fun fd ->
           match
             roundtrip fd
-              (request_of ~trace_id ~ptg ~platform ~model ~algorithm ~seed
-                 ~deadline_s ~budget_s)
+              (request_of ?islands ~trace_id ~ptg ~platform ~model ~algorithm
+                 ~seed ~deadline_s ~budget_s ())
           with
           | Ok (Protocol.Response.Schedule_result r) ->
             print_schedule_result r;
@@ -191,8 +196,8 @@ let run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
           | Ok _ -> Error "unexpected response verb"
           | Error m -> Error m))
 
-let run_ping ~socket ~tcp =
-  with_conn ~socket ~tcp (fun fd ->
+let run_ping ~ep =
+  with_conn ep (fun fd ->
       match roundtrip fd (Protocol.Request.Ping { id = J.Str "loadgen" }) with
       | Ok (Protocol.Response.Pong { server; _ }) ->
         Printf.printf "pong from %s\n" server;
@@ -200,8 +205,8 @@ let run_ping ~socket ~tcp =
       | Ok _ -> Error "unexpected response verb"
       | Error m -> Error m)
 
-let run_stats ~socket ~tcp =
-  with_conn ~socket ~tcp (fun fd ->
+let run_stats ~ep =
+  with_conn ep (fun fd ->
       match roundtrip fd (Protocol.Request.Stats { id = J.Str "loadgen" }) with
       | Ok (Protocol.Response.Stats { stats; _ }) ->
         print_endline (J.to_string stats);
@@ -209,17 +214,22 @@ let run_stats ~socket ~tcp =
       | Ok _ -> Error "unexpected response verb"
       | Error m -> Error m)
 
-let run_health ~socket ~tcp =
-  with_conn ~socket ~tcp (fun fd ->
+let run_health ~ep =
+  with_conn ep (fun fd ->
       match roundtrip fd (Protocol.Request.Health { id = J.Str "loadgen" }) with
-      | Ok (Protocol.Response.Health { live; ready; draining; _ }) ->
-        Printf.printf "live=%b ready=%b draining=%b\n" live ready draining;
+      | Ok
+          (Protocol.Response.Health { live; ready; draining; backends_live; _ })
+        ->
+        Printf.printf "live=%b ready=%b draining=%b%s\n" live ready draining
+          (match backends_live with
+          | None -> ""
+          | Some n -> Printf.sprintf " backends_live=%d" n);
         Ok ()
       | Ok _ -> Error "unexpected response verb"
       | Error m -> Error m)
 
-let run_metrics ~socket ~tcp =
-  with_conn ~socket ~tcp (fun fd ->
+let run_metrics ~ep =
+  with_conn ep (fun fd ->
       match
         roundtrip fd (Protocol.Request.Metrics { id = J.Str "loadgen" })
       with
@@ -231,8 +241,8 @@ let run_metrics ~socket ~tcp =
 
 (* Fault injector: a frame with the wrong magic.  A correct server
    answers [malformed_frame] and closes only this connection. *)
-let run_malformed ~socket ~tcp =
-  with_conn ~socket ~tcp (fun fd ->
+let run_malformed ~ep =
+  with_conn ep (fun fd ->
       let junk = "XXXX\x00\x00\x00\x04junk" in
       let _ = Unix.write_substring fd junk 0 (String.length junk) in
       match Protocol.read_frame fd ~max_size:Protocol.default_max_frame with
@@ -249,13 +259,13 @@ let run_malformed ~socket ~tcp =
 (* Fault injector: send a real request, then hang up without reading
    the reply.  The server must absorb the failed write and keep
    serving everyone else. *)
-let run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed =
+let run_hangup ~ep ~corpus ~platform ~model ~algorithm ~seed =
   let ptg = List.hd corpus in
-  with_conn ~socket ~tcp (fun fd ->
+  with_conn ep (fun fd ->
       Protocol.write_frame fd
         (Protocol.Request.to_string
            (request_of ~trace_id:None ~ptg ~platform ~model ~algorithm ~seed
-              ~deadline_s:None ~budget_s:None));
+              ~deadline_s:None ~budget_s:None ()));
       Printf.printf "hung up after sending request\n";
       Ok ())
 
@@ -266,7 +276,8 @@ let run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed =
    phase histograms through the stats verb so the report splits the
    observed client latency into queue wait, solve and encode time.
    Best-effort — an unreachable server or one without the histograms
-   just omits the section. *)
+   just omits the section.  Fleet runs pull from the first endpoint
+   (a router aggregates its backends there). *)
 let phase_metrics =
   [
     ("queue_wait", "serve.queue_wait_s");
@@ -274,37 +285,71 @@ let phase_metrics =
     ("encode", "serve.encode_s");
   ]
 
-let fetch_server_phases ~socket ~tcp =
+let fetch_stats ~ep =
   match
-    with_conn ~socket ~tcp (fun fd ->
+    with_conn ep (fun fd ->
         roundtrip fd (Protocol.Request.Stats { id = J.Str "loadgen" }))
   with
-  | Ok (Protocol.Response.Stats { stats; _ }) ->
-    let hists = J.member "histograms" stats in
-    List.filter_map
-      (fun (label, metric) ->
-        match Option.bind hists (J.member metric) with
-        | None -> None
-        | Some h ->
-          let f k =
-            match Option.map J.to_float (J.member k h) with
-            | Some (Ok v) -> v
-            | _ -> Float.nan
-          in
-          Some (label, f "p50", f "p95", f "p99"))
-      phase_metrics
-  | Ok _ | Error _ -> []
-  | exception _ -> []
+  | Ok (Protocol.Response.Stats { stats; _ }) -> Some stats
+  | Ok _ | Error _ -> None
+  | exception _ -> None
 
-let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
-    ~requests ~deadline_s ~budget_s ~retry ~json =
+let server_phases stats =
+  let hists = J.member "histograms" stats in
+  List.filter_map
+    (fun (label, metric) ->
+      match Option.bind hists (J.member metric) with
+      | None -> None
+      | Some h ->
+        let f k =
+          match Option.map J.to_float (J.member k h) with
+          | Some (Ok v) -> v
+          | _ -> Float.nan
+        in
+        Some (label, f "p50", f "p95", f "p99"))
+    phase_metrics
+
+(* Work-stealing telemetry (DESIGN.md §16): total steals plus the
+   per-worker deque depths the stats verb exports as
+   [serve.deque_depth.<i>] gauges. *)
+let server_queues stats =
+  let counter name =
+    match Option.map J.to_int (Option.bind (J.member "counters" stats)
+                                 (J.member name)) with
+    | Some (Ok v) -> Some v
+    | _ -> None
+  in
+  let steals = counter "serve.steals_total" in
+  let depths =
+    match Option.map J.to_obj (J.member "gauges" stats) with
+    | Some (Ok fields) ->
+      let prefix = "serve.deque_depth." in
+      List.filter_map
+        (fun (name, v) ->
+          if String.starts_with ~prefix name then
+            match
+              ( int_of_string_opt
+                  (String.sub name (String.length prefix)
+                     (String.length name - String.length prefix)),
+                J.to_float v )
+            with
+            | Some i, Ok d -> Some (i, int_of_float d)
+            | _ -> None
+          else None)
+        fields
+      |> List.sort compare |> List.map snd
+    | _ -> []
+  in
+  (steals, depths)
+
+let run_load ?islands ~endpoints ~corpus ~platform ~model ~algorithm ~seed
+    ~rate ~requests ~deadline_s ~budget_s ~retry ~json () =
   if rate <= 0. then Error "--rate must be positive"
   else begin
     let corpus = Array.of_list corpus in
-    let tally =
-      { lock = Mutex.create (); ok = 0; rejected = 0; errors = 0;
-        retried = 0; shed = 0; latencies = [] }
-    in
+    let endpoints = Array.of_list endpoints in
+    let n_eps = Array.length endpoints in
+    let tally = tally_make n_eps in
     let start = Emts_obs.Clock.now () in
     let fire k =
       let ptg = corpus.(k mod Array.length corpus) in
@@ -312,18 +357,21 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
       let sent = Emts_obs.Clock.now () in
       (* Latency of a retried request spans all its attempts, backoff
          included: that is what the caller of a self-retrying client
-         experiences. *)
+         experiences.  A retry rotates to the next endpoint, so one
+         overloaded backend sheds its excess onto its neighbours. *)
       let rec attempt n =
+        let ep_idx = (k + n) mod n_eps in
+        let ep = endpoints.(ep_idx) in
         let trace_id, ctx = client_ctx () in
         match
           with_client_span ctx ~k (fun () ->
-              with_conn ~socket ~tcp (fun fd ->
+              with_conn ep (fun fd ->
                   roundtrip fd
-                    (request_of ~trace_id ~ptg ~platform ~model ~algorithm
-                       ~seed:(seed + k) ~deadline_s ~budget_s)))
+                    (request_of ?islands ~trace_id ~ptg ~platform ~model
+                       ~algorithm ~seed:(seed + k) ~deadline_s ~budget_s ())))
         with
         | Ok (Protocol.Response.Schedule_result _) ->
-          record tally `Ok (Emts_obs.Clock.now () -. sent)
+          record tally ~ep:ep_idx `Ok (Emts_obs.Clock.now () -. sent)
         | Ok (Protocol.Response.Error { code; retry_after_ms; _ })
           when code = Protocol.Error_code.overloaded ->
           if retry_after_ms <> None then count_shed tally;
@@ -332,13 +380,13 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
             Thread.delay (backoff_delay retry rng ~attempt:n ~retry_after_ms);
             attempt (n + 1)
           end
-          else record tally `Rejected 0.
+          else record tally ~ep:ep_idx `Rejected 0.
         | Ok (Protocol.Response.Error { code; _ })
           when code = Protocol.Error_code.draining ->
           (* The server is going away; retrying against it is noise. *)
-          record tally `Rejected 0.
-        | Ok _ | Error _ -> record tally `Error 0.
-        | exception _ -> record tally `Error 0.
+          record tally ~ep:ep_idx `Rejected 0.
+        | Ok _ | Error _ -> record tally ~ep:ep_idx `Error 0.
+        | exception _ -> record tally ~ep:ep_idx `Error 0.
       in
       attempt 0
     in
@@ -370,19 +418,47 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
     Printf.printf "throughput=%.2f req/s\n" throughput;
     Printf.printf "latency_s p50=%.6f p95=%.6f p99=%.6f\n" (quant 0.5)
       (quant 0.95) (quant 0.99);
-    let phases = fetch_server_phases ~socket ~tcp in
+    if n_eps > 1 then
+      Array.iteri
+        (fun i ep ->
+          Printf.printf "fleet %s ok=%d rejected=%d errors=%d\n"
+            (Endpoint.to_string ep) tally.per_ok.(i) tally.per_rejected.(i)
+            tally.per_errors.(i))
+        endpoints;
+    let stats = fetch_stats ~ep:endpoints.(0) in
+    let phases = Option.fold ~none:[] ~some:server_phases stats in
     List.iter
       (fun (label, p50, p95, p99) ->
         Printf.printf "server %s_s p50=%.6f p95=%.6f p99=%.6f\n" label p50
           p95 p99)
       phases;
+    let steals, deque_depths =
+      Option.fold ~none:(None, []) ~some:server_queues stats
+    in
+    (match steals with
+    | Some s ->
+      Printf.printf "server steals=%d deque_depth=[%s]\n" s
+        (String.concat ";" (List.map string_of_int deque_depths))
+    | None -> ());
     (match json with
     | None -> ()
     | Some path ->
       let server_section =
-        match phases with
-        | [] -> []
-        | ps ->
+        match (phases, steals) with
+        | [], None -> []
+        | ps, st ->
+          let queue_fields =
+            match st with
+            | None -> []
+            | Some s ->
+              [
+                ("steals", J.Num (float_of_int s));
+                ( "queue_depth",
+                  J.List
+                    (List.map (fun d -> J.Num (float_of_int d)) deque_depths)
+                );
+              ]
+          in
           [
             ( "server",
               J.Obj
@@ -395,7 +471,27 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
                            ("p95", J.float p95);
                            ("p99", J.float p99);
                          ] ))
-                   ps) );
+                   ps
+                @ queue_fields) );
+          ]
+      in
+      let fleet_section =
+        if n_eps <= 1 then []
+        else
+          [
+            ( "fleet",
+              J.List
+                (List.mapi
+                   (fun i ep ->
+                     J.Obj
+                       [
+                         ("endpoint", J.Str (Endpoint.to_string ep));
+                         ("ok", J.Num (float_of_int tally.per_ok.(i)));
+                         ( "rejected",
+                           J.Num (float_of_int tally.per_rejected.(i)) );
+                         ("errors", J.Num (float_of_int tally.per_errors.(i)));
+                       ])
+                   (Array.to_list endpoints)) );
           ]
       in
       let doc =
@@ -418,7 +514,7 @@ let run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed ~rate
                    ("p99", J.float (quant 0.99));
                  ] );
            ]
-          @ server_section)
+          @ server_section @ fleet_section)
       in
       Emts_resilience.write_string ~path (J.to_string doc));
     if tally.errors > 0 then Error "some requests failed" else Ok ()
@@ -435,9 +531,11 @@ let socket_arg =
 
 let connect_arg =
   Arg.(
-    value
-    & opt (some string) None
-    & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP.")
+    value & opt_all string []
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:"Connect over TCP (or to $(b,unix:)$(i,PATH)).  Repeatable: \
+              a load run round-robins requests across all endpoints and \
+              reports a per-endpoint fleet summary.")
 
 let mode_arg =
   Arg.(
@@ -523,6 +621,13 @@ let budget_arg =
     & opt (some float) None
     & info [ "budget" ] ~docv:"S" ~doc:"Per-request EA solve-time budget.")
 
+let islands_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "islands" ] ~docv:"K"
+        ~doc:"Island-model EA sub-populations per schedule request (EMTS \
+              algorithms only; 1 = plain EA).")
+
 let retry_max_arg =
   Arg.(
     value & opt int 0
@@ -567,27 +672,29 @@ let trace_arg =
            trace_id.")
 
 let run mode socket connect ptg_files corpus_n tasks platform model algorithm
-    seed rate requests deadline_s budget_s retry_max retry_base retry_cap
-    json trace =
+    seed rate requests deadline_s budget_s islands retry_max retry_base
+    retry_cap json trace =
   let ( let* ) = Result.bind in
-  let* tcp =
-    match connect with
-    | None -> Ok None
-    | Some spec -> (
-      match String.rindex_opt spec ':' with
-      | None -> Error (Printf.sprintf "--connect %S: expected HOST:PORT" spec)
-      | Some i ->
-        let host = String.sub spec 0 i in
-        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
-        (match int_of_string_opt port with
-        | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Some (host, p))
-        | _ -> Error (Printf.sprintf "--connect %S: expected HOST:PORT" spec)))
+  let* connects =
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* ep = Endpoint.parse ~flag:"--connect" spec in
+        Ok (ep :: acc))
+      (Ok []) connect
+  in
+  let endpoints =
+    (match socket with
+    | Some path -> [ Endpoint.Unix_socket path ]
+    | None -> [])
+    @ List.rev connects
   in
   let* () =
-    if socket = None && tcp = None then
+    if endpoints = [] then
       Error "no server address (need --socket or --connect)"
     else Ok ()
   in
+  let ep = List.hd endpoints in
   let* corpus = load_corpus ~files:ptg_files ~count:corpus_n ~tasks ~seed in
   let* () = if corpus = [] then Error "empty corpus" else Ok () in
   (* pid 2 marks the client lane in a merged client+server trace (the
@@ -612,16 +719,15 @@ let run mode socket connect ptg_files corpus_n tasks platform model algorithm
   Fun.protect ~finally (fun () ->
       try
         match mode with
-        | `Ping -> run_ping ~socket ~tcp
-        | `Stats -> run_stats ~socket ~tcp
-        | `Metrics -> run_metrics ~socket ~tcp
-        | `Health -> run_health ~socket ~tcp
-        | `Malformed -> run_malformed ~socket ~tcp
-        | `Hangup ->
-          run_hangup ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
+        | `Ping -> run_ping ~ep
+        | `Stats -> run_stats ~ep
+        | `Metrics -> run_metrics ~ep
+        | `Health -> run_health ~ep
+        | `Malformed -> run_malformed ~ep
+        | `Hangup -> run_hangup ~ep ~corpus ~platform ~model ~algorithm ~seed
         | `Once ->
-          run_once ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
-            ~deadline_s ~budget_s
+          run_once ~islands ~ep ~corpus ~platform ~model ~algorithm ~seed
+            ~deadline_s ~budget_s ()
         | `Load ->
           let retry =
             {
@@ -630,8 +736,8 @@ let run mode socket connect ptg_files corpus_n tasks platform model algorithm
               cap_s = Float.max 0.001 retry_cap;
             }
           in
-          run_load ~socket ~tcp ~corpus ~platform ~model ~algorithm ~seed
-            ~rate ~requests ~deadline_s ~budget_s ~retry ~json
+          run_load ~islands ~endpoints ~corpus ~platform ~model ~algorithm
+            ~seed ~rate ~requests ~deadline_s ~budget_s ~retry ~json ()
       with
       | Unix.Unix_error (e, fn, arg) ->
         Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
@@ -649,7 +755,7 @@ let () =
         (const run $ mode_arg $ socket_arg $ connect_arg $ ptg_arg
        $ corpus_arg $ tasks_arg $ platform_arg $ model_arg $ algorithm_arg
        $ seed_arg $ rate_arg $ requests_arg $ deadline_arg $ budget_arg
-       $ retry_max_arg $ retry_base_arg $ retry_cap_arg $ json_arg
-       $ trace_arg))
+       $ islands_arg $ retry_max_arg $ retry_base_arg $ retry_cap_arg
+       $ json_arg $ trace_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

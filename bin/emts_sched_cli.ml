@@ -23,7 +23,8 @@ let model_arg =
 
 let algorithm_arg =
   let doc =
-    "Scheduling algorithm: seq, cpa, hcpa, mcpa, deltacp, emts5 or emts10."
+    "Scheduling algorithm: seq, cpa, hcpa, mcpa, deltacp, emts1, emts5 or \
+     emts10."
   in
   Arg.(value & opt string "emts5" & info [ "algorithm" ] ~docv:"NAME" ~doc)
 
@@ -63,6 +64,33 @@ let no_delta_fitness_arg =
            bit-identical either way, so this flag only trades speed for a \
            simpler execution path (e.g. when profiling the scheduler \
            itself).")
+
+let islands_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "islands" ] ~docv:"K"
+        ~doc:
+          "Island-model EA: evolve $(docv) independent sub-populations \
+           from split PRNG streams, exchanging migrants on a ring (EMTS \
+           only).  1 (default) is the plain strategy, bit-identical to \
+           prior releases; results for any fixed (seed, islands, \
+           interval, count) are deterministic regardless of --domains.")
+
+let migration_interval_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "migration-interval" ] ~docv:"N"
+        ~doc:
+          "Generations between island ring exchanges (default 5; needs \
+           --islands > 1).")
+
+let migration_count_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "migration-count" ] ~docv:"N"
+        ~doc:
+          "Emigrants per island exchange (default 1; 0 isolates the \
+           islands completely).")
 
 let checkpoint_arg =
   Arg.(
@@ -120,8 +148,8 @@ let resolve_model spec =
     else Error (Printf.sprintf "unknown model %S (no such preset or file)" spec)
 
 let run obs graph_file platform_spec model_spec algorithm seed domains
-    fitness_cache no_delta_fitness checkpoint checkpoint_every resume gantt
-    csv svg =
+    fitness_cache no_delta_fitness islands migration_interval migration_count
+    checkpoint checkpoint_every resume gantt csv svg =
   Obs_cli.with_obs_graceful obs @@ fun () ->
   let ( let* ) = Result.bind in
   if domains < 1 then Error "domains must be >= 1"
@@ -129,6 +157,11 @@ let run obs graph_file platform_spec model_spec algorithm seed domains
   else if checkpoint_every < 1 then Error "checkpoint-every must be >= 1"
   else if resume && checkpoint = None then
     Error "--resume requires --checkpoint FILE"
+  else if islands < 1 then Error "islands must be >= 1"
+  else if migration_interval < 1 then Error "migration-interval must be >= 1"
+  else if migration_count < 0 then Error "migration-count must be >= 0"
+  else if islands > 1 && (checkpoint <> None || resume) then
+    Error "--checkpoint/--resume require --islands 1"
   else
   let* graph =
     Result.map_error Emts_resilience.Error.to_string
@@ -139,16 +172,20 @@ let run obs graph_file platform_spec model_spec algorithm seed domains
   let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
   let* alloc, label =
     match String.lowercase_ascii algorithm with
-    | "emts5" | "emts10" ->
+    | ("emts1" | "emts5" | "emts10") as name ->
       let config =
-        if String.lowercase_ascii algorithm = "emts5" then
-          Emts.Algorithm.emts5
-        else Emts.Algorithm.emts10
+        match name with
+        | "emts1" -> Emts.Algorithm.emts1
+        | "emts5" -> Emts.Algorithm.emts5
+        | _ -> Emts.Algorithm.emts10
       in
       let config =
         config
         |> Emts.Algorithm.with_domains domains
         |> Emts.Algorithm.with_fitness_cache fitness_cache
+        |> Emts.Algorithm.with_islands ~migration_interval
+             ~migration_count:(min migration_count config.Emts.Algorithm.mu)
+             islands
       in
       let config =
         { config with Emts.Algorithm.delta_fitness = not no_delta_fitness }
@@ -222,7 +259,8 @@ let () =
       term_result'
         (const run $ Obs_cli.term $ graph_arg $ platform_arg $ model_arg
        $ algorithm_arg $ seed_arg $ domains_arg $ fitness_cache_arg
-       $ no_delta_fitness_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-       $ gantt_arg $ csv_arg $ svg_arg))
+       $ no_delta_fitness_arg $ islands_arg $ migration_interval_arg
+       $ migration_count_arg $ checkpoint_arg $ checkpoint_every_arg
+       $ resume_arg $ gantt_arg $ csv_arg $ svg_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

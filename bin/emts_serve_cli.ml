@@ -76,6 +76,14 @@ let watchdog_grace_arg =
               seconds past its deadline with no reply yet — a solve stuck \
               inside one evaluation cannot hang its client.")
 
+let no_steal_arg =
+  Arg.(
+    value & flag
+    & info [ "no-steal" ]
+        ~doc:"Disable work stealing: one shared FIFO queue instead of \
+              per-worker deques.  Benchmark baseline; responses do not \
+              depend on this flag.")
+
 let shed_budget_arg =
   Arg.(
     value
@@ -142,21 +150,11 @@ let gc_profile_arg =
         ~doc:"Record per-fitness-evaluation allocation and GC-collection \
               deltas into the gc.eval.* metrics.")
 
-let parse_hostport ~flag spec =
-  match String.rindex_opt spec ':' with
-  | None -> Error (Printf.sprintf "%s %S: expected HOST:PORT" flag spec)
-  | Some i -> (
-    let host = String.sub spec 0 i in
-    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
-    match int_of_string_opt port with
-    | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
-    | _ -> Error (Printf.sprintf "%s %S: expected HOST:PORT" flag spec))
-
-let parse_listen = parse_hostport ~flag:"--listen"
+let parse_listen = Emts_serve.Endpoint.parse_hostport ~flag:"--listen"
 
 let run socket listen metrics_listen workers pool_domains queue_capacity
     max_frame cache_capacity cache_instances watchdog_grace shed_budget
-    fault_plan metrics_json trace flight gc_profile =
+    no_steal fault_plan metrics_json trace flight gc_profile =
   let ( let* ) = Result.bind in
   let* tcp =
     match listen with
@@ -167,7 +165,8 @@ let run socket listen metrics_listen workers pool_domains queue_capacity
     match metrics_listen with
     | None -> Ok None
     | Some spec ->
-      Result.map Option.some (parse_hostport ~flag:"--metrics-listen" spec)
+      Result.map Option.some
+        (Emts_serve.Endpoint.parse_hostport ~flag:"--metrics-listen" spec)
   in
   let config =
     {
@@ -182,6 +181,7 @@ let run socket listen metrics_listen workers pool_domains queue_capacity
       cache_instances;
       watchdog_grace;
       shed_budget;
+      steal = not no_steal;
     }
   in
   let* () =
@@ -267,7 +267,7 @@ let () =
         (const run $ socket_arg $ listen_arg $ metrics_listen_arg
        $ workers_arg $ pool_domains_arg $ queue_arg $ max_frame_arg
        $ cache_capacity_arg $ cache_instances_arg $ watchdog_grace_arg
-       $ shed_budget_arg $ fault_plan_arg $ metrics_json_arg
+       $ shed_budget_arg $ no_steal_arg $ fault_plan_arg $ metrics_json_arg
        $ trace_arg $ flight_arg $ gc_profile_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -6,6 +6,7 @@ module Alg = Emts.Algorithm
 module Protocol = Emts_serve.Protocol
 module Server = Emts_serve.Server
 module Engine = Emts_serve.Engine
+module Router = Emts_router.Router
 module J = Emts_resilience.Json
 
 type t = {
@@ -1022,6 +1023,273 @@ let check_chaos (s : Scenario.t) =
         | `Timeout -> fail "chaos: post-storm request unanswered within 5s"))
 
 (* ------------------------------------------------------------------ *)
+(* (g) fleet: a router in front of live backends — one of which only
+   ever hangs up — keeps serving through malformed client input and a
+   mid-storm backend kill, answers bit-identically to a fresh engine
+   once the storm passes, and refuses with a typed [unavailable] when
+   every backend is gone. *)
+
+(* A backend that accepts and immediately hangs up: the router must
+   write it off (probe or forward failure) without ever surfacing
+   anything but typed replies to clients. *)
+let hangup_backend sock =
+  if Sys.file_exists sock then Sys.remove sock;
+  let lfd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX sock);
+  Unix.listen lfd 8;
+  let stop = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.select [ lfd ] [] [] 0.1 with
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept ~cloexec:true lfd with
+            | fd, _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done;
+        try Unix.close lfd with Unix.Unix_error _ -> ())
+      ()
+  in
+  (stop, thread)
+
+let with_fleet (s : Scenario.t) f =
+  let tag =
+    Printf.sprintf "%d-%d" (Unix.getpid ()) (s.Scenario.seed land 0xFFFF)
+  in
+  let bsocks =
+    List.init 2 (fun i -> Printf.sprintf "/tmp/emts-flt-b%d-%s.sock" i tag)
+  in
+  let hsock = Printf.sprintf "/tmp/emts-flt-h-%s.sock" tag in
+  let rsock = Printf.sprintf "/tmp/emts-flt-r-%s.sock" tag in
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    (rsock :: bsocks);
+  let hstop, hthread = hangup_backend hsock in
+  let bstops = List.map (fun _ -> Atomic.make false) bsocks in
+  let bthreads =
+    List.map2
+      (fun sock stop ->
+        Thread.create
+          (fun () ->
+            ignore
+              (Server.run
+                 ~stop:(fun () -> Atomic.get stop)
+                 {
+                   Server.default with
+                   Server.socket = Some sock;
+                   workers = 1;
+                   queue_capacity = 8;
+                 }))
+          ())
+      bsocks bstops
+  in
+  let await sock =
+    let deadline = Emts_obs.Clock.now () +. 10. in
+    while (not (Sys.file_exists sock)) && Emts_obs.Clock.now () < deadline do
+      Thread.delay 0.01
+    done
+  in
+  List.iter await bsocks;
+  let rstop = Atomic.make false in
+  let router_outcome = ref (Ok ()) in
+  let rthread =
+    Thread.create
+      (fun () ->
+        router_outcome :=
+          Router.run
+            ~stop:(fun () -> Atomic.get rstop)
+            {
+              Router.default with
+              Router.socket = Some rsock;
+              backends =
+                List.map
+                  (fun p -> Emts_serve.Endpoint.Unix_socket p)
+                  (hsock :: bsocks);
+              probe_interval = 0.2;
+              probe_timeout = 1.0;
+              retries = 2;
+            })
+      ()
+  in
+  await rsock;
+  let stop_backend i =
+    Atomic.set (List.nth bstops i) true;
+    Thread.join (List.nth bthreads i)
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set rstop true;
+        Thread.join rthread;
+        List.iter (fun stop -> Atomic.set stop true) bstops;
+        List.iter Thread.join bthreads;
+        Atomic.set hstop true;
+        Thread.join hthread;
+        List.iter
+          (fun p -> if Sys.file_exists p then Sys.remove p)
+          (rsock :: hsock :: bsocks))
+      (fun () -> f ~rsock ~stop_backend)
+  in
+  let* () = result in
+  match !router_outcome with
+  | Ok () -> Ok ()
+  | Error m -> fail "fleet: router exited with an error: %s" m
+
+let check_fleet (s : Scenario.t) =
+  let rng = rng_of s in
+  with_fleet s @@ fun ~rsock ~stop_backend ->
+  let with_conn f =
+    let fd = wire_connect rsock in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with _ -> ())
+      (fun () -> f fd)
+  in
+  let model_spec = Scenario.serve_model_spec s in
+  let schedule_frame k =
+    Protocol.encode_frame
+      (Protocol.Request.to_string
+         (Protocol.Request.Schedule
+            {
+              id = J.Str (Printf.sprintf "fleet%d" k);
+              req =
+                Protocol.Request.schedule ~algorithm:"mcpa" ?model:model_spec
+                  ~platform:(Emts_platform.to_string (Scenario.platform s))
+                  ~seed:s.Scenario.seed ~deadline_s:2.0
+                  ~ptg:(Emts_ptg.Serial.to_string s.Scenario.graph)
+                  ();
+            }))
+  in
+  (* Malformed input aimed at the router: typed errors or clean closes
+     only, and the router keeps accepting. *)
+  let abuse label bytes =
+    with_conn (fun fd ->
+        match wire_send fd bytes with
+        | `Peer_closed -> Ok ()
+        | `Sent ->
+          let reply = wire_reply fd in
+          if abuse_outcome_ok reply then Ok ()
+          else
+            fail "fleet %s: undecodable router response (%s)" label
+              (match reply with `Junk_response m -> m | _ -> "?"))
+  in
+  let* () =
+    let len = Emts_prng.int_in rng 1 64 in
+    abuse "garbage"
+      (String.init len (fun _ -> Char.chr (Emts_prng.int rng 256)))
+  in
+  let* () =
+    abuse "bit-flip"
+      (flip_bits rng (schedule_frame 0) (Emts_prng.int_in rng 1 4))
+  in
+  (* The storm: sequential schedules through the router, with a backend
+     killed part-way — failover must keep every request answered.  (The
+     fleet also contains a hangup-only backend the router has to write
+     off on its own.) *)
+  let expected_replies = ref 0 in
+  let rec fire k ~attempts =
+    if attempts > 12 then
+      fail "fleet request %d: still unanswered after 12 attempts" k
+    else
+      with_conn (fun fd ->
+          match wire_send fd (schedule_frame k) with
+          | `Peer_closed -> fire k ~attempts:(attempts + 1)
+          | `Sent -> (
+            match wire_reply fd with
+            | `Response (Protocol.Response.Schedule_result _) ->
+              incr expected_replies;
+              Ok ()
+            | `Response (Protocol.Response.Error { code; retry_after_ms; _ })
+              when code = Protocol.Error_code.overloaded ->
+              Thread.delay
+                (match retry_after_ms with
+                | Some ms -> float_of_int ms /. 1000.
+                | None -> 0.05);
+              fire k ~attempts:(attempts + 1)
+            | `Response (Protocol.Response.Error { code; message; _ }) ->
+              fail "fleet request %d: unexpected typed error [%s]: %s" k code
+                message
+            | `Response _ -> fail "fleet request %d: unexpected verb" k
+            | `Junk_response m ->
+              fail "fleet request %d: undecodable reply (%s)" k m
+            | `Frame_error _ -> fire k ~attempts:(attempts + 1)
+            | `Timeout -> fail "fleet request %d: no reply within 5s" k))
+  in
+  let rec storm k =
+    if k >= 6 then Ok ()
+    else
+      let* () = if k = 2 then Ok (stop_backend 0) else Ok () in
+      let* () = fire k ~attempts:0 in
+      storm (k + 1)
+  in
+  let* () = storm 0 in
+  let* () =
+    if !expected_replies <> 6 then
+      fail "fleet: %d/6 storm requests answered" !expected_replies
+    else Ok ()
+  in
+  (* Post-storm bit-identity: the surviving backend, reached through
+     the router, agrees with a fresh never-faulted local solve. *)
+  let ctx =
+    match model_spec with
+    | Some _ -> ctx_of s
+    | None ->
+      Emts_alloc.Common.make_ctx ~model:Emts_model.amdahl
+        ~platform:(Scenario.platform s) ~graph:s.Scenario.graph
+  in
+  let expected_alloc = Emts_alloc.Mcpa.allocate ctx in
+  let expected_makespan =
+    Schedule.makespan (Alg.schedule_allocation ~ctx expected_alloc)
+  in
+  let* () =
+    with_conn (fun fd ->
+        match wire_send fd (schedule_frame 999) with
+        | `Peer_closed -> fail "fleet: router closed a post-storm connection"
+        | `Sent -> (
+          match wire_reply fd with
+          | `Response (Protocol.Response.Schedule_result r) ->
+            if not (float_eq r.Protocol.Response.makespan expected_makespan)
+            then
+              fail "fleet: post-storm makespan %.17g <> fresh %.17g"
+                r.Protocol.Response.makespan expected_makespan
+            else if r.Protocol.Response.alloc <> expected_alloc then
+              fail "fleet: post-storm allocation differs from a fresh engine"
+            else Ok ()
+          | `Response (Protocol.Response.Error { code; message; _ }) ->
+            fail "fleet: post-storm request rejected [%s]: %s" code message
+          | `Response _ -> fail "fleet: unexpected post-storm verb"
+          | `Junk_response m ->
+            fail "fleet: undecodable post-storm reply (%s)" m
+          | `Frame_error e ->
+            fail "fleet: post-storm %s" (Protocol.frame_error_to_string e)
+          | `Timeout -> fail "fleet: post-storm request unanswered within 5s"))
+  in
+  (* Every backend gone: the refusal must be the typed [unavailable],
+     and the router itself must stay up (the shutdown check in
+     [with_fleet] proves it drains cleanly afterwards). *)
+  stop_backend 1;
+  with_conn (fun fd ->
+      match wire_send fd (schedule_frame 1000) with
+      | `Peer_closed -> fail "fleet: router closed an all-dead connection"
+      | `Sent -> (
+        match wire_reply fd with
+        | `Response (Protocol.Response.Error { code; _ })
+          when code = Protocol.Error_code.unavailable ->
+          Ok ()
+        | `Response (Protocol.Response.Schedule_result _) ->
+          fail "fleet: schedule answered with every backend dead"
+        | `Response (Protocol.Response.Error { code; message; _ }) ->
+          fail "fleet: all-dead reply [%s]: %s (want unavailable)" code
+            message
+        | `Response _ -> fail "fleet: unexpected all-dead verb"
+        | `Junk_response m -> fail "fleet: undecodable all-dead reply (%s)" m
+        | `Frame_error e ->
+          fail "fleet: all-dead %s" (Protocol.frame_error_to_string e)
+        | `Timeout -> fail "fleet: all-dead request unanswered within 5s"))
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1073,6 +1341,16 @@ let all =
          crashed lanes, keeps shed requests retryable, and computes \
          bit-identical results once the storm passes";
       check = check_chaos;
+    };
+    {
+      name = "fleet";
+      doc =
+        "a router over live backends (one hangup-only) survives \
+         malformed input and a mid-storm backend kill, keeps every \
+         request answered from the survivors, matches a fresh engine \
+         bit for bit post-storm, and refuses typed-unavailable once \
+         every backend is gone";
+      check = check_fleet;
     };
   ]
 

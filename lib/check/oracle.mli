@@ -28,7 +28,13 @@
       request with exactly one valid typed reply, respawns crashed
       worker lanes (metrics-visible), keeps shed requests retryable,
       and answers a post-storm request bit-identically to a fresh
-      engine. *)
+      engine;
+    - [fleet] — an {!Emts_router} front-end over live backends (one of
+      which only ever hangs up) survives malformed client input and a
+      mid-storm backend kill, keeps every request answered from the
+      survivors, agrees with a fresh engine bit for bit once the storm
+      passes, and answers with a typed [unavailable] when every
+      backend is gone. *)
 
 type t = {
   name : string;

@@ -21,6 +21,9 @@ type config = {
   early_reject : bool;
   fitness_cache : int option;
   delta_fitness : bool;
+  islands : int;
+  migration_interval : int;
+  migration_count : int;
 }
 
 (* Per-worker-domain delta evaluator scratch.  Toplevel on purpose: an
@@ -46,9 +49,23 @@ let emts5 =
     early_reject = false;
     fitness_cache = None;
     delta_fitness = true;
+    islands = 1;
+    migration_interval = 5;
+    migration_count = 1;
   }
 
 let emts10 = { emts5 with mu = 10; lambda = 100; generations = 10 }
+
+(* EMTS1: a deliberately tiny (2+4)-EA over 2 generations.  Not from
+   the paper — it exists so serving benchmarks can mix cheap requests
+   with expensive ones (skewed EMTS1/EMTS10 workloads exercise queue
+   placement policies). *)
+let emts1 = { emts5 with mu = 2; lambda = 4; generations = 2 }
+
+let with_islands ?(migration_interval = 5) ?(migration_count = 1) islands
+    config =
+  if islands < 1 then invalid_arg "Emts.with_islands: islands must be >= 1";
+  { config with islands; migration_interval; migration_count }
 
 let with_domains domains config =
   if domains < 1 then invalid_arg "Emts.with_domains: domains must be >= 1";
@@ -78,7 +95,7 @@ let allocation_codec : Emts_sched.Allocation.t Emts_ea.codec =
   Emts_ea.int_array_codec
 
 let run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?(resume = false)
-    ~config ~ctx () =
+    ?(extra_seeds = []) ~config ~ctx () =
   if Emts_ptg.Graph.task_count ctx.Common.graph = 0 then
     invalid_arg "Emts.run: empty graph";
   if resume && Option.is_none checkpoint then
@@ -98,6 +115,19 @@ let run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?(resume = false)
   let seeds =
     Emts_obs.Trace.span "emts.seeding" (fun () ->
         Seeding.collect ~heuristics:config.heuristics ctx)
+  in
+  let extra_seeds =
+    (* Migrant allocations arriving from fleet peers join the seed
+       pool.  Keep only well-formed vectors (right length, every entry
+       a live processor count): a peer solving a different instance —
+       or a hostile one — must degrade to "no extra seeds", never
+       crash the run. *)
+    let tasks = Emts_ptg.Graph.task_count ctx.Common.graph in
+    List.filter
+      (fun a ->
+        Array.length a = tasks
+        && Array.for_all (fun p -> p >= 1 && p <= ctx.Common.procs) a)
+      extra_seeds
   in
   (* Early rejection (paper conclusion): the cutoff is the WORST
      fitness among the previous generation's survivors — an offspring
@@ -239,8 +269,10 @@ let run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?(resume = false)
   in
   let ea_config =
     Emts_ea.config ?time_budget:config.time_budget ~domains:config.domains
-      ~selection:config.selection ~mu:config.mu ~lambda:config.lambda
-      ~generations:config.generations ()
+      ~selection:config.selection ~islands:config.islands
+      ~migration_interval:config.migration_interval
+      ~migration_count:config.migration_count ~mu:config.mu
+      ~lambda:config.lambda ~generations:config.generations ()
   in
   (* [on_generation] is the only channel through which the EA loop
      feeds the adaptive state above; checkpoint resumption replays the
@@ -269,7 +301,8 @@ let run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?(resume = false)
     let run_fresh () =
       Emts_ea.run ?stop ?deadline ?pool ?checkpoint:ea_checkpoint ~rng
         ~config:ea_config ~on_generation
-        ~seeds:(List.map (fun (s : Seeding.seed) -> s.alloc) seeds)
+        ~seeds:(List.map (fun (s : Seeding.seed) -> s.alloc) seeds
+                @ extra_seeds)
         problem
     in
     match (checkpoint, ea_checkpoint) with

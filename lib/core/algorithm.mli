@@ -61,6 +61,19 @@ type config = {
           and [fitness_cache] unchanged.  Default [true]; set [false]
           ([--no-delta-fitness] on the CLI) to fall back to from-scratch
           evaluation. *)
+  islands : int;
+      (** island-model sub-populations, [>= 1]; default 1 (plain
+          (μ+λ), bit-identical to earlier releases).  With [k > 1] the
+          EA evolves [k] independent populations of [mu] each from
+          split PRNG streams and exchanges migrants on a ring — see
+          {!Emts_ea.config}.  Deterministic per
+          (seed, islands, interval, count), independent of [domains]. *)
+  migration_interval : int;
+      (** generations between ring exchanges, [>= 1]; default 5.
+          Ignored when [islands = 1]. *)
+  migration_count : int;
+      (** emigrants per exchange, in [0, mu]; default 1.  0 isolates
+          the islands completely. *)
 }
 
 val emts5 : config
@@ -70,6 +83,17 @@ val emts5 : config
 val emts10 : config
 (** The paper's EMTS10: a (10+100)-EA over 10 generations (1000
     offspring evaluations). *)
+
+val emts1 : config
+(** EMTS1: a tiny (2+4)-EA over 2 generations (8 offspring
+    evaluations).  Not from the paper — a cheap request class for
+    serving benchmarks that mix light and heavy work. *)
+
+val with_islands :
+  ?migration_interval:int -> ?migration_count:int -> int -> config -> config
+(** [with_islands k config] enables the island model with [k]
+    sub-populations (see the [islands] field).  Raises
+    [Invalid_argument] when [k < 1]. *)
 
 val with_domains : int -> config -> config
 (** Enable parallel fitness evaluation (identical results). *)
@@ -148,11 +172,19 @@ val run_ctx :
   ?pool:Emts_pool.t ->
   ?checkpoint:string * int ->
   ?resume:bool ->
+  ?extra_seeds:Emts_sched.Allocation.t list ->
   config:config ->
   ctx:Emts_alloc.Common.ctx ->
   unit ->
   result
-(** Same, reusing an existing tabulated context (campaign fast path). *)
+(** Same, reusing an existing tabulated context (campaign fast path).
+
+    [extra_seeds] injects additional allocation vectors into the seed
+    pool ranked alongside the heuristic seeds — the serving layer
+    passes migrants received from fleet peers here.  Vectors that do
+    not fit the instance (wrong length, entry outside [1, procs]) are
+    silently dropped: wire-borne seeds must never crash a run.  The
+    result's [seeds] field still lists only the heuristic seeds. *)
 
 val schedule_allocation :
   ctx:Emts_alloc.Common.ctx ->

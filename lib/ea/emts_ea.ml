@@ -7,10 +7,14 @@ type config = {
   time_budget : float option;
   domains : int;
   selection : selection;
+  islands : int;
+  migration_interval : int;
+  migration_count : int;
 }
 
-let config ?time_budget ?(domains = 1) ?(selection = Plus) ~mu ~lambda
-    ~generations () =
+let config ?time_budget ?(domains = 1) ?(selection = Plus) ?(islands = 1)
+    ?(migration_interval = 5) ?(migration_count = 1) ~mu ~lambda ~generations
+    () =
   if mu < 1 then invalid_arg "Emts_ea.config: mu must be >= 1";
   if lambda < 1 then invalid_arg "Emts_ea.config: lambda must be >= 1";
   if generations < 0 then
@@ -22,7 +26,13 @@ let config ?time_budget ?(domains = 1) ?(selection = Plus) ~mu ~lambda
   | Some b when not (b > 0.) ->
     invalid_arg "Emts_ea.config: time_budget must be > 0"
   | _ -> ());
-  { mu; lambda; generations; time_budget; domains; selection }
+  if islands < 1 then invalid_arg "Emts_ea.config: islands must be >= 1";
+  if migration_interval < 1 then
+    invalid_arg "Emts_ea.config: migration_interval must be >= 1";
+  if migration_count < 0 || migration_count > mu then
+    invalid_arg "Emts_ea.config: migration_count must be in [0, mu]";
+  { mu; lambda; generations; time_budget; domains; selection; islands;
+    migration_interval; migration_count }
 
 type 'g problem = {
   fitness : 'g -> float;
@@ -58,6 +68,9 @@ let m_generations = Emts_obs.Metrics.counter "ea.generations"
 let m_fitness = Emts_obs.Metrics.histogram "ea.fitness"
 let m_checkpoint_writes = Emts_obs.Metrics.counter "ea.checkpoint_writes"
 let m_checkpoint_resumes = Emts_obs.Metrics.counter "ea.checkpoint_resumes"
+let m_migrations =
+  Emts_obs.Metrics.counter
+    ~help:"island ring-migration exchanges performed" "ea.migrations"
 
 (* Evaluate all genomes through the persistent worker pool.  Results
    land by index in [out] (grow-only scratch owned by the run, reused
@@ -469,9 +482,177 @@ let with_pool_opt ~domains pool f =
   | Some p -> f p
   | None -> Emts_pool.with_pool ~domains f
 
+(* {1 Island mode}
+
+   [islands = k > 1] evolves [k] independent sub-populations, each
+   from its own PRNG stream obtained by {!Emts_prng.split} of the
+   caller's stream — one split per island, in island order, before
+   anything else consumes the parent stream.  Determinism therefore
+   depends only on (seed, islands, interval, count), never on domains:
+   every generation draws each island's offspring sequentially from
+   that island's stream, then evaluates the concatenation of all
+   islands' offspring as one batch across the pool's domains.
+
+   Migration is a ring: every [migration_interval] generations island
+   [i] sends copies of its [migration_count] best to island
+   [(i + 1) mod k], where they replace the worst.  Emigrants are
+   snapshotted from every island before any replacement happens, so
+   the exchange order cannot leak an individual around the ring twice
+   in one step.
+
+   Generation stats are taken over the union of all island
+   populations.  That keeps the adaptive machinery layered on
+   [on_generation] sound: the early-reject cutoff derived from
+   [worst] is an upper bound for every island's own worst, so no
+   individual that could enter any island is ever truncated.
+
+   Checkpoint/resume stays islands = 1 territory: a faithful island
+   snapshot would need all [k] populations and RNG streams, a format
+   change this mode does not justify yet. *)
+let run_islands ~on_generation ~stop ~deadline ~pool ~rng ~config ~seeds
+    problem =
+  Emts_obs.Trace.span "ea.run"
+    ~args:
+      [
+        ("mu", Emts_obs.Trace.Int config.mu);
+        ("lambda", Emts_obs.Trace.Int config.lambda);
+        ("generations", Emts_obs.Trace.Int config.generations);
+        ("domains", Emts_obs.Trace.Int config.domains);
+        ("islands", Emts_obs.Trace.Int config.islands);
+      ]
+  @@ fun () ->
+  with_pool_opt ~domains:config.domains pool
+  @@ fun pool ->
+  let started = Emts_obs.Clock.now () in
+  let evaluations = ref 0 in
+  let births = ref 0 in
+  let eval_batch = make_eval_batch ~pool ~evaluations ~births problem in
+  let k = config.islands in
+  let rngs = Array.init k (fun _ -> Emts_prng.split rng) in
+  (* Seeds are evaluated once; every island starts from the same best-mu
+     seed population (they diverge through their own streams). *)
+  let seed_pop = eval_batch (Array.of_list seeds) in
+  Array.sort compare_individual seed_pop;
+  let populations =
+    Array.init k (fun _ ->
+        Array.init config.mu (fun i ->
+            if i < Array.length seed_pop then seed_pop.(i) else seed_pop.(0)))
+  in
+  let best_ever = ref populations.(0).(0) in
+  let consider candidate =
+    if compare_individual candidate !best_ever < 0 then best_ever := candidate
+  in
+  let history = ref [] in
+  let record ~born_after u =
+    let union = Array.concat (Array.to_list populations) in
+    let s =
+      stats_of ~generation:u ~evaluations:!evaluations ~born_after union
+    in
+    history := s :: !history;
+    Emts_obs.Progress.report (fun () ->
+        Printf.sprintf "ea generation %d/%d best %.6g evaluations %d"
+          s.generation config.generations s.best s.evaluations);
+    on_generation s
+  in
+  record ~born_after:0 0;
+  let out_of_time () =
+    (match config.time_budget with
+    | None -> false
+    | Some budget -> Emts_obs.Clock.elapsed ~since:started > budget)
+    ||
+    match deadline with
+    | None -> false
+    | Some d -> Emts_obs.Clock.now () > d
+  in
+  let u = ref 1 in
+  while !u <= config.generations && not (out_of_time ()) && not (stop ()) do
+    Emts_obs.Trace.span "ea.generation"
+      ~args:[ ("generation", Emts_obs.Trace.Int !u) ]
+    @@ fun () ->
+    Emts_obs.Metrics.incr m_generations;
+    let born_after = !births in
+    (* Every island's offspring are drawn before anything is evaluated,
+       each from its own stream — the RNG streams are identical whether
+       evaluation is parallel or not. *)
+    let offspring_genomes =
+      Array.init k (fun isl ->
+          let rng = rngs.(isl) in
+          let population = populations.(isl) in
+          Array.init config.lambda (fun _ ->
+              let slot = Emts_prng.int rng config.mu in
+              let parent = population.(slot) in
+              let base =
+                match problem.recombine with
+                | Some recombine
+                  when config.mu > 1
+                       && Emts_prng.bernoulli rng ~p:problem.crossover_rate
+                  ->
+                  let other_slot =
+                    let j = Emts_prng.int rng (config.mu - 1) in
+                    if j >= slot then j + 1 else j
+                  in
+                  recombine rng parent.genome population.(other_slot).genome
+                | Some _ | None -> parent.genome
+              in
+              problem.mutate rng ~generation:!u
+                ~total_generations:config.generations base))
+    in
+    (* One flat batch across all islands: the pool parallelises the
+       k * lambda evaluations over its domain slice. *)
+    let evaluated = eval_batch (Array.concat (Array.to_list offspring_genomes)) in
+    Array.iter consider evaluated;
+    Array.iteri
+      (fun isl population ->
+        let offspring = Array.sub evaluated (isl * config.lambda) config.lambda in
+        let pool =
+          match config.selection with
+          | Plus -> Array.append population offspring
+          | Comma -> offspring
+        in
+        Array.sort compare_individual pool;
+        Array.blit pool 0 population 0 config.mu)
+      populations;
+    (* Ring migration: populations are sorted, so emigrants are the
+       leading [migration_count] entries and immigrants replace the
+       trailing ones. *)
+    if
+      config.migration_count > 0
+      && !u mod config.migration_interval = 0
+    then begin
+      Emts_obs.Metrics.incr m_migrations;
+      let count = config.migration_count in
+      let emigrants =
+        Array.map (fun p -> Array.sub p 0 count) populations
+      in
+      Array.iteri
+        (fun isl population ->
+          let source = (isl + k - 1) mod k in
+          Array.iteri
+            (fun j m -> population.(config.mu - count + j) <- m)
+            emigrants.(source);
+          Array.sort compare_individual population)
+        populations
+    end;
+    record ~born_after !u;
+    incr u
+  done;
+  {
+    best = !best_ever.genome;
+    best_fitness = !best_ever.fit;
+    history = List.rev !history;
+    evaluations = !evaluations;
+    elapsed = Emts_obs.Clock.elapsed ~since:started;
+  }
+
 let run ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?deadline
     ?pool ?checkpoint ~rng ~config ~seeds problem =
   if seeds = [] then invalid_arg "Emts_ea.run: seeds must be non-empty";
+  if config.islands > 1 && Option.is_some checkpoint then
+    invalid_arg "Emts_ea.run: checkpointing requires islands = 1";
+  if config.islands > 1 then
+    run_islands ~on_generation ~stop ~deadline ~pool ~rng ~config ~seeds
+      problem
+  else begin
   (* Span context is ambient (Domain.DLS): when the serving layer runs
      this under a request's [serve.solve] span, ea.run and everything
      below it inherit that request's trace_id with no plumbing here.
@@ -515,9 +696,13 @@ let run ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?deadline
   evolve ~stop ~deadline ~checkpoint ~rng ~config ~started ~eval_batch ~record
     ~evaluations ~births ~history ~population ~best_ever ~first_generation:1
     ~saved_through:(-1) problem
+  end
 
 let resume ?(on_generation = fun _ -> ()) ?(stop = fun () -> false) ?deadline
     ?pool ~from ~config problem =
+  if config.islands > 1 then
+    Error "Emts_ea.resume: resuming requires islands = 1"
+  else
   match load_checkpoint from ~config with
   | Error _ as e -> e
   | Ok snap ->

@@ -34,13 +34,35 @@ type config = {
           {!run} (and joined on every exit path, including a raising
           fitness function), not re-spawned per generation. *)
   selection : selection;  (** default [Plus] *)
+  islands : int;
+      (** island-model sub-populations, [>= 1]; default 1.  With
+          [islands = k > 1] the run evolves [k] independent
+          populations of [mu] each, every island drawing from its own
+          PRNG stream ({!Emts_prng.split} of the caller's [rng], one
+          split per island before anything else), and exchanges
+          migrants on a ring every [migration_interval] generations.
+          [islands = 1] is {e exactly} the plain (μ+λ) strategy — the
+          caller's stream is never split, so results are bit-identical
+          to earlier releases.  Results for any fixed
+          (seed, islands, interval, count) are deterministic and
+          independent of [domains]. *)
+  migration_interval : int;
+      (** generations between ring exchanges, [>= 1]; default 5.
+          Ignored when [islands = 1]. *)
+  migration_count : int;
+      (** emigrants per exchange, in [0, mu]; default 1.  Island [i]'s
+          [migration_count] best replace the worst of island
+          [(i + 1) mod islands]; emigrants are snapshotted before any
+          replacement, so one exchange moves each individual at most
+          one hop.  0 disables migration (fully isolated islands). *)
 }
 
 val config :
-  ?time_budget:float -> ?domains:int -> ?selection:selection -> mu:int ->
-  lambda:int -> generations:int -> unit -> config
-(** Validating constructor; raises [Invalid_argument] on bad sizes, and
-    on [Comma] with [lambda < mu]. *)
+  ?time_budget:float -> ?domains:int -> ?selection:selection ->
+  ?islands:int -> ?migration_interval:int -> ?migration_count:int ->
+  mu:int -> lambda:int -> generations:int -> unit -> config
+(** Validating constructor; raises [Invalid_argument] on bad sizes, on
+    [Comma] with [lambda < mu], and on bad island parameters. *)
 
 type 'g problem = {
   fitness : 'g -> float;
@@ -170,7 +192,16 @@ val run :
     [config.domains] is ignored in favour of the pool's lane count.
     The serving layer keeps one pool per server worker across requests,
     eliminating the per-request domain-spawn cost.  The result is
-    bit-identical either way (pool evaluation is outcome-preserving). *)
+    bit-identical either way (pool evaluation is outcome-preserving).
+
+    With [config.islands > 1] the seed ranking is shared (every island
+    starts from the same best-[mu] seeds), each generation evaluates
+    all islands' offspring as one batch through the pool, survivor
+    selection is per island, and [generation_stats] cover the {e union}
+    of the island populations — so [worst] remains an upper bound for
+    every island's own worst and cutoff-based adaptive layers stay
+    sound.  Checkpointing requires [islands = 1] (raises
+    [Invalid_argument] otherwise). *)
 
 val resume :
   ?on_generation:(generation_stats -> unit) ->
@@ -193,7 +224,9 @@ val resume :
     [Error] with a one-line [file: reason] diagnostic on a missing or
     corrupt checkpoint, a config mismatch, or a genome that fails to
     decode; the checkpoint file is never modified on error.  [elapsed]
-    in the result counts only the resumed portion of the run. *)
+    in the result counts only the resumed portion of the run.
+    [config.islands] must be 1 ([Error] otherwise — island runs are
+    not checkpointable). *)
 
 val default_domains : unit -> int
 (** Recommended worker count: [Domain.recommended_domain_count],

@@ -1,0 +1,49 @@
+(** One scheduling backend as seen by the router: an endpoint, a small
+    pool of persistent connections, and a liveness/readiness belief.
+
+    A backend starts out presumed live (the first forward finds out).
+    Transport failures — refused dials, hangups mid-roundtrip — mark
+    it dead and close its pooled connections; the router's health
+    prober revives it once it answers probes again.  [draining] is
+    tracked separately from liveness: a draining backend still answers
+    admitted work but must not be handed new schedules.
+
+    Thread-safe: forwards run concurrently from client reader threads
+    while the prober pokes the same handle. *)
+
+type t
+
+val create : Emts_serve.Endpoint.t -> t
+(** No I/O happens here; the first roundtrip dials. *)
+
+val endpoint : t -> Emts_serve.Endpoint.t
+
+val name : t -> string
+(** Canonical label ({!Emts_serve.Endpoint.to_string}) — the
+    rendezvous-hash identity and the metrics/report key. *)
+
+val is_live : t -> bool
+
+val is_ready : t -> bool
+(** Live and not draining: eligible for new schedule forwards. *)
+
+val mark_dead : t -> unit
+(** Close pooled connections and stop routing here until a probe
+    succeeds. *)
+
+val roundtrip : t -> max_frame:int -> string -> (string, string) result
+(** [roundtrip t ~max_frame payload] sends one request payload as a
+    frame over a pooled (or fresh) connection and reads exactly one
+    reply frame.  One outstanding request per connection, so replies
+    cannot interleave.  A failure on a {e pooled} connection (the
+    backend may have restarted since it was pooled) is retried once on
+    a fresh dial; failure there marks the backend dead.  [Error] is a
+    one-line transport diagnostic. *)
+
+val probe : t -> timeout_s:float -> max_frame:int -> unit
+(** Health-check over a dedicated short-timeout connection: a sound
+    [health] reply revives the backend and refreshes [draining]; a
+    timeout, transport error or malformed reply marks it dead. *)
+
+val close : t -> unit
+(** Close pooled connections (shutdown path). *)

@@ -1,0 +1,5 @@
+(** EMTS fleet routing: backend handles and the front-end daemon that
+    shards schedule work over them.  See DESIGN.md §16. *)
+
+module Backend = Backend
+module Router = Router

@@ -1,0 +1,43 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* index of the front element, when size > 0 *)
+  mutable size : int;
+}
+
+let create () = { buf = Array.make 8 None; head = 0; size = 0 }
+let length d = d.size
+let is_empty d = d.size = 0
+
+let grow d =
+  let cap = Array.length d.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to d.size - 1 do
+    buf.(i) <- d.buf.((d.head + i) mod cap)
+  done;
+  d.buf <- buf;
+  d.head <- 0
+
+let push_back d x =
+  if d.size = Array.length d.buf then grow d;
+  d.buf.((d.head + d.size) mod Array.length d.buf) <- Some x;
+  d.size <- d.size + 1
+
+let pop_back d =
+  if d.size = 0 then None
+  else begin
+    let i = (d.head + d.size - 1) mod Array.length d.buf in
+    let x = d.buf.(i) in
+    d.buf.(i) <- None;
+    d.size <- d.size - 1;
+    x
+  end
+
+let pop_front d =
+  if d.size = 0 then None
+  else begin
+    let x = d.buf.(d.head) in
+    d.buf.(d.head) <- None;
+    d.head <- (d.head + 1) mod Array.length d.buf;
+    d.size <- d.size - 1;
+    x
+  end

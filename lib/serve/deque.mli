@@ -1,0 +1,29 @@
+(** Growable ring-buffer deque — the per-worker job store behind the
+    admission queue's work stealing (DESIGN.md §16).
+
+    The owner treats its deque as a stack ([push_back]/[pop_back]):
+    the job it admitted last is the one whose client connection and
+    instance state are hottest.  Thieves take from the opposite end
+    ([pop_front]) — the {e oldest} job, which has waited longest and
+    is least likely to still matter to the owner.  That split is the
+    classic work-stealing discipline (Arora–Blumofe–Plaxton, and the
+    manticore runtime this reproduction cribs idiom from).
+
+    Not thread-safe: the admission queue serialises every operation
+    under its own mutex — jobs are heavyweight (a solve each), so a
+    shared lock costs nothing detectable next to one evaluation. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+(** Owner end; grows the ring as needed. *)
+
+val pop_back : 'a t -> 'a option
+(** Owner end, LIFO. *)
+
+val pop_front : 'a t -> 'a option
+(** Thief end, FIFO. *)

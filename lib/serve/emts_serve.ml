@@ -1,6 +1,9 @@
 (** EMTS scheduling service: wire protocol, warm request engine, and
     the concurrent daemon.  See DESIGN.md §11 for the protocol spec. *)
 
+module Deque = Deque
+module Endpoint = Endpoint
+module Metrics_http = Metrics_http
 module Protocol = Protocol
 module Engine = Engine
 module Server = Server

@@ -1,0 +1,58 @@
+type t = Unix_socket of string | Tcp of string * int
+
+let parse_hostport ~flag spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "%s %S: expected HOST:PORT" flag spec)
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 && host <> "" -> Ok (host, p)
+    | _ -> Error (Printf.sprintf "%s %S: expected HOST:PORT" flag spec))
+
+let parse ~flag spec =
+  match String.split_on_char ':' spec with
+  | "unix" :: rest when rest <> [] ->
+    Ok (Unix_socket (String.concat ":" rest))
+  | _ when String.contains spec '/' -> Ok (Unix_socket spec)
+  | _ ->
+    Result.map (fun (host, port) -> Tcp (host, port)) (parse_hostport ~flag spec)
+
+let to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+    | h -> h.Unix.h_addr_list.(0))
+
+let with_fresh_socket domain f =
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  try f fd; fd
+  with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e
+
+let connect_fd = function
+  | Unix_socket path ->
+    with_fresh_socket Unix.PF_UNIX (fun fd ->
+        Unix.connect fd (Unix.ADDR_UNIX path))
+  | Tcp (host, port) ->
+    let addr = resolve_host host in
+    with_fresh_socket Unix.PF_INET (fun fd ->
+        Unix.connect fd (Unix.ADDR_INET (addr, port)))
+
+let listen_fd ?(backlog = 64) = function
+  | Unix_socket path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    with_fresh_socket Unix.PF_UNIX (fun fd ->
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd backlog)
+  | Tcp (host, port) ->
+    let addr = resolve_host host in
+    with_fresh_socket Unix.PF_INET (fun fd ->
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        Unix.listen fd backlog)

@@ -1,0 +1,47 @@
+(** Server endpoints: one address grammar for every daemon and client.
+
+    The serve daemon, the router and the load generator all take
+    addresses on their command lines ([--socket], [--listen],
+    [--connect], [--backend]) and historically each parsed its own.
+    This module is the single shared grammar:
+
+    - ["unix:PATH"] or any spec containing ['/'] is a Unix-domain
+      socket path;
+    - anything else must be ["HOST:PORT"] (the port split on the
+      {e last} [':'], so IPv6-ish hosts with colons still parse).
+
+    Parse errors quote the offending flag and spec verbatim — these
+    strings are pinned by the cram tests, so clients get the same
+    message no matter which binary they typed it at. *)
+
+type t =
+  | Unix_socket of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host (name or literal address), port *)
+
+val parse_hostport : flag:string -> string -> (string * int, string) result
+(** [parse_hostport ~flag spec] splits [spec] on its last [':'] into a
+    non-empty host and a port in \[1, 65535\].  [Error] messages read
+    ["<flag> <spec>: expected HOST:PORT"]. *)
+
+val parse : flag:string -> string -> (t, string) result
+(** Full grammar: ["unix:PATH"] / a spec containing ['/'] parse as
+    {!Unix_socket}; everything else goes through {!parse_hostport}. *)
+
+val to_string : t -> string
+(** ["unix:PATH"] or ["HOST:PORT"] — [parse] round-trips it. *)
+
+val resolve_host : string -> Unix.inet_addr
+(** Literal address, else first [gethostbyname] answer.
+    @raise Not_found when the host does not resolve. *)
+
+val connect_fd : t -> Unix.file_descr
+(** Connect a fresh cloexec stream socket to the endpoint.  The
+    descriptor is closed again if [connect] itself fails.
+    @raise Unix.Unix_error on connection failure.
+    @raise Not_found when a TCP host does not resolve. *)
+
+val listen_fd : ?backlog:int -> t -> Unix.file_descr
+(** Bind and listen (default [backlog] 64).  An existing Unix socket
+    path is unlinked first; TCP listeners set [SO_REUSEADDR].
+    @raise Unix.Unix_error on bind failure.
+    @raise Not_found when a TCP host does not resolve. *)

@@ -11,7 +11,15 @@ type caches = {
   table : (string, Emts_pool.Cache.t) Hashtbl.t;
   capacity : int;
   max_instances : int;
+  (* Migrant allocations offered by fleet peers ([migrate] verb),
+     buffered per instance until the next solve of that instance drains
+     them as extra seeds.  Guarded by [lock]; bounded both per instance
+     ([max_migrants_per_instance], newest kept) and across instances
+     (flush-on-full, mirroring [table]). *)
+  migrants : (string, int array list) Hashtbl.t;
 }
+
+let max_migrants_per_instance = 64
 
 let caches ~capacity ~max_instances =
   if capacity < 0 then
@@ -23,6 +31,7 @@ let caches ~capacity ~max_instances =
     table = Hashtbl.create 16;
     capacity;
     max_instances;
+    migrants = Hashtbl.create 16;
   }
 
 let cache_instances c =
@@ -33,6 +42,43 @@ let cache_instances c =
 
 let instance_key (req : Protocol.Request.schedule) =
   String.concat "\x01" [ req.ptg; req.platform; req.model ]
+
+let migrant_key ~ptg ~platform ~model =
+  String.concat "\x01" [ ptg; platform; model ]
+
+let offer_migrants c ~ptg ~platform ~model vectors =
+  match vectors with
+  | [] -> 0
+  | _ ->
+    let key = migrant_key ~ptg ~platform ~model in
+    Mutex.lock c.lock;
+    let existing =
+      Option.value ~default:[] (Hashtbl.find_opt c.migrants key)
+    in
+    if existing = [] && Hashtbl.length c.migrants >= max_migrants_per_instance
+    then Hashtbl.reset c.migrants;
+    (* Newest first; trim the oldest past the per-instance bound. *)
+    let merged = List.rev_append (List.rev vectors) existing in
+    let trimmed = List.filteri (fun i _ -> i < max_migrants_per_instance) merged in
+    Hashtbl.replace c.migrants key trimmed;
+    let accepted =
+      min (List.length vectors) (List.length trimmed)
+    in
+    Mutex.unlock c.lock;
+    accepted
+
+let take_migrants c (req : Protocol.Request.schedule) =
+  let key = instance_key req in
+  Mutex.lock c.lock;
+  let taken =
+    match Hashtbl.find_opt c.migrants key with
+    | None -> []
+    | Some vs ->
+      Hashtbl.remove c.migrants key;
+      vs
+  in
+  Mutex.unlock c.lock;
+  taken
 
 let cache_for c req =
   if c.capacity = 0 then None
@@ -158,25 +204,34 @@ let handle t (req : Protocol.Request.schedule) ~deadline =
       }
   in
   match String.lowercase_ascii req.algorithm with
-  | ("emts5" | "emts10") as name ->
+  | ("emts1" | "emts5" | "emts10") as name ->
     let config =
-      if name = "emts5" then Emts.Algorithm.emts5 else Emts.Algorithm.emts10
+      match name with
+      | "emts1" -> Emts.Algorithm.emts1
+      | "emts5" -> Emts.Algorithm.emts5
+      | _ -> Emts.Algorithm.emts10
     in
     let config =
       {
         config with
         Emts.Algorithm.time_budget = req.budget_s;
         delta_fitness = t.delta_fitness;
+        islands = req.islands;
+        migration_interval = req.migration_interval;
+        (* The wire field is validated only as >= 0; the EA requires
+           count <= mu, so clamp rather than fault the request. *)
+        migration_count = min req.migration_count config.Emts.Algorithm.mu;
       }
     in
     let cache = cache_for t.caches req in
+    let extra_seeds = take_migrants t.caches req in
     let rng = Emts_prng.create ~seed:req.seed () in
     let result =
       Emts_obs.Trace.span "engine.solve"
         ~args:[ ("algorithm", Emts_obs.Trace.Str name) ]
         (fun () ->
           Emts.Algorithm.run_ctx ?deadline ?cache ~pool:t.pool ~rng ~config
-            ~ctx ())
+            ~extra_seeds ~ctx ())
     in
     let generations_done =
       List.length result.Emts.Algorithm.ea.Emts_ea.history - 1

@@ -25,6 +25,29 @@ val caches : capacity:int -> max_instances:int -> caches
 val cache_instances : caches -> int
 (** Number of instance caches currently held. *)
 
+(** {1 Migrant buffers (fleet gossip)}
+
+    Allocation vectors offered by fleet peers through the [migrate]
+    verb are buffered per scheduling instance and drained — as extra
+    seeds ranked alongside the heuristic ones — by the next solve of
+    that instance.  Bounded: at most 64 vectors per instance (newest
+    kept) and 64 buffered instances (flush-on-full).  Vectors that do
+    not fit the instance are dropped at solve time
+    ({!Emts.Algorithm.run_ctx}), so garbage from a confused peer is a
+    no-op.  Domain-safe (same lock as the cache pool). *)
+
+val offer_migrants :
+  caches ->
+  ptg:string -> platform:string -> model:string ->
+  int array list -> int
+(** [offer_migrants c ~ptg ~platform ~model vectors] buffers migrants
+    for the instance keyed by the verbatim request fields, returning
+    how many were kept after the per-instance bound was applied. *)
+
+val take_migrants : caches -> Protocol.Request.schedule -> int array list
+(** Drain (return and clear) the migrants buffered for [req]'s
+    instance. *)
+
 (** {1 Engine} *)
 
 type t
@@ -68,4 +91,12 @@ val handle :
     run stops at the next generation boundary and the outcome carries
     the best-so-far allocation with [deadline_hit = true].  [Error] is
     a one-line client-fault diagnostic ([bad_request] material);
-    genuine server faults escape as exceptions. *)
+    genuine server faults escape as exceptions.
+
+    EMTS algorithms ([emts1], [emts5], [emts10]) honour the request's
+    island fields ([islands] / [migration_interval] /
+    [migration_count], the count clamped to the strategy's μ) and
+    drain any buffered migrants for the instance into the seed pool —
+    so a response is a function of (request, migrants previously
+    offered for its instance); with no [migrate] traffic it remains a
+    function of the request alone. *)

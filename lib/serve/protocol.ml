@@ -113,12 +113,17 @@ module Request = struct
     deadline_s : float option;
     budget_s : float option;
     trace_id : string option;
+    islands : int;
+    migration_interval : int;
+    migration_count : int;
   }
 
   let schedule ?(platform = "grelon") ?(model = "amdahl")
       ?(algorithm = "emts5") ?(seed = 0x5EED_CA11) ?deadline_s ?budget_s
-      ?trace_id ~ptg () =
-    { ptg; platform; model; algorithm; seed; deadline_s; budget_s; trace_id }
+      ?trace_id ?(islands = 1) ?(migration_interval = 5)
+      ?(migration_count = 1) ~ptg () =
+    { ptg; platform; model; algorithm; seed; deadline_s; budget_s; trace_id;
+      islands; migration_interval; migration_count }
 
   type t =
     | Schedule of { id : J.t; req : schedule }
@@ -126,10 +131,17 @@ module Request = struct
     | Metrics of { id : J.t }
     | Ping of { id : J.t }
     | Health of { id : J.t }
+    | Migrate of {
+        id : J.t;
+        ptg : string;
+        platform : string;
+        model : string;
+        migrants : int array list;
+      }
 
   let id = function
     | Schedule { id; _ } | Stats { id } | Metrics { id } | Ping { id }
-    | Health { id } ->
+    | Health { id } | Migrate { id; _ } ->
       id
 
   let to_json t =
@@ -141,6 +153,22 @@ module Request = struct
     | Stats { id } -> with_id id [ ("verb", J.Str "stats") ]
     | Metrics { id } -> with_id id [ ("verb", J.Str "metrics") ]
     | Health { id } -> with_id id [ ("verb", J.Str "health") ]
+    | Migrate { id; ptg; platform; model; migrants } ->
+      with_id id
+        [
+          ("verb", J.Str "migrate");
+          ("ptg", J.Str ptg);
+          ("platform", J.Str platform);
+          ("model", J.Str model);
+          ( "migrants",
+            J.List
+              (List.map
+                 (fun a ->
+                   J.List
+                     (Array.to_list
+                        (Array.map (fun p -> J.Num (float_of_int p)) a)))
+                 migrants) );
+        ]
     | Schedule { id; req } ->
       let opt name = function
         | None -> []
@@ -161,7 +189,19 @@ module Request = struct
          ]
         @ opt "deadline_s" req.deadline_s
         @ opt "budget_s" req.budget_s
-        @ opt_str "trace_id" req.trace_id)
+        @ opt_str "trace_id" req.trace_id
+        @
+        (* Island fields are emitted only when the island model is on,
+           so islands = 1 requests are byte-identical to pre-island
+           clients' frames. *)
+        if req.islands = 1 then []
+        else
+          [
+            ("islands", J.Num (float_of_int req.islands));
+            ( "migration_interval",
+              J.Num (float_of_int req.migration_interval) );
+            ("migration_count", J.Num (float_of_int req.migration_count));
+          ])
 
   let of_json json =
     let id = id_of json in
@@ -218,10 +258,72 @@ module Request = struct
                Emts_obs.Span.max_trace_id_len)
         | _ -> Ok ()
       in
+      let int_field name ~default ~min ~max =
+        match J.member name json with
+        | None -> Ok default
+        | Some v ->
+          let* n =
+            Result.map_error
+              (fun m -> Printf.sprintf "field %S: %s" name m)
+              (J.to_int v)
+          in
+          if n < min || n > max then
+            Error
+              (Printf.sprintf "field %S: must be in [%d, %d]" name min max)
+          else Ok n
+      in
+      let* islands = int_field "islands" ~default:1 ~min:1 ~max:64 in
+      let* migration_interval =
+        int_field "migration_interval" ~default:5 ~min:1 ~max:1_000_000
+      in
+      let* migration_count =
+        int_field "migration_count" ~default:1 ~min:0 ~max:1_000
+      in
       Ok
         (Schedule
            { id; req = { ptg; platform; model; algorithm; seed; deadline_s;
-                         budget_s; trace_id } })
+                         budget_s; trace_id; islands; migration_interval;
+                         migration_count } })
+    | "migrate" ->
+      let* ptg = field "ptg" J.to_str json in
+      let* platform =
+        match J.member "platform" json with
+        | None -> Ok "grelon"
+        | Some v -> J.to_str v
+      in
+      let* model =
+        match J.member "model" json with
+        | None -> Ok "amdahl"
+        | Some v -> J.to_str v
+      in
+      let* migrants_json = field "migrants" J.to_list json in
+      let* migrants =
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            let* entries =
+              Result.map_error (fun m -> "field \"migrants\": " ^ m)
+                (J.to_list v)
+            in
+            let* alloc =
+              List.fold_left
+                (fun acc v ->
+                  let* acc = acc in
+                  let* p =
+                    Result.map_error
+                      (fun m -> "field \"migrants\": " ^ m)
+                      (J.to_int v)
+                  in
+                  if p < 1 then
+                    Error "field \"migrants\": processor counts must be >= 1"
+                  else Ok (p :: acc))
+                (Ok []) entries
+            in
+            Ok (Array.of_list (List.rev alloc) :: acc))
+          (Ok []) migrants_json
+        |> Result.map List.rev
+      in
+      Ok (Migrate { id; ptg; platform; model; migrants })
     | v -> Error (Printf.sprintf "unknown verb %S" v)
 
   let to_string t = J.to_string (to_json t)
@@ -244,6 +346,7 @@ module Error_code = struct
   let draining = "draining"
   let internal = "internal"
   let deadline_exceeded = "deadline_exceeded"
+  let unavailable = "unavailable"
 end
 
 module Response = struct
@@ -270,7 +373,14 @@ module Response = struct
     | Stats of { id : J.t; stats : J.t }
     | Metrics of { id : J.t; body : string }
     | Pong of { id : J.t; server : string }
-    | Health of { id : J.t; live : bool; ready : bool; draining : bool }
+    | Health of {
+        id : J.t;
+        live : bool;
+        ready : bool;
+        draining : bool;
+        backends_live : int option;
+      }
+    | Migrate_ack of { id : J.t; accepted : int }
     | Error of {
         id : J.t;
         code : string;
@@ -304,15 +414,27 @@ module Response = struct
           ("content_type", J.Str openmetrics_content_type);
           ("body", J.Str body);
         ]
-    | Health { id; live; ready; draining } ->
+    | Health { id; live; ready; draining; backends_live } ->
+      J.Obj
+        ([
+           ("status", J.Str "ok");
+           ("verb", J.Str "health");
+           ("id", id);
+           ("live", J.Bool live);
+           ("ready", J.Bool ready);
+           ("draining", J.Bool draining);
+         ]
+        @
+        match backends_live with
+        | None -> []
+        | Some n -> [ ("backends_live", J.Num (float_of_int n)) ])
+    | Migrate_ack { id; accepted } ->
       J.Obj
         [
           ("status", J.Str "ok");
-          ("verb", J.Str "health");
+          ("verb", J.Str "migrate");
           ("id", id);
-          ("live", J.Bool live);
-          ("ready", J.Bool ready);
-          ("draining", J.Bool draining);
+          ("accepted", J.Num (float_of_int accepted));
         ]
     | Error { id; code; message; retry_after_ms } ->
       J.Obj
@@ -391,7 +513,11 @@ module Response = struct
         let* live = bool_field "live" in
         let* ready = bool_field "ready" in
         let* draining = bool_field "draining" in
-        Ok (Health { id; live; ready; draining })
+        let* backends_live = opt_field "backends_live" J.to_int json in
+        Ok (Health { id; live; ready; draining; backends_live })
+      | "migrate" ->
+        let* accepted = field "accepted" J.to_int json in
+        Ok (Migrate_ack { id; accepted })
       | "schedule" ->
         let* algorithm = field "algorithm" J.to_str json in
         let* makespan = field "makespan" J.to_float json in

@@ -85,11 +85,23 @@ module Request : sig
             server tags its server-side spans with it and echoes it in
             the response, so a client trace and a daemon trace
             concatenate into one coherent Perfetto file *)
+    islands : int;
+        (** island-model sub-populations for EMTS algorithms, in
+            [1, 64]; default 1 (plain EA, and the field is then omitted
+            from the wire form so old and new clients emit identical
+            frames).  See {!Emts_ea.config}. *)
+    migration_interval : int;
+        (** generations between island ring exchanges, [>= 1];
+            default 5 *)
+    migration_count : int;
+        (** emigrants per exchange, [>= 0] (clamped to μ server-side);
+            default 1 *)
   }
 
   val schedule :
     ?platform:string -> ?model:string -> ?algorithm:string -> ?seed:int ->
     ?deadline_s:float -> ?budget_s:float -> ?trace_id:string ->
+    ?islands:int -> ?migration_interval:int -> ?migration_count:int ->
     ptg:string -> unit -> schedule
 
   type t =
@@ -101,6 +113,20 @@ module Request : sig
         (** readiness probe: answered by the reader thread (never
             queued) with live/ready/draining, so orchestrators can
             route around a draining node before its drain finishes *)
+    | Migrate of {
+        id : J.t;
+        ptg : string;
+        platform : string;
+        model : string;
+        migrants : int array list;
+      }
+        (** fleet gossip: allocation vectors another node evolved for
+            the {e same} scheduling instance — keyed by
+            (ptg, platform, model) — offered as extra seeds for future
+            solves of that instance here.  Answered immediately by the
+            reader thread with {!Response.Migrate_ack} (never queued);
+            vectors that do not fit the instance are dropped at solve
+            time, so a confused peer degrades to a no-op. *)
 
   val id : t -> J.t
   (** The client-chosen correlation id (any JSON value; defaults to
@@ -124,7 +150,10 @@ end
       the worker lane is respawned, the daemon keeps serving;
     - [deadline_exceeded] — the request's deadline (plus the server's
       watchdog grace) passed without a reply; the watchdog answered so
-      the client is not left hanging on a stuck solve.
+      the client is not left hanging on a stuck solve;
+    - [unavailable] — a fleet router found no live backend to serve
+      the request (every backend dead or draining); retry later or
+      against a backend directly.
 
     [overloaded] responses may carry a [retry_after_ms] hint when the
     server is shedding load adaptively (observed queue-wait p95 over
@@ -137,6 +166,7 @@ module Error_code : sig
   val draining : string
   val internal : string
   val deadline_exceeded : string
+  val unavailable : string
 end
 
 module Response : sig
@@ -170,10 +200,20 @@ module Response : sig
         (** [body] is the OpenMetrics text exposition
             ({!Emts_obs.Metrics.render_openmetrics}) *)
     | Pong of { id : J.t; server : string }
-    | Health of { id : J.t; live : bool; ready : bool; draining : bool }
+    | Health of {
+        id : J.t;
+        live : bool;
+        ready : bool;
+        draining : bool;
+        backends_live : int option;
+      }
         (** [ready] is false exactly when [draining] is true: the
             process still answers admitted work but admits nothing
-            new *)
+            new.  [backends_live] is set by the fleet router (count of
+            live backends, [ready] iff at least one); single daemons
+            omit it *)
+    | Migrate_ack of { id : J.t; accepted : int }
+        (** [accepted] migrants were buffered for their instance *)
     | Error of {
         id : J.t;
         code : string;

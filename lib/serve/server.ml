@@ -54,6 +54,10 @@ let m_watchdog =
   Metrics.counter
     ~help:"stuck requests answered deadline_exceeded by the watchdog"
     "serve.watchdog_fired_total"
+let m_steals =
+  Metrics.counter
+    ~help:"jobs stolen from another worker's deque"
+    "serve.steals_total"
 
 type config = {
   socket : string option;
@@ -67,6 +71,7 @@ type config = {
   cache_instances : int;
   watchdog_grace : float;
   shed_budget : float option;
+  steal : bool;
 }
 
 let default =
@@ -82,6 +87,7 @@ let default =
     cache_instances = 32;
     watchdog_grace = 0.5;
     shed_budget = None;
+    steal = true;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -136,7 +142,23 @@ let reader_finished c =
   Mutex.unlock c.wmutex
 
 (* ------------------------------------------------------------------ *)
-(* Bounded FIFO admission queue. *)
+(* Bounded admission queue over per-worker deques with work stealing.
+
+   Admission round-robins jobs across one deque per worker domain.
+   An owner pops its own deque LIFO (the job it was handed last is the
+   hottest); a worker whose deque is empty steals FIFO from a
+   seeded-random victim — the oldest waiting job, exactly the one a
+   plain shared FIFO would hand out next, so no job starves while any
+   worker idles.  [steal = false] collapses the lanes to one shared
+   deque popped from the front: bit-for-bit the historical bounded
+   FIFO, kept as the benchmark baseline (--no-steal).
+
+   Every operation still happens under one queue mutex: jobs are
+   heavyweight (each is a whole EA solve), so lock traffic is noise
+   and the deques buy job *placement* — owner locality and LIFO
+   freshness — not lock freedom.  Backpressure is unchanged and
+   checked at admission over the total across lanes: cap first, then
+   the adaptive queue-wait-p95 shed. *)
 
 type job = {
   id : J.t;
@@ -165,7 +187,12 @@ type queue = {
   m : Mutex.t;
   nonempty : Condition.t;
   idle : Condition.t;
-  jobs : job Queue.t;
+  deques : job Deque.t array;  (* one lane per worker; one shared when not stealing *)
+  depth_gauges : Metrics.gauge array;  (* serve.deque_depth.<i>, per lane *)
+  steal : bool;
+  victim : Emts_prng.t;  (* seeded victim picker; guarded by [m] *)
+  mutable next : int;  (* round-robin admission cursor *)
+  mutable queued : int;  (* total jobs across lanes *)
   cap : int;
   shed_budget : float option;  (* queue-wait p95 budget; None = no shedding *)
   wait_ring : float array;  (* last [wait_window] queue-wait samples *)
@@ -176,12 +203,21 @@ type queue = {
   mutable in_flight : int;
 }
 
-let queue_make ?shed_budget cap =
+let queue_make ?shed_budget ?(steal = true) ~workers cap =
+  let lanes = if steal then max 1 workers else 1 in
   {
     m = Mutex.create ();
     nonempty = Condition.create ();
     idle = Condition.create ();
-    jobs = Queue.create ();
+    deques = Array.init lanes (fun _ -> Deque.create ());
+    depth_gauges =
+      Array.init lanes (fun i ->
+          Metrics.gauge ~help:"jobs waiting in this worker deque"
+            (Printf.sprintf "serve.deque_depth.%d" i));
+    steal;
+    victim = Emts_prng.create ~seed:0x57EA1 ();
+    next = 0;
+    queued = 0;
     cap;
     shed_budget;
     wait_ring = Array.make wait_window 0.;
@@ -191,6 +227,12 @@ let queue_make ?shed_budget cap =
     closed = false;
     in_flight = 0;
   }
+
+(* Callers hold [q.m]. *)
+let set_depth_locked q lane =
+  Metrics.set_gauge q.depth_gauges.(lane)
+    (float_of_int (Deque.length q.deques.(lane)));
+  Metrics.set_gauge g_queue_depth (float_of_int q.queued)
 
 (* Callers hold [q.m]. *)
 let record_wait_locked q w =
@@ -228,7 +270,7 @@ let enqueue q job =
           retry_after_ms = None;
           rmessage = "server is draining; no new work accepted";
         }
-    else if Queue.length q.jobs >= q.cap then
+    else if q.queued >= q.cap then
       Error
         {
           rcode = Protocol.Error_code.overloaded;
@@ -238,9 +280,8 @@ let enqueue q job =
     else
       match q.shed_budget with
       | Some budget
-        when q.wait_count >= 8
-             && (not (Queue.is_empty q.jobs))
-             && wait_p95_locked q > budget ->
+        when q.wait_count >= 8 && q.queued > 0 && wait_p95_locked q > budget
+        ->
         (* Adaptive shedding: recent jobs waited longer than the budget
            and the queue is non-empty, so admitting more work only
            queues it into certain death.  Circuit-break now with an
@@ -255,28 +296,58 @@ let enqueue q job =
                retry after retry_after_ms";
           }
       | _ ->
-        Queue.push job q.jobs;
-        Metrics.set_gauge g_queue_depth (float_of_int (Queue.length q.jobs));
+        let lane = q.next mod Array.length q.deques in
+        q.next <- (lane + 1) mod Array.length q.deques;
+        Deque.push_back q.deques.(lane) job;
+        q.queued <- q.queued + 1;
+        set_depth_locked q lane;
         Condition.signal q.nonempty;
         Ok ()
   in
   Mutex.unlock q.m;
   r
 
-let dequeue q =
+(* Take one job for [worker] with [q.m] held: own lane from the back,
+   else sweep for a victim from a seeded-random start, taking from the
+   front.  The sweep visits every lane, so [q.queued > 0] guarantees a
+   job — which is also why a signalled worker can never strand work it
+   happened not to own. *)
+let take_locked q ~worker =
+  let lanes = Array.length q.deques in
+  let own = worker mod lanes in
+  match (if q.steal then Deque.pop_back q.deques.(own) else None) with
+  | Some job -> Some (own, job)
+  | None ->
+    let start = if q.steal then Emts_prng.int q.victim lanes else 0 in
+    let rec sweep k =
+      if k = lanes then None
+      else
+        let v = (start + k) mod lanes in
+        match Deque.pop_front q.deques.(v) with
+        | Some job ->
+          if q.steal && v <> own then Metrics.incr m_steals;
+          Some (v, job)
+        | None -> sweep (k + 1)
+    in
+    sweep 0
+
+let dequeue q ~worker =
   Mutex.lock q.m;
-  while Queue.is_empty q.jobs && not q.closed do
+  while q.queued = 0 && not q.closed do
     Condition.wait q.nonempty q.m
   done;
   let r =
-    if Queue.is_empty q.jobs then None
+    if q.queued = 0 then None
     else begin
-      let job = Queue.pop q.jobs in
-      q.in_flight <- q.in_flight + 1;
-      record_wait_locked q (Emts_obs.Clock.now () -. job.arrival);
-      Metrics.set_gauge g_queue_depth (float_of_int (Queue.length q.jobs));
-      Metrics.set_gauge g_in_flight (float_of_int q.in_flight);
-      Some job
+      match take_locked q ~worker with
+      | None -> None  (* unreachable: the sweep visits every lane *)
+      | Some (lane, job) ->
+        q.queued <- q.queued - 1;
+        q.in_flight <- q.in_flight + 1;
+        record_wait_locked q (Emts_obs.Clock.now () -. job.arrival);
+        set_depth_locked q lane;
+        Metrics.set_gauge g_in_flight (float_of_int q.in_flight);
+        Some job
     end
   in
   Mutex.unlock q.m;
@@ -286,7 +357,7 @@ let job_done q =
   Mutex.lock q.m;
   q.in_flight <- q.in_flight - 1;
   Metrics.set_gauge g_in_flight (float_of_int q.in_flight);
-  if q.in_flight = 0 && Queue.is_empty q.jobs then Condition.broadcast q.idle;
+  if q.in_flight = 0 && q.queued = 0 then Condition.broadcast q.idle;
   Mutex.unlock q.m
 
 (* Stop admitting, wait for every admitted job to be answered, then
@@ -294,7 +365,7 @@ let job_done q =
 let drain q =
   Mutex.lock q.m;
   q.draining <- true;
-  while not (Queue.is_empty q.jobs && q.in_flight = 0) do
+  while not (q.queued = 0 && q.in_flight = 0) do
     Condition.wait q.idle q.m
   done;
   q.closed <- true;
@@ -387,7 +458,7 @@ let reply_once job resp =
   end
   else false
 
-let worker_loop q ~pool_domains ~caches () =
+let worker_loop q ~worker ~pool_domains ~caches () =
   (* The engine is a lane-local resource behind a ref so a crashed lane
      can be respawned in place: after a worker exception we cannot
      prove the pool domains and evaluator scratch are in a sane state,
@@ -401,7 +472,7 @@ let worker_loop q ~pool_domains ~caches () =
        hand-written plan raises is swallowed rather than allowed to
        kill the worker domain. *)
     (try Emts_fault.fire Emts_fault.Site.Queue_poll with _ -> ());
-    match dequeue q with
+    match dequeue q ~worker with
     | None -> Engine.shutdown !engine
     | Some job ->
       (* The worker domain owns its ambient span slot, so the job's
@@ -502,7 +573,7 @@ let worker_loop q ~pool_domains ~caches () =
 (* ------------------------------------------------------------------ *)
 (* Connection readers *)
 
-let handle_conn q wd ~max_frame conn =
+let handle_conn q wd ~max_frame ~caches conn =
   let error ?(finish = false) ?retry_after_ms id code message =
     send ~finish conn
       (Protocol.Response.Error { id; code; message; retry_after_ms })
@@ -552,7 +623,18 @@ let handle_conn q wd ~max_frame conn =
         let draining = queue_draining q in
         send conn
           (Protocol.Response.Health
-             { id; live = true; ready = not draining; draining });
+             { id; live = true; ready = not draining; draining;
+               backends_live = None });
+        loop ()
+      | Ok (Protocol.Request.Migrate { id; ptg; platform; model; migrants })
+        ->
+        (* Fleet gossip: buffer and acknowledge from the reader thread
+           — cheap (no solve), and the ack must not wait behind the
+           admission queue. *)
+        let accepted =
+          Engine.offer_migrants caches ~ptg ~platform ~model migrants
+        in
+        send conn (Protocol.Response.Migrate_ack { id; accepted });
         loop ()
       | Ok (Protocol.Request.Schedule { id; req }) ->
         Metrics.incr m_requests;
@@ -599,14 +681,6 @@ let handle_conn q wd ~max_frame conn =
 (* ------------------------------------------------------------------ *)
 (* Listeners *)
 
-let resolve_host host =
-  match Unix.inet_addr_of_string host with
-  | addr -> addr
-  | exception Failure _ -> (
-    match Unix.gethostbyname host with
-    | { Unix.h_addr_list = [||]; _ } -> raise Not_found
-    | h -> h.Unix.h_addr_list.(0))
-
 let bind_listeners config =
   try
     let listeners = [] in
@@ -614,10 +688,7 @@ let bind_listeners config =
       match config.socket with
       | None -> listeners
       | Some path ->
-        (try Unix.unlink path with Unix.Unix_error _ -> ());
-        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.bind fd (Unix.ADDR_UNIX path);
-        Unix.listen fd 64;
+        let fd = Endpoint.listen_fd (Endpoint.Unix_socket path) in
         Printf.eprintf "listening on unix:%s\n%!" path;
         fd :: listeners
     in
@@ -625,10 +696,7 @@ let bind_listeners config =
       match config.tcp with
       | None -> listeners
       | Some (host, port) ->
-        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.setsockopt fd Unix.SO_REUSEADDR true;
-        Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
-        Unix.listen fd 64;
+        let fd = Endpoint.listen_fd (Endpoint.Tcp (host, port)) in
         Printf.eprintf "listening on tcp:%s:%d\n%!" host port;
         fd :: listeners
     in
@@ -652,89 +720,14 @@ let bind_listeners config =
    scrapes are rare and the body is small, so a slow scraper can at
    worst delay the next scrape, never the frame protocol. *)
 let metrics_http_loop ~finished ~draining lfd =
-  let respond fd =
-    (* Read one buffer's worth of request; only the request-line path
-       matters (headers are ignored). *)
-    let buf = Bytes.create 2048 in
-    let n =
-      try Unix.read fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0
-    in
-    let request = Bytes.sub_string buf 0 (max n 0) in
-    let path =
-      let line =
-        match String.index_opt request '\r' with
-        | Some i -> String.sub request 0 i
-        | None -> request
-      in
-      match String.split_on_char ' ' line with
-      | _meth :: p :: _ -> p
-      | _ -> "/"
-    in
-    let status, content_type, body =
-      if path = "/healthz" || String.starts_with ~prefix:"/healthz?" path then begin
-        let d = draining () in
-        let body =
-          J.to_string
-            (J.Obj
-               [
-                 ("live", J.Bool true);
-                 ("ready", J.Bool (not d));
-                 ("draining", J.Bool d);
-               ])
-        in
-        ((if d then "503 Service Unavailable" else "200 OK"),
-         "application/json", body)
-      end
-      else
-        ("200 OK", Protocol.openmetrics_content_type,
-         Metrics.render_openmetrics ())
-    in
-    let resp =
-      Printf.sprintf
-        "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
-         Connection: close\r\n\r\n%s"
-        status content_type (String.length body) body
-    in
-    let data = Bytes.unsafe_of_string resp in
-    let len = Bytes.length data in
-    let rec go pos =
-      if pos < len then
-        match Unix.write fd data pos (len - pos) with
-        | n -> go (pos + n)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos
-    in
-    (try go 0 with Unix.Unix_error _ | Sys_error _ -> ());
-    try Unix.close fd with Unix.Unix_error _ -> ()
-  in
-  let rec loop () =
-    if not (finished ()) then begin
-      (match Unix.select [ lfd ] [] [] 0.2 with
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> (
-        match Unix.accept ~cloexec:true lfd with
-        | fd, _ -> respond fd
-        | exception
-            Unix.Unix_error
-              ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
-                | Unix.ECONNABORTED ),
-                _,
-                _ ) ->
-          ())
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
-    end
-  in
-  loop ()
+  Metrics_http.loop ~finished ~draining lfd
 
 let bind_metrics config =
   match config.metrics_tcp with
   | None -> Ok None
   | Some (host, port) -> (
     try
-      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt fd Unix.SO_REUSEADDR true;
-      Unix.bind fd (Unix.ADDR_INET (resolve_host host, port));
-      Unix.listen fd 16;
+      let fd = Endpoint.listen_fd ~backlog:16 (Endpoint.Tcp (host, port)) in
       Printf.eprintf "metrics on http://%s:%d/metrics\n%!" host port;
       Ok (Some fd)
     with
@@ -744,7 +737,7 @@ let bind_metrics config =
 
 (* Accept connections until [stop]; [select] with a short timeout keeps
    the loop responsive to the stop flag without busy-waiting. *)
-let accept_loop ~stop ~max_frame q wd listeners =
+let accept_loop ~stop ~max_frame ~caches q wd listeners =
   let rec loop () =
     if not (stop ()) then begin
       (match Unix.select listeners [] [] 0.2 with
@@ -756,7 +749,9 @@ let accept_loop ~stop ~max_frame q wd listeners =
               Metrics.incr m_connections;
               let conn = conn_make fd in
               ignore
-                (Thread.create (fun () -> handle_conn q wd ~max_frame conn) ())
+                (Thread.create
+                   (fun () -> handle_conn q wd ~max_frame ~caches conn)
+                   ())
             | exception
                 Unix.Unix_error
                   ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
@@ -806,8 +801,10 @@ let run ?(stop = Emts_resilience.Shutdown.requested) config =
             listeners;
           (match e with Error m -> Error m | Ok _ -> assert false)
         | Ok metrics_fd ->
-          let q = queue_make ?shed_budget:config.shed_budget
-              config.queue_capacity in
+          let q =
+            queue_make ?shed_budget:config.shed_budget ~steal:config.steal
+              ~workers:config.workers config.queue_capacity
+          in
           (* The HTTP thread outlives the accept loop on purpose:
              [/healthz] must report [draining] while admitted work is
              still being answered, so its shutdown condition is the
@@ -828,11 +825,13 @@ let run ?(stop = Emts_resilience.Shutdown.requested) config =
           let wd = watchdog_make ~grace:config.watchdog_grace in
           let watchdog_thread = Thread.create (watchdog_loop wd) () in
           let workers =
-            List.init config.workers (fun _ ->
+            List.init config.workers (fun i ->
                 Domain.spawn
-                  (worker_loop q ~pool_domains:config.pool_domains ~caches))
+                  (worker_loop q ~worker:i ~pool_domains:config.pool_domains
+                     ~caches))
           in
-          accept_loop ~stop ~max_frame:config.max_frame q wd listeners;
+          accept_loop ~stop ~max_frame:config.max_frame ~caches q wd
+            listeners;
           (* Shutdown: stop accepting, answer everything admitted
              (readers still running reject new work with [draining]),
              then release and join the workers.  The watchdog stays up

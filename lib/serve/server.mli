@@ -1,12 +1,18 @@
 (** The scheduling daemon: listeners, admission queue, worker domains.
 
     Anatomy of a request.  Connection reader threads (one per accepted
-    client) decode frames and push [schedule] jobs onto a bounded FIFO
-    admission queue; a fixed set of worker domains drains it, each
-    holding a persistent {!Engine} (worker pool + shared fitness cache
-    pool) across requests.  [ping] and [stats] are answered directly
-    by the reader thread, so health checks and metrics bypass the
-    queue and stay responsive under load.
+    client) decode frames and admit [schedule] jobs into a bounded
+    queue of per-worker deques; a fixed set of worker domains drains
+    it, each holding a persistent {!Engine} (worker pool + shared
+    fitness cache pool) across requests.  Admission round-robins jobs
+    across the deques; an owner pops its own deque LIFO and a worker
+    whose deque is empty steals the oldest job (FIFO) from a
+    seeded-random victim, so no job starves while any worker idles —
+    steals are counted in [serve.steals_total] and per-deque depths
+    exported as [serve.deque_depth.<i>] (DESIGN.md §16).  [ping] and
+    [stats] are answered directly by the reader thread, so health
+    checks and metrics bypass the queue and stay responsive under
+    load.
 
     Robustness contract:
     - a full queue answers [overloaded] immediately (backpressure is
@@ -62,13 +68,20 @@ type config = {
           schedule requests are refused with [overloaded] and a
           [retry_after_ms] hint instead of queueing into certain
           death; [None] disables shedding *)
+  steal : bool;
+      (** [true]: one deque per worker with work stealing (the
+          default).  [false]: one shared deque popped FIFO by every
+          worker — bit-for-bit the historical single bounded FIFO,
+          kept as the benchmark baseline ([--no-steal]).  Backpressure
+          and shed semantics are identical either way; only job
+          placement differs. *)
 }
 
 val default : config
 (** No listeners (callers must set at least one), 2 workers, 1 pool
     domain, queue of 64, {!Protocol.default_max_frame}, 65536-entry
     caches over at most 32 instances, 0.5 s watchdog grace, no
-    shedding. *)
+    shedding, stealing on. *)
 
 val server_id : string
 (** ["emts-serve <version>"], echoed in [ping] responses. *)

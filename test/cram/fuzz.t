@@ -8,6 +8,7 @@ error surface for unknown oracle names.
   wire         random/bit-flipped/truncated/oversized frames and malformed trace_id fields against a live daemon yield only typed errors (the metrics verb a complete exposition), and the daemon stays alive
   resilience   corrupt or truncated journals, checkpoints and .ptg files are cleanly rejected or torn-tail-truncated, never misread
   chaos        a live daemon under a seeded fault plan (worker crashes, stalls, hangups, I/O errors) never dies, answers every accepted request exactly once with a typed reply, respawns crashed lanes, keeps shed requests retryable, and computes bit-identical results once the storm passes
+  fleet        a router over live backends (one hangup-only) survives malformed input and a mid-storm backend kill, keeps every request answered from the survivors, matches a fresh engine bit for bit post-storm, and refuses typed-unavailable once every backend is gone
 
 A bounded offline run on a clean tree passes and leaves no corpus
 directory behind (repro files are only written on failure):
@@ -22,7 +23,7 @@ directory behind (repro files are only written on failure):
 Unknown oracles are rejected with the list of known ones:
 
   $ emts-fuzz --oracle nope --time-budget 1
-  emts-fuzz: unknown oracle "nope" (known: validate, differential, determinism, wire, resilience, chaos)
+  emts-fuzz: unknown oracle "nope" (known: validate, differential, determinism, wire, resilience, chaos, fleet)
   [124]
 
 Replaying a nonexistent repro file is a usage error:

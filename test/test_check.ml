@@ -50,7 +50,7 @@ let test_oracle_lookup () =
   Alcotest.(check bool) "unknown rejected" true (Oracle.find "nonsense" = None);
   Alcotest.(check (list string))
     "registry names"
-    [ "validate"; "differential"; "determinism"; "wire"; "resilience"; "chaos" ]
+    [ "validate"; "differential"; "determinism"; "wire"; "resilience"; "chaos"; "fleet" ]
     Oracle.names
 
 let test_oracle_exception_barrier () =

@@ -364,6 +364,127 @@ let test_default_domains () =
   let d = EA.default_domains () in
   Alcotest.(check bool) "in [1, 8]" true (1 <= d && d <= 8)
 
+(* {1 Island mode} *)
+
+let island_config ?(domains = 1) ?(mu = 4) ?(lambda = 8) ?(generations = 12)
+    ?(islands = 3) ?(migration_interval = 3) ?(migration_count = 1) () =
+  EA.config ~domains ~islands ~migration_interval ~migration_count ~mu ~lambda
+    ~generations ()
+
+let test_island_config_validation () =
+  let reject label f =
+    Alcotest.(check bool) label true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  reject "islands 0" (fun () -> island_config ~islands:0 ());
+  reject "interval 0" (fun () -> island_config ~migration_interval:0 ());
+  reject "negative count" (fun () -> island_config ~migration_count:(-1) ());
+  reject "count > mu" (fun () ->
+      island_config ~mu:3 ~migration_count:4 ())
+
+let test_island_accounting () =
+  (* k islands each draw lambda offspring per generation, all evaluated
+     in one flat batch: evaluations = seeds + U * k * lambda, and the
+     history still has one union entry per generation. *)
+  let c = island_config ~islands:3 ~lambda:8 ~generations:5 () in
+  let r = run ~seed:7 ~config:c () in
+  Alcotest.(check int) "evaluations = seeds + U * k * lambda"
+    (2 + (5 * 3 * 8))
+    r.EA.evaluations;
+  Alcotest.(check int) "history = seeds entry + U" 6
+    (List.length r.EA.history)
+
+let test_island_elitism () =
+  (* Plus selection is elitist per island, and the union best is the
+     min over islands, so the recorded best never worsens. *)
+  let r = run ~seed:13 ~config:(island_config ()) () in
+  let rec check = function
+    | (a : EA.generation_stats) :: (b :: _ as rest) ->
+      Alcotest.(check bool) "union best never worsens" true
+        (b.EA.best <= a.EA.best +. 1e-12);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check r.EA.history;
+  Alcotest.(check bool) "still converges" true (r.EA.best_fitness < 4.)
+
+let test_island_domains_invariant () =
+  (* Offspring are drawn from per-island streams before any evaluation,
+     so the trajectory cannot depend on how the flat batch is spread
+     over worker domains. *)
+  let seq = run ~seed:19 ~config:(island_config ~domains:1 ()) () in
+  let par = run ~seed:19 ~config:(island_config ~domains:4 ()) () in
+  Alcotest.(check (float 0.)) "identical best" seq.EA.best_fitness
+    par.EA.best_fitness;
+  Alcotest.(check (float 0.)) "identical genome" seq.EA.best par.EA.best;
+  Alcotest.(check bool) "bit-identical history" true
+    (seq.EA.history = par.EA.history)
+
+let test_island_migration_changes_trajectory () =
+  (* Migration must actually move individuals: with every other
+     parameter fixed, isolated islands (count = 0) and a migrating ring
+     explore differently.  (Equal outcomes would mean the exchange is a
+     no-op.) *)
+  let isolated =
+    run ~seed:23 ~config:(island_config ~migration_count:0 ()) ()
+  in
+  let ring =
+    run ~seed:23
+      ~config:(island_config ~migration_interval:1 ~migration_count:2 ())
+      ()
+  in
+  Alcotest.(check bool) "distinct history" true
+    (isolated.EA.history <> ring.EA.history)
+
+let test_island_checkpoint_rejected () =
+  with_ckpt_file @@ fun path ->
+  let ck = EA.checkpoint ~path ~every:1 float_codec in
+  Alcotest.(check bool) "run with checkpoint rejected" true
+    (try
+       ignore
+         (EA.run ~checkpoint:ck
+            ~rng:(Emts_prng.create ~seed:3 ())
+            ~config:(island_config ()) ~seeds:[ 100.; -50. ] (toy_problem ()));
+       false
+     with Invalid_argument _ -> true);
+  (* resume with an island config is a typed error, not an exception *)
+  ignore
+    (EA.run ~checkpoint:ck
+       ~rng:(Emts_prng.create ~seed:3 ())
+       ~config:(config ~generations:2 ())
+       ~seeds:[ 100.; -50. ] (toy_problem ()));
+  match EA.resume ~from:ck ~config:(island_config ()) (toy_problem ()) with
+  | Ok _ -> Alcotest.fail "island resume accepted"
+  | Error _ -> ()
+
+(* Property: island runs are a pure function of
+   (seed, islands, interval, count) — repeating a run is bit-identical,
+   and parallel evaluation cannot change it. *)
+let prop_island_determinism =
+  QCheck.Test.make ~name:"island runs deterministic and domain-invariant"
+    ~count:25
+    QCheck.(
+      quad (int_range 2 4) (int_range 1 4) (int_range 0 2) small_int)
+    (fun (islands, migration_interval, migration_count, seed) ->
+      let go domains =
+        EA.run
+          ~rng:(Emts_prng.create ~seed ())
+          ~config:
+            (island_config ~domains ~islands ~migration_interval
+               ~migration_count ~generations:6 ())
+          ~seeds:[ 50.; -10.; 3. ] (toy_problem ())
+      in
+      let a = go 1 and b = go 1 and c = go 3 in
+      a.EA.best = b.EA.best
+      && a.EA.best_fitness = b.EA.best_fitness
+      && a.EA.history = b.EA.history
+      && a.EA.history = c.EA.history
+      && a.EA.best = c.EA.best
+      && a.EA.evaluations = 3 + (6 * islands * 8))
+
 (* Property: for any toy configuration the invariants hold. *)
 let prop_invariants =
   QCheck.Test.make ~name:"EA invariants across configurations" ~count:50
@@ -425,5 +546,22 @@ let () =
             test_resume_rejects_mismatched_config;
           Alcotest.test_case "stop flag" `Quick test_stop_flag_halts;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_invariants ]);
+      ( "islands",
+        [
+          Alcotest.test_case "config validation" `Quick
+            test_island_config_validation;
+          Alcotest.test_case "accounting" `Quick test_island_accounting;
+          Alcotest.test_case "elitism" `Quick test_island_elitism;
+          Alcotest.test_case "domain invariance" `Quick
+            test_island_domains_invariant;
+          Alcotest.test_case "migration moves individuals" `Quick
+            test_island_migration_changes_trajectory;
+          Alcotest.test_case "checkpointing rejected" `Quick
+            test_island_checkpoint_rejected;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_invariants;
+          QCheck_alcotest.to_alcotest prop_island_determinism;
+        ] );
     ]

@@ -213,6 +213,108 @@ let test_adaptive_sigma_runs () =
     (r.Alg.makespan <> r_fixed.Alg.makespan
     || r.Alg.alloc = r_fixed.Alg.alloc)
 
+let test_island_matrix () =
+  (* Fleet tentpole: an island run is a pure function of
+     (seed, islands, interval, count) under every engine tuning —
+     worker domains, fitness cache, delta evaluation — and
+     [with_islands 1] is exactly the plain algorithm. *)
+  let graph = small_graph () in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic ~platform:chti
+      ~graph
+  in
+  let base =
+    Alg.with_islands ~migration_interval:2 ~migration_count:1 2 quick_config
+  in
+  let reference =
+    Alg.run_ctx ~rng:(Emts_prng.create ~seed:66 ()) ~config:base ~ctx ()
+  in
+  List.iter
+    (fun (label, tune) ->
+      let r =
+        Alg.run_ctx
+          ~rng:(Emts_prng.create ~seed:66 ())
+          ~config:(tune base) ~ctx ()
+      in
+      Alcotest.(check (float 0.)) (label ^ ": makespan") reference.Alg.makespan
+        r.Alg.makespan;
+      Alcotest.(check (array int)) (label ^ ": allocation") reference.Alg.alloc
+        r.Alg.alloc;
+      Alcotest.(check bool) (label ^ ": bit-identical history") true
+        (r.Alg.ea.Emts_ea.history = reference.Alg.ea.Emts_ea.history))
+    [
+      ("plain", Fun.id);
+      ("domains", Alg.with_domains Testutil.test_domains);
+      ("cache", Alg.with_fitness_cache 512);
+      ("no-delta", fun c -> { c with Alg.delta_fitness = false });
+      ( "domains+cache+no-delta",
+        fun c ->
+          {
+            (Alg.with_fitness_cache 512 (Alg.with_domains 4 c)) with
+            Alg.delta_fitness = false;
+          } );
+    ];
+  (* islands = 1 never splits the caller's stream, so it reproduces the
+     non-island algorithm exactly. *)
+  let plain =
+    Alg.run_ctx ~rng:(Emts_prng.create ~seed:66 ()) ~config:quick_config ~ctx ()
+  in
+  let one =
+    Alg.run_ctx
+      ~rng:(Emts_prng.create ~seed:66 ())
+      ~config:(Alg.with_islands 1 quick_config)
+      ~ctx ()
+  in
+  Alcotest.(check (array int)) "islands=1 = non-island" plain.Alg.alloc
+    one.Alg.alloc;
+  Alcotest.(check bool) "islands=1 bit-identical history" true
+    (one.Alg.ea.Emts_ea.history = plain.Alg.ea.Emts_ea.history)
+
+let test_with_islands_validation () =
+  Alcotest.(check bool) "islands 0 rejected" true
+    (try
+       ignore (Alg.with_islands 0 quick_config);
+       false
+     with Invalid_argument _ -> true);
+  let c = Alg.with_islands ~migration_interval:4 ~migration_count:2 3 Alg.emts5 in
+  Alcotest.(check int) "islands set" 3 c.Alg.islands;
+  Alcotest.(check int) "interval set" 4 c.Alg.migration_interval;
+  Alcotest.(check int) "count set" 2 c.Alg.migration_count
+
+let test_extra_seeds () =
+  (* Migrant injection (the fleet's gossip path): a well-formed extra
+     seed joins the seed ranking — elitism then guarantees the result is
+     never worse than it — while malformed vectors are dropped without
+     touching the trajectory. *)
+  let graph = small_graph () in
+  let ctx =
+    Emts_alloc.Common.make_ctx ~model:Emts_model.synthetic ~platform:chti
+      ~graph
+  in
+  let without =
+    Alg.run_ctx ~rng:(Emts_prng.create ~seed:8 ()) ~config:quick_config ~ctx ()
+  in
+  let seeded =
+    Alg.run_ctx
+      ~rng:(Emts_prng.create ~seed:9 ())
+      ~config:quick_config ~ctx ~extra_seeds:[ without.Alg.alloc ] ()
+  in
+  Alcotest.(check bool) "never worse than the migrant" true
+    (seeded.Alg.makespan <= without.Alg.makespan +. 1e-9);
+  (* wrong length, and entries outside [1, procs]: both dropped *)
+  let dropped =
+    Alg.run_ctx
+      ~rng:(Emts_prng.create ~seed:8 ())
+      ~config:quick_config ~ctx
+      ~extra_seeds:
+        [ [| 1 |]; Array.make (Emts_ptg.Graph.task_count graph) 0 ]
+      ()
+  in
+  Alcotest.(check (array int)) "malformed migrants are no-ops"
+    without.Alg.alloc dropped.Alg.alloc;
+  Alcotest.(check int) "no extra evaluations"
+    without.Alg.ea.Emts_ea.evaluations dropped.Alg.ea.Emts_ea.evaluations
+
 let test_checkpoint_resume_matrix () =
   (* Crash-safety tentpole: interrupting an EMTS run at any generation
      and resuming from its checkpoint reproduces the uninterrupted run
@@ -486,6 +588,13 @@ let () =
           Alcotest.test_case "recombination configs" `Quick
             test_recombination_configs_run;
           Alcotest.test_case "adaptive sigma" `Quick test_adaptive_sigma_runs;
+        ] );
+      ( "islands",
+        [
+          Alcotest.test_case "with_islands validation" `Quick
+            test_with_islands_validation;
+          Alcotest.test_case "determinism matrix" `Quick test_island_matrix;
+          Alcotest.test_case "extra seeds" `Quick test_extra_seeds;
         ] );
       ( "crash safety",
         [

@@ -171,7 +171,12 @@ let test_response_round_trip () =
           retry_after_ms = None;
         };
       Protocol.Response.Health
-        { id = J.Str "h"; live = true; ready = false; draining = true };
+        { id = J.Str "h"; live = true; ready = false; draining = true;
+          backends_live = None };
+      Protocol.Response.Health
+        { id = J.Str "h2"; live = true; ready = true; draining = false;
+          backends_live = Some 2 };
+      Protocol.Response.Migrate_ack { id = J.Str "mg"; accepted = 3 };
       Protocol.Response.Stats
         { id = J.Null; stats = J.Obj [ ("x", J.Num 1.) ] };
       Protocol.Response.Metrics
@@ -312,6 +317,117 @@ let test_engine_deadline_best_so_far () =
         (Float.is_finite cut.Engine.makespan && cut.Engine.makespan > 0.))
 
 (* --- end-to-end over a real socket --- *)
+
+(* Work stealing must not change what is computed, only which worker
+   computes it: the same pipelined burst answers bit-identically with
+   stealing on and off, and the stealing run exports its per-deque
+   telemetry. *)
+let test_server_steal_identity () =
+  let burst = 10 in
+  let ptgs = List.init 3 (fun i -> graph_string ~tasks:10 ~seed:(40 + i) ()) in
+  let run_server ~steal =
+    let dir = Filename.temp_file "emts_steal" ".d" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let path = Filename.concat dir "emts.sock" in
+    let stop = Atomic.make false in
+    let server =
+      Thread.create
+        (fun () ->
+          Server.run
+            ~stop:(fun () -> Atomic.get stop)
+            { Server.default with Server.socket = Some path; workers = 2;
+              queue_capacity = 2 * burst; steal })
+        ()
+    in
+    let deadline = Unix.gettimeofday () +. 10. in
+    while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+      Thread.delay 0.02
+    done;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop true;
+        Thread.join server;
+        if Sys.file_exists path then Sys.remove path;
+        Unix.rmdir dir)
+      (fun () ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            (* Pipeline the whole burst before reading a single reply so
+               the deques actually fill and the idle worker must steal. *)
+            List.iteri
+              (fun k ptg ->
+                Protocol.write_frame fd
+                  (Protocol.Request.to_string
+                     (Protocol.Request.Schedule
+                        {
+                          id = J.Str (string_of_int k);
+                          req = schedule_req ~seed:(100 + k) ptg;
+                        })))
+              (List.init burst (fun k -> List.nth ptgs (k mod 3)));
+            let results = Hashtbl.create burst in
+            for _ = 1 to burst do
+              match
+                Protocol.read_frame fd ~max_size:Protocol.default_max_frame
+              with
+              | Error e -> Alcotest.fail (Protocol.frame_error_to_string e)
+              | Ok payload -> (
+                match Protocol.Response.of_string payload with
+                | Ok (Protocol.Response.Schedule_result r) ->
+                  let k =
+                    match r.Protocol.Response.id with
+                    | J.Str s -> s
+                    | _ -> Alcotest.fail "unexpected id"
+                  in
+                  Hashtbl.replace results k
+                    (r.Protocol.Response.makespan, r.Protocol.Response.alloc)
+                | Ok _ -> Alcotest.fail "expected a schedule result"
+                | Error m -> Alcotest.fail ("bad response: " ^ m))
+            done;
+            let stats =
+              Protocol.write_frame fd
+                (Protocol.Request.to_string
+                   (Protocol.Request.Stats { id = J.Null }));
+              match
+                Protocol.read_frame fd ~max_size:Protocol.default_max_frame
+              with
+              | Ok payload -> (
+                match Protocol.Response.of_string payload with
+                | Ok (Protocol.Response.Stats { stats; _ }) -> stats
+                | _ -> Alcotest.fail "expected stats")
+              | Error e -> Alcotest.fail (Protocol.frame_error_to_string e)
+            in
+            (results, stats)))
+  in
+  let steal_results, steal_stats = run_server ~steal:true in
+  let fifo_results, _ = run_server ~steal:false in
+  for k = 0 to burst - 1 do
+    let key = string_of_int k in
+    let m1, a1 = Hashtbl.find steal_results key in
+    let m2, a2 = Hashtbl.find fifo_results key in
+    Alcotest.(check (float 0.)) ("makespan " ^ key) m2 m1;
+    Alcotest.(check (array int)) ("alloc " ^ key) a2 a1
+  done;
+  (* The stealing run exports its lane telemetry through stats. *)
+  let gauges = J.member "gauges" steal_stats in
+  List.iter
+    (fun lane ->
+      match Option.bind gauges (J.member ("serve.deque_depth." ^ lane)) with
+      | Some _ -> ()
+      | None -> Alcotest.fail ("missing serve.deque_depth." ^ lane))
+    [ "0"; "1" ];
+  (match
+     Option.bind (J.member "counters" steal_stats)
+       (J.member "serve.steals_total")
+   with
+  | Some v -> (
+    match J.to_int v with
+    | Ok n -> Alcotest.(check bool) "steals counted" true (n >= 0)
+    | Error m -> Alcotest.fail m)
+  | None -> Alcotest.fail "missing serve.steals_total")
 
 let test_server_end_to_end () =
   let dir = Filename.temp_file "emts_serve" ".d" in
@@ -638,9 +754,140 @@ let test_server_self_healing () =
       | Ok () -> ()
       | Error m -> Alcotest.fail ("server exited with an error: " ^ m))
 
+(* --- deque --- *)
+
+module Deque = Emts_serve.Deque
+
+let test_deque_ends () =
+  let d = Deque.create () in
+  Alcotest.(check bool) "fresh empty" true (Deque.is_empty d);
+  Alcotest.(check (option int)) "pop_back empty" None (Deque.pop_back d);
+  Alcotest.(check (option int)) "pop_front empty" None (Deque.pop_front d);
+  List.iter (Deque.push_back d) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (Deque.length d);
+  (* Owner end is LIFO... *)
+  Alcotest.(check (option int)) "owner pops newest" (Some 4)
+    (Deque.pop_back d);
+  (* ...thief end is FIFO. *)
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1)
+    (Deque.pop_front d);
+  Alcotest.(check (option int)) "then next-oldest" (Some 2)
+    (Deque.pop_front d);
+  Alcotest.(check (option int)) "owner again" (Some 3) (Deque.pop_back d);
+  Alcotest.(check bool) "drained" true (Deque.is_empty d)
+
+let test_deque_growth () =
+  let d = Deque.create () in
+  (* Interleave pushes and front-pops so the ring wraps while growing:
+     the resize must preserve front-to-back order across the seam. *)
+  for i = 1 to 5 do Deque.push_back d i done;
+  Alcotest.(check (option int)) "wrap pop" (Some 1) (Deque.pop_front d);
+  Alcotest.(check (option int)) "wrap pop" (Some 2) (Deque.pop_front d);
+  for i = 6 to 40 do Deque.push_back d i done;
+  let got = ref [] in
+  let rec drain () =
+    match Deque.pop_front d with
+    | Some x -> got := x :: !got; drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "order preserved through growth"
+    (List.init 38 (fun i -> i + 3))
+    (List.rev !got)
+
+(* --- endpoint grammar --- *)
+
+module Endpoint = Emts_serve.Endpoint
+
+let endpoint_t =
+  Alcotest.testable
+    (fun fmt e -> Format.pp_print_string fmt (Endpoint.to_string e))
+    ( = )
+
+let test_endpoint_parse () =
+  let ok = Alcotest.(result endpoint_t string) in
+  let check spec expected =
+    Alcotest.check ok spec (Ok expected) (Endpoint.parse ~flag:"--connect" spec)
+  in
+  check "127.0.0.1:7464" (Endpoint.Tcp ("127.0.0.1", 7464));
+  check "host.example:1" (Endpoint.Tcp ("host.example", 1));
+  (* The port splits on the last colon, so colon-bearing hosts parse. *)
+  check "::1:7464" (Endpoint.Tcp ("::1", 7464));
+  check "unix:/tmp/emts.sock" (Endpoint.Unix_socket "/tmp/emts.sock");
+  (* The unix: prefix wins even for paths with colons in them. *)
+  check "unix:relative:name" (Endpoint.Unix_socket "relative:name");
+  check "/tmp/emts.sock" (Endpoint.Unix_socket "/tmp/emts.sock");
+  List.iter
+    (fun spec ->
+      let expected =
+        Error (Printf.sprintf "--connect %S: expected HOST:PORT" spec)
+      in
+      Alcotest.check ok spec expected (Endpoint.parse ~flag:"--connect" spec))
+    [ "nonsense"; ":7464"; "host:"; "host:0"; "host:65536"; "host:x" ]
+
+let test_endpoint_roundtrip_and_hostport () =
+  List.iter
+    (fun ep ->
+      Alcotest.check
+        Alcotest.(result endpoint_t string)
+        "to_string round-trips" (Ok ep)
+        (Endpoint.parse ~flag:"t" (Endpoint.to_string ep)))
+    [
+      Endpoint.Tcp ("127.0.0.1", 7464);
+      Endpoint.Unix_socket "/tmp/emts.sock";
+      Endpoint.Unix_socket "relative:name";
+    ];
+  (* parse_hostport is the --listen/--metrics-listen grammar: no unix
+     sockets, same pinned error text. *)
+  Alcotest.(check (result (pair string int) string))
+    "hostport ok"
+    (Ok ("0.0.0.0", 9100))
+    (Endpoint.parse_hostport ~flag:"--listen" "0.0.0.0:9100");
+  Alcotest.(check (result (pair string int) string))
+    "hostport error is pinned"
+    (Error "--listen \"nonsense\": expected HOST:PORT")
+    (Endpoint.parse_hostport ~flag:"--listen" "nonsense")
+
+let test_endpoint_connect_listen () =
+  let path =
+    Printf.sprintf "/tmp/emts-test-ep-%d.sock" (Unix.getpid ())
+  in
+  let ep = Endpoint.Unix_socket path in
+  let lfd = Endpoint.listen_fd ep in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let cfd = Endpoint.connect_fd ep in
+      let afd, _ = Unix.accept lfd in
+      let _ = Unix.write_substring cfd "hi" 0 2 in
+      let buf = Bytes.create 2 in
+      let n = Unix.read afd buf 0 2 in
+      Alcotest.(check string) "bytes flow" "hi" (Bytes.sub_string buf 0 n);
+      Unix.close cfd;
+      Unix.close afd;
+      (* Rebinding unlinks the stale path instead of failing. *)
+      let lfd2 = Endpoint.listen_fd ep in
+      Unix.close lfd2)
+
 let () =
   Alcotest.run "serve"
     [
+      ( "deque",
+        [
+          Alcotest.test_case "owner LIFO, thief FIFO" `Quick test_deque_ends;
+          Alcotest.test_case "growth preserves order" `Quick
+            test_deque_growth;
+        ] );
+      ( "endpoint",
+        [
+          Alcotest.test_case "parse grammar" `Quick test_endpoint_parse;
+          Alcotest.test_case "round trip and hostport" `Quick
+            test_endpoint_roundtrip_and_hostport;
+          Alcotest.test_case "listen and connect" `Quick
+            test_endpoint_connect_listen;
+        ] );
       ( "framing",
         [
           Alcotest.test_case "round trip" `Quick test_frame_round_trip;
@@ -674,6 +921,8 @@ let () =
       ( "server",
         [
           Alcotest.test_case "end to end" `Quick test_server_end_to_end;
+          Alcotest.test_case "steal/FIFO identity" `Quick
+            test_server_steal_identity;
           Alcotest.test_case "self-healing under faults" `Quick
             test_server_self_healing;
         ] );

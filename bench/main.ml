@@ -530,7 +530,7 @@ let run_delta_speedup () =
   let t_delta, sum_delta =
     chain (fun a ->
         Emts_sched.Evaluator.makespan ev ~graph:irregular100 ~tables ~procs:120
-          ~alloc:a ~cutoff:infinity)
+          ~alloc:a ~cutoff:infinity ())
   in
   let per_sec t = float_of_int steps /. Float.max t 1e-9 in
   Printf.printf
@@ -942,6 +942,112 @@ let run_fleet () =
           ] );
     ]
 
+(* Online: a 3-DAG arrival trace through the online controller, once
+   with the Perotin–Sun baseline and once with EMTS re-planning, per
+   speedup model.  Both sessions see the same arrival times (the gap
+   derives from the first DAG's single-processor critical path, never
+   from a solver's plan), so their realised makespans share the same
+   clairvoyant lower-bound denominator.  Returns the JSON section
+   [run_serving] embeds in BENCH_SERVE.json plus a pass flag: ratios
+   must be finite and >= 1 (the bound is certified), and EMTS
+   re-planning must not lose to the baseline on this corpus. *)
+let run_online () =
+  let module Online = Emts_serve.Online in
+  let module Json = Emts_resilience.Json in
+  rule "Online: Perotin-Sun baseline vs EMTS re-planning (3-DAG arrivals)";
+  let corpus_rng = Emts_prng.create ~seed:0x0417E () in
+  let corpus =
+    [
+      Emts_daggen.Costs.assign corpus_rng
+        (Emts_daggen.Random_dag.generate corpus_rng
+           { n = 40; width = 0.5; regularity = 0.3; density = 0.3; jump = 2 });
+      Emts_daggen.Costs.assign corpus_rng
+        (Emts_daggen.Fft.generate ~points:8);
+      Emts_daggen.Costs.assign corpus_rng
+        (Emts_daggen.Random_dag.generate corpus_rng
+           { n = 30; width = 0.7; regularity = 0.5; density = 0.2; jump = 1 });
+    ]
+  in
+  let dags = List.length corpus in
+  let run_model (mname, model) =
+    let first = List.hd corpus in
+    let ctx0 =
+      Emts_alloc.Common.make_ctx ~model ~platform:grelon ~graph:first
+    in
+    let gap =
+      0.5
+      *. Emts_ptg.Analysis.critical_path_length first ~time:(fun v ->
+             ctx0.Emts_alloc.Common.tables.(v).(0))
+    in
+    let run replanner =
+      let cfg =
+        Online.config ~replanner ~seed:0x0417E ~platform:grelon ~model ()
+      in
+      let t = Online.create cfg in
+      List.iteri
+        (fun k graph ->
+          match Online.submit t ~graph ~at:(float_of_int k *. gap) with
+          | Ok _ -> ()
+          | Error m -> failwith ("bench online submit: " ^ m))
+        corpus;
+      (match Online.advance t with
+      | Ok r when r.Online.complete -> ()
+      | Ok _ -> failwith "bench online: trace left incomplete"
+      | Error m -> failwith ("bench online advance: " ^ m));
+      let m =
+        match Online.makespan t with
+        | Some m -> m
+        | None -> failwith "bench online: complete session has no makespan"
+      in
+      (m, Online.clairvoyant_bound t, Online.replans t)
+    in
+    let base_m, base_bound, base_replans = run Online.Baseline in
+    let emts_m, emts_bound, emts_replans =
+      run (Online.Emts { mu = 5; lambda = 25; generations = 5 })
+    in
+    let ratio m bound = if bound > 0. then m /. bound else 1. in
+    let rb = ratio base_m base_bound and re = ratio emts_m emts_bound in
+    Printf.printf
+      "%-8s baseline ratio %8.4f   emts ratio %8.4f   (bound %10.4f, \
+       replans %d/%d)\n"
+      mname rb re base_bound base_replans emts_replans;
+    let ok =
+      Float.is_finite rb && Float.is_finite re
+      && rb >= 1. -. 1e-9
+      && re >= 1. -. 1e-9
+      && re <= rb +. 1e-9
+      (* the bound is a property of the workload, not of the solver *)
+      && base_bound = emts_bound
+    in
+    let doc =
+      Json.Obj
+        [
+          ("model", Json.Str mname);
+          ("baseline_ratio", Json.float rb);
+          ("emts_ratio", Json.float re);
+          ("bound", Json.float base_bound);
+          ("baseline_replans", Json.Num (float_of_int base_replans));
+          ("emts_replans", Json.Num (float_of_int emts_replans));
+          ("emts_not_worse", Json.Bool (re <= rb +. 1e-9));
+        ]
+    in
+    (doc, ok)
+  in
+  let rows =
+    List.map run_model [ ("amdahl", Emts_model.amdahl); ("model2", model2) ]
+  in
+  let all_ok = List.for_all snd rows in
+  Printf.printf "ratios finite and >= 1, emts <= baseline: %b\n" all_ok;
+  let doc =
+    Json.Obj
+      [
+        ("dags", Json.Num (float_of_int dags));
+        ("replanner", Json.Str "emts5");
+        ("models", Json.List (List.map fst rows));
+      ]
+  in
+  (doc, all_ok)
+
 (* Serving: the daemon's warm path (persistent engine — worker pool
    and cross-request fitness cache survive between requests) against
    the cold one-shot path (fresh engine per request, no shared cache —
@@ -1034,6 +1140,11 @@ let run_serving () =
     fault_n !crashes storm_s;
   Printf.printf "post-storm identical %b\n" (post_makespan = warm_makespan);
   let fleet_doc = run_fleet () in
+  let online_doc, online_ok = run_online () in
+  if not online_ok then begin
+    Printf.eprintf "[bench] online ratios violated the clairvoyant gate\n%!";
+    exit 1
+  end;
   match Sys.getenv_opt "BENCH_SERVE_JSON" with
   | Some "" -> ()
   | serve_json ->
@@ -1078,6 +1189,7 @@ let run_serving () =
                   Json.Bool (post_makespan = warm_makespan) );
               ] );
           ("fleet", fleet_doc);
+          ("online", online_doc);
         ]
     in
     Emts_resilience.write_string ~path (Json.to_string doc);
@@ -1109,9 +1221,17 @@ let () =
   | Some "fleet" ->
     ignore (run_fleet () : Emts_resilience.Json.t);
     write_metrics_json metrics_json
+  | Some "online" ->
+    let _doc, ok = run_online () in
+    write_metrics_json metrics_json;
+    if not ok then begin
+      Printf.eprintf "[bench] online ratios violated the clairvoyant gate\n%!";
+      exit 1
+    end
   | Some other when other <> "" ->
     Printf.eprintf
-      "unknown BENCH_ONLY=%s (known: alloc-gate, delta, serve, fleet)\n" other;
+      "unknown BENCH_ONLY=%s (known: alloc-gate, delta, serve, fleet, online)\n"
+      other;
     exit 2
   | _ ->
     rule "Micro-benchmarks (Bechamel): one per table/figure code path";

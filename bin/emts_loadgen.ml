@@ -270,6 +270,180 @@ let run_hangup ~ep ~corpus ~platform ~model ~algorithm ~seed =
       Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* Online arrival run *)
+
+(* Open-loop multi-DAG arrival mode: DAG k of the corpus arrives at
+   virtual time k·gap in a named online session; the session then runs
+   to completion and reports its realised makespan against the server's
+   clairvoyant lower bound.  Two sessions are driven per run — the
+   Perotin–Sun baseline and the requested EMTS re-planner — so the
+   report (and BENCH_SERVE.json) carries both online/clairvoyant
+   ratios side by side. *)
+
+let online_default_gap ~corpus ~platform ~model =
+  let ( let* ) = Result.bind in
+  let* graph =
+    Result.map_error (fun m -> "ptg: " ^ m)
+      (Emts_ptg.Serial.of_string (List.hd corpus))
+  in
+  let* platform = Emts_serve.Engine.resolve_platform platform in
+  let* model = Emts_serve.Engine.resolve_model model in
+  let ctx = Emts_alloc.Common.make_ctx ~model ~platform ~graph in
+  (* half the first DAG's single-processor critical path: arrivals
+     overlap with running work without degenerating to a batch *)
+  Ok
+    (0.5
+    *. Emts_ptg.Analysis.critical_path_length graph ~time:(fun v ->
+           ctx.Emts_alloc.Common.tables.(v).(0)))
+
+type online_outcome = {
+  o_algorithm : string;
+  o_makespan : float;
+  o_bound : float;
+  o_ratio : float;
+  o_replans : int;
+  o_drifts : int;
+}
+
+let drive_online_session fd ~session ~corpus ~platform ~model ~algorithm
+    ~seed ~dags ~gap =
+  let ( let* ) = Result.bind in
+  let corpus = Array.of_list corpus in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        let at = float_of_int k *. gap in
+        match
+          roundtrip fd
+            (Protocol.Request.Submit
+               {
+                 id = J.Str "loadgen";
+                 session;
+                 ptg = corpus.(k mod Array.length corpus);
+                 at;
+                 platform;
+                 model;
+                 algorithm;
+                 seed;
+                 islands = 1;
+                 migration_interval = 5;
+                 migration_count = 1;
+               })
+        with
+        | Ok (Protocol.Response.Submit_result _) -> Ok ()
+        | Ok (Protocol.Response.Error { code; message; _ }) ->
+          Error (Printf.sprintf "submit %d rejected [%s]: %s" k code message)
+        | Ok _ -> Error "unexpected response verb to submit"
+        | Error m -> Error m)
+      (Ok ())
+      (List.init dags Fun.id)
+  in
+  match
+    roundtrip fd
+      (Protocol.Request.Advance { id = J.Str "loadgen"; session; to_ = None })
+  with
+  | Ok
+      (Protocol.Response.Advance_result
+         { complete; makespan; bound; replans; drifts; _ }) ->
+    if not complete then Error "advance left the session incomplete"
+    else begin
+      match makespan with
+      | None -> Error "complete session reported no makespan"
+      | Some m ->
+        let ratio = if bound > 0. then m /. bound else 1. in
+        Ok
+          {
+            o_algorithm = algorithm;
+            o_makespan = m;
+            o_bound = bound;
+            o_ratio = ratio;
+            o_replans = replans;
+            o_drifts = drifts;
+          }
+    end
+  | Ok (Protocol.Response.Error { code; message; _ }) ->
+    Error (Printf.sprintf "advance rejected [%s]: %s" code message)
+  | Ok _ -> Error "unexpected response verb to advance"
+  | Error m -> Error m
+
+let check_ratios_finite outcomes =
+  List.fold_left
+    (fun acc o ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+        if not (Float.is_finite o.o_ratio) then
+          Error (Printf.sprintf "online %s ratio is not finite" o.o_algorithm)
+        else if o.o_ratio < 1. -. 1e-9 then
+          Error
+            (Printf.sprintf "online %s ratio %.17g beats the clairvoyant bound"
+               o.o_algorithm o.o_ratio)
+        else Ok ())
+    (Ok ()) outcomes
+
+let run_online ~ep ~corpus ~platform ~model ~algorithm ~seed ~dags
+    ~arrival_gap ~json () =
+  let ( let* ) = Result.bind in
+  let* () = if dags < 1 then Error "--dags must be >= 1" else Ok () in
+  let* gap =
+    match arrival_gap with
+    | Some g when Float.is_nan g || g < 0. ->
+      Error "--arrival-gap must be >= 0"
+    | Some g -> Ok g
+    | None -> online_default_gap ~corpus ~platform ~model
+  in
+  let algorithm = if algorithm = "baseline" then "emts5" else algorithm in
+  let* outcomes =
+    with_conn ep (fun fd ->
+        let* base =
+          drive_online_session fd
+            ~session:(Printf.sprintf "loadgen-baseline-%d" seed)
+            ~corpus ~platform ~model ~algorithm:"baseline" ~seed ~dags ~gap
+        in
+        let* emts =
+          drive_online_session fd
+            ~session:(Printf.sprintf "loadgen-%s-%d" algorithm seed)
+            ~corpus ~platform ~model ~algorithm ~seed ~dags ~gap
+        in
+        Ok [ base; emts ])
+  in
+  List.iter
+    (fun o ->
+      Printf.printf
+        "online %s makespan=%.6f bound=%.6f ratio=%.4f replans=%d drifts=%d\n"
+        o.o_algorithm o.o_makespan o.o_bound o.o_ratio o.o_replans o.o_drifts)
+    outcomes;
+  let* () = check_ratios_finite outcomes in
+  (match json with
+  | None -> ()
+  | Some path ->
+    let doc =
+      J.Obj
+        [
+          ("mode", J.Str "online");
+          ("dags", J.Num (float_of_int dags));
+          ("arrival_gap", J.float gap);
+          ( "sessions",
+            J.List
+              (List.map
+                 (fun o ->
+                   J.Obj
+                     [
+                       ("algorithm", J.Str o.o_algorithm);
+                       ("makespan", J.float o.o_makespan);
+                       ("bound", J.float o.o_bound);
+                       ("ratio", J.float o.o_ratio);
+                       ("replans", J.Num (float_of_int o.o_replans));
+                       ("drifts", J.Num (float_of_int o.o_drifts));
+                     ])
+                 outcomes) );
+        ]
+    in
+    Emts_resilience.write_string ~path (J.to_string doc));
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
 (* Open-loop load run *)
 
 (* Server-side phase breakdown: after a load run, pull the daemon's
@@ -556,6 +730,13 @@ let mode_arg =
              ~doc:"Send a corrupt frame and report the server's reaction.");
           (`Hangup, info [ "hangup" ]
              ~doc:"Send a request and disconnect without reading the reply.");
+          (`Online, info [ "online" ]
+             ~doc:"Open-loop multi-DAG arrival run: $(b,--dags) graphs \
+                   arrive $(b,--arrival-gap) apart in virtual time \
+                   against a live online session, once with the \
+                   Perotin-Sun baseline re-planner and once with \
+                   $(b,--algorithm); reports each session's realised \
+                   makespan over the server's clairvoyant lower bound.");
         ])
 
 let ptg_arg =
@@ -650,6 +831,21 @@ let retry_cap_arg =
     value & opt float 2.0
     & info [ "retry-cap" ] ~docv:"S" ~doc:"Backoff ceiling in seconds.")
 
+let dags_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "dags" ] ~docv:"N"
+        ~doc:"DAG arrivals per online session ($(b,--online) mode).")
+
+let arrival_gap_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "arrival-gap" ] ~docv:"T"
+        ~doc:"Virtual time between successive online DAG arrivals.  \
+              Defaults to half the first graph's single-processor \
+              critical path, so arrivals overlap running work.")
+
 let json_arg =
   Arg.(
     value
@@ -673,7 +869,7 @@ let trace_arg =
 
 let run mode socket connect ptg_files corpus_n tasks platform model algorithm
     seed rate requests deadline_s budget_s islands retry_max retry_base
-    retry_cap json trace =
+    retry_cap dags arrival_gap json trace =
   let ( let* ) = Result.bind in
   let* connects =
     List.fold_left
@@ -728,6 +924,9 @@ let run mode socket connect ptg_files corpus_n tasks platform model algorithm
         | `Once ->
           run_once ~islands ~ep ~corpus ~platform ~model ~algorithm ~seed
             ~deadline_s ~budget_s ()
+        | `Online ->
+          run_online ~ep ~corpus ~platform ~model ~algorithm ~seed ~dags
+            ~arrival_gap ~json ()
         | `Load ->
           let retry =
             {
@@ -756,6 +955,6 @@ let () =
        $ corpus_arg $ tasks_arg $ platform_arg $ model_arg $ algorithm_arg
        $ seed_arg $ rate_arg $ requests_arg $ deadline_arg $ budget_arg
        $ islands_arg $ retry_max_arg $ retry_base_arg $ retry_cap_arg
-       $ json_arg $ trace_arg))
+       $ dags_arg $ arrival_gap_arg $ json_arg $ trace_arg))
   in
   exit (Cmd.eval (Cmd.v info term))

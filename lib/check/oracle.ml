@@ -141,7 +141,9 @@ let check_delta_chain (s : Scenario.t) ctx rng =
         | Some m -> (m, false)
         | None -> (infinity, true)
       in
-      let delta = Evaluator.makespan ev ~graph ~tables ~procs ~alloc:cur ~cutoff in
+      let delta =
+        Evaluator.makespan ev ~graph ~tables ~procs ~alloc:cur ~cutoff ()
+      in
       if not (float_eq delta expect) then
         fail "delta step %d: evaluator %.17g <> scratch %.17g (cutoff %.17g)" i
           delta expect cutoff
@@ -186,7 +188,7 @@ let check_differential (s : Scenario.t) =
         let delta =
           Evaluator.makespan delta_ev ~graph
             ~tables:ctx.Emts_alloc.Common.tables ~procs ~alloc
-            ~cutoff:infinity
+            ~cutoff:infinity ()
         in
         if float_eq delta makespan then Ok ()
         else
@@ -1290,6 +1292,224 @@ let check_fleet (s : Scenario.t) =
         | `Timeout -> fail "fleet: all-dead request unanswered within 5s"))
 
 (* ------------------------------------------------------------------ *)
+(* (h) online: online scheduling against a live cluster state.  The
+   scenario's graph arrives first, two more seed-derived DAGs arrive
+   later; the controller must keep every commitment immutable, commit a
+   valid execution of the merged workload at or above the clairvoyant
+   lower bound, replay bit-identically across the determinism matrix,
+   and treat a changeless re-plan as a no-op.  A second leg runs under
+   slowdown noise, where every commit drifts and forces a re-plan. *)
+
+module Online = Emts_serve.Online
+module Sim_online = Emts_simulator.Online
+
+let online_committed_eq (a : Sim_online.committed) (b : Sim_online.committed) =
+  a.Sim_online.task = b.Sim_online.task
+  && a.Sim_online.dag = b.Sim_online.dag
+  && float_eq a.Sim_online.start b.Sim_online.start
+  && float_eq a.Sim_online.finish b.Sim_online.finish
+  && a.Sim_online.procs = b.Sim_online.procs
+  && float_eq a.Sim_online.planned_start b.Sim_online.planned_start
+  && float_eq a.Sim_online.planned_finish b.Sim_online.planned_finish
+
+let online_is_prefix ~label before after =
+  let rec go i before after =
+    match (before, after) with
+    | [], _ -> Ok ()
+    | _ :: _, [] ->
+      fail "online: %s: commitment log shrank (record %d gone)" label i
+    | x :: xs, y :: ys ->
+      if online_committed_eq x y then go (i + 1) xs ys
+      else
+        fail "online: %s: committed record %d changed (%s -> %s)" label i
+          (Online.pp_committed x) (Online.pp_committed y)
+  in
+  go 0 before after
+
+(* The seed-derived arrival trace: the scenario graph at t = 0, two
+   more small DAGs at fractions of its single-processor critical path
+   (a duration-comparable scale that is itself deterministic). *)
+let online_trace (s : Scenario.t) =
+  let rng = rng_of s in
+  let ctx = ctx_of s in
+  let scale =
+    Emts_ptg.Analysis.critical_path_length s.Scenario.graph ~time:(fun v ->
+        ctx.Emts_alloc.Common.tables.(v).(0))
+  in
+  let extra () = Gen.random_daggen rng ~n:(3 + Emts_prng.int rng 6) in
+  [
+    (s.Scenario.graph, 0.);
+    (extra (), 0.3 *. scale);
+    (extra (), 0.7 *. scale);
+  ]
+
+let check_list_fold f init xs =
+  List.fold_left
+    (fun acc x -> match acc with Ok v -> f v x | Error _ as e -> e)
+    init xs
+
+(* Drive one controller through the trace, checking prefix stability at
+   every step; returns the session and its final commitment log. *)
+let online_run_trace (s : Scenario.t) ~replanner ~noise ~domains ~islands
+    ~fitness_cache ~delta_fitness =
+  let cfg =
+    Online.config ~replanner ~seed:s.Scenario.seed ~domains ~islands
+      ?fitness_cache ~delta_fitness ~noise
+      ~platform:(Scenario.platform s) ~model:(Scenario.model s) ()
+  in
+  let t = Online.create cfg in
+  let* log =
+    check_list_fold
+      (fun log (graph, at) ->
+        match Online.submit t ~graph ~at with
+        | Error m -> fail "online: submit at %g rejected: %s" at m
+        | Ok _ ->
+          let log' = Online.commitments t in
+          let* () = online_is_prefix ~label:"submit" log log' in
+          Ok log')
+      (Ok []) (online_trace s)
+  in
+  match Online.advance t with
+  | Error m -> fail "online: advance to completion failed: %s" m
+  | Ok r ->
+    let log' = Online.commitments t in
+    let* () = online_is_prefix ~label:"advance" log log' in
+    if not r.Online.complete then fail "online: advance left work unstarted"
+    else Ok (t, log')
+
+(* The merged realised schedule must validate, respect arrivals, and
+   (when realised durations never undercut the model) land at or above
+   the clairvoyant lower bound on the offline optimum. *)
+let online_check_result (s : Scenario.t) t =
+  let sched = Online.state t |> Sim_online.realized_schedule in
+  let merged = Online.state t |> Sim_online.merged_graph in
+  let alloc =
+    Array.map
+      (fun (e : Schedule.entry) -> Array.length e.Schedule.procs)
+      (Schedule.entries sched)
+  in
+  let* () =
+    match Schedule.validate ~alloc sched ~graph:merged with
+    | Ok () -> Ok ()
+    | Error vs ->
+      fail "online: realised schedule invalid: %s" (violations_to_string vs)
+  in
+  let* () =
+    check_list
+      (fun (c : Sim_online.committed) ->
+        let arrival = Sim_online.dag_arrival (Online.state t) c.Sim_online.dag in
+        if c.Sim_online.start < arrival then
+          fail "online: task %d starts at %g before its DAG's arrival %g"
+            c.Sim_online.task c.Sim_online.start arrival
+        else Ok ())
+      (Online.commitments t)
+  in
+  let bound = Online.clairvoyant_bound t in
+  match Online.makespan t with
+  | None -> fail "online: no makespan on a complete session"
+  | Some m ->
+    if Float.is_nan m || Float.is_nan bound then
+      fail "online: NaN makespan (%g) or bound (%g)" m bound
+    else if
+      (* the bound and the makespan accumulate the same durations in
+         different orders; tolerate summation-order ulps *)
+      m < bound -. (1e-9 *. Float.max bound 1.)
+    then
+      fail "online: makespan %.17g beats the clairvoyant bound %.17g \
+            (scenario %s)"
+        m bound (Scenario.describe s)
+    else Ok ()
+
+let online_logs_eq ~label a b =
+  if List.length a <> List.length b then
+    fail "online: %s: %d vs %d commitments" label (List.length a)
+      (List.length b)
+  else
+    check_list
+      (fun (x, y) ->
+        if online_committed_eq x y then Ok ()
+        else
+          fail "online: %s: commitment differs (%s vs %s)" label
+            (Online.pp_committed x) (Online.pp_committed y))
+      (List.combine a b)
+
+let check_online (s : Scenario.t) =
+  let base ~replanner ~noise =
+    online_run_trace s ~replanner ~noise ~domains:1 ~islands:1
+      ~fitness_cache:None ~delta_fitness:true
+  in
+  (* Baseline re-planner, exact durations. *)
+  let* t, log = base ~replanner:Online.Baseline ~noise:Emts_simulator.Noise.none in
+  let* () = online_check_result s t in
+  (* Exact replay: with Noise.none no commitment may drift. *)
+  let* () =
+    check_list
+      (fun (c : Sim_online.committed) ->
+        if
+          float_eq c.Sim_online.start c.Sim_online.planned_start
+          && float_eq c.Sim_online.finish c.Sim_online.planned_finish
+        then Ok ()
+        else
+          fail "online: zero-noise commitment drifted: %s"
+            (Online.pp_committed c))
+      log
+  in
+  (* Re-planning a changeless state is a no-op. *)
+  let* () =
+    let plan_before = Online.plan t in
+    if Online.replan t then fail "online: changeless replan reported work"
+    else if
+      List.exists2
+        (fun (a : Schedule.entry) (b : Schedule.entry) ->
+          a.Schedule.task <> b.Schedule.task
+          || not (float_eq a.Schedule.start b.Schedule.start))
+        plan_before (Online.plan t)
+    then fail "online: changeless replan perturbed the plan"
+    else Ok ()
+  in
+  (* EMTS re-planning: determinism across the full matrix.  Each run
+     must commit bit-identically to the single-domain reference. *)
+  let emts = Online.Emts { mu = 2; lambda = 6; generations = 2 } in
+  let emts_run ~domains ~islands ~fitness_cache ~delta_fitness =
+    online_run_trace s ~replanner:emts ~noise:Emts_simulator.Noise.none
+      ~domains ~islands ~fitness_cache ~delta_fitness
+  in
+  (* islands change the search trajectory (a different algorithm), so
+     each island count gets its own single-domain reference; domains,
+     cache and the delta evaluator must never change anything. *)
+  let* _, ref1 =
+    emts_run ~domains:1 ~islands:1 ~fitness_cache:None ~delta_fitness:true
+  in
+  let* _, ref2 =
+    emts_run ~domains:1 ~islands:2 ~fitness_cache:None ~delta_fitness:true
+  in
+  let matrix =
+    [
+      ("domains=2", ref1, (2, 1, None, true));
+      ("fitness_cache", ref1, (1, 1, Some 256, true));
+      ("delta_fitness=false", ref1, (1, 1, None, false));
+      ("islands=2+domains=2+cache", ref2, (2, 2, Some 256, true));
+    ]
+  in
+  let* () =
+    check_list
+      (fun (label, ref_log, (domains, islands, fitness_cache, delta_fitness))
+         ->
+        let* _, log = emts_run ~domains ~islands ~fitness_cache ~delta_fitness in
+        online_logs_eq ~label ref_log log)
+      matrix
+  in
+  (* Drift leg: every task only ever runs slower, so the bound stays
+     valid while (almost) every commit drifts and forces a re-plan. *)
+  let slow = Emts_simulator.Noise.uniform_slowdown ~max_factor:1.5 in
+  let* t, _ = base ~replanner:Online.Baseline ~noise:slow in
+  let* () = online_check_result s t in
+  (* Determinism under noise, too: same seed, same storm, same log. *)
+  let* t2, _ = base ~replanner:Online.Baseline ~noise:slow in
+  online_logs_eq ~label:"noise determinism"
+    (Online.commitments t) (Online.commitments t2)
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -1351,6 +1571,17 @@ let all =
          bit for bit post-storm, and refuses typed-unavailable once \
          every backend is gone";
       check = check_fleet;
+    };
+    {
+      name = "online";
+      doc =
+        "online scheduling over a 3-DAG arrival trace: commitments \
+         never move, the merged realised schedule validates at or \
+         above the clairvoyant lower bound, zero-noise plans replay \
+         exactly, changeless re-plans are no-ops, and commitment logs \
+         are bit-identical across domains x islands x cache x delta \
+         and under seeded slowdown noise";
+      check = check_online;
     };
   ]
 

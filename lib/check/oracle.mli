@@ -34,7 +34,16 @@
       mid-storm backend kill, keeps every request answered from the
       survivors, agrees with a fresh engine bit for bit once the storm
       passes, and answers with a typed [unavailable] when every
-      backend is gone. *)
+      backend is gone;
+    - [online] — the {!Emts_serve.Online} controller over a
+      seed-derived 3-DAG arrival trace: committed (start, finish,
+      processors) never change as the trace unfolds, the merged
+      realised schedule validates and respects arrivals, the online
+      makespan never beats the certified clairvoyant lower bound,
+      zero-noise plans commit exactly as planned, re-planning a
+      changeless state is a no-op, and commitment logs are
+      bit-identical across worker domains, islands, the fitness cache,
+      the delta evaluator and repeated noisy runs. *)
 
 type t = {
   name : string;

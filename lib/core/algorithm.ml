@@ -153,6 +153,7 @@ let run_ctx ?rng ?stop ?deadline ?cache ?pool ?checkpoint ?(resume = false)
     Emts_sched.Evaluator.makespan ev ~graph:ctx.Common.graph
       ~tables:ctx.Common.tables ~procs:ctx.Common.procs ~alloc
       ~cutoff:(if config.early_reject then cutoff_now else infinity)
+      ()
   in
   let delta_rejected () =
     Emts_sched.Evaluator.last_rejected (Emts_pool.Local.get evaluator_slot)

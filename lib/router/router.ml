@@ -349,6 +349,26 @@ let handle_request st fd payload =
       Metrics.incr m_unavailable;
       send_error fd ~id Protocol.Error_code.unavailable
         (unavailable_message e))
+  | Ok (Protocol.Request.Submit { id; session; _ }) -> (
+    (* Online sessions are stateful: shard by session name so every
+       request of a session lands on the same backend. *)
+    if Atomic.get st.draining then
+      send_error fd ~id Protocol.Error_code.draining "router is draining"
+    else
+      match forward_sharded st ~key:("online:" ^ session) payload with
+      | Ok (reply, _) -> relay fd reply
+      | Error e ->
+        Metrics.incr m_unavailable;
+        send_error fd ~id Protocol.Error_code.unavailable
+          (unavailable_message e))
+  | Ok (Protocol.Request.Advance { id; session; _ }) -> (
+    (* Allowed while draining so admitted online work can finish. *)
+    match forward_sharded st ~key:("online:" ^ session) payload with
+    | Ok (reply, _) -> relay fd reply
+    | Error e ->
+      Metrics.incr m_unavailable;
+      send_error fd ~id Protocol.Error_code.unavailable
+        (unavailable_message e))
   | Ok (Protocol.Request.Schedule { id; req }) -> (
     Metrics.incr m_requests;
     if Atomic.get st.draining then

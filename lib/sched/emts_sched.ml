@@ -4,6 +4,7 @@
 module Allocation = Allocation
 module Schedule = Schedule
 module List_scheduler = List_scheduler
+module Online_list = Online_list
 module Evaluator = Evaluator
 module Gantt = Gantt
 module Svg = Svg

@@ -54,6 +54,12 @@ module Graph = Emts_ptg.Graph
    - [Array.sort] raises internal exceptions (an allocation each) —
      hence the hand-written heapsort over [(avail, id)] keys. *)
 
+(* Shared default for the optional release / initial-availability
+   bindings: physical identity against this sentinel distinguishes "no
+   constraint" from an explicit all-zero array without a per-call
+   length check. *)
+let no_floats : float array = [||]
+
 let m_full = Emts_obs.Metrics.counter "sched.delta.full_runs"
 let m_incr = Emts_obs.Metrics.counter "sched.delta.incremental_runs"
 let m_reused = Emts_obs.Metrics.counter "sched.delta.reused_steps"
@@ -82,6 +88,11 @@ type t = {
   mutable graph : Graph.t option;
   mutable tables : float array array;
   mutable procs : int;
+  (* online re-planning constraints, part of the instance binding:
+     [release] seeds [data_ready], [avail0] seeds [avail] ([no_floats]
+     means all-zero — the offline case) *)
+  mutable release : float array;
+  mutable avail0 : float array;
   mutable n : int;
   mutable topo : int array;
   mutable base_indeg : int array;
@@ -132,6 +143,8 @@ let create () =
     graph = None;
     tables = [||];
     procs = 0;
+    release = no_floats;
+    avail0 = no_floats;
     n = 0;
     topo = [||];
     base_indeg = [||];
@@ -185,14 +198,38 @@ let stats (t : t) : stats =
 
 let last_rejected t = t.last_rejected
 
-let rebind t ~graph ~tables ~procs =
+let rebind t ~graph ~tables ~procs ~release ~avail0 =
   let n = Graph.task_count graph in
   if Array.length tables <> n then
     invalid_arg "Evaluator: tables length does not match task count";
   if procs < 1 then invalid_arg "Evaluator: procs must be >= 1";
+  (* Validated once per binding (they are constant across candidates,
+     like [tables]); callers must not mutate them while bound. *)
+  if release != no_floats then begin
+    if Array.length release <> n then
+      invalid_arg "Evaluator: release length does not match task count";
+    Array.iteri
+      (fun v r ->
+        if r <> r || r < 0. then
+          invalid_arg
+            (Printf.sprintf "Evaluator: task %d has invalid release %g" v r))
+      release
+  end;
+  if avail0 != no_floats then begin
+    if Array.length avail0 <> procs then
+      invalid_arg "Evaluator: avail0 length does not match procs";
+    Array.iteri
+      (fun p a ->
+        if a <> a || a < 0. then
+          invalid_arg
+            (Printf.sprintf "Evaluator: processor %d has invalid avail %g" p a))
+      avail0
+  end;
   t.graph <- Some graph;
   t.tables <- tables;
   t.procs <- procs;
+  t.release <- release;
+  t.avail0 <- avail0;
   t.n <- n;
   t.topo <- Graph.topological_order graph;
   (* Capacities grow and stick: rebinding to a smaller instance reuses
@@ -347,10 +384,14 @@ let flush_metrics ~incremental ~reused ~scheduled ~rejected =
     if rejected then Emts_obs.Metrics.incr m_rejections
   end
 
-let makespan t ~graph ~tables ~procs ~alloc ~cutoff =
+let makespan t ?(release = no_floats) ?(avail0 = no_floats) ~graph ~tables
+    ~procs ~alloc ~cutoff () =
   (match t.graph with
-  | Some g when g == graph && t.tables == tables && t.procs = procs -> ()
-  | _ -> rebind t ~graph ~tables ~procs);
+  | Some g
+    when g == graph && t.tables == tables && t.procs = procs
+         && t.release == release && t.avail0 == avail0 ->
+    ()
+  | _ -> rebind t ~graph ~tables ~procs ~release ~avail0);
   let n = t.n in
   if Array.length alloc <> n then
     invalid_arg "Evaluator: allocation length does not match task count";
@@ -475,9 +516,10 @@ let makespan t ~graph ~tables ~procs ~alloc ~cutoff =
     let indeg = t.indeg
     and base_indeg = t.base_indeg
     and data_ready = t.data_ready in
+    let has_release = release != no_floats in
     for v = 0 to n - 1 do
       indeg.(v) <- base_indeg.(v);
-      data_ready.(v) <- 0.
+      data_ready.(v) <- (if has_release then release.(v) else 0.)
     done;
     let fs = t.fs in
     for step = 0 to k - 1 do
@@ -494,8 +536,9 @@ let makespan t ~graph ~tables ~procs ~alloc ~cutoff =
       done
     done;
     let avail = t.avail and order = t.order in
+    let has_avail0 = avail0 != no_floats in
     for p = 0 to procs - 1 do
-      avail.(p) <- 0.
+      avail.(p) <- (if has_avail0 then avail0.(p) else 0.)
     done;
     for step = 0 to k - 1 do
       (* ascending steps: the last claimant of a processor wins, which
@@ -509,8 +552,10 @@ let makespan t ~graph ~tables ~procs ~alloc ~cutoff =
       order.(p) <- p
     done;
     (* [merge_front] keeps [order] exactly sorted by (avail, id) — keys
-       are distinct (ids), so one wholesale sort reproduces it. *)
-    if k > 0 then sort_order avail order procs;
+       are distinct (ids), so one wholesale sort reproduces it.  A
+       non-zero initial availability needs the sort even for a fresh
+       run ([k = 0]). *)
+    if k > 0 || has_avail0 then sort_order avail order procs;
     let hprio = t.hprio and hids = t.hids in
     ia.hsize <- 0;
     for v = 0 to n - 1 do

@@ -28,23 +28,34 @@ val create : unit -> t
 
 val makespan :
   t ->
+  ?release:float array ->
+  ?avail0:float array ->
   graph:Emts_ptg.Graph.t ->
   tables:float array array ->
   procs:int ->
   alloc:Allocation.t ->
   cutoff:float ->
+  unit ->
   float
-(** [makespan t ~graph ~tables ~procs ~alloc ~cutoff] is the
+(** [makespan t ~graph ~tables ~procs ~alloc ~cutoff ()] is the
     bottom-level list-scheduled makespan of [alloc], or [infinity] if
     some task would finish past [cutoff] (exactly when
     [List_scheduler.makespan_bounded] returns [None]); {!last_rejected}
     distinguishes a rejection from a genuinely infinite makespan.  Pass
     [cutoff = infinity] to disable rejection.
 
+    [release] (per-task earliest start) and [avail0] (initial
+    availability per processor) make this the incremental twin of
+    {!Online_list.makespan} for the online re-planning EA: both arrays
+    join the instance binding (compared by physical identity, like
+    [tables]; they must not be mutated while bound), so prefix reuse
+    works across the candidates of one re-planning run exactly as in
+    the offline case.  Omitting them is the offline all-zero case.
+
     Input validation matches the from-scratch path: raises
     [Invalid_argument] on allocation entries outside [1..procs] or the
-    task's table row, on NaN or negative execution times, and on a NaN
-    [cutoff]. *)
+    task's table row, on NaN or negative execution times or releases or
+    availabilities, on length mismatches, and on a NaN [cutoff]. *)
 
 val last_rejected : t -> bool
 (** Whether the most recent {!makespan} call was cut off. *)

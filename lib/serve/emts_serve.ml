@@ -6,4 +6,5 @@ module Endpoint = Endpoint
 module Metrics_http = Metrics_http
 module Protocol = Protocol
 module Engine = Engine
+module Online = Online
 module Server = Server

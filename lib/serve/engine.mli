@@ -48,6 +48,18 @@ val take_migrants : caches -> Protocol.Request.schedule -> int array list
 (** Drain (return and clear) the migrants buffered for [req]'s
     instance. *)
 
+(** {1 Request-field resolvers}
+
+    Shared by the offline [schedule] path and the online [submit]
+    path, so both verbs accept the same platform/model spellings. *)
+
+val resolve_platform : string -> (Emts_platform.t, string) result
+(** A preset name ([chti], [grelon]) or, when the spec contains a
+    newline, an inline platform file. *)
+
+val resolve_model : string -> (Emts_model.t, string) result
+(** A preset name ([amdahl], ...) or an inline empirical table. *)
+
 (** {1 Engine} *)
 
 type t

@@ -138,10 +138,31 @@ module Request = struct
         model : string;
         migrants : int array list;
       }
+    | Submit of {
+        id : J.t;
+        session : string;
+        ptg : string;
+        at : float;
+        platform : string;
+        model : string;
+        algorithm : string;
+        seed : int;
+        islands : int;
+        migration_interval : int;
+        migration_count : int;
+      }
+    | Advance of { id : J.t; session : string; to_ : float option }
+
+  (* Every verb [of_json] accepts — tests enumerate this list so a new
+     verb cannot silently skip coverage. *)
+  let verbs =
+    [ "ping"; "stats"; "metrics"; "health"; "schedule"; "migrate"; "submit";
+      "advance" ]
 
   let id = function
     | Schedule { id; _ } | Stats { id } | Metrics { id } | Ping { id }
-    | Health { id } | Migrate { id; _ } ->
+    | Health { id } | Migrate { id; _ } | Submit { id; _ } | Advance { id; _ }
+      ->
       id
 
   let to_json t =
@@ -169,6 +190,32 @@ module Request = struct
                         (Array.map (fun p -> J.Num (float_of_int p)) a)))
                  migrants) );
         ]
+    | Submit
+        { id; session; ptg; at; platform; model; algorithm; seed; islands;
+          migration_interval; migration_count } ->
+      with_id id
+        ([
+           ("verb", J.Str "submit");
+           ("session", J.Str session);
+           ("ptg", J.Str ptg);
+           ("at", J.float at);
+           ("platform", J.Str platform);
+           ("model", J.Str model);
+           ("algorithm", J.Str algorithm);
+           ("seed", J.Num (float_of_int seed));
+         ]
+        @
+        if islands = 1 then []
+        else
+          [
+            ("islands", J.Num (float_of_int islands));
+            ("migration_interval", J.Num (float_of_int migration_interval));
+            ("migration_count", J.Num (float_of_int migration_count));
+          ])
+    | Advance { id; session; to_ } ->
+      with_id id
+        ([ ("verb", J.Str "advance"); ("session", J.Str session) ]
+        @ match to_ with None -> [] | Some x -> [ ("to", J.float x) ])
     | Schedule { id; req } ->
       let opt name = function
         | None -> []
@@ -324,6 +371,84 @@ module Request = struct
         |> Result.map List.rev
       in
       Ok (Migrate { id; ptg; platform; model; migrants })
+    | "submit" ->
+      let* session = field "session" J.to_str json in
+      let* () =
+        if session = "" || String.length session > 128 then
+          Error "field \"session\": must be 1..128 characters"
+        else Ok ()
+      in
+      let* ptg = field "ptg" J.to_str json in
+      let* at =
+        match J.member "at" json with
+        | None -> Ok 0.
+        | Some v -> J.to_float v
+      in
+      let* () =
+        if Float.is_nan at || at < 0. || not (Float.is_finite at) then
+          Error "field \"at\": must be a finite number >= 0"
+        else Ok ()
+      in
+      let* platform =
+        match J.member "platform" json with
+        | None -> Ok "grelon"
+        | Some v -> J.to_str v
+      in
+      let* model =
+        match J.member "model" json with
+        | None -> Ok "amdahl"
+        | Some v -> J.to_str v
+      in
+      let* algorithm =
+        match J.member "algorithm" json with
+        | None -> Ok "baseline"
+        | Some v -> J.to_str v
+      in
+      let* seed =
+        match J.member "seed" json with
+        | None -> Ok 0x5EED_CA11
+        | Some v -> J.to_int v
+      in
+      let int_field name ~default ~min ~max =
+        match J.member name json with
+        | None -> Ok default
+        | Some v ->
+          let* n =
+            Result.map_error
+              (fun m -> Printf.sprintf "field %S: %s" name m)
+              (J.to_int v)
+          in
+          if n < min || n > max then
+            Error
+              (Printf.sprintf "field %S: must be in [%d, %d]" name min max)
+          else Ok n
+      in
+      let* islands = int_field "islands" ~default:1 ~min:1 ~max:64 in
+      let* migration_interval =
+        int_field "migration_interval" ~default:5 ~min:1 ~max:1_000_000
+      in
+      let* migration_count =
+        int_field "migration_count" ~default:1 ~min:0 ~max:1_000
+      in
+      Ok
+        (Submit
+           { id; session; ptg; at; platform; model; algorithm; seed; islands;
+             migration_interval; migration_count })
+    | "advance" ->
+      let* session = field "session" J.to_str json in
+      let* () =
+        if session = "" || String.length session > 128 then
+          Error "field \"session\": must be 1..128 characters"
+        else Ok ()
+      in
+      let* to_ = opt_field "to" J.to_float json in
+      let* () =
+        match to_ with
+        | Some x when Float.is_nan x || x < 0. ->
+          Error "field \"to\": must be a number >= 0"
+        | _ -> Ok ()
+      in
+      Ok (Advance { id; session; to_ })
     | v -> Error (Printf.sprintf "unknown verb %S" v)
 
   let to_string t = J.to_string (to_json t)
@@ -381,6 +506,25 @@ module Response = struct
         backends_live : int option;
       }
     | Migrate_ack of { id : J.t; accepted : int }
+    | Submit_result of {
+        id : J.t;
+        session : string;
+        dag : int;
+        tasks : int;  (** session-total admitted tasks *)
+        now : float;
+        replans : int;
+      }
+    | Advance_result of {
+        id : J.t;
+        session : string;
+        now : float;
+        committed : int;
+        drifts : int;
+        replans : int;
+        complete : bool;
+        makespan : float option;
+        bound : float;  (** clairvoyant lower bound for the session *)
+      }
     | Error of {
         id : J.t;
         code : string;
@@ -436,6 +580,38 @@ module Response = struct
           ("id", id);
           ("accepted", J.Num (float_of_int accepted));
         ]
+    | Submit_result { id; session; dag; tasks; now; replans } ->
+      J.Obj
+        [
+          ("status", J.Str "ok");
+          ("verb", J.Str "submit");
+          ("id", id);
+          ("session", J.Str session);
+          ("dag", J.Num (float_of_int dag));
+          ("tasks", J.Num (float_of_int tasks));
+          ("now", J.float now);
+          ("replans", J.Num (float_of_int replans));
+        ]
+    | Advance_result
+        { id; session; now; committed; drifts; replans; complete; makespan;
+          bound } ->
+      J.Obj
+        ([
+           ("status", J.Str "ok");
+           ("verb", J.Str "advance");
+           ("id", id);
+           ("session", J.Str session);
+           ("now", J.float now);
+           ("committed", J.Num (float_of_int committed));
+           ("drifts", J.Num (float_of_int drifts));
+           ("replans", J.Num (float_of_int replans));
+           ("complete", J.Bool complete);
+           ("bound", J.float bound);
+         ]
+        @
+        match makespan with
+        | None -> []
+        | Some m -> [ ("makespan", J.float m) ])
     | Error { id; code; message; retry_after_ms } ->
       J.Obj
         ([
@@ -518,6 +694,30 @@ module Response = struct
       | "migrate" ->
         let* accepted = field "accepted" J.to_int json in
         Ok (Migrate_ack { id; accepted })
+      | "submit" ->
+        let* session = field "session" J.to_str json in
+        let* dag = field "dag" J.to_int json in
+        let* tasks = field "tasks" J.to_int json in
+        let* now = field "now" J.to_float json in
+        let* replans = field "replans" J.to_int json in
+        Ok (Submit_result { id; session; dag; tasks; now; replans })
+      | "advance" ->
+        let* session = field "session" J.to_str json in
+        let* now = field "now" J.to_float json in
+        let* committed = field "committed" J.to_int json in
+        let* drifts = field "drifts" J.to_int json in
+        let* replans = field "replans" J.to_int json in
+        let* complete =
+          field "complete"
+            (function J.Bool b -> Ok b | _ -> Result.Error "expected a boolean")
+            json
+        in
+        let* makespan = opt_field "makespan" J.to_float json in
+        let* bound = field "bound" J.to_float json in
+        Ok
+          (Advance_result
+             { id; session; now; committed; drifts; replans; complete;
+               makespan; bound })
       | "schedule" ->
         let* algorithm = field "algorithm" J.to_str json in
         let* makespan = field "makespan" J.to_float json in

@@ -127,6 +127,38 @@ module Request : sig
             reader thread with {!Response.Migrate_ack} (never queued);
             vectors that do not fit the instance are dropped at solve
             time, so a confused peer degrades to a no-op. *)
+    | Submit of {
+        id : J.t;
+        session : string;  (** online session name, 1..128 chars *)
+        ptg : string;  (** the arriving task graph, [.ptg] text *)
+        at : float;  (** virtual arrival time, [>= 0], monotone within
+            a session; the cluster is advanced to [at] first *)
+        platform : string;
+        model : string;
+        algorithm : string;
+            (** re-planner: ["baseline"] (Perotin–Sun) or
+                ["emts1"]/["emts5"]/["emts10"]; with platform, model and
+                seed, fixed by the {e first} submit of a session and
+                ignored afterwards *)
+        seed : int;
+        islands : int;
+        migration_interval : int;
+        migration_count : int;
+      }
+        (** online mode: admit a DAG into a named session's live
+            cluster state and re-plan the unstarted workload.  Answered
+            by the reader thread; rejected with [draining] once the
+            server drains ({!Advance} is still allowed, so admitted
+            work can finish). *)
+    | Advance of { id : J.t; session : string; to_ : float option }
+        (** advance a session's virtual clock to [to_] (absent: run the
+            admitted workload to completion), committing tasks and
+            re-planning on drift *)
+
+  val verbs : string list
+  (** Every verb {!of_json} accepts.  Tests and harnesses must
+      enumerate this list (not a hard-coded copy) so a new verb cannot
+      silently skip coverage. *)
 
   val id : t -> J.t
   (** The client-chosen correlation id (any JSON value; defaults to
@@ -214,6 +246,29 @@ module Response : sig
             omit it *)
     | Migrate_ack of { id : J.t; accepted : int }
         (** [accepted] migrants were buffered for their instance *)
+    | Submit_result of {
+        id : J.t;
+        session : string;
+        dag : int;  (** index of the admitted DAG within the session *)
+        tasks : int;  (** session-total admitted tasks *)
+        now : float;  (** session virtual clock after admission *)
+        replans : int;  (** session-lifetime re-plan count *)
+      }
+    | Advance_result of {
+        id : J.t;
+        session : string;
+        now : float;
+        committed : int;  (** commitments made by this call *)
+        drifts : int;  (** drifting commitments (each re-planned) *)
+        replans : int;
+        complete : bool;
+        makespan : float option;  (** realised makespan once complete *)
+        bound : float;
+            (** clairvoyant lower bound on the offline optimum of the
+                merged workload ({!Emts_serve.Online.clairvoyant_bound});
+                clients report [makespan /. bound] as the online /
+                clairvoyant ratio *)
+      }
     | Error of {
         id : J.t;
         code : string;

@@ -58,6 +58,12 @@ let m_steals =
   Metrics.counter
     ~help:"jobs stolen from another worker's deque"
     "serve.steals_total"
+let m_submits =
+  Metrics.counter ~help:"online DAG submissions admitted"
+    "serve.online.submits_total"
+let m_advances =
+  Metrics.counter ~help:"online advance requests served"
+    "serve.online.advances_total"
 
 type config = {
   socket : string option;
@@ -573,10 +579,86 @@ let worker_loop q ~worker ~pool_domains ~caches () =
 (* ------------------------------------------------------------------ *)
 (* Connection readers *)
 
-let handle_conn q wd ~max_frame ~caches conn =
+let handle_conn q wd ~max_frame ~caches ~online conn =
   let error ?(finish = false) ?retry_after_ms id code message =
     send ~finish conn
       (Protocol.Response.Error { id; code; message; retry_after_ms })
+  in
+  (* Online verbs run on the reader thread: sessions are stateful and
+     serialised behind a per-session mutex anyway, so queueing them
+     behind the offline worker lanes would buy nothing — and [advance]
+     must keep working through a drain. *)
+  let handle_submit id ~session ~ptg ~at ~platform ~model ~algorithm ~seed
+      ~islands ~migration_interval ~migration_count =
+    let ( let* ) = Result.bind in
+    let outcome =
+      let* graph =
+        Result.map_error (fun m -> "ptg: " ^ m) (Emts_ptg.Serial.of_string ptg)
+      in
+      let* () =
+        if Emts_ptg.Graph.task_count graph = 0 then Error "ptg: empty graph"
+        else Ok ()
+      in
+      let* platform = Engine.resolve_platform platform in
+      let* model = Engine.resolve_model model in
+      let* replanner =
+        match Online.replanner_of_string algorithm with
+        | Some r -> Ok r
+        | None ->
+          Error
+            (Printf.sprintf
+               "unknown online algorithm %S (try baseline, emts1, emts5, \
+                emts10)"
+               algorithm)
+      in
+      let create () =
+        Online.create
+          (Online.config ~replanner ~seed ~islands ~migration_interval
+             ~migration_count ~platform ~model ())
+      in
+      let* r =
+        Online.Registry.with_session online ~name:session ~create (fun s ->
+            Result.map
+              (fun (dag, _report) ->
+                (dag, Online.task_count s, Online.now s, Online.replans s))
+              (Online.submit s ~graph ~at))
+      in
+      r
+    in
+    match outcome with
+    | Error message ->
+      Metrics.incr m_errors;
+      error id Protocol.Error_code.bad_request message
+    | Ok (dag, tasks, now, replans) ->
+      Metrics.incr m_submits;
+      send conn
+        (Protocol.Response.Submit_result { id; session; dag; tasks; now; replans })
+  in
+  let handle_advance id ~session ~to_ =
+    match
+      Online.Registry.with_existing online ~name:session (fun s ->
+          Result.map
+            (fun (r : Online.advance_report) -> (r, Online.clairvoyant_bound s))
+            (Online.advance ?to_ s))
+    with
+    | Error message | Ok (Error message) ->
+      Metrics.incr m_errors;
+      error id Protocol.Error_code.bad_request message
+    | Ok (Ok (r, bound)) ->
+      Metrics.incr m_advances;
+      send conn
+        (Protocol.Response.Advance_result
+           {
+             id;
+             session;
+             now = r.Online.now;
+             committed = r.Online.committed;
+             drifts = r.Online.drifts;
+             replans = r.Online.replans;
+             complete = r.Online.complete;
+             makespan = r.Online.makespan;
+             bound;
+           })
   in
   let rec loop () =
     (* Read-side injection site: a delay stalls this reader only; a
@@ -635,6 +717,25 @@ let handle_conn q wd ~max_frame ~caches conn =
           Engine.offer_migrants caches ~ptg ~platform ~model migrants
         in
         send conn (Protocol.Response.Migrate_ack { id; accepted });
+        loop ()
+      | Ok
+          (Protocol.Request.Submit
+             { id; session; ptg; at; platform; model; algorithm; seed;
+               islands; migration_interval; migration_count }) ->
+        (* Drain semantics: no new work is admitted — a draining daemon
+           rejects submits with the same typed error as schedules — but
+           [advance] below stays allowed so committed sessions finish. *)
+        if queue_draining q then begin
+          Metrics.incr m_rejected;
+          error id Protocol.Error_code.draining
+            "server is draining; no new work accepted"
+        end
+        else
+          handle_submit id ~session ~ptg ~at ~platform ~model ~algorithm
+            ~seed ~islands ~migration_interval ~migration_count;
+        loop ()
+      | Ok (Protocol.Request.Advance { id; session; to_ }) ->
+        handle_advance id ~session ~to_;
         loop ()
       | Ok (Protocol.Request.Schedule { id; req }) ->
         Metrics.incr m_requests;
@@ -737,7 +838,7 @@ let bind_metrics config =
 
 (* Accept connections until [stop]; [select] with a short timeout keeps
    the loop responsive to the stop flag without busy-waiting. *)
-let accept_loop ~stop ~max_frame ~caches q wd listeners =
+let accept_loop ~stop ~max_frame ~caches ~online q wd listeners =
   let rec loop () =
     if not (stop ()) then begin
       (match Unix.select listeners [] [] 0.2 with
@@ -750,7 +851,7 @@ let accept_loop ~stop ~max_frame ~caches q wd listeners =
               let conn = conn_make fd in
               ignore
                 (Thread.create
-                   (fun () -> handle_conn q wd ~max_frame ~caches conn)
+                   (fun () -> handle_conn q wd ~max_frame ~caches ~online conn)
                    ())
             | exception
                 Unix.Unix_error
@@ -824,13 +925,14 @@ let run ?(stop = Emts_resilience.Shutdown.requested) config =
           in
           let wd = watchdog_make ~grace:config.watchdog_grace in
           let watchdog_thread = Thread.create (watchdog_loop wd) () in
+          let online = Online.Registry.create () in
           let workers =
             List.init config.workers (fun i ->
                 Domain.spawn
                   (worker_loop q ~worker:i ~pool_domains:config.pool_domains
                      ~caches))
           in
-          accept_loop ~stop ~max_frame:config.max_frame ~caches q wd
+          accept_loop ~stop ~max_frame:config.max_frame ~caches ~online q wd
             listeners;
           (* Shutdown: stop accepting, answer everything admitted
              (readers still running reject new work with [draining]),

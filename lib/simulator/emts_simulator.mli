@@ -74,3 +74,115 @@ val slowdown : result -> float
 
 val trace_to_csv : result -> string
 (** [event,task,time,procs] rows. *)
+
+(** Live cluster state for online scheduling: DAGs arrive over time
+    against partially executed work, virtual time advances, and tasks
+    move from {e unstarted} to {e committed} exactly once.
+
+    The state machine: {!admit} merges an arriving DAG into a dense
+    global task-id space (ids of earlier DAGs never change);
+    {!set_plan} installs a schedule for every unstarted task (the
+    controller re-plans on arrival or drift); {!advance} commits
+    unstarted tasks in deterministic order — a task whose predecessors
+    are all committed launches at the latest of its planned start, its
+    predecessors' realised finishes and its processors draining
+    (exactly {!execute}'s reservation semantics, one task at a time) —
+    drawing its realised duration through the owned noise model.
+
+    Invariants the [online] fuzz oracle leans on:
+    - {b commitment}: a committed task's (start, finish, processors)
+      never changes, and the commitment log only ever grows;
+    - {b exact replay}: with {!Noise.none} a plan built by
+      {!Emts_sched.Online_list} commits bit-identically to its planned
+      times;
+    - {b drift stops the clock}: the first commit whose realised times
+      differ bitwise from the plan ends the {!advance} call, so the
+      controller can re-plan before anything else commits. *)
+module Online : sig
+  type t
+
+  (** One commitment-log record, in commit order. *)
+  type committed = {
+    task : int;  (** global task id *)
+    dag : int;
+    start : float;
+    finish : float;  (** realised (post-noise) *)
+    procs : int array;
+    planned_start : float;
+    planned_finish : float;
+  }
+
+  type report = {
+    committed : int;  (** commitments made by this {!advance} call *)
+    drifted : bool;  (** true when the last commitment drifted *)
+  }
+
+  val create : procs:int -> ?noise:Noise.t -> ?rng:Emts_prng.t -> unit -> t
+  (** A cluster of [procs] processors, idle at time 0.  [noise]
+      defaults to {!Noise.none}, [rng] to a fresh default-seeded
+      generator; all realised durations flow through them, so a state
+      driven by the same arrival trace and seed commits
+      bit-identically. *)
+
+  val admit : t -> Emts_ptg.Graph.t -> int
+  (** Admit an arriving DAG at the current time; returns its index.
+      Its tasks occupy global ids [offset .. offset + n - 1] (see
+      {!dag_offset}) and may not start before the current time.
+      Raises [Invalid_argument] on an empty graph. *)
+
+  val set_plan : t -> Emts_sched.Schedule.entry list -> unit
+  (** Install the plan: exactly one entry per unstarted task (global
+      ids), none for committed ones.  Entries must carry valid sorted
+      processor sets and start at or after both the clock and their
+      DAG's arrival.  Raises [Invalid_argument] otherwise. *)
+
+  val advance : ?to_:float -> t -> report
+  (** Commit every task whose effective start is [<= to_] (default:
+      run to completion), stopping early after the first drifting
+      commitment.  Moves the clock to [to_] (or to the makespan when
+      complete) unless drift stopped the pass — then the clock rests at
+      the drifted start so re-planning cannot schedule into the past.
+      Raises [Invalid_argument] on a NaN or backwards [to_]. *)
+
+  val procs : t -> int
+  val now : t -> float
+  val task_count : t -> int
+  val dag_count : t -> int
+  val dag_graph : t -> int -> Emts_ptg.Graph.t
+  val dag_offset : t -> int -> int
+  val dag_arrival : t -> int -> float
+  val committed_count : t -> int
+  val complete : t -> bool
+
+  val commitments : t -> committed list
+  (** The full log, in commit order. *)
+
+  val unstarted : t -> int list
+  (** Global ids not yet committed, ascending. *)
+
+  val release_of : t -> int -> float
+  (** Earliest legal start of an unstarted task: the latest of its
+      DAG's arrival, the clock and its committed predecessors' realised
+      finishes (unstarted predecessors are edges of the re-planning
+      sub-problem instead).  Raises [Invalid_argument] on a committed
+      task. *)
+
+  val avail : t -> float array
+  (** Fresh per-processor availability, clamped to the clock: what the
+      re-planner must treat as each processor's earliest free time. *)
+
+  val plan : t -> Emts_sched.Schedule.entry list
+  (** The currently installed entries for unstarted tasks, ascending
+      task id. *)
+
+  val makespan : t -> float
+  (** Latest realised finish among commitments (0 when none). *)
+
+  val merged_graph : t -> Emts_ptg.Graph.t
+  (** All admitted DAGs as one graph over the global id space (no
+      cross-DAG edges). *)
+
+  val realized_schedule : t -> Emts_sched.Schedule.t
+  (** The committed schedule once {!complete}; raises
+      [Invalid_argument] while work remains. *)
+end

@@ -9,6 +9,7 @@ error surface for unknown oracle names.
   resilience   corrupt or truncated journals, checkpoints and .ptg files are cleanly rejected or torn-tail-truncated, never misread
   chaos        a live daemon under a seeded fault plan (worker crashes, stalls, hangups, I/O errors) never dies, answers every accepted request exactly once with a typed reply, respawns crashed lanes, keeps shed requests retryable, and computes bit-identical results once the storm passes
   fleet        a router over live backends (one hangup-only) survives malformed input and a mid-storm backend kill, keeps every request answered from the survivors, matches a fresh engine bit for bit post-storm, and refuses typed-unavailable once every backend is gone
+  online       online scheduling over a 3-DAG arrival trace: commitments never move, the merged realised schedule validates at or above the clairvoyant lower bound, zero-noise plans replay exactly, changeless re-plans are no-ops, and commitment logs are bit-identical across domains x islands x cache x delta and under seeded slowdown noise
 
 A bounded offline run on a clean tree passes and leaves no corpus
 directory behind (repro files are only written on failure):
@@ -23,7 +24,7 @@ directory behind (repro files are only written on failure):
 Unknown oracles are rejected with the list of known ones:
 
   $ emts-fuzz --oracle nope --time-budget 1
-  emts-fuzz: unknown oracle "nope" (known: validate, differential, determinism, wire, resilience, chaos, fleet)
+  emts-fuzz: unknown oracle "nope" (known: validate, differential, determinism, wire, resilience, chaos, fleet, online)
   [124]
 
 Replaying a nonexistent repro file is a usage error:

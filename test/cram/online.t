@@ -1,0 +1,50 @@
+The online scheduling mode: DAGs arrive over virtual time through
+named submit/advance sessions; the daemon re-plans the unstarted
+remainder on each arrival while committed tasks never move.  Drive a
+live daemon through a two-DAG arrival, once with the Perotin-Sun
+baseline and once with EMTS re-planning.
+
+  $ SOCK=/tmp/emts-online-cram-$$.sock
+  $ emts-serve --socket $SOCK --workers 1 2>serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK ] && break; sleep 0.1; done
+
+One line per session with the realised makespan against the
+clairvoyant lower bound.  The run itself enforces the competitive
+sanity bound: a non-finite ratio, or one below 1, is a client error,
+so a clean exit certifies both sessions.
+
+  $ emts-loadgen --socket $SOCK --online --dags 2 --seed 11 --json online.json > online.out
+  $ grep -c '^online baseline makespan=' online.out
+  1
+  $ grep -c '^online emts5 makespan=' online.out
+  1
+  $ grep -c 'ratio=' online.out
+  2
+
+The JSON summary carries the same two sessions for the campaign
+tooling:
+
+  $ grep -c '"mode":"online"' online.json
+  1
+  $ grep -o '"algorithm"' online.json | wc -l
+  2
+
+Online commitments are deterministic: a fresh daemon, the same seed
+and arrival trace, the same bytes.
+
+  $ SOCK2=/tmp/emts-online-cram2-$$.sock
+  $ emts-serve --socket $SOCK2 --workers 1 2>serve2.log &
+  $ SERVE2_PID=$!
+  $ for i in $(seq 1 100); do [ -S $SOCK2 ] && break; sleep 0.1; done
+  $ emts-loadgen --socket $SOCK2 --online --dags 2 --seed 11 > again.out
+  $ cmp online.out again.out
+  $ kill -TERM $SERVE2_PID
+  $ wait $SERVE2_PID
+
+SIGTERM still drains gracefully with online sessions admitted:
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ test -S $SOCK
+  [1]

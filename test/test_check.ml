@@ -50,7 +50,8 @@ let test_oracle_lookup () =
   Alcotest.(check bool) "unknown rejected" true (Oracle.find "nonsense" = None);
   Alcotest.(check (list string))
     "registry names"
-    [ "validate"; "differential"; "determinism"; "wire"; "resilience"; "chaos"; "fleet" ]
+    [ "validate"; "differential"; "determinism"; "wire"; "resilience"; "chaos";
+      "fleet"; "online" ]
     Oracle.names
 
 let test_oracle_exception_barrier () =

@@ -315,6 +315,100 @@ let test_extra_seeds () =
   Alcotest.(check int) "no extra evaluations"
     without.Alg.ea.Emts_ea.evaluations dropped.Alg.ea.Emts_ea.evaluations
 
+(* Online tentpole: the re-planning controller is a pure function of
+   (seed, arrival trace) under every engine tuning.  Worker domains,
+   the per-replan fitness cache and the delta evaluator must never
+   move a single commitment bit; islands > 1 is a different EA search
+   trajectory by design, so it gets its own single-domain reference
+   against which the same tunings are checked. *)
+module Online = Emts_serve.Online
+module Sim_online = Emts_simulator.Online
+
+let online_committed_eq (a : Sim_online.committed) (b : Sim_online.committed) =
+  a.Sim_online.task = b.Sim_online.task
+  && a.Sim_online.dag = b.Sim_online.dag
+  && Int64.bits_of_float a.Sim_online.start
+     = Int64.bits_of_float b.Sim_online.start
+  && Int64.bits_of_float a.Sim_online.finish
+     = Int64.bits_of_float b.Sim_online.finish
+  && a.Sim_online.procs = b.Sim_online.procs
+
+let online_plan_entry_eq (a : Emts_sched.Schedule.entry)
+    (b : Emts_sched.Schedule.entry) =
+  a.Emts_sched.Schedule.task = b.Emts_sched.Schedule.task
+  && Int64.bits_of_float a.Emts_sched.Schedule.start
+     = Int64.bits_of_float b.Emts_sched.Schedule.start
+  && Int64.bits_of_float a.Emts_sched.Schedule.finish
+     = Int64.bits_of_float b.Emts_sched.Schedule.finish
+  && a.Emts_sched.Schedule.procs = b.Emts_sched.Schedule.procs
+
+let test_online_matrix () =
+  let g1 = small_graph () in
+  let g2 =
+    let rng = Emts_prng.create ~seed:18 () in
+    Testutil.costed_daggen rng ~n:12
+  in
+  let planned_horizon t =
+    List.fold_left
+      (fun acc (e : Emts_sched.Schedule.entry) ->
+        Float.max acc e.Emts_sched.Schedule.finish)
+      0. (Online.plan t)
+  in
+  let run_trace ?domains ?islands ?fitness_cache ?delta_fitness () =
+    let cfg =
+      Online.config
+        ~replanner:(Online.Emts { mu = 2; lambda = 6; generations = 2 })
+        ~seed:77 ?domains ?islands ?fitness_cache ?delta_fitness
+        ~platform:chti ~model:Emts_model.synthetic ()
+    in
+    let t = Online.create cfg in
+    let submit graph at =
+      match Online.submit t ~graph ~at with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail ("online submit: " ^ m)
+    in
+    submit g1 0.;
+    (* the second DAG lands mid-flight of the first plan, forcing a
+       re-plan against committed work *)
+    submit g2 (0.4 *. planned_horizon t);
+    (match Online.advance t with
+    | Ok r when r.Online.complete -> ()
+    | Ok _ -> Alcotest.fail "online trace did not complete"
+    | Error m -> Alcotest.fail ("online advance: " ^ m));
+    Online.commitments t
+  in
+  let check_same label reference log =
+    Alcotest.(check int) (label ^ ": commitment count")
+      (List.length reference) (List.length log);
+    Alcotest.(check bool) (label ^ ": bit-identical commitments") true
+      (List.for_all2 online_committed_eq reference log)
+  in
+  let reference = run_trace () in
+  Alcotest.(check bool) "trace commits both DAGs" true
+    (List.length reference
+    = Emts_ptg.Graph.task_count g1 + Emts_ptg.Graph.task_count g2);
+  List.iter
+    (fun (label, log) -> check_same label reference (log ()))
+    [
+      ("domains", fun () -> run_trace ~domains:Testutil.test_domains ());
+      ("cache", fun () -> run_trace ~fitness_cache:512 ());
+      ("no-delta", fun () -> run_trace ~delta_fitness:false ());
+      ( "domains+cache+no-delta",
+        fun () ->
+          run_trace ~domains:Testutil.test_domains ~fitness_cache:512
+            ~delta_fitness:false () );
+    ];
+  let reference2 = run_trace ~islands:2 () in
+  List.iter
+    (fun (label, log) -> check_same label reference2 (log ()))
+    [
+      ( "islands=2 domains",
+        fun () -> run_trace ~islands:2 ~domains:Testutil.test_domains () );
+      ( "islands=2 cache+no-delta",
+        fun () ->
+          run_trace ~islands:2 ~fitness_cache:512 ~delta_fitness:false () );
+    ]
+
 let test_checkpoint_resume_matrix () =
   (* Crash-safety tentpole: interrupting an EMTS run at any generation
      and resuming from its checkpoint reproduces the uninterrupted run
@@ -525,6 +619,49 @@ let prop_pool_cache_determinism =
                   (with_telemetry (fun () ->
                        run_with ~checkpoint:(path, 1) Fun.id))))
 
+(* Online satellite: a forced re-plan with zero arrivals and zero
+   drift must refuse to touch the installed plan — [replan] returns
+   [false] and every plan entry stays bitwise identical, both straight
+   after a submit and after a driftless partial advance. *)
+let prop_online_replan_noop =
+  QCheck.Test.make
+    ~name:"online re-plan with no arrival and no drift is a bitwise no-op"
+    ~count:15
+    (Testutil.arbitrary_dag ~max_n:12 ())
+    (fun graph ->
+      let cfg =
+        Online.config
+          ~replanner:(Online.Emts { mu = 2; lambda = 6; generations = 2 })
+          ~seed:31 ~platform:chti ~model:Emts_model.synthetic ()
+      in
+      let t = Online.create cfg in
+      (match Online.submit t ~graph ~at:0. with
+      | Ok _ -> ()
+      | Error m -> QCheck.Test.fail_report ("online submit: " ^ m));
+      let plan_unchanged () =
+        let before = Online.plan t in
+        let changed = Online.replan t in
+        let after = Online.plan t in
+        (not changed)
+        && List.length before = List.length after
+        && List.for_all2 online_plan_entry_eq before after
+      in
+      let fresh_ok = plan_unchanged () in
+      (* a driftless partial advance (no noise) must not re-arm the
+         re-planner either *)
+      let horizon =
+        List.fold_left
+          (fun acc (e : Emts_sched.Schedule.entry) ->
+            Float.max acc e.Emts_sched.Schedule.finish)
+          0. (Online.plan t)
+      in
+      let advanced_ok =
+        match Online.advance ~to_:(0.5 *. horizon) t with
+        | Ok _ -> plan_unchanged ()
+        | Error m -> QCheck.Test.fail_report ("online advance: " ^ m)
+      in
+      fresh_ok && advanced_ok)
+
 let prop_emts_beats_every_seed =
   QCheck.Test.make
     ~name:"EMTS makespan <= every seed's makespan (elitist seeding)"
@@ -596,6 +733,10 @@ let () =
           Alcotest.test_case "determinism matrix" `Quick test_island_matrix;
           Alcotest.test_case "extra seeds" `Quick test_extra_seeds;
         ] );
+      ( "online",
+        [
+          Alcotest.test_case "determinism matrix" `Quick test_online_matrix;
+        ] );
       ( "crash safety",
         [
           Alcotest.test_case "resume matrix" `Quick
@@ -607,6 +748,7 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_early_reject_equivalent;
+            prop_online_replan_noop;
             prop_pool_cache_determinism;
             prop_emts_beats_every_seed;
             prop_emts_schedule_valid;

@@ -26,7 +26,7 @@ let make_tables rng g ~procs =
 
 let check_against_reference ~what ev ~graph ~tables ~procs ~alloc ~cutoff =
   let expected = reference ~graph ~tables ~procs ~alloc ~cutoff in
-  let got = Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff in
+  let got = Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff () in
   if not (float_eq expected got) then
     Alcotest.failf "%s: delta %h <> from-scratch %h" what got expected;
   if Ev.last_rejected ev <> (expected = infinity && cutoff < infinity) then
@@ -55,7 +55,7 @@ let run_chain rng ev ~graph ~tables ~procs ~steps =
       | 4 when !best < infinity -> !best (* exactly at the best: tight *)
       | _ -> infinity
     in
-    let got = Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff in
+    let got = Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff () in
     let expected = reference ~graph ~tables ~procs ~alloc ~cutoff in
     if not (float_eq expected got) then
       Alcotest.failf "step %d (cutoff %h): delta %h <> from-scratch %h" step
@@ -151,17 +151,17 @@ let test_input_validation () =
   in
   raises "alloc too long" (fun () ->
       Ev.makespan ev ~graph ~tables ~procs:2 ~alloc:[| 1; 1; 1; 1 |]
-        ~cutoff:infinity);
+        ~cutoff:infinity ());
   raises "alloc out of range" (fun () ->
       Ev.makespan ev ~graph ~tables ~procs:2 ~alloc:[| 1; 3; 1 |]
-        ~cutoff:infinity);
+        ~cutoff:infinity ());
   raises "NaN cutoff" (fun () ->
       Ev.makespan ev ~graph ~tables ~procs:2 ~alloc:[| 1; 1; 1 |]
-        ~cutoff:Float.nan);
+        ~cutoff:Float.nan ());
   raises "NaN time" (fun () ->
       Ev.makespan ev ~graph
         ~tables:[| [| 1. |]; [| Float.nan |]; [| 1. |] |]
-        ~procs:1 ~alloc:[| 1; 1; 1 |] ~cutoff:infinity)
+        ~procs:1 ~alloc:[| 1; 1; 1 |] ~cutoff:infinity ())
 
 (* The allocation budget the hot path is designed around.  Steady state
    (instance bound, buffers warm) allocates nothing inside the
@@ -181,7 +181,7 @@ let test_steady_state_allocation () =
   (* warm up: bind the instance and grow every buffer *)
   for _ = 1 to 50 do
     alloc.(Emts_prng.int rng n) <- 1 + Emts_prng.int rng procs;
-    ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity)
+    ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity ())
   done;
   (* pre-draw mutation sites so the loop body allocates nothing itself *)
   let rounds = 1000 in
@@ -192,7 +192,7 @@ let test_steady_state_allocation () =
   for i = 0 to rounds - 1 do
     alloc.(sites.(i)) <- values.(i);
     sink.(0) <-
-      sink.(0) +. Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity
+      sink.(0) +. Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity ()
   done;
   let after = Gc.allocated_bytes () in
   let per_eval = (after -. before) /. float_of_int rounds in
@@ -213,12 +213,12 @@ let test_stats_and_metrics_accounting () =
   let tables = [| [| 1.; 1. |]; [| 1.; 2. |]; [| 10.; 10. |]; [| 1.; 1. |] |] in
   let ev = Ev.create () in
   let alloc = Array.make 4 1 in
-  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity);
+  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity ());
   (* duplicate: the whole 4-step schedule is reused *)
-  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity);
+  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity ());
   (* mutate task 1: divergence at step 1, the source pop is reused *)
   alloc.(1) <- 2;
-  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity);
+  ignore (Ev.makespan ev ~graph ~tables ~procs ~alloc ~cutoff:infinity ());
   let s = Ev.stats ev in
   Alcotest.(check int) "one full run" 1 s.Ev.full_runs;
   Alcotest.(check int) "two incremental runs" 2 s.Ev.incremental_runs;

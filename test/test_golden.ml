@@ -15,6 +15,7 @@
    tree). *)
 
 module Schedule = Emts_sched.Schedule
+module Graph = Emts_ptg.Graph
 
 let update_mode = Sys.getenv_opt "EMTS_GOLDEN_UPDATE" <> None
 
@@ -109,6 +110,81 @@ let test_svg () =
          Emts_sched.Svg.render_pair ~width_px:960 ~left:("diamond", d)
            ~right:("daggen", g) ()))
 
+(* Online arrival trace: a pinned 3-DAG sequence against the online
+   controller.  The commitment log is the contract the wire protocol,
+   the fuzz oracle and the re-planner all share — one byte of drift in
+   commit order, times or processor sets must fail loudly here.  The
+   DAGs are built explicitly (not via daggen) so the golden file never
+   moves under generator changes. *)
+
+(* Costs are in GFLOP-scale so single-processor durations land in
+   seconds against the 1 GFLOP/s golden platform — arrival times and
+   task durations then overlap, which is the regime worth pinning. *)
+let gf = 1e9
+
+let online_diamond () =
+  let b = Graph.Builder.create () in
+  let t0 = Graph.Builder.add_task ~flop:(10. *. gf) b in
+  let t1 = Graph.Builder.add_task ~flop:(20. *. gf) b in
+  let t2 = Graph.Builder.add_task ~flop:(30. *. gf) b in
+  let t3 = Graph.Builder.add_task ~flop:(40. *. gf) b in
+  List.iter
+    (fun (src, dst) -> Graph.Builder.add_edge b ~src ~dst)
+    [ (t0, t1); (t0, t2); (t1, t3); (t2, t3) ];
+  Graph.Builder.build b
+
+let online_chain () =
+  let b = Graph.Builder.create () in
+  let ids =
+    Array.init 3 (fun i ->
+        Graph.Builder.add_task ~flop:((15. +. (5. *. float_of_int i)) *. gf) b)
+  in
+  Graph.Builder.add_edge b ~src:ids.(0) ~dst:ids.(1);
+  Graph.Builder.add_edge b ~src:ids.(1) ~dst:ids.(2);
+  Graph.Builder.build b
+
+let online_fork () =
+  let b = Graph.Builder.create () in
+  let root = Graph.Builder.add_task ~flop:(10. *. gf) b in
+  for i = 1 to 3 do
+    let leaf = Graph.Builder.add_task ~flop:(10. *. float_of_int i *. gf) b in
+    Graph.Builder.add_edge b ~src:root ~dst:leaf
+  done;
+  Graph.Builder.build b
+
+let online_commitment_log ~replanner () =
+  let module Online = Emts_serve.Online in
+  let cfg =
+    Online.config ~replanner ~seed:2026
+      ~platform:
+        (Emts_platform.make ~name:"golden" ~processors:4 ~speed_gflops:1.)
+      ~model:Emts_model.amdahl ()
+  in
+  let t = Online.create cfg in
+  let submit graph at =
+    match Online.submit t ~graph ~at with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail ("online submit: " ^ m)
+  in
+  submit (online_diamond ()) 0.;
+  submit (online_chain ()) 12.;
+  submit (online_fork ()) 30.;
+  (match Online.advance t with
+  | Ok r when r.Online.complete -> ()
+  | Ok _ -> Alcotest.fail "online trace did not complete"
+  | Error m -> Alcotest.fail ("online advance: " ^ m));
+  String.concat "\n" (List.map Online.pp_committed (Online.commitments t))
+  ^ "\n"
+
+let test_online_commitments () =
+  let module Online = Emts_serve.Online in
+  check_golden "online_commitments.baseline"
+    (render_twice "online baseline log" (online_commitment_log ~replanner:Online.Baseline));
+  check_golden "online_commitments.emts"
+    (render_twice "online emts log"
+       (online_commitment_log
+          ~replanner:(Online.Emts { mu = 3; lambda = 8; generations = 3 })))
+
 let () =
   Alcotest.run "golden"
     [
@@ -117,5 +193,10 @@ let () =
           Alcotest.test_case "csv" `Quick test_csv;
           Alcotest.test_case "gantt" `Quick test_gantt;
           Alcotest.test_case "svg" `Quick test_svg;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "arrival-trace commitments" `Quick
+            test_online_commitments;
         ] );
     ]

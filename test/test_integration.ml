@@ -154,6 +154,35 @@ let test_batch_of_ptg_jobs () =
       Alcotest.(check bool) "no kill (walltime padded)" false p.Emts_batch.killed)
     r.Emts_batch.placements
 
+(* The wire protocol's verb registry and its JSON grammar stay in
+   lockstep: every verb in [Emts_serve.Protocol.Request.verbs] parses
+   from a minimal request, so any verb-driven test (round trips, cram,
+   fuzz) that enumerates the list covers the whole grammar.  A new verb
+   must extend the table below or fail loudly — never silently skip
+   coverage. *)
+let test_wire_verb_registry () =
+  let module Protocol = Emts_serve.Protocol in
+  let minimal = function
+    | ("ping" | "stats" | "metrics" | "health") as v ->
+      Printf.sprintf {|{"verb":%S}|} v
+    | "schedule" -> {|{"verb":"schedule","ptg":"g"}|}
+    | "migrate" -> {|{"verb":"migrate","ptg":"g","migrants":[[1,1]]}|}
+    | "submit" -> {|{"verb":"submit","session":"s","ptg":"g"}|}
+    | "advance" -> {|{"verb":"advance","session":"s"}|}
+    | v ->
+      Alcotest.fail
+        (Printf.sprintf "verb %S has no minimal request — extend the table" v)
+  in
+  List.iter
+    (fun v ->
+      match Protocol.Request.of_string (minimal v) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail (Printf.sprintf "verb %S rejected: %s" v m))
+    Protocol.Request.verbs;
+  match Protocol.Request.of_string {|{"verb":"no-such-verb"}|} with
+  | Ok _ -> Alcotest.fail "unknown verb accepted"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "integration"
     [
@@ -166,4 +195,7 @@ let () =
           Alcotest.test_case "campaign metrics" `Slow test_campaign_metrics;
           Alcotest.test_case "batch of PTG jobs" `Quick test_batch_of_ptg_jobs;
         ] );
+      ( "wire",
+        [ Alcotest.test_case "verb registry" `Quick test_wire_verb_registry ]
+      );
     ]

@@ -81,23 +81,78 @@ let test_frame_bad_magic_and_too_large () =
 
 (* --- request / response JSON --- *)
 
+(* One canonical request per wire verb.  The table is driven by
+   [Protocol.Request.verbs] — adding a verb to the protocol without
+   extending this function fails the round-trip test instead of
+   silently skipping coverage. *)
+let canonical_request = function
+  | "ping" -> Protocol.Request.Ping { id = J.Str "a" }
+  | "stats" -> Protocol.Request.Stats { id = J.Num 3. }
+  | "metrics" -> Protocol.Request.Metrics { id = J.Str "m" }
+  | "health" -> Protocol.Request.Health { id = J.Str "h" }
+  | "schedule" ->
+    Protocol.Request.Schedule
+      {
+        id = J.Null;
+        req =
+          schedule_req ~algorithm:"mcpa" ~seed:123 ~deadline_s:1.5
+            ~budget_s:0.25 "graph text\nwith lines";
+      }
+  | "migrate" ->
+    Protocol.Request.Migrate
+      {
+        id = J.Str "mg";
+        ptg = "g";
+        platform = "grelon";
+        model = "amdahl";
+        migrants = [ [| 1; 2 |]; [| 2; 2 |] ];
+      }
+  | "submit" ->
+    Protocol.Request.Submit
+      {
+        id = J.Str "sub";
+        session = "s1";
+        ptg = "g";
+        at = 2.5;
+        platform = "grelon";
+        model = "amdahl";
+        algorithm = "emts5";
+        seed = 42;
+        islands = 2;
+        migration_interval = 3;
+        migration_count = 1;
+      }
+  | "advance" ->
+    Protocol.Request.Advance { id = J.Str "adv"; session = "s1"; to_ = Some 7.25 }
+  | v ->
+    Alcotest.fail
+      (Printf.sprintf
+         "verb %S has no canonical request — extend canonical_request" v)
+
 let test_request_round_trip () =
   let reqs =
-    [
-      Protocol.Request.Ping { id = J.Str "a" };
-      Protocol.Request.Stats { id = J.Num 3. };
-      Protocol.Request.Metrics { id = J.Str "m" };
-      Protocol.Request.Health { id = J.Str "h" };
-      Protocol.Request.Schedule
-        {
-          id = J.Null;
-          req =
-            schedule_req ~algorithm:"mcpa" ~seed:123 ~deadline_s:1.5
-              ~budget_s:0.25 "graph text\nwith lines";
-        };
-      Protocol.Request.Schedule
-        { id = J.Str "t"; req = schedule_req ~trace_id:"t1f3a-9.B_x" "g" };
-    ]
+    List.map canonical_request Protocol.Request.verbs
+    @ [
+        Protocol.Request.Schedule
+          { id = J.Str "t"; req = schedule_req ~trace_id:"t1f3a-9.B_x" "g" };
+        (* islands = 1 omits the island fields on the wire *)
+        Protocol.Request.Submit
+          {
+            id = J.Null;
+            session = "s2";
+            ptg = "g";
+            at = 0.;
+            platform = "grelon";
+            model = "amdahl";
+            algorithm = "baseline";
+            seed = 0x5EED_CA11;
+            islands = 1;
+            migration_interval = 5;
+            migration_count = 1;
+          };
+        (* no "to" field: run the admitted workload to completion *)
+        Protocol.Request.Advance { id = J.Str "a0"; session = "s2"; to_ = None };
+      ]
   in
   List.iter
     (fun r ->
@@ -133,15 +188,52 @@ let test_request_defaults_and_errors () =
   bad
     (Printf.sprintf {|{"verb":"schedule","ptg":"g","trace_id":"%s"}|}
        (String.make 65 'a'));
-  match
-    Protocol.Request.of_string
-      (Printf.sprintf {|{"verb":"schedule","ptg":"g","trace_id":"%s"}|}
-         (String.make 64 'a'))
-  with
+  (match
+     Protocol.Request.of_string
+       (Printf.sprintf {|{"verb":"schedule","ptg":"g","trace_id":"%s"}|}
+          (String.make 64 'a'))
+   with
   | Ok (Protocol.Request.Schedule { req; _ }) ->
     Alcotest.(check (option string)) "64-char trace_id accepted"
       (Some (String.make 64 'a'))
       req.trace_id
+  | Ok _ -> Alcotest.fail "wrong verb"
+  | Error m -> Alcotest.fail m);
+  (* submit: session is mandatory and bounded, everything else mirrors
+     schedule's defaults plus [at = 0] and one island *)
+  (match
+     Protocol.Request.of_string {|{"verb":"submit","session":"s","ptg":"g"}|}
+   with
+  | Ok
+      (Protocol.Request.Submit
+        { at; platform; model; algorithm; seed; islands; _ }) ->
+    Alcotest.(check (float 0.)) "at defaults to 0" 0. at;
+    Alcotest.(check string) "submit platform default" "grelon" platform;
+    Alcotest.(check string) "submit model default" "amdahl" model;
+    Alcotest.(check string) "submit algorithm default" "baseline" algorithm;
+    Alcotest.(check int) "submit seed default" 0x5EED_CA11 seed;
+    Alcotest.(check int) "submit islands default" 1 islands
+  | Ok _ -> Alcotest.fail "wrong verb"
+  | Error m -> Alcotest.fail m);
+  bad {|{"verb":"submit","ptg":"g"}|};
+  bad {|{"verb":"submit","session":"","ptg":"g"}|};
+  bad
+    (Printf.sprintf {|{"verb":"submit","session":"%s","ptg":"g"}|}
+       (String.make 129 's'));
+  bad {|{"verb":"submit","session":"s"}|};
+  bad {|{"verb":"submit","session":"s","ptg":"g","at":-1}|};
+  bad {|{"verb":"submit","session":"s","ptg":"g","at":"soon"}|};
+  bad {|{"verb":"submit","session":"s","ptg":"g","islands":0}|};
+  bad {|{"verb":"submit","session":"s","ptg":"g","migration_count":-1}|};
+  (* advance: "to" optional (run to completion), never NaN or negative *)
+  bad {|{"verb":"advance"}|};
+  bad {|{"verb":"advance","session":""}|};
+  bad {|{"verb":"advance","session":"s","to":-0.5}|};
+  bad {|{"verb":"advance","session":"s","to":"later"}|};
+  match Protocol.Request.of_string {|{"verb":"advance","session":"s"}|} with
+  | Ok (Protocol.Request.Advance { to_; _ }) ->
+    Alcotest.(check bool) "advance default runs to completion" true
+      (to_ = None)
   | Ok _ -> Alcotest.fail "wrong verb"
   | Error m -> Alcotest.fail m
 
@@ -216,6 +308,33 @@ let test_response_round_trip () =
           generations_done = 0;
           evaluations = 0;
           trace_id = Some "t4cafe-1";
+        };
+      Protocol.Response.Submit_result
+        { id = J.Str "sb"; session = "s1"; dag = 2; tasks = 37; now = 4.5;
+          replans = 3 };
+      Protocol.Response.Advance_result
+        {
+          id = J.Str "ad1";
+          session = "s1";
+          now = 9.25;
+          committed = 14;
+          drifts = 1;
+          replans = 4;
+          complete = false;
+          makespan = None;
+          bound = 8.75;
+        };
+      Protocol.Response.Advance_result
+        {
+          id = J.Null;
+          session = "s2";
+          now = 31.5;
+          committed = 37;
+          drifts = 0;
+          replans = 3;
+          complete = true;
+          makespan = Some 31.5;
+          bound = 28.;
         };
     ]
   in
@@ -754,6 +873,149 @@ let test_server_self_healing () =
       | Ok () -> ()
       | Error m -> Alcotest.fail ("server exited with an error: " ^ m))
 
+(* --- online session over the wire, through a drain ------------------
+
+   One daemon, one connection: submit a DAG into a named session,
+   advance part-way, then raise stop mid-flight.  The draining daemon
+   must keep answering the admitted session — advance still runs the
+   admitted workload to completion — while new submits are refused
+   with the typed [draining] error. *)
+
+let test_server_online_drain () =
+  let dir = Filename.temp_file "emts_serve_online" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "emts.sock" in
+  let stop = Atomic.make false in
+  let outcome = ref (Ok ()) in
+  let server =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Server.run
+            ~stop:(fun () -> Atomic.get stop)
+            { Server.default with Server.socket = Some path; workers = 1 })
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join server;
+      if Sys.file_exists path then Sys.remove path;
+      Unix.rmdir dir)
+    (fun () ->
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let roundtrip req =
+        Protocol.write_frame fd (Protocol.Request.to_string req);
+        match Protocol.read_frame fd ~max_size:Protocol.default_max_frame with
+        | Ok payload -> (
+          match Protocol.Response.of_string payload with
+          | Ok r -> r
+          | Error m -> Alcotest.fail ("bad response: " ^ m))
+        | Error e -> Alcotest.fail (Protocol.frame_error_to_string e)
+      in
+      let ptg = graph_string () in
+      let submit ~id ~session =
+        Protocol.Request.Submit
+          {
+            id = J.Str id;
+            session;
+            ptg;
+            at = 0.;
+            platform = "grelon";
+            model = "amdahl";
+            algorithm = "emts1";
+            seed = 7;
+            islands = 1;
+            migration_interval = 5;
+            migration_count = 1;
+          }
+      in
+      (match roundtrip (submit ~id:"sub1" ~session:"drainy") with
+      | Protocol.Response.Submit_result { session; dag; tasks; replans; _ } ->
+        Alcotest.(check string) "session echoed" "drainy" session;
+        Alcotest.(check int) "first dag index" 0 dag;
+        Alcotest.(check int) "admitted task count" 12 tasks;
+        Alcotest.(check bool) "planned at least once" true (replans >= 1)
+      | _ -> Alcotest.fail "expected a submit result");
+      (* an unknown session is a typed bad_request, not a crash *)
+      (match
+         roundtrip
+           (Protocol.Request.Advance
+              { id = J.Str "ghost"; session = "ghost"; to_ = None })
+       with
+      | Protocol.Response.Error { code; _ } ->
+        Alcotest.(check string) "unknown session refused"
+          Protocol.Error_code.bad_request code
+      | _ -> Alcotest.fail "expected an error for an unknown session");
+      (* an advance to t=0 cannot have finished the workload; it also
+         hands back the clairvoyant bound used to pick a mid-flight
+         drain point *)
+      let bound =
+        match
+          roundtrip
+            (Protocol.Request.Advance
+               { id = J.Str "a0"; session = "drainy"; to_ = Some 0. })
+        with
+        | Protocol.Response.Advance_result { complete; bound; _ } ->
+          Alcotest.(check bool) "not complete at t=0" false complete;
+          bound
+        | _ -> Alcotest.fail "expected an advance result"
+      in
+      Alcotest.(check bool) "bound is positive and finite" true
+        (Float.is_finite bound && bound > 0.);
+      (match
+         roundtrip
+           (Protocol.Request.Advance
+              { id = J.Str "a1"; session = "drainy";
+                to_ = Some (0.5 *. bound) })
+       with
+      | Protocol.Response.Advance_result { now; _ } ->
+        Alcotest.(check bool) "clock moved" true (now > 0.)
+      | _ -> Alcotest.fail "expected an advance result");
+      (* raise stop mid-flight and wait for health to flip *)
+      Atomic.set stop true;
+      let limit = Unix.gettimeofday () +. 8. in
+      let draining = ref false in
+      while (not !draining) && Unix.gettimeofday () < limit do
+        match roundtrip (Protocol.Request.Health { id = J.Str "hd" }) with
+        | Protocol.Response.Health { draining = d; _ } ->
+          if d then draining := true else Thread.delay 0.05
+        | _ -> Alcotest.fail "expected a health response"
+      done;
+      Alcotest.(check bool) "health flipped to draining" true !draining;
+      (* a draining daemon refuses new work with the typed code... *)
+      (match roundtrip (submit ~id:"sub2" ~session:"latecomer") with
+      | Protocol.Response.Error { code; _ } ->
+        Alcotest.(check string) "submit refused while draining"
+          Protocol.Error_code.draining code
+      | _ -> Alcotest.fail "expected a draining error");
+      (* ... while the admitted session still runs to completion *)
+      (match
+         roundtrip
+           (Protocol.Request.Advance
+              { id = J.Str "a2"; session = "drainy"; to_ = None })
+       with
+      | Protocol.Response.Advance_result { complete; makespan; bound; _ } ->
+        Alcotest.(check bool) "admitted work finished through drain" true
+          complete;
+        (match makespan with
+        | Some m ->
+          Alcotest.(check bool) "makespan >= clairvoyant bound" true
+            (m >= bound -. (1e-9 *. Float.max 1. bound))
+        | None -> Alcotest.fail "complete advance must report a makespan")
+      | _ -> Alcotest.fail "expected an advance result");
+      Unix.close fd;
+      Thread.join server;
+      match !outcome with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("server exited with an error: " ^ m))
+
 (* --- deque --- *)
 
 module Deque = Emts_serve.Deque
@@ -925,5 +1187,7 @@ let () =
             test_server_steal_identity;
           Alcotest.test_case "self-healing under faults" `Quick
             test_server_self_healing;
+          Alcotest.test_case "online session through a drain" `Quick
+            test_server_online_drain;
         ] );
     ]
